@@ -1,0 +1,282 @@
+//! `stapctl` — command-line front end for the parallel pipelined STAP
+//! reproduction.
+//!
+//! ```text
+//! stapctl simulate --nodes 16,8,56,8,14,8,8 [--cpis 25] [--input-rate 5]
+//!                  [--replicas 1,1,1,1,1,1,1] [--contention] [--json]
+//! stapctl optimize --budget 118 [--objective throughput|latency] [--floor 3.0]
+//! stapctl detect   [--cpis 6] [--seed 42] [--full] [--nodes 2,1,2,1,1,2,1]
+//! stapctl gantt    [--nodes N0,..,N6] [--cpis 8]
+//! stapctl csv      --what fig11|scaling
+//! ```
+
+use stap::core::cfar::cluster;
+use stap::core::StapParams;
+use stap::machine::Mesh;
+use stap::pipeline::assignment::TASK_NAMES;
+use stap::pipeline::{NodeAssignment, ParallelStap};
+use stap::radar::Scenario;
+use stap::sim::assign::{optimize, Objective};
+use stap::sim::{simulate, SimConfig};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  \
+         stapctl simulate --nodes N0,..,N6 [--cpis K] [--input-rate R] [--replicas R0,..,R6] [--contention]\n  \
+         stapctl optimize --budget B [--objective throughput|latency] [--floor T] [--moves M]\n  \
+         stapctl detect [--cpis K] [--seed S] [--full] [--nodes N0,..,N6]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(name) = a.strip_prefix("--") {
+            if name == "contention" || name == "full" || name == "json" {
+                flags.insert(name.to_string(), "true".to_string());
+                i += 1;
+            } else {
+                let v = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("--{name} needs a value"))?;
+                flags.insert(name.to_string(), v.clone());
+                i += 2;
+            }
+        } else {
+            return Err(format!("unexpected argument {a}"));
+        }
+    }
+    Ok(flags)
+}
+
+fn parse_counts(s: &str) -> Result<[usize; 7], String> {
+    let parts: Vec<usize> = s
+        .split(',')
+        .map(|p| p.trim().parse::<usize>().map_err(|e| e.to_string()))
+        .collect::<Result<_, _>>()?;
+    if parts.len() != 7 {
+        return Err(format!("need 7 comma-separated counts, got {}", parts.len()));
+    }
+    Ok([
+        parts[0], parts[1], parts[2], parts[3], parts[4], parts[5], parts[6],
+    ])
+}
+
+fn print_sim(r: &stap::sim::SimResult, assign: &NodeAssignment) {
+    println!(
+        "{:<16} {:>5} {:>8} {:>8} {:>8} {:>8}",
+        "task", "nodes", "recv", "comp", "send", "total"
+    );
+    for t in 0..7 {
+        let tt = r.tasks[t];
+        println!(
+            "{:<16} {:>5} {:>8.4} {:>8.4} {:>8.4} {:>8.4}",
+            TASK_NAMES[t],
+            assign.0[t],
+            tt.recv,
+            tt.comp,
+            tt.send,
+            tt.total()
+        );
+    }
+    println!(
+        "throughput {:.4} CPI/s (eq {:.4})   latency {:.4} s (eq {:.4})",
+        r.measured_throughput, r.eq_throughput, r.measured_latency, r.eq_latency
+    );
+}
+
+fn cmd_simulate(flags: HashMap<String, String>) -> Result<(), String> {
+    let nodes = flags
+        .get("nodes")
+        .map(|s| parse_counts(s))
+        .transpose()?
+        .unwrap_or(NodeAssignment::case2().0);
+    let mut cfg = SimConfig::paper(NodeAssignment(nodes));
+    if let Some(c) = flags.get("cpis") {
+        cfg.num_cpis = c.parse().map_err(|e| format!("--cpis: {e}"))?;
+    }
+    if let Some(rate) = flags.get("input-rate") {
+        let r: f64 = rate.parse().map_err(|e| format!("--input-rate: {e}"))?;
+        cfg.input_interval_s = Some(1.0 / r);
+    }
+    if let Some(reps) = flags.get("replicas") {
+        cfg.replicas = parse_counts(reps)?;
+    }
+    if flags.contains_key("contention") {
+        cfg.mesh_contention = Some(Mesh::afrl());
+    }
+    if let Some(c) = flags.get("cpus") {
+        cfg.cpus_per_node = c.parse().map_err(|e| format!("--cpus: {e}"))?;
+    }
+    let r = simulate(&cfg);
+    if flags.contains_key("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&r).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+    println!(
+        "Paragon model: {} nodes ({} with replication), {} CPIs",
+        cfg.assign.total(),
+        cfg.assign
+            .0
+            .iter()
+            .zip(&cfg.replicas)
+            .map(|(n, r)| n * r)
+            .sum::<usize>(),
+        cfg.num_cpis
+    );
+    print_sim(&r, &cfg.assign);
+    Ok(())
+}
+
+fn cmd_optimize(flags: HashMap<String, String>) -> Result<(), String> {
+    let budget: usize = flags
+        .get("budget")
+        .ok_or("--budget is required")?
+        .parse()
+        .map_err(|e| format!("--budget: {e}"))?;
+    let moves: usize = flags
+        .get("moves")
+        .map(|m| m.parse().map_err(|e| format!("--moves: {e}")))
+        .transpose()?
+        .unwrap_or(15);
+    let objective = match flags.get("objective").map(String::as_str) {
+        None | Some("throughput") => Objective::MaxThroughput,
+        Some("latency") => Objective::MinLatency {
+            throughput_floor: flags
+                .get("floor")
+                .map(|f| f.parse().map_err(|e| format!("--floor: {e}")))
+                .transpose()?
+                .unwrap_or(0.0),
+        },
+        Some(other) => return Err(format!("unknown objective {other}")),
+    };
+    let cfg = SimConfig::paper(NodeAssignment::case2());
+    let (a, r) = optimize(&cfg, budget, objective, moves);
+    println!("optimized assignment for {budget} nodes ({objective:?}):");
+    print_sim(&r, &a);
+    Ok(())
+}
+
+fn cmd_detect(flags: HashMap<String, String>) -> Result<(), String> {
+    let cpis: usize = flags
+        .get("cpis")
+        .map(|c| c.parse().map_err(|e| format!("--cpis: {e}")))
+        .transpose()?
+        .unwrap_or(6);
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| s.parse().map_err(|e| format!("--seed: {e}")))
+        .transpose()?
+        .unwrap_or(42);
+    let full = flags.contains_key("full");
+    let (params, scenario) = if full {
+        (StapParams::paper(), Scenario::rtmcarm(seed))
+    } else {
+        (StapParams::reduced(), Scenario::reduced(seed))
+    };
+    let nodes = flags
+        .get("nodes")
+        .map(|s| parse_counts(s))
+        .transpose()?
+        .unwrap_or(NodeAssignment::tiny().0);
+    let runner = ParallelStap::for_scenario(params, NodeAssignment(nodes), &scenario);
+    println!(
+        "processing {cpis} {} CPIs on {} rank threads...",
+        if full { "full-size (512x16x128)" } else { "reduced (64x8x32)" },
+        runner.assign.total()
+    );
+    let data: Vec<_> = scenario.stream(cpis).map(|(_, _, c)| c).collect();
+    let out = runner.run(data);
+    for (i, dets) in out.detections.iter().enumerate() {
+        let reports = cluster(dets);
+        println!("CPI {i}: {} reports", reports.len());
+        for d in reports.iter().take(5) {
+            println!(
+                "    bin {:>3} beam {} range {:>3} power {:.1}",
+                d.bin, d.beam, d.range, d.power
+            );
+        }
+    }
+    println!(
+        "host throughput {:.2} CPI/s, latency {:.3} s",
+        out.timings.measured_throughput, out.timings.measured_latency
+    );
+    Ok(())
+}
+
+fn cmd_gantt(flags: HashMap<String, String>) -> Result<(), String> {
+    let nodes = flags
+        .get("nodes")
+        .map(|s| parse_counts(s))
+        .transpose()?
+        .unwrap_or(NodeAssignment::case3().0);
+    let mut cfg = SimConfig::paper(NodeAssignment(nodes));
+    cfg.num_cpis = flags
+        .get("cpis")
+        .map(|c| c.parse().map_err(|e| format!("--cpis: {e}")))
+        .transpose()?
+        .unwrap_or(8);
+    let traced = stap::sim::simulate_traced(&cfg);
+    println!("{}", stap::sim::render_gantt(&traced, cfg.num_cpis, 110));
+    Ok(())
+}
+
+fn cmd_csv(flags: HashMap<String, String>) -> Result<(), String> {
+    use stap::sim::sweep;
+    match flags.get("what").map(String::as_str) {
+        Some("fig11") => {
+            let m = stap::machine::Paragon::afrl_calibrated();
+            let rows = sweep::fig11_rows(
+                &m,
+                &stap::core::flops::paper_table1().0,
+                &sweep::default_fig11_sweeps(),
+            );
+            print!("{}", sweep::fig11_csv(&rows));
+            Ok(())
+        }
+        Some("scaling") => {
+            let cfg = SimConfig::paper(NodeAssignment::case3());
+            let rows = sweep::scaling_rows(&cfg, &sweep::proportional_ladder(&[1, 2, 4, 8, 16]));
+            print!("{}", sweep::scaling_csv(&rows));
+            Ok(())
+        }
+        other => Err(format!("--what must be fig11 or scaling, got {other:?}")),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    let flags = match parse_flags(&args[1..]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let result = match cmd.as_str() {
+        "simulate" => cmd_simulate(flags),
+        "optimize" => cmd_optimize(flags),
+        "detect" => cmd_detect(flags),
+        "gantt" => cmd_gantt(flags),
+        "csv" => cmd_csv(flags),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

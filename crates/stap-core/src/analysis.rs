@@ -1,0 +1,282 @@
+//! Clutter-subspace and spectrum analysis.
+//!
+//! Tools for *understanding* the interference environment the pipeline
+//! operates in: space-time covariance estimation from raw CPIs, its
+//! eigenspectrum (whose effective rank should follow Brennan's rule,
+//! `J + beta (N' - 1)`, for ridge clutter), and the MVDR angle-Doppler
+//! spectrum that visualizes the clutter ridge the hard/easy bin split is
+//! built around.
+
+use stap_cube::CCube;
+use stap_math::cholesky::{solve_hpd, CholeskyError};
+use stap_math::eigen::{eigen_hermitian, Eigen};
+use stap_math::{CMat, Cx};
+use stap_radar::steering::doppler_steering;
+use stap_radar::ArrayGeometry;
+use std::f64::consts::PI;
+
+/// Estimates the `(J*P) x (J*P)` space-time covariance from a raw CPI
+/// `(K, J, N)`, using length-`P` pulse windows slid over every range
+/// cell (pulse-major stacking: element `p * J + j`).
+pub fn space_time_covariance(cpi: &CCube, pulse_window: usize) -> CMat {
+    let [k_cells, j_ch, n_pulses] = cpi.shape();
+    assert!(
+        pulse_window >= 1 && pulse_window <= n_pulses,
+        "pulse window out of range"
+    );
+    let dim = j_ch * pulse_window;
+    let mut r = CMat::zeros(dim, dim);
+    let mut count = 0usize;
+    // Stride the pulse start so snapshots are roughly independent.
+    let stride = pulse_window.max(1);
+    for k in 0..k_cells {
+        let mut start = 0;
+        while start + pulse_window <= n_pulses {
+            // x[p*J + j] = cpi[k, j, start+p]
+            let x: Vec<Cx> = (0..pulse_window)
+                .flat_map(|p| (0..j_ch).map(move |j| (p, j)))
+                .map(|(p, j)| cpi[(k, j, start + p)])
+                .collect();
+            for a in 0..dim {
+                for b in 0..dim {
+                    r[(a, b)] += x[a] * x[b].conj();
+                }
+            }
+            count += 1;
+            start += stride;
+        }
+    }
+    r.scale(1.0 / count.max(1) as f64)
+}
+
+/// Eigenspectrum of the space-time covariance.
+pub fn clutter_eigenspectrum(cpi: &CCube, pulse_window: usize) -> Eigen {
+    eigen_hermitian(&space_time_covariance(cpi, pulse_window))
+}
+
+/// Brennan's rule: the expected clutter rank of a `J`-element,
+/// `P`-pulse aperture with clutter ridge slope `beta` (Doppler cycles
+/// per pulse per unit spatial frequency), rounded up.
+pub fn brennan_rank(j_channels: usize, pulse_window: usize, beta: f64) -> usize {
+    (j_channels as f64 + beta * (pulse_window as f64 - 1.0)).ceil() as usize
+}
+
+/// The ridge slope `beta` of a `stap_radar::clutter::ClutterConfig` in
+/// Brennan-rule units: our generator writes Doppler
+/// `f = ridge_slope * sin(az)` against spatial frequency
+/// `0.5 * sin(az)` (half-wavelength spacing), so
+/// `beta = ridge_slope / 0.5`.
+pub fn beta_of(ridge_slope: f64, spacing_wavelengths: f64) -> f64 {
+    ridge_slope / spacing_wavelengths
+}
+
+/// MVDR angle-Doppler spectrum: `1 / (v^H R^{-1} v)` over a grid of
+/// azimuths and normalized Doppler frequencies, where `v` is the
+/// space-time steering vector. Returns a `(dopplers.len(), azimuths.len())`
+/// row-major grid.
+pub fn mvdr_spectrum(
+    r: &CMat,
+    geom: &ArrayGeometry,
+    pulse_window: usize,
+    azimuths_deg: &[f64],
+    dopplers: &[f64],
+    loading: f64,
+) -> Result<Vec<Vec<f64>>, CholeskyError> {
+    let j = geom.channels;
+    let dim = j * pulse_window;
+    assert_eq!(r.rows(), dim, "covariance dimension mismatch");
+    let mut rl = r.clone();
+    let scale = (0..dim).map(|i| rl[(i, i)].re).sum::<f64>() / dim as f64;
+    for i in 0..dim {
+        rl[(i, i)] += Cx::real(loading * scale.max(1e-30));
+    }
+    let mut out = Vec::with_capacity(dopplers.len());
+    for &f in dopplers {
+        let t = doppler_steering(f, pulse_window);
+        let mut row = Vec::with_capacity(azimuths_deg.len());
+        for &az in azimuths_deg {
+            let s = geom.steering(az);
+            let v: Vec<Cx> = (0..pulse_window)
+                .flat_map(|p| (0..j).map(move |jj| (p, jj)))
+                .map(|(p, jj)| t[p] * s[jj])
+                .collect();
+            let rhs = CMat::from_fn(dim, 1, |i, _| v[i]);
+            let x = solve_hpd(&rl, &rhs)?;
+            let mut quad = Cx::new(0.0, 0.0);
+            for i in 0..dim {
+                quad += v[i].conj() * x[(i, 0)];
+            }
+            row.push(1.0 / quad.re.max(1e-300));
+        }
+        out.push(row);
+    }
+    Ok(out)
+}
+
+/// Per-Doppler-bin clutter power of a staggered cube (first window),
+/// summed over range cells and channels — the statistic that drives
+/// automatic easy/hard bin classification.
+pub fn bin_clutter_power(staggered: &CCube, j_channels: usize) -> Vec<f64> {
+    let [k_cells, _, n] = staggered.shape();
+    let mut power = vec![0.0f64; n];
+    for k in 0..k_cells {
+        for j in 0..j_channels {
+            for (b, p) in power.iter_mut().enumerate() {
+                *p += staggered[(k, j, b)].norm_sqr();
+            }
+        }
+    }
+    power
+}
+
+/// Classifies Doppler bins as hard when their clutter power is within
+/// `threshold_db` of the strongest bin — automating the easy/hard split
+/// the paper fixes a priori at N_hard = 56 ("indexing of Doppler bins
+/// for classification as 'easy' or 'hard' depending on their proximity
+/// to mainbeam clutter"). Returns the sorted hard-bin list.
+pub fn classify_hard_bins(bin_power: &[f64], threshold_db: f64) -> Vec<usize> {
+    let peak = bin_power.iter().cloned().fold(0.0f64, f64::max).max(1e-300);
+    let floor = peak * 10f64.powf(-threshold_db / 10.0);
+    (0..bin_power.len())
+        .filter(|&b| bin_power[b] >= floor)
+        .collect()
+}
+
+/// Expected ridge Doppler (cycles/pulse) at `az_deg` for the generator's
+/// clutter model, relative to the beam center where the receiver zeroes
+/// the clutter.
+pub fn ridge_doppler(ridge_slope: f64, az_deg: f64, beam_center_deg: f64) -> f64 {
+    ridge_slope * ((az_deg * PI / 180.0).sin() - (beam_center_deg * PI / 180.0).sin())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stap_math::eigen::effective_rank;
+    use stap_radar::Scenario;
+
+    #[test]
+    fn covariance_is_hermitian_psd() {
+        let mut sc = Scenario::reduced(4);
+        sc.targets.clear();
+        let cpi = sc.generate_cpi(0);
+        let r = space_time_covariance(&cpi, 4);
+        let dim = r.rows();
+        assert_eq!(dim, 8 * 4);
+        let tol = 1e-10 * r.fro_norm();
+        for i in 0..dim {
+            for j in 0..dim {
+                assert!(r[(i, j)].approx_eq(r[(j, i)].conj(), tol));
+            }
+        }
+        let e = eigen_hermitian(&r);
+        assert!(*e.values.last().unwrap() > -tol);
+    }
+
+    #[test]
+    fn clutter_rank_follows_brennans_rule() {
+        // The headline domain check: the synthetic ridge's eigenrank
+        // must land near J + beta (P - 1), far below the full dimension.
+        let mut sc = Scenario::reduced(31);
+        sc.targets.clear();
+        if let Some(c) = sc.clutter.as_mut() {
+            c.doppler_spread = 0.0; // pure ridge
+            c.cnr_db = 50.0;
+        }
+        let cpi = sc.generate_cpi(0);
+        let p = 4usize;
+        let e = clutter_eigenspectrum(&cpi, p);
+        let beta = beta_of(sc.clutter.as_ref().unwrap().ridge_slope, sc.geom.spacing_wavelengths);
+        let predicted = brennan_rank(sc.geom.channels, p, beta);
+        // Count eigenvalues within 30 dB of the peak (clutter vs noise
+        // floor is ~50 dB here).
+        let rank = effective_rank(&e.values, 30.0);
+        let dim = sc.geom.channels * p;
+        assert!(
+            rank.abs_diff(predicted) <= 2,
+            "rank {rank} vs Brennan {predicted} (dim {dim})"
+        );
+        assert!(rank < dim / 2, "clutter must be low-rank: {rank} of {dim}");
+    }
+
+    #[test]
+    fn mvdr_spectrum_peaks_on_the_ridge() {
+        let mut sc = Scenario::reduced(77);
+        sc.targets.clear();
+        if let Some(c) = sc.clutter.as_mut() {
+            c.doppler_spread = 0.0;
+        }
+        let cpi = sc.generate_cpi(0);
+        let p = 4usize;
+        let r = space_time_covariance(&cpi, p);
+        let azimuths = [-40.0, 0.0, 40.0];
+        let slope = sc.clutter.as_ref().unwrap().ridge_slope;
+        let dopplers: Vec<f64> = azimuths
+            .iter()
+            .map(|&az| ridge_doppler(slope, az, 0.0))
+            .collect();
+        let spec = mvdr_spectrum(&r, &sc.geom, p, &azimuths, &dopplers, 1e-3).unwrap();
+        // On-ridge (az matching its own Doppler) must exceed off-ridge
+        // by a healthy margin.
+        for (di, _f) in dopplers.iter().enumerate() {
+            let on = spec[di][di];
+            for (ai, &v) in spec[di].iter().enumerate() {
+                if ai != di {
+                    assert!(
+                        on > 3.0 * v,
+                        "ridge not dominant: on {on} vs off {v} (d{di}, a{ai})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn auto_classification_picks_bins_near_zero_doppler() {
+        // With the receiver centering mainbeam clutter at bin 0, the
+        // hard set must hug the spectrum edges (bins near 0 and N),
+        // like the paper's fixed split does.
+        use crate::doppler::DopplerProcessor;
+        use crate::params::StapParams;
+        let p = StapParams::reduced();
+        let mut sc = Scenario::reduced(13);
+        sc.targets.clear();
+        if let Some(c) = sc.clutter.as_mut() {
+            // Moderate ground extent: the ridge spans ~+/-6 of 32 bins.
+            c.extent_deg = 40.0;
+        }
+        let stag = DopplerProcessor::new(&p).process(&sc.generate_cpi(0));
+        let power = bin_clutter_power(&stag, p.j_channels);
+        let hard = classify_hard_bins(&power, 20.0);
+        assert!(!hard.is_empty() && hard.len() < p.n_pulses / 2);
+        // Every auto-hard bin is within the paper-style edge region or
+        // adjacent to it.
+        let n = p.n_pulses;
+        for &b in &hard {
+            let dist = b.min(n - b);
+            assert!(dist <= n / 4, "bin {b} too far from the clutter ridge");
+        }
+        // And the known-easy middle (bin N/2) is not selected.
+        assert!(!hard.contains(&(n / 2)));
+    }
+
+    #[test]
+    fn classification_threshold_monotonicity() {
+        let power = vec![100.0, 80.0, 10.0, 1.0, 0.5, 10.0, 60.0];
+        let strict = classify_hard_bins(&power, 2.0);
+        let loose = classify_hard_bins(&power, 25.0);
+        assert!(strict.len() <= loose.len());
+        for b in &strict {
+            assert!(loose.contains(b));
+        }
+        assert_eq!(strict, vec![0, 1]);
+        assert_eq!(classify_hard_bins(&power, 3.0), vec![0, 1, 6]);
+    }
+
+    #[test]
+    fn brennan_rank_formula() {
+        assert_eq!(brennan_rank(16, 1, 0.6), 16);
+        assert_eq!(brennan_rank(16, 18, 1.0), 33);
+        assert_eq!(brennan_rank(8, 4, 0.6), 10); // 8 + 1.8 -> ceil
+    }
+}

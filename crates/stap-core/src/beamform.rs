@@ -1,0 +1,217 @@
+//! Tasks 3 and 4: beamforming (weight application).
+//!
+//! Per Doppler bin, beamforming is a matrix-matrix product between the
+//! adapted weights and the channel-by-range data slab:
+//!
+//! * easy: `(M x J) . (J x K)` using the first stagger window only,
+//! * hard: `(M x 2J) . (2J x K_seg)` per range segment, both windows.
+//!
+//! We apply weights as an adjoint (`y = W^H x`), the standard adaptive
+//! beamforming convention (the MATLAB reference uses a plain transpose;
+//! the difference is a conjugate in the weight definition, invariant to
+//! everything downstream since pulse compression takes magnitudes).
+
+use crate::params::StapParams;
+use crate::weights::{EasyWeights, HardWeights};
+use stap_cube::CCube;
+use stap_math::CMat;
+
+/// One bin of easy beamforming: `weights` is `J x M`, `data` is `J x K`;
+/// returns `M x K`.
+pub fn beamform_bin_easy(weights: &CMat, data: &CMat) -> CMat {
+    weights.hermitian_matmul(data)
+}
+
+/// One (bin, segment) of hard beamforming: `weights` is `2J x M`, `data`
+/// is `2J x K_seg`; returns `M x K_seg`.
+pub fn beamform_bin_hard(weights: &CMat, data: &CMat) -> CMat {
+    weights.hermitian_matmul(data)
+}
+
+/// Gathers the `J x K` (easy) channel-range slab of one Doppler bin from
+/// the staggered cube (first window only).
+pub fn easy_bin_data(staggered: &CCube, params: &StapParams, bin: usize) -> CMat {
+    let j = params.j_channels;
+    let k = staggered.shape()[0];
+    CMat::from_fn(j, k, |ch, kc| staggered[(kc, ch, bin)])
+}
+
+/// Gathers the `2J x K_seg` (hard) slab of one Doppler bin over a range
+/// segment.
+pub fn hard_bin_data(staggered: &CCube, params: &StapParams, bin: usize, seg: usize) -> CMat {
+    let jj = 2 * params.j_channels;
+    let r = params.segment_range(seg);
+    CMat::from_fn(jj, r.len(), |ch, kc| staggered[(r.start + kc, ch, bin)])
+}
+
+/// Sequential easy beamforming of a full staggered CPI: returns a
+/// `(N_easy, M, K)` cube indexed by easy-bin order.
+pub fn easy_beamform(params: &StapParams, staggered: &CCube, w: &EasyWeights) -> CCube {
+    let k = staggered.shape()[0];
+    let mut out = CCube::zeros([params.n_easy(), params.m_beams, k]);
+    easy_beamform_into(params, staggered, w, &mut out);
+    out
+}
+
+/// Like [`easy_beamform`] but writing into a caller-provided cube
+/// (shape `(N_easy, M, K)`), for allocation-free steady-state loops.
+pub fn easy_beamform_into(params: &StapParams, staggered: &CCube, w: &EasyWeights, out: &mut CCube) {
+    let k = staggered.shape()[0];
+    let bins = params.easy_bins();
+    assert_eq!(out.shape(), [bins.len(), params.m_beams, k], "output shape");
+    for (bi, &bin) in bins.iter().enumerate() {
+        let data = easy_bin_data(staggered, params, bin);
+        let y = beamform_bin_easy(&w.per_bin[bi], &data);
+        for m in 0..params.m_beams {
+            out.lane_mut(bi, m).copy_from_slice(y.row(m));
+        }
+    }
+}
+
+/// Sequential hard beamforming: returns a `(N_hard, M, K)` cube indexed
+/// by hard-bin order (segments concatenated along range).
+pub fn hard_beamform(params: &StapParams, staggered: &CCube, w: &HardWeights) -> CCube {
+    let k = staggered.shape()[0];
+    let mut out = CCube::zeros([params.n_hard, params.m_beams, k]);
+    hard_beamform_into(params, staggered, w, &mut out);
+    out
+}
+
+/// Like [`hard_beamform`] but writing into a caller-provided cube.
+pub fn hard_beamform_into(params: &StapParams, staggered: &CCube, w: &HardWeights, out: &mut CCube) {
+    let k = staggered.shape()[0];
+    let bins = params.hard_bins();
+    assert_eq!(out.shape(), [bins.len(), params.m_beams, k], "output shape");
+    for (bi, &bin) in bins.iter().enumerate() {
+        for seg in 0..params.num_segments() {
+            let r = params.segment_range(seg);
+            let data = hard_bin_data(staggered, params, bin, seg);
+            let y = beamform_bin_hard(&w.per_bin[bi][seg], &data);
+            for m in 0..params.m_beams {
+                out.lane_mut(bi, m)[r.clone()].copy_from_slice(y.row(m));
+            }
+        }
+    }
+}
+
+/// Interleaves easy and hard beamformed cubes back into natural Doppler
+/// order: returns `(N, M, K)` where bin `b` comes from whichever cube
+/// owns it.
+pub fn interleave_bins(params: &StapParams, easy: &CCube, hard: &CCube) -> CCube {
+    let m = easy.shape()[1];
+    let k = easy.shape()[2];
+    let mut out = CCube::zeros([params.n_pulses, m, k]);
+    interleave_bins_into(params, easy, hard, &mut out);
+    out
+}
+
+/// Like [`interleave_bins`] but writing into a caller-provided cube.
+pub fn interleave_bins_into(params: &StapParams, easy: &CCube, hard: &CCube, out: &mut CCube) {
+    let [n_easy, m, k] = easy.shape();
+    let [n_hard, m2, k2] = hard.shape();
+    assert_eq!((m, k), (m2, k2), "easy/hard shape mismatch");
+    assert_eq!(n_easy, params.n_easy(), "easy bin count mismatch");
+    assert_eq!(n_hard, params.n_hard, "hard bin count mismatch");
+    assert_eq!(out.shape(), [params.n_pulses, m, k], "output shape");
+    for (bi, &bin) in params.easy_bins().iter().enumerate() {
+        for bm in 0..m {
+            out.lane_mut(bin, bm).copy_from_slice(easy.lane(bi, bm));
+        }
+    }
+    for (bi, &bin) in params.hard_bins().iter().enumerate() {
+        for bm in 0..m {
+            out.lane_mut(bin, bm).copy_from_slice(hard.lane(bi, bm));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weights::{EasyWeightComputer, HardWeightComputer};
+    use stap_math::Cx;
+    use stap_radar::ArrayGeometry;
+
+    fn cube_with_pattern(p: &StapParams) -> CCube {
+        CCube::from_fn([p.k_range, 2 * p.j_channels, p.n_pulses], |k, c, n| {
+            Cx::new(
+                ((k * 7 + c * 3 + n) % 11) as f64 - 5.0,
+                ((k + c + n) % 9) as f64 - 4.0,
+            )
+        })
+    }
+
+    #[test]
+    fn easy_beamform_matches_manual_inner_product() {
+        let p = StapParams::reduced();
+        let geom = ArrayGeometry::small(p.j_channels);
+        let steering = geom.beam_fan(0.0, 10.0, p.m_beams);
+        let w = EasyWeightComputer::new(&p).quiescent(&steering);
+        let cube = cube_with_pattern(&p);
+        let out = easy_beamform(&p, &cube, &w);
+        assert_eq!(out.shape(), [p.n_easy(), p.m_beams, p.k_range]);
+        // Check one element manually: y[m, k] = sum_j conj(w[j,m]) x[j,k].
+        let bi = 3;
+        let bin = p.easy_bins()[bi];
+        let (m, k) = (1, 17);
+        let mut want = Cx::new(0.0, 0.0);
+        for j in 0..p.j_channels {
+            want += w.per_bin[bi][(j, m)].conj() * cube[(k, j, bin)];
+        }
+        assert!(out[(bi, m, k)].approx_eq(want, 1e-10));
+    }
+
+    #[test]
+    fn hard_beamform_covers_all_segments() {
+        let p = StapParams::reduced();
+        let geom = ArrayGeometry::small(p.j_channels);
+        let steering = geom.beam_fan(0.0, 10.0, p.m_beams);
+        let w = HardWeightComputer::new(&p).quiescent(&steering);
+        let cube = cube_with_pattern(&p);
+        let out = hard_beamform(&p, &cube, &w);
+        assert_eq!(out.shape(), [p.n_hard, p.m_beams, p.k_range]);
+        // Element in the last segment, using both windows.
+        let bi = 2;
+        let bin = p.hard_bins()[bi];
+        let seg = p.num_segments() - 1;
+        let r = p.segment_range(seg);
+        let (m, k) = (0, r.start + 2);
+        let mut want = Cx::new(0.0, 0.0);
+        for c in 0..2 * p.j_channels {
+            want += w.per_bin[bi][seg][(c, m)].conj() * cube[(k, c, bin)];
+        }
+        assert!(out[(bi, m, k)].approx_eq(want, 1e-10));
+    }
+
+    #[test]
+    fn interleave_restores_natural_bin_order() {
+        let p = StapParams::reduced();
+        let easy = CCube::from_fn([p.n_easy(), p.m_beams, p.k_range], |b, _, _| {
+            Cx::real(1000.0 + b as f64)
+        });
+        let hard = CCube::from_fn([p.n_hard, p.m_beams, p.k_range], |b, _, _| {
+            Cx::real(2000.0 + b as f64)
+        });
+        let all = interleave_bins(&p, &easy, &hard);
+        assert_eq!(all.shape(), [p.n_pulses, p.m_beams, p.k_range]);
+        for (bi, &bin) in p.easy_bins().iter().enumerate() {
+            assert_eq!(all[(bin, 0, 0)], Cx::real(1000.0 + bi as f64));
+        }
+        for (bi, &bin) in p.hard_bins().iter().enumerate() {
+            assert_eq!(all[(bin, 0, 0)], Cx::real(2000.0 + bi as f64));
+        }
+    }
+
+    #[test]
+    fn beamforming_is_linear_in_data() {
+        let p = StapParams::reduced();
+        let w = CMat::from_fn(p.j_channels, p.m_beams, |j, m| {
+            Cx::new((j + m) as f64 * 0.1, (j as f64 - m as f64) * 0.05)
+        });
+        let a = CMat::from_fn(p.j_channels, 8, |j, k| Cx::new(j as f64, k as f64));
+        let b = CMat::from_fn(p.j_channels, 8, |j, k| Cx::new(k as f64, -(j as f64)));
+        let sum = beamform_bin_easy(&w, &a.add(&b));
+        let parts = beamform_bin_easy(&w, &a).add(&beamform_bin_easy(&w, &b));
+        assert!(sum.max_abs_diff(&parts) < 1e-10);
+    }
+}

@@ -1,0 +1,265 @@
+//! Task 0: Doppler filter processing.
+//!
+//! For every range cell and channel: apply the per-cell range correction
+//! and the Doppler taper, then transform two PRI-staggered pulse windows
+//! (`0..N-s` and `s..N`, both zero-padded to `N`) with `N`-point FFTs.
+//! The second window keeps its absolute pulse timing (leading zeros), so
+//! a target at Doppler bin `d` appears in the staggered channels with the
+//! extra phase `e^{-2 pi i d s / N}` — exactly the phase the hard-weight
+//! constraint (and the MATLAB reference's `computeRecurHardWts`) aligns.
+//!
+//! Input: raw CPI `(K, J, N)` (pulses unit-stride). Output: staggered
+//! CPI `(K, 2J, N)`; channel `j` holds window 0 of receive channel `j`,
+//! channel `J + j` holds window 1.
+
+use crate::params::StapParams;
+use stap_cube::CCube;
+use stap_math::fft::Fft;
+use stap_math::{flops, Cx};
+
+/// Reusable Doppler-filtering state (FFT plan and taper samples).
+pub struct DopplerProcessor {
+    n: usize,
+    stagger: usize,
+    window: Vec<f64>,
+    correction: Vec<f64>,
+    fft: Fft,
+    j_channels: usize,
+}
+
+impl DopplerProcessor {
+    /// Builds the processor for the given parameters.
+    pub fn new(params: &StapParams) -> Self {
+        let n = params.n_pulses;
+        let wlen = n - params.stagger;
+        let window = params.window.sample(wlen);
+        let correction = (0..params.k_range)
+            .map(|k| ((k + 1) as f64 / params.k_range as f64).powf(params.range_correction_exponent))
+            .collect();
+        DopplerProcessor {
+            n,
+            stagger: params.stagger,
+            window,
+            correction,
+            fft: Fft::new(n),
+            j_channels: params.j_channels,
+        }
+    }
+
+    /// Processes a full raw CPI into the staggered Doppler cube.
+    pub fn process(&self, cpi: &CCube) -> CCube {
+        let [k_range, j_ch, n] = cpi.shape();
+        assert_eq!(j_ch, self.j_channels, "channel count mismatch");
+        assert_eq!(n, self.n, "pulse count mismatch");
+        let mut out = CCube::zeros([k_range, 2 * j_ch, n]);
+        self.process_rows(cpi, 0, &mut out);
+        out
+    }
+
+    /// Processes range rows of a *local slab* of the CPI (rows
+    /// `0..slab.shape()[0]`), writing into `out` at the same rows.
+    /// `k_offset` is the slab's global starting range cell, needed for
+    /// the per-cell range correction. This is the exact kernel each
+    /// Doppler-task node runs on its partition.
+    pub fn process_rows(&self, slab: &CCube, k_offset: usize, out: &mut CCube) {
+        let [k_local, j_ch, n] = slab.shape();
+        assert_eq!(out.shape(), [k_local, 2 * j_ch, n], "output shape mismatch");
+        let s = self.stagger;
+        let wlen = n - s;
+        let mut buf = vec![Cx::default(); n];
+        for k in 0..k_local {
+            let corr = self.correction[k_offset + k];
+            for j in 0..j_ch {
+                let lane = slab.lane(k, j);
+                // Window 0: pulses 0..N-s, zero-padded at the tail.
+                for i in 0..wlen {
+                    buf[i] = lane[i].scale(self.window[i] * corr);
+                }
+                buf[wlen..n].fill(Cx::default());
+                self.fft.forward(&mut buf);
+                out.lane_mut(k, j).copy_from_slice(&buf);
+                // Window 1: pulses s..N re-indexed from zero, so a tone
+                // at bin d shows the PRI-stagger phase e^{2 pi i d s / N}
+                // relative to window 0 — the phase the hard-weight
+                // constraint aligns.
+                for i in 0..wlen {
+                    buf[i] = lane[s + i].scale(self.window[i] * corr);
+                }
+                buf[wlen..n].fill(Cx::default());
+                self.fft.forward(&mut buf);
+                out.lane_mut(k, j_ch + j).copy_from_slice(&buf);
+                // Taper+correction cost: 2 windows x wlen x (2 mul + 1
+                // correction mul) real ops (FFT costs counted inside).
+                flops::add(3 * 2 * wlen as u64);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stap_math::window::Window;
+    use std::f64::consts::PI;
+
+    fn test_params() -> StapParams {
+        StapParams::reduced()
+    }
+
+    fn tone_cpi(p: &StapParams, bin: usize) -> CCube {
+        // A pure Doppler tone across all cells/channels.
+        CCube::from_fn([p.k_range, p.j_channels, p.n_pulses], |_, _, n| {
+            Cx::cis(2.0 * PI * bin as f64 * n as f64 / p.n_pulses as f64)
+        })
+    }
+
+    #[test]
+    fn output_shape_doubles_channels() {
+        let p = test_params();
+        let proc = DopplerProcessor::new(&p);
+        let out = proc.process(&tone_cpi(&p, 3));
+        assert_eq!(out.shape(), [p.k_range, 2 * p.j_channels, p.n_pulses]);
+    }
+
+    #[test]
+    fn tone_concentrates_in_its_bin() {
+        let p = test_params();
+        let proc = DopplerProcessor::new(&p);
+        let bin = 9;
+        let out = proc.process(&tone_cpi(&p, bin));
+        let lane = out.lane(5, 2);
+        let (max_bin, _) = lane
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.norm_sqr().total_cmp(&b.1.norm_sqr()))
+            .unwrap();
+        assert_eq!(max_bin, bin);
+        // Hanning sidelobes: neighbours may hold energy, far bins must not.
+        let peak = lane[bin].abs();
+        let far = lane[(bin + p.n_pulses / 2) % p.n_pulses].abs();
+        assert!(far < 0.01 * peak, "far leakage {far} vs peak {peak}");
+    }
+
+    #[test]
+    fn staggered_window_carries_stagger_phase() {
+        // For a tone exactly at bin d, window 1's output at bin d equals
+        // window 0's multiplied by e^{+2 pi i d s / N}: the same taper
+        // integrates identical samples, but the data starts s pulses
+        // later while the FFT re-indexes it from zero.
+        let p = test_params();
+        let proc = DopplerProcessor::new(&p);
+        let bin = 8;
+        let out = proc.process(&tone_cpi(&p, bin));
+        let w0 = out[(0, 0, bin)];
+        let w1 = out[(0, p.j_channels, bin)];
+        let expected_phase = Cx::cis(2.0 * PI * bin as f64 * p.stagger as f64 / p.n_pulses as f64);
+        assert!(
+            w1.approx_eq(w0 * expected_phase, 1e-6 * w0.abs().max(1.0)),
+            "w0={w0:?} w1={w1:?}"
+        );
+    }
+
+    #[test]
+    fn rectangular_window_preserves_tone_amplitude() {
+        let mut p = test_params();
+        p.window = Window::Rectangular;
+        let proc = DopplerProcessor::new(&p);
+        let bin = 10;
+        let out = proc.process(&tone_cpi(&p, bin));
+        // Window 0 integrates N - s unit samples coherently at bin `bin`.
+        let peak = out[(0, 0, bin)].abs();
+        assert!((peak - (p.n_pulses - p.stagger) as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn process_rows_matches_full_process() {
+        let p = test_params();
+        let proc = DopplerProcessor::new(&p);
+        let cpi = CCube::from_fn([p.k_range, p.j_channels, p.n_pulses], |k, j, n| {
+            Cx::new(
+                ((k * 31 + j * 7 + n) % 17) as f64 - 8.0,
+                ((k + j + n * 3) % 13) as f64 - 6.0,
+            )
+        });
+        let full = proc.process(&cpi);
+        // Process rows 16..32 as a slab.
+        let slab = cpi.extract(16..32, 0..p.j_channels, 0..p.n_pulses);
+        let mut out = CCube::zeros([16, 2 * p.j_channels, p.n_pulses]);
+        proc.process_rows(&slab, 16, &mut out);
+        let want = full.extract(16..32, 0..2 * p.j_channels, 0..p.n_pulses);
+        assert!(out.max_abs_diff(&want) < 1e-12);
+    }
+
+    #[test]
+    fn range_correction_scales_cells() {
+        let mut p = test_params();
+        p.range_correction_exponent = 1.0;
+        let proc = DopplerProcessor::new(&p);
+        let cpi = tone_cpi(&p, 4);
+        let out = proc.process(&cpi);
+        // Cell k is scaled by (k+1)/K relative to flat processing.
+        let flat = DopplerProcessor::new(&test_params()).process(&cpi);
+        let k = 10;
+        let expect = (k as f64 + 1.0) / p.k_range as f64;
+        let ratio = out[(k, 0, 4)].abs() / flat[(k, 0, 4)].abs();
+        assert!((ratio - expect).abs() < 1e-9, "ratio {ratio} expect {expect}");
+    }
+
+    #[test]
+    fn range_correction_flattens_attenuated_clutter() {
+        // Generate clutter with range^-2 power decay and undo it with the
+        // matching correction exponent: the staggered cube's range power
+        // profile must come out roughly flat (no trend), while without
+        // correction it is strongly sloped.
+        use stap_radar::clutter::ClutterConfig;
+        use stap_radar::Scenario;
+        let mut scenario = Scenario::reduced(777);
+        scenario.targets.clear();
+        scenario.clutter = Some(ClutterConfig {
+            range_attenuation_exponent: 2.0,
+            ..Default::default()
+        });
+        let cpi = scenario.generate_cpi(0);
+        let profile = |p: &StapParams| -> (f64, f64) {
+            let proc = DopplerProcessor::new(p);
+            let stag = proc.process(&cpi);
+            let half = p.k_range / 2;
+            let power = |r: std::ops::Range<usize>| -> f64 {
+                r.map(|k| {
+                    (0..p.j_channels)
+                        .map(|j| stag.lane(k, j).iter().map(|x| x.norm_sqr()).sum::<f64>())
+                        .sum::<f64>()
+                })
+                .sum()
+            };
+            (power(0..half), power(half..p.k_range))
+        };
+        let mut p = test_params();
+        p.range_correction_exponent = 0.0;
+        let (near_u, far_u) = profile(&p);
+        p.range_correction_exponent = 1.0; // amplitude ~ r, power ~ r^2
+        let (near_c, far_c) = profile(&p);
+        let slope_u = near_u / far_u;
+        let slope_c = near_c / far_c;
+        assert!(slope_u > 4.0, "uncorrected profile should slope: {slope_u}");
+        assert!(
+            slope_c < slope_u / 3.0 && slope_c < 3.0,
+            "corrected profile should flatten: {slope_c} (uncorrected {slope_u})"
+        );
+    }
+
+    #[test]
+    fn doppler_flops_scale_with_cube_size() {
+        let p = test_params();
+        let proc = DopplerProcessor::new(&p);
+        let cpi = tone_cpi(&p, 1);
+        let ((), counted) = flops::count(|| {
+            let _ = proc.process(&cpi);
+        });
+        // 2J * K FFTs of 5 N log2 N plus taper work.
+        let nlog = (p.n_pulses as f64).log2() as u64;
+        let fft_part = (2 * p.j_channels * p.k_range) as u64 * 5 * p.n_pulses as u64 * nlog;
+        assert!(counted > fft_part, "must include taper cost");
+        assert!(counted < fft_part + fft_part / 4, "taper cost too large");
+    }
+}

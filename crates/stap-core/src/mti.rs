@@ -1,0 +1,172 @@
+//! MTI — the classic non-adaptive clutter canceller baseline.
+//!
+//! A moving-target-indication delay-line canceller subtracts pulses `s`
+//! apart in the time domain: `y[t] = x[t + s] - x[t]`. Its frequency
+//! response is `|1 - e^{2 pi i f s}| = 2 |sin(pi f s)|` — an exact null
+//! at zero Doppler (stationary clutter) and at every multiple of `1/s`
+//! cycles per pulse, with no training data needed. It is the cheap,
+//! brittle predecessor of adaptive processing: clutter with any Doppler
+//! spread (intrinsic motion) leaks through, the nulls at `k/s` blind the
+//! radar to targets at those speeds, and nothing handles jammers — the
+//! gaps the paper's adaptive weight computation exists to close.
+
+use crate::params::StapParams;
+use stap_cube::CCube;
+use stap_math::flops;
+#[cfg(test)]
+use stap_math::Cx;
+use std::f64::consts::PI;
+
+/// Applies an `s`-pulse delay-line canceller to a raw CPI `(K, J, N)`,
+/// returning `(K, J, N - s)`.
+pub fn mti_cancel(cpi: &CCube, s: usize) -> CCube {
+    let [k_cells, j_ch, n] = cpi.shape();
+    assert!(s >= 1 && s < n, "lag must be in 1..N");
+    let mut out = CCube::zeros([k_cells, j_ch, n - s]);
+    for k in 0..k_cells {
+        for j in 0..j_ch {
+            let x = cpi.lane(k, j);
+            let y = out.lane_mut(k, j);
+            for t in 0..n - s {
+                y[t] = x[t + s] - x[t];
+            }
+        }
+    }
+    flops::add((k_cells * j_ch * (n - s)) as u64 * flops::CADD);
+    out
+}
+
+/// The canceller's power response at normalized Doppler `f` (cycles per
+/// pulse) for lag `s`: `4 sin^2(pi f s)`.
+pub fn mti_power_response(f: f64, s: usize) -> f64 {
+    let v = (PI * f * s as f64).sin();
+    4.0 * v * v
+}
+
+/// Doppler frequencies (cycles/pulse, in `[0, 1)`) blinded by lag `s` —
+/// the canceller's nulls.
+pub fn blind_dopplers(s: usize) -> Vec<f64> {
+    (0..s).map(|k| k as f64 / s as f64).collect()
+}
+
+/// Convenience: MTI with the parameter set's PRI-stagger as the lag
+/// (the same `s` the staggered windows use).
+pub fn mti_cancel_staggered(params: &StapParams, cpi: &CCube) -> CCube {
+    mti_cancel(cpi, params.stagger)
+}
+
+/// Total `|.|^2` of a cube (shared by the baseline comparisons).
+pub fn total_power(cube: &CCube) -> f64 {
+    cube.as_slice().iter().map(|x| x.norm_sqr()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stap_radar::{Scenario, Target};
+
+    fn tone(k: usize, j: usize, n: usize, f: f64) -> CCube {
+        CCube::from_fn([k, j, n], |_, _, t| Cx::cis(2.0 * PI * f * t as f64))
+    }
+
+    #[test]
+    fn dc_clutter_cancels_exactly() {
+        let c = tone(4, 2, 32, 0.0);
+        let out = mti_cancel(&c, 3);
+        assert!(total_power(&out) < 1e-20);
+    }
+
+    #[test]
+    fn blind_speeds_cancel_exactly() {
+        // Lag 3 nulls f = 1/3 and 2/3 cycles/pulse.
+        for f in blind_dopplers(3) {
+            let c = tone(4, 2, 33, f);
+            let out = mti_cancel(&c, 3);
+            assert!(
+                total_power(&out) < 1e-18 * total_power(&c),
+                "f = {f} should be blind"
+            );
+        }
+    }
+
+    #[test]
+    fn response_matches_closed_form() {
+        for &f in &[0.05f64, 0.1, 0.21, 0.4] {
+            let n = 240;
+            let c = tone(1, 1, n, f);
+            let out = mti_cancel(&c, 3);
+            let per_sample = total_power(&out) / (n - 3) as f64;
+            let want = mti_power_response(f, 3);
+            assert!(
+                (per_sample - want).abs() < 1e-9 * want.max(1e-9),
+                "f = {f}: {per_sample} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn peak_gain_between_nulls() {
+        // Max response 4 (6 dB) at f = 1/(2s).
+        let peak = mti_power_response(1.0 / 6.0, 3);
+        assert!((peak - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clutter_suppressed_target_survives() {
+        let mut sc = Scenario::reduced(88);
+        sc.replica_len = 1;
+        sc.targets = vec![Target::fixed(30, 0.25, 2.0, 20.0)];
+        if let Some(c) = sc.clutter.as_mut() {
+            // Very narrow clutter near zero Doppler: a single MTI delay
+            // only suppresses what sits close to its null (the ridge
+            // Doppler grows with azimuth extent, and 4 sin^2(pi f s)
+            // rises fast).
+            c.extent_deg = 0.5;
+            c.doppler_spread = 0.0;
+            c.cnr_db = 30.0;
+        }
+        let cpi = sc.generate_cpi(0);
+        let out = mti_cancel_staggered(&StapParams::reduced(), &cpi);
+        // Quiet cell (clutter-only) vs target cell, before and after.
+        let cell_power = |c: &CCube, k: usize| -> f64 {
+            (0..8)
+                .map(|j| c.lane(k, j).iter().map(|x| x.norm_sqr()).sum::<f64>())
+                .sum()
+        };
+        let before_ratio = cell_power(&cpi, 30) / cell_power(&cpi, 10);
+        let after_ratio = cell_power(&out, 30) / cell_power(&out, 10);
+        // Target-to-clutter contrast must improve by >=10 dB.
+        assert!(
+            after_ratio > 10.0 * before_ratio,
+            "contrast: before {before_ratio:.2}, after {after_ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn doppler_spread_leaks_through() {
+        // Intrinsic clutter motion defeats the fixed null — the
+        // brittleness adaptive processing absorbs.
+        let residue = |spread: f64| -> f64 {
+            let mut sc = Scenario::reduced(99);
+            sc.targets.clear();
+            if let Some(c) = sc.clutter.as_mut() {
+                c.extent_deg = 3.0;
+                c.doppler_spread = spread;
+            }
+            let cpi = sc.generate_cpi(0);
+            total_power(&mti_cancel(&cpi, 3)) / total_power(&cpi)
+        };
+        let tight = residue(0.0);
+        let windy = residue(0.05);
+        assert!(
+            windy > 3.0 * tight,
+            "spread must raise MTI residue: {windy} vs {tight}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "lag must be in")]
+    fn bad_lag_panics() {
+        mti_cancel(&CCube::zeros([1, 1, 8]), 8);
+    }
+}

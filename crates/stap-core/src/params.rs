@@ -1,0 +1,245 @@
+//! CPI geometry and algorithm parameters.
+
+use stap_math::window::Window;
+
+/// All tunable parameters of the PRI-staggered post-Doppler STAP chain.
+///
+/// [`StapParams::paper`] reproduces Section 7 of the paper exactly;
+/// [`StapParams::reduced`] is a proportionally shrunk geometry for fast
+/// tests.
+#[derive(Clone, Debug)]
+pub struct StapParams {
+    /// Range cells per CPI (paper: K = 512).
+    pub k_range: usize,
+    /// Receive channels (paper: J = 16).
+    pub j_channels: usize,
+    /// Pulses per CPI = Doppler bins (paper: N = 128).
+    pub n_pulses: usize,
+    /// Receive beams formed per transmit beam (paper: M = 6).
+    pub m_beams: usize,
+    /// Number of hard Doppler bins, split evenly around zero Doppler
+    /// (paper: 56 — bins 0..28 and 100..128).
+    pub n_hard: usize,
+    /// PRI stagger in pulses (paper: 3).
+    pub stagger: usize,
+    /// Doppler taper (paper/MATLAB: Hanning).
+    pub window: Window,
+    /// Range-correction exponent: each range cell is scaled by
+    /// `((k + 1) / k_range)^exponent` before Doppler filtering to undo
+    /// spreading loss. The synthetic scenario generator applies no range
+    /// attenuation, so the default is 0 (unit gain) — the multiply is
+    /// still performed, matching the paper's per-cell range correction.
+    pub range_correction_exponent: f64,
+    /// Range segment boundaries for hard weights (paper:
+    /// `[0, 75, 150, 225, 300, 375, 512]` — six segments).
+    pub range_segments: Vec<usize>,
+    /// Beam-constraint weight `k` in the augmented least squares
+    /// (MATLAB: 0.5).
+    pub beam_constraint_wt: f64,
+    /// Exponential forgetting factor for the recursive hard-bin QR
+    /// (MATLAB: 0.6).
+    pub forgetting_factor: f64,
+    /// Training samples drawn per CPI per easy Doppler bin (drawn evenly
+    /// from the first third of the range extent; three CPIs are stacked).
+    pub easy_samples_per_cpi: usize,
+    /// Number of preceding CPIs stacked for easy training (paper: 3).
+    pub easy_history: usize,
+    /// Training samples drawn per (hard bin, range segment) per update.
+    pub hard_samples: usize,
+    /// Transmit pulse replica length in range samples (for pulse
+    /// compression).
+    pub replica_len: usize,
+    /// CFAR: reference cells summed across both sides of the test cell.
+    pub cfar_window: usize,
+    /// CFAR: guard cells each side of the test cell.
+    pub cfar_guard: usize,
+    /// CFAR: threshold multiplier (probability-of-false-alarm factor).
+    pub cfar_scale: f64,
+}
+
+impl StapParams {
+    /// The exact parameter set of the paper's Section 7 experiments.
+    pub fn paper() -> Self {
+        StapParams {
+            k_range: 512,
+            j_channels: 16,
+            n_pulses: 128,
+            m_beams: 6,
+            n_hard: 56,
+            stagger: 3,
+            window: Window::Hanning,
+            range_correction_exponent: 0.0,
+            range_segments: vec![0, 75, 150, 225, 300, 375, 512],
+            beam_constraint_wt: 0.5,
+            forgetting_factor: 0.6,
+            easy_samples_per_cpi: 16,
+            easy_history: 3,
+            hard_samples: 32,
+            replica_len: 32,
+            // 154 reference cells in total (77 per side) makes the
+            // closed-form CFAR count land on the paper's 1,690,368.
+            cfar_window: 154,
+            cfar_guard: 2,
+            cfar_scale: 12.0,
+        }
+    }
+
+    /// A shrunk geometry matching `stap_radar::Scenario::reduced`:
+    /// `K = 64`, `J = 8`, `N = 32`, `M = 4`, 14 hard bins, 4 segments.
+    pub fn reduced() -> Self {
+        StapParams {
+            k_range: 64,
+            j_channels: 8,
+            n_pulses: 32,
+            m_beams: 4,
+            n_hard: 14,
+            stagger: 3,
+            window: Window::Hanning,
+            range_correction_exponent: 0.0,
+            range_segments: vec![0, 16, 32, 48, 64],
+            beam_constraint_wt: 0.5,
+            forgetting_factor: 0.6,
+            easy_samples_per_cpi: 12,
+            easy_history: 3,
+            hard_samples: 20,
+            replica_len: 8,
+            cfar_window: 16,
+            cfar_guard: 2,
+            cfar_scale: 10.0,
+        }
+    }
+
+    /// Number of easy Doppler bins (`N - N_hard`; paper: 72).
+    pub fn n_easy(&self) -> usize {
+        self.n_pulses - self.n_hard
+    }
+
+    /// Number of hard range segments (paper: 6).
+    pub fn num_segments(&self) -> usize {
+        self.range_segments.len() - 1
+    }
+
+    /// Range extent of segment `s`.
+    pub fn segment_range(&self, s: usize) -> std::ops::Range<usize> {
+        self.range_segments[s]..self.range_segments[s + 1]
+    }
+
+    /// True when Doppler bin `bin` is "hard" (close to mainbeam clutter,
+    /// which the receiver centers at zero Doppler): the first and last
+    /// `n_hard / 2` bins.
+    pub fn is_hard(&self, bin: usize) -> bool {
+        debug_assert!(bin < self.n_pulses);
+        bin < self.n_hard / 2 || bin >= self.n_pulses - self.n_hard / 2
+    }
+
+    /// Hard Doppler bins in ascending order.
+    pub fn hard_bins(&self) -> Vec<usize> {
+        (0..self.n_pulses).filter(|&b| self.is_hard(b)).collect()
+    }
+
+    /// Easy Doppler bins in ascending order.
+    pub fn easy_bins(&self) -> Vec<usize> {
+        (0..self.n_pulses).filter(|&b| !self.is_hard(b)).collect()
+    }
+
+    /// Validates internal consistency; call once after manual edits.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_hard % 2 != 0 {
+            return Err("n_hard must be even (split around zero Doppler)".into());
+        }
+        if self.n_hard >= self.n_pulses {
+            return Err("n_hard must be less than n_pulses".into());
+        }
+        if self.stagger == 0 || self.stagger >= self.n_pulses {
+            return Err("stagger must be in 1..n_pulses".into());
+        }
+        if self.range_segments.first() != Some(&0)
+            || self.range_segments.last() != Some(&self.k_range)
+        {
+            return Err("range segments must span 0..k_range".into());
+        }
+        if !self.range_segments.windows(2).all(|w| w[0] < w[1]) {
+            return Err("range segments must be strictly increasing".into());
+        }
+        if self.easy_samples_per_cpi * self.easy_history < self.j_channels {
+            return Err("easy training must provide at least J samples".into());
+        }
+        if self.replica_len == 0 || self.replica_len > self.k_range {
+            return Err("replica length must be in 1..=k_range".into());
+        }
+        if self.cfar_window == 0 || self.cfar_window % 2 != 0 {
+            return Err("cfar_window must be positive and even".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_parameters_match_section7() {
+        let p = StapParams::paper();
+        assert_eq!(p.k_range, 512);
+        assert_eq!(p.j_channels, 16);
+        assert_eq!(p.n_pulses, 128);
+        assert_eq!(p.m_beams, 6);
+        assert_eq!(p.n_easy(), 72);
+        assert_eq!(p.n_hard, 56);
+        assert_eq!(p.num_segments(), 6);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn hard_bins_hug_zero_doppler() {
+        let p = StapParams::paper();
+        let hard = p.hard_bins();
+        assert_eq!(hard.len(), 56);
+        assert!(hard.contains(&0));
+        assert!(hard.contains(&27));
+        assert!(!hard.contains(&28));
+        assert!(!hard.contains(&99));
+        assert!(hard.contains(&100));
+        assert!(hard.contains(&127));
+    }
+
+    #[test]
+    fn easy_and_hard_bins_partition_all_bins() {
+        let p = StapParams::reduced();
+        let mut all = p.hard_bins();
+        all.extend(p.easy_bins());
+        all.sort_unstable();
+        assert_eq!(all, (0..p.n_pulses).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn segment_ranges_cover_k() {
+        let p = StapParams::paper();
+        let mut covered = 0;
+        for s in 0..p.num_segments() {
+            covered += p.segment_range(s).len();
+        }
+        assert_eq!(covered, 512);
+        assert_eq!(p.segment_range(5), 375..512);
+    }
+
+    #[test]
+    fn reduced_parameters_validate() {
+        StapParams::reduced().validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_bad_segments() {
+        let mut p = StapParams::paper();
+        p.range_segments = vec![0, 100, 100, 512];
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_odd_n_hard() {
+        let mut p = StapParams::paper();
+        p.n_hard = 55;
+        assert!(p.validate().is_err());
+    }
+}

@@ -1,0 +1,148 @@
+//! Range-Doppler map rendering (binary PGM, no dependencies).
+//!
+//! Turns one beam's `(N, K)` power slice into a grayscale image with a
+//! logarithmic (dB) intensity mapping — the picture a radar operator's
+//! display draws, and a convenient artifact for inspecting what the
+//! pipeline produced (`examples/rtmcarm_flight.rs` can drop one per
+//! CPI).
+
+use stap_cube::RCube;
+use std::io::Write;
+use std::path::Path;
+
+/// Rendering options.
+#[derive(Clone, Copy, Debug)]
+pub struct RenderOptions {
+    /// Dynamic range below the peak, in dB (values below map to black).
+    pub dynamic_range_db: f64,
+    /// Optional fixed peak (linear power); `None` = the slice's max.
+    pub peak: Option<f64>,
+}
+
+impl Default for RenderOptions {
+    fn default() -> Self {
+        RenderOptions {
+            dynamic_range_db: 50.0,
+            peak: None,
+        }
+    }
+}
+
+/// Renders beam `beam` of a `(N, M, K)` power cube into 8-bit grayscale,
+/// rows = Doppler bins (top = bin 0), columns = range cells. Returns
+/// `(width, height, pixels)`.
+pub fn render_beam(power: &RCube, beam: usize, opts: &RenderOptions) -> (usize, usize, Vec<u8>) {
+    let [n, m, k] = power.shape();
+    assert!(beam < m, "beam index out of range");
+    let peak = opts.peak.unwrap_or_else(|| {
+        (0..n)
+            .flat_map(|b| power.lane(b, beam).iter().copied())
+            .fold(0.0f64, f64::max)
+    });
+    let peak = peak.max(1e-300);
+    let dr = opts.dynamic_range_db.max(1.0);
+    let mut pixels = Vec::with_capacity(n * k);
+    for bin in 0..n {
+        for &v in power.lane(bin, beam) {
+            let db = 10.0 * (v / peak).max(1e-30).log10();
+            let t = ((db + dr) / dr).clamp(0.0, 1.0);
+            pixels.push((t * 255.0).round() as u8);
+        }
+    }
+    (k, n, pixels)
+}
+
+/// Writes 8-bit grayscale pixels as a binary PGM (P5) file.
+pub fn write_pgm(
+    path: &Path,
+    width: usize,
+    height: usize,
+    pixels: &[u8],
+) -> std::io::Result<()> {
+    assert_eq!(pixels.len(), width * height, "pixel buffer size mismatch");
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write!(f, "P5\n{width} {height}\n255\n")?;
+    f.write_all(pixels)?;
+    f.flush()
+}
+
+/// Convenience: render beam `beam` of `power` straight to a PGM file.
+pub fn save_range_doppler_map(
+    power: &RCube,
+    beam: usize,
+    path: &Path,
+    opts: &RenderOptions,
+) -> std::io::Result<()> {
+    let (w, h, px) = render_beam(power, beam, opts);
+    write_pgm(path, w, h, &px)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cube_with_peak() -> RCube {
+        let mut c = RCube::from_fn([16, 2, 32], |_, _, _| 1.0);
+        c[(5, 0, 20)] = 1e5;
+        c
+    }
+
+    #[test]
+    fn peak_maps_to_white_floor_to_black() {
+        let c = cube_with_peak();
+        let (w, h, px) = render_beam(&c, 0, &RenderOptions::default());
+        assert_eq!((w, h), (32, 16));
+        assert_eq!(px[5 * 32 + 20], 255, "peak must be white");
+        // Background is 50 dB below the peak: black.
+        assert_eq!(px[0], 0, "floor must be black");
+    }
+
+    #[test]
+    fn dynamic_range_controls_visibility() {
+        let c = cube_with_peak();
+        // With 120 dB of range, the unit background (-50 dB) is gray.
+        let (_, _, px) = render_beam(
+            &c,
+            0,
+            &RenderOptions {
+                dynamic_range_db: 120.0,
+                peak: None,
+            },
+        );
+        assert!(px[0] > 80 && px[0] < 200, "background gray: {}", px[0]);
+    }
+
+    #[test]
+    fn fixed_peak_keeps_scaling_stable_across_frames() {
+        let c = cube_with_peak();
+        let opts = RenderOptions {
+            dynamic_range_db: 50.0,
+            peak: Some(1e5),
+        };
+        let quiet = RCube::from_fn([16, 2, 32], |_, _, _| 1.0);
+        let (_, _, a) = render_beam(&c, 0, &opts);
+        let (_, _, b) = render_beam(&quiet, 0, &opts);
+        // Same background level in both frames.
+        assert_eq!(a[0], b[0]);
+    }
+
+    #[test]
+    fn pgm_file_roundtrips_header_and_size() {
+        let dir = std::env::temp_dir().join("stap_render_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("map.pgm");
+        let c = cube_with_peak();
+        save_range_doppler_map(&c, 1, &path, &RenderOptions::default()).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let header = b"P5\n32 16\n255\n";
+        assert!(bytes.starts_with(header));
+        assert_eq!(bytes.len(), header.len() + 32 * 16);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "beam index")]
+    fn bad_beam_panics() {
+        render_beam(&cube_with_peak(), 9, &RenderOptions::default());
+    }
+}

@@ -1,0 +1,174 @@
+//! SINR metrics for adaptive weights.
+//!
+//! The paper evaluates *parallel performance*; these metrics evaluate the
+//! *adaptive* performance of the weights the pipeline computes — output
+//! signal-to-interference-plus-noise ratio, SINR loss against the
+//! optimal (fully known covariance) processor, and angle-Doppler
+//! response surfaces. They power the jammer/clutter examples and the
+//! regression tests that pin the algorithm's clutter-rejection quality.
+
+use stap_math::cholesky::{solve_hpd, CholeskyError};
+use stap_math::{CMat, Cx};
+
+/// Output SINR of weight column `w` for a unit-power signal along `s`
+/// under interference-plus-noise covariance `r`:
+/// `|w^H s|^2 / (w^H R w)`.
+pub fn sinr(w: &[Cx], s: &[Cx], r: &CMat) -> f64 {
+    assert_eq!(w.len(), s.len(), "weight/steering length mismatch");
+    assert_eq!(r.rows(), w.len(), "covariance dimension mismatch");
+    let mut num = Cx::new(0.0, 0.0);
+    for (wi, si) in w.iter().zip(s) {
+        num += wi.conj() * *si;
+    }
+    let rw = r.matvec(w);
+    let mut den = 0.0;
+    for (wi, rwi) in w.iter().zip(&rw) {
+        den += (wi.conj() * *rwi).re;
+    }
+    num.norm_sqr() / den.max(1e-300)
+}
+
+/// The optimal achievable SINR, `s^H R^{-1} s` (attained by
+/// `w = R^{-1} s` up to scale).
+pub fn optimal_sinr(s: &[Cx], r: &CMat) -> Result<f64, CholeskyError> {
+    let n = s.len();
+    let rhs = CMat::from_fn(n, 1, |i, _| s[i]);
+    let x = solve_hpd(r, &rhs)?;
+    let mut acc = Cx::new(0.0, 0.0);
+    for i in 0..n {
+        acc += s[i].conj() * x[(i, 0)];
+    }
+    Ok(acc.re.max(0.0))
+}
+
+/// SINR loss of `w` relative to the optimal processor, in `[0, 1]`
+/// (1 = optimal).
+pub fn sinr_loss(w: &[Cx], s: &[Cx], r: &CMat) -> Result<f64, CholeskyError> {
+    let opt = optimal_sinr(s, r)?;
+    Ok((sinr(w, s, r) / opt.max(1e-300)).min(1.0))
+}
+
+/// The optimal (known-covariance) weight `R^{-1} s`, unit normalized —
+/// a gold standard for tests.
+pub fn optimal_weight(s: &[Cx], r: &CMat) -> Result<Vec<Cx>, CholeskyError> {
+    let n = s.len();
+    let rhs = CMat::from_fn(n, 1, |i, _| s[i]);
+    let x = solve_hpd(r, &rhs)?;
+    let norm: f64 = (0..n).map(|i| x[(i, 0)].norm_sqr()).sum::<f64>().sqrt();
+    Ok((0..n).map(|i| x[(i, 0)].scale(1.0 / norm)).collect())
+}
+
+/// Builds a rank-structured covariance `sum_k p_k v_k v_k^H + noise I`
+/// from (power, direction-vector) pairs — the analytic scene model used
+/// by tests and examples.
+pub fn structured_covariance(components: &[(f64, Vec<Cx>)], noise: f64, n: usize) -> CMat {
+    let mut r = CMat::identity(n).scale(noise);
+    for (p, v) in components {
+        assert_eq!(v.len(), n, "component dimension mismatch");
+        for i in 0..n {
+            for j in 0..n {
+                r[(i, j)] += (v[i] * v[j].conj()).scale(*p);
+            }
+        }
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stap_radar::steering::doppler_steering;
+    use stap_radar::ArrayGeometry;
+
+    fn scene() -> (ArrayGeometry, Vec<Cx>, CMat) {
+        let geom = ArrayGeometry::small(8);
+        let s = geom.steering(0.0);
+        // 25 deg: off the quiescent pattern nulls of an 8-element array
+        let jam = geom.steering(25.0);
+        let r = structured_covariance(&[(1000.0, jam)], 1.0, 8);
+        (geom, s, r)
+    }
+
+    #[test]
+    fn optimal_weight_achieves_optimal_sinr() {
+        let (_g, s, r) = scene();
+        let w = optimal_weight(&s, &r).unwrap();
+        let loss = sinr_loss(&w, &s, &r).unwrap();
+        assert!((loss - 1.0).abs() < 1e-10, "loss {loss}");
+    }
+
+    #[test]
+    fn quiescent_weight_suffers_in_interference() {
+        let (_g, s, r) = scene();
+        // Steering vector as weight: the jammer leaks in.
+        let loss = sinr_loss(&s, &s, &r).unwrap();
+        assert!(loss < 0.2, "quiescent loss should be severe: {loss}");
+    }
+
+    #[test]
+    fn sinr_is_scale_invariant_in_w() {
+        let (_g, s, r) = scene();
+        let w = optimal_weight(&s, &r).unwrap();
+        let w2: Vec<Cx> = w.iter().map(|x| x.scale(7.5)).collect();
+        let a = sinr(&w, &s, &r);
+        let b = sinr(&w2, &s, &r);
+        assert!((a - b).abs() < 1e-9 * a);
+    }
+
+    #[test]
+    fn white_noise_sinr_equals_array_gain() {
+        // With R = I and w = s (unit norm), SINR = |s^H s|^2 / s^H s = 1.
+        let g = ArrayGeometry::small(8);
+        let s = g.steering(10.0);
+        let r = CMat::identity(8);
+        let got = sinr(&s, &s, &r);
+        assert!((got - 1.0).abs() < 1e-12, "{got}");
+        // Un-normalized steering (gain J) gives SINR J for unit-power
+        // element signals.
+        let s_raw: Vec<Cx> = s.iter().map(|x| x.scale((8f64).sqrt())).collect();
+        let got = sinr(&s_raw, &s_raw, &r);
+        assert!((got - 8.0).abs() < 1e-9, "{got}");
+    }
+
+    #[test]
+    fn optimal_sinr_grows_with_interference_removal() {
+        let (_g, s, r) = scene();
+        let opt = optimal_sinr(&s, &r).unwrap();
+        let white = optimal_sinr(&s, &CMat::identity(8)).unwrap();
+        // Jammer at 25 deg is outside the mainbeam: optimal processor
+        // recovers most of the white-noise SINR.
+        assert!(opt > 0.5 * white, "opt {opt} vs white {white}");
+        assert!(opt < white, "cannot beat interference-free");
+    }
+
+    #[test]
+    fn space_time_sinr_with_clutter_ridge() {
+        // A 2-channel x 4-pulse space-time example: clutter at one
+        // angle-Doppler point, target at another.
+        let geom = ArrayGeometry::small(2);
+        let st = |az: f64, dop: f64| -> Vec<Cx> {
+            let sp = geom.steering(az);
+            let tm = doppler_steering(dop, 4);
+            let mut v = Vec::with_capacity(8);
+            for t in &tm {
+                for s in &sp {
+                    v.push(*t * *s);
+                }
+            }
+            v
+        };
+        let clutter = st(20.0, 0.05);
+        let target = st(0.0, 0.3);
+        let r = structured_covariance(&[(1000.0, clutter)], 1.0, 8);
+        let w = optimal_weight(&target, &r).unwrap();
+        let loss = sinr_loss(&w, &target, &r).unwrap();
+        assert!((loss - 1.0).abs() < 1e-9);
+        // And the clutter direction is deeply nulled.
+        let cl = st(20.0, 0.05);
+        let mut resp = Cx::new(0.0, 0.0);
+        for (wi, ci) in w.iter().zip(&cl) {
+            resp += wi.conj() * *ci;
+        }
+        assert!(resp.abs() < 0.05, "clutter response {}", resp.abs());
+    }
+}

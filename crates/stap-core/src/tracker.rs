@@ -1,0 +1,285 @@
+//! Post-detection tracking: CFAR reports to target tracks.
+//!
+//! The pipeline's output is "a report on the detection of possible
+//! targets" per CPI; a radar system associates those reports across
+//! CPIs into tracks. This module provides a conventional nearest-
+//! neighbour / alpha-beta tracker over the (range, Doppler bin, beam)
+//! measurement space — enough to follow the scenario generator's
+//! range-migrating targets and to reject isolated CFAR false alarms,
+//! and a natural consumer of the pipeline's per-CPI detection stream.
+
+use crate::cfar::Detection;
+use serde::Serialize;
+
+/// Tracker tuning.
+#[derive(Clone, Debug)]
+pub struct TrackerConfig {
+    /// Association gate in range cells.
+    pub range_gate: f64,
+    /// Association gate in Doppler bins.
+    pub bin_gate: f64,
+    /// Alpha (position) gain of the alpha-beta filter.
+    pub alpha: f64,
+    /// Beta (velocity) gain.
+    pub beta: f64,
+    /// Updates needed before a track is confirmed.
+    pub confirm_hits: usize,
+    /// Consecutive misses before a track is dropped.
+    pub max_misses: usize,
+}
+
+impl Default for TrackerConfig {
+    fn default() -> Self {
+        TrackerConfig {
+            range_gate: 4.0,
+            bin_gate: 1.5,
+            alpha: 0.6,
+            beta: 0.3,
+            confirm_hits: 2,
+            max_misses: 3,
+        }
+    }
+}
+
+/// One track's state.
+#[derive(Clone, Debug, Serialize)]
+pub struct Track {
+    /// Stable track identifier.
+    pub id: usize,
+    /// Receive beam the track lives in.
+    pub beam: usize,
+    /// Doppler bin (fixed per track; targets don't jump bins in-gate).
+    pub bin: f64,
+    /// Filtered range estimate, cells.
+    pub range: f64,
+    /// Filtered range rate, cells per CPI of this beam.
+    pub range_rate: f64,
+    /// Total associated detections.
+    pub hits: usize,
+    /// Consecutive missed updates.
+    pub misses: usize,
+    /// True once `confirm_hits` updates have been associated.
+    pub confirmed: bool,
+}
+
+/// Nearest-neighbour alpha-beta tracker.
+pub struct Tracker {
+    cfg: TrackerConfig,
+    tracks: Vec<Track>,
+    next_id: usize,
+}
+
+impl Tracker {
+    /// Creates an empty tracker.
+    pub fn new(cfg: TrackerConfig) -> Self {
+        Tracker {
+            cfg,
+            tracks: Vec::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Current tracks (confirmed and tentative).
+    pub fn tracks(&self) -> &[Track] {
+        &self.tracks
+    }
+
+    /// Confirmed tracks only.
+    pub fn confirmed(&self) -> impl Iterator<Item = &Track> {
+        self.tracks.iter().filter(|t| t.confirmed)
+    }
+
+    /// Ingests one CPI's detections (pre-clustered is best; see
+    /// [`crate::cfar::cluster`]). Call once per CPI of the *same*
+    /// azimuth stream; multi-beam systems run one tracker per azimuth.
+    pub fn update(&mut self, detections: &[Detection]) {
+        // Predict.
+        for t in &mut self.tracks {
+            t.range += t.range_rate;
+        }
+        // Greedy nearest-neighbour association (detections are few after
+        // clustering; O(T x D) is fine).
+        let mut used = vec![false; detections.len()];
+        for t in &mut self.tracks {
+            let mut best: Option<(usize, f64)> = None;
+            for (i, d) in detections.iter().enumerate() {
+                if used[i] || d.beam != t.beam {
+                    continue;
+                }
+                let dr = (d.range as f64 - t.range) / self.cfg.range_gate;
+                let db = (d.bin as f64 - t.bin) / self.cfg.bin_gate;
+                let dist = dr * dr + db * db;
+                if dist <= 1.0 && best.map_or(true, |(_, bd)| dist < bd) {
+                    best = Some((i, dist));
+                }
+            }
+            match best {
+                Some((i, _)) => {
+                    used[i] = true;
+                    let d = &detections[i];
+                    let residual = d.range as f64 - t.range;
+                    t.range += self.cfg.alpha * residual;
+                    t.range_rate += self.cfg.beta * residual;
+                    t.bin = t.bin + 0.5 * (d.bin as f64 - t.bin);
+                    t.hits += 1;
+                    t.misses = 0;
+                    if t.hits >= self.cfg.confirm_hits {
+                        t.confirmed = true;
+                    }
+                }
+                None => t.misses += 1,
+            }
+        }
+        // Drop stale tracks.
+        let max_misses = self.cfg.max_misses;
+        self.tracks.retain(|t| t.misses < max_misses);
+        // Spawn tentative tracks from unassociated detections.
+        for (i, d) in detections.iter().enumerate() {
+            if used[i] {
+                continue;
+            }
+            self.tracks.push(Track {
+                id: self.next_id,
+                beam: d.beam,
+                bin: d.bin as f64,
+                range: d.range as f64,
+                range_rate: 0.0,
+                hits: 1,
+                misses: 0,
+                confirmed: self.cfg.confirm_hits <= 1,
+            });
+            self.next_id += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det(bin: usize, beam: usize, range: usize) -> Detection {
+        Detection {
+            bin,
+            beam,
+            range,
+            power: 100.0,
+            threshold: 10.0,
+        }
+    }
+
+    #[test]
+    fn stationary_target_confirms_and_persists() {
+        let mut tk = Tracker::new(TrackerConfig::default());
+        for _ in 0..4 {
+            tk.update(&[det(8, 1, 40)]);
+        }
+        let tracks: Vec<&Track> = tk.confirmed().collect();
+        assert_eq!(tracks.len(), 1);
+        let t = tracks[0];
+        assert!((t.range - 40.0).abs() < 0.5);
+        assert!(t.range_rate.abs() < 0.2);
+        assert_eq!(t.beam, 1);
+    }
+
+    #[test]
+    fn moving_target_velocity_is_estimated() {
+        let mut tk = Tracker::new(TrackerConfig::default());
+        for i in 0..8 {
+            tk.update(&[det(8, 0, 40 + 2 * i)]);
+        }
+        let t = tk.confirmed().next().expect("track confirmed");
+        assert!(
+            (t.range_rate - 2.0).abs() < 0.5,
+            "estimated rate {}",
+            t.range_rate
+        );
+        assert!((t.range - 54.0).abs() < 2.0, "range {}", t.range);
+    }
+
+    #[test]
+    fn isolated_false_alarms_never_confirm() {
+        let mut tk = Tracker::new(TrackerConfig::default());
+        // One-off detections at scattered locations.
+        tk.update(&[det(3, 0, 10)]);
+        tk.update(&[det(20, 2, 50)]);
+        tk.update(&[det(9, 1, 33)]);
+        tk.update(&[]);
+        tk.update(&[]);
+        tk.update(&[]);
+        assert_eq!(tk.confirmed().count(), 0);
+        // And the tentative tracks die after max_misses.
+        assert!(tk.tracks().is_empty(), "{:?}", tk.tracks());
+    }
+
+    #[test]
+    fn two_targets_keep_separate_tracks() {
+        let mut tk = Tracker::new(TrackerConfig::default());
+        for i in 0..5 {
+            tk.update(&[det(8, 0, 20 + i), det(24, 0, 50)]);
+        }
+        let mut confirmed: Vec<&Track> = tk.confirmed().collect();
+        confirmed.sort_by(|a, b| a.range.total_cmp(&b.range));
+        assert_eq!(confirmed.len(), 2);
+        assert!(confirmed[0].range < 30.0);
+        assert!((confirmed[1].range - 50.0).abs() < 1.0);
+        assert_ne!(confirmed[0].id, confirmed[1].id);
+    }
+
+    #[test]
+    fn track_survives_a_missed_cpi() {
+        let mut tk = Tracker::new(TrackerConfig::default());
+        for i in 0..3 {
+            tk.update(&[det(8, 0, 40 + i)]);
+        }
+        tk.update(&[]); // fade
+        tk.update(&[det(8, 0, 44)]); // reappears on the predicted path
+        let t = tk.confirmed().next().expect("track survived the miss");
+        assert_eq!(t.hits, 4);
+        assert!((t.range - 44.0).abs() < 1.5);
+    }
+
+    #[test]
+    fn beams_do_not_cross_associate() {
+        let mut tk = Tracker::new(TrackerConfig::default());
+        for _ in 0..3 {
+            tk.update(&[det(8, 0, 40), det(8, 1, 40)]);
+        }
+        assert_eq!(tk.confirmed().count(), 2, "one track per beam");
+    }
+
+    #[test]
+    fn end_to_end_with_the_pipeline_detections() {
+        // Feed the tracker from the actual STAP chain on a migrating
+        // target.
+        use crate::cfar::cluster;
+        use crate::{SequentialStap, StapParams};
+        use stap_radar::{Scenario, Target};
+        let params = StapParams::reduced();
+        let mut scenario = Scenario::reduced(2025);
+        scenario.targets = vec![Target {
+            range_rate: 1.5,
+            ..Target::fixed(20, 0.25, 2.0, 12.0)
+        }];
+        let mut stap = SequentialStap::for_scenario(params, &scenario);
+        let mut tk = Tracker::new(TrackerConfig::default());
+        for (_, _, cpi) in scenario.stream(8) {
+            let out = stap.process_cpi(0, &cpi);
+            tk.update(&cluster(&out.detections));
+        }
+        let on_target: Vec<&Track> = tk
+            .confirmed()
+            .filter(|t| (t.bin - 8.0).abs() <= 1.5 && t.hits >= 4)
+            .collect();
+        assert!(
+            !on_target.is_empty(),
+            "no confirmed track on the target: {:?}",
+            tk.tracks()
+        );
+        let t = on_target[0];
+        assert!(
+            (t.range_rate - 1.5).abs() < 0.7,
+            "range rate {} (true 1.5)",
+            t.range_rate
+        );
+    }
+}

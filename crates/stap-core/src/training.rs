@@ -1,0 +1,192 @@
+//! Training-sample selection and per-azimuth history.
+//!
+//! Easy bins: "the entire training set was drawn from three preceding
+//! CPIs in this azimuth beam position", sampled "by evenly spacing out
+//! over the first one third of K range cells". Easy training uses only
+//! the first (un-staggered) window — "range samples only from the first
+//! half of the staggered CPI data".
+//!
+//! Hard bins: each of the six range segments draws its own samples from
+//! the *entire* staggered CPI (both windows, `2J` columns), combined with
+//! exponentially forgotten data from earlier CPIs in the same azimuth
+//! through the recursive QR state (held in `weights`).
+
+use crate::params::StapParams;
+use stap_cube::CCube;
+use stap_math::CMat;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::ops::Range;
+
+/// `count` indices evenly spaced across `range` (deterministic, sorted,
+/// no repeats unless `count` exceeds the range length).
+pub fn evenly_spaced(range: Range<usize>, count: usize) -> Vec<usize> {
+    let len = range.len();
+    assert!(len > 0, "cannot sample an empty range");
+    (0..count)
+        .map(|i| range.start + (i * len) / count.max(1))
+        .collect()
+}
+
+/// Range-cell indices for easy training (first third of the range
+/// extent).
+pub fn easy_training_cells(params: &StapParams) -> Vec<usize> {
+    evenly_spaced(0..params.k_range / 3, params.easy_samples_per_cpi)
+}
+
+/// Range-cell indices for hard training in segment `seg`.
+pub fn hard_training_cells(params: &StapParams, seg: usize) -> Vec<usize> {
+    let r = params.segment_range(seg);
+    let count = params.hard_samples.min(r.len());
+    evenly_spaced(r, count)
+}
+
+/// Gathers the easy training snapshot for one Doppler `bin`: a
+/// `samples x J` matrix whose rows are *conjugated* range-cell snapshots
+/// of the first (un-staggered) window — `x^H`, not `x^T` — so that
+/// minimizing `||X w||` minimizes the adjoint-convention beamformer
+/// response `w^H x` (the MATLAB reference pairs un-conjugated rows with
+/// a plain-transpose weight application; the conventions are equivalent).
+/// `staggered` is the full `(K, 2J, N)` cube.
+pub fn easy_snapshot(staggered: &CCube, params: &StapParams, bin: usize) -> CMat {
+    let cells = easy_training_cells(params);
+    let j = params.j_channels;
+    CMat::from_fn(cells.len(), j, |row, ch| {
+        staggered[(cells[row], ch, bin)].conj()
+    })
+}
+
+/// Gathers the hard training snapshot for `(bin, seg)`: a
+/// `samples x 2J` matrix of conjugated snapshots over both stagger
+/// windows (see [`easy_snapshot`] for the conjugation rationale).
+pub fn hard_snapshot(staggered: &CCube, params: &StapParams, bin: usize, seg: usize) -> CMat {
+    let cells = hard_training_cells(params, seg);
+    let jj = 2 * params.j_channels;
+    CMat::from_fn(cells.len(), jj, |row, ch| {
+        staggered[(cells[row], ch, bin)].conj()
+    })
+}
+
+/// Rolling per-azimuth store of easy training snapshots.
+///
+/// Keyed by transmit-beam index; holds the last `easy_history` CPIs'
+/// snapshots (one `samples x J` matrix per easy bin each).
+#[derive(Default)]
+pub struct EasyTrainingStore {
+    history: HashMap<usize, VecDeque<Vec<CMat>>>,
+    depth: usize,
+}
+
+impl EasyTrainingStore {
+    /// Creates a store holding `depth` CPIs per azimuth (paper: 3).
+    pub fn new(depth: usize) -> Self {
+        EasyTrainingStore {
+            history: HashMap::new(),
+            depth,
+        }
+    }
+
+    /// Pushes the snapshots (indexed by easy-bin order) of a new CPI for
+    /// `beam`, evicting the oldest beyond the depth — the MATLAB
+    /// reference's "shift data from previous two CPIs up, overwriting
+    /// data from CPI N-3".
+    pub fn push(&mut self, beam: usize, snapshots: Vec<CMat>) {
+        let q = self.history.entry(beam).or_default();
+        q.push_back(snapshots);
+        while q.len() > self.depth {
+            q.pop_front();
+        }
+    }
+
+    /// Stacks the stored history for `(beam, easy-bin index)` into one
+    /// training matrix (oldest first). Returns `None` when no history
+    /// exists yet for this azimuth.
+    pub fn stacked(&self, beam: usize, bin_idx: usize) -> Option<CMat> {
+        let q = self.history.get(&beam)?;
+        let mut iter = q.iter().map(|cpis| &cpis[bin_idx]);
+        let first = iter.next()?.clone();
+        Some(iter.fold(first, |acc, m| acc.vstack(m)))
+    }
+
+    /// Number of CPIs currently stored for `beam`.
+    pub fn depth_of(&self, beam: usize) -> usize {
+        self.history.get(&beam).map_or(0, |q| q.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stap_math::Cx;
+
+    #[test]
+    fn evenly_spaced_covers_range_without_overflow() {
+        let idx = evenly_spaced(10..40, 8);
+        assert_eq!(idx.len(), 8);
+        assert!(idx.iter().all(|&i| (10..40).contains(&i)));
+        assert!(idx.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(idx[0], 10);
+    }
+
+    #[test]
+    fn easy_cells_stay_in_first_third() {
+        let p = StapParams::paper();
+        let cells = easy_training_cells(&p);
+        assert_eq!(cells.len(), p.easy_samples_per_cpi);
+        assert!(cells.iter().all(|&c| c < p.k_range / 3));
+    }
+
+    #[test]
+    fn hard_cells_stay_in_segment() {
+        let p = StapParams::paper();
+        for seg in 0..p.num_segments() {
+            let cells = hard_training_cells(&p, seg);
+            let r = p.segment_range(seg);
+            assert!(cells.iter().all(|&c| r.contains(&c)), "segment {seg}");
+            assert_eq!(cells.len(), p.hard_samples.min(r.len()));
+        }
+    }
+
+    #[test]
+    fn snapshots_pick_correct_elements() {
+        let p = StapParams::reduced();
+        let cube = CCube::from_fn([p.k_range, 2 * p.j_channels, p.n_pulses], |k, c, n| {
+            Cx::new(k as f64, (c * 1000 + n) as f64)
+        });
+        let bin = 5;
+        let se = easy_snapshot(&cube, &p, bin);
+        assert_eq!(se.shape(), (p.easy_samples_per_cpi, p.j_channels));
+        let cells = easy_training_cells(&p);
+        for (row, &cell) in cells.iter().enumerate() {
+            for ch in 0..p.j_channels {
+                assert_eq!(se[(row, ch)], cube[(cell, ch, bin)].conj());
+            }
+        }
+        let sh = hard_snapshot(&cube, &p, bin, 1);
+        assert_eq!(sh.shape(), (p.hard_samples.min(16), 2 * p.j_channels));
+    }
+
+    #[test]
+    fn store_evicts_beyond_depth_and_stacks_in_order() {
+        let mut store = EasyTrainingStore::new(3);
+        let snap = |v: f64| vec![CMat::from_fn(2, 2, |_, _| Cx::real(v))];
+        for i in 0..5 {
+            store.push(0, snap(i as f64));
+        }
+        assert_eq!(store.depth_of(0), 3);
+        let stacked = store.stacked(0, 0).unwrap();
+        assert_eq!(stacked.shape(), (6, 2));
+        // Oldest first: CPIs 2, 3, 4.
+        assert_eq!(stacked[(0, 0)], Cx::real(2.0));
+        assert_eq!(stacked[(2, 0)], Cx::real(3.0));
+        assert_eq!(stacked[(4, 0)], Cx::real(4.0));
+    }
+
+    #[test]
+    fn store_separates_azimuths() {
+        let mut store = EasyTrainingStore::new(2);
+        store.push(0, vec![CMat::identity(2)]);
+        assert!(store.stacked(1, 0).is_none());
+        assert!(store.stacked(0, 0).is_some());
+    }
+}

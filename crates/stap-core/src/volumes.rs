@@ -1,0 +1,120 @@
+//! Inter-task data volumes (per CPI), in samples.
+//!
+//! These drive the machine model's communication costs and reproduce the
+//! relative arrow thicknesses of the paper's Figure 4: the Doppler task
+//! sends *gathered subsets* of range cells to the weight tasks ("data
+//! collection is performed to avoid sending redundant data") but full
+//! range extents to the beamformers.
+//!
+//! All values are complex-sample counts except [`pc_to_cfar_real`], which
+//! is in real samples — "the square of the magnitude ... cuts the data
+//! set size in half".
+
+use crate::params::StapParams;
+
+/// Doppler -> easy weight: gathered training cells, first window only.
+pub fn doppler_to_easy_weight(p: &StapParams) -> u64 {
+    (p.n_easy() * p.j_channels * p.easy_samples_per_cpi) as u64
+}
+
+/// Doppler -> hard weight: per-segment gathered cells, both windows.
+pub fn doppler_to_hard_weight(p: &StapParams) -> u64 {
+    let per_seg: usize = (0..p.num_segments())
+        .map(|s| p.hard_samples.min(p.segment_range(s).len()))
+        .sum();
+    (p.n_hard * 2 * p.j_channels * per_seg) as u64
+}
+
+/// Doppler -> easy beamforming: all range cells of the easy bins, first
+/// window.
+pub fn doppler_to_easy_bf(p: &StapParams) -> u64 {
+    (p.n_easy() * p.j_channels * p.k_range) as u64
+}
+
+/// Doppler -> hard beamforming: all range cells of the hard bins, both
+/// windows.
+pub fn doppler_to_hard_bf(p: &StapParams) -> u64 {
+    (p.n_hard * 2 * p.j_channels * p.k_range) as u64
+}
+
+/// Easy weight -> easy beamforming: one `J x M` weight matrix per easy
+/// bin.
+pub fn easy_weight_to_easy_bf(p: &StapParams) -> u64 {
+    (p.n_easy() * p.j_channels * p.m_beams) as u64
+}
+
+/// Hard weight -> hard beamforming: one `2J x M` matrix per (bin,
+/// segment).
+pub fn hard_weight_to_hard_bf(p: &StapParams) -> u64 {
+    (p.num_segments() * p.n_hard * 2 * p.j_channels * p.m_beams) as u64
+}
+
+/// Easy beamforming -> pulse compression.
+pub fn easy_bf_to_pc(p: &StapParams) -> u64 {
+    (p.n_easy() * p.m_beams * p.k_range) as u64
+}
+
+/// Hard beamforming -> pulse compression.
+pub fn hard_bf_to_pc(p: &StapParams) -> u64 {
+    (p.n_hard * p.m_beams * p.k_range) as u64
+}
+
+/// Pulse compression -> CFAR, in *real* samples.
+pub fn pc_to_cfar_real(p: &StapParams) -> u64 {
+    (p.n_pulses * p.m_beams * p.k_range) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beamformer_volumes_dwarf_weight_volumes() {
+        // Figure 4's thick arrows: Doppler sends far more data to the
+        // beamformers than to the weight tasks.
+        let p = StapParams::paper();
+        assert!(doppler_to_easy_bf(&p) > 10 * doppler_to_easy_weight(&p));
+        // Hard weights draw 32 cells per segment (192 of 512 total), so
+        // the ratio is smaller but the BF arrow is still thicker.
+        assert!(doppler_to_hard_bf(&p) > 2 * doppler_to_hard_weight(&p));
+    }
+
+    #[test]
+    fn doppler_outputs_cover_full_staggered_cube_for_bf() {
+        let p = StapParams::paper();
+        // easy (J wide) + hard (2J wide) bins cover every (bin, cell).
+        let total = doppler_to_easy_bf(&p) + doppler_to_hard_bf(&p);
+        let full = (p.n_pulses * 2 * p.j_channels * p.k_range) as u64;
+        assert!(total < full, "easy bins only ship one window");
+        assert_eq!(
+            total,
+            (p.n_easy() * p.j_channels * p.k_range
+                + p.n_hard * 2 * p.j_channels * p.k_range) as u64
+        );
+    }
+
+    #[test]
+    fn paper_scale_magnitudes() {
+        let p = StapParams::paper();
+        // Doppler -> BF dominates: ~2.1M + ~0.9M complex samples.
+        assert_eq!(doppler_to_easy_bf(&p), 72 * 16 * 512);
+        assert_eq!(doppler_to_hard_bf(&p), 56 * 32 * 512);
+        assert_eq!(pc_to_cfar_real(&p), 128 * 6 * 512);
+        // Weight outputs are tiny.
+        assert_eq!(easy_weight_to_easy_bf(&p), 72 * 16 * 6);
+        assert_eq!(hard_weight_to_hard_bf(&p), 6 * 56 * 32 * 6);
+    }
+
+    #[test]
+    fn hard_weight_volume_respects_short_segments() {
+        let mut p = StapParams::paper();
+        p.hard_samples = 1000; // longer than any segment
+        let per_seg: usize = (0..p.num_segments())
+            .map(|s| p.segment_range(s).len())
+            .sum();
+        assert_eq!(
+            doppler_to_hard_weight(&p),
+            (p.n_hard * 2 * p.j_channels * per_seg) as u64
+        );
+    }
+}

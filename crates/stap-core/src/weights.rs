@@ -1,0 +1,396 @@
+//! Tasks 1 and 2: adaptive weight computation.
+//!
+//! Both tasks solve the beam-constrained least squares problem of the
+//! paper's Appendix A: stack clutter training snapshots over a scaled
+//! constraint block, put the steering vector on the constraint rows of
+//! the right-hand side, solve, and normalize. The two tasks differ in
+//! their training data and factorization strategy:
+//!
+//! * **easy** — training stacked from the last three CPIs in this azimuth
+//!   (first stagger window only, `J` columns), fresh QR per CPI;
+//! * **hard** — per (bin, range segment) recursive QR state over both
+//!   stagger windows (`2J` columns), updated with an exponential
+//!   forgetting factor, constrained with the stagger-phase-paired
+//!   identity `[I | e^{-2 pi i d s / N} I]` so both windows combine
+//!   coherently for a target at Doppler bin `d`.
+//!
+//! The weights a call produces are **for the next CPI**: callers feed the
+//! *previous* CPI's staggered cube, which is exactly the temporal
+//! dependency (`TD`) the parallel pipeline exploits to keep weight
+//! computation off the latency-critical path.
+
+use crate::params::StapParams;
+use crate::training::{easy_snapshot, hard_snapshot, EasyTrainingStore};
+use stap_cube::CCube;
+use stap_math::solve::{constrained_lstsq, constrained_lstsq_from_r, normalize_columns};
+use stap_math::qr::qr_update;
+use stap_math::{CMat, Cx};
+use std::collections::HashMap;
+use std::f64::consts::PI;
+
+/// Easy-bin weights: one `J x M` matrix per easy Doppler bin.
+#[derive(Clone, Debug)]
+pub struct EasyWeights {
+    /// Indexed by easy-bin order (`StapParams::easy_bins`).
+    pub per_bin: Vec<CMat>,
+}
+
+/// Hard-bin weights: one `2J x M` matrix per (hard bin, range segment).
+#[derive(Clone, Debug)]
+pub struct HardWeights {
+    /// Outer index: hard-bin order (`StapParams::hard_bins`); inner:
+    /// range segment.
+    pub per_bin: Vec<Vec<CMat>>,
+}
+
+/// The hard-bin constraint matrix `[I_J | e^{-2 pi i d s / N} I_J]`.
+pub fn hard_constraint(params: &StapParams, bin: usize) -> CMat {
+    let j = params.j_channels;
+    let phase = Cx::cis(-2.0 * PI * bin as f64 * params.stagger as f64 / params.n_pulses as f64);
+    CMat::from_fn(j, 2 * j, |r, c| {
+        if c == r {
+            Cx::real(1.0)
+        } else if c == r + j {
+            phase
+        } else {
+            Cx::new(0.0, 0.0)
+        }
+    })
+}
+
+/// Mean element magnitude of a matrix — the MATLAB reference's `average`,
+/// used to scale the constraint block commensurately with the data.
+fn mean_abs(m: &CMat) -> f64 {
+    if m.rows() == 0 || m.cols() == 0 {
+        return 1.0;
+    }
+    let s: f64 = m.as_slice().iter().map(|x| x.abs()).sum();
+    (s / (m.rows() * m.cols()) as f64).max(1e-12)
+}
+
+/// Easy weight computation with per-azimuth training history.
+pub struct EasyWeightComputer {
+    params: StapParams,
+    store: EasyTrainingStore,
+}
+
+impl EasyWeightComputer {
+    /// Creates the computer (empty history).
+    pub fn new(params: &StapParams) -> Self {
+        EasyWeightComputer {
+            params: params.clone(),
+            store: EasyTrainingStore::new(params.easy_history),
+        }
+    }
+
+    /// Quiescent (non-adaptive) weights: the normalized steering vectors,
+    /// used until training history exists for an azimuth.
+    pub fn quiescent(&self, steering: &CMat) -> EasyWeights {
+        let w = normalize_columns(steering.clone());
+        EasyWeights {
+            per_bin: vec![w; self.params.n_easy()],
+        }
+    }
+
+    /// Ingests the previous CPI's staggered cube for azimuth `beam` and
+    /// returns the weights to apply to the *next* CPI in this azimuth.
+    /// `steering` is `J x M`.
+    pub fn process(&mut self, beam: usize, staggered: &CCube, steering: &CMat) -> EasyWeights {
+        let bins = self.params.easy_bins();
+        let snaps: Vec<CMat> = bins
+            .iter()
+            .map(|&b| easy_snapshot(staggered, &self.params, b))
+            .collect();
+        self.store.push(beam, snaps);
+        let c = CMat::identity(self.params.j_channels);
+        let per_bin = (0..bins.len())
+            .map(|bi| {
+                let training = self
+                    .store
+                    .stacked(beam, bi)
+                    .expect("history was just pushed");
+                let k = mean_abs(&training) * self.params.beam_constraint_wt;
+                constrained_lstsq(&training, &c, k, steering)
+            })
+            .collect();
+        EasyWeights { per_bin }
+    }
+}
+
+/// Hard weight computation with per-(azimuth, bin, segment) recursive QR
+/// state.
+pub struct HardWeightComputer {
+    params: StapParams,
+    /// R factors keyed by (beam, hard-bin index, segment).
+    r_state: HashMap<(usize, usize, usize), CMat>,
+}
+
+impl HardWeightComputer {
+    /// Creates the computer (empty recursion state).
+    pub fn new(params: &StapParams) -> Self {
+        HardWeightComputer {
+            params: params.clone(),
+            r_state: HashMap::new(),
+        }
+    }
+
+    /// Quiescent hard weights: steering duplicated over both stagger
+    /// windows with the bin's alignment phase, normalized.
+    pub fn quiescent(&self, steering: &CMat) -> HardWeights {
+        let j = self.params.j_channels;
+        let per_bin = self
+            .params
+            .hard_bins()
+            .iter()
+            .map(|&bin| {
+                let phase = Cx::cis(
+                    2.0 * PI * bin as f64 * self.params.stagger as f64
+                        / self.params.n_pulses as f64,
+                );
+                let w = CMat::from_fn(2 * j, steering.cols(), |r, c| {
+                    if r < j {
+                        steering[(r, c)]
+                    } else {
+                        steering[(r - j, c)] * phase
+                    }
+                });
+                vec![normalize_columns(w); self.params.num_segments()]
+            })
+            .collect();
+        HardWeights { per_bin }
+    }
+
+    /// Ingests the previous CPI's staggered cube for azimuth `beam`
+    /// (recursive update of every (bin, segment) R factor) and returns
+    /// the weights for the next CPI. `steering` is `J x M`.
+    pub fn process(&mut self, beam: usize, staggered: &CCube, steering: &CMat) -> HardWeights {
+        let jj = 2 * self.params.j_channels;
+        let bins = self.params.hard_bins();
+        let mut per_bin = Vec::with_capacity(bins.len());
+        for (bi, &bin) in bins.iter().enumerate() {
+            let constraint = hard_constraint(&self.params, bin);
+            let mut per_seg = Vec::with_capacity(self.params.num_segments());
+            for seg in 0..self.params.num_segments() {
+                let x = hard_snapshot(staggered, &self.params, bin, seg);
+                let r_prev = self
+                    .r_state
+                    .entry((beam, bi, seg))
+                    .or_insert_with(|| CMat::zeros(jj, jj));
+                let r_new = qr_update(r_prev, self.params.forgetting_factor, &x);
+                let k = mean_abs(&x) * self.params.beam_constraint_wt;
+                let w = constrained_lstsq_from_r(&r_new, &constraint, k, steering);
+                *r_prev = r_new;
+                per_seg.push(w);
+            }
+            per_bin.push(per_seg);
+        }
+        HardWeights { per_bin }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stap_radar::ArrayGeometry;
+
+    fn setup() -> (StapParams, ArrayGeometry, CMat) {
+        let p = StapParams::reduced();
+        let geom = ArrayGeometry::small(p.j_channels);
+        let steering = geom.beam_fan(0.0, 10.0, p.m_beams);
+        (p, geom, steering)
+    }
+
+    /// A staggered cube dominated by a single spatial interferer at
+    /// `az_deg`, present in every Doppler bin.
+    fn interferer_cube(p: &StapParams, geom: &ArrayGeometry, az_deg: f64, power: f64) -> CCube {
+        let s = geom.steering(az_deg);
+        let mut state = 0x12345u64;
+        let mut rngf = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let mut cube = CCube::zeros([p.k_range, 2 * p.j_channels, p.n_pulses]);
+        for k in 0..p.k_range {
+            for bin in 0..p.n_pulses {
+                let g = Cx::new(rngf(), rngf()).scale(2.0 * power);
+                let phase =
+                    Cx::cis(2.0 * PI * bin as f64 * p.stagger as f64 / p.n_pulses as f64);
+                for j in 0..p.j_channels {
+                    cube[(k, j, bin)] = g * s[j] + Cx::new(rngf(), rngf()).scale(0.02);
+                    cube[(k, p.j_channels + j, bin)] =
+                        g * s[j] * phase + Cx::new(rngf(), rngf()).scale(0.02);
+                }
+            }
+        }
+        cube
+    }
+
+    #[test]
+    fn easy_weights_are_unit_norm_per_beam() {
+        let (p, geom, steering) = setup();
+        let mut c = EasyWeightComputer::new(&p);
+        let cube = interferer_cube(&p, &geom, 30.0, 5.0);
+        let w = c.process(0, &cube, &steering);
+        assert_eq!(w.per_bin.len(), p.n_easy());
+        for wb in &w.per_bin {
+            assert_eq!(wb.shape(), (p.j_channels, p.m_beams));
+            for m in 0..p.m_beams {
+                let n: f64 = (0..p.j_channels).map(|j| wb[(j, m)].norm_sqr()).sum();
+                assert!((n - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn easy_weights_null_the_interferer() {
+        let (p, geom, steering) = setup();
+        let mut c = EasyWeightComputer::new(&p);
+        let az_int = 35.0;
+        let cube = interferer_cube(&p, &geom, az_int, 10.0);
+        let w = c.process(0, &cube, &steering);
+        let q = c.quiescent(&steering);
+        let s_int = geom.steering(az_int);
+        // Adapted response toward the interferer must drop well below the
+        // quiescent response, while mainbeam response stays near 1.
+        let resp = |wm: &CMat, dir: &[Cx], m: usize| {
+            let mut acc = Cx::new(0.0, 0.0);
+            for j in 0..p.j_channels {
+                acc += wm[(j, m)].conj() * dir[j];
+            }
+            acc.abs()
+        };
+        let s_main = geom.steering(0.0);
+        let bin = p.n_easy() / 2;
+        for m in 0..p.m_beams {
+            let adapted_int = resp(&w.per_bin[bin], &s_int, m);
+            let quiescent_int = resp(&q.per_bin[bin], &s_int, m);
+            let adapted_main = resp(&w.per_bin[bin], &s_main, m);
+            assert!(
+                adapted_int < 0.15 * quiescent_int.max(0.05),
+                "beam {m}: interferer response {adapted_int} vs quiescent {quiescent_int}"
+            );
+            assert!(
+                adapted_main > 0.3,
+                "beam {m}: mainbeam response collapsed to {adapted_main}"
+            );
+        }
+    }
+
+    #[test]
+    fn easy_history_accumulates_three_cpis() {
+        let (p, geom, steering) = setup();
+        let mut c = EasyWeightComputer::new(&p);
+        let cube = interferer_cube(&p, &geom, 20.0, 3.0);
+        for _ in 0..5 {
+            let w = c.process(0, &cube, &steering);
+            assert!(w.per_bin.iter().all(|m| m.is_finite()));
+        }
+    }
+
+    #[test]
+    fn hard_weights_shapes_and_norms() {
+        let (p, geom, steering) = setup();
+        let mut c = HardWeightComputer::new(&p);
+        let cube = interferer_cube(&p, &geom, 25.0, 5.0);
+        let w = c.process(0, &cube, &steering);
+        assert_eq!(w.per_bin.len(), p.n_hard);
+        for per_seg in &w.per_bin {
+            assert_eq!(per_seg.len(), p.num_segments());
+            for wm in per_seg {
+                assert_eq!(wm.shape(), (2 * p.j_channels, p.m_beams));
+                for m in 0..p.m_beams {
+                    let n: f64 = (0..2 * p.j_channels).map(|j| wm[(j, m)].norm_sqr()).sum();
+                    assert!((n - 1.0).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hard_weights_null_staggered_interferer() {
+        let (p, geom, steering) = setup();
+        let mut c = HardWeightComputer::new(&p);
+        let az_int = 40.0;
+        let cube = interferer_cube(&p, &geom, az_int, 10.0);
+        // Two updates to let the recursion settle.
+        let _ = c.process(0, &cube, &steering);
+        let w = c.process(0, &cube, &steering);
+        let q = c.quiescent(&steering);
+        let s_int = geom.steering(az_int);
+        let bin_idx = 0; // hard bin 0
+        let bin = p.hard_bins()[bin_idx];
+        let phase = Cx::cis(2.0 * PI * bin as f64 * p.stagger as f64 / p.n_pulses as f64);
+        // Full space-time interferer snapshot across both windows.
+        let x: Vec<Cx> = (0..2 * p.j_channels)
+            .map(|r| {
+                if r < p.j_channels {
+                    s_int[r]
+                } else {
+                    s_int[r - p.j_channels] * phase
+                }
+            })
+            .collect();
+        for m in 0..p.m_beams {
+            let dot = |wm: &CMat| {
+                let mut acc = Cx::new(0.0, 0.0);
+                for (r, xv) in x.iter().enumerate() {
+                    acc += wm[(r, m)].conj() * *xv;
+                }
+                acc.abs()
+            };
+            let adapted = dot(&w.per_bin[bin_idx][0]);
+            let quiescent = dot(&q.per_bin[bin_idx][0]);
+            assert!(
+                adapted < 0.2 * quiescent.max(0.05),
+                "beam {m}: adapted {adapted} vs quiescent {quiescent}"
+            );
+        }
+    }
+
+    #[test]
+    fn hard_recursion_state_is_per_beam_bin_segment() {
+        let (p, geom, steering) = setup();
+        let mut c = HardWeightComputer::new(&p);
+        let cube = interferer_cube(&p, &geom, 25.0, 5.0);
+        let _ = c.process(0, &cube, &steering);
+        let _ = c.process(1, &cube, &steering);
+        assert_eq!(
+            c.r_state.len(),
+            2 * p.n_hard * p.num_segments(),
+            "independent state per azimuth"
+        );
+    }
+
+    #[test]
+    fn quiescent_easy_weights_equal_normalized_steering() {
+        let (p, _geom, steering) = setup();
+        let c = EasyWeightComputer::new(&p);
+        let q = c.quiescent(&steering);
+        let want = normalize_columns(steering.clone());
+        for wb in &q.per_bin {
+            assert!(wb.max_abs_diff(&want) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constraint_matrix_structure() {
+        let p = StapParams::reduced();
+        let c = hard_constraint(&p, 4);
+        assert_eq!(c.shape(), (p.j_channels, 2 * p.j_channels));
+        let phase = Cx::cis(-2.0 * PI * 4.0 * p.stagger as f64 / p.n_pulses as f64);
+        for r in 0..p.j_channels {
+            for col in 0..2 * p.j_channels {
+                let want = if col == r {
+                    Cx::real(1.0)
+                } else if col == r + p.j_channels {
+                    phase
+                } else {
+                    Cx::new(0.0, 0.0)
+                };
+                assert!(c[(r, col)].approx_eq(want, 1e-15));
+            }
+        }
+    }
+}

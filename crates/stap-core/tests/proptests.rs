@@ -1,0 +1,237 @@
+//! Property-based tests over the STAP signal-processing chain.
+
+use proptest::prelude::*;
+use stap_core::cfar::{cfar, Detection};
+use stap_core::doppler::DopplerProcessor;
+use stap_core::params::StapParams;
+use stap_core::pulse::PulseCompressor;
+use stap_cube::{CCube, RCube};
+use stap_math::Cx;
+
+fn params() -> StapParams {
+    StapParams::reduced()
+}
+
+fn cx_strategy() -> impl Strategy<Value = Cx> {
+    (-10.0f64..10.0, -10.0f64..10.0).prop_map(|(re, im)| Cx::new(re, im))
+}
+
+fn cpi_strategy(p: &StapParams) -> impl Strategy<Value = CCube> {
+    let shape = [p.k_range, p.j_channels, p.n_pulses];
+    proptest::collection::vec(cx_strategy(), shape[0] * shape[1] * shape[2])
+        .prop_map(move |v| CCube::from_vec(shape, v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn doppler_processing_is_linear(cpi in cpi_strategy(&params())) {
+        let p = params();
+        let proc = DopplerProcessor::new(&p);
+        let doubled = cpi.map(|x| x.scale(2.0));
+        let a = proc.process(&cpi);
+        let b = proc.process(&doubled);
+        // Output scales exactly with input.
+        let mut max_err = 0.0f64;
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            max_err = max_err.max((x.scale(2.0) - *y).abs());
+        }
+        prop_assert!(max_err < 1e-9);
+    }
+
+    #[test]
+    fn doppler_energy_bounded_by_input(cpi in cpi_strategy(&params())) {
+        // The taper has coefficients <= 1 and the FFT is energy-
+        // preserving up to a factor N, so output energy is bounded by
+        // 2N x input energy (two windows).
+        let p = params();
+        let proc = DopplerProcessor::new(&p);
+        let out = proc.process(&cpi);
+        let ein: f64 = cpi.as_slice().iter().map(|x| x.norm_sqr()).sum();
+        let eout: f64 = out.as_slice().iter().map(|x| x.norm_sqr()).sum();
+        prop_assert!(eout <= 2.0 * p.n_pulses as f64 * ein + 1e-6);
+    }
+
+    #[test]
+    fn pulse_compression_output_power_matches_parseval(
+        lanes in proptest::collection::vec(cx_strategy(), 64)
+    ) {
+        // Matched filter has unit-energy taps with flat |H(f)| <= 1...
+        // actually |H| is not flat, but total output energy equals
+        // sum |X(f)|^2 |H(f)|^2 / K <= max|H|^2 * input energy.
+        let p = params();
+        let pc = PulseCompressor::new(&p);
+        let cube = CCube::from_vec([1, 1, 64], lanes);
+        let out = pc.process(&cube);
+        let ein: f64 = cube.as_slice().iter().map(|x| x.norm_sqr()).sum();
+        let eout: f64 = out.as_slice().iter().sum();
+        let hmax: f64 = pc
+            .filter_spectrum()
+            .iter()
+            .map(|h| h.norm_sqr())
+            .fold(0.0, f64::max);
+        prop_assert!(eout <= hmax * ein * (1.0 + 1e-9) + 1e-9);
+    }
+
+    #[test]
+    fn cfar_detections_are_scale_invariant(
+        seeds in proptest::collection::vec(0.1f64..100.0, 32),
+        scale in 0.01f64..1000.0,
+    ) {
+        // Multiplying the whole power cube by a positive constant must
+        // not change the detection set (threshold is relative).
+        let p = params();
+        let cube = RCube::from_fn([p.n_pulses, p.m_beams, p.k_range], |a, b, c| {
+            seeds[(a * 13 + b * 7 + c) % 32] * (1.0 + ((a + b + c) % 5) as f64)
+        });
+        let scaled = cube.map(|v| v * scale);
+        let key = |d: &Detection| (d.bin, d.beam, d.range);
+        let a: Vec<_> = cfar(&p, &cube).iter().map(key).collect();
+        let b: Vec<_> = cfar(&p, &scaled).iter().map(key).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cfar_monotone_in_threshold_scale(
+        seeds in proptest::collection::vec(0.5f64..50.0, 16),
+    ) {
+        let mut p = params();
+        let cube = RCube::from_fn([p.n_pulses, p.m_beams, p.k_range], |a, b, c| {
+            seeds[(a * 5 + b * 3 + c) % 16] * (1.0 + ((a * c + b) % 7) as f64)
+        });
+        p.cfar_scale = 2.0;
+        let many = cfar(&p, &cube).len();
+        p.cfar_scale = 8.0;
+        let few = cfar(&p, &cube).len();
+        prop_assert!(few <= many, "{few} > {many}");
+    }
+
+    #[test]
+    fn detections_lie_within_cube_bounds(
+        seeds in proptest::collection::vec(0.1f64..10.0, 8),
+    ) {
+        let p = params();
+        let cube = RCube::from_fn([p.n_pulses, p.m_beams, p.k_range], |a, b, c| {
+            seeds[(a + b + c) % 8] * if (a * b + c) % 97 == 0 { 100.0 } else { 1.0 }
+        });
+        for d in cfar(&p, &cube) {
+            prop_assert!(d.bin < p.n_pulses);
+            prop_assert!(d.beam < p.m_beams);
+            prop_assert!(d.range < p.k_range);
+            prop_assert!(d.power > d.threshold);
+        }
+    }
+
+    #[test]
+    fn stagger_windows_agree_on_magnitude_for_tones(bin in 0usize..32) {
+        // Both windows see the same tone power; only phase differs.
+        let p = params();
+        let proc = DopplerProcessor::new(&p);
+        let cpi = CCube::from_fn([4, p.j_channels, p.n_pulses], |_, _, n| {
+            Cx::cis(2.0 * std::f64::consts::PI * bin as f64 * n as f64 / p.n_pulses as f64)
+        });
+        let mut out = CCube::zeros([4, 2 * p.j_channels, p.n_pulses]);
+        proc.process_rows(&cpi, 0, &mut out);
+        let w0 = out[(0, 0, bin)].abs();
+        let w1 = out[(0, p.j_channels, bin)].abs();
+        prop_assert!((w0 - w1).abs() < 1e-6 * w0.max(1.0), "{w0} vs {w1}");
+    }
+}
+
+mod weight_properties {
+    use super::*;
+    use proptest::prelude::*;
+    use stap_core::weights::{EasyWeightComputer, HardWeightComputer};
+    use stap_radar::ArrayGeometry;
+
+    fn staggered_strategy(p: &StapParams) -> impl Strategy<Value = CCube> {
+        let shape = [p.k_range, 2 * p.j_channels, p.n_pulses];
+        proptest::collection::vec(
+            (-50.0f64..50.0, -50.0f64..50.0).prop_map(|(re, im)| Cx::new(re, im)),
+            shape[0] * shape[1] * shape[2],
+        )
+        .prop_map(move |v| CCube::from_vec(shape, v))
+    }
+
+    fn tiny_params() -> StapParams {
+        let mut p = StapParams::reduced();
+        // Shrink so 100+ proptest weight solves stay fast.
+        p.k_range = 24;
+        p.n_pulses = 16;
+        p.n_hard = 6;
+        p.range_segments = vec![0, 12, 24];
+        p.easy_samples_per_cpi = 8;
+        p.hard_samples = 8;
+        p.replica_len = 4;
+        p.cfar_window = 8;
+        p.validate().unwrap();
+        p
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn easy_weights_always_unit_norm_and_finite(cube in staggered_strategy(&tiny_params())) {
+            let p = tiny_params();
+            let geom = ArrayGeometry::small(p.j_channels);
+            let steering = geom.beam_fan(0.0, 10.0, p.m_beams);
+            let mut c = EasyWeightComputer::new(&p);
+            let w = c.process(0, &cube, &steering);
+            for wb in &w.per_bin {
+                prop_assert!(wb.is_finite());
+                for m in 0..p.m_beams {
+                    let n: f64 = (0..p.j_channels).map(|j| wb[(j, m)].norm_sqr()).sum();
+                    prop_assert!((n - 1.0).abs() < 1e-8, "norm {n}");
+                }
+            }
+        }
+
+        #[test]
+        fn hard_weights_always_unit_norm_and_finite(cube in staggered_strategy(&tiny_params())) {
+            let p = tiny_params();
+            let geom = ArrayGeometry::small(p.j_channels);
+            let steering = geom.beam_fan(0.0, 10.0, p.m_beams);
+            let mut c = HardWeightComputer::new(&p);
+            // Two updates to exercise the recursion too.
+            let _ = c.process(0, &cube, &steering);
+            let w = c.process(0, &cube, &steering);
+            for per_seg in &w.per_bin {
+                for wm in per_seg {
+                    prop_assert!(wm.is_finite());
+                    for m in 0..p.m_beams {
+                        let n: f64 =
+                            (0..2 * p.j_channels).map(|r| wm[(r, m)].norm_sqr()).sum();
+                        prop_assert!((n - 1.0).abs() < 1e-8, "norm {n}");
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn weight_scale_invariance(cube in staggered_strategy(&tiny_params()), scale in 0.1f64..10.0) {
+            // Scaling the training data leaves the (normalized) weights
+            // unchanged: the constraint k tracks mean_abs, so the whole
+            // system is homogeneous.
+            let p = tiny_params();
+            let geom = ArrayGeometry::small(p.j_channels);
+            let steering = geom.beam_fan(0.0, 10.0, p.m_beams);
+            let scaled = cube.map(|x| x.scale(scale));
+            let mut a = EasyWeightComputer::new(&p);
+            let mut b = EasyWeightComputer::new(&p);
+            let wa = a.process(0, &cube, &steering);
+            let wb = b.process(0, &scaled, &steering);
+            for (ma, mb) in wa.per_bin.iter().zip(&wb.per_bin) {
+                // Up to a unit phase per column.
+                for m in 0..p.m_beams {
+                    let mut dot = Cx::new(0.0, 0.0);
+                    for j in 0..p.j_channels {
+                        dot += ma[(j, m)].conj() * mb[(j, m)];
+                    }
+                    prop_assert!((dot.abs() - 1.0).abs() < 1e-6, "|dot| {}", dot.abs());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Borrowed sub-cube views: zero-copy windows into a [`Cube`].
+//!
+//! A [`CubeView`] designates a rectangular region of a cube without
+//! copying it — the read-side complement of [`Cube::extract`]. Views are
+//! what a task hands to a kernel when the kernel only needs to *read* a
+//! slab (the pipeline's pack routines copy exactly once, from a view
+//! into the outgoing buffer). Lanes of a view are contiguous slices of
+//! the parent, so FFT-style kernels keep their unit-stride access.
+
+use crate::cube::Cube;
+use std::ops::Range;
+
+/// An immutable rectangular window into a [`Cube`].
+#[derive(Clone, Copy)]
+pub struct CubeView<'a, T> {
+    parent: &'a Cube<T>,
+    origin: [usize; 3],
+    shape: [usize; 3],
+}
+
+impl<'a, T: Copy + Default> CubeView<'a, T> {
+    /// Creates a view of `parent` covering the given ranges. Panics when
+    /// any range exceeds the parent's shape.
+    pub fn new(
+        parent: &'a Cube<T>,
+        r0: Range<usize>,
+        r1: Range<usize>,
+        r2: Range<usize>,
+    ) -> Self {
+        let ps = parent.shape();
+        assert!(
+            r0.end <= ps[0] && r1.end <= ps[1] && r2.end <= ps[2],
+            "view out of bounds: ({r0:?}, {r1:?}, {r2:?}) in {ps:?}"
+        );
+        CubeView {
+            parent,
+            origin: [r0.start, r1.start, r2.start],
+            shape: [r0.len(), r1.len(), r2.len()],
+        }
+    }
+
+    /// The view's shape.
+    pub fn shape(&self) -> [usize; 3] {
+        self.shape
+    }
+
+    /// Number of elements in the view.
+    pub fn len(&self) -> usize {
+        self.shape[0] * self.shape[1] * self.shape[2]
+    }
+
+    /// True when the view covers no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Element at view-relative coordinates.
+    pub fn get(&self, i: usize, j: usize, k: usize) -> T {
+        debug_assert!(i < self.shape[0] && j < self.shape[1] && k < self.shape[2]);
+        self.parent[(
+            self.origin[0] + i,
+            self.origin[1] + j,
+            self.origin[2] + k,
+        )]
+    }
+
+    /// The contiguous lane `view[i, j, ..]` as a slice of the parent.
+    pub fn lane(&self, i: usize, j: usize) -> &'a [T] {
+        debug_assert!(i < self.shape[0] && j < self.shape[1]);
+        let full = self
+            .parent
+            .lane(self.origin[0] + i, self.origin[1] + j);
+        &full[self.origin[2]..self.origin[2] + self.shape[2]]
+    }
+
+    /// Iterates `(i, j, lane)` over all lanes in storage order.
+    pub fn lanes(&self) -> impl Iterator<Item = (usize, usize, &'a [T])> + '_ {
+        let (d0, d1) = (self.shape[0], self.shape[1]);
+        (0..d0).flat_map(move |i| (0..d1).map(move |j| (i, j, self.lane(i, j))))
+    }
+
+    /// Materializes the view into an owned cube (equivalent to
+    /// `parent.extract(..)`).
+    pub fn to_cube(&self) -> Cube<T> {
+        Cube::from_fn(self.shape, |i, j, k| self.get(i, j, k))
+    }
+
+    /// A sub-view of this view (ranges relative to the view).
+    pub fn subview(&self, r0: Range<usize>, r1: Range<usize>, r2: Range<usize>) -> CubeView<'a, T> {
+        assert!(
+            r0.end <= self.shape[0] && r1.end <= self.shape[1] && r2.end <= self.shape[2],
+            "subview out of bounds"
+        );
+        CubeView {
+            parent: self.parent,
+            origin: [
+                self.origin[0] + r0.start,
+                self.origin[1] + r1.start,
+                self.origin[2] + r2.start,
+            ],
+            shape: [r0.len(), r1.len(), r2.len()],
+        }
+    }
+}
+
+impl<T: Copy + Default> Cube<T> {
+    /// A zero-copy view of the given region.
+    pub fn view(&self, r0: Range<usize>, r1: Range<usize>, r2: Range<usize>) -> CubeView<'_, T> {
+        CubeView::new(self, r0, r1, r2)
+    }
+
+    /// A view of the whole cube.
+    pub fn full_view(&self) -> CubeView<'_, T> {
+        let s = self.shape();
+        CubeView::new(self, 0..s[0], 0..s[1], 0..s[2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn numbered(shape: [usize; 3]) -> Cube<f64> {
+        let mut c = 0.0;
+        Cube::from_fn(shape, |_, _, _| {
+            c += 1.0;
+            c
+        })
+    }
+
+    #[test]
+    fn view_matches_extract() {
+        let c = numbered([5, 4, 6]);
+        let v = c.view(1..4, 0..3, 2..6);
+        let e = c.extract(1..4, 0..3, 2..6);
+        assert_eq!(v.shape(), e.shape());
+        assert_eq!(v.to_cube(), e);
+    }
+
+    #[test]
+    fn lanes_are_contiguous_parent_slices() {
+        let c = numbered([3, 3, 8]);
+        let v = c.view(1..3, 1..3, 2..7);
+        let lane = v.lane(0, 0);
+        assert_eq!(lane.len(), 5);
+        assert_eq!(lane[0], c[(1, 1, 2)]);
+        assert_eq!(lane[4], c[(1, 1, 6)]);
+        // Identity of memory: same address as the parent's lane slice.
+        let parent_lane = &c.lane(1, 1)[2..7];
+        assert!(std::ptr::eq(lane, parent_lane));
+    }
+
+    #[test]
+    fn lane_iteration_covers_all_lanes_in_order() {
+        let c = numbered([2, 3, 4]);
+        let v = c.full_view();
+        let seen: Vec<(usize, usize)> = v.lanes().map(|(i, j, _)| (i, j)).collect();
+        assert_eq!(
+            seen,
+            vec![(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
+        );
+        let total: f64 = v.lanes().map(|(_, _, l)| l.iter().sum::<f64>()).sum();
+        assert_eq!(total, (24 * 25 / 2) as f64);
+    }
+
+    #[test]
+    fn subview_composes_offsets() {
+        let c = numbered([6, 6, 6]);
+        let v = c.view(1..5, 1..5, 1..5);
+        let sv = v.subview(1..3, 2..4, 0..2);
+        assert_eq!(sv.shape(), [2, 2, 2]);
+        assert_eq!(sv.get(0, 0, 0), c[(2, 3, 1)]);
+        assert_eq!(sv.get(1, 1, 1), c[(3, 4, 2)]);
+    }
+
+    #[test]
+    fn empty_view_is_fine() {
+        let c = numbered([3, 3, 3]);
+        let v = c.view(1..1, 0..3, 0..3);
+        assert!(v.is_empty());
+        assert_eq!(v.lanes().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "view out of bounds")]
+    fn out_of_bounds_view_panics() {
+        let c = numbered([2, 2, 2]);
+        let _ = c.view(0..3, 0..1, 0..1);
+    }
+
+    #[test]
+    #[should_panic(expected = "subview out of bounds")]
+    fn out_of_bounds_subview_panics() {
+        let c = numbered([4, 4, 4]);
+        let v = c.view(0..2, 0..2, 0..2);
+        let _ = v.subview(0..3, 0..1, 0..1);
+    }
+}

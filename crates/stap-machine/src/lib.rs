@@ -1,0 +1,25 @@
+//! Machine model of the AFRL Intel Paragon.
+//!
+//! The paper gives the interconnect constants directly (Section 6): "a
+//! message startup time of 35.3 microseconds and a data transfer time of
+//! 6.53 nsec/byte for point-to-point communication", i860 nodes at 40 MHz
+//! with 100 Mflop/s peak. Sustained per-task compute rates are far below
+//! peak and differ per task (FFTs stream caches well; CFAR's sliding
+//! window is memory bound); we calibrate one rate per task from the
+//! paper's 59-node configuration (Table 7, case 3) and use them to
+//! *predict* every other configuration — see DESIGN.md for the protocol.
+//!
+//! The model also prices the two memory-copy costs the paper highlights:
+//! packing ("data collection and reorganization", a strided copy that can
+//! be "extremely large due to cache misses") and unpacking on the
+//! receiving side.
+//!
+//! This crate contains plain cost arithmetic only; the discrete-event
+//! pipeline simulation that consumes it lives in `stap-sim`.
+
+pub mod calibrate;
+pub mod mesh;
+pub mod model;
+
+pub use mesh::Mesh;
+pub use model::{Paragon, TaskId, ALL_TASKS, NUM_TASKS};

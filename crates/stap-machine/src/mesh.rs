@@ -1,0 +1,184 @@
+//! 2-D mesh topology of the Paragon interconnect.
+//!
+//! The AFRL machine is "321 compute nodes interconnected in a
+//! two-dimensional mesh". Messages route dimension-ordered (X then Y).
+//! The base cost model already captures endpoint serialization (a node
+//! packs its sends one at a time and drains its receives one at a time);
+//! this module adds the topology-dependent part: hop counts and a simple
+//! link-contention estimate for the all-to-all exchanges between two
+//! blocks of nodes, used by the simulator's optional contention mode and
+//! by the placement ablation bench.
+
+/// A 2-D mesh of `cols x rows` nodes with dimension-ordered (XY) routing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Mesh {
+    /// Nodes per row (the X dimension).
+    pub cols: usize,
+    /// Number of rows (the Y dimension).
+    pub rows: usize,
+}
+
+impl Mesh {
+    /// A mesh with the given dimensions. Panics on zero size.
+    pub fn new(cols: usize, rows: usize) -> Self {
+        assert!(cols > 0 && rows > 0, "mesh dimensions must be positive");
+        Mesh { cols, rows }
+    }
+
+    /// The AFRL Paragon: 321 usable compute nodes; physically cabled
+    /// near-square. We model the 336-slot 21 x 16 cabinet grid.
+    pub fn afrl() -> Self {
+        Mesh::new(21, 16)
+    }
+
+    /// Total node slots.
+    pub fn len(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    /// True when the mesh has no slots (never: dimensions are positive).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Grid coordinates of linear node id `n` (row-major).
+    pub fn coords(&self, n: usize) -> (usize, usize) {
+        assert!(n < self.len(), "node {n} outside mesh");
+        (n % self.cols, n / self.cols)
+    }
+
+    /// Manhattan hop count between two nodes under XY routing.
+    pub fn hops(&self, a: usize, b: usize) -> usize {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        ax.abs_diff(bx) + ay.abs_diff(by)
+    }
+
+    /// The directed links (as `(from, to)` node pairs) an XY-routed
+    /// message traverses.
+    pub fn route(&self, a: usize, b: usize) -> Vec<(usize, usize)> {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        let mut links = Vec::with_capacity(self.hops(a, b));
+        let mut x = ax;
+        while x != bx {
+            let nx = if bx > x { x + 1 } else { x - 1 };
+            links.push((ay * self.cols + x, ay * self.cols + nx));
+            x = nx;
+        }
+        let mut y = ay;
+        while y != by {
+            let ny = if by > y { y + 1 } else { y - 1 };
+            links.push((y * self.cols + x, ny * self.cols + x));
+            y = ny;
+        }
+        links
+    }
+
+    /// Maximum number of messages sharing any single link when every node
+    /// in `senders` sends one message to every node in `receivers`
+    /// (XY routing). 1 means contention-free; the simulator multiplies
+    /// wire time by this factor in contention mode.
+    pub fn alltoall_contention(&self, senders: &[usize], receivers: &[usize]) -> usize {
+        use std::collections::HashMap;
+        let mut load: HashMap<(usize, usize), usize> = HashMap::new();
+        for &s in senders {
+            for &r in receivers {
+                for link in self.route(s, r) {
+                    *load.entry(link).or_insert(0) += 1;
+                }
+            }
+        }
+        load.values().copied().max().unwrap_or(1).max(1)
+    }
+
+    /// Assigns consecutive node ids to tasks: task `i` gets
+    /// `counts[i]` contiguous ids starting where task `i-1` ended — the
+    /// natural cabinet-order placement the paper's runs used.
+    pub fn contiguous_placement(counts: &[usize]) -> Vec<Vec<usize>> {
+        let mut next = 0;
+        counts
+            .iter()
+            .map(|&c| {
+                let ids = (next..next + c).collect();
+                next += c;
+                ids
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coords_roundtrip() {
+        let m = Mesh::new(7, 5);
+        for n in 0..m.len() {
+            let (x, y) = m.coords(n);
+            assert_eq!(y * m.cols + x, n);
+        }
+    }
+
+    #[test]
+    fn hops_zero_for_self() {
+        let m = Mesh::afrl();
+        assert_eq!(m.hops(17, 17), 0);
+    }
+
+    #[test]
+    fn hops_manhattan() {
+        let m = Mesh::new(10, 10);
+        // (0,0) -> (3,4)
+        assert_eq!(m.hops(0, 43), 7);
+    }
+
+    #[test]
+    fn route_length_equals_hops() {
+        let m = Mesh::new(8, 8);
+        for (a, b) in [(0, 63), (5, 5), (10, 17), (62, 1)] {
+            assert_eq!(m.route(a, b).len(), m.hops(a, b));
+        }
+    }
+
+    #[test]
+    fn route_is_x_then_y() {
+        let m = Mesh::new(4, 4);
+        // 0 = (0,0), 6 = (2,1): expect X moves first.
+        let r = m.route(0, 6);
+        assert_eq!(r, vec![(0, 1), (1, 2), (2, 6)]);
+    }
+
+    #[test]
+    fn contention_of_disjoint_singletons_is_one() {
+        let m = Mesh::new(8, 8);
+        assert_eq!(m.alltoall_contention(&[0], &[1]), 1);
+    }
+
+    #[test]
+    fn contention_grows_with_block_sizes() {
+        let m = Mesh::new(16, 16);
+        let senders: Vec<usize> = (0..8).collect();
+        let few: Vec<usize> = (16..18).collect();
+        let many: Vec<usize> = (16..32).collect();
+        let c_few = m.alltoall_contention(&senders, &few);
+        let c_many = m.alltoall_contention(&senders, &many);
+        assert!(c_many >= c_few, "{c_many} < {c_few}");
+        assert!(c_few >= 2, "8 senders into 2 receivers must share links");
+    }
+
+    #[test]
+    fn contiguous_placement_partitions_ids() {
+        let p = Mesh::contiguous_placement(&[8, 4, 28]);
+        assert_eq!(p[0], (0..8).collect::<Vec<_>>());
+        assert_eq!(p[1], (8..12).collect::<Vec<_>>());
+        assert_eq!(p[2].len(), 28);
+        assert_eq!(*p[2].last().unwrap(), 39);
+    }
+
+    #[test]
+    fn afrl_mesh_holds_all_nodes() {
+        assert!(Mesh::afrl().len() >= 321);
+    }
+}

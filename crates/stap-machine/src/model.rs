@@ -1,0 +1,268 @@
+//! Cost primitives: compute, pack, wire, unpack.
+
+/// The seven pipeline tasks, in the paper's Figure 4 order.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum TaskId {
+    /// Task 0: Doppler filter processing.
+    DopplerFilter,
+    /// Task 1: easy weight computation.
+    EasyWeight,
+    /// Task 2: hard weight computation.
+    HardWeight,
+    /// Task 3: easy beamforming.
+    EasyBeamform,
+    /// Task 4: hard beamforming.
+    HardBeamform,
+    /// Task 5: pulse compression.
+    PulseCompression,
+    /// Task 6: CFAR processing.
+    Cfar,
+}
+
+/// Number of pipeline tasks.
+pub const NUM_TASKS: usize = 7;
+
+/// All tasks in pipeline order.
+pub const ALL_TASKS: [TaskId; NUM_TASKS] = [
+    TaskId::DopplerFilter,
+    TaskId::EasyWeight,
+    TaskId::HardWeight,
+    TaskId::EasyBeamform,
+    TaskId::HardBeamform,
+    TaskId::PulseCompression,
+    TaskId::Cfar,
+];
+
+impl TaskId {
+    /// Dense index matching the paper's task numbering (0..6).
+    pub fn index(self) -> usize {
+        match self {
+            TaskId::DopplerFilter => 0,
+            TaskId::EasyWeight => 1,
+            TaskId::HardWeight => 2,
+            TaskId::EasyBeamform => 3,
+            TaskId::HardBeamform => 4,
+            TaskId::PulseCompression => 5,
+            TaskId::Cfar => 6,
+        }
+    }
+
+    /// Short display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            TaskId::DopplerFilter => "Doppler filter",
+            TaskId::EasyWeight => "easy weight",
+            TaskId::HardWeight => "hard weight",
+            TaskId::EasyBeamform => "easy BF",
+            TaskId::HardBeamform => "hard BF",
+            TaskId::PulseCompression => "pulse compr",
+            TaskId::Cfar => "CFAR",
+        }
+    }
+}
+
+/// Calibrated cost model of the AFRL Paragon.
+///
+/// Interconnect constants are quoted by the paper; per-task sustained
+/// rates and the pack/unpack memory rates are fitted once against the
+/// 59-node configuration (Table 7, case 3) as described in DESIGN.md.
+#[derive(Clone, Debug)]
+pub struct Paragon {
+    /// Point-to-point message startup time, seconds (paper: 35.3 us).
+    pub msg_startup_s: f64,
+    /// Wire time per byte, seconds (paper: 6.53 ns/byte).
+    pub per_byte_s: f64,
+    /// Bytes of one complex sample on the wire (paper used single
+    /// precision: 2 x 4 bytes).
+    pub bytes_per_sample: u64,
+    /// Sender-side packing rate for the strided collection/reorganization
+    /// copy, bytes/second (calibrated).
+    pub pack_bytes_per_s: f64,
+    /// Sender-side rate when no reorganization is needed (same
+    /// partitioning on both sides, contiguous buffers), bytes/second.
+    pub contiguous_bytes_per_s: f64,
+    /// Receiver-side unpack (placement) rate, bytes/second (calibrated).
+    pub unpack_bytes_per_s: f64,
+    /// Sustained per-node compute rate for each task, flop/s (calibrated;
+    /// indexed by [`TaskId::index`]).
+    pub task_flop_rate: [f64; NUM_TASKS],
+    /// Serial fraction for Amdahl scaling across a node's shared-memory
+    /// processors (each Paragon node carries three i860s on one bus;
+    /// the 1998 experiments used one, the paper's future work is
+    /// "multiple processors on each compute node").
+    pub smp_serial_fraction: f64,
+}
+
+impl Paragon {
+    /// The model calibrated against the paper's case-3 (59 node) column.
+    ///
+    /// Rates are `flops / (nodes x comp_time)` with flops from Table 1 and
+    /// comp times from Table 7 case 3:
+    ///
+    /// | task | flops | nodes | comp (s) | rate (Mflop/s) |
+    /// |---|---|---|---|---|
+    /// | Doppler | 79,691,776 | 8 | .3509 | 28.39 |
+    /// | easy wt | 13,851,792 | 4 | .3254 | 10.64 |
+    /// | hard wt | 197,038,464 | 28 | .3265 | 21.55 |
+    /// | easy BF | 28,311,552 | 4 | .2529 | 27.99 |
+    /// | hard BF | 44,040,192 | 7 | .1636 | 38.45 |
+    /// | pulse c | 38,928,384 | 4 | .3067 | 31.73 |
+    /// | CFAR | 1,690,368 | 4 | .1723 | 2.453 |
+    ///
+    /// The spread (2.5–38 Mflop/s against a 100 Mflop/s peak) is the
+    /// cache behaviour the paper alludes to: matrix multiply runs hot,
+    /// the sliding-window CFAR is almost pure memory traffic.
+    pub fn afrl_calibrated() -> Self {
+        Paragon {
+            msg_startup_s: 35.3e-6,
+            per_byte_s: 6.53e-9,
+            bytes_per_sample: 8,
+            // Fitted to the Doppler task's send column (Tables 2 and 7:
+            // .1296 s at 8 nodes to reorganize ~1.88 MB per node):
+            // ~14.7 MB/s of cache-missing strided copy.
+            pack_bytes_per_s: 14.7e6,
+            // Fitted to the beamforming/pulse-compression send columns
+            // (.0036 s for ~220 KB): contiguous copies run ~4x faster.
+            contiguous_bytes_per_s: 55.0e6,
+            unpack_bytes_per_s: 39.0e6,
+            task_flop_rate: [
+                28.39e6, // Doppler filter
+                10.64e6, // easy weight
+                21.55e6, // hard weight
+                27.99e6, // easy BF
+                38.45e6, // hard BF
+                31.73e6, // pulse compression
+                2.453e6, // CFAR
+            ],
+            // Fitted so 3 shared-memory CPUs give ~2.4x (bus contention
+            // on the shared 64 MB memory).
+            smp_serial_fraction: 0.125,
+        }
+    }
+
+    /// Amdahl-style speedup of one node's work across `cpus`
+    /// shared-memory processors: `1 / (s + (1 - s) / cpus)`.
+    pub fn smp_speedup(&self, cpus: usize) -> f64 {
+        assert!(cpus >= 1, "need at least one processor");
+        let s = self.smp_serial_fraction;
+        1.0 / (s + (1.0 - s) / cpus as f64)
+    }
+
+    /// Time for one node to execute `flops / nodes` of `task`'s work.
+    pub fn compute_time(&self, task: TaskId, total_flops: u64, nodes: usize) -> f64 {
+        assert!(nodes > 0, "task must have at least one node");
+        total_flops as f64 / nodes as f64 / self.task_flop_rate[task.index()]
+    }
+
+    /// Sender-side cost of collecting/reorganizing `samples` complex
+    /// samples into a contiguous buffer and posting the send.
+    pub fn pack_time(&self, samples: u64) -> f64 {
+        let bytes = samples * self.bytes_per_sample;
+        bytes as f64 / self.pack_bytes_per_s
+    }
+
+    /// Sender-side cost when the data is already laid out for the
+    /// receiver ("no data collection or reorganization is needed").
+    pub fn contiguous_send_time(&self, samples: u64) -> f64 {
+        let bytes = samples * self.bytes_per_sample;
+        bytes as f64 / self.contiguous_bytes_per_s
+    }
+
+    /// Wire time of one message of `samples` complex samples.
+    pub fn wire_time(&self, samples: u64) -> f64 {
+        let bytes = samples * self.bytes_per_sample;
+        self.msg_startup_s + bytes as f64 * self.per_byte_s
+    }
+
+    /// Receiver-side cost of placing a received message into the local
+    /// cube.
+    pub fn unpack_time(&self, samples: u64) -> f64 {
+        let bytes = samples * self.bytes_per_sample;
+        bytes as f64 / self.unpack_bytes_per_s
+    }
+}
+
+impl Default for Paragon {
+    fn default() -> Self {
+        Paragon::afrl_calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_indices_are_dense_and_ordered() {
+        for (i, t) in ALL_TASKS.iter().enumerate() {
+            assert_eq!(t.index(), i);
+        }
+    }
+
+    #[test]
+    fn compute_time_matches_case3_calibration() {
+        let m = Paragon::afrl_calibrated();
+        // The calibration column must be reproduced to within rounding.
+        let cases = [
+            (TaskId::DopplerFilter, 79_691_776u64, 8, 0.3509),
+            (TaskId::EasyWeight, 13_851_792, 4, 0.3254),
+            (TaskId::HardWeight, 197_038_464, 28, 0.3265),
+            (TaskId::EasyBeamform, 28_311_552, 4, 0.2529),
+            (TaskId::HardBeamform, 44_040_192, 7, 0.1636),
+            (TaskId::PulseCompression, 38_928_384, 4, 0.3067),
+            (TaskId::Cfar, 1_690_368, 4, 0.1723),
+        ];
+        for (task, flops, nodes, want) in cases {
+            let got = m.compute_time(task, flops, nodes);
+            assert!(
+                (got - want).abs() / want < 0.005,
+                "{}: got {got:.4}, want {want:.4}",
+                task.name()
+            );
+        }
+    }
+
+    #[test]
+    fn compute_time_scales_inversely_with_nodes() {
+        let m = Paragon::afrl_calibrated();
+        let t8 = m.compute_time(TaskId::DopplerFilter, 79_691_776, 8);
+        let t32 = m.compute_time(TaskId::DopplerFilter, 79_691_776, 32);
+        assert!((t8 / t32 - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wire_time_has_startup_floor() {
+        let m = Paragon::afrl_calibrated();
+        assert!(m.wire_time(0) == 35.3e-6);
+        // 1 MB message: wire term dominates.
+        let t = m.wire_time(131_072); // 1 MiB of complex samples
+        assert!(t > 6.5e-3 && t < 7.5e-3, "{t}");
+    }
+
+    #[test]
+    fn pack_slower_than_wire_for_large_messages() {
+        // The paper's observation: reorganization (cache-missing strided
+        // copy) dominates the communication cost at small node counts.
+        let m = Paragon::afrl_calibrated();
+        let samples = 2 * 1024 * 1024;
+        assert!(m.pack_time(samples) > m.wire_time(samples));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_panics() {
+        Paragon::afrl_calibrated().compute_time(TaskId::Cfar, 1, 0);
+    }
+
+    #[test]
+    fn smp_speedup_is_sublinear_and_monotone() {
+        let m = Paragon::afrl_calibrated();
+        assert!((m.smp_speedup(1) - 1.0).abs() < 1e-12);
+        let s2 = m.smp_speedup(2);
+        let s3 = m.smp_speedup(3);
+        assert!(s2 > 1.5 && s2 < 2.0, "{s2}");
+        assert!((s3 - 2.4).abs() < 0.1, "3 CPUs should give ~2.4x: {s3}");
+        // Diminishing returns.
+        assert!(s3 - s2 < s2 - 1.0);
+    }
+}

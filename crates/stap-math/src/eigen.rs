@@ -1,0 +1,228 @@
+//! Hermitian eigendecomposition via the cyclic Jacobi method.
+//!
+//! Used for clutter-subspace analysis: the eigenvalues of a space-time
+//! clutter covariance reveal its rank (Brennan's rule: roughly
+//! `J + beta (N - 1)` significant eigenvalues for a `J`-element,
+//! `N`-pulse aperture with ridge slope `beta`), which both validates the
+//! synthetic scenario generator and quantifies how many adaptive degrees
+//! of freedom the weight computation actually needs.
+//!
+//! Jacobi is slower than tridiagonalization+QL but simple, numerically
+//! robust, and produces orthonormal eigenvectors — entirely adequate for
+//! the `<= 2J` and `J*N`-sized matrices this library analyzes.
+
+use crate::complex::Cx;
+use crate::flops;
+use crate::mat::CMat;
+
+/// Eigendecomposition of a Hermitian matrix: `a = V diag(values) V^H`.
+#[derive(Clone, Debug)]
+pub struct Eigen {
+    /// Eigenvalues, descending.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors as matrix columns (same order as
+    /// `values`).
+    pub vectors: CMat,
+}
+
+/// Computes all eigenvalues/eigenvectors of Hermitian `a` (only the
+/// values on and below the diagonal are trusted; the strict upper
+/// triangle is taken as the conjugate of the lower).
+///
+/// Panics when `a` is not square.
+pub fn eigen_hermitian(a: &CMat) -> Eigen {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "matrix must be square");
+    // Work on a Hermitian-symmetrized copy.
+    let mut m = CMat::from_fn(n, n, |i, j| {
+        if i == j {
+            Cx::real(a[(i, i)].re)
+        } else if i > j {
+            a[(i, j)]
+        } else {
+            a[(j, i)].conj()
+        }
+    });
+    let mut v = CMat::identity(n);
+
+    let off = |m: &CMat| -> f64 {
+        let mut s = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    s += m[(i, j)].norm_sqr();
+                }
+            }
+        }
+        s
+    };
+    let scale: f64 = (0..n).map(|i| m[(i, i)].re.abs()).fold(1e-300, f64::max);
+    let tol = (scale * 1e-14).powi(2) * (n * n) as f64;
+
+    for _sweep in 0..60 {
+        if off(&m) <= tol {
+            break;
+        }
+        for p in 0..n {
+            for q in p + 1..n {
+                let apq = m[(p, q)];
+                if apq.norm_sqr() <= tol / (n * n) as f64 {
+                    continue;
+                }
+                // Complex Jacobi rotation annihilating m[p][q]:
+                // diagonalize the 2x2 Hermitian block [app, apq; apq^H, aqq].
+                let app = m[(p, p)].re;
+                let aqq = m[(q, q)].re;
+                let abs_apq = apq.abs();
+                let phase = apq.scale(1.0 / abs_apq); // e^{i arg}
+                let theta = 0.5 * (2.0 * abs_apq).atan2(aqq - app);
+                let (c, s) = (theta.cos(), theta.sin());
+                // Columns rotate: p' = c p - s e^{i phi} q ; q' = s e^{-i phi} p + c q
+                let se = phase.scale(s);
+                for i in 0..n {
+                    let mip = m[(i, p)];
+                    let miq = m[(i, q)];
+                    m[(i, p)] = mip.scale(c) - miq * se.conj();
+                    m[(i, q)] = mip * se + miq.scale(c);
+                }
+                for j in 0..n {
+                    let mpj = m[(p, j)];
+                    let mqj = m[(q, j)];
+                    m[(p, j)] = mpj.scale(c) - mqj * se;
+                    m[(q, j)] = mpj * se.conj() + mqj.scale(c);
+                }
+                for i in 0..n {
+                    let vip = v[(i, p)];
+                    let viq = v[(i, q)];
+                    v[(i, p)] = vip.scale(c) - viq * se.conj();
+                    v[(i, q)] = vip * se + viq.scale(c);
+                }
+                flops::add(3 * n as u64 * 4 * flops::CMUL + 40);
+            }
+        }
+    }
+
+    // Extract, sort descending, reorder vectors.
+    let mut idx: Vec<usize> = (0..n).collect();
+    let vals: Vec<f64> = (0..n).map(|i| m[(i, i)].re).collect();
+    idx.sort_by(|&a, &b| vals[b].total_cmp(&vals[a]));
+    let values: Vec<f64> = idx.iter().map(|&i| vals[i]).collect();
+    let vectors = CMat::from_fn(n, n, |i, j| v[(i, idx[j])]);
+    Eigen { values, vectors }
+}
+
+/// Effective rank: number of eigenvalues within `db_down` decibels of
+/// the largest.
+pub fn effective_rank(values: &[f64], db_down: f64) -> usize {
+    let max = values.iter().cloned().fold(0.0, f64::max);
+    let floor = max * 10f64.powf(-db_down / 10.0);
+    values.iter().filter(|&&v| v > floor).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hermitian(n: usize, seed: u64) -> CMat {
+        let mut state = seed | 1;
+        let a = CMat::from_fn(n + 3, n, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            Cx::new(
+                (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5,
+                (state >> 14) as f64 / (1u64 << 50) as f64 - 4.0,
+            )
+        });
+        a.hermitian_matmul(&a)
+    }
+
+    #[test]
+    fn reconstructs_the_matrix() {
+        let a = hermitian(7, 5);
+        let e = eigen_hermitian(&a);
+        // V diag(w) V^H == A
+        let mut vd = e.vectors.clone();
+        for j in 0..7 {
+            for i in 0..7 {
+                vd[(i, j)] = vd[(i, j)].scale(e.values[j]);
+            }
+        }
+        let back = vd.matmul(&e.vectors.hermitian());
+        let scale = a.fro_norm().max(1.0);
+        assert!(
+            back.max_abs_diff(&a) < 1e-10 * scale,
+            "{}",
+            back.max_abs_diff(&a)
+        );
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let e = eigen_hermitian(&hermitian(6, 9));
+        let g = e.vectors.hermitian_matmul(&e.vectors);
+        assert!(g.max_abs_diff(&CMat::identity(6)) < 1e-10);
+    }
+
+    #[test]
+    fn values_are_sorted_descending_and_real_psd() {
+        let e = eigen_hermitian(&hermitian(8, 11));
+        for w in e.values.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+        // A^H A is PSD.
+        assert!(*e.values.last().unwrap() > -1e-9);
+    }
+
+    #[test]
+    fn diagonal_matrix_is_its_own_decomposition() {
+        let mut a = CMat::zeros(4, 4);
+        for (i, v) in [5.0, 1.0, 3.0, 2.0].iter().enumerate() {
+            a[(i, i)] = Cx::real(*v);
+        }
+        let e = eigen_hermitian(&a);
+        assert_eq!(
+            e.values
+                .iter()
+                .map(|v| v.round() as i64)
+                .collect::<Vec<_>>(),
+            vec![5, 3, 2, 1]
+        );
+    }
+
+    #[test]
+    fn rank_one_matrix_has_one_big_eigenvalue() {
+        let n = 6;
+        let v: Vec<Cx> = (0..n).map(|i| Cx::cis(0.9 * i as f64)).collect();
+        let a = CMat::from_fn(n, n, |i, j| v[i] * v[j].conj());
+        let e = eigen_hermitian(&a);
+        assert!((e.values[0] - n as f64).abs() < 1e-9);
+        for &w in &e.values[1..] {
+            assert!(w.abs() < 1e-9);
+        }
+        assert_eq!(effective_rank(&e.values, 30.0), 1);
+    }
+
+    #[test]
+    fn eigenvalue_sum_equals_trace() {
+        let a = hermitian(9, 21);
+        let e = eigen_hermitian(&a);
+        let trace: f64 = (0..9).map(|i| a[(i, i)].re).sum();
+        let sum: f64 = e.values.iter().sum();
+        assert!((trace - sum).abs() < 1e-9 * trace.abs().max(1.0));
+    }
+
+    #[test]
+    fn effective_rank_thresholding() {
+        let values = vec![100.0, 50.0, 1.0, 0.01];
+        assert_eq!(effective_rank(&values, 10.0), 2);
+        assert_eq!(effective_rank(&values, 25.0), 3);
+        assert_eq!(effective_rank(&values, 50.0), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn non_square_panics() {
+        eigen_hermitian(&CMat::zeros(3, 4));
+    }
+}

@@ -1,0 +1,135 @@
+//! Thread-local floating-point-operation accounting.
+//!
+//! Table 1 of the paper reports the exact number of flops each STAP task
+//! performs on one CPI. To *measure* (not just assert) those numbers, the
+//! heavy kernels in this crate report the operations they execute here.
+//! Counting is thread-local and enabled explicitly, so release-mode
+//! performance of uninstrumented runs is unaffected beyond one branch per
+//! kernel call (counts are accumulated per kernel invocation, not per
+//! scalar operation).
+//!
+//! Convention (standard in the radar benchmarking literature, e.g. the
+//! MITRE RT_STAP benchmark the paper cites): one real add, subtract,
+//! multiply, divide or compare = 1 flop; a complex add = 2 flops; a complex
+//! multiply = 6 flops; a complex multiply-accumulate = 8 flops.
+
+use std::cell::Cell;
+
+thread_local! {
+    static COUNTER: Cell<u64> = const { Cell::new(0) };
+    static ENABLED: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Flops for one complex addition.
+pub const CADD: u64 = 2;
+/// Flops for one complex multiplication.
+pub const CMUL: u64 = 6;
+/// Flops for one complex multiply-accumulate.
+pub const CMAC: u64 = 8;
+
+/// Enables counting on the current thread and zeroes the counter.
+pub fn start() {
+    COUNTER.with(|c| c.set(0));
+    ENABLED.with(|e| e.set(true));
+}
+
+/// Disables counting on the current thread and returns the total.
+pub fn stop() -> u64 {
+    ENABLED.with(|e| e.set(false));
+    COUNTER.with(|c| c.get())
+}
+
+/// Returns the current count without disabling.
+pub fn current() -> u64 {
+    COUNTER.with(|c| c.get())
+}
+
+/// Whether counting is currently enabled on this thread.
+pub fn enabled() -> bool {
+    ENABLED.with(|e| e.get())
+}
+
+/// Adds `n` flops to this thread's counter if counting is enabled.
+#[inline]
+pub fn add(n: u64) {
+    ENABLED.with(|e| {
+        if e.get() {
+            COUNTER.with(|c| c.set(c.get() + n));
+        }
+    });
+}
+
+/// Runs `f` with counting enabled and returns `(result, flops)`.
+///
+/// Counting state is restored afterwards, so scopes nest: an inner `count`
+/// contributes its total to an outer one.
+pub fn count<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let outer_enabled = enabled();
+    let outer = COUNTER.with(|c| c.get());
+    COUNTER.with(|c| c.set(0));
+    ENABLED.with(|e| e.set(true));
+    let out = f();
+    let inner = COUNTER.with(|c| c.get());
+    ENABLED.with(|e| e.set(outer_enabled));
+    COUNTER.with(|c| c.set(outer + inner));
+    (out, inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default() {
+        // A fresh thread has counting off.
+        std::thread::spawn(|| {
+            add(10);
+            assert_eq!(current(), 0);
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn start_stop_counts() {
+        start();
+        add(5);
+        add(7);
+        assert_eq!(stop(), 12);
+        // Counting is now off again.
+        add(99);
+        assert_eq!(current(), 12);
+    }
+
+    #[test]
+    fn scoped_count_returns_inner_total() {
+        let ((), n) = count(|| add(42));
+        assert_eq!(n, 42);
+    }
+
+    #[test]
+    fn nested_scopes_accumulate_into_outer() {
+        let ((), outer) = count(|| {
+            add(1);
+            let ((), inner) = count(|| add(10));
+            assert_eq!(inner, 10);
+            add(100);
+        });
+        assert_eq!(outer, 111);
+    }
+
+    #[test]
+    fn counters_are_thread_local() {
+        start();
+        add(3);
+        std::thread::spawn(|| {
+            assert_eq!(current(), 0);
+            start();
+            add(1000);
+            assert_eq!(stop(), 1000);
+        })
+        .join()
+        .unwrap();
+        assert_eq!(stop(), 3);
+    }
+}

@@ -1,0 +1,31 @@
+//! Numerical kernels for the parallel pipelined STAP reproduction.
+//!
+//! This crate is self-contained (no external linear-algebra or FFT
+//! dependencies) and provides everything the STAP signal-processing chain
+//! needs:
+//!
+//! * [`Cx`] — double-precision complex numbers,
+//! * [`fft`] — radix-2 and Bluestein FFTs with a reusable [`fft::Fft`] plan,
+//! * [`window`] — Hanning/Hamming/rectangular tapers,
+//! * [`mat::CMat`] — dense complex matrices with a cache-friendly multiply,
+//! * [`qr`] — Householder QR, recursive (exponentially forgotten) QR
+//!   updates and block constraint updates,
+//! * [`solve`] — back substitution and constrained least squares,
+//! * [`flops`] — thread-local floating-point-operation accounting used to
+//!   regenerate Table 1 of the paper.
+//!
+//! The heavy kernels count the flops they perform through [`flops`], so the
+//! paper's operation counts can be measured rather than merely asserted.
+
+pub mod cholesky;
+pub mod complex;
+pub mod eigen;
+pub mod fft;
+pub mod flops;
+pub mod mat;
+pub mod qr;
+pub mod solve;
+pub mod window;
+
+pub use complex::Cx;
+pub use mat::CMat;

@@ -1,0 +1,301 @@
+//! Triangular solves and (constrained) least squares.
+//!
+//! The adaptive weight problem in the paper (Appendix A) is the least
+//! squares system `M w = rhs` where `M` stacks clutter training snapshots
+//! on top of a scaled identity block (the mainbeam constraint) and `rhs`
+//! is zero except for the constraint rows, which hold the steering vector.
+//! [`constrained_lstsq`] implements exactly that formulation; the easy and
+//! hard weight tasks in `stap-core` build their specific `M` blocks and
+//! call into here.
+
+use crate::complex::{Cx, ZERO};
+use crate::flops;
+use crate::mat::CMat;
+use crate::qr::{qr_update, qr_with_rhs};
+
+/// Solves `R X = B` for upper-triangular `R` (multiple right-hand sides).
+///
+/// Panics when `R` is not square or the shapes disagree. Singular diagonal
+/// entries propagate non-finite values rather than panicking (callers
+/// check `is_finite` where it matters).
+pub fn back_substitute(r: &CMat, b: &CMat) -> CMat {
+    let n = r.rows();
+    assert_eq!(r.cols(), n, "R must be square");
+    assert_eq!(b.rows(), n, "rhs rows must match R");
+    let mut x = b.clone();
+    for j in 0..b.cols() {
+        for i in (0..n).rev() {
+            let mut acc = x[(i, j)];
+            for k in i + 1..n {
+                acc = acc - r[(i, k)] * x[(k, j)];
+            }
+            x[(i, j)] = acc / r[(i, i)];
+        }
+    }
+    flops::add((b.cols() * n * n) as u64 * flops::CMAC / 2 + (b.cols() * n) as u64 * 7);
+    x
+}
+
+/// Ordinary least squares `argmin_X ||A X - B||_F` via Householder QR.
+pub fn lstsq(a: &CMat, b: &CMat) -> CMat {
+    let (r, qtb) = qr_with_rhs(a, b);
+    back_substitute(&r, &qtb)
+}
+
+/// Beam-constrained least squares (paper Fig. 13).
+///
+/// Solves `[data; k C] w = [0; k s]` for each steering column `s` of
+/// `steering`, where `C` is the constraint matrix (often an identity or a
+/// stagger-phase-paired identity) and `k` the beam-constraint weight. The
+/// result columns are normalized to unit length, matching the MATLAB
+/// reference (`wts / sqrt(wts' * wts)`).
+pub fn constrained_lstsq(data: &CMat, constraint: &CMat, k: f64, steering: &CMat) -> CMat {
+    assert_eq!(
+        constraint.cols(),
+        data.cols(),
+        "constraint column mismatch"
+    );
+    assert_eq!(
+        steering.rows(),
+        constraint.rows(),
+        "steering rows must match constraint rows"
+    );
+    let stacked = data.vstack(&constraint.scale(k));
+    let mut rhs = CMat::zeros(stacked.rows(), steering.cols());
+    for i in 0..constraint.rows() {
+        for j in 0..steering.cols() {
+            rhs[(data.rows() + i, j)] = steering[(i, j)].scale(k);
+        }
+    }
+    let w = lstsq(&stacked, &rhs);
+    normalize_columns(w)
+}
+
+/// Beam-constrained least squares starting from a precomputed triangular
+/// factor `R` of the training data (the recursive hard-bin path): solves
+/// `[R; k C] w = [0; k s]`.
+///
+/// `R` already summarizes the training snapshots, so only the constraint
+/// rows need annihilating — the [`qr_update`] structure makes this cheap.
+pub fn constrained_lstsq_from_r(r: &CMat, constraint: &CMat, k: f64, steering: &CMat) -> CMat {
+    let n = r.cols();
+    assert_eq!(constraint.cols(), n, "constraint column mismatch");
+    assert_eq!(
+        steering.rows(),
+        constraint.rows(),
+        "steering rows must match constraint rows"
+    );
+    // Annihilate the constraint block against R, tracking the rhs through
+    // the same reflections: factor the bordered system
+    //   [R  0 ] -> updated R and transformed rhs.
+    //   [kC ks]
+    let scaled_c = constraint.scale(k);
+    let bordered = {
+        // Append the rhs as extra columns so one pass transforms both.
+        let mut m = CMat::zeros(r.rows() + scaled_c.rows(), n + steering.cols());
+        for i in 0..r.rows() {
+            for j in 0..n {
+                m[(i, j)] = r[(i, j)];
+            }
+        }
+        for i in 0..scaled_c.rows() {
+            for j in 0..n {
+                m[(r.rows() + i, j)] = scaled_c[(i, j)];
+            }
+            for j in 0..steering.cols() {
+                m[(r.rows() + i, n + j)] = steering[(i, j)].scale(k);
+            }
+        }
+        m
+    };
+    // The leading n x n block is triangular: use the structured update on
+    // the extended matrix.
+    let top = bordered.rows_range(0, n);
+    let bottom = bordered.rows_range(n, bordered.rows());
+    let rr = qr_update(&top, 1.0, &bottom);
+    let r_new = CMat::from_fn(n, n, |i, j| rr[(i, j)]);
+    let qtb = CMat::from_fn(n, steering.cols(), |i, j| rr[(i, n + j)]);
+    normalize_columns(back_substitute(&r_new, &qtb))
+}
+
+/// Scales every column to unit Euclidean length (zero columns unchanged).
+pub fn normalize_columns(mut w: CMat) -> CMat {
+    for j in 0..w.cols() {
+        let norm = (0..w.rows()).map(|i| w[(i, j)].norm_sqr()).sum::<f64>().sqrt();
+        if norm > 0.0 {
+            let inv = 1.0 / norm;
+            for i in 0..w.rows() {
+                w[(i, j)] = w[(i, j)].scale(inv);
+            }
+        }
+    }
+    flops::add((w.rows() * w.cols()) as u64 * 6);
+    w
+}
+
+/// Residual `||A X - B||_F`, a convenience for tests and diagnostics.
+pub fn residual_norm(a: &CMat, x: &CMat, b: &CMat) -> f64 {
+    a.matmul(x).sub(b).fro_norm()
+}
+
+/// Solves `R^H y = b` (forward substitution on the conjugate transpose),
+/// needed when whitening snapshots against a Cholesky-like factor.
+pub fn forward_substitute_hermitian(r: &CMat, b: &[Cx]) -> Vec<Cx> {
+    let n = r.rows();
+    assert_eq!(r.cols(), n, "R must be square");
+    assert_eq!(b.len(), n, "rhs length must match R");
+    let mut y = vec![ZERO; n];
+    for i in 0..n {
+        let mut acc = b[i];
+        for k in 0..i {
+            acc = acc - r[(k, i)].conj() * y[k];
+        }
+        y[i] = acc / r[(i, i)].conj();
+    }
+    flops::add((n * n) as u64 * flops::CMAC / 2 + n as u64 * 7);
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qr::qr_r;
+
+    fn rng_mat(m: usize, n: usize, seed: u64) -> CMat {
+        let mut state = seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(99);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        CMat::from_fn(m, n, |_, _| Cx::new(next(), next()))
+    }
+
+    #[test]
+    fn back_substitution_inverts_triangular_multiply() {
+        let r = qr_r(&rng_mat(20, 6, 1));
+        let x = rng_mat(6, 3, 2);
+        let b = r.matmul(&x);
+        let got = back_substitute(&r, &b);
+        assert!(got.max_abs_diff(&x) < 1e-10);
+    }
+
+    #[test]
+    fn lstsq_recovers_exact_solution() {
+        let a = rng_mat(50, 8, 3);
+        let x = rng_mat(8, 2, 4);
+        let b = a.matmul(&x);
+        let got = lstsq(&a, &b);
+        assert!(got.max_abs_diff(&x) < 1e-9);
+    }
+
+    #[test]
+    fn lstsq_residual_is_orthogonal_to_columns() {
+        // For overdetermined inconsistent systems, A^H (Ax - b) = 0.
+        let a = rng_mat(40, 5, 7);
+        let b = rng_mat(40, 1, 8);
+        let x = lstsq(&a, &b);
+        let resid = a.matmul(&x).sub(&b);
+        let ortho = a.hermitian_matmul(&resid);
+        assert!(ortho.fro_norm() < 1e-9, "{}", ortho.fro_norm());
+    }
+
+    #[test]
+    fn constrained_solution_is_unit_norm() {
+        let data = rng_mat(64, 8, 5);
+        let c = CMat::identity(8);
+        let s = rng_mat(8, 3, 6);
+        let w = constrained_lstsq(&data, &c, 0.5, &s);
+        for j in 0..3 {
+            let norm: f64 = (0..8).map(|i| w[(i, j)].norm_sqr()).sum();
+            assert!((norm - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn large_constraint_weight_pins_solution_to_steering() {
+        // As k -> infinity the constrained solution approaches the
+        // (normalized) steering vector itself.
+        let data = rng_mat(64, 6, 9);
+        let c = CMat::identity(6);
+        let s = rng_mat(6, 1, 10);
+        let w = constrained_lstsq(&data, &c, 1e6, &s);
+        let s_unit = normalize_columns(s);
+        // Compare up to the global phase the normalization leaves free.
+        let mut dot = ZERO;
+        for i in 0..6 {
+            dot += s_unit[(i, 0)].conj() * w[(i, 0)];
+        }
+        assert!((dot.abs() - 1.0).abs() < 1e-6, "|<s,w>| = {}", dot.abs());
+    }
+
+    #[test]
+    fn small_constraint_weight_prioritizes_clutter_cancellation() {
+        // Data with a dominant rank-1 interference direction: the adapted
+        // weight must be (nearly) orthogonal to it when k is small.
+        let n = 6;
+        let interferer = rng_mat(1, n, 11);
+        let mut data = CMat::zeros(60, n);
+        let mut state = 17u64;
+        for i in 0..60 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let g = Cx::new(
+                ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5,
+                ((state >> 13) as f64 % 1024.0) / 1024.0 - 0.5,
+            );
+            for j in 0..n {
+                data[(i, j)] = interferer[(0, j)] * g.scale(30.0);
+            }
+        }
+        let steering = CMat::from_fn(n, 1, |_, _| Cx::real(1.0 / (n as f64).sqrt()));
+        let w = constrained_lstsq(&data, &CMat::identity(n), 0.05, &steering);
+        let mut response = ZERO;
+        for j in 0..n {
+            response += interferer[(0, j)] * w[(j, 0)];
+        }
+        assert!(
+            response.abs() < 1e-2,
+            "clutter response should be nulled, got {}",
+            response.abs()
+        );
+    }
+
+    #[test]
+    fn constrained_from_r_matches_full_solve() {
+        let data = rng_mat(80, 8, 13);
+        let r = qr_r(&data);
+        let c = CMat::identity(8);
+        let s = rng_mat(8, 2, 14);
+        let full = constrained_lstsq(&data, &c, 0.5, &s);
+        let fast = constrained_lstsq_from_r(&r, &c, 0.5, &s);
+        // Solutions may differ by a per-column unit phase; compare the
+        // projector they define instead.
+        for j in 0..2 {
+            let mut dot = ZERO;
+            for i in 0..8 {
+                dot += full[(i, j)].conj() * fast[(i, j)];
+            }
+            assert!((dot.abs() - 1.0).abs() < 1e-8, "col {j}: {}", dot.abs());
+        }
+    }
+
+    #[test]
+    fn forward_substitute_hermitian_inverts() {
+        let r = qr_r(&rng_mat(20, 5, 15));
+        let y: Vec<Cx> = (0..5).map(|i| Cx::new(i as f64, -1.0)).collect();
+        // b = R^H y
+        let rh = r.hermitian();
+        let b = rh.matvec(&y);
+        let got = forward_substitute_hermitian(&r, &b);
+        for i in 0..5 {
+            assert!(got[i].approx_eq(y[i], 1e-10));
+        }
+    }
+
+    #[test]
+    fn normalize_handles_zero_columns() {
+        let w = normalize_columns(CMat::zeros(4, 2));
+        assert!(w.fro_norm() == 0.0);
+    }
+}

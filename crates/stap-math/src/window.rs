@@ -1,0 +1,153 @@
+//! Taper (window) functions applied before the Doppler FFT.
+//!
+//! The paper: "Selectable window functions are applied to the data prior to
+//! the Doppler FFT's to control sidelobe levels. The selection of a window
+//! is a key parameter in that it impacts the leakage of clutter returns
+//! across Doppler bins, traded off against the width of the clutter
+//! passband." The MATLAB reference uses `hanning(num_pulses - stagger)`.
+
+use std::f64::consts::PI;
+
+/// Supported taper functions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Window {
+    /// No taper (all ones). Narrowest mainlobe, worst sidelobes.
+    Rectangular,
+    /// Hann taper — the paper's default (`hanning` in MATLAB).
+    #[default]
+    Hanning,
+    /// Hamming taper.
+    Hamming,
+    /// Blackman taper — lowest sidelobes, widest clutter passband.
+    Blackman,
+}
+
+impl Window {
+    /// Samples the taper at `i` of `n` points (MATLAB-style symmetric
+    /// window: `hanning(n)` in MATLAB excludes the zero end points, i.e.
+    /// uses `sin^2(pi (i+1) / (n+1))`).
+    pub fn coeff(self, i: usize, n: usize) -> f64 {
+        assert!(i < n, "window index {i} out of range for length {n}");
+        if n == 1 {
+            return 1.0;
+        }
+        match self {
+            Window::Rectangular => 1.0,
+            Window::Hanning => {
+                let x = PI * (i + 1) as f64 / (n + 1) as f64;
+                x.sin() * x.sin()
+            }
+            Window::Hamming => {
+                let x = 2.0 * PI * i as f64 / (n - 1) as f64;
+                0.54 - 0.46 * x.cos()
+            }
+            Window::Blackman => {
+                let x = 2.0 * PI * i as f64 / (n - 1) as f64;
+                0.42 - 0.5 * x.cos() + 0.08 * (2.0 * x).cos()
+            }
+        }
+    }
+
+    /// Materializes the full taper.
+    pub fn sample(self, n: usize) -> Vec<f64> {
+        (0..n).map(|i| self.coeff(i, n)).collect()
+    }
+
+    /// Coherent gain: mean of the coefficients. Used to normalize Doppler
+    /// spectra when comparing windows.
+    pub fn coherent_gain(self, n: usize) -> f64 {
+        self.sample(n).iter().sum::<f64>() / n as f64
+    }
+
+    /// Parses a window by (case-insensitive) name.
+    pub fn from_name(name: &str) -> Option<Window> {
+        match name.to_ascii_lowercase().as_str() {
+            "rect" | "rectangular" | "none" => Some(Window::Rectangular),
+            "hann" | "hanning" => Some(Window::Hanning),
+            "hamming" => Some(Window::Hamming),
+            "blackman" => Some(Window::Blackman),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rectangular_is_all_ones() {
+        assert!(Window::Rectangular
+            .sample(16)
+            .iter()
+            .all(|&w| w == 1.0));
+    }
+
+    #[test]
+    fn hanning_is_symmetric_and_positive() {
+        let w = Window::Hanning.sample(125);
+        for i in 0..125 {
+            assert!(w[i] > 0.0, "MATLAB hanning has no zero endpoints");
+            assert!((w[i] - w[124 - i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn hanning_peak_is_near_one_at_center() {
+        let w = Window::Hanning.sample(125);
+        let mid = w[62];
+        assert!((mid - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn hamming_endpoints() {
+        let w = Window::Hamming.sample(64);
+        assert!((w[0] - 0.08).abs() < 1e-12);
+        assert!((w[63] - 0.08).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blackman_endpoints_are_zero() {
+        let w = Window::Blackman.sample(64);
+        assert!(w[0].abs() < 1e-12);
+        assert!(w[63].abs() < 1e-12);
+    }
+
+    #[test]
+    fn coherent_gain_ordering() {
+        // Rect > Hamming > Hanning > Blackman in coherent gain.
+        let n = 128;
+        let r = Window::Rectangular.coherent_gain(n);
+        let hm = Window::Hamming.coherent_gain(n);
+        let hn = Window::Hanning.coherent_gain(n);
+        let bl = Window::Blackman.coherent_gain(n);
+        assert!(r > hm && hm > hn && hn > bl, "{r} {hm} {hn} {bl}");
+    }
+
+    #[test]
+    fn from_name_roundtrip() {
+        assert_eq!(Window::from_name("HANNING"), Some(Window::Hanning));
+        assert_eq!(Window::from_name("hamming"), Some(Window::Hamming));
+        assert_eq!(Window::from_name("rect"), Some(Window::Rectangular));
+        assert_eq!(Window::from_name("blackman"), Some(Window::Blackman));
+        assert_eq!(Window::from_name("kaiser"), None);
+    }
+
+    #[test]
+    fn length_one_window_is_unity() {
+        for w in [
+            Window::Rectangular,
+            Window::Hanning,
+            Window::Hamming,
+            Window::Blackman,
+        ] {
+            assert_eq!(w.coeff(0, 1), 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_index_panics() {
+        Window::Hanning.coeff(5, 5);
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests for the numerical kernels.
+
+use proptest::prelude::*;
+use stap_math::fft::{dft_naive, Direction, Fft};
+use stap_math::qr::{is_upper_triangular, qr_r, qr_update};
+use stap_math::solve::{back_substitute, lstsq};
+use stap_math::{CMat, Cx};
+
+fn cx_strategy() -> impl Strategy<Value = Cx> {
+    (-100.0f64..100.0, -100.0f64..100.0).prop_map(|(re, im)| Cx::new(re, im))
+}
+
+fn cvec(len: usize) -> impl Strategy<Value = Vec<Cx>> {
+    proptest::collection::vec(cx_strategy(), len)
+}
+
+fn cmat(rows: usize, cols: usize) -> impl Strategy<Value = CMat> {
+    cvec(rows * cols).prop_map(move |v| CMat::from_vec(rows, cols, v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn complex_mul_commutes(a in cx_strategy(), b in cx_strategy()) {
+        prop_assert!((a * b).approx_eq(b * a, 1e-9));
+    }
+
+    #[test]
+    fn complex_distributive(a in cx_strategy(), b in cx_strategy(), c in cx_strategy()) {
+        prop_assert!((a * (b + c)).approx_eq(a * b + a * c, 1e-6));
+    }
+
+    #[test]
+    fn conj_is_multiplicative(a in cx_strategy(), b in cx_strategy()) {
+        prop_assert!((a * b).conj().approx_eq(a.conj() * b.conj(), 1e-8));
+    }
+
+    #[test]
+    fn fft_roundtrip_any_length(data in (1usize..80).prop_flat_map(cvec)) {
+        let plan = Fft::new(data.len());
+        let mut y = data.clone();
+        plan.forward(&mut y);
+        plan.inverse(&mut y);
+        for (got, want) in y.iter().zip(&data) {
+            prop_assert!(got.approx_eq(*want, 1e-6));
+        }
+    }
+
+    #[test]
+    fn fft_matches_naive_dft(data in (2usize..48).prop_flat_map(cvec)) {
+        let mut y = data.clone();
+        Fft::new(data.len()).forward(&mut y);
+        let want = dft_naive(&data, Direction::Forward);
+        for (got, want) in y.iter().zip(&want) {
+            prop_assert!(got.approx_eq(*want, 1e-5), "{got:?} vs {want:?}");
+        }
+    }
+
+    #[test]
+    fn fft_parseval(data in cvec(64)) {
+        let mut y = data.clone();
+        Fft::new(64).forward(&mut y);
+        let ex: f64 = data.iter().map(|v| v.norm_sqr()).sum();
+        let ey: f64 = y.iter().map(|v| v.norm_sqr()).sum::<f64>() / 64.0;
+        prop_assert!((ex - ey).abs() <= 1e-7 * ex.max(1.0));
+    }
+
+    #[test]
+    fn fft_shift_theorem(data in cvec(32)) {
+        // Circular shift by s multiplies spectrum by e^{-2 pi i k s / n}.
+        let n = 32usize;
+        let s = 5usize;
+        let shifted: Vec<Cx> = (0..n).map(|k| data[(k + n - s) % n]).collect();
+        let plan = Fft::new(n);
+        let mut fd = data.clone();
+        let mut fs = shifted;
+        plan.forward(&mut fd);
+        plan.forward(&mut fs);
+        for k in 0..n {
+            let phase = Cx::cis(-2.0 * std::f64::consts::PI * (k * s) as f64 / n as f64);
+            prop_assert!(fs[k].approx_eq(fd[k] * phase, 1e-6));
+        }
+    }
+
+    #[test]
+    fn qr_preserves_gram_matrix(a in cmat(24, 6)) {
+        let r = qr_r(&a);
+        prop_assert!(is_upper_triangular(&r, 1e-9));
+        let ga = a.hermitian_matmul(&a);
+        let gr = r.hermitian_matmul(&r);
+        let scale = ga.fro_norm().max(1.0);
+        prop_assert!(ga.max_abs_diff(&gr) < 1e-8 * scale);
+    }
+
+    #[test]
+    fn qr_update_equals_refactorization(top in cmat(20, 5), extra in cmat(8, 5)) {
+        let r_old = qr_r(&top);
+        let fast = qr_update(&r_old, 0.7, &extra);
+        let slow = qr_r(&r_old.scale(0.7).vstack(&extra));
+        let gf = fast.hermitian_matmul(&fast);
+        let gs = slow.hermitian_matmul(&slow);
+        let scale = gs.fro_norm().max(1.0);
+        prop_assert!(gf.max_abs_diff(&gs) < 1e-8 * scale);
+    }
+
+    #[test]
+    fn back_substitution_solves_triangular_systems(a in cmat(20, 6), x in cmat(6, 2)) {
+        let r = qr_r(&a);
+        // Skip near-singular draws: smallest diagonal must be meaningful.
+        let min_diag = (0..6).map(|i| r[(i, i)].abs()).fold(f64::MAX, f64::min);
+        prop_assume!(min_diag > 1e-3 * r.fro_norm());
+        let b = r.matmul(&x);
+        let got = back_substitute(&r, &b);
+        let scale = x.fro_norm().max(1.0);
+        prop_assert!(got.max_abs_diff(&x) < 1e-6 * scale);
+    }
+
+    #[test]
+    fn lstsq_residual_orthogonal(a in cmat(24, 4), b in cmat(24, 1)) {
+        let r = qr_r(&a);
+        let min_diag = (0..4).map(|i| r[(i, i)].abs()).fold(f64::MAX, f64::min);
+        prop_assume!(min_diag > 1e-3 * r.fro_norm().max(1e-9));
+        let x = lstsq(&a, &b);
+        let resid = a.matmul(&x).sub(&b);
+        let ortho = a.hermitian_matmul(&resid);
+        let scale = a.fro_norm() * b.fro_norm();
+        prop_assert!(ortho.fro_norm() < 1e-7 * scale.max(1.0));
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(a in cmat(5, 4), b in cmat(4, 3), c in cmat(4, 3)) {
+        let left = a.matmul(&b.add(&c));
+        let right = a.matmul(&b).add(&a.matmul(&c));
+        let scale = left.fro_norm().max(1.0);
+        prop_assert!(left.max_abs_diff(&right) < 1e-8 * scale);
+    }
+
+    #[test]
+    fn hermitian_reverses_products(a in cmat(4, 5), b in cmat(5, 3)) {
+        let left = a.matmul(&b).hermitian();
+        let right = b.hermitian().matmul(&a.hermitian());
+        let scale = left.fro_norm().max(1.0);
+        prop_assert!(left.max_abs_diff(&right) < 1e-8 * scale);
+    }
+}

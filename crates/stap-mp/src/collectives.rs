@@ -1,0 +1,286 @@
+//! Collective operations built on the point-to-point layer.
+//!
+//! The STAP pipeline itself uses hand-scheduled all-to-all exchanges
+//! (see `stap-pipeline::tasks`), but a complete message-passing
+//! substrate needs the standard collectives for setup, reduction of
+//! statistics, and test orchestration. All collectives take an explicit
+//! `root`/`group` so sub-communicators are unnecessary; every rank in
+//! `group` must call the collective with the same arguments (as in MPI,
+//! mismatched calls deadlock — a `Disconnected` error surfaces if peers
+//! exit instead).
+//!
+//! Tags: collectives derive their tags from a caller-supplied `tag`
+//! base, so different collective invocations in flight never
+//! cross-match; reuse a tag only after the previous collective with it
+//! completed on all ranks.
+
+use crate::comm::{Comm, RecvError, Tag};
+
+/// Broadcasts `value` from `root` to every rank in `group` (binomial
+/// tree). Returns the value on every rank.
+pub fn broadcast<M: Send + Clone>(
+    comm: &mut Comm<M>,
+    group: &[usize],
+    root: usize,
+    tag: Tag,
+    value: Option<M>,
+) -> Result<M, RecvError> {
+    let me = comm.rank();
+    let pos = group
+        .iter()
+        .position(|&r| r == me)
+        .expect("caller must be in the group");
+    let root_pos = group
+        .iter()
+        .position(|&r| r == root)
+        .expect("root must be in the group");
+    let n = group.len();
+    // Re-index so the root is virtual rank 0.
+    let vrank = (pos + n - root_pos) % n;
+    let mut have = if vrank == 0 {
+        Some(value.expect("root must supply the value"))
+    } else {
+        None
+    };
+    // Binomial tree: in round k, ranks < 2^k with data send to
+    // rank + 2^k.
+    let mut step = 1usize;
+    while step < n {
+        if vrank < step {
+            let peer = vrank + step;
+            if peer < n {
+                let dst = group[(peer + root_pos) % n];
+                comm.send(dst, tag, have.clone().expect("sender has data"));
+            }
+        } else if vrank < 2 * step && have.is_none() {
+            let src = group[(vrank - step + root_pos) % n];
+            have = Some(comm.recv(src, tag)?);
+        }
+        step *= 2;
+    }
+    Ok(have.expect("every rank receives in log2(n) rounds"))
+}
+
+/// Gathers one value from every rank in `group` to `root`; returns
+/// `Some(values ordered like group)` on the root, `None` elsewhere.
+pub fn gather<M: Send>(
+    comm: &mut Comm<M>,
+    group: &[usize],
+    root: usize,
+    tag: Tag,
+    value: M,
+) -> Result<Option<Vec<M>>, RecvError> {
+    let me = comm.rank();
+    if me != root {
+        comm.send(root, tag, value);
+        return Ok(None);
+    }
+    let mut slots: Vec<Option<M>> = group.iter().map(|_| None).collect();
+    let my_pos = group.iter().position(|&r| r == me).expect("root in group");
+    slots[my_pos] = Some(value);
+    for _ in 0..group.len() - 1 {
+        let (src, v) = comm.recv_any(tag)?;
+        let pos = group
+            .iter()
+            .position(|&r| r == src)
+            .expect("message from outside the group");
+        slots[pos] = Some(v);
+    }
+    Ok(Some(slots.into_iter().map(|s| s.unwrap()).collect()))
+}
+
+/// Reduces values from all ranks in `group` onto the root with `op`
+/// (order follows `group`, so non-commutative folds are deterministic).
+pub fn reduce<M: Send>(
+    comm: &mut Comm<M>,
+    group: &[usize],
+    root: usize,
+    tag: Tag,
+    value: M,
+    op: impl Fn(M, M) -> M,
+) -> Result<Option<M>, RecvError> {
+    Ok(gather(comm, group, root, tag, value)?
+        .map(|vs| vs.into_iter().reduce(&op).expect("group is non-empty")))
+}
+
+/// All-reduce: every rank gets the reduction (reduce to `group[0]`,
+/// then broadcast).
+pub fn all_reduce<M: Send + Clone>(
+    comm: &mut Comm<M>,
+    group: &[usize],
+    tag: Tag,
+    value: M,
+    op: impl Fn(M, M) -> M,
+) -> Result<M, RecvError> {
+    let root = group[0];
+    let reduced = reduce(comm, group, root, tag, value, op)?;
+    broadcast(comm, group, root, tag + 1, reduced)
+}
+
+/// Scatters `values` (one per group member, ordered like `group`) from
+/// the root; returns this rank's element.
+pub fn scatter<M: Send>(
+    comm: &mut Comm<M>,
+    group: &[usize],
+    root: usize,
+    tag: Tag,
+    values: Option<Vec<M>>,
+) -> Result<M, RecvError> {
+    let me = comm.rank();
+    if me == root {
+        let values = values.expect("root must supply values");
+        assert_eq!(values.len(), group.len(), "one value per group member");
+        let mut mine = None;
+        for (v, &dst) in values.into_iter().zip(group) {
+            if dst == me {
+                mine = Some(v);
+            } else {
+                comm.send(dst, tag, v);
+            }
+        }
+        Ok(mine.expect("root is in the group"))
+    } else {
+        comm.recv(root, tag)
+    }
+}
+
+/// All-to-all personalized exchange: `sends[i]` goes to `group[i]`;
+/// returns the messages received, ordered like `group` (own message
+/// passed through locally).
+pub fn all_to_all<M: Send>(
+    comm: &mut Comm<M>,
+    group: &[usize],
+    tag: Tag,
+    sends: Vec<M>,
+) -> Result<Vec<M>, RecvError> {
+    assert_eq!(sends.len(), group.len(), "one message per group member");
+    let me = comm.rank();
+    let mut own = None;
+    for (v, &dst) in sends.into_iter().zip(group) {
+        if dst == me {
+            own = Some(v);
+        } else {
+            comm.send(dst, tag, v);
+        }
+    }
+    let mut slots: Vec<Option<M>> = group.iter().map(|_| None).collect();
+    let my_pos = group.iter().position(|&r| r == me).expect("rank in group");
+    slots[my_pos] = own;
+    for _ in 0..group.len() - 1 {
+        let (src, v) = comm.recv_any(tag)?;
+        let pos = group
+            .iter()
+            .position(|&r| r == src)
+            .expect("message from outside the group");
+        slots[pos] = Some(v);
+    }
+    Ok(slots.into_iter().map(|s| s.unwrap()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::run_spmd;
+
+    #[test]
+    fn broadcast_from_every_root() {
+        for root in 0..5usize {
+            let group: Vec<usize> = (0..5).collect();
+            let got = run_spmd::<u64, u64>(5, |mut comm| {
+                let v = (comm.rank() == root).then_some(42 + root as u64);
+                broadcast(&mut comm, &group, root, 1, v).unwrap()
+            });
+            assert!(got.iter().all(|&v| v == 42 + root as u64), "root {root}");
+        }
+    }
+
+    #[test]
+    fn gather_preserves_group_order() {
+        let group: Vec<usize> = vec![3, 1, 4, 0, 2];
+        let got = run_spmd::<usize, Option<Vec<usize>>>(5, |mut comm| {
+            let mine = comm.rank() * 10;
+            gather(&mut comm, &group, 4, 2, mine).unwrap()
+        });
+        assert_eq!(got[4], Some(vec![30, 10, 40, 0, 20]));
+        for r in [0, 1, 2, 3] {
+            assert!(got[r].is_none());
+        }
+    }
+
+    #[test]
+    fn reduce_sums_on_root() {
+        let group: Vec<usize> = (0..6).collect();
+        let got = run_spmd::<u64, Option<u64>>(6, |mut comm| {
+            let mine = comm.rank() as u64 + 1;
+            reduce(&mut comm, &group, 0, 3, mine, |a, b| a + b).unwrap()
+        });
+        assert_eq!(got[0], Some(21));
+    }
+
+    #[test]
+    fn all_reduce_max_everywhere() {
+        let group: Vec<usize> = (0..7).collect();
+        let got = run_spmd::<u64, u64>(7, |mut comm| {
+            let mine = ((comm.rank() * 31) % 13) as u64;
+            all_reduce(&mut comm, &group, 10, mine, u64::max).unwrap()
+        });
+        let want = (0..7u64).map(|r| (r * 31) % 13).max().unwrap();
+        assert!(got.iter().all(|&v| v == want));
+    }
+
+    #[test]
+    fn scatter_delivers_per_rank_values() {
+        let group: Vec<usize> = (0..4).collect();
+        let got = run_spmd::<String, String>(4, |mut comm| {
+            let values = (comm.rank() == 2).then(|| {
+                (0..4).map(|i| format!("item{i}")).collect::<Vec<_>>()
+            });
+            scatter(&mut comm, &group, 2, 5, values).unwrap()
+        });
+        for (r, v) in got.iter().enumerate() {
+            assert_eq!(v, &format!("item{r}"));
+        }
+    }
+
+    #[test]
+    fn all_to_all_transposes_the_message_matrix() {
+        let group: Vec<usize> = (0..4).collect();
+        let got = run_spmd::<(usize, usize), Vec<(usize, usize)>>(4, |mut comm| {
+            let me = comm.rank();
+            let sends: Vec<(usize, usize)> = (0..4).map(|dst| (me, dst)).collect();
+            all_to_all(&mut comm, &group, 7, sends).unwrap()
+        });
+        for (me, received) in got.iter().enumerate() {
+            for (src, msg) in received.iter().enumerate() {
+                assert_eq!(*msg, (src, me));
+            }
+        }
+    }
+
+    #[test]
+    fn collectives_work_on_subgroups() {
+        // Ranks 1, 3 of a 4-rank world form a group; 0 and 2 stay out.
+        let group = vec![1usize, 3];
+        let got = run_spmd::<u32, u32>(4, |mut comm| {
+            let me = comm.rank() as u32;
+            if group.contains(&comm.rank()) {
+                all_reduce(&mut comm, &group, 9, me, |a, b| a + b).unwrap()
+            } else {
+                0
+            }
+        });
+        assert_eq!(got, vec![0, 4, 0, 4]);
+    }
+
+    #[test]
+    fn sequential_collectives_with_distinct_tags_do_not_cross() {
+        let group: Vec<usize> = (0..3).collect();
+        let got = run_spmd::<u64, (u64, u64)>(3, |mut comm| {
+            let me = comm.rank() as u64;
+            let a = all_reduce(&mut comm, &group, 100, me, |a, b| a + b).unwrap();
+            let b = all_reduce(&mut comm, &group, 200, me * 2, |a, b| a.max(b)).unwrap();
+            (a, b)
+        });
+        assert!(got.iter().all(|&(a, b)| a == 3 && b == 4));
+    }
+}

@@ -1,0 +1,358 @@
+//! Per-rank communicator with tag/source matching.
+
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Message tag. The STAP pipeline encodes `(task pair, CPI index, phase)`
+/// into tags so successive CPIs never cross-match.
+pub type Tag = u64;
+
+/// Wildcard source for [`Comm::recv_matching`].
+pub const ANY_SOURCE: usize = usize::MAX;
+
+/// Errors surfaced by receive operations.
+#[derive(Debug, PartialEq, Eq)]
+pub enum RecvError {
+    /// All senders disconnected and no matching message is buffered.
+    Disconnected,
+    /// `recv_timeout` elapsed before a matching message arrived.
+    Timeout,
+}
+
+pub(crate) struct Envelope<M> {
+    pub src: usize,
+    pub tag: Tag,
+    pub msg: M,
+}
+
+/// One rank's endpoint into a [`crate::World`].
+///
+/// Sending is asynchronous (enqueue-and-return); receiving blocks until a
+/// message with the requested source and tag is available. Out-of-order
+/// arrivals are buffered internally, mirroring MPI's unexpected-message
+/// queue, so a rank may receive tag `B` before tag `A` even when `A`
+/// arrived first.
+pub struct Comm<M> {
+    pub(crate) rank: usize,
+    pub(crate) senders: Arc<Vec<Sender<Envelope<M>>>>,
+    pub(crate) inbox: Receiver<Envelope<M>>,
+    pub(crate) pending: Vec<Envelope<M>>,
+    pub(crate) barrier: Arc<std::sync::Barrier>,
+    /// Number of endpoints still alive. Every rank shares one `Arc` to the
+    /// sender table, so a blocked receiver keeps its own channel open;
+    /// disconnect is therefore detected by polling this counter instead
+    /// of relying on channel closure.
+    pub(crate) alive: Arc<std::sync::atomic::AtomicUsize>,
+    /// Set when any rank panicked (see `World::run*`): a poisoned world
+    /// can never complete its communication pattern, so receivers fail
+    /// fast with `Disconnected` instead of waiting on a dead peer.
+    pub(crate) poisoned: Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl<M> Drop for Comm<M> {
+    fn drop(&mut self) {
+        self.alive
+            .fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+    }
+}
+
+impl<M: Send> Comm<M> {
+    /// This endpoint's rank in `0..size()`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    pub fn size(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Asynchronously sends `msg` to `dst` with `tag`. Never blocks; the
+    /// message is buffered until the receiver matches it. Sending to a
+    /// rank whose endpoint has been dropped silently discards (the
+    /// pipeline's drain phase relies on this).
+    pub fn send(&self, dst: usize, tag: Tag, msg: M) {
+        assert!(dst < self.size(), "send to rank {dst} of {}", self.size());
+        let _ = self.senders[dst].send(Envelope {
+            src: self.rank,
+            tag,
+            msg,
+        });
+    }
+
+    /// Blocking receive of a message from `src` with `tag`.
+    pub fn recv(&mut self, src: usize, tag: Tag) -> Result<M, RecvError> {
+        self.recv_matching(src, tag)
+    }
+
+    /// Blocking receive matching `(src, tag)`; `src` may be
+    /// [`ANY_SOURCE`]. Returns the message only (use
+    /// [`Comm::recv_any`] to learn the sender).
+    pub fn recv_matching(&mut self, src: usize, tag: Tag) -> Result<M, RecvError> {
+        if let Some(i) = self
+            .pending
+            .iter()
+            .position(|e| e.tag == tag && (src == ANY_SOURCE || e.src == src))
+        {
+            return Ok(self.pending.remove(i).msg);
+        }
+        loop {
+            let e = self.blocking_next()?;
+            if e.tag == tag && (src == ANY_SOURCE || e.src == src) {
+                return Ok(e.msg);
+            }
+            self.pending.push(e);
+        }
+    }
+
+    /// Blocking receive of the next message with `tag` from any source,
+    /// returning `(source, message)`.
+    pub fn recv_any(&mut self, tag: Tag) -> Result<(usize, M), RecvError> {
+        if let Some(i) = self.pending.iter().position(|e| e.tag == tag) {
+            let e = self.pending.remove(i);
+            return Ok((e.src, e.msg));
+        }
+        loop {
+            let e = self.blocking_next()?;
+            if e.tag == tag {
+                return Ok((e.src, e.msg));
+            }
+            self.pending.push(e);
+        }
+    }
+
+    /// Waits for the next envelope, detecting the "everyone else exited"
+    /// condition via the shared liveness counter (see the `alive` field).
+    fn blocking_next(&mut self) -> Result<Envelope<M>, RecvError> {
+        use std::sync::atomic::Ordering;
+        loop {
+            match self.inbox.recv_timeout(Duration::from_millis(2)) {
+                Ok(e) => return Ok(e),
+                Err(RecvTimeoutError::Timeout) => {
+                    if self.poisoned.load(Ordering::SeqCst)
+                        || self.alive.load(Ordering::SeqCst) <= 1
+                    {
+                        // No other endpoint can ever send again; drain any
+                        // message that raced with the counter update.
+                        if let Ok(e) = self.inbox.try_recv() {
+                            return Ok(e);
+                        }
+                        return Err(RecvError::Disconnected);
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => return Err(RecvError::Disconnected),
+            }
+        }
+    }
+
+    /// Like [`Comm::recv_matching`] but gives up after `timeout`.
+    pub fn recv_timeout(&mut self, src: usize, tag: Tag, timeout: Duration) -> Result<M, RecvError> {
+        if let Some(i) = self
+            .pending
+            .iter()
+            .position(|e| e.tag == tag && (src == ANY_SOURCE || e.src == src))
+        {
+            return Ok(self.pending.remove(i).msg);
+        }
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Err(RecvError::Timeout);
+            }
+            match self.inbox.recv_timeout(deadline - now) {
+                Ok(e) => {
+                    if e.tag == tag && (src == ANY_SOURCE || e.src == src) {
+                        return Ok(e.msg);
+                    }
+                    self.pending.push(e);
+                }
+                Err(RecvTimeoutError::Timeout) => return Err(RecvError::Timeout),
+                Err(RecvTimeoutError::Disconnected) => return Err(RecvError::Disconnected),
+            }
+        }
+    }
+
+    /// Non-blocking probe: true when a matching message is available now.
+    pub fn probe(&mut self, src: usize, tag: Tag) -> bool {
+        self.drain_inbox();
+        self.pending
+            .iter()
+            .any(|e| e.tag == tag && (src == ANY_SOURCE || e.src == src))
+    }
+
+    /// Collects `count` messages with `tag` from any sources, e.g. one per
+    /// predecessor-task node in an all-to-all step. Returns them sorted by
+    /// source rank for determinism.
+    pub fn gather_tagged(&mut self, tag: Tag, count: usize) -> Result<Vec<(usize, M)>, RecvError> {
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            out.push(self.recv_any(tag)?);
+        }
+        out.sort_by_key(|(src, _)| *src);
+        Ok(out)
+    }
+
+    /// World-wide barrier (all ranks must call it).
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    fn drain_inbox(&mut self) {
+        while let Ok(e) = self.inbox.try_recv() {
+            self.pending.push(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::world::World;
+    use super::*;
+
+    #[test]
+    fn ping_pong() {
+        let world: World<u32> = World::new(2);
+        world.run(|mut comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 7, 42);
+                assert_eq!(comm.recv(1, 8).unwrap(), 43);
+            } else {
+                let x = comm.recv(0, 7).unwrap();
+                comm.send(0, 8, x + 1);
+            }
+        });
+    }
+
+    #[test]
+    fn out_of_order_tags_are_buffered() {
+        let world: World<&'static str> = World::new(2);
+        world.run(|mut comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, "first");
+                comm.send(1, 2, "second");
+            } else {
+                // Receive in reverse order of arrival.
+                assert_eq!(comm.recv(0, 2).unwrap(), "second");
+                assert_eq!(comm.recv(0, 1).unwrap(), "first");
+            }
+        });
+    }
+
+    #[test]
+    fn source_matching_separates_senders() {
+        let world: World<usize> = World::new(3);
+        world.run(|mut comm| match comm.rank() {
+            0 => comm.send(2, 5, 100),
+            1 => comm.send(2, 5, 200),
+            _ => {
+                // Match rank 1 first even if rank 0's message arrived first.
+                assert_eq!(comm.recv(1, 5).unwrap(), 200);
+                assert_eq!(comm.recv(0, 5).unwrap(), 100);
+            }
+        });
+    }
+
+    #[test]
+    fn recv_any_reports_source() {
+        let world: World<u8> = World::new(3);
+        world.run(|mut comm| match comm.rank() {
+            2 => {
+                let mut got = [false; 2];
+                for _ in 0..2 {
+                    let (src, v) = comm.recv_any(9).unwrap();
+                    assert_eq!(v as usize, src);
+                    got[src] = true;
+                }
+                assert!(got[0] && got[1]);
+            }
+            r => comm.send(2, 9, r as u8),
+        });
+    }
+
+    #[test]
+    fn gather_tagged_sorts_by_source() {
+        let world: World<usize> = World::new(5);
+        world.run(|mut comm| {
+            if comm.rank() == 0 {
+                let msgs = comm.gather_tagged(3, 4).unwrap();
+                let srcs: Vec<usize> = msgs.iter().map(|(s, _)| *s).collect();
+                assert_eq!(srcs, vec![1, 2, 3, 4]);
+                for (s, m) in msgs {
+                    assert_eq!(m, s * 10);
+                }
+            } else {
+                comm.send(0, 3, comm.rank() * 10);
+            }
+        });
+    }
+
+    #[test]
+    fn disconnected_world_errors_cleanly() {
+        let world: World<()> = World::new(2);
+        world.run(|mut comm| {
+            if comm.rank() == 0 {
+                // Exit immediately; rank 1's recv must not hang forever.
+            } else {
+                assert_eq!(comm.recv(0, 1).unwrap_err(), RecvError::Disconnected);
+            }
+        });
+    }
+
+    #[test]
+    fn timeout_fires_when_no_message() {
+        let world: World<()> = World::new(2);
+        world.run(|mut comm| {
+            if comm.rank() == 1 {
+                let r = comm.recv_timeout(0, 1, Duration::from_millis(20));
+                assert!(matches!(r, Err(RecvError::Timeout) | Err(RecvError::Disconnected)));
+            }
+            comm.barrier();
+        });
+    }
+
+    #[test]
+    fn probe_sees_buffered_messages() {
+        let world: World<i32> = World::new(2);
+        world.run(|mut comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 4, -1);
+                comm.barrier();
+            } else {
+                comm.barrier();
+                assert!(comm.probe(0, 4));
+                assert!(!comm.probe(0, 99));
+                assert_eq!(comm.recv(0, 4).unwrap(), -1);
+            }
+        });
+    }
+
+    #[test]
+    fn self_send_works() {
+        let world: World<u64> = World::new(1);
+        world.run(|mut comm| {
+            comm.send(0, 11, 77);
+            assert_eq!(comm.recv(0, 11).unwrap(), 77);
+        });
+    }
+
+    #[test]
+    fn heavy_all_to_all_stress() {
+        const P: usize = 8;
+        let world: World<Vec<u64>> = World::new(P);
+        world.run(|mut comm| {
+            let me = comm.rank();
+            for round in 0..20u64 {
+                for dst in 0..P {
+                    comm.send(dst, round, vec![me as u64, round, dst as u64]);
+                }
+                let msgs = comm.gather_tagged(round, P).unwrap();
+                assert_eq!(msgs.len(), P);
+                for (src, m) in msgs {
+                    assert_eq!(m, vec![src as u64, round, me as u64]);
+                }
+            }
+        });
+    }
+}

@@ -1,0 +1,29 @@
+//! A thread-backed message-passing runtime standing in for MPI.
+//!
+//! The paper's implementation is "ANSI C and MPI" on the Intel Paragon.
+//! This crate reproduces the subset of that programming model the STAP
+//! pipeline uses, with logical ranks running on OS threads:
+//!
+//! * point-to-point `send` / `recv` with **tag and source matching**
+//!   (out-of-order arrivals are buffered, as MPI's unexpected-message
+//!   queue does),
+//! * asynchronous sends: `send` enqueues and returns immediately, the
+//!   exact semantics the paper's double-buffered `MPI_Isend` loop
+//!   (Fig. 10) relies on,
+//! * `recv_any` for servicing whichever predecessor finishes first,
+//! * barriers and a broadcast convenience for test orchestration.
+//!
+//! The runtime is deliberately *transport only*: redistribution planning
+//! lives in `stap-cube`, the pipeline loop in `stap-pipeline`, and
+//! modeled wire time in `stap-machine`. Everything here moves real bytes
+//! between real threads, so the parallel decomposition is testable on any
+//! host, even the single-core container this reproduction was built in.
+
+pub mod collectives;
+pub mod comm;
+pub mod request;
+pub mod world;
+
+pub use comm::{Comm, RecvError, Tag};
+pub use request::RecvRequest;
+pub use world::{run_spmd, World};

@@ -1,0 +1,178 @@
+//! World construction and SPMD launch helpers.
+
+use crate::comm::{Comm, Envelope};
+use crossbeam::channel::unbounded;
+use std::sync::Arc;
+
+/// A set of `n` rank endpoints sharing a message space.
+///
+/// Construct with [`World::new`], then either take the endpoints with
+/// [`World::into_comms`] and place them on your own threads, or use
+/// [`World::run`] to launch one scoped thread per rank.
+pub struct World<M> {
+    comms: Vec<Comm<M>>,
+}
+
+impl<M: Send> World<M> {
+    /// Creates a world of `n` ranks. Panics when `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "world must have at least one rank");
+        let mut txs = Vec::with_capacity(n);
+        let mut rxs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded::<Envelope<M>>();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        let senders = Arc::new(txs);
+        let barrier = Arc::new(std::sync::Barrier::new(n));
+        let alive = Arc::new(std::sync::atomic::AtomicUsize::new(n));
+        let poisoned = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let comms = rxs
+            .into_iter()
+            .enumerate()
+            .map(|(rank, inbox)| Comm {
+                rank,
+                senders: Arc::clone(&senders),
+                inbox,
+                pending: Vec::new(),
+                barrier: Arc::clone(&barrier),
+                alive: Arc::clone(&alive),
+                poisoned: Arc::clone(&poisoned),
+            })
+            .collect();
+        World { comms }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.comms.len()
+    }
+
+    /// Consumes the world, yielding one endpoint per rank (index = rank).
+    pub fn into_comms(self) -> Vec<Comm<M>> {
+        self.comms
+    }
+
+    /// Runs `f` once per rank on scoped threads and joins them all,
+    /// propagating the first panic. This is the SPMD `mpirun`
+    /// equivalent. A panicking rank *poisons* the world: peers blocked
+    /// in receives observe `Disconnected` instead of hanging on a
+    /// communication pattern that can no longer complete.
+    pub fn run<F>(self, f: F)
+    where
+        F: Fn(Comm<M>) -> () + Sync,
+    {
+        std::thread::scope(|s| {
+            for comm in self.comms {
+                let f = &f;
+                s.spawn(move || run_poisoning(f, comm));
+            }
+        });
+    }
+
+    /// Like [`World::run`] but collects each rank's return value, indexed
+    /// by rank.
+    pub fn run_collect<F, R>(self, f: F) -> Vec<R>
+    where
+        F: Fn(Comm<M>) -> R + Sync,
+        R: Send,
+    {
+        let n = self.size();
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(n);
+            for comm in self.comms {
+                let f = &f;
+                handles.push(s.spawn(move || run_poisoning(f, comm)));
+            }
+            for (i, h) in handles.into_iter().enumerate() {
+                out[i] = Some(h.join().expect("rank panicked"));
+            }
+        });
+        out.into_iter().map(|r| r.unwrap()).collect()
+    }
+}
+
+/// Runs `f(comm)`, marking the world poisoned if it panics so blocked
+/// peers fail fast rather than deadlock.
+fn run_poisoning<M: Send, R>(f: impl Fn(Comm<M>) -> R, comm: Comm<M>) -> R {
+    let poison = Arc::clone(&comm.poisoned);
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(comm))) {
+        Ok(r) => r,
+        Err(payload) => {
+            poison.store(true, std::sync::atomic::Ordering::SeqCst);
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Convenience: build a world of `n` ranks and run `f` on each.
+pub fn run_spmd<M: Send, R: Send>(n: usize, f: impl Fn(Comm<M>) -> R + Sync) -> Vec<R> {
+    World::new(n).run_collect(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_collect_indexes_by_rank() {
+        let out = run_spmd::<(), usize>(6, |comm| comm.rank() * comm.rank());
+        assert_eq!(out, vec![0, 1, 4, 9, 16, 25]);
+    }
+
+    #[test]
+    fn ring_pass_accumulates() {
+        const P: usize = 5;
+        let sums = run_spmd::<u64, u64>(P, |mut comm| {
+            let me = comm.rank();
+            let next = (me + 1) % P;
+            let prev = (me + P - 1) % P;
+            comm.send(next, 0, me as u64);
+            let from_prev = comm.recv(prev, 0).unwrap();
+            from_prev + me as u64
+        });
+        let expect: Vec<u64> = (0..P)
+            .map(|me| ((me + P - 1) % P + me) as u64)
+            .collect();
+        assert_eq!(sums, expect);
+    }
+
+    #[test]
+    fn barrier_synchronizes_phases() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static PHASE1: AtomicUsize = AtomicUsize::new(0);
+        let n = 4;
+        run_spmd::<(), ()>(n, |comm| {
+            PHASE1.fetch_add(1, Ordering::SeqCst);
+            comm.barrier();
+            // After the barrier every rank must observe all increments.
+            assert_eq!(PHASE1.load(Ordering::SeqCst), n);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        let _ = World::<()>::new(0);
+    }
+
+    #[test]
+    fn panicking_rank_poisons_blocked_peers() {
+        // Rank 0 dies; ranks 1 and 2 are blocked waiting for messages
+        // from it. Poisoning must turn those waits into Disconnected
+        // errors promptly instead of deadlocking, and the original
+        // panic must propagate out of the world.
+        let result = std::panic::catch_unwind(|| {
+            run_spmd::<(), ()>(3, |mut comm| {
+                if comm.rank() == 0 {
+                    panic!("injected failure");
+                }
+                let err = comm.recv(0, 1).unwrap_err();
+                assert_eq!(err, crate::comm::RecvError::Disconnected);
+            });
+        });
+        assert!(result.is_err(), "panic must propagate");
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for the message-passing runtime: collectives
+//! over arbitrary world sizes, groups, roots and payloads.
+
+use proptest::prelude::*;
+use stap_mp::collectives::{all_reduce, all_to_all, broadcast, gather, scatter};
+use stap_mp::world::run_spmd;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn broadcast_delivers_to_everyone(n in 1usize..9, root_idx in 0usize..9, value in any::<u64>()) {
+        let root = root_idx % n;
+        let group: Vec<usize> = (0..n).collect();
+        let got = run_spmd::<u64, u64>(n, |mut comm| {
+            let v = (comm.rank() == root).then_some(value);
+            broadcast(&mut comm, &group, root, 1, v).unwrap()
+        });
+        prop_assert!(got.iter().all(|&v| v == value));
+    }
+
+    #[test]
+    fn gather_collects_everything_in_order(n in 1usize..8, root_idx in 0usize..8) {
+        let root = root_idx % n;
+        let group: Vec<usize> = (0..n).collect();
+        let got = run_spmd::<usize, Option<Vec<usize>>>(n, |mut comm| {
+            let mine = comm.rank() * 7 + 1;
+            gather(&mut comm, &group, root, 2, mine).unwrap()
+        });
+        for (r, res) in got.iter().enumerate() {
+            if r == root {
+                let want: Vec<usize> = (0..n).map(|i| i * 7 + 1).collect();
+                prop_assert_eq!(res.as_ref().unwrap(), &want);
+            } else {
+                prop_assert!(res.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn all_reduce_sum_is_rank_order_independent(n in 1usize..8, values in proptest::collection::vec(0u64..1000, 8)) {
+        let group: Vec<usize> = (0..n).collect();
+        let vals = values.clone();
+        let got = run_spmd::<u64, u64>(n, |mut comm| {
+            let mine = vals[comm.rank()];
+            all_reduce(&mut comm, &group, 3, mine, |a, b| a + b).unwrap()
+        });
+        let want: u64 = values[..n].iter().sum();
+        prop_assert!(got.iter().all(|&v| v == want));
+    }
+
+    #[test]
+    fn scatter_then_gather_roundtrips(n in 1usize..8) {
+        let group: Vec<usize> = (0..n).collect();
+        let got = run_spmd::<usize, Option<Vec<usize>>>(n, |mut comm| {
+            let values = (comm.rank() == 0).then(|| (0..n).map(|i| i * i).collect::<Vec<_>>());
+            let mine = scatter(&mut comm, &group, 0, 4, values).unwrap();
+            gather(&mut comm, &group, 0, 5, mine).unwrap()
+        });
+        let want: Vec<usize> = (0..n).map(|i| i * i).collect();
+        prop_assert_eq!(got[0].as_ref().unwrap(), &want);
+    }
+
+    #[test]
+    fn all_to_all_is_a_transpose(n in 1usize..7) {
+        let group: Vec<usize> = (0..n).collect();
+        let got = run_spmd::<(usize, usize), Vec<(usize, usize)>>(n, |mut comm| {
+            let me = comm.rank();
+            let sends: Vec<(usize, usize)> = (0..n).map(|dst| (me, dst)).collect();
+            all_to_all(&mut comm, &group, 6, sends).unwrap()
+        });
+        for (me, received) in got.iter().enumerate() {
+            for (src, msg) in received.iter().enumerate() {
+                prop_assert_eq!(*msg, (src, me));
+            }
+        }
+    }
+
+    #[test]
+    fn point_to_point_preserves_per_pair_order(n_msgs in 1usize..40) {
+        // Messages with the same (src, dst, tag) arrive FIFO.
+        let got = run_spmd::<usize, Vec<usize>>(2, move |mut comm| {
+            if comm.rank() == 0 {
+                for i in 0..n_msgs {
+                    comm.send(1, 9, i);
+                }
+                Vec::new()
+            } else {
+                (0..n_msgs).map(|_| comm.recv(0, 9).unwrap()).collect()
+            }
+        });
+        let want: Vec<usize> = (0..n_msgs).collect();
+        prop_assert_eq!(&got[1], &want);
+    }
+}

@@ -1,0 +1,81 @@
+//! Wire messages and the tag scheme.
+
+use stap_core::Detection;
+use stap_cube::{CCube, RCube};
+use stap_math::CMat;
+
+/// Everything that travels between pipeline ranks.
+#[derive(Debug)]
+pub enum Msg {
+    /// A packed complex cube block (raw CPI slabs, Doppler outputs,
+    /// beamformed blocks).
+    Cube(CCube),
+    /// A packed real cube block (pulse-compressed power).
+    Real(RCube),
+    /// Weight matrices for a set of bins (easy: one per bin; hard:
+    /// `num_segments` per bin, segment-major within each bin).
+    Weights(Vec<CMat>),
+    /// Detections from a CFAR node (to the driver).
+    Detections(Vec<Detection>),
+}
+
+/// Logical communication edges, used in tags so messages for different
+/// CPIs and edges never cross-match.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Edge {
+    /// Driver -> Doppler (raw CPI slabs).
+    Input = 0,
+    /// Doppler -> easy weight (gathered training cells).
+    DopplerToEasyWt = 1,
+    /// Doppler -> hard weight.
+    DopplerToHardWt = 2,
+    /// Doppler -> easy BF (reorganized full-range blocks).
+    DopplerToEasyBf = 3,
+    /// Doppler -> hard BF.
+    DopplerToHardBf = 4,
+    /// Easy weight -> easy BF (weight matrices).
+    EasyWtToEasyBf = 5,
+    /// Hard weight -> hard BF.
+    HardWtToHardBf = 6,
+    /// Easy BF -> pulse compression.
+    EasyBfToPc = 7,
+    /// Hard BF -> pulse compression.
+    HardBfToPc = 8,
+    /// Pulse compression -> CFAR.
+    PcToCfar = 9,
+    /// CFAR -> driver (detections).
+    Output = 10,
+}
+
+/// Builds the tag for `edge` at CPI index `cpi`.
+pub fn tag(edge: Edge, cpi: usize) -> u64 {
+    ((edge as u64) << 48) | cpi as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_are_unique_per_edge_and_cpi() {
+        let mut seen = std::collections::HashSet::new();
+        for e in [
+            Edge::Input,
+            Edge::DopplerToEasyWt,
+            Edge::DopplerToHardWt,
+            Edge::DopplerToEasyBf,
+            Edge::DopplerToHardBf,
+            Edge::EasyWtToEasyBf,
+            Edge::HardWtToHardBf,
+            Edge::EasyBfToPc,
+            Edge::HardBfToPc,
+            Edge::PcToCfar,
+            Edge::Output,
+        ] {
+            for cpi in [0usize, 1, 2, 1000, 1 << 20] {
+                assert!(seen.insert(tag(e, cpi)), "collision at {e:?} cpi {cpi}");
+            }
+        }
+    }
+}

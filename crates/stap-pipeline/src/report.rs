@@ -1,0 +1,82 @@
+//! Rendering pipeline timings as the paper's Table-7-style report.
+
+use crate::assignment::{NodeAssignment, TASK_NAMES};
+use crate::metrics::{latency_eq2, real_latency_eq3, throughput_eq1, PipelineTimings};
+use std::fmt::Write as _;
+
+/// Renders per-task recv/comp/send/total plus the throughput/latency
+/// summary, in the layout of the paper's Table 7.
+pub fn render_timings(timings: &PipelineTimings, assign: &NodeAssignment) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{:<16} {:>5} {:>9} {:>9} {:>9} {:>9}",
+        "task", "nodes", "recv", "comp", "send", "total"
+    )
+    .unwrap();
+    for t in 0..7 {
+        let tt = timings.tasks[t];
+        writeln!(
+            out,
+            "{:<16} {:>5} {:>9.4} {:>9.4} {:>9.4} {:>9.4}",
+            TASK_NAMES[t],
+            assign.0[t],
+            tt.recv,
+            tt.comp,
+            tt.send,
+            tt.total()
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "throughput {:.4} CPI/s (eq1 {:.4})",
+        timings.measured_throughput,
+        throughput_eq1(&timings.tasks)
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "latency    {:.4} s     (eq2 {:.4}, eq3 {:.4})",
+        timings.measured_latency,
+        latency_eq2(&timings.tasks),
+        real_latency_eq3(&timings.tasks)
+    )
+    .unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::TaskTiming;
+
+    #[test]
+    fn report_contains_every_task_and_summary() {
+        let mut t = PipelineTimings::default();
+        for (i, task) in t.tasks.iter_mut().enumerate() {
+            *task = TaskTiming {
+                recv: 0.01 * i as f64,
+                comp: 0.1,
+                send: 0.001,
+                recv_idle: 0.005,
+            };
+        }
+        t.measured_throughput = 3.5;
+        t.measured_latency = 0.7;
+        let s = render_timings(&t, &NodeAssignment::case2());
+        for name in TASK_NAMES {
+            assert!(s.contains(name), "missing {name}");
+        }
+        assert!(s.contains("throughput 3.5000"));
+        assert!(s.contains("eq2"));
+        assert!(s.contains("eq3"));
+    }
+
+    #[test]
+    fn report_reflects_node_counts() {
+        let t = PipelineTimings::default();
+        let s = render_timings(&t, &NodeAssignment::case1());
+        assert!(s.contains("112"), "hard weight node count missing:\n{s}");
+    }
+}

@@ -1,0 +1,348 @@
+//! World construction, CPI injection and result collection.
+
+use crate::assignment::{NodeAssignment, Partitions, CFAR, DOPPLER, EASY_BF, EASY_WT, HARD_BF, HARD_WT, PC};
+use crate::metrics::{PipelineTimings, TaskTiming};
+use crate::msg::{tag, Edge, Msg};
+use crate::tasks::{
+    run_cfar, run_doppler, run_easy_bf, run_easy_weight, run_hard_bf, run_hard_weight, run_pc,
+    TaskCtx,
+};
+use stap_core::{Detection, StapParams};
+use stap_cube::CCube;
+use stap_math::CMat;
+use stap_mp::World;
+use stap_radar::Scenario;
+use std::time::Instant;
+
+/// What a pipeline run returns.
+pub struct PipelineOutput {
+    /// Detections per CPI, merged across CFAR nodes and sorted
+    /// (bin, beam, range).
+    pub detections: Vec<Vec<Detection>>,
+    /// Per-task timings averaged over the measured CPIs plus measured
+    /// pipeline rates. On a host with fewer cores than ranks these are
+    /// functional timings, not Paragon performance — `stap-sim` models
+    /// the latter.
+    pub timings: PipelineTimings,
+}
+
+/// The parallel pipelined STAP system.
+pub struct ParallelStap {
+    /// Algorithm parameters.
+    pub params: StapParams,
+    /// Node assignment.
+    pub assign: NodeAssignment,
+    /// Steering matrices per transmit-beam position.
+    pub steering: Vec<CMat>,
+    /// CPIs kept in flight by the driver (pipeline window).
+    pub window: usize,
+    /// Leading CPIs excluded from timing averages (paper: first 3).
+    pub warmup: usize,
+    /// Trailing CPIs excluded from timing averages (paper: last 2).
+    pub cooldown: usize,
+}
+
+impl ParallelStap {
+    /// Builds a runner from explicit steering matrices.
+    pub fn new(params: StapParams, assign: NodeAssignment, steering: Vec<CMat>) -> Self {
+        params.validate().expect("invalid parameters");
+        assert!(!steering.is_empty(), "need at least one steering matrix");
+        ParallelStap {
+            params,
+            assign,
+            steering,
+            window: 4,
+            warmup: 3,
+            cooldown: 2,
+        }
+    }
+
+    /// Builds a runner whose steering fans match
+    /// [`stap_core::SequentialStap::for_scenario`].
+    pub fn for_scenario(params: StapParams, assign: NodeAssignment, scenario: &Scenario) -> Self {
+        let steering = scenario
+            .transmit_beams
+            .iter()
+            .map(|&c| {
+                scenario
+                    .geom
+                    .beam_fan(c, scenario.beam_half_width_deg / 2.0, params.m_beams)
+            })
+            .collect();
+        ParallelStap::new(params, assign, steering)
+    }
+
+    /// Runs the pipeline over `cpis` (index, cube) pairs, one OS thread
+    /// per node plus a driver thread.
+    pub fn run(&self, cpis: Vec<CCube>) -> PipelineOutput {
+        let num_cpis = cpis.len();
+        assert!(num_cpis > 0, "need at least one CPI");
+        let parts = Partitions::new(&self.params, &self.assign);
+        let world: World<Msg> = World::new(self.assign.world_size());
+        let assign = self.assign;
+        let params = &self.params;
+        let steering = &self.steering;
+        let parts_ref = &parts;
+        let window = self.window.max(1);
+        let cpis_ref = &cpis;
+
+        enum NodeResult {
+            Task(usize, Vec<TaskTiming>),
+            Driver(Vec<Vec<Detection>>, Vec<f64>, Vec<f64>),
+        }
+
+        let results = world.run_collect(|mut comm| {
+            let rank = comm.rank();
+            let ctx = TaskCtx {
+                params,
+                assign: &assign,
+                parts: parts_ref,
+                steering,
+                num_cpis,
+            };
+            match assign.task_of_rank(rank) {
+                Some((DOPPLER, local)) => {
+                    NodeResult::Task(DOPPLER, run_doppler(&ctx, &mut comm, local))
+                }
+                Some((EASY_WT, local)) => {
+                    NodeResult::Task(EASY_WT, run_easy_weight(&ctx, &mut comm, local))
+                }
+                Some((HARD_WT, local)) => {
+                    NodeResult::Task(HARD_WT, run_hard_weight(&ctx, &mut comm, local))
+                }
+                Some((EASY_BF, local)) => {
+                    NodeResult::Task(EASY_BF, run_easy_bf(&ctx, &mut comm, local))
+                }
+                Some((HARD_BF, local)) => {
+                    NodeResult::Task(HARD_BF, run_hard_bf(&ctx, &mut comm, local))
+                }
+                Some((PC, local)) => NodeResult::Task(PC, run_pc(&ctx, &mut comm, local)),
+                Some((CFAR, local)) => NodeResult::Task(CFAR, run_cfar(&ctx, &mut comm, local)),
+                Some(_) => unreachable!("unknown task"),
+                None => {
+                    // Driver: inject CPI slabs (windowed) and collect
+                    // detections, recording injection and completion times.
+                    let cfar_ranks: Vec<usize> = assign.rank_range(CFAR).collect();
+                    let mut detections: Vec<Vec<Detection>> = Vec::with_capacity(num_cpis);
+                    let mut inject_t = vec![0.0f64; num_cpis];
+                    let mut complete_t = vec![0.0f64; num_cpis];
+                    let t0 = Instant::now();
+                    let mut next_inject = 0usize;
+                    for done in 0..num_cpis {
+                        while next_inject < num_cpis && next_inject < done + window {
+                            let cube = &cpis_ref[next_inject];
+                            inject_t[next_inject] = t0.elapsed().as_secs_f64();
+                            for (pn, kr) in parts_ref.doppler_k.iter().enumerate() {
+                                let slab = cube.extract(
+                                    kr.clone(),
+                                    0..params.j_channels,
+                                    0..params.n_pulses,
+                                );
+                                comm.send(
+                                    assign.rank_range(DOPPLER).start + pn,
+                                    tag(Edge::Input, next_inject),
+                                    Msg::Cube(slab),
+                                );
+                            }
+                            next_inject += 1;
+                        }
+                        let mut merged = Vec::new();
+                        for &src in &cfar_ranks {
+                            match comm.recv(src, tag(Edge::Output, done)).unwrap() {
+                                Msg::Detections(d) => merged.extend(d),
+                                other => panic!("expected detections, got {other:?}"),
+                            }
+                        }
+                        merged.sort_by_key(|d| (d.bin, d.beam, d.range));
+                        complete_t[done] = t0.elapsed().as_secs_f64();
+                        detections.push(merged);
+                    }
+                    NodeResult::Driver(detections, inject_t, complete_t)
+                }
+            }
+        });
+
+        // Aggregate.
+        let lo = self.warmup.min(num_cpis.saturating_sub(1));
+        let hi = num_cpis.saturating_sub(self.cooldown).max(lo + 1);
+        let measured: std::ops::Range<usize> = lo..hi;
+        let mut tasks = [TaskTiming::default(); 7];
+        let mut counts = [0usize; 7];
+        let mut detections = Vec::new();
+        let mut timings = PipelineTimings::default();
+        for r in results {
+            match r {
+                NodeResult::Task(t, per_cpi) => {
+                    for cpi in measured.clone() {
+                        if let Some(tt) = per_cpi.get(cpi) {
+                            tasks[t].add(tt);
+                            counts[t] += 1;
+                        }
+                    }
+                }
+                NodeResult::Driver(d, inject, complete) => {
+                    let lat: Vec<f64> = measured
+                        .clone()
+                        .map(|i| complete[i] - inject[i])
+                        .collect();
+                    timings.measured_latency = mean(&lat);
+                    let mut intervals: Vec<f64> = measured
+                        .clone()
+                        .skip(1)
+                        .map(|i| complete[i] - complete[i - 1])
+                        .collect();
+                    if intervals.is_empty() && num_cpis > 1 {
+                        // Too few measured CPIs to exclude warmup; use all.
+                        intervals = (1..num_cpis)
+                            .map(|i| complete[i] - complete[i - 1])
+                            .collect();
+                    }
+                    let mean_int = mean(&intervals);
+                    timings.measured_throughput =
+                        if mean_int > 0.0 { 1.0 / mean_int } else { 0.0 };
+                    detections = d;
+                }
+            }
+        }
+        for t in 0..7 {
+            if counts[t] > 0 {
+                tasks[t] = tasks[t].scale(1.0 / counts[t] as f64);
+            }
+        }
+        timings.tasks = tasks;
+        PipelineOutput {
+            detections,
+            timings,
+        }
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stap_core::SequentialStap;
+
+    /// The central invariant: the parallel pipeline produces the exact
+    /// detections of the sequential reference.
+    #[test]
+    fn parallel_matches_sequential_reference() {
+        let params = StapParams::reduced();
+        let scenario = Scenario::reduced(77);
+        let cpis: Vec<CCube> = scenario.stream(6).map(|(_, _, c)| c).collect();
+
+        let mut seq = SequentialStap::for_scenario(params.clone(), &scenario);
+        let want: Vec<Vec<Detection>> = cpis
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let beam = i % scenario.transmit_beams.len();
+                let mut d = seq.process_cpi(beam, c).detections;
+                d.sort_by_key(|d| (d.bin, d.beam, d.range));
+                d
+            })
+            .collect();
+
+        let par = ParallelStap::for_scenario(params, NodeAssignment::tiny(), &scenario);
+        let got = par.run(cpis);
+        assert_eq!(got.detections.len(), want.len());
+        for (i, (g, w)) in got.detections.iter().zip(&want).enumerate() {
+            assert_eq!(g.len(), w.len(), "CPI {i}: {} vs {} detections", g.len(), w.len());
+            for (gd, wd) in g.iter().zip(w) {
+                assert_eq!((gd.bin, gd.beam, gd.range), (wd.bin, wd.beam, wd.range));
+                assert!((gd.power - wd.power).abs() <= 1e-9 * wd.power.abs().max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn equivalence_holds_across_assignments() {
+        let params = StapParams::reduced();
+        let scenario = Scenario::reduced(5);
+        let cpis: Vec<CCube> = scenario.stream(4).map(|(_, _, c)| c).collect();
+
+        let baseline = ParallelStap::for_scenario(
+            params.clone(),
+            NodeAssignment([1, 1, 1, 1, 1, 1, 1]),
+            &scenario,
+        )
+        .run(cpis.clone());
+
+        for assign in [
+            NodeAssignment([4, 2, 3, 2, 2, 3, 2]),
+            NodeAssignment([2, 1, 4, 1, 2, 1, 3]),
+        ] {
+            let out = ParallelStap::for_scenario(params.clone(), assign, &scenario).run(cpis.clone());
+            for (i, (a, b)) in out.detections.iter().zip(&baseline.detections).enumerate() {
+                assert_eq!(a.len(), b.len(), "assignment {assign:?} CPI {i}");
+                for (x, y) in a.iter().zip(b) {
+                    assert_eq!((x.bin, x.beam, x.range), (y.bin, y.beam, y.range));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_azimuth_streams_work() {
+        let params = StapParams::reduced();
+        let mut scenario = Scenario::reduced(9);
+        scenario.transmit_beams = vec![-20.0, 0.0, 20.0];
+        let cpis: Vec<CCube> = scenario.stream(7).map(|(_, _, c)| c).collect();
+
+        let mut seq = SequentialStap::for_scenario(params.clone(), &scenario);
+        let want: Vec<usize> = cpis
+            .iter()
+            .enumerate()
+            .map(|(i, c)| seq.process_cpi(i % 3, c).detections.len())
+            .collect();
+
+        let par = ParallelStap::for_scenario(params, NodeAssignment::tiny(), &scenario);
+        let got = par.run(cpis);
+        let got_counts: Vec<usize> = got.detections.iter().map(|d| d.len()).collect();
+        assert_eq!(got_counts, want);
+    }
+
+    #[test]
+    fn timings_are_populated() {
+        let params = StapParams::reduced();
+        let scenario = Scenario::reduced(3);
+        let cpis: Vec<CCube> = scenario.stream(6).map(|(_, _, c)| c).collect();
+        let par = ParallelStap::for_scenario(params, NodeAssignment::tiny(), &scenario);
+        let out = par.run(cpis);
+        for t in 0..7 {
+            assert!(
+                out.timings.tasks[t].comp > 0.0,
+                "task {t} compute time missing"
+            );
+        }
+        assert!(out.timings.measured_throughput > 0.0);
+        assert!(out.timings.measured_latency > 0.0);
+    }
+}
+
+#[cfg(test)]
+mod failure_tests {
+    use super::*;
+
+    /// A panicking kernel anywhere in the pipeline must surface as a
+    /// panic from `run`, not a silent hang: the liveness counter in
+    /// stap-mp turns the dead rank into `Disconnected` errors on its
+    /// peers, whose unwraps then fail fast.
+    #[test]
+    #[should_panic]
+    fn rank_panic_propagates_not_hangs() {
+        let params = StapParams::reduced();
+        let scenario = Scenario::reduced(1);
+        // A CPI with the wrong shape panics inside the Doppler task.
+        let bad = CCube::zeros([8, 2, 4]);
+        let par = ParallelStap::for_scenario(params, NodeAssignment::tiny(), &scenario);
+        let _ = par.run(vec![bad]);
+    }
+}

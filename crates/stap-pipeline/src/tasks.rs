@@ -1,0 +1,714 @@
+//! Per-node SPMD loops for the seven pipeline tasks.
+//!
+//! Senders pack ("data collection and reorganization") and receivers
+//! assemble; both sides compute the *same* deterministic index lists
+//! from the shared parameters and partitions, so no index metadata
+//! travels on the wire. All sends are asynchronous; receives block with
+//! (source, tag) matching, and the tag carries the CPI index so
+//! successive CPIs never cross-match.
+//!
+//! Bitwise equivalence with the sequential reference is maintained by
+//! assembling exactly the matrices `stap_core` builds, in the same
+//! element order, and calling the same kernels.
+
+use crate::assignment::{overlap, NodeAssignment, Partitions, *};
+use crate::metrics::TaskTiming;
+use crate::msg::{tag, Edge, Msg};
+use stap_core::params::StapParams;
+use stap_core::training::{easy_training_cells, hard_training_cells};
+use stap_core::weights::hard_constraint;
+use stap_core::{cfar, doppler::DopplerProcessor, pulse::PulseCompressor};
+use stap_cube::{CCube, RCube};
+use stap_math::qr::qr_update;
+use stap_math::solve::{constrained_lstsq, constrained_lstsq_from_r, normalize_columns};
+use stap_math::{CMat, Cx};
+use stap_mp::Comm;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::time::Instant;
+
+/// Shared, read-only context every task node gets.
+pub struct TaskCtx<'a> {
+    /// Algorithm parameters.
+    pub params: &'a StapParams,
+    /// Node assignment (rank layout).
+    pub assign: &'a NodeAssignment,
+    /// Data partitions per task.
+    pub parts: &'a Partitions,
+    /// Steering matrix (`J x M`) per transmit-beam position.
+    pub steering: &'a [CMat],
+    /// Number of CPIs to process.
+    pub num_cpis: usize,
+}
+
+impl TaskCtx<'_> {
+    /// Transmit-beam index of CPI `i` (round-robin revisit).
+    fn beam_of(&self, cpi: usize) -> usize {
+        cpi % self.steering.len()
+    }
+
+    /// Whether weights computed from CPI `cpi` will ever be applied.
+    fn weight_target(&self, cpi: usize) -> Option<usize> {
+        let t = cpi + self.steering.len();
+        (t < self.num_cpis).then_some(t)
+    }
+}
+
+/// Measures one receive into idle/unpack split.
+struct RecvPhase {
+    start: Instant,
+    idle: f64,
+}
+
+impl RecvPhase {
+    fn begin() -> Self {
+        RecvPhase {
+            start: Instant::now(),
+            idle: 0.0,
+        }
+    }
+
+    fn blocking<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        let t = Instant::now();
+        let out = f();
+        self.idle += t.elapsed().as_secs_f64();
+        out
+    }
+
+    fn finish(self) -> (f64, f64) {
+        (self.start.elapsed().as_secs_f64(), self.idle)
+    }
+}
+
+fn expect_cube(m: Msg) -> CCube {
+    match m {
+        Msg::Cube(c) => c,
+        other => panic!("expected Cube, got {other:?}"),
+    }
+}
+
+fn expect_real(m: Msg) -> RCube {
+    match m {
+        Msg::Real(c) => c,
+        other => panic!("expected Real, got {other:?}"),
+    }
+}
+
+fn expect_weights(m: Msg) -> Vec<CMat> {
+    match m {
+        Msg::Weights(w) => w,
+        other => panic!("expected Weights, got {other:?}"),
+    }
+}
+
+/// Global training cells for easy weights that fall inside `krange`.
+fn easy_cells_in(params: &StapParams, krange: &Range<usize>) -> Vec<usize> {
+    easy_training_cells(params)
+        .into_iter()
+        .filter(|c| krange.contains(c))
+        .collect()
+}
+
+/// Global training cells for hard segment `seg` inside `krange`.
+fn hard_cells_in(params: &StapParams, seg: usize, krange: &Range<usize>) -> Vec<usize> {
+    hard_training_cells(params, seg)
+        .into_iter()
+        .filter(|c| krange.contains(c))
+        .collect()
+}
+
+/// The Doppler filter processing task (task 0).
+pub fn run_doppler(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Vec<TaskTiming> {
+    let p = ctx.params;
+    let my_k = ctx.parts.doppler_k[local].clone();
+    let k0 = my_k.start;
+    let proc = DopplerProcessor::new(p);
+    let driver = ctx.assign.driver_rank();
+    let easy_bins = p.easy_bins();
+    let hard_bins = p.hard_bins();
+    let mut timings = Vec::with_capacity(ctx.num_cpis);
+
+    for cpi in 0..ctx.num_cpis {
+        // --- receive phase -------------------------------------------------
+        let mut rp = RecvPhase::begin();
+        let slab = expect_cube(rp.blocking(|| comm.recv(driver, tag(Edge::Input, cpi)).unwrap()));
+        let (recv, recv_idle) = rp.finish();
+
+        // --- compute phase -------------------------------------------------
+        let t1 = Instant::now();
+        let mut stag = CCube::zeros([my_k.len(), 2 * p.j_channels, p.n_pulses]);
+        proc.process_rows(&slab, k0, &mut stag);
+        let comp = t1.elapsed().as_secs_f64();
+
+        // --- send phase ----------------------------------------------------
+        let t2 = Instant::now();
+        // Easy weight: gathered training cells, first window, its bins.
+        let easy_cells = easy_cells_in(p, &my_k);
+        for (q, bins_idx) in ctx.parts.easy_wt_bins.iter().enumerate() {
+            let block = CCube::from_fn(
+                [bins_idx.len(), easy_cells.len(), p.j_channels],
+                |bi, ci, ch| stag[(easy_cells[ci] - k0, ch, easy_bins[bins_idx.start + bi])],
+            );
+            let dst = ctx.assign.rank_range(EASY_WT).start + q;
+            comm.send(dst, tag(Edge::DopplerToEasyWt, cpi), Msg::Cube(block));
+        }
+        // Hard weight: per-segment gathered cells, both windows.
+        let hard_cells: Vec<Vec<usize>> = (0..p.num_segments())
+            .map(|s| hard_cells_in(p, s, &my_k))
+            .collect();
+        let flat_cells: Vec<usize> = hard_cells.iter().flatten().copied().collect();
+        for (q, bins_idx) in ctx.parts.hard_wt_bins.iter().enumerate() {
+            let block = CCube::from_fn(
+                [bins_idx.len(), flat_cells.len(), 2 * p.j_channels],
+                |bi, ci, ch| stag[(flat_cells[ci] - k0, ch, hard_bins[bins_idx.start + bi])],
+            );
+            let dst = ctx.assign.rank_range(HARD_WT).start + q;
+            comm.send(dst, tag(Edge::DopplerToHardWt, cpi), Msg::Cube(block));
+        }
+        // Easy BF: full local range, first window, reorganized to
+        // (bin, k, channel) — the Fig. 8 reorganization.
+        for (r, bins_idx) in ctx.parts.easy_bf_bins.iter().enumerate() {
+            let block = CCube::from_fn(
+                [bins_idx.len(), my_k.len(), p.j_channels],
+                |bi, kc, ch| stag[(kc, ch, easy_bins[bins_idx.start + bi])],
+            );
+            let dst = ctx.assign.rank_range(EASY_BF).start + r;
+            comm.send(dst, tag(Edge::DopplerToEasyBf, cpi), Msg::Cube(block));
+        }
+        // Hard BF: both windows.
+        for (r, bins_idx) in ctx.parts.hard_bf_bins.iter().enumerate() {
+            let block = CCube::from_fn(
+                [bins_idx.len(), my_k.len(), 2 * p.j_channels],
+                |bi, kc, ch| stag[(kc, ch, hard_bins[bins_idx.start + bi])],
+            );
+            let dst = ctx.assign.rank_range(HARD_BF).start + r;
+            comm.send(dst, tag(Edge::DopplerToHardBf, cpi), Msg::Cube(block));
+        }
+        let send = t2.elapsed().as_secs_f64();
+        timings.push(TaskTiming {
+            recv,
+            comp,
+            send,
+            recv_idle,
+        });
+    }
+    timings
+}
+
+/// The easy weight computation task (task 1).
+pub fn run_easy_weight(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Vec<TaskTiming> {
+    let p = ctx.params;
+    let bins_idx = ctx.parts.easy_wt_bins[local].clone();
+    let p0 = ctx.assign.nodes(DOPPLER);
+    let dop0 = ctx.assign.rank_range(DOPPLER).start;
+    let constraint = CMat::identity(p.j_channels);
+    // History per (beam, local bin): last `easy_history` snapshots.
+    let mut history: HashMap<usize, VecDeque<Vec<CMat>>> = HashMap::new();
+    let total_cells = easy_training_cells(p).len();
+    let mut timings = Vec::with_capacity(ctx.num_cpis);
+
+    for cpi in 0..ctx.num_cpis {
+        // --- receive: one block per Doppler node ---------------------------
+        let mut rp = RecvPhase::begin();
+        let mut snapshots: Vec<CMat> = (0..bins_idx.len())
+            .map(|_| CMat::zeros(total_cells, p.j_channels))
+            .collect();
+        let mut row = 0usize;
+        for dp in 0..p0 {
+            let block = expect_cube(
+                rp.blocking(|| comm.recv(dop0 + dp, tag(Edge::DopplerToEasyWt, cpi)).unwrap()),
+            );
+            let cells = block.shape()[1];
+            for (bi, snap) in snapshots.iter_mut().enumerate() {
+                for ci in 0..cells {
+                    for ch in 0..p.j_channels {
+                        // Conjugated rows (see stap_core::training).
+                        snap[(row + ci, ch)] = block[(bi, ci, ch)].conj();
+                    }
+                }
+            }
+            row += cells;
+        }
+        debug_assert_eq!(row, total_cells);
+        let (recv, recv_idle) = rp.finish();
+
+        // --- compute -------------------------------------------------------
+        let t1 = Instant::now();
+        let beam = ctx.beam_of(cpi);
+        let q = history.entry(beam).or_default();
+        q.push_back(snapshots);
+        while q.len() > p.easy_history {
+            q.pop_front();
+        }
+        let steering = &ctx.steering[beam];
+        let weights: Vec<CMat> = (0..bins_idx.len())
+            .map(|bi| {
+                let mut stacked = q[0][bi].clone();
+                for older in q.iter().skip(1) {
+                    stacked = stacked.vstack(&older[bi]);
+                }
+                let k = mean_abs(&stacked) * p.beam_constraint_wt;
+                constrained_lstsq(&stacked, &constraint, k, steering)
+            })
+            .collect();
+        let comp = t1.elapsed().as_secs_f64();
+
+        // --- send: bins overlapping each easy-BF node ----------------------
+        let t2 = Instant::now();
+        if let Some(target) = ctx.weight_target(cpi) {
+            for (r, bf_bins) in ctx.parts.easy_bf_bins.iter().enumerate() {
+                let ov = overlap(&bins_idx, bf_bins);
+                if ov.is_empty() {
+                    continue;
+                }
+                let w: Vec<CMat> = ov
+                    .clone()
+                    .map(|b| weights[b - bins_idx.start].clone())
+                    .collect();
+                let dst = ctx.assign.rank_range(EASY_BF).start + r;
+                comm.send(dst, tag(Edge::EasyWtToEasyBf, target), Msg::Weights(w));
+            }
+        }
+        let send = t2.elapsed().as_secs_f64();
+        timings.push(TaskTiming {
+            recv,
+            comp,
+            send,
+            recv_idle,
+        });
+    }
+    timings
+}
+
+/// The hard weight computation task (task 2).
+pub fn run_hard_weight(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Vec<TaskTiming> {
+    let p = ctx.params;
+    let bins_idx = ctx.parts.hard_wt_bins[local].clone();
+    let hard_bins = p.hard_bins();
+    let p0 = ctx.assign.nodes(DOPPLER);
+    let dop0 = ctx.assign.rank_range(DOPPLER).start;
+    let jj = 2 * p.j_channels;
+    let segs = p.num_segments();
+    // R state per (beam, local bin, segment).
+    let mut r_state: HashMap<(usize, usize, usize), CMat> = HashMap::new();
+    let seg_cells: Vec<usize> = (0..segs)
+        .map(|s| hard_training_cells(p, s).len())
+        .collect();
+    let mut timings = Vec::with_capacity(ctx.num_cpis);
+
+    for cpi in 0..ctx.num_cpis {
+        // --- receive -------------------------------------------------------
+        let mut rp = RecvPhase::begin();
+        // snapshots[bin local][seg] is (cells, 2J), rows in global order.
+        let mut snapshots: Vec<Vec<CMat>> = (0..bins_idx.len())
+            .map(|_| (0..segs).map(|s| CMat::zeros(seg_cells[s], jj)).collect())
+            .collect();
+        let mut seg_rows = vec![0usize; segs];
+        for dp in 0..p0 {
+            let block = expect_cube(
+                rp.blocking(|| comm.recv(dop0 + dp, tag(Edge::DopplerToHardWt, cpi)).unwrap()),
+            );
+            // The sender packed cells segment-major; recompute its lists.
+            let kr = ctx.parts.doppler_k[dp].clone();
+            let counts: Vec<usize> = (0..segs).map(|s| hard_cells_in(p, s, &kr).len()).collect();
+            let mut ci = 0usize;
+            for (s, &cnt) in counts.iter().enumerate() {
+                for c in 0..cnt {
+                    for (bi, snap) in snapshots.iter_mut().enumerate() {
+                        for ch in 0..jj {
+                            snap[s][(seg_rows[s] + c, ch)] = block[(bi, ci + c, ch)].conj();
+                        }
+                    }
+                }
+                seg_rows[s] += cnt;
+                ci += cnt;
+            }
+        }
+        let (recv, recv_idle) = rp.finish();
+
+        // --- compute -------------------------------------------------------
+        let t1 = Instant::now();
+        let beam = ctx.beam_of(cpi);
+        let steering = &ctx.steering[beam];
+        // weights in bin-major, segment-minor order.
+        let mut weights: Vec<CMat> = Vec::with_capacity(bins_idx.len() * segs);
+        for bi in 0..bins_idx.len() {
+            let bin = hard_bins[bins_idx.start + bi];
+            let constraint = hard_constraint(p, bin);
+            for (s, snap) in snapshots[bi].iter().enumerate() {
+                let r_prev = r_state
+                    .entry((beam, bi, s))
+                    .or_insert_with(|| CMat::zeros(jj, jj));
+                let r_new = qr_update(r_prev, p.forgetting_factor, snap);
+                let k = mean_abs(snap) * p.beam_constraint_wt;
+                let w = constrained_lstsq_from_r(&r_new, &constraint, k, steering);
+                *r_prev = r_new;
+                weights.push(w);
+            }
+        }
+        let comp = t1.elapsed().as_secs_f64();
+
+        // --- send ----------------------------------------------------------
+        let t2 = Instant::now();
+        if let Some(target) = ctx.weight_target(cpi) {
+            for (r, bf_bins) in ctx.parts.hard_bf_bins.iter().enumerate() {
+                let ov = overlap(&bins_idx, bf_bins);
+                if ov.is_empty() {
+                    continue;
+                }
+                let mut w = Vec::with_capacity(ov.len() * segs);
+                for b in ov.clone() {
+                    let base = (b - bins_idx.start) * segs;
+                    w.extend(weights[base..base + segs].iter().cloned());
+                }
+                let dst = ctx.assign.rank_range(HARD_BF).start + r;
+                comm.send(dst, tag(Edge::HardWtToHardBf, target), Msg::Weights(w));
+            }
+        }
+        let send = t2.elapsed().as_secs_f64();
+        timings.push(TaskTiming {
+            recv,
+            comp,
+            send,
+            recv_idle,
+        });
+    }
+    timings
+}
+
+fn mean_abs(m: &CMat) -> f64 {
+    if m.rows() == 0 || m.cols() == 0 {
+        return 1.0;
+    }
+    let s: f64 = m.as_slice().iter().map(|x| x.abs()).sum();
+    (s / (m.rows() * m.cols()) as f64).max(1e-12)
+}
+
+/// Weight-source nodes whose bin range overlaps `my_bins`.
+fn weight_sources(
+    wt_parts: &[Range<usize>],
+    my_bins: &Range<usize>,
+    wt_rank0: usize,
+) -> Vec<(usize, Range<usize>)> {
+    wt_parts
+        .iter()
+        .enumerate()
+        .filter_map(|(q, r)| {
+            let ov = overlap(r, my_bins);
+            (!ov.is_empty()).then(|| (wt_rank0 + q, ov))
+        })
+        .collect()
+}
+
+/// The easy beamforming task (task 3).
+pub fn run_easy_bf(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Vec<TaskTiming> {
+    let p = ctx.params;
+    let bins_idx = ctx.parts.easy_bf_bins[local].clone();
+    let easy_bins = p.easy_bins();
+    let p0 = ctx.assign.nodes(DOPPLER);
+    let dop0 = ctx.assign.rank_range(DOPPLER).start;
+    let wt_sources = weight_sources(
+        &ctx.parts.easy_wt_bins,
+        &bins_idx,
+        ctx.assign.rank_range(EASY_WT).start,
+    );
+    let mut timings = Vec::with_capacity(ctx.num_cpis);
+
+    for cpi in 0..ctx.num_cpis {
+        // --- receive -------------------------------------------------------
+        let mut rp = RecvPhase::begin();
+        let mut data = CCube::zeros([bins_idx.len(), p.k_range, p.j_channels]);
+        for dp in 0..p0 {
+            let block = expect_cube(
+                rp.blocking(|| comm.recv(dop0 + dp, tag(Edge::DopplerToEasyBf, cpi)).unwrap()),
+            );
+            let k0 = ctx.parts.doppler_k[dp].start;
+            data.place([0, k0, 0], &block);
+        }
+        // Weights: quiescent for the first visit of each azimuth.
+        let weights: Vec<CMat> = if cpi < ctx.steering.len() {
+            let q = normalize_columns(ctx.steering[ctx.beam_of(cpi)].clone());
+            vec![q; bins_idx.len()]
+        } else {
+            let mut per_bin: Vec<Option<CMat>> = vec![None; bins_idx.len()];
+            for (src, ov) in &wt_sources {
+                let w = expect_weights(
+                    rp.blocking(|| comm.recv(*src, tag(Edge::EasyWtToEasyBf, cpi)).unwrap()),
+                );
+                for (i, b) in ov.clone().enumerate() {
+                    per_bin[b - bins_idx.start] = Some(w[i].clone());
+                }
+            }
+            per_bin.into_iter().map(|w| w.expect("missing weights")).collect()
+        };
+        let (recv, recv_idle) = rp.finish();
+
+        // --- compute -------------------------------------------------------
+        let t1 = Instant::now();
+        let mut out = CCube::zeros([bins_idx.len(), p.m_beams, p.k_range]);
+        for bi in 0..bins_idx.len() {
+            // Assemble (J, K) exactly as the sequential easy_bin_data.
+            let slab = CMat::from_fn(p.j_channels, p.k_range, |ch, kc| data[(bi, kc, ch)]);
+            let y = weights[bi].hermitian_matmul(&slab);
+            for m in 0..p.m_beams {
+                out.lane_mut(bi, m).copy_from_slice(y.row(m));
+            }
+        }
+        let comp = t1.elapsed().as_secs_f64();
+
+        // --- send: natural-bin overlap with each PC node --------------------
+        let t2 = Instant::now();
+        for (t, pc_bins) in ctx.parts.pc_bins.iter().enumerate() {
+            // My natural bins, ascending, that this PC node owns.
+            let mine: Vec<usize> = bins_idx
+                .clone()
+                .filter(|&b| pc_bins.contains(&easy_bins[b]))
+                .collect();
+            let block = CCube::from_fn([mine.len(), p.m_beams, p.k_range], |i, m, kc| {
+                out[(mine[i] - bins_idx.start, m, kc)]
+            });
+            let dst = ctx.assign.rank_range(PC).start + t;
+            comm.send(dst, tag(Edge::EasyBfToPc, cpi), Msg::Cube(block));
+        }
+        let send = t2.elapsed().as_secs_f64();
+        timings.push(TaskTiming {
+            recv,
+            comp,
+            send,
+            recv_idle,
+        });
+    }
+    timings
+}
+
+/// The hard beamforming task (task 4).
+pub fn run_hard_bf(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Vec<TaskTiming> {
+    let p = ctx.params;
+    let bins_idx = ctx.parts.hard_bf_bins[local].clone();
+    let hard_bins = p.hard_bins();
+    let p0 = ctx.assign.nodes(DOPPLER);
+    let dop0 = ctx.assign.rank_range(DOPPLER).start;
+    let jj = 2 * p.j_channels;
+    let segs = p.num_segments();
+    let wt_sources = weight_sources(
+        &ctx.parts.hard_wt_bins,
+        &bins_idx,
+        ctx.assign.rank_range(HARD_WT).start,
+    );
+    let mut timings = Vec::with_capacity(ctx.num_cpis);
+
+    for cpi in 0..ctx.num_cpis {
+        // --- receive -------------------------------------------------------
+        let mut rp = RecvPhase::begin();
+        let mut data = CCube::zeros([bins_idx.len(), p.k_range, jj]);
+        for dp in 0..p0 {
+            let block = expect_cube(
+                rp.blocking(|| comm.recv(dop0 + dp, tag(Edge::DopplerToHardBf, cpi)).unwrap()),
+            );
+            let k0 = ctx.parts.doppler_k[dp].start;
+            data.place([0, k0, 0], &block);
+        }
+        let weights: Vec<Vec<CMat>> = if cpi < ctx.steering.len() {
+            let beam = ctx.beam_of(cpi);
+            bins_idx
+                .clone()
+                .map(|b| {
+                    let bin = hard_bins[b];
+                    let phase = Cx::cis(
+                        2.0 * std::f64::consts::PI * bin as f64 * p.stagger as f64
+                            / p.n_pulses as f64,
+                    );
+                    let s = &ctx.steering[beam];
+                    let w = CMat::from_fn(jj, p.m_beams, |r, c| {
+                        if r < p.j_channels {
+                            s[(r, c)]
+                        } else {
+                            s[(r - p.j_channels, c)] * phase
+                        }
+                    });
+                    vec![normalize_columns(w); segs]
+                })
+                .collect()
+        } else {
+            let mut per_bin: Vec<Option<Vec<CMat>>> = vec![None; bins_idx.len()];
+            for (src, ov) in &wt_sources {
+                let w = expect_weights(
+                    rp.blocking(|| comm.recv(*src, tag(Edge::HardWtToHardBf, cpi)).unwrap()),
+                );
+                for (i, b) in ov.clone().enumerate() {
+                    per_bin[b - bins_idx.start] = Some(w[i * segs..(i + 1) * segs].to_vec());
+                }
+            }
+            per_bin.into_iter().map(|w| w.expect("missing weights")).collect()
+        };
+        let (recv, recv_idle) = rp.finish();
+
+        // --- compute -------------------------------------------------------
+        let t1 = Instant::now();
+        let mut out = CCube::zeros([bins_idx.len(), p.m_beams, p.k_range]);
+        for bi in 0..bins_idx.len() {
+            for seg in 0..segs {
+                let r = p.segment_range(seg);
+                let slab =
+                    CMat::from_fn(jj, r.len(), |ch, kc| data[(bi, r.start + kc, ch)]);
+                let y = weights[bi][seg].hermitian_matmul(&slab);
+                for m in 0..p.m_beams {
+                    out.lane_mut(bi, m)[r.clone()].copy_from_slice(y.row(m));
+                }
+            }
+        }
+        let comp = t1.elapsed().as_secs_f64();
+
+        // --- send ----------------------------------------------------------
+        let t2 = Instant::now();
+        for (t, pc_bins) in ctx.parts.pc_bins.iter().enumerate() {
+            let mine: Vec<usize> = bins_idx
+                .clone()
+                .filter(|&b| pc_bins.contains(&hard_bins[b]))
+                .collect();
+            let block = CCube::from_fn([mine.len(), p.m_beams, p.k_range], |i, m, kc| {
+                out[(mine[i] - bins_idx.start, m, kc)]
+            });
+            let dst = ctx.assign.rank_range(PC).start + t;
+            comm.send(dst, tag(Edge::HardBfToPc, cpi), Msg::Cube(block));
+        }
+        let send = t2.elapsed().as_secs_f64();
+        timings.push(TaskTiming {
+            recv,
+            comp,
+            send,
+            recv_idle,
+        });
+    }
+    timings
+}
+
+/// The pulse compression task (task 5).
+pub fn run_pc(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Vec<TaskTiming> {
+    let p = ctx.params;
+    let my_bins = ctx.parts.pc_bins[local].clone();
+    let easy_bins = p.easy_bins();
+    let hard_bins = p.hard_bins();
+    let compressor = PulseCompressor::new(p);
+    let mut timings = Vec::with_capacity(ctx.num_cpis);
+
+    // Which (sender rank, natural-bin list) pairs feed me.
+    let mut feeders: Vec<(usize, Vec<usize>)> = Vec::new();
+    for (r, idx) in ctx.parts.easy_bf_bins.iter().enumerate() {
+        let bins: Vec<usize> = idx
+            .clone()
+            .map(|b| easy_bins[b])
+            .filter(|b| my_bins.contains(b))
+            .collect();
+        feeders.push((ctx.assign.rank_range(EASY_BF).start + r, bins));
+    }
+    for (r, idx) in ctx.parts.hard_bf_bins.iter().enumerate() {
+        let bins: Vec<usize> = idx
+            .clone()
+            .map(|b| hard_bins[b])
+            .filter(|b| my_bins.contains(b))
+            .collect();
+        feeders.push((ctx.assign.rank_range(HARD_BF).start + r, bins));
+    }
+    let easy_edge = |src: usize| src < ctx.assign.rank_range(HARD_BF).start;
+
+    for cpi in 0..ctx.num_cpis {
+        // --- receive -------------------------------------------------------
+        let mut rp = RecvPhase::begin();
+        let mut data = CCube::zeros([my_bins.len(), p.m_beams, p.k_range]);
+        for (src, bins) in &feeders {
+            let edge = if easy_edge(*src) {
+                Edge::EasyBfToPc
+            } else {
+                Edge::HardBfToPc
+            };
+            let block = expect_cube(rp.blocking(|| comm.recv(*src, tag(edge, cpi)).unwrap()));
+            debug_assert_eq!(block.shape()[0], bins.len());
+            for (i, &b) in bins.iter().enumerate() {
+                for m in 0..p.m_beams {
+                    data.lane_mut(b - my_bins.start, m)
+                        .copy_from_slice(block.lane(i, m));
+                }
+            }
+        }
+        let (recv, recv_idle) = rp.finish();
+
+        // --- compute -------------------------------------------------------
+        let t1 = Instant::now();
+        let power = compressor.process(&data);
+        let comp = t1.elapsed().as_secs_f64();
+
+        // --- send ----------------------------------------------------------
+        let t2 = Instant::now();
+        for (u, cfar_bins) in ctx.parts.cfar_bins.iter().enumerate() {
+            let ov = overlap(&my_bins, cfar_bins);
+            let block = RCube::from_fn([ov.len(), p.m_beams, p.k_range], |i, m, kc| {
+                power[(ov.start + i - my_bins.start, m, kc)]
+            });
+            let dst = ctx.assign.rank_range(CFAR).start + u;
+            comm.send(dst, tag(Edge::PcToCfar, cpi), Msg::Real(block));
+        }
+        let send = t2.elapsed().as_secs_f64();
+        timings.push(TaskTiming {
+            recv,
+            comp,
+            send,
+            recv_idle,
+        });
+    }
+    timings
+}
+
+/// The CFAR task (task 6).
+pub fn run_cfar(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Vec<TaskTiming> {
+    let p = ctx.params;
+    let my_bins = ctx.parts.cfar_bins[local].clone();
+    let driver = ctx.assign.driver_rank();
+    // PC nodes that overlap my bins, with the overlap ranges.
+    let feeders: Vec<(usize, Range<usize>)> = ctx
+        .parts
+        .pc_bins
+        .iter()
+        .enumerate()
+        .map(|(t, r)| (ctx.assign.rank_range(PC).start + t, overlap(r, &my_bins)))
+        .collect();
+    let mut timings = Vec::with_capacity(ctx.num_cpis);
+
+    for cpi in 0..ctx.num_cpis {
+        // --- receive -------------------------------------------------------
+        let mut rp = RecvPhase::begin();
+        let mut power = RCube::zeros([my_bins.len(), p.m_beams, p.k_range]);
+        for (src, ov) in &feeders {
+            let block =
+                expect_real(rp.blocking(|| comm.recv(*src, tag(Edge::PcToCfar, cpi)).unwrap()));
+            debug_assert_eq!(block.shape()[0], ov.len());
+            if !ov.is_empty() {
+                power.place([ov.start - my_bins.start, 0, 0], &block);
+            }
+        }
+        let (recv, recv_idle) = rp.finish();
+
+        // --- compute -------------------------------------------------------
+        let t1 = Instant::now();
+        let mut detections = Vec::new();
+        for bi in 0..my_bins.len() {
+            for m in 0..p.m_beams {
+                cfar::cfar_lane(p, power.lane(bi, m), my_bins.start + bi, m, &mut detections);
+            }
+        }
+        let comp = t1.elapsed().as_secs_f64();
+
+        // --- send ----------------------------------------------------------
+        let t2 = Instant::now();
+        comm.send(driver, tag(Edge::Output, cpi), Msg::Detections(detections));
+        let send = t2.elapsed().as_secs_f64();
+        timings.push(TaskTiming {
+            recv,
+            comp,
+            send,
+            recv_idle,
+        });
+    }
+    timings
+}

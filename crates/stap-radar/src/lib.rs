@@ -1,0 +1,24 @@
+//! Synthetic airborne-radar scenarios.
+//!
+//! The paper processed live CPIs from the RTMCARM L-band phased array (16
+//! channels, 128 pulses, 512 range gates). Live flight data is not
+//! available, so this crate generates the closest synthetic equivalent
+//! that exercises every code path in the STAP chain:
+//!
+//! * a ground-clutter *ridge* — returns whose Doppler frequency is
+//!   coupled to their direction of arrival through the platform motion,
+//!   which is precisely what makes bins near mainbeam clutter "hard",
+//! * optional barrage jammers (angle-localized, Doppler-white),
+//! * point targets with chosen range / Doppler / azimuth / SNR,
+//! * white receiver noise at unit power.
+//!
+//! Scenarios are seeded and deterministic, so parallel-vs-sequential
+//! comparisons are exact and tests are reproducible.
+
+pub mod clutter;
+pub mod scenario;
+pub mod steering;
+pub mod waveform;
+
+pub use scenario::{CpiStream, Scenario, Target};
+pub use steering::ArrayGeometry;

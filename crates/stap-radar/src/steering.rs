@@ -1,0 +1,166 @@
+//! Array geometry and steering vectors.
+
+use stap_math::{CMat, Cx};
+use std::f64::consts::PI;
+
+/// A uniform linear array of receive channels.
+///
+/// The RTMCARM radar's processed aperture is 16 elements in a row; the
+/// paper forms `M = 6` receive beams inside each 25-degree transmit beam.
+#[derive(Clone, Copy, Debug)]
+pub struct ArrayGeometry {
+    /// Number of receive channels (paper: J = 16).
+    pub channels: usize,
+    /// Element spacing in wavelengths (half-wavelength by default).
+    pub spacing_wavelengths: f64,
+}
+
+impl ArrayGeometry {
+    /// The RTMCARM-like 16-channel, half-wavelength array.
+    pub fn rtmcarm() -> Self {
+        ArrayGeometry {
+            channels: 16,
+            spacing_wavelengths: 0.5,
+        }
+    }
+
+    /// A smaller array for fast tests.
+    pub fn small(channels: usize) -> Self {
+        ArrayGeometry {
+            channels,
+            spacing_wavelengths: 0.5,
+        }
+    }
+
+    /// Spatial steering vector toward azimuth `az_deg` (broadside = 0),
+    /// normalized to unit length.
+    pub fn steering(&self, az_deg: f64) -> Vec<Cx> {
+        let sin_az = (az_deg * PI / 180.0).sin();
+        let scale = 1.0 / (self.channels as f64).sqrt();
+        (0..self.channels)
+            .map(|j| {
+                Cx::cis(2.0 * PI * self.spacing_wavelengths * j as f64 * sin_az).scale(scale)
+            })
+            .collect()
+    }
+
+    /// Steering matrix (`channels x beams`) for `beams` receive beams
+    /// evenly spread over `[center - half_width, center + half_width]`
+    /// degrees — the paper's six receive beams inside one transmit beam.
+    pub fn beam_fan(&self, center_deg: f64, half_width_deg: f64, beams: usize) -> CMat {
+        assert!(beams > 0, "need at least one beam");
+        let azimuths = beam_azimuths(center_deg, half_width_deg, beams);
+        let mut m = CMat::zeros(self.channels, beams);
+        for (b, az) in azimuths.iter().enumerate() {
+            let s = self.steering(*az);
+            for (j, v) in s.iter().enumerate() {
+                m[(j, b)] = *v;
+            }
+        }
+        m
+    }
+
+    /// Array response of a steering vector `w` toward azimuth `az_deg`
+    /// (useful for inspecting adapted patterns).
+    pub fn response(&self, w: &[Cx], az_deg: f64) -> Cx {
+        assert_eq!(w.len(), self.channels, "weight length mismatch");
+        let s = self.steering(az_deg);
+        w.iter()
+            .zip(&s)
+            .fold(Cx::new(0.0, 0.0), |acc, (&wi, &si)| acc + wi.conj() * si)
+    }
+}
+
+/// The beam centers the fan uses (shared with tests and examples).
+pub fn beam_azimuths(center_deg: f64, half_width_deg: f64, beams: usize) -> Vec<f64> {
+    if beams == 1 {
+        return vec![center_deg];
+    }
+    (0..beams)
+        .map(|b| {
+            center_deg - half_width_deg
+                + 2.0 * half_width_deg * b as f64 / (beams - 1) as f64
+        })
+        .collect()
+}
+
+/// Temporal (Doppler) steering vector for normalized Doppler frequency
+/// `f` (cycles per pulse), `n` pulses, unit norm.
+pub fn doppler_steering(f: f64, n: usize) -> Vec<Cx> {
+    let scale = 1.0 / (n as f64).sqrt();
+    (0..n)
+        .map(|t| Cx::cis(2.0 * PI * f * t as f64).scale(scale))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steering_is_unit_norm() {
+        let g = ArrayGeometry::rtmcarm();
+        for az in [-40.0, 0.0, 17.5, 60.0] {
+            let s = g.steering(az);
+            let norm: f64 = s.iter().map(|x| x.norm_sqr()).sum();
+            assert!((norm - 1.0).abs() < 1e-12, "az={az}");
+        }
+    }
+
+    #[test]
+    fn broadside_steering_is_constant_phase() {
+        let g = ArrayGeometry::rtmcarm();
+        let s = g.steering(0.0);
+        for v in &s {
+            assert!(v.approx_eq(s[0], 1e-12));
+        }
+    }
+
+    #[test]
+    fn matched_response_is_maximal() {
+        let g = ArrayGeometry::rtmcarm();
+        let w = g.steering(20.0);
+        let peak = g.response(&w, 20.0).abs();
+        for az in [-60.0, -20.0, 0.0, 5.0, 35.0, 60.0] {
+            assert!(g.response(&w, az).abs() <= peak + 1e-12, "az={az}");
+        }
+        assert!((peak - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn beam_fan_shape_and_columns() {
+        let g = ArrayGeometry::rtmcarm();
+        let fan = g.beam_fan(0.0, 10.0, 6);
+        assert_eq!(fan.shape(), (16, 6));
+        // Each column is a unit steering vector.
+        for b in 0..6 {
+            let norm: f64 = (0..16).map(|j| fan[(j, b)].norm_sqr()).sum();
+            assert!((norm - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn beam_azimuths_cover_fan_symmetrically() {
+        let az = beam_azimuths(20.0, 10.0, 6);
+        assert_eq!(az.len(), 6);
+        assert!((az[0] - 10.0).abs() < 1e-12);
+        assert!((az[5] - 30.0).abs() < 1e-12);
+        // Symmetric around the center.
+        for i in 0..3 {
+            assert!((az[i] + az[5 - i] - 40.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn doppler_steering_matches_fft_bin() {
+        // f = k/N lands exactly in FFT bin k.
+        let n = 64;
+        let k = 9;
+        let mut d = doppler_steering(k as f64 / n as f64, n);
+        for x in d.iter_mut() {
+            *x = x.scale((n as f64).sqrt()); // un-normalize
+        }
+        stap_math::fft::Fft::new(n).forward(&mut d);
+        assert!((d[k].abs() - n as f64).abs() < 1e-8);
+    }
+}

@@ -1,0 +1,48 @@
+//! Transmit waveform (shared between the scenario generator and pulse
+//! compression, so injected echoes match what the matched filter
+//! expects).
+
+use stap_math::Cx;
+use std::f64::consts::PI;
+
+/// Unit-energy linear-FM chirp of `len` samples — the transmit pulse
+/// replica. Echo returns are this waveform delayed to the target's range
+/// cell; pulse compression correlates against it for `len`-fold
+/// integration gain.
+pub fn chirp(len: usize) -> Vec<Cx> {
+    assert!(len > 0, "replica must be non-empty");
+    let scale = 1.0 / (len as f64).sqrt();
+    (0..len)
+        .map(|i| Cx::cis(PI * (i * i) as f64 / len as f64).scale(scale))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chirp_is_unit_energy() {
+        for len in [1usize, 4, 8, 32] {
+            let c = chirp(len);
+            let e: f64 = c.iter().map(|x| x.norm_sqr()).sum();
+            assert!((e - 1.0).abs() < 1e-12, "len={len}");
+        }
+    }
+
+    #[test]
+    fn chirp_autocorrelation_peaks_at_zero_lag() {
+        let c = chirp(16);
+        let zero_lag: f64 = c.iter().map(|x| x.norm_sqr()).sum();
+        for lag in 1..16 {
+            let corr: Cx = (0..16 - lag)
+                .map(|i| c[i + lag] * c[i].conj())
+                .fold(Cx::new(0.0, 0.0), |a, b| a + b);
+            assert!(
+                corr.abs() < 0.8 * zero_lag,
+                "lag {lag}: {} vs {zero_lag}",
+                corr.abs()
+            );
+        }
+    }
+}

@@ -1,0 +1,941 @@
+//! One driver per paper table/figure.
+//!
+//! Every function renders a plain-text table with the paper's published
+//! numbers next to the model's, so the reproduction quality is visible
+//! at a glance. `stap-bench`'s `repro` binary calls all of them; their
+//! output is recorded in EXPERIMENTS.md.
+
+use crate::des::{simulate, SimConfig, SimResult};
+use stap_core::flops::{closed_form, measure, paper_table1};
+use stap_core::StapParams;
+use stap_machine::{Paragon, TaskId};
+use stap_pipeline::assignment::TASK_NAMES;
+use stap_pipeline::NodeAssignment;
+use std::fmt::Write as _;
+
+/// Table 1: flops per task.
+pub fn table1() -> String {
+    let p = StapParams::paper();
+    let paper = paper_table1();
+    let forms = closed_form(&p);
+    let measured = measure(&p, 42);
+    let mut out = String::new();
+    writeln!(out, "Table 1 — floating point operations per CPI").unwrap();
+    writeln!(
+        out,
+        "{:<16} {:>13} {:>14} {:>13} {:>9}",
+        "task", "paper", "closed form", "measured", "meas/pap"
+    )
+    .unwrap();
+    for i in 0..7 {
+        let form = forms[i]
+            .map(|v| v.to_string())
+            .unwrap_or_else(|| "(impl-defined)".into());
+        writeln!(
+            out,
+            "{:<16} {:>13} {:>14} {:>13} {:>9.2}",
+            TASK_NAMES[i],
+            paper.0[i],
+            form,
+            measured.0[i],
+            measured.0[i] as f64 / paper.0[i] as f64
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "{:<16} {:>13} {:>14} {:>13}",
+        "total",
+        paper.total(),
+        "",
+        measured.total()
+    )
+    .unwrap();
+    out
+}
+
+/// Figure 11: per-task computation time and speedup vs node count.
+pub fn fig11() -> String {
+    let machine = Paragon::afrl_calibrated();
+    let flops = paper_table1();
+    // Node sweeps roughly matching the figure's per-task ranges.
+    let sweeps: [(TaskId, [usize; 4]); 7] = [
+        (TaskId::DopplerFilter, [4, 8, 16, 32]),
+        (TaskId::EasyWeight, [2, 4, 8, 16]),
+        (TaskId::HardWeight, [14, 28, 56, 112]),
+        (TaskId::EasyBeamform, [2, 4, 8, 16]),
+        (TaskId::HardBeamform, [4, 7, 14, 28]),
+        (TaskId::PulseCompression, [2, 4, 8, 16]),
+        (TaskId::Cfar, [2, 4, 8, 16]),
+    ];
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Figure 11 — computation time (s) and speedup vs nodes (model;\n\
+         anchors: case-3 column of Table 7, e.g. Doppler@8 = .3509 s,\n\
+         hard weight@28 = .3265 s; speedup relative to the sweep's\n\
+         smallest node count)"
+    )
+    .unwrap();
+    for (task, nodes) in sweeps {
+        let base = machine.compute_time(task, flops.0[task.index()], nodes[0]);
+        write!(out, "{:<16}", task.name()).unwrap();
+        for p in nodes {
+            let t = machine.compute_time(task, flops.0[task.index()], p);
+            write!(out, " {:>4}n {:.4}s x{:.2}", p, t, base / t).unwrap();
+        }
+        writeln!(out).unwrap();
+    }
+    out
+}
+
+/// Reference numbers for one paper comm-table row.
+struct CommPaperRow {
+    sweep_nodes: usize,
+    send: f64,
+    recv: f64,
+}
+
+fn render_comm_table(
+    out: &mut String,
+    title: &str,
+    rows: &[(NodeAssignment, &CommPaperRow)],
+    send_task: usize,
+    recv_task: usize,
+) {
+    writeln!(out, "{title}").unwrap();
+    writeln!(
+        out,
+        "{:<8} {:>11} {:>11} {:>11} {:>11}",
+        "nodes", "paper send", "model send", "paper recv", "model recv"
+    )
+    .unwrap();
+    for (assign, paper) in rows {
+        let r = simulate(&SimConfig::paper(*assign));
+        writeln!(
+            out,
+            "{:<8} {:>11.4} {:>11.4} {:>11.4} {:>11.4}",
+            paper.sweep_nodes,
+            paper.send,
+            r.tasks[send_task].send,
+            paper.recv,
+            r.tasks[recv_task].recv
+        )
+        .unwrap();
+    }
+}
+
+/// Tables 2–6: inter-task communication times.
+///
+/// The paper reports each task's whole send/receive phase (the Fig. 10
+/// timers), measured while sweeping the node counts of one producer/
+/// consumer pair; the recv column "may contain idle time for waiting for
+/// the corresponding task to complete". The paper does not state the
+/// node counts of the non-swept tasks; we hold them at case-1-like
+/// values (fast, so the swept pair dominates), which reproduces the
+/// published trends — absolute recv values at the slow end of each
+/// sweep depend on that unstated context.
+pub fn tables2to6() -> String {
+    use stap_pipeline::assignment::*;
+    let mut out = String::new();
+
+    // --- Table 2: Doppler -> successors; Doppler in {8, 16, 32}. ------
+    writeln!(
+        out,
+        "Table 2 — Doppler -> successors (Doppler nodes swept; successors:\n\
+         easy wt 16 / hard wt 56 and 112 / easy BF 16 / hard BF 16; PC, CFAR 16)"
+    )
+    .unwrap();
+    let paper_send = [0.1332, 0.0679, 0.0340];
+    let paper_recv = [
+        // easy wt, hard wt(56), hard wt(112), easy BF, hard BF
+        [0.4339, 0.3603, 0.4441, 0.4509, 0.4395],
+        [0.1780, 0.1048, 0.1837, 0.1955, 0.1843],
+        [0.0511, 0.0034, 0.0563, 0.0646, 0.0519],
+    ];
+    writeln!(
+        out,
+        "{:<8} {:>15} {:>17} {:>17} {:>17} {:>17} {:>17}",
+        "doppler", "send pap/mod", "easyWt16 p/m", "hardWt56 p/m", "hardWt112 p/m",
+        "easyBF16 p/m", "hardBF16 p/m"
+    )
+    .unwrap();
+    for (i, &dn) in [8usize, 16, 32].iter().enumerate() {
+        let r56 = simulate(&SimConfig::paper(NodeAssignment([dn, 16, 56, 16, 16, 16, 16])));
+        let r112 = simulate(&SimConfig::paper(NodeAssignment([dn, 16, 112, 16, 16, 16, 16])));
+        writeln!(
+            out,
+            "{:<8} {:>7.4}/{:<7.4} {:>8.4}/{:<8.4} {:>8.4}/{:<8.4} {:>8.4}/{:<8.4} {:>8.4}/{:<8.4} {:>8.4}/{:<8.4}",
+            dn,
+            paper_send[i],
+            r56.tasks[DOPPLER].send,
+            paper_recv[i][0],
+            r56.tasks[EASY_WT].recv,
+            paper_recv[i][1],
+            r56.tasks[HARD_WT].recv,
+            paper_recv[i][2],
+            r112.tasks[HARD_WT].recv,
+            paper_recv[i][3],
+            r56.tasks[EASY_BF].recv,
+            paper_recv[i][4],
+            r56.tasks[HARD_BF].recv,
+        )
+        .unwrap();
+    }
+    writeln!(out).unwrap();
+
+    // --- Table 3: easy weight -> easy BF. ------------------------------
+    let t3_paper = [
+        (8usize, [(4usize, 0.0005, 0.1956), (8, 0.0088, 0.0883), (16, 0.0768, 0.0807)]),
+        (16, [(4, 0.0007, 0.2570), (8, 0.0004, 0.0905), (16, 0.0003, 0.0660)]),
+    ];
+    for (bf, rows) in t3_paper {
+        let paper_rows: Vec<CommPaperRow> = rows
+            .iter()
+            .map(|&(n, send, recv)| CommPaperRow { sweep_nodes: n, send, recv })
+            .collect();
+        let pairs: Vec<(NodeAssignment, &CommPaperRow)> = paper_rows
+            .iter()
+            .map(|pr| (NodeAssignment([32, pr.sweep_nodes, 112, bf, 16, 16, 16]), pr))
+            .collect();
+        render_comm_table(
+            &mut out,
+            &format!("Table 3 — easy weight -> easy BF ({bf} BF nodes; others case-1)"),
+            &pairs,
+            EASY_WT,
+            EASY_BF,
+        );
+        writeln!(out).unwrap();
+    }
+
+    // --- Table 4: hard weight -> hard BF. ------------------------------
+    let t4_paper = [
+        (8usize, [(28usize, 0.0007, 0.1798), (56, 0.0100, 0.1468), (112, 0.1824, 0.1398)]),
+        (16, [(28, 0.0007, 0.2485), (56, 0.0065, 0.0765), (112, 0.0005, 0.0543)]),
+    ];
+    for (bf, rows) in t4_paper {
+        let paper_rows: Vec<CommPaperRow> = rows
+            .iter()
+            .map(|&(n, send, recv)| CommPaperRow { sweep_nodes: n, send, recv })
+            .collect();
+        let pairs: Vec<(NodeAssignment, &CommPaperRow)> = paper_rows
+            .iter()
+            .map(|pr| (NodeAssignment([32, 16, pr.sweep_nodes, 16, bf, 16, 16]), pr))
+            .collect();
+        render_comm_table(
+            &mut out,
+            &format!("Table 4 — hard weight -> hard BF ({bf} BF nodes; others case-1)"),
+            &pairs,
+            HARD_WT,
+            HARD_BF,
+        );
+        writeln!(out).unwrap();
+    }
+
+    // --- Table 5: beamforming -> pulse compression. ---------------------
+    let t5_paper = [
+        (8usize, [(4usize, 0.0069, 0.5016), (8, 0.0036, 0.1379), (16, 0.0580, 0.0771)]),
+        (16, [(4, 0.0069, 0.5714), (8, 0.0036, 0.2090), (16, 0.0022, 0.0569)]),
+    ];
+    for (pc, rows) in t5_paper {
+        let paper_rows: Vec<CommPaperRow> = rows
+            .iter()
+            .map(|&(n, send, recv)| CommPaperRow { sweep_nodes: n, send, recv })
+            .collect();
+        let pairs: Vec<(NodeAssignment, &CommPaperRow)> = paper_rows
+            .iter()
+            .map(|pr| {
+                (
+                    NodeAssignment([32, 16, 112, pr.sweep_nodes, pr.sweep_nodes, pc, 16]),
+                    pr,
+                )
+            })
+            .collect();
+        render_comm_table(
+            &mut out,
+            &format!("Table 5 — easy BF -> pulse compression ({pc} PC nodes; hard BF swept together)"),
+            &pairs,
+            EASY_BF,
+            PC,
+        );
+        writeln!(out).unwrap();
+    }
+
+    // --- Table 6: pulse compression -> CFAR. ----------------------------
+    let t6_paper = [
+        (4usize, [(4usize, 0.0099, 0.3351), (8, 0.0053, 0.0662), (16, 0.1256, 0.0435)]),
+        (8, [(4, 0.0098, 0.3348), (8, 0.0051, 0.1750), (16, 0.0028, 0.1783)]),
+    ];
+    for (cf, rows) in t6_paper {
+        let paper_rows: Vec<CommPaperRow> = rows
+            .iter()
+            .map(|&(n, send, recv)| CommPaperRow { sweep_nodes: n, send, recv })
+            .collect();
+        let pairs: Vec<(NodeAssignment, &CommPaperRow)> = paper_rows
+            .iter()
+            .map(|pr| (NodeAssignment([32, 16, 112, 16, 16, pr.sweep_nodes, cf]), pr))
+            .collect();
+        render_comm_table(
+            &mut out,
+            &format!("Table 6 — pulse compression -> CFAR ({cf} CFAR nodes; others case-1)"),
+            &pairs,
+            PC,
+            CFAR,
+        );
+        writeln!(out).unwrap();
+    }
+    out
+}
+
+/// Paper Table 7 per-task reference rows (recv, comp, send) per case.
+const TABLE7_PAPER: [(&str, [usize; 7], [[f64; 3]; 7], f64, f64); 3] = [
+    (
+        "case 1 (236 nodes)",
+        [32, 16, 112, 16, 28, 16, 16],
+        [
+            [0.0055, 0.0874, 0.0348],
+            [0.0493, 0.0913, 0.0003],
+            [0.0555, 0.0831, 0.0005],
+            [0.0658, 0.0708, 0.0021],
+            [0.0936, 0.0414, 0.0010],
+            [0.0551, 0.0776, 0.0028],
+            [0.0910, 0.0434, 0.0],
+        ],
+        7.2659,
+        0.3622,
+    ),
+    (
+        "case 2 (118 nodes)",
+        [16, 8, 56, 8, 14, 8, 8],
+        [
+            [0.0110, 0.1714, 0.0668],
+            [0.0998, 0.1636, 0.0003],
+            [0.0979, 0.1636, 0.0005],
+            [0.1302, 0.1267, 0.0036],
+            [0.1782, 0.0822, 0.0017],
+            [0.1027, 0.1543, 0.0051],
+            [0.1742, 0.0864, 0.0],
+        ],
+        3.7959,
+        0.6805,
+    ),
+    (
+        "case 3 (59 nodes)",
+        [8, 4, 28, 4, 7, 4, 4],
+        [
+            [0.0219, 0.3509, 0.1296],
+            [0.1796, 0.3254, 0.0003],
+            [0.1779, 0.3265, 0.0006],
+            [0.2439, 0.2529, 0.0068],
+            [0.3370, 0.1636, 0.0032],
+            [0.1806, 0.3067, 0.0097],
+            [0.3240, 0.1723, 0.0],
+        ],
+        1.9898,
+        1.3530,
+    ),
+];
+
+/// Table 7: integrated per-task times for the three node assignments.
+pub fn table7() -> String {
+    let mut out = String::new();
+    for (name, counts, paper_rows, paper_tp, paper_lat) in TABLE7_PAPER {
+        let assign = NodeAssignment(counts);
+        let r = simulate(&SimConfig::paper(assign));
+        writeln!(out, "Table 7 — {name}  (paper / model, seconds)").unwrap();
+        writeln!(
+            out,
+            "{:<16} {:>5} {:>15} {:>15} {:>15} {:>15}",
+            "task", "nodes", "recv", "comp", "send", "total"
+        )
+        .unwrap();
+        for t in 0..7 {
+            let m = r.tasks[t];
+            let p = paper_rows[t];
+            let p_total = p[0] + p[1] + p[2];
+            writeln!(
+                out,
+                "{:<16} {:>5} {:>7.4}/{:<7.4} {:>7.4}/{:<7.4} {:>7.4}/{:<7.4} {:>7.4}/{:<7.4}",
+                TASK_NAMES[t],
+                counts[t],
+                p[0],
+                m.recv,
+                p[1],
+                m.comp,
+                p[2],
+                m.send,
+                p_total,
+                m.total()
+            )
+            .unwrap();
+        }
+        writeln!(
+            out,
+            "throughput  paper {:.4}  model {:.4}   latency  paper {:.4}  model {:.4}",
+            paper_tp, r.measured_throughput, paper_lat, r.measured_latency
+        )
+        .unwrap();
+        writeln!(out).unwrap();
+    }
+    out
+}
+
+/// Table 8: equation vs measured throughput/latency for the 3 cases.
+pub fn table8() -> String {
+    let paper = [
+        (236, 7.1019, 7.2659, 0.5362, 0.3622),
+        (118, 3.7919, 3.7959, 1.0346, 0.6805),
+        (59, 1.9791, 1.9898, 1.9996, 1.3530),
+    ];
+    let cases = [
+        NodeAssignment::case1(),
+        NodeAssignment::case2(),
+        NodeAssignment::case3(),
+    ];
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Table 8 — throughput (CPI/s) and latency (s): equation vs measured"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:>6} | {:>10} {:>10} {:>10} {:>10} | {:>11} {:>11} {:>11} {:>11}",
+        "nodes",
+        "tp eq pap",
+        "tp eq mod",
+        "tp re pap",
+        "tp re mod",
+        "lat eq pap",
+        "lat eq mod",
+        "lat re pap",
+        "lat re mod"
+    )
+    .unwrap();
+    for (case, (nodes, tp_eq, tp_real, lat_eq, lat_real)) in cases.iter().zip(paper) {
+        let r = simulate(&SimConfig::paper(*case));
+        writeln!(
+            out,
+            "{:>6} | {:>10.4} {:>10.4} {:>10.4} {:>10.4} | {:>11.4} {:>11.4} {:>11.4} {:>11.4}",
+            nodes,
+            tp_eq,
+            r.eq_throughput,
+            tp_real,
+            r.measured_throughput,
+            lat_eq,
+            r.eq_latency,
+            lat_real,
+            r.measured_latency
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// Tables 9 and 10: what-if node additions on top of case 2.
+pub fn tables9and10() -> String {
+    let mut out = String::new();
+    let base = simulate(&SimConfig::paper(NodeAssignment::case2()));
+    let t9 = simulate(&SimConfig::paper(NodeAssignment::table9()));
+    let t10 = simulate(&SimConfig::paper(NodeAssignment::table10()));
+
+    let row = |out: &mut String, name: &str, r: &SimResult, paper_tp: f64, paper_lat: f64| {
+        writeln!(
+            out,
+            "{:<28} throughput paper {:>7.4} model {:>7.4}   latency paper {:>7.4} model {:>7.4}",
+            name, paper_tp, r.measured_throughput, paper_lat, r.measured_latency
+        )
+        .unwrap();
+    };
+    writeln!(out, "Tables 9 & 10 — adding nodes to case 2").unwrap();
+    row(&mut out, "case 2 (118 nodes)", &base, 3.7959, 0.6805);
+    row(&mut out, "table 9 (+4 Doppler, 122)", &t9, 5.0213, 0.5498);
+    row(&mut out, "table 10 (+16 PC/CFAR, 138)", &t10, 4.9052, 0.4247);
+    writeln!(
+        out,
+        "paper's observations: (9) +3% nodes -> +32% throughput, -19% latency;\n\
+         (10) 16 more nodes do NOT raise throughput (weight bottleneck) but cut latency.\n\
+         model: (9) {:+.0}% throughput, {:+.0}% latency; (10) {:+.0}% throughput vs table 9, {:+.0}% latency",
+        (t9.measured_throughput / base.measured_throughput - 1.0) * 100.0,
+        (t9.measured_latency / base.measured_latency - 1.0) * 100.0,
+        (t10.measured_throughput / t9.measured_throughput - 1.0) * 100.0,
+        (t10.measured_latency / t9.measured_latency - 1.0) * 100.0,
+    )
+    .unwrap();
+    out
+}
+
+/// Ablation: mesh contention and pack-rate sensitivity.
+pub fn ablations() -> String {
+    let mut out = String::new();
+    writeln!(out, "Ablations (case 2)").unwrap();
+    let base = simulate(&SimConfig::paper(NodeAssignment::case2()));
+    writeln!(
+        out,
+        "base model:            throughput {:.4}  latency {:.4}",
+        base.measured_throughput, base.measured_latency
+    )
+    .unwrap();
+    let mut cfg = SimConfig::paper(NodeAssignment::case2());
+    cfg.mesh_contention = Some(stap_machine::Mesh::afrl());
+    let cont = simulate(&cfg);
+    writeln!(
+        out,
+        "with mesh contention:  throughput {:.4}  latency {:.4}",
+        cont.measured_throughput, cont.measured_latency
+    )
+    .unwrap();
+    for scale in [0.5, 2.0] {
+        let mut cfg = SimConfig::paper(NodeAssignment::case2());
+        cfg.machine.pack_bytes_per_s *= scale;
+        let r = simulate(&cfg);
+        writeln!(
+            out,
+            "pack rate x{:<4}        throughput {:.4}  latency {:.4}",
+            scale, r.measured_throughput, r.measured_latency
+        )
+        .unwrap();
+    }
+    let mut cfg = SimConfig::paper(NodeAssignment::case2());
+    cfg.no_data_collection = true;
+    let r = simulate(&cfg);
+    writeln!(
+        out,
+        "no data collection:    throughput {:.4}  latency {:.4}  (Section 4.1.1: ship full range extents to the weight tasks)",
+        r.measured_throughput, r.measured_latency
+    )
+    .unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig11_renders_linear_speedups() {
+        let s = fig11();
+        assert!(s.contains("Doppler"));
+        assert!(s.contains("x4.00"), "4x nodes must give 4x speedup:\n{s}");
+    }
+
+    #[test]
+    fn table7_contains_all_cases() {
+        let s = table7();
+        assert!(s.contains("case 1"));
+        assert!(s.contains("case 2"));
+        assert!(s.contains("case 3"));
+        assert!(s.contains("throughput"));
+    }
+
+    #[test]
+    fn table8_renders() {
+        let s = table8();
+        assert_eq!(s.lines().count(), 5);
+    }
+
+    #[test]
+    fn tables9and10_show_effects() {
+        let s = tables9and10();
+        assert!(s.contains("table 9"));
+        assert!(s.contains("table 10"));
+    }
+
+    #[test]
+    fn comm_tables_render_all_sweeps() {
+        let s = tables2to6();
+        for t in ["Table 2", "Table 3", "Table 4", "Table 5", "Table 6"] {
+            assert!(s.contains(t), "missing {t}");
+        }
+    }
+
+    #[test]
+    fn ablations_render() {
+        let s = ablations();
+        assert!(s.contains("mesh contention"));
+        assert!(s.contains("pack rate"));
+    }
+}
+
+/// Future work / reference \[13\]: stage replication and multiple
+/// pipelines.
+pub fn replication() -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Stage replication & multiple pipelines (the paper's future work;\n\
+         its reference [13] replicates compute-heavy stages to raise\n\
+         throughput while keeping latency fixed)"
+    )
+    .unwrap();
+    let base_cfg = SimConfig::paper(NodeAssignment::table10());
+    let base = simulate(&base_cfg);
+    writeln!(
+        out,
+        "{:<40} {:>4} nodes  tp {:>6.3}  lat {:>6.3}",
+        "table-10 assignment (baseline)",
+        base_cfg.assign.total(),
+        base.measured_throughput,
+        base.measured_latency
+    )
+    .unwrap();
+    let mut dop2 = base_cfg.clone();
+    dop2.replicas[0] = 2;
+    let r = simulate(&dop2);
+    writeln!(
+        out,
+        "{:<40} {:>4} nodes  tp {:>6.3}  lat {:>6.3}",
+        "+ 2nd Doppler replica (bottleneck stage)",
+        base_cfg.assign.total() + base_cfg.assign.0[0],
+        r.measured_throughput,
+        r.measured_latency
+    )
+    .unwrap();
+    let mut both = dop2.clone();
+    both.replicas[1] = 2;
+    both.replicas[2] = 2;
+    let r2 = simulate(&both);
+    writeln!(
+        out,
+        "{:<40} {:>4} nodes  tp {:>6.3}  lat {:>6.3}",
+        "+ 2nd weight replicas as well",
+        base_cfg.assign.total()
+            + base_cfg.assign.0[0]
+            + base_cfg.assign.0[1]
+            + base_cfg.assign.0[2],
+        r2.measured_throughput,
+        r2.measured_latency
+    )
+    .unwrap();
+    let mut full = SimConfig::paper(NodeAssignment::table10());
+    full.replicas = [2; 7];
+    let rf = simulate(&full);
+    writeln!(
+        out,
+        "{:<40} {:>4} nodes  tp {:>6.3}  lat {:>6.3}",
+        "2 complete pipelines",
+        2 * base_cfg.assign.total(),
+        rf.measured_throughput,
+        rf.measured_latency
+    )
+    .unwrap();
+    let mut smp = SimConfig::paper(NodeAssignment::table10());
+    smp.cpus_per_node = 3;
+    let rs = simulate(&smp);
+    writeln!(
+        out,
+        "{:<40} {:>4} nodes  tp {:>6.3}  lat {:>6.3}   (3 i860s per node, Amdahl 2.4x)",
+        "all 3 CPUs per node (SMP future work)",
+        base_cfg.assign.total(),
+        rs.measured_throughput,
+        rs.measured_latency
+    )
+    .unwrap();
+    out
+}
+
+/// Processor-assignment optimization (Section 4.1.2's tradeoff,
+/// automated).
+pub fn optimizer() -> String {
+    use crate::assign::{optimize, proportional_seed, Objective};
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Automated processor assignment (Section 4.1.2 tradeoffs)"
+    )
+    .unwrap();
+    let cfg = SimConfig::paper(NodeAssignment::case2());
+    for budget in [59usize, 118, 236] {
+        let seed = proportional_seed(&cfg, budget);
+        let seed_r = simulate(&{
+            let mut c = cfg.clone();
+            c.assign = seed;
+            c
+        });
+        let (tp_a, tp_r) = optimize(&cfg, budget, Objective::MaxThroughput, 12);
+        writeln!(
+            out,
+            "budget {:>3}: seed {:?} tp {:.3} -> optimized {:?} tp {:.3} lat {:.3}",
+            budget, seed.0, seed_r.measured_throughput, tp_a.0, tp_r.measured_throughput,
+            tp_r.measured_latency
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// The RTMCARM flight-demo baseline (paper Section 2): 25 nodes used
+/// round-robin, each CPI processed entirely on one node's three shared-
+/// memory i860s. "The system processed up to 10 CPIs per second
+/// (throughput) and achieved a latency of 2.35 seconds per CPI ... the
+/// latency is limited by what can be achieved using the three
+/// processors in one compute node."
+pub fn rtmcarm_baseline() -> String {
+    let machine = Paragon::afrl_calibrated();
+    let flops = paper_table1();
+    // One node's three i860s on the whole chain, shared memory: no
+    // inter-task communication at all. With the 1998 per-task rates our
+    // calibration derives, the chain takes ~7 s on one node; the 1996
+    // demo reported 2.35 s — its hand-tuned shared-memory code (single
+    // precision, no pack/unpack, custom FFTs) ran ~3x more efficiently
+    // per node than the message-passing tasks. We show both: the
+    // pipeline-rate model and the demo-calibrated one (eta = 2.46).
+    let rr = |eta: f64| -> f64 {
+        (0..7)
+            .map(|t| flops.0[t] as f64 / (3.0 * machine.task_flop_rate[t] * eta))
+            .sum()
+    };
+    let nodes = 25.0;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "RTMCARM round-robin baseline (paper Section 2) vs the parallel pipeline"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<44} {:>10} {:>10}",
+        "configuration", "throughput", "latency"
+    )
+    .unwrap();
+    let lat_pipe_rates = rr(0.80);
+    writeln!(
+        out,
+        "{:<44} {:>7.1}/s {:>9.2}s   (at 1998 per-task rates)",
+        "round-robin, 25 nodes x 3 CPUs",
+        nodes / lat_pipe_rates,
+        lat_pipe_rates
+    )
+    .unwrap();
+    let lat_demo = rr(2.46);
+    writeln!(
+        out,
+        "{:<44} {:>7.1}/s {:>9.2}s   (paper: up to 10/s, 2.35 s)",
+        "round-robin, demo-calibrated (eta=2.46)",
+        nodes / lat_demo,
+        lat_demo
+    )
+    .unwrap();
+    for (name, assign) in [
+        ("pipelined, 59 nodes (case 3)", NodeAssignment::case3()),
+        ("pipelined, 118 nodes (case 2)", NodeAssignment::case2()),
+        ("pipelined, 236 nodes (case 1)", NodeAssignment::case1()),
+    ] {
+        let r = simulate(&SimConfig::paper(assign));
+        writeln!(
+            out,
+            "{:<44} {:>7.1}/s {:>9.2}s",
+            name, r.measured_throughput, r.measured_latency
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "the pipeline's point: round-robin can buy throughput with more nodes,\n\
+         but its latency is pinned at one node's speed; the parallel pipeline\n\
+         cuts latency ~7x at comparable hardware."
+    )
+    .unwrap();
+    out
+}
+
+/// The conclusion's saturation prediction: "When more than 236 nodes are
+/// used, the speedup curves for the results of throughput and latency
+/// may saturate. This is because the communication costs will become
+/// significant with respect to the computation costs."
+pub fn saturation() -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Scaling beyond 236 nodes (conclusion's saturation prediction)"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:>6} {:>26} {:>11} {:>9} {:>9}",
+        "nodes", "assignment", "throughput", "speedup", "efficiency"
+    )
+    .unwrap();
+    let base = NodeAssignment::case3(); // 59 nodes
+    let base_r = simulate(&SimConfig::paper(base));
+    for mult in [1usize, 2, 4, 8, 16, 32] {
+        let counts: Vec<usize> = base.0.iter().map(|&c| c * mult).collect();
+        let assign = NodeAssignment([
+            counts[0], counts[1], counts[2], counts[3], counts[4], counts[5], counts[6],
+        ]);
+        let r = simulate(&SimConfig::paper(assign));
+        let speedup = r.measured_throughput / base_r.measured_throughput;
+        writeln!(
+            out,
+            "{:>6} {:>26} {:>9.2}/s {:>8.2}x {:>8.1}%",
+            assign.total(),
+            format!("{:?}", assign.0),
+            r.measured_throughput,
+            speedup,
+            100.0 * speedup / mult as f64
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "per-node efficiency decays as message startup and per-node pack\n\
+         shrink more slowly than compute — the communication-dominated\n\
+         saturation the conclusion predicts."
+    )
+    .unwrap();
+    out
+}
+
+#[cfg(test)]
+mod extension_tests {
+    use super::*;
+
+    #[test]
+    fn rtmcarm_baseline_matches_section2_numbers() {
+        let s = rtmcarm_baseline();
+        assert!(s.contains("round-robin"));
+        // Demo-calibrated round-robin must land near the reported
+        // 2.35 s / ~10 CPI/s; the throughput-latency relationship
+        // (throughput = nodes / latency) is structural.
+        let machine = Paragon::afrl_calibrated();
+        let flops = paper_table1();
+        let latency: f64 = (0..7)
+            .map(|t| flops.0[t] as f64 / (3.0 * machine.task_flop_rate[t] * 2.46))
+            .sum();
+        assert!(
+            (latency - 2.35).abs() < 0.15,
+            "round-robin latency {latency} vs paper 2.35"
+        );
+        let throughput = 25.0 / latency;
+        assert!(
+            (9.0..12.0).contains(&throughput),
+            "round-robin throughput {throughput} vs paper ~10"
+        );
+    }
+
+    #[test]
+    fn pipeline_beats_round_robin_latency_by_a_wide_margin() {
+        let machine = Paragon::afrl_calibrated();
+        let flops = paper_table1();
+        let rr_latency: f64 = (0..7)
+            .map(|t| flops.0[t] as f64 / (3.0 * machine.task_flop_rate[t] * 0.80))
+            .sum();
+        let pipe = simulate(&SimConfig::paper(NodeAssignment::case1()));
+        assert!(
+            pipe.measured_latency < rr_latency / 5.0,
+            "pipeline {} vs round-robin {}",
+            pipe.measured_latency,
+            rr_latency
+        );
+    }
+
+    #[test]
+    fn efficiency_decays_at_extreme_scale() {
+        let base = simulate(&SimConfig::paper(NodeAssignment::case3()));
+        let huge = NodeAssignment([8 * 32, 4 * 32, 28 * 32, 4 * 32, 7 * 32, 4 * 32, 4 * 32]);
+        let r = simulate(&SimConfig::paper(huge));
+        let speedup = r.measured_throughput / base.measured_throughput;
+        let efficiency = speedup / 32.0;
+        assert!(
+            efficiency < 0.8,
+            "expected saturation at 32x nodes, efficiency {efficiency}"
+        );
+        // But throughput must still have grown substantially.
+        assert!(speedup > 8.0, "speedup collapsed: {speedup}");
+    }
+}
+
+/// Machine-verifiable reproduction gate: every paper-vs-model tolerance
+/// asserted in one pass. Returns the list of failures (empty = the
+/// reproduction meets its stated quality bars).
+pub fn check() -> Vec<String> {
+    let mut failures = Vec::new();
+    fn expect(failures: &mut Vec<String>, name: &str, got: f64, want: f64, rel_tol: f64) {
+        let rel = (got - want).abs() / want.abs().max(1e-12);
+        if rel > rel_tol {
+            failures.push(format!(
+                "{name}: got {got:.4}, paper {want:.4} ({:.1}% off, tol {:.0}%)",
+                rel * 100.0,
+                rel_tol * 100.0
+            ));
+        }
+    }
+
+    // Table 1: deterministic closed forms must match the paper exactly.
+    let p = StapParams::paper();
+    let forms = closed_form(&p);
+    let paper = paper_table1();
+    for (i, f) in forms.iter().enumerate() {
+        if let Some(v) = f {
+            if *v != paper.0[i] {
+                failures.push(format!(
+                    "table1 task {i}: closed form {v} != paper {}",
+                    paper.0[i]
+                ));
+            }
+        }
+    }
+
+    // Tables 7/8: throughput and latency of the three cases.
+    let refs = [
+        (NodeAssignment::case1(), 7.2659, 0.3622),
+        (NodeAssignment::case2(), 3.7959, 0.6805),
+        (NodeAssignment::case3(), 1.9898, 1.3530),
+    ];
+    for (assign, tp, lat) in refs {
+        let r = simulate(&SimConfig::paper(assign));
+        let n = assign.total();
+        expect(&mut failures, &format!("throughput@{n}"), r.measured_throughput, tp, 0.10);
+        expect(&mut failures, &format!("latency@{n}"), r.measured_latency, lat, 0.15);
+    }
+
+    // Table 2 send anchors.
+    for (dn, want) in [(8usize, 0.1332), (16, 0.0679), (32, 0.0340)] {
+        let r = simulate(&SimConfig::paper(NodeAssignment([dn, 16, 56, 16, 16, 16, 16])));
+        expect(&mut failures, &format!("doppler_send@{dn}"), r.tasks[0].send, want, 0.08);
+    }
+
+    // Table 9: adding Doppler nodes lifts throughput substantially.
+    let base = simulate(&SimConfig::paper(NodeAssignment::case2()));
+    let t9 = simulate(&SimConfig::paper(NodeAssignment::table9()));
+    let gain = t9.measured_throughput / base.measured_throughput;
+    if !(1.15..=1.40).contains(&gain) {
+        failures.push(format!(
+            "table9 throughput gain {gain:.2} outside [1.15, 1.40] (paper 1.32)"
+        ));
+    }
+
+    // Table 10: +16 PC/CFAR nodes leave throughput flat, cut latency.
+    let t10 = simulate(&SimConfig::paper(NodeAssignment::table10()));
+    let tp_ratio = t10.measured_throughput / t9.measured_throughput;
+    if !(0.95..=1.05).contains(&tp_ratio) {
+        failures.push(format!(
+            "table10 throughput ratio {tp_ratio:.3} should be ~1 (weight/doppler bottleneck)"
+        ));
+    }
+    let lat_gain = 1.0 - t10.measured_latency / t9.measured_latency;
+    if !(0.10..=0.35).contains(&lat_gain) {
+        failures.push(format!(
+            "table10 latency improvement {:.0}% outside [10, 35]% (paper 23%)",
+            lat_gain * 100.0
+        ));
+    }
+
+    // Linear scaling (the paper's headline).
+    let s4 = simulate(&SimConfig::paper(NodeAssignment::case1())).measured_throughput
+        / simulate(&SimConfig::paper(NodeAssignment::case3())).measured_throughput;
+    if !(3.4..=4.4).contains(&s4) {
+        failures.push(format!("4x nodes gives {s4:.2}x throughput, want ~4x"));
+    }
+
+    failures
+}
+
+#[cfg(test)]
+mod check_tests {
+    #[test]
+    fn reproduction_gate_passes() {
+        let failures = super::check();
+        assert!(failures.is_empty(), "reproduction drifted:\n{}", failures.join("\n"));
+    }
+}

@@ -1,0 +1,171 @@
+//! Parameter sweeps with CSV output — plotting-ready data behind
+//! Figure 11 and the scaling curves.
+//!
+//! Each sweep returns structured rows and renders RFC-4180-ish CSV
+//! (comma-separated, header row, no quoting needed for these fields),
+//! so downstream tooling can regenerate the paper's figures without
+//! parsing the human-readable tables.
+
+use crate::des::{simulate, SimConfig};
+use stap_machine::{Paragon, ALL_TASKS};
+use stap_pipeline::assignment::TASK_NAMES;
+use stap_pipeline::NodeAssignment;
+use std::fmt::Write as _;
+
+/// One per-task computation-time sample (Figure 11's data).
+#[derive(Clone, Debug, PartialEq, serde::Serialize)]
+pub struct CompTimeRow {
+    /// Task name (paper's labels).
+    pub task: String,
+    /// Node count.
+    pub nodes: usize,
+    /// Computation seconds per CPI.
+    pub comp_s: f64,
+    /// Speedup relative to the sweep's smallest node count.
+    pub speedup: f64,
+}
+
+/// Per-task computation time over node sweeps (the data behind
+/// Figure 11).
+pub fn fig11_rows(machine: &Paragon, flops: &[u64; 7], sweeps: &[(usize, Vec<usize>)]) -> Vec<CompTimeRow> {
+    let mut rows = Vec::new();
+    for (task, nodes) in sweeps {
+        let base = machine.compute_time(ALL_TASKS[*task], flops[*task], nodes[0]);
+        for &p in nodes {
+            let t = machine.compute_time(ALL_TASKS[*task], flops[*task], p);
+            rows.push(CompTimeRow {
+                task: TASK_NAMES[*task].to_string(),
+                nodes: p,
+                comp_s: t,
+                speedup: base / t,
+            });
+        }
+    }
+    rows
+}
+
+/// One integrated-system sample (scaling-curve data).
+#[derive(Clone, Debug, PartialEq, serde::Serialize)]
+pub struct ScalingRow {
+    /// Total node count.
+    pub nodes: usize,
+    /// Measured throughput, CPI/s.
+    pub throughput: f64,
+    /// Measured latency, s.
+    pub latency: f64,
+    /// Equation-(1) throughput.
+    pub eq_throughput: f64,
+    /// Equation-(2) latency.
+    pub eq_latency: f64,
+}
+
+/// Simulates every assignment and collects the scaling curve.
+pub fn scaling_rows(cfg: &SimConfig, assignments: &[NodeAssignment]) -> Vec<ScalingRow> {
+    assignments
+        .iter()
+        .map(|a| {
+            let mut c = cfg.clone();
+            c.assign = *a;
+            let r = simulate(&c);
+            ScalingRow {
+                nodes: a.total(),
+                throughput: r.measured_throughput,
+                latency: r.measured_latency,
+                eq_throughput: r.eq_throughput,
+                eq_latency: r.eq_latency,
+            }
+        })
+        .collect()
+}
+
+/// Renders the Figure-11 rows as CSV.
+pub fn fig11_csv(rows: &[CompTimeRow]) -> String {
+    let mut out = String::from("task,nodes,comp_s,speedup\n");
+    for r in rows {
+        writeln!(out, "{},{},{:.6},{:.4}", r.task, r.nodes, r.comp_s, r.speedup).unwrap();
+    }
+    out
+}
+
+/// Renders the scaling rows as CSV.
+pub fn scaling_csv(rows: &[ScalingRow]) -> String {
+    let mut out = String::from("nodes,throughput,latency,eq_throughput,eq_latency\n");
+    for r in rows {
+        writeln!(
+            out,
+            "{},{:.6},{:.6},{:.6},{:.6}",
+            r.nodes, r.throughput, r.latency, r.eq_throughput, r.eq_latency
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// The default Figure-11 sweep set (matching `experiments::fig11`).
+pub fn default_fig11_sweeps() -> Vec<(usize, Vec<usize>)> {
+    vec![
+        (0, vec![4, 8, 16, 32]),
+        (1, vec![2, 4, 8, 16]),
+        (2, vec![14, 28, 56, 112]),
+        (3, vec![2, 4, 8, 16]),
+        (4, vec![4, 7, 14, 28]),
+        (5, vec![2, 4, 8, 16]),
+        (6, vec![2, 4, 8, 16]),
+    ]
+}
+
+/// The proportional scaling ladder used by the saturation experiment.
+pub fn proportional_ladder(multipliers: &[usize]) -> Vec<NodeAssignment> {
+    let base = NodeAssignment::case3();
+    multipliers
+        .iter()
+        .map(|&m| {
+            let mut c = [0usize; 7];
+            for (i, b) in base.0.iter().enumerate() {
+                c[i] = b * m;
+            }
+            NodeAssignment(c)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stap_core::flops::paper_table1;
+
+    #[test]
+    fn fig11_rows_have_linear_speedup() {
+        let m = Paragon::afrl_calibrated();
+        let rows = fig11_rows(&m, &paper_table1().0, &default_fig11_sweeps());
+        assert_eq!(rows.len(), 28);
+        // Doppler at 32 nodes: 8x its 4-node time.
+        let d32 = rows
+            .iter()
+            .find(|r| r.task == "Doppler filter" && r.nodes == 32)
+            .unwrap();
+        assert!((d32.speedup - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn csv_has_header_and_one_line_per_row() {
+        let m = Paragon::afrl_calibrated();
+        let rows = fig11_rows(&m, &paper_table1().0, &default_fig11_sweeps());
+        let csv = fig11_csv(&rows);
+        assert_eq!(csv.lines().count(), 29);
+        assert!(csv.starts_with("task,nodes,comp_s,speedup\n"));
+        assert!(csv.contains("pulse compr,16,"));
+    }
+
+    #[test]
+    fn scaling_rows_cover_the_ladder() {
+        let cfg = SimConfig::paper(NodeAssignment::case3());
+        let rows = scaling_rows(&cfg, &proportional_ladder(&[1, 2, 4]));
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].nodes, 59);
+        assert_eq!(rows[2].nodes, 236);
+        assert!(rows[2].throughput > 3.0 * rows[0].throughput);
+        let csv = scaling_csv(&rows);
+        assert_eq!(csv.lines().count(), 4);
+    }
+}

@@ -1,0 +1,31 @@
+//! Facade crate re-exporting the full parallel pipelined STAP API.
+//!
+//! ```
+//! use stap::core::{SequentialStap, StapParams};
+//! use stap::radar::Scenario;
+//!
+//! // Reduced geometry so the doctest runs in milliseconds.
+//! let params = StapParams::reduced();
+//! let scenario = Scenario::reduced(7);
+//! let mut stap = SequentialStap::for_scenario(params, &scenario);
+//! let out = stap.process_cpi(0, &scenario.generate_cpi(0));
+//! assert_eq!(out.power.shape(), [32, 4, 64]);
+//! ```
+//!
+//! Paragon-scale performance modeling:
+//!
+//! ```
+//! use stap::pipeline::NodeAssignment;
+//! use stap::sim::{simulate, SimConfig};
+//!
+//! let r = simulate(&SimConfig::paper(NodeAssignment::case3()));
+//! assert!((r.measured_throughput - 1.99).abs() < 0.2); // paper: 1.9898
+//! ```
+pub use stap_core as core;
+pub use stap_cube as cube;
+pub use stap_machine as machine;
+pub use stap_math as math;
+pub use stap_mp as mp;
+pub use stap_pipeline as pipeline;
+pub use stap_radar as radar;
+pub use stap_sim as sim;

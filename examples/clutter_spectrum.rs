@@ -1,0 +1,86 @@
+//! Visualize the clutter ridge: MVDR angle-Doppler spectrum of the
+//! synthetic scene as an ASCII heat map, plus the covariance
+//! eigenspectrum against Brennan's rule — the physics behind the
+//! paper's easy/hard Doppler-bin split.
+//!
+//! ```sh
+//! cargo run --release --example clutter_spectrum
+//! ```
+
+use stap::core::analysis::{
+    beta_of, brennan_rank, clutter_eigenspectrum, mvdr_spectrum, space_time_covariance,
+};
+use stap::math::eigen::effective_rank;
+use stap::radar::Scenario;
+
+fn main() {
+    let mut scenario = Scenario::reduced(4242);
+    scenario.targets.clear();
+    if let Some(c) = scenario.clutter.as_mut() {
+        c.doppler_spread = 0.0;
+    }
+    let cpi = scenario.generate_cpi(0);
+    let pulse_window = 4usize;
+
+    // --- eigenspectrum & Brennan's rule --------------------------------
+    let eig = clutter_eigenspectrum(&cpi, pulse_window);
+    let cfg = scenario.clutter.as_ref().unwrap();
+    let beta = beta_of(cfg.ridge_slope, scenario.geom.spacing_wavelengths);
+    let predicted = brennan_rank(scenario.geom.channels, pulse_window, beta);
+    let rank = effective_rank(&eig.values, 30.0);
+    println!(
+        "space-time covariance: J = {}, P = {} (dimension {})",
+        scenario.geom.channels,
+        pulse_window,
+        scenario.geom.channels * pulse_window
+    );
+    println!(
+        "clutter eigenvalues (dB below peak), Brennan's rule predicts rank ~{predicted}:"
+    );
+    let peak = eig.values[0];
+    for (i, chunk) in eig.values.chunks(8).enumerate() {
+        let row: Vec<String> = chunk
+            .iter()
+            .map(|v| format!("{:6.1}", 10.0 * (v / peak).max(1e-12).log10()))
+            .collect();
+        println!("  [{:>2}..] {}", i * 8, row.join(" "));
+    }
+    println!("effective rank (30 dB): {rank}  (Brennan: {predicted})\n");
+
+    // --- MVDR angle-Doppler map -----------------------------------------
+    let r = space_time_covariance(&cpi, pulse_window);
+    let azimuths: Vec<f64> = (-12..=12).map(|i| i as f64 * 5.0).collect();
+    let dopplers: Vec<f64> = (-10..=10).map(|i| i as f64 * 0.03).collect();
+    let spec = mvdr_spectrum(&r, &scenario.geom, pulse_window, &azimuths, &dopplers, 1e-3)
+        .expect("covariance is PD with loading");
+    let maxv = spec
+        .iter()
+        .flatten()
+        .cloned()
+        .fold(0.0f64, f64::max)
+        .max(1e-300);
+    println!("MVDR angle-Doppler spectrum (rows: Doppler cycles/pulse; cols: azimuth -60..60 deg)");
+    println!("scale: ' ' < -30 dB, '.' -30..-20, ':' -20..-12, '+' -12..-6, '#' > -6 dB\n");
+    for (di, row) in spec.iter().enumerate().rev() {
+        let line: String = row
+            .iter()
+            .map(|&v| {
+                let db = 10.0 * (v / maxv).max(1e-12).log10();
+                match db {
+                    d if d > -6.0 => '#',
+                    d if d > -12.0 => '+',
+                    d if d > -20.0 => ':',
+                    d if d > -30.0 => '.',
+                    _ => ' ',
+                }
+            })
+            .collect();
+        println!("{:>6.2} |{}|", dopplers[di], line);
+    }
+    println!("        {}", "-".repeat(azimuths.len() + 2));
+    println!(
+        "the diagonal stripe is the clutter ridge (slope {} cycles/pulse per sin(az));\n\
+         Doppler bins crossing it are the paper's \"hard\" bins.",
+        cfg.ridge_slope
+    );
+}

@@ -1,0 +1,77 @@
+//! Detection performance: probability of detection vs target SNR, with
+//! adaptive STAP weights against the quiescent (steering-only)
+//! beamformer — the operational payoff of everything the paper
+//! parallelizes.
+//!
+//! ```sh
+//! cargo run --release --example detection_performance [trials_per_point]
+//! ```
+//!
+//! For each SNR point we run Monte-Carlo trials: fresh clutter + noise,
+//! one target at a fixed (range, Doppler, azimuth), train on preceding
+//! CPIs, and ask whether CFAR reports the target cell (±1 range ring,
+//! ±1 bin). The adaptive curve should reach high Pd many dB before the
+//! quiescent one for targets in the clutter-affected region.
+
+use stap::core::{SequentialStap, StapParams};
+use stap::radar::{Scenario, Target};
+
+fn trial(params: &StapParams, seed: u64, snr_db: f64, adaptive: bool) -> bool {
+    let mut scenario = Scenario::reduced(seed);
+    // Put the target in a low-Doppler (clutter-adjacent) easy bin so
+    // adaptivity matters: bin 7 of 32 = doppler 7/32.
+    let bin = 7usize;
+    scenario.targets = vec![Target::fixed(40, bin as f64 / 32.0, 2.0, snr_db)];
+    let mut stap = SequentialStap::for_scenario(params.clone(), &scenario);
+    let mut hit = false;
+    for (i, _beam, cpi) in scenario.stream(4) {
+        if !adaptive {
+            // Reset weight state each CPI: permanently quiescent.
+            stap = SequentialStap::for_scenario(params.clone(), &scenario);
+        }
+        let out = stap.process_cpi(0, &cpi);
+        if i == 3 {
+            hit = out
+                .detections
+                .iter()
+                .any(|d| d.range.abs_diff(40) <= 1 && d.bin.abs_diff(bin) <= 1);
+        }
+    }
+    hit
+}
+
+fn main() {
+    let trials: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12);
+    let params = StapParams::reduced();
+    println!(
+        "Pd vs SNR, {} trials per point (target at range 40, Doppler bin 7,\n\
+         azimuth 2 deg, under 40 dB clutter)\n",
+        trials
+    );
+    println!("{:>8} {:>12} {:>12}", "SNR dB", "adaptive Pd", "quiescent Pd");
+    for snr in [-5.0f64, 0.0, 5.0, 10.0, 15.0, 20.0] {
+        let mut hits_a = 0;
+        let mut hits_q = 0;
+        for t in 0..trials {
+            let seed = 10_000 + t as u64 * 37;
+            if trial(&params, seed, snr, true) {
+                hits_a += 1;
+            }
+            if trial(&params, seed, snr, false) {
+                hits_q += 1;
+            }
+        }
+        println!(
+            "{:>8.1} {:>12.2} {:>12.2}",
+            snr,
+            hits_a as f64 / trials as f64,
+            hits_q as f64 / trials as f64
+        );
+    }
+    println!("\nthe adaptive column should saturate at lower SNR: the trained");
+    println!("weights null the clutter that otherwise raises the CFAR threshold");
+    println!("around the target.");
+}

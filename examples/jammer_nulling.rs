@@ -1,0 +1,73 @@
+//! Adaptive nulling demonstration: compare the quiescent and adapted
+//! receive patterns in a jammed, cluttered scene, and show the mainbeam
+//! constraint at work (Appendix A of the paper): clutter and jammer are
+//! nulled while the mainbeam shape survives.
+//!
+//! ```sh
+//! cargo run --release --example jammer_nulling
+//! ```
+
+use stap::core::{SequentialStap, StapParams};
+use stap::math::Cx;
+use stap::radar::clutter::Jammer;
+use stap::radar::Scenario;
+
+fn main() {
+    let params = StapParams::reduced();
+    let mut scenario = Scenario::reduced(31337);
+    scenario.jammers = vec![Jammer {
+        az_deg: 35.0,
+        jnr_db: 35.0,
+    }];
+    scenario.targets.clear();
+
+    let mut stap = SequentialStap::for_scenario(params, &scenario);
+
+    // Train on three CPIs.
+    for (_, _, cpi) in scenario.stream(3) {
+        let _ = stap.process_cpi(0, &cpi);
+    }
+
+    let geom = scenario.geom;
+    let (easy_w, _) = stap.weights_for(0);
+    let quiescent = {
+        let s = &stap.steering[0];
+        stap::math::solve::normalize_columns(s.clone())
+    };
+
+    // Pick an easy bin's adapted weights for beam 0 and sweep azimuth.
+    let bin = stap.params.n_easy() / 2;
+    let adapted = &easy_w.per_bin[bin];
+    println!("receive pattern, beam 0 (values in dB relative to peak)");
+    println!("{:>8} {:>12} {:>12}", "az", "quiescent", "adapted");
+    let col = |w: &stap::math::CMat, az: f64| -> f64 {
+        let s = geom.steering(az);
+        let mut acc = Cx::new(0.0, 0.0);
+        for j in 0..geom.channels {
+            acc += w[(j, 0)].conj() * s[j];
+        }
+        acc.abs()
+    };
+    let peak_q = col(&quiescent, 0.0).max(1e-12);
+    let peak_a = col(adapted, 0.0).max(1e-12);
+    let mut null_q = 0.0f64;
+    let mut null_a = 0.0f64;
+    for step in -18..=18 {
+        let az = step as f64 * 5.0;
+        let q_db = 20.0 * (col(&quiescent, az) / peak_q).max(1e-9).log10();
+        let a_db = 20.0 * (col(adapted, az) / peak_a).max(1e-9).log10();
+        let marker = if az == 35.0 { "  <- jammer" } else { "" };
+        println!("{:>7.0}d {:>11.1}dB {:>11.1}dB{}", az, q_db, a_db, marker);
+        if az == 35.0 {
+            null_q = q_db;
+            null_a = a_db;
+        }
+    }
+    println!(
+        "\njammer direction response: quiescent {:.1} dB -> adapted {:.1} dB ({:.1} dB of extra rejection)",
+        null_q,
+        null_a,
+        null_q - null_a
+    );
+    println!("mainbeam (0 deg) is pinned near 0 dB by the beam-shape constraint.");
+}

@@ -1,0 +1,116 @@
+//! Scaling study on the Paragon model: sweep total node budgets, keep
+//! the paper's case proportions, and print throughput/latency curves —
+//! then search greedily for a balanced assignment at a given budget,
+//! reproducing the paper's task-scheduling discussion ("it is important
+//! to maintain approximately the same computation time among tasks").
+//!
+//! ```sh
+//! cargo run --release --example scaling_study
+//! ```
+
+use stap::pipeline::NodeAssignment;
+use stap::sim::{simulate, SimConfig};
+
+/// Scales case 3's proportions to roughly `budget` nodes.
+fn proportional(budget: usize) -> NodeAssignment {
+    let base = NodeAssignment::case3(); // 59 nodes
+    let f = budget as f64 / base.total() as f64;
+    let mut counts = [0usize; 7];
+    for (i, c) in base.0.iter().enumerate() {
+        counts[i] = ((*c as f64 * f).round() as usize).max(1);
+    }
+    NodeAssignment(counts)
+}
+
+/// Greedy improvement: repeatedly move one node from the task with the
+/// smallest total time to the task with the largest, while it helps.
+fn balance(mut assign: NodeAssignment, steps: usize) -> NodeAssignment {
+    let mut best = simulate(&SimConfig::paper(assign)).measured_throughput;
+    for _ in 0..steps {
+        let r = simulate(&SimConfig::paper(assign));
+        let totals: Vec<f64> = r.tasks.iter().map(|t| t.total()).collect();
+        let worst = (0..7).max_by(|&a, &b| totals[a].total_cmp(&totals[b])).unwrap();
+        let mut improved = false;
+        // Try donating from every task (richest spare time first).
+        let mut donors: Vec<usize> = (0..7).filter(|&t| t != worst && assign.0[t] > 1).collect();
+        donors.sort_by(|&a, &b| totals[a].total_cmp(&totals[b]));
+        for donor in donors {
+            let mut candidate = assign;
+            candidate.0[donor] -= 1;
+            candidate.0[worst] += 1;
+            let tp = simulate(&SimConfig::paper(candidate)).measured_throughput;
+            if tp > best {
+                best = tp;
+                assign = candidate;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    assign
+}
+
+fn main() {
+    println!("== proportional scaling (case-3 ratios) ==");
+    println!("{:>7} {:>24} {:>12} {:>10}", "budget", "assignment", "throughput", "latency");
+    let mut base_tp = None;
+    for budget in [30usize, 59, 118, 177, 236, 295] {
+        let a = proportional(budget);
+        let r = simulate(&SimConfig::paper(a));
+        let tp = r.measured_throughput;
+        let speedup = match base_tp {
+            None => {
+                base_tp = Some(tp);
+                1.0
+            }
+            Some(b) => tp / b,
+        };
+        println!(
+            "{:>7} {:>24} {:>9.3}/s {:>9.3}s  (x{:.2})",
+            a.total(),
+            format!("{:?}", a.0),
+            tp,
+            r.measured_latency,
+            speedup
+        );
+    }
+
+    println!("\n== greedy balancing at a 118-node budget ==");
+    let start = proportional(118);
+    let r0 = simulate(&SimConfig::paper(start));
+    println!(
+        "start    {:?} -> {:.3} CPI/s, {:.3} s",
+        start.0, r0.measured_throughput, r0.measured_latency
+    );
+    let tuned = balance(start, 30);
+    let r1 = simulate(&SimConfig::paper(tuned));
+    println!(
+        "balanced {:?} -> {:.3} CPI/s, {:.3} s",
+        tuned.0, r1.measured_throughput, r1.measured_latency
+    );
+    let paper = NodeAssignment::case2();
+    let rp = simulate(&SimConfig::paper(paper));
+    println!(
+        "paper    {:?} -> {:.3} CPI/s, {:.3} s (case 2)",
+        paper.0, rp.measured_throughput, rp.measured_latency
+    );
+
+    println!("\n== the paper's what-if experiments ==");
+    for (name, a) in [
+        ("case 2", NodeAssignment::case2()),
+        ("+4 Doppler (Table 9)", NodeAssignment::table9()),
+        ("+16 PC/CFAR (Table 10)", NodeAssignment::table10()),
+    ] {
+        let r = simulate(&SimConfig::paper(a));
+        println!(
+            "{:<24} {} nodes: {:.3} CPI/s, {:.3} s",
+            name,
+            a.total(),
+            r.measured_throughput,
+            r.measured_latency
+        );
+    }
+}

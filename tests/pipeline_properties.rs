@@ -1,0 +1,149 @@
+//! Property-based tests over the parallel pipeline and redistribution
+//! machinery: for arbitrary geometries and node assignments, structural
+//! invariants must hold.
+
+use proptest::prelude::*;
+use stap::core::StapParams;
+use stap::cube::{block_ranges, AxisPartition, CCube, RedistPlan};
+use stap::math::Cx;
+use stap::pipeline::assignment::Partitions;
+use stap::pipeline::NodeAssignment;
+use stap::sim::{simulate, SimConfig};
+
+fn small_params(k: usize, j: usize, n: usize, n_hard: usize) -> StapParams {
+    let mut p = StapParams::reduced();
+    p.k_range = k;
+    p.j_channels = j;
+    p.n_pulses = n;
+    p.n_hard = n_hard;
+    p.range_segments = vec![0, k / 2, k];
+    p.easy_samples_per_cpi = (k / 4).max(j);
+    p.hard_samples = (k / 3).max(1);
+    p.replica_len = (k / 8).max(1);
+    p.cfar_window = 8;
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn block_ranges_partition_exactly(len in 1usize..500, parts in 1usize..40) {
+        let rs = block_ranges(len, parts);
+        prop_assert_eq!(rs.len(), parts);
+        let mut next = 0;
+        for r in &rs {
+            prop_assert_eq!(r.start, next);
+            next = r.end;
+        }
+        prop_assert_eq!(next, len);
+        let min = rs.iter().map(|r| r.len()).min().unwrap();
+        let max = rs.iter().map(|r| r.len()).max().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn redistribution_conserves_every_element(
+        d0 in 2usize..10,
+        d1 in 2usize..6,
+        d2 in 2usize..10,
+        src_n in 1usize..5,
+        dst_n in 1usize..5,
+        perm_idx in 0usize..6,
+        src_axis in 0usize..3,
+        dst_axis in 0usize..3,
+    ) {
+        let perms = [[0,1,2],[0,2,1],[1,0,2],[1,2,0],[2,0,1],[2,1,0]];
+        let perm = perms[perm_idx];
+        let shape = [d0, d1, d2];
+        let dst_shape = [shape[perm[0]], shape[perm[1]], shape[perm[2]]];
+        let plan = RedistPlan::new(
+            shape,
+            AxisPartition::block(src_axis, shape[src_axis], src_n),
+            AxisPartition::block(dst_axis, dst_shape[dst_axis], dst_n),
+            perm,
+        );
+        let total: usize = plan.blocks.iter().map(|b| b.elements).sum();
+        prop_assert_eq!(total, d0 * d1 * d2, "elements conserved");
+
+        // Execute it in-memory and verify full reassembly.
+        let global = CCube::from_fn(shape, |i, j, k| Cx::new((i * 1000 + j * 50 + k) as f64, 0.0));
+        let mut assembled = CCube::zeros(dst_shape);
+        for block in &plan.blocks {
+            let mut r = [0..shape[0], 0..shape[1], 0..shape[2]];
+            r[plan.src_part.axis] = plan.src_part.range_of(block.src);
+            let local = global.extract(r[0].clone(), r[1].clone(), r[2].clone());
+            let msg = plan.pack(block, &local);
+            let own = plan.dst_part.range_of(block.dst);
+            let mut offset = block.dst_offset;
+            offset[plan.dst_part.axis] += own.start;
+            assembled.place(offset, &msg);
+        }
+        prop_assert!(assembled.max_abs_diff(&global.permute(perm)) == 0.0);
+    }
+
+    #[test]
+    fn partitions_cover_all_work_for_any_assignment(
+        counts in proptest::array::uniform7(1usize..20),
+    ) {
+        let p = StapParams::paper();
+        let a = NodeAssignment(counts);
+        let parts = Partitions::new(&p, &a);
+        prop_assert_eq!(parts.doppler_k.iter().map(|r| r.len()).sum::<usize>(), p.k_range);
+        prop_assert_eq!(parts.easy_wt_bins.iter().map(|r| r.len()).sum::<usize>(), p.n_easy());
+        prop_assert_eq!(parts.hard_wt_bins.iter().map(|r| r.len()).sum::<usize>(), p.n_hard);
+        prop_assert_eq!(parts.pc_bins.iter().map(|r| r.len()).sum::<usize>(), p.n_pulses);
+        prop_assert_eq!(parts.cfar_bins.iter().map(|r| r.len()).sum::<usize>(), p.n_pulses);
+    }
+
+    #[test]
+    fn simulator_is_sane_for_arbitrary_assignments(
+        counts in proptest::array::uniform7(1usize..30),
+    ) {
+        let r = simulate(&SimConfig::paper(NodeAssignment(counts)));
+        prop_assert!(r.measured_throughput.is_finite() && r.measured_throughput > 0.0);
+        prop_assert!(r.measured_latency.is_finite() && r.measured_latency > 0.0);
+        for t in &r.tasks {
+            prop_assert!(t.recv >= 0.0 && t.comp > 0.0 && t.send >= 0.0);
+            prop_assert!(t.recv_idle <= t.recv + 1e-12);
+        }
+        // Measured throughput tracks the bottleneck equation closely.
+        // It may slightly exceed it (the paper's own Table 8 shows real
+        // 7.2659 vs equation 7.1019 — averaging task totals over CPIs is
+        // not the same as averaging completion intervals).
+        prop_assert!(r.measured_throughput <= r.eq_throughput * 1.10);
+        prop_assert!(r.measured_throughput >= r.eq_throughput * 0.80);
+    }
+
+    #[test]
+    fn adding_nodes_never_hurts_throughput_much(
+        seed_counts in proptest::array::uniform7(1usize..12),
+        task in 0usize..7,
+    ) {
+        let base = NodeAssignment(seed_counts);
+        let mut more = base;
+        more.0[task] += 4;
+        let r0 = simulate(&SimConfig::paper(base));
+        let r1 = simulate(&SimConfig::paper(more));
+        // Monotonicity within tolerance (communication effects can eat a
+        // little, but adding nodes must not collapse performance).
+        prop_assert!(
+            r1.measured_throughput >= 0.9 * r0.measured_throughput,
+            "throughput collapsed: {} -> {} adding to task {}",
+            r0.measured_throughput, r1.measured_throughput, task
+        );
+    }
+
+    #[test]
+    fn reduced_geometry_params_validate(
+        k in 16usize..96,
+        n_pow in 4u32..7,
+    ) {
+        let n = 1usize << n_pow;
+        let p = small_params(k, 4, n, (n / 4) & !1);
+        if p.n_hard >= 2 {
+            prop_assert!(p.validate().is_ok(), "{:?}", p.validate());
+            prop_assert_eq!(p.easy_bins().len() + p.hard_bins().len(), n);
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Consistency checks between the Paragon-scale simulator, the paper's
+//! equations, and the paper's published results.
+
+use stap::pipeline::metrics::{latency_eq2, throughput_eq1};
+use stap::pipeline::NodeAssignment;
+use stap::sim::{simulate, SimConfig};
+
+fn paper_cases() -> [(NodeAssignment, f64, f64); 3] {
+    [
+        (NodeAssignment::case1(), 7.2659, 0.3622),
+        (NodeAssignment::case2(), 3.7959, 0.6805),
+        (NodeAssignment::case3(), 1.9898, 1.3530),
+    ]
+}
+
+#[test]
+fn all_paper_cases_within_ten_percent() {
+    for (assign, paper_tp, paper_lat) in paper_cases() {
+        let r = simulate(&SimConfig::paper(assign));
+        let tp_err = (r.measured_throughput - paper_tp).abs() / paper_tp;
+        let lat_err = (r.measured_latency - paper_lat).abs() / paper_lat;
+        assert!(
+            tp_err < 0.10,
+            "{:?}: throughput {} vs paper {paper_tp} ({:.1}% off)",
+            assign.0,
+            r.measured_throughput,
+            tp_err * 100.0
+        );
+        assert!(
+            lat_err < 0.15,
+            "{:?}: latency {} vs paper {paper_lat} ({:.1}% off)",
+            assign.0,
+            r.measured_latency,
+            lat_err * 100.0
+        );
+    }
+}
+
+#[test]
+fn equations_match_simulated_task_times() {
+    // The simulator's eq_* fields must equal the metrics functions
+    // applied to its per-task times.
+    let r = simulate(&SimConfig::paper(NodeAssignment::case2()));
+    assert_eq!(r.eq_throughput, throughput_eq1(&r.tasks));
+    assert_eq!(r.eq_latency, latency_eq2(&r.tasks));
+    assert!(r.eq_real_latency <= r.eq_latency);
+}
+
+#[test]
+fn throughput_equation_tracks_measured_throughput() {
+    // Paper Table 8: equation and measured throughput agree within a
+    // few percent (the equation's max-task model is accurate).
+    for (assign, _, _) in paper_cases() {
+        let r = simulate(&SimConfig::paper(assign));
+        let rel = (r.eq_throughput - r.measured_throughput).abs() / r.measured_throughput;
+        assert!(rel < 0.05, "{:?}: eq {} vs measured {}", assign.0, r.eq_throughput, r.measured_throughput);
+    }
+}
+
+#[test]
+fn latency_equation_is_conservative_upper_bound() {
+    // Paper: "the latency given in equation (2) represents an upper
+    // bound ... the real latency is expected to be smaller".
+    for (assign, _, _) in paper_cases() {
+        let r = simulate(&SimConfig::paper(assign));
+        assert!(
+            r.eq_latency > r.measured_latency,
+            "{:?}: eq {} not above measured {}",
+            assign.0,
+            r.eq_latency,
+            r.measured_latency
+        );
+    }
+}
+
+#[test]
+fn linear_speedup_across_paper_cases() {
+    // Paper: "linear speedups were obtained for up to 236 compute
+    // nodes" for both throughput and latency.
+    let r59 = simulate(&SimConfig::paper(NodeAssignment::case3()));
+    let r118 = simulate(&SimConfig::paper(NodeAssignment::case2()));
+    let r236 = simulate(&SimConfig::paper(NodeAssignment::case1()));
+    let s2 = r118.measured_throughput / r59.measured_throughput;
+    let s4 = r236.measured_throughput / r59.measured_throughput;
+    assert!(s2 > 1.8 && s2 < 2.2, "2x nodes -> {s2:.2}x throughput");
+    assert!(s4 > 3.4 && s4 < 4.4, "4x nodes -> {s4:.2}x throughput");
+    let l2 = r59.measured_latency / r118.measured_latency;
+    let l4 = r59.measured_latency / r236.measured_latency;
+    assert!(l2 > 1.7, "2x nodes -> {l2:.2}x latency improvement");
+    assert!(l4 > 3.0, "4x nodes -> {l4:.2}x latency improvement");
+}
+
+#[test]
+fn weight_tasks_are_off_the_latency_path() {
+    // Making weight tasks absurdly slow must crush throughput but leave
+    // the equation-(2) latency (which skips tasks 1 and 2) governed by
+    // the other tasks.
+    let mut slow = SimConfig::paper(NodeAssignment::case2());
+    slow.assign.0[1] = 1;
+    slow.assign.0[2] = 1;
+    let r = simulate(&slow);
+    let tp = r.measured_throughput;
+    let fast = simulate(&SimConfig::paper(NodeAssignment::case2()));
+    assert!(tp < 0.5 * fast.measured_throughput, "weights must bottleneck throughput");
+    // Equation 2 excludes weight-task time itself (only their successors'
+    // waiting shows up as idle, which eq 3 strips).
+    let eq3 = r.eq_real_latency;
+    assert!(
+        eq3 < 1.5 * fast.eq_real_latency,
+        "idle-stripped latency should stay near the balanced case: {eq3} vs {}",
+        fast.eq_real_latency
+    );
+}
+
+#[test]
+fn more_cpis_converge_to_same_steady_state() {
+    let mut short = SimConfig::paper(NodeAssignment::case2());
+    short.num_cpis = 15;
+    let mut long = SimConfig::paper(NodeAssignment::case2());
+    long.num_cpis = 50;
+    let a = simulate(&short);
+    let b = simulate(&long);
+    let rel = (a.measured_throughput - b.measured_throughput).abs() / b.measured_throughput;
+    assert!(rel < 0.02, "steady state drift: {rel}");
+}
