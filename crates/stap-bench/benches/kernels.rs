@@ -2,20 +2,22 @@
 //! costs, at the paper's exact sizes (N = 128 Doppler FFTs, K = 512
 //! pulse-compression FFTs, J = 16 / 2J = 32 QR columns, M x J x K
 //! beamforming products).
+//!
+//! Runs on the in-tree `stap_util::Bench` harness (hermetic builds can't
+//! resolve criterion). Pass `--quick` for a faster CI profile.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use stap::core::cfar;
 use stap::core::doppler::DopplerProcessor;
 use stap::core::params::StapParams;
 use stap::core::pulse::PulseCompressor;
 use stap::core::training::{easy_snapshot, hard_snapshot};
 use stap::core::weights::hard_constraint;
-use stap::core::cfar;
 use stap::cube::{CCube, RCube};
-use stap::math::fft::Fft;
+use stap::math::fft::{Fft, FftScratch};
 use stap::math::qr::{qr_r, qr_update};
 use stap::math::solve::{constrained_lstsq, constrained_lstsq_from_r};
 use stap::math::{CMat, Cx};
-use std::hint::black_box;
+use stap_util::Bench;
 
 fn det_mat(rows: usize, cols: usize, seed: u64) -> CMat {
     let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
@@ -30,152 +32,136 @@ fn det_mat(rows: usize, cols: usize, seed: u64) -> CMat {
     })
 }
 
-fn bench_fft(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fft");
+fn bench_fft(b: &Bench) {
     for n in [128usize, 512] {
         let plan = Fft::new(n);
         let data: Vec<Cx> = (0..n).map(|i| Cx::new(i as f64, -(i as f64))).collect();
-        g.throughput(Throughput::Elements(n as u64));
-        g.bench_function(format!("pow2_{n}"), |b| {
-            b.iter(|| {
-                let mut buf = data.clone();
-                plan.forward(&mut buf);
-                black_box(buf)
-            })
+        let mut buf = data.clone();
+        let mut scratch = FftScratch::new();
+        b.run(&format!("fft/pow2_{n}"), || {
+            buf.copy_from_slice(&data);
+            plan.forward_with_scratch(&mut buf, &mut scratch);
+            buf[0]
         });
     }
     // Radix-4 vs radix-2 on a power-of-4 length.
     let n = 256usize;
     let data: Vec<Cx> = (0..n).map(|i| Cx::new(i as f64, -(i as f64))).collect();
-    for (name, plan) in [("radix4_256", Fft::new(n)), ("radix2_256", Fft::new_radix2(n))] {
-        g.throughput(Throughput::Elements(n as u64));
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                let mut buf = data.clone();
-                plan.forward(&mut buf);
-                black_box(buf)
-            })
+    for (name, plan) in [
+        ("fft/radix4_256", Fft::new(n)),
+        ("fft/radix2_256", Fft::new_radix2(n)),
+    ] {
+        let mut buf = data.clone();
+        let mut scratch = FftScratch::new();
+        b.run(name, || {
+            buf.copy_from_slice(&data);
+            plan.forward_with_scratch(&mut buf, &mut scratch);
+            buf[0]
         });
     }
-    g.finish();
 }
 
-fn bench_qr(c: &mut Criterion) {
-    let mut g = c.benchmark_group("qr");
+fn bench_qr(b: &Bench) {
     // Easy-weight shape: (3 x 24 training rows + J constraints) x J.
     let easy = det_mat(72, 16, 1);
-    g.bench_function("householder_72x16", |b| b.iter(|| black_box(qr_r(&easy))));
+    b.run("qr/householder_72x16", || qr_r(&easy));
     // Hard-weight recursion: 2J x 2J triangular + 32 new rows.
     let r_old = qr_r(&det_mat(64, 32, 2));
     let newrows = det_mat(32, 32, 3);
-    g.bench_function("recursive_update_32x32_plus32", |b| {
-        b.iter(|| black_box(qr_update(&r_old, 0.6, &newrows)))
+    b.run("qr/recursive_update_32x32_plus32", || {
+        qr_update(&r_old, 0.6, &newrows)
     });
     // Full refactorization of the same stacked system, for comparison
     // with the recursive update (the paper's efficiency argument).
     let stacked = r_old.scale(0.6).vstack(&newrows);
-    g.bench_function("full_refactor_64x32", |b| {
-        b.iter(|| black_box(qr_r(&stacked)))
-    });
-    g.finish();
+    b.run("qr/full_refactor_64x32", || qr_r(&stacked));
 }
 
-fn bench_weight_solves(c: &mut Criterion) {
-    let mut g = c.benchmark_group("weights");
+fn bench_weight_solves(b: &Bench) {
     let p = StapParams::paper();
     let steering = det_mat(16, 6, 4);
     let training = det_mat(72, 16, 5);
     let eye = CMat::identity(16);
-    g.bench_function("easy_constrained_lstsq_bin", |b| {
-        b.iter(|| black_box(constrained_lstsq(&training, &eye, 0.5, &steering)))
+    b.run("weights/easy_constrained_lstsq_bin", || {
+        constrained_lstsq(&training, &eye, 0.5, &steering)
     });
     let r = qr_r(&det_mat(96, 32, 6));
     let cons = hard_constraint(&p, 4);
     let steer = det_mat(16, 6, 7);
-    g.bench_function("hard_constrained_from_r_bin", |b| {
-        b.iter(|| black_box(constrained_lstsq_from_r(&r, &cons, 0.5, &steer)))
+    b.run("weights/hard_constrained_from_r_bin", || {
+        constrained_lstsq_from_r(&r, &cons, 0.5, &steer)
     });
-    g.finish();
 }
 
-fn bench_beamform(c: &mut Criterion) {
-    let mut g = c.benchmark_group("beamform");
+fn bench_beamform(b: &Bench) {
     // One easy bin: (J x M)^H . (J x K).
     let w = det_mat(16, 6, 8);
     let data = det_mat(16, 512, 9);
-    g.throughput(Throughput::Elements(6 * 16 * 512));
-    g.bench_function("easy_bin_16x6_x_16x512", |b| {
-        b.iter(|| black_box(w.hermitian_matmul(&data)))
+    let mut out = CMat::zeros(6, 512);
+    b.run("beamform/easy_bin_16x6_x_16x512", || {
+        w.hermitian_matmul_into(&data, &mut out);
+        out[(0, 0)]
     });
     let wh = det_mat(32, 6, 10);
     let datah = det_mat(32, 512, 11);
-    g.throughput(Throughput::Elements(6 * 32 * 512));
-    g.bench_function("hard_bin_32x6_x_32x512", |b| {
-        b.iter(|| black_box(wh.hermitian_matmul(&datah)))
+    let mut outh = CMat::zeros(6, 512);
+    b.run("beamform/hard_bin_32x6_x_32x512", || {
+        wh.hermitian_matmul_into(&datah, &mut outh);
+        outh[(0, 0)]
     });
-    g.finish();
 }
 
-fn bench_doppler(c: &mut Criterion) {
+fn bench_doppler(b: &Bench) {
     let p = StapParams::paper();
     let proc = DopplerProcessor::new(&p);
     // One Doppler-node slab at case-3 size: K/8 = 64 range rows.
     let slab = CCube::from_fn([64, p.j_channels, p.n_pulses], |k, j, n| {
         Cx::new(((k * j + n) % 13) as f64 - 6.0, ((k + j * n) % 7) as f64)
     });
-    c.bench_function("doppler_slab_64rows_paper_size", |b| {
-        b.iter(|| {
-            let mut out = CCube::zeros([64, 2 * p.j_channels, p.n_pulses]);
-            proc.process_rows(&slab, 0, &mut out);
-            black_box(out)
-        })
+    let mut out = CCube::zeros([64, 2 * p.j_channels, p.n_pulses]);
+    let mut scratch = FftScratch::new();
+    b.run("doppler_slab_64rows_paper_size", || {
+        proc.process_rows_with(&slab, 0, &mut out, &mut scratch);
+        out[(0, 0, 0)]
     });
 }
 
-fn bench_pulse(c: &mut Criterion) {
+fn bench_pulse(b: &Bench) {
     let p = StapParams::paper();
     let pc = PulseCompressor::new(&p);
     let cube = CCube::from_fn([8, p.m_beams, p.k_range], |a, b2, c2| {
         Cx::new(((a + b2 * c2) % 9) as f64 - 4.0, ((a * c2) % 5) as f64)
     });
-    c.bench_function("pulse_compression_8bins_paper_size", |b| {
-        b.iter(|| black_box(pc.process(&cube)))
-    });
+    b.run("pulse_compression_8bins_paper_size", || pc.process(&cube));
 }
 
-fn bench_cfar(c: &mut Criterion) {
+fn bench_cfar(b: &Bench) {
     let p = StapParams::paper();
     let cube = RCube::from_fn([8, p.m_beams, p.k_range], |a, b2, c2| {
         ((a * 31 + b2 * 17 + c2) % 97) as f64 + 1.0
     });
-    c.bench_function("cfar_8bins_paper_size", |b| {
-        b.iter(|| black_box(cfar::cfar(&p, &cube)))
-    });
+    b.run("cfar_8bins_paper_size", || cfar::cfar(&p, &cube));
 }
 
-fn bench_snapshots(c: &mut Criterion) {
+fn bench_snapshots(b: &Bench) {
     // The "data collection" gather cost the paper highlights.
     let p = StapParams::paper();
     let cube = CCube::from_fn([p.k_range, 2 * p.j_channels, p.n_pulses], |a, b2, c2| {
         Cx::new((a % 11) as f64, ((b2 + c2) % 7) as f64)
     });
-    c.bench_function("easy_snapshot_gather", |b| {
-        b.iter(|| black_box(easy_snapshot(&cube, &p, 64)))
-    });
-    c.bench_function("hard_snapshot_gather", |b| {
-        b.iter(|| black_box(hard_snapshot(&cube, &p, 4, 2)))
-    });
+    b.run("easy_snapshot_gather", || easy_snapshot(&cube, &p, 64));
+    b.run("hard_snapshot_gather", || hard_snapshot(&cube, &p, 4, 2));
 }
 
-criterion_group!(
-    benches,
-    bench_fft,
-    bench_qr,
-    bench_weight_solves,
-    bench_beamform,
-    bench_doppler,
-    bench_pulse,
-    bench_cfar,
-    bench_snapshots
-);
-criterion_main!(benches);
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let b = if quick { Bench::quick() } else { Bench::new() };
+    bench_fft(&b);
+    bench_qr(&b);
+    bench_weight_solves(&b);
+    bench_beamform(&b);
+    bench_doppler(&b);
+    bench_pulse(&b);
+    bench_cfar(&b);
+    bench_snapshots(&b);
+}

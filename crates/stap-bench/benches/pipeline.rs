@@ -2,76 +2,75 @@
 //! geometry (the single-node baseline the RTMCARM system was limited
 //! to), the threaded parallel pipeline at reduced geometry, and the
 //! Paragon-scale simulator itself.
+//!
+//! Runs on the in-tree `stap_util::Bench` harness (hermetic builds can't
+//! resolve criterion). Pass `--quick` for a faster CI profile.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use stap::core::{SequentialStap, StapParams};
 use stap::cube::CCube;
 use stap::pipeline::{NodeAssignment, ParallelStap};
 use stap::radar::Scenario;
 use stap::sim::{simulate, SimConfig};
-use std::hint::black_box;
+use stap_util::Bench;
+use std::time::Duration;
 
-fn bench_sequential_reduced(c: &mut Criterion) {
+fn bench_sequential_reduced(b: &Bench) {
     let params = StapParams::reduced();
     let scenario = Scenario::reduced(1);
     let cpis: Vec<CCube> = scenario.stream(2).map(|(_, _, x)| x).collect();
-    c.bench_function("sequential_cpi_reduced", |b| {
-        b.iter(|| {
-            let mut stap = SequentialStap::for_scenario(params.clone(), &scenario);
-            for cpi in &cpis {
-                black_box(stap.process_cpi(0, cpi).detections.len());
-            }
-        })
+    b.run("sequential_cpi_reduced", || {
+        let mut stap = SequentialStap::for_scenario(params.clone(), &scenario);
+        let mut total = 0usize;
+        for cpi in &cpis {
+            total += stap.process_cpi(0, cpi).detections.len();
+        }
+        total
     });
 }
 
-fn bench_sequential_paper_size(c: &mut Criterion) {
+fn bench_sequential_paper_size(b: &Bench) {
     // One full 512 x 16 x 128 CPI through the whole chain — the
     // single-instance latency the paper's round-robin baseline was
     // stuck with.
     let params = StapParams::paper();
     let scenario = Scenario::rtmcarm(7);
     let cpi = scenario.generate_cpi(2);
-    let mut g = c.benchmark_group("paper_size");
-    g.sample_size(10);
-    g.bench_function("sequential_cpi_full_512x16x128", |b| {
-        b.iter(|| {
-            let mut stap = SequentialStap::for_scenario(params.clone(), &scenario);
-            black_box(stap.process_cpi(2, &cpi).detections.len())
-        })
+    b.run("sequential_cpi_full_512x16x128", || {
+        let mut stap = SequentialStap::for_scenario(params.clone(), &scenario);
+        stap.process_cpi(2, &cpi).detections.len()
     });
-    g.finish();
 }
 
-fn bench_parallel_pipeline_reduced(c: &mut Criterion) {
+fn bench_parallel_pipeline_reduced(b: &Bench) {
     let params = StapParams::reduced();
     let scenario = Scenario::reduced(3);
     let cpis: Vec<CCube> = scenario.stream(5).map(|(_, _, x)| x).collect();
-    let mut g = c.benchmark_group("threaded_pipeline");
-    g.sample_size(10);
-    g.bench_function("parallel_5cpis_reduced_tiny_assignment", |b| {
-        b.iter(|| {
-            let runner =
-                ParallelStap::for_scenario(params.clone(), NodeAssignment::tiny(), &scenario);
-            black_box(runner.run(cpis.clone()).detections.len())
-        })
+    b.run("parallel_5cpis_reduced_tiny_assignment", || {
+        let runner = ParallelStap::for_scenario(params.clone(), NodeAssignment::tiny(), &scenario);
+        runner.run(cpis.clone()).detections.len()
     });
-    g.finish();
 }
 
-fn bench_simulator(c: &mut Criterion) {
+fn bench_simulator(b: &Bench) {
     // Cost of one full 25-CPI Paragon-scale simulation (the engine
     // behind Tables 2-10).
-    c.bench_function("des_simulate_case1_25cpis", |b| {
-        b.iter(|| black_box(simulate(&SimConfig::paper(NodeAssignment::case1()))))
+    b.run("des_simulate_case1_25cpis", || {
+        simulate(&SimConfig::paper(NodeAssignment::case1()))
     });
 }
 
-criterion_group!(
-    benches,
-    bench_sequential_reduced,
-    bench_sequential_paper_size,
-    bench_parallel_pipeline_reduced,
-    bench_simulator
-);
-criterion_main!(benches);
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut b = if quick { Bench::quick() } else { Bench::new() };
+    // These are heavyweight end-to-end runs; keep batch counts small so
+    // the full-geometry CPI doesn't take minutes.
+    b.batches = b.batches.min(5);
+    if !quick {
+        b.measure = Duration::from_millis(2500);
+        b.warmup = Duration::from_millis(200);
+    }
+    bench_sequential_reduced(&b);
+    bench_sequential_paper_size(&b);
+    bench_parallel_pipeline_reduced(&b);
+    bench_simulator(&b);
+}

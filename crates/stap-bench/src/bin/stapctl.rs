@@ -8,6 +8,7 @@
 //! stapctl detect   [--cpis 6] [--seed 42] [--full] [--nodes 2,1,2,1,1,2,1]
 //! stapctl gantt    [--nodes N0,..,N6] [--cpis 8]
 //! stapctl csv      --what fig11|scaling
+//! stapctl bench    [--quick] [--json] [--out BENCH_kernels.json]
 //! ```
 
 use stap::core::cfar::cluster;
@@ -26,7 +27,8 @@ fn usage() -> ExitCode {
         "usage:\n  \
          stapctl simulate --nodes N0,..,N6 [--cpis K] [--input-rate R] [--replicas R0,..,R6] [--contention]\n  \
          stapctl optimize --budget B [--objective throughput|latency] [--floor T] [--moves M]\n  \
-         stapctl detect [--cpis K] [--seed S] [--full] [--nodes N0,..,N6]"
+         stapctl detect [--cpis K] [--seed S] [--full] [--nodes N0,..,N6]\n  \
+         stapctl bench [--quick] [--json] [--out PATH]"
     );
     ExitCode::from(2)
 }
@@ -37,7 +39,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     while i < args.len() {
         let a = &args[i];
         if let Some(name) = a.strip_prefix("--") {
-            if name == "contention" || name == "full" || name == "json" {
+            if name == "contention" || name == "full" || name == "json" || name == "quick" {
                 flags.insert(name.to_string(), "true".to_string());
                 i += 1;
             } else {
@@ -60,7 +62,10 @@ fn parse_counts(s: &str) -> Result<[usize; 7], String> {
         .map(|p| p.trim().parse::<usize>().map_err(|e| e.to_string()))
         .collect::<Result<_, _>>()?;
     if parts.len() != 7 {
-        return Err(format!("need 7 comma-separated counts, got {}", parts.len()));
+        return Err(format!(
+            "need 7 comma-separated counts, got {}",
+            parts.len()
+        ));
     }
     Ok([
         parts[0], parts[1], parts[2], parts[3], parts[4], parts[5], parts[6],
@@ -115,10 +120,7 @@ fn cmd_simulate(flags: HashMap<String, String>) -> Result<(), String> {
     }
     let r = simulate(&cfg);
     if flags.contains_key("json") {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&r).map_err(|e| e.to_string())?
-        );
+        println!("{}", r.to_json().to_string_pretty());
         return Ok(());
     }
     println!(
@@ -190,7 +192,11 @@ fn cmd_detect(flags: HashMap<String, String>) -> Result<(), String> {
     let runner = ParallelStap::for_scenario(params, NodeAssignment(nodes), &scenario);
     println!(
         "processing {cpis} {} CPIs on {} rank threads...",
-        if full { "full-size (512x16x128)" } else { "reduced (64x8x32)" },
+        if full {
+            "full-size (512x16x128)"
+        } else {
+            "reduced (64x8x32)"
+        },
         runner.assign.total()
     );
     let data: Vec<_> = scenario.stream(cpis).map(|(_, _, c)| c).collect();
@@ -252,6 +258,38 @@ fn cmd_csv(flags: HashMap<String, String>) -> Result<(), String> {
     }
 }
 
+fn cmd_bench(flags: HashMap<String, String>) -> Result<(), String> {
+    use stap_bench::kernels;
+    use stap_util::bench::fmt_ns;
+    let quick = flags.contains_key("quick");
+    let pairs = kernels::measure(quick);
+    println!();
+    println!(
+        "{:<32} {:>12} {:>12} {:>9}",
+        "kernel (before/after)", "seed path", "optimized", "speedup"
+    );
+    for p in &pairs {
+        println!(
+            "{:<32} {:>12} {:>12} {:>8.2}x",
+            p.name,
+            fmt_ns(p.before.median_ns),
+            fmt_ns(p.after.median_ns),
+            p.speedup()
+        );
+    }
+    let out_path = flags
+        .get("out")
+        .map(String::as_str)
+        .unwrap_or("BENCH_kernels.json");
+    let j = kernels::report(&pairs, quick);
+    if flags.contains_key("json") {
+        println!("{}", j.to_string_pretty());
+    }
+    std::fs::write(out_path, j.to_string_pretty()).map_err(|e| format!("write {out_path}: {e}"))?;
+    println!("wrote {out_path}");
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -270,6 +308,7 @@ fn main() -> ExitCode {
         "detect" => cmd_detect(flags),
         "gantt" => cmd_gantt(flags),
         "csv" => cmd_csv(flags),
+        "bench" => cmd_bench(flags),
         _ => return usage(),
     };
     match result {

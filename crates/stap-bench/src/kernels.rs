@@ -1,0 +1,389 @@
+//! Before/after kernel pairs for the steady-state hot-path optimization.
+//!
+//! "Before" is a faithful re-implementation of the seed tree's kernels:
+//! one radix-2 FFT dispatch per lane, a freshly allocated buffer per
+//! window/lane/message, and allocating matrix products. "After" is the
+//! current hot path: batched mixed-radix FFTs over unit-stride lanes,
+//! persistent workspaces, `*_into` matrix kernels and pooled
+//! redistribution packing. [`report`] times every pair at the paper's
+//! sizes (`N = 128`, `K = 512`, `J = 16`, `M = 6`) and renders the
+//! `BENCH_kernels.json` document.
+
+use stap::core::doppler::DopplerProcessor;
+use stap::core::params::StapParams;
+use stap::core::pulse::{chirp, PulseCompressor, PulseScratch};
+use stap::cube::{AxisPartition, CCube, RCube, RedistPlan, SharedBufferPool};
+use stap::math::fft::{Fft, FftScratch};
+use stap::math::{CMat, Cx};
+use stap_util::{Bench, BenchResult, Json};
+
+/// Deterministic complex test data.
+pub fn det_cx(i: usize, j: usize, k: usize) -> Cx {
+    let mut s = (i as u64)
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add((j as u64).wrapping_mul(0xBF58476D1CE4E5B9))
+        .wrapping_add(k as u64)
+        | 1;
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    Cx::new(
+        (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5,
+        (s >> 17) as f64 / (1u64 << 47) as f64 - 0.5,
+    )
+}
+
+/// The seed tree's Doppler kernel: per-lane windowing into freshly
+/// allocated buffers and one radix-2 FFT dispatch per staggered window.
+pub struct ReferenceDoppler {
+    n: usize,
+    stagger: usize,
+    window: Vec<f64>,
+    correction: Vec<f64>,
+    fft: Fft,
+}
+
+impl ReferenceDoppler {
+    /// Builds the reference processor for `params`.
+    pub fn new(params: &StapParams) -> Self {
+        let n = params.n_pulses;
+        let wlen = n - params.stagger;
+        ReferenceDoppler {
+            n,
+            stagger: params.stagger,
+            window: params.window.sample(wlen),
+            correction: (0..params.k_range)
+                .map(|k| {
+                    ((k + 1) as f64 / params.k_range as f64).powf(params.range_correction_exponent)
+                })
+                .collect(),
+            fft: Fft::new_radix2(n),
+        }
+    }
+
+    /// The pre-optimization `process_rows`: allocates two window buffers
+    /// per `(cell, channel)` lane and runs each through its own FFT call.
+    pub fn process_rows(&self, slab: &CCube, k_offset: usize, out: &mut CCube) {
+        let [k_local, j_ch, n] = slab.shape();
+        assert_eq!(out.shape(), [k_local, 2 * j_ch, n]);
+        let s = self.stagger;
+        let wlen = n - s;
+        for k in 0..k_local {
+            let corr = self.correction[k_offset + k];
+            for j in 0..j_ch {
+                let lane = slab.lane(k, j);
+                let mut w0 = vec![Cx::default(); self.n];
+                for i in 0..wlen {
+                    w0[i] = lane[i].scale(self.window[i] * corr);
+                }
+                self.fft.forward(&mut w0);
+                out.lane_mut(k, j).copy_from_slice(&w0);
+                let mut w1 = vec![Cx::default(); self.n];
+                for i in 0..wlen {
+                    w1[i] = lane[s + i].scale(self.window[i] * corr);
+                }
+                self.fft.forward(&mut w1);
+                out.lane_mut(k, j_ch + j).copy_from_slice(&w1);
+            }
+        }
+    }
+}
+
+/// The seed tree's pulse compression: per-lane buffer clone, radix-2
+/// forward/inverse dispatches, and a freshly allocated output cube.
+pub struct ReferencePulse {
+    k: usize,
+    fft: Fft,
+    filter: Vec<Cx>,
+}
+
+impl ReferencePulse {
+    /// Builds the reference compressor for `params`.
+    pub fn new(params: &StapParams) -> Self {
+        let k = params.k_range;
+        let fft = Fft::new_radix2(k);
+        let replica = chirp(params.replica_len);
+        let mut padded = vec![Cx::default(); k];
+        padded[..replica.len()].copy_from_slice(&replica);
+        fft.forward(&mut padded);
+        let filter = padded.iter().map(|x| x.conj()).collect();
+        ReferencePulse { k, fft, filter }
+    }
+
+    /// The pre-optimization `process`: allocates the output cube and one
+    /// spectrum buffer per `(bin, beam)` lane.
+    pub fn process(&self, beamformed: &CCube) -> RCube {
+        let [n, m, k] = beamformed.shape();
+        assert_eq!(k, self.k);
+        let mut out = RCube::zeros([n, m, k]);
+        for bin in 0..n {
+            for beam in 0..m {
+                let mut buf = beamformed.lane(bin, beam).to_vec();
+                self.fft.forward(&mut buf);
+                for (x, f) in buf.iter_mut().zip(&self.filter) {
+                    *x = *x * *f;
+                }
+                self.fft.inverse(&mut buf);
+                let lane = out.lane_mut(bin, beam);
+                for (o, v) in lane.iter_mut().zip(&buf) {
+                    *o = v.norm_sqr();
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One before/after measurement.
+pub struct Pair {
+    /// Kernel name (stable across PRs; keys `BENCH_kernels.json`).
+    pub name: String,
+    /// Seed-path timing.
+    pub before: BenchResult,
+    /// Optimized-path timing.
+    pub after: BenchResult,
+}
+
+impl Pair {
+    /// before / after median ratio.
+    pub fn speedup(&self) -> f64 {
+        self.before.median_ns / self.after.median_ns
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::Str(self.name.clone())),
+            ("before_ns", Json::Num(self.before.median_ns)),
+            ("after_ns", Json::Num(self.after.median_ns)),
+            ("speedup", Json::Num(self.speedup())),
+        ])
+    }
+}
+
+fn doppler_slab(p: &StapParams, rows: usize) -> CCube {
+    CCube::from_fn([rows, p.j_channels, p.n_pulses], |a, b, c| det_cx(a, b, c))
+}
+
+/// Times every before/after kernel pair. `quick` shrinks the bench
+/// windows for CI smoke runs.
+pub fn measure(quick: bool) -> Vec<Pair> {
+    let mut b = if quick { Bench::quick() } else { Bench::new() };
+    b.quiet = true;
+    let p = StapParams::paper();
+    let mut pairs = Vec::new();
+
+    // --- raw FFT at the two pipeline lengths ---------------------------
+    for n in [p.n_pulses, p.k_range] {
+        let lanes = 32usize;
+        let src: Vec<Cx> = (0..lanes * n).map(|i| det_cx(i, 1, 2)).collect();
+        let plan2 = Fft::new_radix2(n);
+        let before = b.run(&format!("fft_forward_{n}_x{lanes}_ref"), || {
+            // Seed path: fresh buffer + per-lane dispatch.
+            let mut total = 0.0;
+            for lane in src.chunks_exact(n) {
+                let mut buf = lane.to_vec();
+                plan2.forward(&mut buf);
+                total += buf[0].re;
+            }
+            total
+        });
+        let plan4 = Fft::new(n);
+        let mut work = src.clone();
+        let mut ws = FftScratch::new();
+        let after = b.run(&format!("fft_forward_{n}_x{lanes}_opt"), || {
+            // Hot path: one batched dispatch, in place, no allocation.
+            work.copy_from_slice(&src);
+            plan4.forward_lanes(&mut work, &mut ws);
+            work[0].re
+        });
+        pairs.push(Pair {
+            name: format!("fft_forward_n{n}_{lanes}lanes"),
+            before,
+            after,
+        });
+    }
+
+    // --- Doppler slab at case-3 size (K/8 = 64 rows, J = 16, N = 128) --
+    {
+        let rows = 64usize;
+        let slab = doppler_slab(&p, rows);
+        let refd = ReferenceDoppler::new(&p);
+        let shape = [rows, 2 * p.j_channels, p.n_pulses];
+        let before = b.run("doppler_slab_ref", || {
+            let mut out = CCube::zeros(shape);
+            refd.process_rows(&slab, 0, &mut out);
+            out[(0, 0, 0)].re
+        });
+        let proc = DopplerProcessor::new(&p);
+        let mut out = CCube::zeros(shape);
+        let mut ws = FftScratch::new();
+        let after = b.run("doppler_slab_opt", || {
+            proc.process_rows_with(&slab, 0, &mut out, &mut ws);
+            out[(0, 0, 0)].re
+        });
+        pairs.push(Pair {
+            name: "doppler_slab_64x16x128".into(),
+            before,
+            after,
+        });
+    }
+
+    // --- pulse compression (8 bins, M = 6, K = 512) --------------------
+    {
+        let cube = CCube::from_fn([8, p.m_beams, p.k_range], |a, bb, c| det_cx(a, bb, c));
+        let refp = ReferencePulse::new(&p);
+        let before = b.run("pulse_compression_ref", || refp.process(&cube)[(0, 0, 0)]);
+        let pc = PulseCompressor::new(&p);
+        let mut power = RCube::zeros(cube.shape());
+        let mut ws = PulseScratch::new();
+        let after = b.run("pulse_compression_opt", || {
+            pc.process_into_with(&cube, &mut power, &mut ws);
+            power[(0, 0, 0)]
+        });
+        pairs.push(Pair {
+            name: "pulse_compression_8x6x512".into(),
+            before,
+            after,
+        });
+    }
+
+    // --- redistribution packing (Doppler -> beamform reorganization) ---
+    {
+        // (K, 2J, N) on 8 nodes along K -> (N, K, 2J) on 4 nodes along N.
+        let shape = [p.k_range, 2 * p.j_channels, p.n_pulses];
+        let plan = RedistPlan::new(
+            shape,
+            AxisPartition::block(0, p.k_range, 8),
+            AxisPartition::block(0, p.n_pulses, 4),
+            [2, 0, 1],
+        );
+        let local = CCube::from_fn(plan.src_local_shape(0), |a, bb, c| det_cx(a, bb, c));
+        let blocks: Vec<_> = plan.sends_of(0).collect();
+        let before = b.run("redist_pack_ref", || {
+            let mut acc = 0.0;
+            for blk in &blocks {
+                let msg = plan.pack(blk, &local);
+                acc += msg.as_slice()[0].re;
+            }
+            acc
+        });
+        let pool: SharedBufferPool<Cx> = SharedBufferPool::new();
+        let after = b.run("redist_pack_opt", || {
+            let mut acc = 0.0;
+            for blk in &blocks {
+                let msg = plan.pack_with(blk, &local, &pool);
+                acc += msg.as_slice()[0].re;
+                pool.recycle(msg);
+            }
+            acc
+        });
+        pairs.push(Pair {
+            name: "redist_pack_doppler_to_bf".into(),
+            before,
+            after,
+        });
+    }
+
+    // --- easy beamforming, one bin: (J x M)^H . (J x K) ----------------
+    {
+        let w = CMat::from_fn(p.j_channels, p.m_beams, |i, j| det_cx(i, j, 3));
+        let data = CCube::from_fn([1, p.k_range, p.j_channels], |a, bb, c| det_cx(a, bb, c));
+        let before = b.run("easy_bf_bin_ref", || {
+            let slab = CMat::from_fn(p.j_channels, p.k_range, |ch, kc| data[(0, kc, ch)]);
+            let y = w.hermitian_matmul(&slab);
+            y[(0, 0)].re
+        });
+        let mut slab = CMat::zeros(p.j_channels, p.k_range);
+        let mut y = CMat::zeros(p.m_beams, p.k_range);
+        let after = b.run("easy_bf_bin_opt", || {
+            slab.fill_from_fn(|ch, kc| data[(0, kc, ch)]);
+            w.hermitian_matmul_into(&slab, &mut y);
+            y[(0, 0)].re
+        });
+        pairs.push(Pair {
+            name: "easy_beamform_bin_16x6x512".into(),
+            before,
+            after,
+        });
+    }
+
+    pairs
+}
+
+/// Renders the `BENCH_kernels.json` document.
+pub fn report(pairs: &[Pair], quick: bool) -> Json {
+    let p = StapParams::paper();
+    Json::obj([
+        ("bench", Json::Str("kernels".into())),
+        (
+            "mode",
+            Json::Str(if quick { "quick" } else { "full" }.into()),
+        ),
+        (
+            "sizes",
+            Json::obj([
+                ("n_pulses", Json::Num(p.n_pulses as f64)),
+                ("k_range", Json::Num(p.k_range as f64)),
+                ("j_channels", Json::Num(p.j_channels as f64)),
+                ("m_beams", Json::Num(p.m_beams as f64)),
+            ]),
+        ),
+        ("kernels", Json::arr(pairs.iter().map(|pr| pr.to_json()))),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The reference (seed-path) kernels and the optimized kernels must
+    /// agree numerically — different FFT factorizations, same transform.
+    #[test]
+    fn reference_doppler_matches_optimized() {
+        let p = StapParams::reduced();
+        let rows = 8;
+        let slab = doppler_slab(&p, rows);
+        let shape = [rows, 2 * p.j_channels, p.n_pulses];
+        let mut want = CCube::zeros(shape);
+        ReferenceDoppler::new(&p).process_rows(&slab, 0, &mut want);
+        let mut got = CCube::zeros(shape);
+        DopplerProcessor::new(&p).process_rows(&slab, 0, &mut got);
+        assert!(
+            got.max_abs_diff(&want) < 1e-9,
+            "{}",
+            got.max_abs_diff(&want)
+        );
+    }
+
+    #[test]
+    fn reference_pulse_matches_optimized() {
+        let p = StapParams::reduced();
+        let cube = CCube::from_fn([2, p.m_beams, p.k_range], |a, b, c| det_cx(a, b, c));
+        let want = ReferencePulse::new(&p).process(&cube);
+        let got = PulseCompressor::new(&p).process(&cube);
+        let diff = want
+            .as_slice()
+            .iter()
+            .zip(got.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(diff < 1e-9, "max power diff {diff}");
+    }
+
+    #[test]
+    fn report_has_all_pairs_and_positive_speedups() {
+        // Tiny windows: this checks plumbing, not performance.
+        let pairs = measure(true);
+        let j = report(&pairs, true);
+        let arr = match j.get("kernels") {
+            Some(Json::Arr(a)) => a,
+            other => panic!("kernels not an array: {other:?}"),
+        };
+        assert_eq!(arr.len(), pairs.len());
+        assert!(pairs.len() >= 5);
+        for pr in &pairs {
+            assert!(pr.before.median_ns > 0.0 && pr.after.median_ns > 0.0);
+            assert!(pr.speedup() > 0.0);
+        }
+    }
+}

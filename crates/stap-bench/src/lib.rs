@@ -2,6 +2,9 @@
 //! the `repro` binary alongside the simulator-only experiments in
 //! `stap-sim`.
 
+pub mod alloc_count;
+pub mod kernels;
+
 use stap::core::doppler::DopplerProcessor;
 use stap::core::weights::EasyWeightComputer;
 use stap::core::StapParams;
@@ -229,9 +232,8 @@ pub fn forgetting_sweep() -> String {
     // Space-time signature of the old interferer at this bin.
     let v_old: Vec<Cx> = {
         let sp = geom.steering(25.0);
-        let phase = Cx::cis(
-            2.0 * std::f64::consts::PI * bin as f64 * p.stagger as f64 / p.n_pulses as f64,
-        );
+        let phase =
+            Cx::cis(2.0 * std::f64::consts::PI * bin as f64 * p.stagger as f64 / p.n_pulses as f64);
         let mut v: Vec<Cx> = sp
             .iter()
             .cloned()
@@ -321,7 +323,9 @@ mod tests {
         // Extract first and last interferer columns loosely: just check
         // the rendered table is present with 6 sweep rows.
         assert_eq!(
-            s.lines().filter(|l| l.trim_start().starts_with(|c: char| c.is_ascii_digit())).count(),
+            s.lines()
+                .filter(|l| l.trim_start().starts_with(|c: char| c.is_ascii_digit()))
+                .count(),
             6
         );
     }

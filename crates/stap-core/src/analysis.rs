@@ -186,7 +186,10 @@ mod tests {
         let cpi = sc.generate_cpi(0);
         let p = 4usize;
         let e = clutter_eigenspectrum(&cpi, p);
-        let beta = beta_of(sc.clutter.as_ref().unwrap().ridge_slope, sc.geom.spacing_wavelengths);
+        let beta = beta_of(
+            sc.clutter.as_ref().unwrap().ridge_slope,
+            sc.geom.spacing_wavelengths,
+        );
         let predicted = brennan_rank(sc.geom.channels, p, beta);
         // Count eigenvalues within 30 dB of the peak (clutter vs noise
         // floor is ~50 dB here).

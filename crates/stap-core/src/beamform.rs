@@ -16,6 +16,46 @@ use crate::weights::{EasyWeights, HardWeights};
 use stap_cube::CCube;
 use stap_math::CMat;
 
+/// Reusable easy-beamforming workspace: one `J x K` gather matrix and
+/// one `M x K` product matrix serve every bin of every CPI.
+pub struct EasyBeamformScratch {
+    data: CMat,
+    y: CMat,
+}
+
+impl EasyBeamformScratch {
+    /// Builds the workspace for a local range extent of `k` cells.
+    pub fn new(params: &StapParams, k: usize) -> Self {
+        EasyBeamformScratch {
+            data: CMat::zeros(params.j_channels, k),
+            y: CMat::zeros(params.m_beams, k),
+        }
+    }
+}
+
+/// Reusable hard-beamforming workspace: per segment, one `2J x K_seg`
+/// gather matrix and one `M x K_seg` product matrix.
+pub struct HardBeamformScratch {
+    per_seg: Vec<(CMat, CMat)>,
+}
+
+impl HardBeamformScratch {
+    /// Builds the workspace for the full range extent (segments are
+    /// defined globally by `params.range_segments`).
+    pub fn new(params: &StapParams) -> Self {
+        let per_seg = (0..params.num_segments())
+            .map(|seg| {
+                let r = params.segment_range(seg);
+                (
+                    CMat::zeros(2 * params.j_channels, r.len()),
+                    CMat::zeros(params.m_beams, r.len()),
+                )
+            })
+            .collect();
+        HardBeamformScratch { per_seg }
+    }
+}
+
 /// One bin of easy beamforming: `weights` is `J x M`, `data` is `J x K`;
 /// returns `M x K`.
 pub fn beamform_bin_easy(weights: &CMat, data: &CMat) -> CMat {
@@ -54,16 +94,37 @@ pub fn easy_beamform(params: &StapParams, staggered: &CCube, w: &EasyWeights) ->
 }
 
 /// Like [`easy_beamform`] but writing into a caller-provided cube
-/// (shape `(N_easy, M, K)`), for allocation-free steady-state loops.
-pub fn easy_beamform_into(params: &StapParams, staggered: &CCube, w: &EasyWeights, out: &mut CCube) {
+/// (shape `(N_easy, M, K)`). Uses a transient workspace; prefer
+/// [`easy_beamform_into_with`] in hot loops.
+pub fn easy_beamform_into(
+    params: &StapParams,
+    staggered: &CCube,
+    w: &EasyWeights,
+    out: &mut CCube,
+) {
+    let mut ws = EasyBeamformScratch::new(params, staggered.shape()[0]);
+    easy_beamform_into_with(params, staggered, w, out, &mut ws);
+}
+
+/// The zero-allocation steady-state easy-beamforming kernel: gathers
+/// each bin's `J x K` slab and forms `W^H X` entirely inside the reused
+/// workspace matrices.
+pub fn easy_beamform_into_with(
+    params: &StapParams,
+    staggered: &CCube,
+    w: &EasyWeights,
+    out: &mut CCube,
+    ws: &mut EasyBeamformScratch,
+) {
     let k = staggered.shape()[0];
     let bins = params.easy_bins();
     assert_eq!(out.shape(), [bins.len(), params.m_beams, k], "output shape");
+    assert_eq!(ws.data.shape(), (params.j_channels, k), "scratch shape");
     for (bi, &bin) in bins.iter().enumerate() {
-        let data = easy_bin_data(staggered, params, bin);
-        let y = beamform_bin_easy(&w.per_bin[bi], &data);
+        ws.data.fill_from_fn(|ch, kc| staggered[(kc, ch, bin)]);
+        w.per_bin[bi].hermitian_matmul_into(&ws.data, &mut ws.y);
         for m in 0..params.m_beams {
-            out.lane_mut(bi, m).copy_from_slice(y.row(m));
+            out.lane_mut(bi, m).copy_from_slice(ws.y.row(m));
         }
     }
 }
@@ -78,15 +139,36 @@ pub fn hard_beamform(params: &StapParams, staggered: &CCube, w: &HardWeights) ->
 }
 
 /// Like [`hard_beamform`] but writing into a caller-provided cube.
-pub fn hard_beamform_into(params: &StapParams, staggered: &CCube, w: &HardWeights, out: &mut CCube) {
+/// Uses a transient workspace; prefer [`hard_beamform_into_with`] in
+/// hot loops.
+pub fn hard_beamform_into(
+    params: &StapParams,
+    staggered: &CCube,
+    w: &HardWeights,
+    out: &mut CCube,
+) {
+    let mut ws = HardBeamformScratch::new(params);
+    hard_beamform_into_with(params, staggered, w, out, &mut ws);
+}
+
+/// The zero-allocation steady-state hard-beamforming kernel: per-segment
+/// gather and product matrices live in the reused workspace.
+pub fn hard_beamform_into_with(
+    params: &StapParams,
+    staggered: &CCube,
+    w: &HardWeights,
+    out: &mut CCube,
+    ws: &mut HardBeamformScratch,
+) {
     let k = staggered.shape()[0];
     let bins = params.hard_bins();
     assert_eq!(out.shape(), [bins.len(), params.m_beams, k], "output shape");
     for (bi, &bin) in bins.iter().enumerate() {
         for seg in 0..params.num_segments() {
             let r = params.segment_range(seg);
-            let data = hard_bin_data(staggered, params, bin, seg);
-            let y = beamform_bin_hard(&w.per_bin[bi][seg], &data);
+            let (data, y) = &mut ws.per_seg[seg];
+            data.fill_from_fn(|ch, kc| staggered[(r.start + kc, ch, bin)]);
+            w.per_bin[bi][seg].hermitian_matmul_into(data, y);
             for m in 0..params.m_beams {
                 out.lane_mut(bi, m)[r.clone()].copy_from_slice(y.row(m));
             }

@@ -68,8 +68,13 @@ impl BeamSpaceWeights {
     /// algorithm's weights.
     pub fn element_weight(&self, bi: usize) -> Vec<Cx> {
         let w = self.t.matmul(&self.per_bin[bi]);
-        let norm: f64 = (0..w.rows()).map(|i| w[(i, 0)].norm_sqr()).sum::<f64>().sqrt();
-        (0..w.rows()).map(|i| w[(i, 0)].scale(1.0 / norm.max(1e-300))).collect()
+        let norm: f64 = (0..w.rows())
+            .map(|i| w[(i, 0)].norm_sqr())
+            .sum::<f64>()
+            .sqrt();
+        (0..w.rows())
+            .map(|i| w[(i, 0)].scale(1.0 / norm.max(1e-300)))
+            .collect()
     }
 }
 

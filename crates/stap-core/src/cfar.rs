@@ -9,7 +9,6 @@
 //! to the actual reference count.
 
 use crate::params::StapParams;
-use serde::{Deserialize, Serialize};
 use stap_cube::RCube;
 use stap_math::flops;
 
@@ -32,7 +31,7 @@ pub enum CfarKind {
 
 /// One CFAR detection: "a list of targets at specified ranges, Doppler
 /// frequencies, and look directions".
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Detection {
     /// Doppler bin (natural order, 0..N).
     pub bin: usize,
@@ -141,11 +140,7 @@ pub fn cluster(detections: &[Detection]) -> Vec<Detection> {
     let mut out: Vec<Detection> = Vec::new();
     for d in detections {
         match out.last_mut() {
-            Some(prev)
-                if prev.bin == d.bin
-                    && prev.beam == d.beam
-                    && d.range <= prev.range + 2 =>
-            {
+            Some(prev) if prev.bin == d.bin && prev.beam == d.beam && d.range <= prev.range + 2 => {
                 if d.power > prev.power {
                     *prev = *d;
                 }
@@ -232,11 +227,41 @@ mod tests {
     #[test]
     fn cluster_merges_adjacent_cells() {
         let dets = vec![
-            Detection { bin: 1, beam: 0, range: 10, power: 5.0, threshold: 1.0 },
-            Detection { bin: 1, beam: 0, range: 11, power: 9.0, threshold: 1.0 },
-            Detection { bin: 1, beam: 0, range: 12, power: 4.0, threshold: 1.0 },
-            Detection { bin: 1, beam: 0, range: 40, power: 3.0, threshold: 1.0 },
-            Detection { bin: 2, beam: 0, range: 12, power: 2.0, threshold: 1.0 },
+            Detection {
+                bin: 1,
+                beam: 0,
+                range: 10,
+                power: 5.0,
+                threshold: 1.0,
+            },
+            Detection {
+                bin: 1,
+                beam: 0,
+                range: 11,
+                power: 9.0,
+                threshold: 1.0,
+            },
+            Detection {
+                bin: 1,
+                beam: 0,
+                range: 12,
+                power: 4.0,
+                threshold: 1.0,
+            },
+            Detection {
+                bin: 1,
+                beam: 0,
+                range: 40,
+                power: 3.0,
+                threshold: 1.0,
+            },
+            Detection {
+                bin: 2,
+                beam: 0,
+                range: 12,
+                power: 2.0,
+                threshold: 1.0,
+            },
         ];
         let grouped = cluster(&dets);
         assert_eq!(grouped.len(), 3);
@@ -297,7 +322,11 @@ mod tests {
         let p = params();
         let mut lane = vec![2.0; p.k_range];
         lane[20] = 120.0;
-        for kind in [CfarKind::CellAveraging, CfarKind::GreatestOf, CfarKind::SmallestOf] {
+        for kind in [
+            CfarKind::CellAveraging,
+            CfarKind::GreatestOf,
+            CfarKind::SmallestOf,
+        ] {
             let mut out = Vec::new();
             cfar_lane_kind(&p, kind, &lane, 0, 0, &mut out);
             assert_eq!(out.len(), 1, "{kind:?}");

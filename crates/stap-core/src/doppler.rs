@@ -14,7 +14,7 @@
 
 use crate::params::StapParams;
 use stap_cube::CCube;
-use stap_math::fft::Fft;
+use stap_math::fft::{Fft, FftScratch};
 use stap_math::{flops, Cx};
 
 /// Reusable Doppler-filtering state (FFT plan and taper samples).
@@ -34,7 +34,9 @@ impl DopplerProcessor {
         let wlen = n - params.stagger;
         let window = params.window.sample(wlen);
         let correction = (0..params.k_range)
-            .map(|k| ((k + 1) as f64 / params.k_range as f64).powf(params.range_correction_exponent))
+            .map(|k| {
+                ((k + 1) as f64 / params.k_range as f64).powf(params.range_correction_exponent)
+            })
             .collect();
         DopplerProcessor {
             n,
@@ -61,38 +63,59 @@ impl DopplerProcessor {
     /// `k_offset` is the slab's global starting range cell, needed for
     /// the per-cell range correction. This is the exact kernel each
     /// Doppler-task node runs on its partition.
+    ///
+    /// Convenience wrapper around [`DopplerProcessor::process_rows_with`]
+    /// using a transient [`FftScratch`] (no allocation for power-of-two
+    /// pulse counts — the paper's N = 128 steady state is allocation-free
+    /// either way, given a preallocated `out`).
     pub fn process_rows(&self, slab: &CCube, k_offset: usize, out: &mut CCube) {
+        let mut scratch = FftScratch::new();
+        self.process_rows_with(slab, k_offset, out, &mut scratch);
+    }
+
+    /// The zero-allocation steady-state kernel: tapers both staggered
+    /// windows directly into the output cube's lanes, then runs the
+    /// whole cube through one batched [`Fft::forward_lanes`] call (the
+    /// output layout is `(k_local, 2J, N)` row-major, so every lane is
+    /// unit-stride — `2J * k_local` transforms through one plan
+    /// dispatch).
+    pub fn process_rows_with(
+        &self,
+        slab: &CCube,
+        k_offset: usize,
+        out: &mut CCube,
+        scratch: &mut FftScratch,
+    ) {
         let [k_local, j_ch, n] = slab.shape();
         assert_eq!(out.shape(), [k_local, 2 * j_ch, n], "output shape mismatch");
         let s = self.stagger;
         let wlen = n - s;
-        let mut buf = vec![Cx::default(); n];
         for k in 0..k_local {
             let corr = self.correction[k_offset + k];
             for j in 0..j_ch {
                 let lane = slab.lane(k, j);
                 // Window 0: pulses 0..N-s, zero-padded at the tail.
+                let w0 = out.lane_mut(k, j);
                 for i in 0..wlen {
-                    buf[i] = lane[i].scale(self.window[i] * corr);
+                    w0[i] = lane[i].scale(self.window[i] * corr);
                 }
-                buf[wlen..n].fill(Cx::default());
-                self.fft.forward(&mut buf);
-                out.lane_mut(k, j).copy_from_slice(&buf);
+                w0[wlen..n].fill(Cx::default());
                 // Window 1: pulses s..N re-indexed from zero, so a tone
                 // at bin d shows the PRI-stagger phase e^{2 pi i d s / N}
                 // relative to window 0 — the phase the hard-weight
                 // constraint aligns.
+                let w1 = out.lane_mut(k, j_ch + j);
                 for i in 0..wlen {
-                    buf[i] = lane[s + i].scale(self.window[i] * corr);
+                    w1[i] = lane[s + i].scale(self.window[i] * corr);
                 }
-                buf[wlen..n].fill(Cx::default());
-                self.fft.forward(&mut buf);
-                out.lane_mut(k, j_ch + j).copy_from_slice(&buf);
-                // Taper+correction cost: 2 windows x wlen x (2 mul + 1
-                // correction mul) real ops (FFT costs counted inside).
-                flops::add(3 * 2 * wlen as u64);
+                w1[wlen..n].fill(Cx::default());
             }
         }
+        // Taper+correction cost: 2 windows x wlen x (2 mul + 1
+        // correction mul) real ops per (cell, channel); FFT costs are
+        // counted by the batched transform.
+        flops::add(3 * 2 * wlen as u64 * (k_local * j_ch) as u64);
+        self.fft.forward_lanes(out.as_mut_slice(), scratch);
     }
 }
 
@@ -202,7 +225,10 @@ mod tests {
         let k = 10;
         let expect = (k as f64 + 1.0) / p.k_range as f64;
         let ratio = out[(k, 0, 4)].abs() / flat[(k, 0, 4)].abs();
-        assert!((ratio - expect).abs() < 1e-9, "ratio {ratio} expect {expect}");
+        assert!(
+            (ratio - expect).abs() < 1e-9,
+            "ratio {ratio} expect {expect}"
+        );
     }
 
     #[test]

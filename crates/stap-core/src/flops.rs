@@ -134,7 +134,9 @@ pub fn measure(p: &StapParams, seed: u64) -> TaskFlops {
         let _ = cfar::cfar(p, &power);
     });
 
-    TaskFlops([f_dop, f_easy_w, f_hard_w, f_easy_bf, f_hard_bf, f_pc, f_cfar])
+    TaskFlops([
+        f_dop, f_easy_w, f_hard_w, f_easy_bf, f_hard_bf, f_pc, f_cfar,
+    ])
 }
 
 #[cfg(test)]
@@ -204,6 +206,9 @@ mod tests {
         let m = measure(&p, 5);
         assert!(m.0[2] > m.0[1], "hard weight > easy weight");
         assert!(m.0[4] > m.0[3], "hard BF > easy BF");
-        assert!(m.0[2] >= *m.0.iter().max().unwrap() / 2, "hard weight near top");
+        assert!(
+            m.0[2] >= *m.0.iter().max().unwrap() / 2,
+            "hard weight near top"
+        );
     }
 }

@@ -15,8 +15,24 @@
 
 use crate::params::StapParams;
 use stap_cube::{CCube, RCube};
-use stap_math::fft::Fft;
+use stap_math::fft::{Fft, FftScratch};
 use stap_math::{flops, Cx};
+
+/// Reusable pulse-compression workspace: one spectrum buffer big enough
+/// for a whole beamformed cube, grown on first use and reused across
+/// CPIs (plus an [`FftScratch`] for non-power-of-two range lengths).
+#[derive(Default)]
+pub struct PulseScratch {
+    spec: Vec<Cx>,
+    fft: FftScratch,
+}
+
+impl PulseScratch {
+    /// An empty workspace; it grows on first use.
+    pub fn new() -> Self {
+        PulseScratch::default()
+    }
+}
 
 /// Reusable pulse-compression state: FFT plan and matched-filter
 /// spectrum.
@@ -56,22 +72,38 @@ impl PulseCompressor {
     }
 
     /// Like [`PulseCompressor::process`] but writing into a
-    /// caller-provided cube of the same shape.
+    /// caller-provided cube of the same shape (transient workspace;
+    /// prefer [`PulseCompressor::process_into_with`] in hot loops).
     pub fn process_into(&self, beamformed: &CCube, out: &mut RCube) {
+        let mut ws = PulseScratch::new();
+        self.process_into_with(beamformed, out, &mut ws);
+    }
+
+    /// The zero-allocation steady-state kernel: matched-filters every
+    /// `(bin, beam)` lane of the cube through batched FFTs, reusing the
+    /// caller's [`PulseScratch`]. Bit-identical to the per-lane path.
+    pub fn process_into_with(&self, beamformed: &CCube, out: &mut RCube, ws: &mut PulseScratch) {
         let [n, m, k] = beamformed.shape();
         assert_eq!(k, self.k, "range length mismatch");
         assert_eq!(out.shape(), [n, m, k], "output shape");
-        let mut buf = vec![Cx::default(); k];
-        for bin in 0..n {
-            for beam in 0..m {
-                self.compress_lane(beamformed.lane(bin, beam), &mut buf);
-                let lane = out.lane_mut(bin, beam);
-                for (o, v) in lane.iter_mut().zip(&buf) {
-                    *o = v.norm_sqr();
-                }
-                flops::add(3 * k as u64); // |.|^2 per cell
+        let total = n * m * k;
+        if ws.spec.len() < total {
+            ws.spec.resize(total, Cx::default());
+        }
+        let spec = &mut ws.spec[..total];
+        spec.copy_from_slice(beamformed.as_slice());
+        self.fft.forward_lanes(spec, &mut ws.fft);
+        for lane in spec.chunks_exact_mut(k) {
+            for (x, f) in lane.iter_mut().zip(&self.filter) {
+                *x = *x * *f;
             }
         }
+        flops::add(flops::CMUL * total as u64);
+        self.fft.inverse_lanes(spec, &mut ws.fft);
+        for (o, v) in out.as_mut_slice().iter_mut().zip(spec.iter()) {
+            *o = v.norm_sqr();
+        }
+        flops::add(3 * total as u64); // |.|^2 per cell
     }
 
     /// Matched-filters one range lane into `buf` (complex output, before
@@ -120,7 +152,7 @@ mod tests {
             cube[(0, 0, r0 + i)] = *v;
         }
         let out = pc.process(&cube);
-        let lane: Vec<f64> = out.lane(0, 0).to_vec();
+        let lane = out.lane(0, 0);
         let (peak_idx, peak) = lane
             .iter()
             .enumerate()
@@ -170,7 +202,11 @@ mod tests {
             .map(|(_, v)| *v)
             .sum::<f64>()
             / (p.k_range - 2 * p.replica_len) as f64;
-        assert!(peak / mean > 5.0, "integration gain too small: {}", peak / mean);
+        assert!(
+            peak / mean > 5.0,
+            "integration gain too small: {}",
+            peak / mean
+        );
     }
 
     #[test]

@@ -298,7 +298,10 @@ mod tests {
         let cpi = scenario.generate_cpi(0);
         let out = stap.process_cpi(0, &cpi);
         let p = &stap.params;
-        assert_eq!(out.staggered.shape(), [p.k_range, 2 * p.j_channels, p.n_pulses]);
+        assert_eq!(
+            out.staggered.shape(),
+            [p.k_range, 2 * p.j_channels, p.n_pulses]
+        );
         assert_eq!(out.beamformed.shape(), [p.n_pulses, p.m_beams, p.k_range]);
         assert_eq!(out.power.shape(), [p.n_pulses, p.m_beams, p.k_range]);
     }

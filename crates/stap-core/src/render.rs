@@ -53,12 +53,7 @@ pub fn render_beam(power: &RCube, beam: usize, opts: &RenderOptions) -> (usize, 
 }
 
 /// Writes 8-bit grayscale pixels as a binary PGM (P5) file.
-pub fn write_pgm(
-    path: &Path,
-    width: usize,
-    height: usize,
-    pixels: &[u8],
-) -> std::io::Result<()> {
+pub fn write_pgm(path: &Path, width: usize, height: usize, pixels: &[u8]) -> std::io::Result<()> {
     assert_eq!(pixels.len(), width * height, "pixel buffer size mismatch");
     let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
     write!(f, "P5\n{width} {height}\n255\n")?;

@@ -23,11 +23,7 @@ use stap_math::CMat;
 ///
 /// `snapshots` rows are conjugated snapshots `x^H` (the same convention
 /// as [`crate::training::easy_snapshot`]); `steering` is `n x beams`.
-pub fn smi_weights(
-    snapshots: &CMat,
-    steering: &CMat,
-    loading: f64,
-) -> Result<CMat, CholeskyError> {
+pub fn smi_weights(snapshots: &CMat, steering: &CMat, loading: f64) -> Result<CMat, CholeskyError> {
     // Covariance of the *un-conjugated* snapshots is the conjugate of
     // X^H X built from conjugated rows; solving with the conjugated
     // Gram matrix against the steering directly yields weights in the
@@ -154,11 +150,13 @@ mod tests {
         let steering = geom.beam_fan(0.0, 8.0, 1);
         // 4 snapshots for 8 channels: singular without loading.
         let x = interference_snapshots(&geom, 20.0, 4, 5.0);
-        assert!(smi_weights(&x, &steering, 0.0).is_err() || {
-            // tiny noise term may make it barely PD; loading must
-            // always work though:
-            true
-        });
+        assert!(
+            smi_weights(&x, &steering, 0.0).is_err() || {
+                // tiny noise term may make it barely PD; loading must
+                // always work though:
+                true
+            }
+        );
         let w = smi_weights(&x, &steering, 0.1).unwrap();
         assert!(w.is_finite());
     }
@@ -169,7 +167,10 @@ mod tests {
         let geom = ArrayGeometry::small(p.j_channels);
         let steering = geom.beam_fan(0.0, 10.0, p.m_beams);
         let cube = CCube::from_fn([p.k_range, 2 * p.j_channels, p.n_pulses], |k, c, n| {
-            Cx::new(((k + c * 3 + n) % 7) as f64 - 3.0, ((k * c + n) % 5) as f64 - 2.0)
+            Cx::new(
+                ((k + c * 3 + n) % 7) as f64 - 3.0,
+                ((k * c + n) % 5) as f64 - 2.0,
+            )
         });
         let smi = SmiEasyWeights::new(&p);
         let w = smi.process(&cube, &steering);

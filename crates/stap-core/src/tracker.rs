@@ -9,7 +9,6 @@
 //! and a natural consumer of the pipeline's per-CPI detection stream.
 
 use crate::cfar::Detection;
-use serde::Serialize;
 
 /// Tracker tuning.
 #[derive(Clone, Debug)]
@@ -42,7 +41,7 @@ impl Default for TrackerConfig {
 }
 
 /// One track's state.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Track {
     /// Stable track identifier.
     pub id: usize,

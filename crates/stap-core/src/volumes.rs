@@ -88,8 +88,8 @@ mod tests {
         assert!(total < full, "easy bins only ship one window");
         assert_eq!(
             total,
-            (p.n_easy() * p.j_channels * p.k_range
-                + p.n_hard * 2 * p.j_channels * p.k_range) as u64
+            (p.n_easy() * p.j_channels * p.k_range + p.n_hard * 2 * p.j_channels * p.k_range)
+                as u64
         );
     }
 

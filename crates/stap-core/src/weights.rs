@@ -22,8 +22,8 @@
 use crate::params::StapParams;
 use crate::training::{easy_snapshot, hard_snapshot, EasyTrainingStore};
 use stap_cube::CCube;
-use stap_math::solve::{constrained_lstsq, constrained_lstsq_from_r, normalize_columns};
 use stap_math::qr::qr_update;
+use stap_math::solve::{constrained_lstsq, constrained_lstsq_from_r, normalize_columns};
 use stap_math::{CMat, Cx};
 use std::collections::HashMap;
 use std::f64::consts::PI;
@@ -72,6 +72,8 @@ fn mean_abs(m: &CMat) -> f64 {
 pub struct EasyWeightComputer {
     params: StapParams,
     store: EasyTrainingStore,
+    /// The easy constraint block (`I_J`), built once and reused each CPI.
+    constraint: CMat,
 }
 
 impl EasyWeightComputer {
@@ -80,6 +82,7 @@ impl EasyWeightComputer {
         EasyWeightComputer {
             params: params.clone(),
             store: EasyTrainingStore::new(params.easy_history),
+            constraint: CMat::identity(params.j_channels),
         }
     }
 
@@ -102,7 +105,7 @@ impl EasyWeightComputer {
             .map(|&b| easy_snapshot(staggered, &self.params, b))
             .collect();
         self.store.push(beam, snaps);
-        let c = CMat::identity(self.params.j_channels);
+        let c = &self.constraint;
         let per_bin = (0..bins.len())
             .map(|bi| {
                 let training = self
@@ -110,7 +113,7 @@ impl EasyWeightComputer {
                     .stacked(beam, bi)
                     .expect("history was just pushed");
                 let k = mean_abs(&training) * self.params.beam_constraint_wt;
-                constrained_lstsq(&training, &c, k, steering)
+                constrained_lstsq(&training, c, k, steering)
             })
             .collect();
         EasyWeights { per_bin }
@@ -123,14 +126,23 @@ pub struct HardWeightComputer {
     params: StapParams,
     /// R factors keyed by (beam, hard-bin index, segment).
     r_state: HashMap<(usize, usize, usize), CMat>,
+    /// Per-hard-bin constraint matrices `[I_J | e^{-2 pi i d s / N} I_J]`,
+    /// built once and reused every CPI.
+    constraints: Vec<CMat>,
 }
 
 impl HardWeightComputer {
     /// Creates the computer (empty recursion state).
     pub fn new(params: &StapParams) -> Self {
+        let constraints = params
+            .hard_bins()
+            .iter()
+            .map(|&bin| hard_constraint(params, bin))
+            .collect();
         HardWeightComputer {
             params: params.clone(),
             r_state: HashMap::new(),
+            constraints,
         }
     }
 
@@ -168,7 +180,7 @@ impl HardWeightComputer {
         let bins = self.params.hard_bins();
         let mut per_bin = Vec::with_capacity(bins.len());
         for (bi, &bin) in bins.iter().enumerate() {
-            let constraint = hard_constraint(&self.params, bin);
+            let constraint = &self.constraints[bi];
             let mut per_seg = Vec::with_capacity(self.params.num_segments());
             for seg in 0..self.params.num_segments() {
                 let x = hard_snapshot(staggered, &self.params, bin, seg);
@@ -178,7 +190,7 @@ impl HardWeightComputer {
                     .or_insert_with(|| CMat::zeros(jj, jj));
                 let r_new = qr_update(r_prev, self.params.forgetting_factor, &x);
                 let k = mean_abs(&x) * self.params.beam_constraint_wt;
-                let w = constrained_lstsq_from_r(&r_new, &constraint, k, steering);
+                let w = constrained_lstsq_from_r(&r_new, constraint, k, steering);
                 *r_prev = r_new;
                 per_seg.push(w);
             }
@@ -215,8 +227,7 @@ mod tests {
         for k in 0..p.k_range {
             for bin in 0..p.n_pulses {
                 let g = Cx::new(rngf(), rngf()).scale(2.0 * power);
-                let phase =
-                    Cx::cis(2.0 * PI * bin as f64 * p.stagger as f64 / p.n_pulses as f64);
+                let phase = Cx::cis(2.0 * PI * bin as f64 * p.stagger as f64 / p.n_pulses as f64);
                 for j in 0..p.j_channels {
                     cube[(k, j, bin)] = g * s[j] + Cx::new(rngf(), rngf()).scale(0.02);
                     cube[(k, p.j_channels + j, bin)] =

@@ -1,33 +1,33 @@
-//! Property-based tests over the STAP signal-processing chain.
+//! Property-based tests over the STAP signal-processing chain
+//! (in-tree harness; see `stap_util::check`).
 
-use proptest::prelude::*;
 use stap_core::cfar::{cfar, Detection};
 use stap_core::doppler::DopplerProcessor;
 use stap_core::params::StapParams;
 use stap_core::pulse::PulseCompressor;
 use stap_cube::{CCube, RCube};
 use stap_math::Cx;
+use stap_util::check::{check, Gen};
 
 fn params() -> StapParams {
     StapParams::reduced()
 }
 
-fn cx_strategy() -> impl Strategy<Value = Cx> {
-    (-10.0f64..10.0, -10.0f64..10.0).prop_map(|(re, im)| Cx::new(re, im))
+fn cx(g: &mut Gen) -> Cx {
+    Cx::new(g.float(-10.0, 10.0), g.float(-10.0, 10.0))
 }
 
-fn cpi_strategy(p: &StapParams) -> impl Strategy<Value = CCube> {
+fn cpi_cube(g: &mut Gen, p: &StapParams) -> CCube {
     let shape = [p.k_range, p.j_channels, p.n_pulses];
-    proptest::collection::vec(cx_strategy(), shape[0] * shape[1] * shape[2])
-        .prop_map(move |v| CCube::from_vec(shape, v))
+    let v = g.vec(shape[0] * shape[1] * shape[2], cx);
+    CCube::from_vec(shape, v)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn doppler_processing_is_linear(cpi in cpi_strategy(&params())) {
+#[test]
+fn doppler_processing_is_linear() {
+    check("doppler_processing_is_linear", 12, |g| {
         let p = params();
+        let cpi = cpi_cube(g, &p);
         let proc = DopplerProcessor::new(&p);
         let doubled = cpi.map(|x| x.scale(2.0));
         let a = proc.process(&cpi);
@@ -37,30 +37,33 @@ proptest! {
         for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
             max_err = max_err.max((x.scale(2.0) - *y).abs());
         }
-        prop_assert!(max_err < 1e-9);
-    }
+        assert!(max_err < 1e-9);
+    });
+}
 
-    #[test]
-    fn doppler_energy_bounded_by_input(cpi in cpi_strategy(&params())) {
+#[test]
+fn doppler_energy_bounded_by_input() {
+    check("doppler_energy_bounded_by_input", 12, |g| {
         // The taper has coefficients <= 1 and the FFT is energy-
         // preserving up to a factor N, so output energy is bounded by
         // 2N x input energy (two windows).
         let p = params();
+        let cpi = cpi_cube(g, &p);
         let proc = DopplerProcessor::new(&p);
         let out = proc.process(&cpi);
         let ein: f64 = cpi.as_slice().iter().map(|x| x.norm_sqr()).sum();
         let eout: f64 = out.as_slice().iter().map(|x| x.norm_sqr()).sum();
-        prop_assert!(eout <= 2.0 * p.n_pulses as f64 * ein + 1e-6);
-    }
+        assert!(eout <= 2.0 * p.n_pulses as f64 * ein + 1e-6);
+    });
+}
 
-    #[test]
-    fn pulse_compression_output_power_matches_parseval(
-        lanes in proptest::collection::vec(cx_strategy(), 64)
-    ) {
-        // Matched filter has unit-energy taps with flat |H(f)| <= 1...
-        // actually |H| is not flat, but total output energy equals
-        // sum |X(f)|^2 |H(f)|^2 / K <= max|H|^2 * input energy.
+#[test]
+fn pulse_compression_output_power_matches_parseval() {
+    check("pulse_compression_output_power_matches_parseval", 12, |g| {
+        // Matched filter has unit-energy taps; total output energy
+        // equals sum |X(f)|^2 |H(f)|^2 / K <= max|H|^2 * input energy.
         let p = params();
+        let lanes = g.vec(64, cx);
         let pc = PulseCompressor::new(&p);
         let cube = CCube::from_vec([1, 1, 64], lanes);
         let out = pc.process(&cube);
@@ -71,17 +74,18 @@ proptest! {
             .iter()
             .map(|h| h.norm_sqr())
             .fold(0.0, f64::max);
-        prop_assert!(eout <= hmax * ein * (1.0 + 1e-9) + 1e-9);
-    }
+        assert!(eout <= hmax * ein * (1.0 + 1e-9) + 1e-9);
+    });
+}
 
-    #[test]
-    fn cfar_detections_are_scale_invariant(
-        seeds in proptest::collection::vec(0.1f64..100.0, 32),
-        scale in 0.01f64..1000.0,
-    ) {
+#[test]
+fn cfar_detections_are_scale_invariant() {
+    check("cfar_detections_are_scale_invariant", 12, |g| {
         // Multiplying the whole power cube by a positive constant must
         // not change the detection set (threshold is relative).
         let p = params();
+        let seeds = g.vec(32, |g| g.float(0.1, 100.0));
+        let scale = g.float(0.01, 1000.0);
         let cube = RCube::from_fn([p.n_pulses, p.m_beams, p.k_range], |a, b, c| {
             seeds[(a * 13 + b * 7 + c) % 32] * (1.0 + ((a + b + c) % 5) as f64)
         });
@@ -89,14 +93,15 @@ proptest! {
         let key = |d: &Detection| (d.bin, d.beam, d.range);
         let a: Vec<_> = cfar(&p, &cube).iter().map(key).collect();
         let b: Vec<_> = cfar(&p, &scaled).iter().map(key).collect();
-        prop_assert_eq!(a, b);
-    }
+        assert_eq!(a, b);
+    });
+}
 
-    #[test]
-    fn cfar_monotone_in_threshold_scale(
-        seeds in proptest::collection::vec(0.5f64..50.0, 16),
-    ) {
+#[test]
+fn cfar_monotone_in_threshold_scale() {
+    check("cfar_monotone_in_threshold_scale", 12, |g| {
         let mut p = params();
+        let seeds = g.vec(16, |g| g.float(0.5, 50.0));
         let cube = RCube::from_fn([p.n_pulses, p.m_beams, p.k_range], |a, b, c| {
             seeds[(a * 5 + b * 3 + c) % 16] * (1.0 + ((a * c + b) % 7) as f64)
         });
@@ -104,29 +109,33 @@ proptest! {
         let many = cfar(&p, &cube).len();
         p.cfar_scale = 8.0;
         let few = cfar(&p, &cube).len();
-        prop_assert!(few <= many, "{few} > {many}");
-    }
+        assert!(few <= many, "{few} > {many}");
+    });
+}
 
-    #[test]
-    fn detections_lie_within_cube_bounds(
-        seeds in proptest::collection::vec(0.1f64..10.0, 8),
-    ) {
+#[test]
+fn detections_lie_within_cube_bounds() {
+    check("detections_lie_within_cube_bounds", 12, |g| {
         let p = params();
+        let seeds = g.vec(8, |g| g.float(0.1, 10.0));
         let cube = RCube::from_fn([p.n_pulses, p.m_beams, p.k_range], |a, b, c| {
             seeds[(a + b + c) % 8] * if (a * b + c) % 97 == 0 { 100.0 } else { 1.0 }
         });
         for d in cfar(&p, &cube) {
-            prop_assert!(d.bin < p.n_pulses);
-            prop_assert!(d.beam < p.m_beams);
-            prop_assert!(d.range < p.k_range);
-            prop_assert!(d.power > d.threshold);
+            assert!(d.bin < p.n_pulses);
+            assert!(d.beam < p.m_beams);
+            assert!(d.range < p.k_range);
+            assert!(d.power > d.threshold);
         }
-    }
+    });
+}
 
-    #[test]
-    fn stagger_windows_agree_on_magnitude_for_tones(bin in 0usize..32) {
+#[test]
+fn stagger_windows_agree_on_magnitude_for_tones() {
+    check("stagger_windows_agree_on_magnitude_for_tones", 12, |g| {
         // Both windows see the same tone power; only phase differs.
         let p = params();
+        let bin = g.int(0, p.n_pulses);
         let proc = DopplerProcessor::new(&p);
         let cpi = CCube::from_fn([4, p.j_channels, p.n_pulses], |_, _, n| {
             Cx::cis(2.0 * std::f64::consts::PI * bin as f64 * n as f64 / p.n_pulses as f64)
@@ -135,28 +144,26 @@ proptest! {
         proc.process_rows(&cpi, 0, &mut out);
         let w0 = out[(0, 0, bin)].abs();
         let w1 = out[(0, p.j_channels, bin)].abs();
-        prop_assert!((w0 - w1).abs() < 1e-6 * w0.max(1.0), "{w0} vs {w1}");
-    }
+        assert!((w0 - w1).abs() < 1e-6 * w0.max(1.0), "{w0} vs {w1}");
+    });
 }
 
 mod weight_properties {
     use super::*;
-    use proptest::prelude::*;
     use stap_core::weights::{EasyWeightComputer, HardWeightComputer};
     use stap_radar::ArrayGeometry;
 
-    fn staggered_strategy(p: &StapParams) -> impl Strategy<Value = CCube> {
+    fn staggered_cube(g: &mut Gen, p: &StapParams) -> CCube {
         let shape = [p.k_range, 2 * p.j_channels, p.n_pulses];
-        proptest::collection::vec(
-            (-50.0f64..50.0, -50.0f64..50.0).prop_map(|(re, im)| Cx::new(re, im)),
-            shape[0] * shape[1] * shape[2],
-        )
-        .prop_map(move |v| CCube::from_vec(shape, v))
+        let v = g.vec(shape[0] * shape[1] * shape[2], |g| {
+            Cx::new(g.float(-50.0, 50.0), g.float(-50.0, 50.0))
+        });
+        CCube::from_vec(shape, v)
     }
 
     fn tiny_params() -> StapParams {
         let mut p = StapParams::reduced();
-        // Shrink so 100+ proptest weight solves stay fast.
+        // Shrink so the many weight solves stay fast.
         p.k_range = 24;
         p.n_pulses = 16;
         p.n_hard = 6;
@@ -169,28 +176,30 @@ mod weight_properties {
         p
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(8))]
-
-        #[test]
-        fn easy_weights_always_unit_norm_and_finite(cube in staggered_strategy(&tiny_params())) {
+    #[test]
+    fn easy_weights_always_unit_norm_and_finite() {
+        check("easy_weights_always_unit_norm_and_finite", 8, |g| {
             let p = tiny_params();
+            let cube = staggered_cube(g, &p);
             let geom = ArrayGeometry::small(p.j_channels);
             let steering = geom.beam_fan(0.0, 10.0, p.m_beams);
             let mut c = EasyWeightComputer::new(&p);
             let w = c.process(0, &cube, &steering);
             for wb in &w.per_bin {
-                prop_assert!(wb.is_finite());
+                assert!(wb.is_finite());
                 for m in 0..p.m_beams {
                     let n: f64 = (0..p.j_channels).map(|j| wb[(j, m)].norm_sqr()).sum();
-                    prop_assert!((n - 1.0).abs() < 1e-8, "norm {n}");
+                    assert!((n - 1.0).abs() < 1e-8, "norm {n}");
                 }
             }
-        }
+        });
+    }
 
-        #[test]
-        fn hard_weights_always_unit_norm_and_finite(cube in staggered_strategy(&tiny_params())) {
+    #[test]
+    fn hard_weights_always_unit_norm_and_finite() {
+        check("hard_weights_always_unit_norm_and_finite", 8, |g| {
             let p = tiny_params();
+            let cube = staggered_cube(g, &p);
             let geom = ArrayGeometry::small(p.j_channels);
             let steering = geom.beam_fan(0.0, 10.0, p.m_beams);
             let mut c = HardWeightComputer::new(&p);
@@ -199,22 +208,25 @@ mod weight_properties {
             let w = c.process(0, &cube, &steering);
             for per_seg in &w.per_bin {
                 for wm in per_seg {
-                    prop_assert!(wm.is_finite());
+                    assert!(wm.is_finite());
                     for m in 0..p.m_beams {
-                        let n: f64 =
-                            (0..2 * p.j_channels).map(|r| wm[(r, m)].norm_sqr()).sum();
-                        prop_assert!((n - 1.0).abs() < 1e-8, "norm {n}");
+                        let n: f64 = (0..2 * p.j_channels).map(|r| wm[(r, m)].norm_sqr()).sum();
+                        assert!((n - 1.0).abs() < 1e-8, "norm {n}");
                     }
                 }
             }
-        }
+        });
+    }
 
-        #[test]
-        fn weight_scale_invariance(cube in staggered_strategy(&tiny_params()), scale in 0.1f64..10.0) {
+    #[test]
+    fn weight_scale_invariance() {
+        check("weight_scale_invariance", 8, |g| {
             // Scaling the training data leaves the (normalized) weights
             // unchanged: the constraint k tracks mean_abs, so the whole
             // system is homogeneous.
             let p = tiny_params();
+            let cube = staggered_cube(g, &p);
+            let scale = g.float(0.1, 10.0);
             let geom = ArrayGeometry::small(p.j_channels);
             let steering = geom.beam_fan(0.0, 10.0, p.m_beams);
             let scaled = cube.map(|x| x.scale(scale));
@@ -229,9 +241,9 @@ mod weight_properties {
                     for j in 0..p.j_channels {
                         dot += ma[(j, m)].conj() * mb[(j, m)];
                     }
-                    prop_assert!((dot.abs() - 1.0).abs() < 1e-6, "|dot| {}", dot.abs());
+                    assert!((dot.abs() - 1.0).abs() < 1e-6, "|dot| {}", dot.abs());
                 }
             }
-        }
+        });
     }
 }

@@ -25,8 +25,22 @@ impl<T: Copy + Default> Cube<T> {
     }
 
     /// Builds a cube by evaluating `f(i, j, k)` in storage order.
-    pub fn from_fn(shape: [usize; 3], mut f: impl FnMut(usize, usize, usize) -> T) -> Self {
-        let mut data = Vec::with_capacity(shape[0] * shape[1] * shape[2]);
+    pub fn from_fn(shape: [usize; 3], f: impl FnMut(usize, usize, usize) -> T) -> Self {
+        Cube::from_fn_in(shape, Vec::new(), f)
+    }
+
+    /// Like [`Cube::from_fn`] but building into a caller-provided buffer
+    /// (typically recycled from a [`crate::BufferPool`]), so the
+    /// steady-state packing path allocates nothing. The buffer's prior
+    /// contents are discarded; element order is identical to
+    /// [`Cube::from_fn`].
+    pub fn from_fn_in(
+        shape: [usize; 3],
+        mut data: Vec<T>,
+        mut f: impl FnMut(usize, usize, usize) -> T,
+    ) -> Self {
+        data.clear();
+        data.reserve(shape[0] * shape[1] * shape[2]);
         for i in 0..shape[0] {
             for j in 0..shape[1] {
                 for k in 0..shape[2] {
@@ -104,12 +118,26 @@ impl<T: Copy + Default> Cube<T> {
 
     /// Copies the sub-block `r0 x r1 x r2` into a new cube.
     pub fn extract(&self, r0: Range<usize>, r1: Range<usize>, r2: Range<usize>) -> Cube<T> {
+        self.extract_into(r0, r1, r2, Vec::new())
+    }
+
+    /// Like [`Cube::extract`] but copying into a caller-provided buffer
+    /// (typically recycled from a [`crate::BufferPool`]). Byte-identical
+    /// to [`Cube::extract`].
+    pub fn extract_into(
+        &self,
+        r0: Range<usize>,
+        r1: Range<usize>,
+        r2: Range<usize>,
+        mut data: Vec<T>,
+    ) -> Cube<T> {
         assert!(
             r0.end <= self.shape[0] && r1.end <= self.shape[1] && r2.end <= self.shape[2],
             "extract range out of bounds"
         );
         let shape = [r0.len(), r1.len(), r2.len()];
-        let mut data = Vec::with_capacity(shape[0] * shape[1] * shape[2]);
+        data.clear();
+        data.reserve(shape[0] * shape[1] * shape[2]);
         for i in r0 {
             for j in r1.clone() {
                 let o = self.offset(i, j, r2.start);
@@ -174,6 +202,21 @@ impl<T: Copy + Default> Cube<T> {
         r2: Range<usize>,
         perm: [usize; 3],
     ) -> Cube<T> {
+        self.extract_permuted_into(r0, r1, r2, perm, Vec::new())
+    }
+
+    /// Like [`Cube::extract_permuted`] but copying into a caller-provided
+    /// buffer (typically recycled from a [`crate::BufferPool`]), so the
+    /// steady-state redistribution pack path allocates nothing.
+    /// Byte-identical to [`Cube::extract_permuted`].
+    pub fn extract_permuted_into(
+        &self,
+        r0: Range<usize>,
+        r1: Range<usize>,
+        r2: Range<usize>,
+        perm: [usize; 3],
+        mut data: Vec<T>,
+    ) -> Cube<T> {
         assert!(is_permutation(perm), "invalid permutation {perm:?}");
         assert!(
             r0.end <= self.shape[0] && r1.end <= self.shape[1] && r2.end <= self.shape[2],
@@ -185,7 +228,8 @@ impl<T: Copy + Default> Cube<T> {
             src_ranges[perm[1]].len(),
             src_ranges[perm[2]].len(),
         ];
-        let mut data = Vec::with_capacity(out_shape[0] * out_shape[1] * out_shape[2]);
+        data.clear();
+        data.reserve(out_shape[0] * out_shape[1] * out_shape[2]);
         let base = [
             src_ranges[0].start,
             src_ranges[1].start,

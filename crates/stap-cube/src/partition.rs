@@ -68,8 +68,7 @@ impl AxisPartition {
     /// The node owning axis index `i`, by binary search.
     pub fn owner_of(&self, i: usize) -> usize {
         debug_assert!(i < self.len());
-        self.ranges
-            .partition_point(|r| r.end <= i)
+        self.ranges.partition_point(|r| r.end <= i)
     }
 
     /// The full local shape node `p` sees for a cube of `global` shape.

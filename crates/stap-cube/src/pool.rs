@@ -1,0 +1,241 @@
+//! Recycling buffer pools for redistribution messages.
+//!
+//! Every redistribution block the pipeline ships — Doppler slabs to the
+//! weight and beamforming tasks, beamformed bins to pulse compression,
+//! power cubes to CFAR — used to be a freshly allocated `Vec` that died
+//! on the receiving node after unpacking. At the paper's CPI rate that
+//! is hundreds of allocations per CPI, all of sizes that repeat exactly
+//! every cycle. A [`BufferPool`] keeps a freelist of retired buffers
+//! keyed by power-of-two *size class*; senders draw packing buffers from
+//! the pool and receivers return consumed message buffers, so after a
+//! warmup CPI the steady state performs no heap allocation for packing.
+//!
+//! [`SharedBufferPool`] wraps the freelist in `Arc<Mutex<..>>` so the
+//! threaded runtime's nodes (which exchange ownership of message buffers
+//! across threads) recycle into one process-wide pool: the global
+//! put/get balance holds exactly because every buffer sent by one node
+//! is received — and retired — by another.
+
+use crate::cube::Cube;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Upper bound on free buffers retained per size class. Bounds pool
+/// memory at `MAX_FREE_PER_CLASS * class_size` per class; the pipeline's
+/// steady state needs far fewer (one per in-flight block).
+const MAX_FREE_PER_CLASS: usize = 64;
+
+/// Pool traffic counters (for benchmarks and tests).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// `get` calls served from the freelist (no allocation).
+    pub hits: u64,
+    /// `get` calls that had to allocate a fresh buffer.
+    pub misses: u64,
+    /// Buffers returned through `put`.
+    pub returned: u64,
+    /// Returned buffers dropped because their class was full.
+    pub dropped: u64,
+}
+
+/// A freelist of retired `Vec<T>` buffers keyed by power-of-two size
+/// class. `get(c)` pops from class `next_power_of_two(c)`; `put` files a
+/// buffer under the largest class its capacity can serve, so any hit is
+/// guaranteed to have enough capacity and reuse never reallocates.
+#[derive(Default)]
+pub struct BufferPool<T> {
+    free: HashMap<usize, Vec<Vec<T>>>,
+    stats: PoolStats,
+}
+
+impl<T> BufferPool<T> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        BufferPool {
+            free: HashMap::new(),
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// An empty buffer with capacity at least `capacity`, recycled from
+    /// the freelist when the matching size class has one.
+    pub fn get(&mut self, capacity: usize) -> Vec<T> {
+        if capacity == 0 {
+            return Vec::new();
+        }
+        let class = capacity.next_power_of_two();
+        match self.free.get_mut(&class).and_then(Vec::pop) {
+            Some(mut buf) => {
+                self.stats.hits += 1;
+                buf.clear();
+                debug_assert!(buf.capacity() >= capacity);
+                buf
+            }
+            None => {
+                self.stats.misses += 1;
+                Vec::with_capacity(class)
+            }
+        }
+    }
+
+    /// Returns a retired buffer to the pool for reuse. Contents are
+    /// irrelevant; only the allocation is recycled.
+    pub fn put(&mut self, buf: Vec<T>) {
+        let cap = buf.capacity();
+        if cap == 0 {
+            return;
+        }
+        self.stats.returned += 1;
+        // Largest class this buffer can serve: any get(c) with
+        // next_power_of_two(c) == class needs capacity >= class <= cap.
+        let class = 1usize << (usize::BITS - 1 - cap.leading_zeros());
+        let slot = self.free.entry(class).or_default();
+        if slot.len() < MAX_FREE_PER_CLASS {
+            slot.push(buf);
+        } else {
+            self.stats.dropped += 1;
+        }
+    }
+
+    /// Traffic counters so far.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Number of buffers currently on the freelist.
+    pub fn free_buffers(&self) -> usize {
+        self.free.values().map(Vec::len).sum()
+    }
+}
+
+/// A cloneable, thread-safe handle to a [`BufferPool`] shared by every
+/// node of the threaded pipeline runtime.
+pub struct SharedBufferPool<T> {
+    inner: Arc<Mutex<BufferPool<T>>>,
+}
+
+impl<T> Clone for SharedBufferPool<T> {
+    fn clone(&self) -> Self {
+        SharedBufferPool {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Default for SharedBufferPool<T> {
+    fn default() -> Self {
+        SharedBufferPool::new()
+    }
+}
+
+impl<T> SharedBufferPool<T> {
+    /// A fresh shared pool.
+    pub fn new() -> Self {
+        SharedBufferPool {
+            inner: Arc::new(Mutex::new(BufferPool::new())),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BufferPool<T>> {
+        // A node that panics mid-CPI (e.g. on a malformed cube) poisons
+        // the mutex; peers only touch the freelist, which is always in a
+        // consistent state, so recover rather than cascade a different
+        // panic over the one under test.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// See [`BufferPool::get`].
+    pub fn get(&self, capacity: usize) -> Vec<T> {
+        self.lock().get(capacity)
+    }
+
+    /// See [`BufferPool::put`].
+    pub fn put(&self, buf: Vec<T>) {
+        self.lock().put(buf)
+    }
+
+    /// Traffic counters so far.
+    pub fn stats(&self) -> PoolStats {
+        self.lock().stats()
+    }
+}
+
+impl<T: Copy + Default> SharedBufferPool<T> {
+    /// The pooled analogue of [`Cube::from_fn`]: builds the cube in a
+    /// recycled buffer. Element order (and therefore message bytes) is
+    /// identical to the allocating path.
+    pub fn take_cube(&self, shape: [usize; 3], f: impl FnMut(usize, usize, usize) -> T) -> Cube<T> {
+        let total = shape[0] * shape[1] * shape[2];
+        Cube::from_fn_in(shape, self.get(total), f)
+    }
+
+    /// Retires a consumed message cube, returning its backing buffer to
+    /// the pool.
+    pub fn recycle(&self, cube: Cube<T>) {
+        self.put(cube.into_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_reuses_allocation() {
+        let mut pool: BufferPool<f64> = BufferPool::new();
+        let mut a = pool.get(100);
+        a.resize(100, 1.0);
+        let ptr = a.as_ptr();
+        pool.put(a);
+        let b = pool.get(90); // same class (128)
+        assert_eq!(b.as_ptr(), ptr, "must reuse the retired buffer");
+        assert!(b.is_empty());
+        assert!(b.capacity() >= 90);
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses, s.returned), (1, 1, 1));
+    }
+
+    #[test]
+    fn different_classes_do_not_mix() {
+        let mut pool: BufferPool<u8> = BufferPool::new();
+        let small = pool.get(10);
+        pool.put(small);
+        // Class 16 cannot serve a request that needs 1024.
+        let big = pool.get(1000);
+        assert!(big.capacity() >= 1000);
+        assert_eq!(pool.stats().misses, 2);
+    }
+
+    #[test]
+    fn zero_capacity_requests_are_free() {
+        let mut pool: BufferPool<u8> = BufferPool::new();
+        let v = pool.get(0);
+        assert_eq!(v.capacity(), 0);
+        pool.put(v);
+        assert_eq!(pool.stats(), PoolStats::default());
+    }
+
+    #[test]
+    fn class_retention_is_bounded() {
+        let mut pool: BufferPool<u8> = BufferPool::new();
+        for _ in 0..(MAX_FREE_PER_CLASS + 5) {
+            pool.put(Vec::with_capacity(64));
+        }
+        assert_eq!(pool.free_buffers(), MAX_FREE_PER_CLASS);
+        assert_eq!(pool.stats().dropped, 5);
+    }
+
+    #[test]
+    fn shared_pool_recycles_cubes_across_clones() {
+        let pool: SharedBufferPool<f64> = SharedBufferPool::new();
+        let sender = pool.clone();
+        let cube = sender.take_cube([2, 3, 4], |i, j, k| (i + 10 * j + 100 * k) as f64);
+        let want = Cube::from_fn([2, 3, 4], |i, j, k| (i + 10 * j + 100 * k) as f64);
+        assert_eq!(cube, want, "pooled from_fn must match allocating from_fn");
+        pool.recycle(cube);
+        let again = sender.take_cube([2, 3, 3], |_, _, _| 0.0);
+        assert_eq!(again.shape(), [2, 3, 3]);
+        let s = pool.stats();
+        assert_eq!(s.hits, 1, "second take must hit the freelist");
+    }
+}

@@ -79,11 +79,7 @@ impl RedistPlan {
         dst_part: AxisPartition,
         perm: [usize; 3],
     ) -> Self {
-        let dst_shape = [
-            src_shape[perm[0]],
-            src_shape[perm[1]],
-            src_shape[perm[2]],
-        ];
+        let dst_shape = [src_shape[perm[0]], src_shape[perm[1]], src_shape[perm[2]]];
         assert_eq!(
             src_part.len(),
             src_shape[src_part.axis],
@@ -185,6 +181,28 @@ impl RedistPlan {
         local.extract_permuted(r[0].clone(), r[1].clone(), r[2].clone(), self.perm)
     }
 
+    /// Like [`RedistPlan::pack`] but drawing the message buffer from a
+    /// recycling pool: the steady-state pipeline's allocation-free pack
+    /// path. Byte-identical to [`RedistPlan::pack`].
+    pub fn pack_with<T: Copy + Default>(
+        &self,
+        block: &RedistBlock,
+        local: &Cube<T>,
+        pool: &crate::pool::SharedBufferPool<T>,
+    ) -> Cube<T> {
+        let own = self.src_part.range_of(block.src);
+        let mut r = block.src_ranges.clone();
+        r[self.src_part.axis] =
+            (r[self.src_part.axis].start - own.start)..(r[self.src_part.axis].end - own.start);
+        local.extract_permuted_into(
+            r[0].clone(),
+            r[1].clone(),
+            r[2].clone(),
+            self.perm,
+            pool.get(block.elements),
+        )
+    }
+
     /// Unpacks a received message into the receiver's local cube.
     pub fn unpack<T: Copy + Default>(
         &self,
@@ -193,6 +211,20 @@ impl RedistPlan {
         local: &mut Cube<T>,
     ) {
         local.place(block.dst_offset, message);
+    }
+
+    /// Unpacks a received message and retires its buffer to `pool` —
+    /// what a receiving node does with every consumed message so the
+    /// pool stays balanced.
+    pub fn unpack_recycling<T: Copy + Default>(
+        &self,
+        block: &RedistBlock,
+        message: Cube<T>,
+        local: &mut Cube<T>,
+        pool: &crate::pool::SharedBufferPool<T>,
+    ) {
+        local.place(block.dst_offset, &message);
+        pool.recycle(message);
     }
 }
 

@@ -21,12 +21,7 @@ pub struct CubeView<'a, T> {
 impl<'a, T: Copy + Default> CubeView<'a, T> {
     /// Creates a view of `parent` covering the given ranges. Panics when
     /// any range exceeds the parent's shape.
-    pub fn new(
-        parent: &'a Cube<T>,
-        r0: Range<usize>,
-        r1: Range<usize>,
-        r2: Range<usize>,
-    ) -> Self {
+    pub fn new(parent: &'a Cube<T>, r0: Range<usize>, r1: Range<usize>, r2: Range<usize>) -> Self {
         let ps = parent.shape();
         assert!(
             r0.end <= ps[0] && r1.end <= ps[1] && r2.end <= ps[2],
@@ -57,19 +52,13 @@ impl<'a, T: Copy + Default> CubeView<'a, T> {
     /// Element at view-relative coordinates.
     pub fn get(&self, i: usize, j: usize, k: usize) -> T {
         debug_assert!(i < self.shape[0] && j < self.shape[1] && k < self.shape[2]);
-        self.parent[(
-            self.origin[0] + i,
-            self.origin[1] + j,
-            self.origin[2] + k,
-        )]
+        self.parent[(self.origin[0] + i, self.origin[1] + j, self.origin[2] + k)]
     }
 
     /// The contiguous lane `view[i, j, ..]` as a slice of the parent.
     pub fn lane(&self, i: usize, j: usize) -> &'a [T] {
         debug_assert!(i < self.shape[0] && j < self.shape[1]);
-        let full = self
-            .parent
-            .lane(self.origin[0] + i, self.origin[1] + j);
+        let full = self.parent.lane(self.origin[0] + i, self.origin[1] + j);
         &full[self.origin[2]..self.origin[2] + self.shape[2]]
     }
 
@@ -155,10 +144,7 @@ mod tests {
         let c = numbered([2, 3, 4]);
         let v = c.full_view();
         let seen: Vec<(usize, usize)> = v.lanes().map(|(i, j, _)| (i, j)).collect();
-        assert_eq!(
-            seen,
-            vec![(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
-        );
+        assert_eq!(seen, vec![(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]);
         let total: f64 = v.lanes().map(|(_, _, l)| l.iter().sum::<f64>()).sum();
         assert_eq!(total, (24 * 25 / 2) as f64);
     }

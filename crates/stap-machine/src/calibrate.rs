@@ -9,9 +9,9 @@
 //! derivation (so the model can never silently drift from its stated
 //! provenance).
 
-use crate::model::NUM_TASKS;
 #[cfg(test)]
 use crate::model::Paragon;
+use crate::model::NUM_TASKS;
 
 /// Paper Table 1: flops per task.
 pub const PAPER_TABLE1_FLOPS: [u64; NUM_TASKS] = [
@@ -28,8 +28,7 @@ pub const PAPER_TABLE1_FLOPS: [u64; NUM_TASKS] = [
 pub const CASE3_NODES: [usize; NUM_TASKS] = [8, 4, 28, 4, 7, 4, 4];
 
 /// Paper Table 7, case 3: computation seconds per task.
-pub const CASE3_COMP_S: [f64; NUM_TASKS] =
-    [0.3509, 0.3254, 0.3265, 0.2529, 0.1636, 0.3067, 0.1723];
+pub const CASE3_COMP_S: [f64; NUM_TASKS] = [0.3509, 0.3254, 0.3265, 0.2529, 0.1636, 0.3067, 0.1723];
 
 /// Paper Table 7 / Table 2: the Doppler task's send time at 8 nodes
 /// (case 3), the strided-pack anchor.

@@ -95,7 +95,9 @@ pub fn solve_with_factor(l: &CMat, b: &CMat) -> CMat {
 pub fn sample_covariance(snapshots: &CMat, loading: f64) -> CMat {
     let n = snapshots.cols();
     let rows = snapshots.rows().max(1);
-    let mut r = snapshots.hermitian_matmul(snapshots).scale(1.0 / rows as f64);
+    let mut r = snapshots
+        .hermitian_matmul(snapshots)
+        .scale(1.0 / rows as f64);
     for i in 0..n {
         r[(i, i)] += Cx::real(loading);
     }
@@ -165,10 +167,7 @@ mod tests {
     fn indefinite_matrix_is_rejected() {
         let mut a = CMat::identity(3);
         a[(2, 2)] = Cx::real(-1.0);
-        assert_eq!(
-            cholesky(&a),
-            Err(CholeskyError::NotPositiveDefinite(2))
-        );
+        assert_eq!(cholesky(&a), Err(CholeskyError::NotPositiveDefinite(2)));
     }
 
     #[test]

@@ -11,11 +11,35 @@
 //!   radix-2 kernel, so the library accepts arbitrary CPI geometries even
 //!   though the paper's parameters (N = 128, K = 512) are powers of two.
 //!
+//! # Steady-state (allocation-free) API
+//!
+//! Transforms borrow all working storage from a caller-owned
+//! [`FftScratch`]: power-of-two plans above 8 points use an `n`-element
+//! staging buffer (the digit-reversal permutation is fused into the
+//! first butterfly stage as a gather into scratch, and the last stage
+//! writes back into the caller's buffer — no standalone permutation or
+//! copy pass), and Bluestein plans use `m` staging elements plus their
+//! inner plan's scratch. The scratch-taking entry points
+//! ([`Fft::forward_with_scratch`], [`Fft::run_with_scratch`], and the
+//! batched [`Fft::forward_lanes`] / [`Fft::run_lanes`]) reuse the
+//! workspace across calls, so the per-CPI hot loop performs zero heap
+//! allocations once the workspace is warm. The plain [`Fft::forward`] /
+//! [`Fft::inverse`] conveniences create a transient scratch internally
+//! (which allocates once per call for lengths above 8) — use the
+//! scratch-taking variants in hot paths.
+//!
+//! The batched lane API runs every contiguous `n`-length lane of a
+//! buffer through one plan — the Doppler task hands its whole
+//! `(k_local, 2J, N)` output cube to a single [`Fft::forward_lanes`]
+//! call, the pattern the Ooty correlator and FFTW's "many" plans use to
+//! amortize plan dispatch across a CPI.
+//!
 //! Flop accounting uses the conventional `5 n log2 n` per transform for
 //! radix-2 sizes (the same convention the paper's Table 1 is built on;
 //! inverse-transform normalization is folded into that figure). Bluestein
 //! transforms report the cost of their constituent radix-2 transforms plus
-//! the chirp multiplies.
+//! the chirp multiplies. Batched transforms count exactly `lanes` times
+//! the single-transform figure.
 
 use crate::complex::{Cx, ZERO};
 use crate::flops;
@@ -31,11 +55,50 @@ pub enum Direction {
     Inverse,
 }
 
+/// Reusable workspace for scratch-taking transforms.
+///
+/// One scratch serves any number of plans: it grows to the largest
+/// requirement it has seen and never shrinks, so steady-state reuse is
+/// allocation-free. Tiny power-of-two plans (n <= 8) need no scratch
+/// at all (the buffer stays empty).
+#[derive(Clone, Debug, Default)]
+pub struct FftScratch {
+    buf: Vec<Cx>,
+}
+
+impl FftScratch {
+    /// An empty workspace; it grows on first use.
+    pub fn new() -> Self {
+        FftScratch::default()
+    }
+
+    /// A workspace pre-sized for `plan` (so even the first transform is
+    /// allocation-free).
+    pub fn for_plan(plan: &Fft) -> Self {
+        let mut s = FftScratch::new();
+        s.reserve_for(plan);
+        s
+    }
+
+    /// Grows the workspace to fit `plan` without running a transform.
+    pub fn reserve_for(&mut self, plan: &Fft) {
+        let need = plan.scratch_len();
+        if self.buf.len() < need {
+            self.buf.resize(need, ZERO);
+        }
+    }
+
+    /// Current capacity in complex elements (for tests asserting reuse).
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+}
+
 /// A reusable FFT plan for a fixed length.
 ///
 /// Plans are cheap to clone (`Arc` internals) and safe to share across
-/// threads; each call scratches on the caller's buffer only, except
-/// Bluestein which allocates a scratch internally per call.
+/// threads; each call scratches on the caller's buffer (and, for
+/// Bluestein lengths, a caller-owned [`FftScratch`]) only.
 ///
 /// ```
 /// use stap_math::fft::Fft;
@@ -86,17 +149,16 @@ struct Bluestein {
 impl Fft {
     /// Builds a plan for length `n`. Panics when `n == 0`.
     ///
-    /// Powers of 4 use the radix-4 kernel (fewer twiddle multiplies per
-    /// output); other powers of two use radix-2; everything else falls
-    /// back to Bluestein.
+    /// Every power of two uses the mixed-radix kernel (radix-4 stages,
+    /// with one leading radix-2 stage when `log2 n` is odd — so the
+    /// paper's N = 128 and K = 512 both get the radix-4 butterflies);
+    /// everything else falls back to Bluestein.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "FFT length must be positive");
         let kind = if n == 1 {
             Kind::Identity
-        } else if n.is_power_of_two() && n.trailing_zeros() % 2 == 0 {
-            Kind::Radix4(Arc::new(Radix4::new(n)))
         } else if n.is_power_of_two() {
-            Kind::Radix2(Arc::new(Radix2::new(n)))
+            Kind::Radix4(Arc::new(Radix4::new(n)))
         } else {
             Kind::Bluestein(Arc::new(Bluestein::new(n)))
         };
@@ -123,7 +185,24 @@ impl Fft {
         false
     }
 
+    /// Scratch elements one transform of this plan needs: `n` for
+    /// mixed-radix power-of-two lengths above 8 (the gather-fused first
+    /// stage writes into scratch and the last stage writes back), 0 for
+    /// tiny powers of two (n <= 8, done fully in place) and the
+    /// benchmark radix-2 kernel, and `m` plus the inner plan's scratch
+    /// for Bluestein.
+    pub fn scratch_len(&self) -> usize {
+        match &self.kind {
+            Kind::Radix4(r) => r.scratch_len(),
+            Kind::Bluestein(b) => b.m + b.inner.scratch_len(),
+            _ => 0,
+        }
+    }
+
     /// In-place forward DFT. Panics when `data.len() != self.len()`.
+    ///
+    /// Convenience wrapper around [`Fft::forward_with_scratch`] using a
+    /// transient scratch (allocates for Bluestein lengths only).
     pub fn forward(&self, data: &mut [Cx]) {
         self.run(data, Direction::Forward);
     }
@@ -133,8 +212,25 @@ impl Fft {
         self.run(data, Direction::Inverse);
     }
 
-    /// In-place transform in the given direction.
+    /// In-place transform in the given direction (transient scratch).
     pub fn run(&self, data: &mut [Cx], dir: Direction) {
+        let mut scratch = FftScratch::new();
+        self.run_with_scratch(data, dir, &mut scratch);
+    }
+
+    /// In-place forward DFT reusing `scratch` — the allocation-free
+    /// steady-state entry point.
+    pub fn forward_with_scratch(&self, data: &mut [Cx], scratch: &mut FftScratch) {
+        self.run_with_scratch(data, Direction::Forward, scratch);
+    }
+
+    /// In-place inverse DFT reusing `scratch`.
+    pub fn inverse_with_scratch(&self, data: &mut [Cx], scratch: &mut FftScratch) {
+        self.run_with_scratch(data, Direction::Inverse, scratch);
+    }
+
+    /// In-place transform in the given direction, reusing `scratch`.
+    pub fn run_with_scratch(&self, data: &mut [Cx], dir: Direction, scratch: &mut FftScratch) {
         assert_eq!(
             data.len(),
             self.n,
@@ -142,18 +238,68 @@ impl Fft {
             data.len(),
             self.n
         );
+        self.run_one(data, dir, scratch);
+        self.count_one();
+    }
+
+    /// Batched in-place forward DFT over every contiguous `n`-length
+    /// lane of `data`. Panics unless `data.len()` is a multiple of the
+    /// plan length. Equivalent to (and bit-identical with) calling
+    /// [`Fft::forward_with_scratch`] on each lane.
+    pub fn forward_lanes(&self, data: &mut [Cx], scratch: &mut FftScratch) {
+        self.run_lanes(data, Direction::Forward, scratch);
+    }
+
+    /// Batched in-place inverse DFT over every contiguous lane.
+    pub fn inverse_lanes(&self, data: &mut [Cx], scratch: &mut FftScratch) {
+        self.run_lanes(data, Direction::Inverse, scratch);
+    }
+
+    /// Batched in-place transform over every contiguous `n`-length lane.
+    pub fn run_lanes(&self, data: &mut [Cx], dir: Direction, scratch: &mut FftScratch) {
+        assert_eq!(
+            data.len() % self.n,
+            0,
+            "buffer length {} is not a multiple of plan length {}",
+            data.len(),
+            self.n
+        );
+        let lanes = data.len() / self.n;
+        for lane in data.chunks_exact_mut(self.n) {
+            self.run_one(lane, dir, scratch);
+        }
+        self.count_many(lanes as u64);
+    }
+
+    /// One transform, no flop accounting (callers batch the accounting).
+    #[inline]
+    fn run_one(&self, data: &mut [Cx], dir: Direction, scratch: &mut FftScratch) {
+        scratch.reserve_for(self);
+        let s = &mut scratch.buf[..self.scratch_len()];
         match &self.kind {
             Kind::Identity => {}
-            Kind::Radix2(r) => {
-                r.run(data, dir);
-                flops::add(5 * self.n as u64 * r.log2n as u64);
-            }
-            Kind::Radix4(r) => {
-                r.run(data, dir);
-                // Same nominal accounting convention as radix-2.
-                flops::add(5 * self.n as u64 * r.log2n as u64);
-            }
-            Kind::Bluestein(b) => b.run(data, dir),
+            Kind::Radix2(r) => r.run(data, dir),
+            Kind::Radix4(r) => r.run(data, dir, s),
+            Kind::Bluestein(b) => b.run(data, dir, s),
+        }
+    }
+
+    /// Flop accounting for one transform. Bluestein accounts for itself
+    /// inside [`Bluestein::run`] (chirp multiplies plus the two inner
+    /// transforms sum to exactly `nominal_flops`), so it is a no-op here.
+    #[inline]
+    fn count_one(&self) {
+        self.count_many(1);
+    }
+
+    #[inline]
+    fn count_many(&self, lanes: u64) {
+        match &self.kind {
+            Kind::Identity => {}
+            Kind::Radix2(r) => flops::add(lanes * 5 * self.n as u64 * r.log2n as u64),
+            Kind::Radix4(r) => flops::add(lanes * 5 * self.n as u64 * r.log2n as u64),
+            // Counted per call inside `Bluestein::run`.
+            Kind::Bluestein(_) => {}
         }
     }
 
@@ -195,41 +341,58 @@ impl Radix2 {
         }
     }
 
-    fn run(&self, data: &mut [Cx], dir: Direction) {
-        let n = data.len();
-        // Bit-reversal permutation.
-        for i in 0..n {
+    #[inline]
+    fn bit_reverse(&self, data: &mut [Cx]) {
+        for i in 0..data.len() {
             let j = self.rev[i] as usize;
             if i < j {
                 data.swap(i, j);
             }
         }
-        // Butterfly stages; twiddles for stage with half-size h start at
-        // offset h-1 (1 + 2 + ... + h/2 = h - 1).
-        let mut h = 1usize;
+    }
+
+    fn run(&self, data: &mut [Cx], dir: Direction) {
+        match dir {
+            Direction::Forward => self.stages::<false>(data),
+            Direction::Inverse => {
+                self.stages::<true>(data);
+                let s = 1.0 / data.len() as f64;
+                for x in data.iter_mut() {
+                    *x = x.scale(s);
+                }
+            }
+        }
+    }
+
+    /// All butterfly stages; the direction is a compile-time parameter
+    /// so the twiddle-conjugation branch is hoisted out of the loops.
+    fn stages<const INV: bool>(&self, data: &mut [Cx]) {
+        let n = data.len();
+        self.bit_reverse(data);
+        // First stage (half-size 1): the twiddle is exactly 1, so the
+        // butterflies are pure add/subtract on adjacent pairs.
+        for pair in data.chunks_exact_mut(2) {
+            let a = pair[0];
+            let b = pair[1];
+            pair[0] = a + b;
+            pair[1] = a - b;
+        }
+        // Remaining stages; twiddles for half-size h start at offset
+        // h-1 (1 + 2 + ... + h/2 = h - 1).
+        let mut h = 2usize;
         while h < n {
             let tw = &self.twiddles[h - 1..2 * h - 1];
-            let mut base = 0usize;
-            while base < n {
-                for k in 0..h {
-                    let w = match dir {
-                        Direction::Forward => tw[k],
-                        Direction::Inverse => tw[k].conj(),
-                    };
-                    let a = data[base + k];
-                    let b = data[base + k + h] * w;
-                    data[base + k] = a + b;
-                    data[base + k + h] = a - b;
+            for chunk in data.chunks_exact_mut(2 * h) {
+                let (lo, hi) = chunk.split_at_mut(h);
+                for ((x, y), &w0) in lo.iter_mut().zip(hi.iter_mut()).zip(tw) {
+                    let w = if INV { w0.conj() } else { w0 };
+                    let a = *x;
+                    let b = *y * w;
+                    *x = a + b;
+                    *y = a - b;
                 }
-                base += 2 * h;
             }
             h *= 2;
-        }
-        if dir == Direction::Inverse {
-            let s = 1.0 / n as f64;
-            for x in data.iter_mut() {
-                *x = x.scale(s);
-            }
         }
     }
 }
@@ -252,7 +415,8 @@ impl Bluestein {
             b[k] = chirp[k].conj();
             b[m - k] = chirp[k].conj();
         }
-        inner.run(&mut b, Direction::Forward);
+        // Plan construction counts no flops (plans are built once).
+        let (_, _setup_flops) = flops::count(|| inner.run(&mut b, Direction::Forward));
         Bluestein {
             chirp,
             bfft: b,
@@ -261,20 +425,23 @@ impl Bluestein {
         }
     }
 
-    fn run(&self, data: &mut [Cx], dir: Direction) {
+    /// One chirp-Z transform using the caller's pre-sized scratch slice
+    /// (`m` staging elements followed by the inner plan's scratch).
+    fn run(&self, data: &mut [Cx], dir: Direction, scratch: &mut [Cx]) {
         let n = data.len();
         // For the inverse transform, conjugate in, conjugate out, divide by n.
         let conj_io = dir == Direction::Inverse;
-        let mut a = vec![ZERO; self.m];
+        let (a, inner_scratch) = scratch.split_at_mut(self.m);
+        a.fill(ZERO);
         for k in 0..n {
             let x = if conj_io { data[k].conj() } else { data[k] };
             a[k] = x * self.chirp[k];
         }
-        self.inner.run(&mut a, Direction::Forward);
+        self.inner_run(a, Direction::Forward, inner_scratch);
         for (x, b) in a.iter_mut().zip(self.bfft.iter()) {
             *x = *x * *b;
         }
-        self.inner.run(&mut a, Direction::Inverse);
+        self.inner_run(a, Direction::Inverse, inner_scratch);
         for k in 0..n {
             let y = a[k] * self.chirp[k];
             data[k] = if conj_io {
@@ -285,101 +452,378 @@ impl Bluestein {
         }
         flops::add(3 * n as u64 * flops::CMUL + self.m as u64 * flops::CMUL);
     }
+
+    /// Inner power-of-two transform with its own flop accounting (these
+    /// are the "two inner transforms" in `nominal_flops`).
+    #[inline]
+    fn inner_run(&self, data: &mut [Cx], dir: Direction, scratch: &mut [Cx]) {
+        match &self.inner.kind {
+            Kind::Radix2(r) => {
+                r.run(data, dir);
+                flops::add(5 * self.m as u64 * r.log2n as u64);
+            }
+            Kind::Radix4(r) => {
+                r.run(data, dir, scratch);
+                flops::add(5 * self.m as u64 * r.log2n as u64);
+            }
+            _ => unreachable!("Bluestein inner plan is always a power of two > 1"),
+        }
+    }
 }
 
 struct Radix4 {
-    /// Base-4-digit-reversal permutation.
-    rev: Vec<u32>,
-    /// Per-stage first-power twiddles `w^k = e^{-2 pi i k / (4h)}`,
-    /// one table per butterfly stage (quarter-sizes 1, 4, 16, ...).
-    twiddles: Vec<Vec<Cx>>,
+    /// Gather indices of the mixed digit-reversal permutation:
+    /// `src[p]` is the *input* position of the element the first
+    /// butterfly stage reads at permuted position `p`. Instead of a
+    /// separate in-place permutation pass (random read-modify-write
+    /// swaps) the first stage gathers its inputs through this table and
+    /// writes its outputs sequentially into the scratch buffer — the
+    /// permutation rides along for free. Empty for single-stage plans
+    /// (n <= 8), whose digit reversal is the identity.
+    ///
+    /// The stage factor sequence is `[8, 4, 4, ...]` for odd
+    /// `log2 n >= 3` (a twiddle-free 8-point first stage absorbs the
+    /// odd power — one memory pass and 4 real multiplies per group,
+    /// versus a whole extra radix-2 pass; the paper's N = 128 and
+    /// K = 512 are both odd powers, so this is their hot path),
+    /// `[4, 4, ...]` for even `log2 n`, and `[2]` for n = 2.
+    src: Vec<u32>,
+    /// Per-radix-4-stage twiddle triples `[w^k, w^2k, w^3k]` with
+    /// `w = e^{-2 pi i / 4h}`, one table per non-trivial butterfly
+    /// stage (quarter-sizes `first_h`, `4 first_h`, ...). Precomputing
+    /// the squared and cubed factors saves two complex multiplies per
+    /// butterfly.
+    stages: Vec<Vec<[Cx; 3]>>,
+    /// Quarter-size of the first tabled radix-4 stage: equals the first
+    /// stage's factor (2, 4, or 8).
+    first_h: usize,
+    /// First-stage factor: 2 (n = 2 only), 4 (even log2 n), or 8 (odd
+    /// log2 n >= 3).
+    first: usize,
+    n: usize,
     log2n: u32,
 }
 
 impl Radix4 {
     fn new(n: usize) -> Self {
         let log2n = n.trailing_zeros();
-        debug_assert_eq!(log2n % 2, 0, "n must be a power of 4");
-        let pairs = log2n / 2;
-        let mut rev = vec![0u32; n];
-        for (i, r) in rev.iter_mut().enumerate() {
-            // Reverse base-4 digits of i.
-            let mut x = i as u32;
-            let mut y = 0u32;
-            for _ in 0..pairs {
-                y = (y << 2) | (x & 3);
-                x >>= 2;
-            }
-            *r = y;
+        let odd = log2n % 2 == 1;
+        // Stage factors, first stage first.
+        let mut factors: Vec<usize> = Vec::new();
+        let first = if n == 2 {
+            2
+        } else if odd {
+            8
+        } else {
+            4
+        };
+        factors.push(first);
+        let remaining = log2n as usize - first.trailing_zeros() as usize;
+        for _ in 0..remaining / 2 {
+            factors.push(4);
         }
-        let mut twiddles = Vec::new();
-        let mut h = 1usize;
+        // Mixed digit-reversal: element i moves to position rev(i),
+        // where the most significant output digit is `i % f_last`
+        // (each DIT stage's sub-sequences are the residues mod its
+        // factor, taken outermost-last). Stored inverted as a gather
+        // table: src[rev(i)] = i.
+        let mut src = vec![0u32; n];
+        for i in 0..n {
+            let mut acc = 0usize;
+            let mut x = i;
+            let mut block = n;
+            for &f in factors.iter().rev() {
+                block /= f;
+                acc += (x % f) * block;
+                x /= f;
+            }
+            src[acc] = i as u32;
+        }
+        // Single-stage plans (one factor) have the identity permutation
+        // and run fully in place; drop the table.
+        if factors.len() == 1 {
+            debug_assert!(src.iter().enumerate().all(|(p, &s)| p == s as usize));
+            src.clear();
+        }
+        // Twiddle tables for the radix-4 stages with non-trivial
+        // twiddles (the first stage — radix-2, -4 or -8 — needs no
+        // table and is specialized in `butterflies`).
+        let first_h = first;
+        let mut stages = Vec::new();
+        let mut h = first_h;
         while 4 * h <= n {
             let step = 4 * h;
-            twiddles.push(
+            stages.push(
                 (0..h)
-                    .map(|k| Cx::cis(-2.0 * PI * k as f64 / step as f64))
+                    .map(|k| {
+                        let w1 = Cx::cis(-2.0 * PI * k as f64 / step as f64);
+                        let w2 = w1 * w1;
+                        let w3 = w2 * w1;
+                        [w1, w2, w3]
+                    })
                     .collect(),
             );
             h = step;
         }
         Radix4 {
-            rev,
-            twiddles,
+            src,
+            stages,
+            first_h,
+            first,
+            n,
             log2n,
         }
     }
 
-    fn run(&self, data: &mut [Cx], dir: Direction) {
-        let n = data.len();
-        for i in 0..n {
-            let j = self.rev[i] as usize;
-            if i < j {
-                data.swap(i, j);
+    /// Scratch elements one transform needs: `n` for multi-stage plans
+    /// (the first stage gathers into scratch, the last writes back into
+    /// the caller's buffer), 0 for single-stage plans (n <= 8).
+    fn scratch_len(&self) -> usize {
+        if self.stages.is_empty() {
+            0
+        } else {
+            self.n
+        }
+    }
+
+    fn run(&self, data: &mut [Cx], dir: Direction, scratch: &mut [Cx]) {
+        match dir {
+            Direction::Forward => self.butterflies::<false>(data, scratch),
+            Direction::Inverse => {
+                self.butterflies::<true>(data, scratch);
+                let s = 1.0 / data.len() as f64;
+                for x in data.iter_mut() {
+                    *x = x.scale(s);
+                }
             }
         }
-        // Decimation-in-time radix-4 butterflies. The -i factor flips
-        // sign for the inverse transform.
-        let minus_i = match dir {
-            Direction::Forward => Cx::new(0.0, -1.0),
-            Direction::Inverse => Cx::new(0.0, 1.0),
-        };
-        let mut h = 1usize; // quarter-size of the current butterfly
-        let mut stage = 0usize;
-        while 4 * h <= n {
+    }
+
+    /// Multiplies by `-i` (forward) or `+i` (inverse) as a swap/negate —
+    /// a complex multiply by an exact axis rotation is just component
+    /// shuffling, saving one full multiply per radix-4 butterfly (the
+    /// results are identical up to the sign of zeros).
+    #[inline(always)]
+    fn rot90<const INV: bool>(x: Cx) -> Cx {
+        if INV {
+            Cx::new(-x.im, x.re)
+        } else {
+            Cx::new(x.im, -x.re)
+        }
+    }
+
+    /// Multiplies by `e^{-i pi / 4}` (forward) or its conjugate
+    /// (inverse): the only non-trivial twiddle of the 8-point first
+    /// stage, costing 2 real multiplies instead of a full complex one.
+    #[inline(always)]
+    fn w8<const INV: bool>(x: Cx) -> Cx {
+        const S: f64 = std::f64::consts::FRAC_1_SQRT_2;
+        if INV {
+            // (s + i s)(re + i im) = s (re - im) + i s (re + im)
+            Cx::new(S * (x.re - x.im), S * (x.re + x.im))
+        } else {
+            // (s - i s)(re + i im) = s (re + im) + i s (im - re)
+            Cx::new(S * (x.re + x.im), S * (x.im - x.re))
+        }
+    }
+
+    /// 4-point DFT of `(a, b, c, d)` in natural order (no twiddles).
+    #[inline(always)]
+    fn dft4<const INV: bool>(a: Cx, b: Cx, c: Cx, d: Cx) -> [Cx; 4] {
+        let apc = a + c;
+        let amc = a - c;
+        let bpd = b + d;
+        let bmd = Self::rot90::<INV>(b - d);
+        [apc + bpd, amc + bmd, apc - bpd, amc - bmd]
+    }
+
+    /// The twiddle-free first stage in place on `data` — radix-2 pairs
+    /// (n = 2), radix-4 quads (even log2 n), or full 8-point DFTs (odd
+    /// log2 n, the paper's N = 128 / K = 512 path) whose only
+    /// non-trivial factors are +-i and e^{-i pi/4}. Used for
+    /// single-stage plans (n <= 8), where the digit reversal is the
+    /// identity and no scratch is needed.
+    fn first_stage_in_place<const INV: bool>(&self, data: &mut [Cx]) {
+        match self.first {
+            2 => {
+                for pair in data.chunks_exact_mut(2) {
+                    let a = pair[0];
+                    let b = pair[1];
+                    pair[0] = a + b;
+                    pair[1] = a - b;
+                }
+            }
+            4 => {
+                for q in data.chunks_exact_mut(4) {
+                    let [y0, y1, y2, y3] = Self::dft4::<INV>(q[0], q[1], q[2], q[3]);
+                    q[0] = y0;
+                    q[1] = y1;
+                    q[2] = y2;
+                    q[3] = y3;
+                }
+            }
+            _ => {
+                for g in data.chunks_exact_mut(8) {
+                    let [y0, y1, y2, y3, y4, y5, y6, y7] =
+                        Self::dft8::<INV>([g[0], g[1], g[2], g[3], g[4], g[5], g[6], g[7]]);
+                    g[0] = y0;
+                    g[1] = y1;
+                    g[2] = y2;
+                    g[3] = y3;
+                    g[4] = y4;
+                    g[5] = y5;
+                    g[6] = y6;
+                    g[7] = y7;
+                }
+            }
+        }
+    }
+
+    /// 8-point DFT of naturally-ordered inputs:
+    /// `X[k] = E[k] + w8^k O[k]`, `X[k + 4] = E[k] - w8^k O[k]` with
+    /// E/O the 4-point DFTs of the even/odd samples, `w8^1 = e^{-i pi/4}`,
+    /// `w8^2 = -i`, `w8^3 = -i w8^1` — 4 real multiplies total.
+    #[inline(always)]
+    fn dft8<const INV: bool>(g: [Cx; 8]) -> [Cx; 8] {
+        let e = Self::dft4::<INV>(g[0], g[2], g[4], g[6]);
+        let o = Self::dft4::<INV>(g[1], g[3], g[5], g[7]);
+        let t0 = o[0];
+        let t1 = Self::w8::<INV>(o[1]);
+        let t2 = Self::rot90::<INV>(o[2]);
+        let t3 = Self::rot90::<INV>(Self::w8::<INV>(o[3]));
+        [
+            e[0] + t0,
+            e[1] + t1,
+            e[2] + t2,
+            e[3] + t3,
+            e[0] - t0,
+            e[1] - t1,
+            e[2] - t2,
+            e[3] - t3,
+        ]
+    }
+
+    /// Decimation-in-time butterflies; direction is a compile-time
+    /// parameter (the -i factor flips sign and twiddles conjugate for
+    /// the inverse transform).
+    ///
+    /// Multi-stage plans never run a standalone permutation pass: the
+    /// first stage gathers its inputs through `src` (absorbing the
+    /// digit reversal) and writes sequentially into `scratch`, the
+    /// middle stages run in place on `scratch`, and the last stage
+    /// reads `scratch` while writing its outputs into the caller's
+    /// buffer — the data lands back in `data` without a copy pass.
+    fn butterflies<const INV: bool>(&self, data: &mut [Cx], scratch: &mut [Cx]) {
+        if self.stages.is_empty() {
+            // n <= 8: identity permutation, single twiddle-free stage.
+            self.first_stage_in_place::<INV>(data);
+            return;
+        }
+        let scratch = &mut scratch[..self.n];
+        // First stage, fused with the digit-reversal gather.
+        match self.first {
+            4 => {
+                for (q, idx) in scratch.chunks_exact_mut(4).zip(self.src.chunks_exact(4)) {
+                    let [y0, y1, y2, y3] = Self::dft4::<INV>(
+                        data[idx[0] as usize],
+                        data[idx[1] as usize],
+                        data[idx[2] as usize],
+                        data[idx[3] as usize],
+                    );
+                    q[0] = y0;
+                    q[1] = y1;
+                    q[2] = y2;
+                    q[3] = y3;
+                }
+            }
+            _ => {
+                for (g, idx) in scratch.chunks_exact_mut(8).zip(self.src.chunks_exact(8)) {
+                    let y = Self::dft8::<INV>([
+                        data[idx[0] as usize],
+                        data[idx[1] as usize],
+                        data[idx[2] as usize],
+                        data[idx[3] as usize],
+                        data[idx[4] as usize],
+                        data[idx[5] as usize],
+                        data[idx[6] as usize],
+                        data[idx[7] as usize],
+                    ]);
+                    g.copy_from_slice(&y);
+                }
+            }
+        }
+        // Middle radix-4 stages with tabled twiddles, in place on
+        // scratch. Iterator zips (rather than indexed loops) let the
+        // compiler drop the bounds checks in the innermost butterfly.
+        let (middle, lastv) = self.stages.split_at(self.stages.len() - 1);
+        let mut h = self.first_h;
+        for tw in middle {
             let step = 4 * h;
-            let tw = &self.twiddles[stage];
-            for base in (0..n).step_by(step) {
-                for k in 0..h {
-                    // twiddles: w^k, w^2k, w^3k (w2/w3 derived by one
-                    // complex multiply each from the table entry).
-                    let w1 = match dir {
-                        Direction::Forward => tw[k],
-                        Direction::Inverse => tw[k].conj(),
+            for chunk in scratch.chunks_exact_mut(step) {
+                let (q01, q23) = chunk.split_at_mut(2 * h);
+                let (q0, q1) = q01.split_at_mut(h);
+                let (q2, q3) = q23.split_at_mut(h);
+                let it = q0
+                    .iter_mut()
+                    .zip(q1.iter_mut())
+                    .zip(q2.iter_mut())
+                    .zip(q3.iter_mut())
+                    .zip(tw.iter());
+                for ((((x0, x1), x2), x3), &[w1, w2, w3]) in it {
+                    let (w1, w2, w3) = if INV {
+                        (w1.conj(), w2.conj(), w3.conj())
+                    } else {
+                        (w1, w2, w3)
                     };
-                    let w2 = w1 * w1;
-                    let w3 = w2 * w1;
-                    let a = data[base + k];
-                    let b = data[base + k + h] * w1;
-                    let c = data[base + k + 2 * h] * w2;
-                    let d = data[base + k + 3 * h] * w3;
+                    let a = *x0;
+                    let b = *x1 * w1;
+                    let c = *x2 * w2;
+                    let d = *x3 * w3;
                     let apc = a + c;
                     let amc = a - c;
                     let bpd = b + d;
-                    let bmd = (b - d) * minus_i;
-                    data[base + k] = apc + bpd;
-                    data[base + k + h] = amc + bmd;
-                    data[base + k + 2 * h] = apc - bpd;
-                    data[base + k + 3 * h] = amc - bmd;
+                    let bmd = Self::rot90::<INV>(b - d);
+                    *x0 = apc + bpd;
+                    *x1 = amc + bmd;
+                    *x2 = apc - bpd;
+                    *x3 = amc - bmd;
                 }
             }
             h = step;
-            stage += 1;
         }
-        if dir == Direction::Inverse {
-            let s = 1.0 / n as f64;
-            for x in data.iter_mut() {
-                *x = x.scale(s);
+        // Last stage out of place: read scratch, write the caller's
+        // buffer.
+        let tw = &lastv[0];
+        let step = 4 * h;
+        for (dst, srcc) in data.chunks_exact_mut(step).zip(scratch.chunks_exact(step)) {
+            let (s01, s23) = srcc.split_at(2 * h);
+            let (s0, s1) = s01.split_at(h);
+            let (s2, s3) = s23.split_at(h);
+            let (d01, d23) = dst.split_at_mut(2 * h);
+            let (d0, d1) = d01.split_at_mut(h);
+            let (d2, d3) = d23.split_at_mut(h);
+            let srcs = s0.iter().zip(s1).zip(s2).zip(s3);
+            let dsts = d0.iter_mut().zip(d1).zip(d2).zip(d3);
+            for (((((y0, y1), y2), y3), (((x0, x1), x2), x3)), &[w1, w2, w3]) in
+                dsts.zip(srcs).zip(tw.iter())
+            {
+                let (w1, w2, w3) = if INV {
+                    (w1.conj(), w2.conj(), w3.conj())
+                } else {
+                    (w1, w2, w3)
+                };
+                let a = *x0;
+                let b = *x1 * w1;
+                let c = *x2 * w2;
+                let d = *x3 * w3;
+                let apc = a + c;
+                let amc = a - c;
+                let bpd = b + d;
+                let bmd = Self::rot90::<INV>(b - d);
+                *y0 = apc + bpd;
+                *y1 = amc + bmd;
+                *y2 = apc - bpd;
+                *y3 = amc - bmd;
             }
         }
     }
@@ -532,6 +976,30 @@ mod tests {
     }
 
     #[test]
+    fn flop_count_identical_for_scratch_and_batched_paths() {
+        let n = 128;
+        let lanes = 6;
+        let plan = Fft::new(n);
+        let mut scratch = FftScratch::for_plan(&plan);
+        let mut x = ramp(n);
+        let ((), one) = flops::count(|| plan.forward_with_scratch(&mut x, &mut scratch));
+        assert_eq!(one, plan.nominal_flops());
+        let mut many = ramp(n * lanes);
+        let ((), batched) = flops::count(|| plan.forward_lanes(&mut many, &mut scratch));
+        assert_eq!(batched, lanes as u64 * plan.nominal_flops());
+    }
+
+    #[test]
+    fn bluestein_flop_count_matches_nominal() {
+        let n = 100;
+        let plan = Fft::new(n);
+        let mut scratch = FftScratch::for_plan(&plan);
+        let mut x = ramp(n);
+        let ((), counted) = flops::count(|| plan.forward_with_scratch(&mut x, &mut scratch));
+        assert_eq!(counted, plan.nominal_flops());
+    }
+
+    #[test]
     #[should_panic(expected = "does not match plan length")]
     fn length_mismatch_panics() {
         let plan = Fft::new(8);
@@ -573,5 +1041,101 @@ mod tests {
         plan.forward(&mut x);
         plan.inverse(&mut x);
         assert!(x[0].approx_eq(Cx::new(3.0, -2.0), 1e-15));
+    }
+
+    #[test]
+    fn scratch_path_is_bit_identical_to_plain_path() {
+        for n in [2usize, 8, 64, 128, 100, 37] {
+            let plan = Fft::new(n);
+            let mut scratch = FftScratch::new();
+            for dir in [Direction::Forward, Direction::Inverse] {
+                let x = ramp(n);
+                let mut a = x.clone();
+                let mut b = x.clone();
+                plan.run(&mut a, dir);
+                plan.run_with_scratch(&mut b, dir, &mut scratch);
+                assert_eq!(
+                    a.iter()
+                        .map(|v| (v.re.to_bits(), v.im.to_bits()))
+                        .collect::<Vec<_>>(),
+                    b.iter()
+                        .map(|v| (v.re.to_bits(), v.im.to_bits()))
+                        .collect::<Vec<_>>(),
+                    "n={n} dir={dir:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_lanes_bit_identical_to_per_lane_calls() {
+        for n in [8usize, 128, 60] {
+            let lanes = 5;
+            let plan = Fft::new(n);
+            let mut scratch = FftScratch::new();
+            let data = ramp(n * lanes);
+            let mut batched = data.clone();
+            plan.forward_lanes(&mut batched, &mut scratch);
+            let mut per_lane = data.clone();
+            for lane in per_lane.chunks_exact_mut(n) {
+                plan.forward_with_scratch(lane, &mut scratch);
+            }
+            let bits = |v: &[Cx]| {
+                v.iter()
+                    .map(|x| (x.re.to_bits(), x.im.to_bits()))
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(bits(&batched), bits(&per_lane), "n={n}");
+        }
+    }
+
+    #[test]
+    fn bluestein_scratch_is_reused_across_calls() {
+        // The documented wart ("allocates a scratch internally per
+        // call") is gone: repeated transforms through one workspace
+        // never grow it after the first call.
+        let n = 100; // not a power of two -> Bluestein
+        let plan = Fft::new(n);
+        assert!(plan.scratch_len() > 0);
+        let mut scratch = FftScratch::new();
+        let mut x = ramp(n);
+        plan.forward_with_scratch(&mut x, &mut scratch);
+        let cap_after_first = scratch.capacity();
+        assert!(cap_after_first >= plan.scratch_len());
+        for _ in 0..50 {
+            plan.forward_with_scratch(&mut x, &mut scratch);
+            plan.inverse_with_scratch(&mut x, &mut scratch);
+        }
+        assert_eq!(
+            scratch.capacity(),
+            cap_after_first,
+            "scratch reallocated during steady state"
+        );
+    }
+
+    #[test]
+    fn one_scratch_serves_many_plans() {
+        let plans: Vec<Fft> = [100usize, 37, 128, 250]
+            .iter()
+            .map(|&n| Fft::new(n))
+            .collect();
+        let mut scratch = FftScratch::new();
+        for plan in &plans {
+            let mut x = ramp(plan.len());
+            plan.forward_with_scratch(&mut x, &mut scratch);
+            let want = dft_naive(&ramp(plan.len()), Direction::Forward);
+            assert!(max_err(&x, &want) < 1e-7 * plan.len() as f64);
+        }
+    }
+
+    #[test]
+    fn presized_scratch_covers_plan() {
+        let plan = Fft::new(77);
+        let s = FftScratch::for_plan(&plan);
+        assert!(s.capacity() >= plan.scratch_len());
+        let s2 = FftScratch::for_plan(&Fft::new(64));
+        assert!(s2.capacity() >= 64); // pow2 stages into an n-slot scratch
+        let s3 = FftScratch::for_plan(&Fft::new(8));
+        assert_eq!(s3.capacity(), 0); // tiny pow2 runs fully in place
     }
 }

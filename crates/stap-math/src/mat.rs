@@ -166,12 +166,21 @@ impl CMat {
 
     /// `self^H * rhs` without materializing the transpose.
     pub fn hermitian_matmul(&self, rhs: &CMat) -> CMat {
+        let mut out = CMat::zeros(self.cols, rhs.cols);
+        self.hermitian_matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// `out = self^H * rhs`, reusing `out`'s storage (the steady-state
+    /// beamforming kernel: one workspace matrix serves every bin).
+    pub fn hermitian_matmul_into(&self, rhs: &CMat, out: &mut CMat) {
         assert_eq!(
             self.rows, rhs.rows,
             "hermitian_matmul row dimensions {} vs {}",
             self.rows, rhs.rows
         );
-        let mut out = CMat::zeros(self.cols, rhs.cols);
+        assert_eq!(out.shape(), (self.cols, rhs.cols), "output shape mismatch");
+        out.data.fill(ZERO);
         for k in 0..self.rows {
             let arow = self.row(k);
             let brow = rhs.row(k);
@@ -184,7 +193,18 @@ impl CMat {
             }
         }
         flops::add(flops::CMAC * (self.rows * self.cols * rhs.cols) as u64);
-        out
+    }
+
+    /// Overwrites every element with `f(row, col)` without reallocating
+    /// (the workspace counterpart of [`CMat::from_fn`]).
+    pub fn fill_from_fn(&mut self, mut f: impl FnMut(usize, usize) -> Cx) {
+        for i in 0..self.rows {
+            let cols = self.cols;
+            let row = self.row_mut(i);
+            for (j, v) in row.iter_mut().enumerate().take(cols) {
+                *v = f(i, j);
+            }
+        }
     }
 
     /// Matrix-vector product `self * x`.
@@ -326,7 +346,10 @@ mod tests {
 
     fn sample(rows: usize, cols: usize) -> CMat {
         CMat::from_fn(rows, cols, |i, j| {
-            Cx::new((i * cols + j) as f64 * 0.5 - 1.0, (i as f64 - j as f64) * 0.25)
+            Cx::new(
+                (i * cols + j) as f64 * 0.5 - 1.0,
+                (i as f64 - j as f64) * 0.25,
+            )
         })
     }
 

@@ -65,7 +65,10 @@ pub fn qr_update(r_old: &CMat, forget: f64, new_rows: &CMat) -> CMat {
     // be upper triangular.
     let n = r_old.rows();
     let cols = r_old.cols();
-    assert!(cols >= n, "r_old must have at least as many columns as rows");
+    assert!(
+        cols >= n,
+        "r_old must have at least as many columns as rows"
+    );
     assert_eq!(new_rows.cols(), cols, "new_rows column mismatch");
     let s = new_rows.rows();
 

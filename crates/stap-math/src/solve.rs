@@ -50,11 +50,7 @@ pub fn lstsq(a: &CMat, b: &CMat) -> CMat {
 /// result columns are normalized to unit length, matching the MATLAB
 /// reference (`wts / sqrt(wts' * wts)`).
 pub fn constrained_lstsq(data: &CMat, constraint: &CMat, k: f64, steering: &CMat) -> CMat {
-    assert_eq!(
-        constraint.cols(),
-        data.cols(),
-        "constraint column mismatch"
-    );
+    assert_eq!(constraint.cols(), data.cols(), "constraint column mismatch");
     assert_eq!(
         steering.rows(),
         constraint.rows(),
@@ -121,7 +117,10 @@ pub fn constrained_lstsq_from_r(r: &CMat, constraint: &CMat, k: f64, steering: &
 /// Scales every column to unit Euclidean length (zero columns unchanged).
 pub fn normalize_columns(mut w: CMat) -> CMat {
     for j in 0..w.cols() {
-        let norm = (0..w.rows()).map(|i| w[(i, j)].norm_sqr()).sum::<f64>().sqrt();
+        let norm = (0..w.rows())
+            .map(|i| w[(i, j)].norm_sqr())
+            .sum::<f64>()
+            .sqrt();
         if norm > 0.0 {
             let inv = 1.0 / norm;
             for i in 0..w.rows() {

@@ -77,10 +77,7 @@ mod tests {
 
     #[test]
     fn rectangular_is_all_ones() {
-        assert!(Window::Rectangular
-            .sample(16)
-            .iter()
-            .all(|&w| w == 1.0));
+        assert!(Window::Rectangular.sample(16).iter().all(|&w| w == 1.0));
     }
 
     #[test]

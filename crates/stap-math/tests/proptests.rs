@@ -1,76 +1,145 @@
-//! Property-based tests for the numerical kernels.
+//! Property-based tests for the numerical kernels (in-tree harness;
+//! see `stap_util::check`).
 
-use proptest::prelude::*;
-use stap_math::fft::{dft_naive, Direction, Fft};
+use stap_math::fft::{dft_naive, Direction, Fft, FftScratch};
 use stap_math::qr::{is_upper_triangular, qr_r, qr_update};
 use stap_math::solve::{back_substitute, lstsq};
 use stap_math::{CMat, Cx};
+use stap_util::check::{check, Gen};
 
-fn cx_strategy() -> impl Strategy<Value = Cx> {
-    (-100.0f64..100.0, -100.0f64..100.0).prop_map(|(re, im)| Cx::new(re, im))
+fn cx(g: &mut Gen) -> Cx {
+    Cx::new(g.float(-100.0, 100.0), g.float(-100.0, 100.0))
 }
 
-fn cvec(len: usize) -> impl Strategy<Value = Vec<Cx>> {
-    proptest::collection::vec(cx_strategy(), len)
+fn cvec(g: &mut Gen, len: usize) -> Vec<Cx> {
+    g.vec(len, cx)
 }
 
-fn cmat(rows: usize, cols: usize) -> impl Strategy<Value = CMat> {
-    cvec(rows * cols).prop_map(move |v| CMat::from_vec(rows, cols, v))
+fn cmat(g: &mut Gen, rows: usize, cols: usize) -> CMat {
+    let v = cvec(g, rows * cols);
+    CMat::from_vec(rows, cols, v)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn complex_mul_commutes() {
+    check("complex_mul_commutes", 64, |g| {
+        let (a, b) = (cx(g), cx(g));
+        assert!((a * b).approx_eq(b * a, 1e-9));
+    });
+}
 
-    #[test]
-    fn complex_mul_commutes(a in cx_strategy(), b in cx_strategy()) {
-        prop_assert!((a * b).approx_eq(b * a, 1e-9));
-    }
+#[test]
+fn complex_distributive() {
+    check("complex_distributive", 64, |g| {
+        let (a, b, c) = (cx(g), cx(g), cx(g));
+        assert!((a * (b + c)).approx_eq(a * b + a * c, 1e-6));
+    });
+}
 
-    #[test]
-    fn complex_distributive(a in cx_strategy(), b in cx_strategy(), c in cx_strategy()) {
-        prop_assert!((a * (b + c)).approx_eq(a * b + a * c, 1e-6));
-    }
+#[test]
+fn conj_is_multiplicative() {
+    check("conj_is_multiplicative", 64, |g| {
+        let (a, b) = (cx(g), cx(g));
+        assert!((a * b).conj().approx_eq(a.conj() * b.conj(), 1e-8));
+    });
+}
 
-    #[test]
-    fn conj_is_multiplicative(a in cx_strategy(), b in cx_strategy()) {
-        prop_assert!((a * b).conj().approx_eq(a.conj() * b.conj(), 1e-8));
-    }
-
-    #[test]
-    fn fft_roundtrip_any_length(data in (1usize..80).prop_flat_map(cvec)) {
-        let plan = Fft::new(data.len());
+#[test]
+fn fft_roundtrip_any_length() {
+    check("fft_roundtrip_any_length", 64, |g| {
+        let n = g.int(1, 80);
+        let data = cvec(g, n);
+        let plan = Fft::new(n);
         let mut y = data.clone();
         plan.forward(&mut y);
         plan.inverse(&mut y);
         for (got, want) in y.iter().zip(&data) {
-            prop_assert!(got.approx_eq(*want, 1e-6));
+            assert!(got.approx_eq(*want, 1e-6));
         }
-    }
+    });
+}
 
-    #[test]
-    fn fft_matches_naive_dft(data in (2usize..48).prop_flat_map(cvec)) {
+#[test]
+fn fft_matches_naive_dft() {
+    check("fft_matches_naive_dft", 64, |g| {
+        let n = g.int(2, 48);
+        let data = cvec(g, n);
         let mut y = data.clone();
-        Fft::new(data.len()).forward(&mut y);
+        Fft::new(n).forward(&mut y);
         let want = dft_naive(&data, Direction::Forward);
         for (got, want) in y.iter().zip(&want) {
-            prop_assert!(got.approx_eq(*want, 1e-5), "{got:?} vs {want:?}");
+            assert!(got.approx_eq(*want, 1e-5), "{got:?} vs {want:?}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn fft_parseval(data in cvec(64)) {
+#[test]
+fn fft_scratch_path_matches_plain_path_bitwise() {
+    // The tentpole contract: the steady-state (scratch-reusing) entry
+    // points must be *bit-identical* to the plain ones, for both
+    // power-of-two and Bluestein lengths.
+    check("fft_scratch_path_matches_plain_path_bitwise", 48, |g| {
+        let n = g.int(2, 80);
+        let data = cvec(g, n);
+        let plan = Fft::new(n);
+        let mut scratch = FftScratch::new();
+        for dir in [Direction::Forward, Direction::Inverse] {
+            let mut plain = data.clone();
+            plan.run(&mut plain, dir);
+            let mut fast = data.clone();
+            plan.run_with_scratch(&mut fast, dir, &mut scratch);
+            for (a, b) in plain.iter().zip(&fast) {
+                assert!(
+                    a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits(),
+                    "n={n} dir={dir:?}: {a:?} != {b:?}"
+                );
+            }
+        }
+    });
+}
+
+#[test]
+fn fft_batched_lanes_match_per_lane_calls_bitwise() {
+    check("fft_batched_lanes_match_per_lane_calls_bitwise", 48, |g| {
+        let n = g.int(2, 40);
+        let lanes = g.int(1, 6);
+        let data = cvec(g, n * lanes);
+        let plan = Fft::new(n);
+        let mut scratch = FftScratch::new();
+        let mut batched = data.clone();
+        plan.forward_lanes(&mut batched, &mut scratch);
+        let mut by_lane = data;
+        for lane in by_lane.chunks_exact_mut(n) {
+            plan.forward_with_scratch(lane, &mut scratch);
+        }
+        for (a, b) in batched.iter().zip(&by_lane) {
+            assert!(
+                a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits(),
+                "n={n} lanes={lanes}: {a:?} != {b:?}"
+            );
+        }
+    });
+}
+
+#[test]
+fn fft_parseval() {
+    check("fft_parseval", 64, |g| {
+        let data = cvec(g, 64);
         let mut y = data.clone();
         Fft::new(64).forward(&mut y);
         let ex: f64 = data.iter().map(|v| v.norm_sqr()).sum();
         let ey: f64 = y.iter().map(|v| v.norm_sqr()).sum::<f64>() / 64.0;
-        prop_assert!((ex - ey).abs() <= 1e-7 * ex.max(1.0));
-    }
+        assert!((ex - ey).abs() <= 1e-7 * ex.max(1.0));
+    });
+}
 
-    #[test]
-    fn fft_shift_theorem(data in cvec(32)) {
+#[test]
+fn fft_shift_theorem() {
+    check("fft_shift_theorem", 64, |g| {
         // Circular shift by s multiplies spectrum by e^{-2 pi i k s / n}.
         let n = 32usize;
         let s = 5usize;
+        let data = cvec(g, n);
         let shifted: Vec<Cx> = (0..n).map(|k| data[(k + n - s) % n]).collect();
         let plan = Fft::new(n);
         let mut fd = data.clone();
@@ -79,68 +148,96 @@ proptest! {
         plan.forward(&mut fs);
         for k in 0..n {
             let phase = Cx::cis(-2.0 * std::f64::consts::PI * (k * s) as f64 / n as f64);
-            prop_assert!(fs[k].approx_eq(fd[k] * phase, 1e-6));
+            assert!(fs[k].approx_eq(fd[k] * phase, 1e-6));
         }
-    }
+    });
+}
 
-    #[test]
-    fn qr_preserves_gram_matrix(a in cmat(24, 6)) {
+#[test]
+fn qr_preserves_gram_matrix() {
+    check("qr_preserves_gram_matrix", 48, |g| {
+        let a = cmat(g, 24, 6);
         let r = qr_r(&a);
-        prop_assert!(is_upper_triangular(&r, 1e-9));
+        assert!(is_upper_triangular(&r, 1e-9));
         let ga = a.hermitian_matmul(&a);
         let gr = r.hermitian_matmul(&r);
         let scale = ga.fro_norm().max(1.0);
-        prop_assert!(ga.max_abs_diff(&gr) < 1e-8 * scale);
-    }
+        assert!(ga.max_abs_diff(&gr) < 1e-8 * scale);
+    });
+}
 
-    #[test]
-    fn qr_update_equals_refactorization(top in cmat(20, 5), extra in cmat(8, 5)) {
+#[test]
+fn qr_update_equals_refactorization() {
+    check("qr_update_equals_refactorization", 48, |g| {
+        let top = cmat(g, 20, 5);
+        let extra = cmat(g, 8, 5);
         let r_old = qr_r(&top);
         let fast = qr_update(&r_old, 0.7, &extra);
         let slow = qr_r(&r_old.scale(0.7).vstack(&extra));
         let gf = fast.hermitian_matmul(&fast);
         let gs = slow.hermitian_matmul(&slow);
         let scale = gs.fro_norm().max(1.0);
-        prop_assert!(gf.max_abs_diff(&gs) < 1e-8 * scale);
-    }
+        assert!(gf.max_abs_diff(&gs) < 1e-8 * scale);
+    });
+}
 
-    #[test]
-    fn back_substitution_solves_triangular_systems(a in cmat(20, 6), x in cmat(6, 2)) {
+#[test]
+fn back_substitution_solves_triangular_systems() {
+    check("back_substitution_solves_triangular_systems", 64, |g| {
+        let a = cmat(g, 20, 6);
+        let x = cmat(g, 6, 2);
         let r = qr_r(&a);
         // Skip near-singular draws: smallest diagonal must be meaningful.
         let min_diag = (0..6).map(|i| r[(i, i)].abs()).fold(f64::MAX, f64::min);
-        prop_assume!(min_diag > 1e-3 * r.fro_norm());
+        if min_diag <= 1e-3 * r.fro_norm() {
+            return;
+        }
         let b = r.matmul(&x);
         let got = back_substitute(&r, &b);
         let scale = x.fro_norm().max(1.0);
-        prop_assert!(got.max_abs_diff(&x) < 1e-6 * scale);
-    }
+        assert!(got.max_abs_diff(&x) < 1e-6 * scale);
+    });
+}
 
-    #[test]
-    fn lstsq_residual_orthogonal(a in cmat(24, 4), b in cmat(24, 1)) {
+#[test]
+fn lstsq_residual_orthogonal() {
+    check("lstsq_residual_orthogonal", 64, |g| {
+        let a = cmat(g, 24, 4);
+        let b = cmat(g, 24, 1);
         let r = qr_r(&a);
         let min_diag = (0..4).map(|i| r[(i, i)].abs()).fold(f64::MAX, f64::min);
-        prop_assume!(min_diag > 1e-3 * r.fro_norm().max(1e-9));
+        if min_diag <= 1e-3 * r.fro_norm().max(1e-9) {
+            return;
+        }
         let x = lstsq(&a, &b);
         let resid = a.matmul(&x).sub(&b);
         let ortho = a.hermitian_matmul(&resid);
         let scale = a.fro_norm() * b.fro_norm();
-        prop_assert!(ortho.fro_norm() < 1e-7 * scale.max(1.0));
-    }
+        assert!(ortho.fro_norm() < 1e-7 * scale.max(1.0));
+    });
+}
 
-    #[test]
-    fn matmul_distributes_over_addition(a in cmat(5, 4), b in cmat(4, 3), c in cmat(4, 3)) {
+#[test]
+fn matmul_distributes_over_addition() {
+    check("matmul_distributes_over_addition", 64, |g| {
+        let a = cmat(g, 5, 4);
+        let b = cmat(g, 4, 3);
+        let c = cmat(g, 4, 3);
         let left = a.matmul(&b.add(&c));
         let right = a.matmul(&b).add(&a.matmul(&c));
         let scale = left.fro_norm().max(1.0);
-        prop_assert!(left.max_abs_diff(&right) < 1e-8 * scale);
-    }
+        assert!(left.max_abs_diff(&right) < 1e-8 * scale);
+    });
+}
 
-    #[test]
-    fn hermitian_reverses_products(a in cmat(4, 5), b in cmat(5, 3)) {
+#[test]
+fn hermitian_reverses_products() {
+    check("hermitian_reverses_products", 64, |g| {
+        let a = cmat(g, 4, 5);
+        let b = cmat(g, 5, 3);
         let left = a.matmul(&b).hermitian();
         let right = b.hermitian().matmul(&a.hermitian());
         let scale = left.fro_norm().max(1.0);
-        prop_assert!(left.max_abs_diff(&right) < 1e-8 * scale);
-    }
+        assert!(left.max_abs_diff(&right) < 1e-8 * scale);
+    });
 }

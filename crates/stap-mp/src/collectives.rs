@@ -232,9 +232,8 @@ mod tests {
     fn scatter_delivers_per_rank_values() {
         let group: Vec<usize> = (0..4).collect();
         let got = run_spmd::<String, String>(4, |mut comm| {
-            let values = (comm.rank() == 2).then(|| {
-                (0..4).map(|i| format!("item{i}")).collect::<Vec<_>>()
-            });
+            let values =
+                (comm.rank() == 2).then(|| (0..4).map(|i| format!("item{i}")).collect::<Vec<_>>());
             scatter(&mut comm, &group, 2, 5, values).unwrap()
         });
         for (r, v) in got.iter().enumerate() {

@@ -1,6 +1,6 @@
 //! Per-rank communicator with tag/source matching.
 
-use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -52,8 +52,7 @@ pub struct Comm<M> {
 
 impl<M> Drop for Comm<M> {
     fn drop(&mut self) {
-        self.alive
-            .fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+        self.alive.fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
     }
 }
 
@@ -147,7 +146,12 @@ impl<M: Send> Comm<M> {
     }
 
     /// Like [`Comm::recv_matching`] but gives up after `timeout`.
-    pub fn recv_timeout(&mut self, src: usize, tag: Tag, timeout: Duration) -> Result<M, RecvError> {
+    pub fn recv_timeout(
+        &mut self,
+        src: usize,
+        tag: Tag,
+        timeout: Duration,
+    ) -> Result<M, RecvError> {
         if let Some(i) = self
             .pending
             .iter()
@@ -208,8 +212,8 @@ impl<M: Send> Comm<M> {
 
 #[cfg(test)]
 mod tests {
-    use crate::world::World;
     use super::*;
+    use crate::world::World;
 
     #[test]
     fn ping_pong() {
@@ -306,7 +310,10 @@ mod tests {
         world.run(|mut comm| {
             if comm.rank() == 1 {
                 let r = comm.recv_timeout(0, 1, Duration::from_millis(20));
-                assert!(matches!(r, Err(RecvError::Timeout) | Err(RecvError::Disconnected)));
+                assert!(matches!(
+                    r,
+                    Err(RecvError::Timeout) | Err(RecvError::Disconnected)
+                ));
             }
             comm.barrier();
         });

@@ -127,8 +127,7 @@ mod tests {
     fn wait_all_returns_in_request_order() {
         run_spmd::<usize, ()>(4, |mut comm| {
             if comm.rank() == 3 {
-                let reqs: Vec<RecvRequest> =
-                    (0..3).map(|src| RecvRequest::new(src, 5)).collect();
+                let reqs: Vec<RecvRequest> = (0..3).map(|src| RecvRequest::new(src, 5)).collect();
                 let vals = comm.wait_all(&reqs).unwrap();
                 assert_eq!(vals, vec![0, 10, 20]);
             } else {

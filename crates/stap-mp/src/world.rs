@@ -1,7 +1,7 @@
 //! World construction and SPMD launch helpers.
 
 use crate::comm::{Comm, Envelope};
-use crossbeam::channel::unbounded;
+use std::sync::mpsc::channel as unbounded;
 use std::sync::Arc;
 
 /// A set of `n` rank endpoints sharing a message space.
@@ -133,9 +133,7 @@ mod tests {
             let from_prev = comm.recv(prev, 0).unwrap();
             from_prev + me as u64
         });
-        let expect: Vec<u64> = (0..P)
-            .map(|me| ((me + P - 1) % P + me) as u64)
-            .collect();
+        let expect: Vec<u64> = (0..P).map(|me| ((me + P - 1) % P + me) as u64).collect();
         assert_eq!(sums, expect);
     }
 

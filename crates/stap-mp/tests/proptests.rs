@@ -1,27 +1,31 @@
 //! Property-based tests for the message-passing runtime: collectives
-//! over arbitrary world sizes, groups, roots and payloads.
+//! over arbitrary world sizes, groups, roots and payloads (in-tree
+//! harness; see `stap_util::check`).
 
-use proptest::prelude::*;
 use stap_mp::collectives::{all_reduce, all_to_all, broadcast, gather, scatter};
 use stap_mp::world::run_spmd;
+use stap_util::check::check;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn broadcast_delivers_to_everyone(n in 1usize..9, root_idx in 0usize..9, value in any::<u64>()) {
-        let root = root_idx % n;
+#[test]
+fn broadcast_delivers_to_everyone() {
+    check("broadcast_delivers_to_everyone", 16, |g| {
+        let n = g.int(1, 9);
+        let root = g.int(0, 9) % n;
+        let value = g.u64();
         let group: Vec<usize> = (0..n).collect();
         let got = run_spmd::<u64, u64>(n, |mut comm| {
             let v = (comm.rank() == root).then_some(value);
             broadcast(&mut comm, &group, root, 1, v).unwrap()
         });
-        prop_assert!(got.iter().all(|&v| v == value));
-    }
+        assert!(got.iter().all(|&v| v == value));
+    });
+}
 
-    #[test]
-    fn gather_collects_everything_in_order(n in 1usize..8, root_idx in 0usize..8) {
-        let root = root_idx % n;
+#[test]
+fn gather_collects_everything_in_order() {
+    check("gather_collects_everything_in_order", 16, |g| {
+        let n = g.int(1, 8);
+        let root = g.int(0, 8) % n;
         let group: Vec<usize> = (0..n).collect();
         let got = run_spmd::<usize, Option<Vec<usize>>>(n, |mut comm| {
             let mine = comm.rank() * 7 + 1;
@@ -30,15 +34,19 @@ proptest! {
         for (r, res) in got.iter().enumerate() {
             if r == root {
                 let want: Vec<usize> = (0..n).map(|i| i * 7 + 1).collect();
-                prop_assert_eq!(res.as_ref().unwrap(), &want);
+                assert_eq!(res.as_ref().unwrap(), &want);
             } else {
-                prop_assert!(res.is_none());
+                assert!(res.is_none());
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn all_reduce_sum_is_rank_order_independent(n in 1usize..8, values in proptest::collection::vec(0u64..1000, 8)) {
+#[test]
+fn all_reduce_sum_is_rank_order_independent() {
+    check("all_reduce_sum_is_rank_order_independent", 16, |g| {
+        let n = g.int(1, 8);
+        let values = g.vec(8, |g| g.u64() % 1000);
         let group: Vec<usize> = (0..n).collect();
         let vals = values.clone();
         let got = run_spmd::<u64, u64>(n, |mut comm| {
@@ -46,11 +54,14 @@ proptest! {
             all_reduce(&mut comm, &group, 3, mine, |a, b| a + b).unwrap()
         });
         let want: u64 = values[..n].iter().sum();
-        prop_assert!(got.iter().all(|&v| v == want));
-    }
+        assert!(got.iter().all(|&v| v == want));
+    });
+}
 
-    #[test]
-    fn scatter_then_gather_roundtrips(n in 1usize..8) {
+#[test]
+fn scatter_then_gather_roundtrips() {
+    check("scatter_then_gather_roundtrips", 16, |g| {
+        let n = g.int(1, 8);
         let group: Vec<usize> = (0..n).collect();
         let got = run_spmd::<usize, Option<Vec<usize>>>(n, |mut comm| {
             let values = (comm.rank() == 0).then(|| (0..n).map(|i| i * i).collect::<Vec<_>>());
@@ -58,11 +69,14 @@ proptest! {
             gather(&mut comm, &group, 0, 5, mine).unwrap()
         });
         let want: Vec<usize> = (0..n).map(|i| i * i).collect();
-        prop_assert_eq!(got[0].as_ref().unwrap(), &want);
-    }
+        assert_eq!(got[0].as_ref().unwrap(), &want);
+    });
+}
 
-    #[test]
-    fn all_to_all_is_a_transpose(n in 1usize..7) {
+#[test]
+fn all_to_all_is_a_transpose() {
+    check("all_to_all_is_a_transpose", 16, |g| {
+        let n = g.int(1, 7);
         let group: Vec<usize> = (0..n).collect();
         let got = run_spmd::<(usize, usize), Vec<(usize, usize)>>(n, |mut comm| {
             let me = comm.rank();
@@ -71,14 +85,17 @@ proptest! {
         });
         for (me, received) in got.iter().enumerate() {
             for (src, msg) in received.iter().enumerate() {
-                prop_assert_eq!(*msg, (src, me));
+                assert_eq!(*msg, (src, me));
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn point_to_point_preserves_per_pair_order(n_msgs in 1usize..40) {
+#[test]
+fn point_to_point_preserves_per_pair_order() {
+    check("point_to_point_preserves_per_pair_order", 16, |g| {
         // Messages with the same (src, dst, tag) arrive FIFO.
+        let n_msgs = g.int(1, 40);
         let got = run_spmd::<usize, Vec<usize>>(2, move |mut comm| {
             if comm.rank() == 0 {
                 for i in 0..n_msgs {
@@ -90,6 +107,6 @@ proptest! {
             }
         });
         let want: Vec<usize> = (0..n_msgs).collect();
-        prop_assert_eq!(&got[1], &want);
-    }
+        assert_eq!(&got[1], &want);
+    });
 }

@@ -31,7 +31,7 @@ pub const TASK_NAMES: [&str; 7] = [
 ];
 
 /// How many nodes each of the seven tasks gets.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct NodeAssignment(pub [usize; 7]);
 
 impl NodeAssignment {

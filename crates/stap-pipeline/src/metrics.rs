@@ -8,7 +8,7 @@
 
 /// Accumulated phase times of one task (averaged over measured CPIs),
 /// in seconds.
-#[derive(Clone, Copy, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct TaskTiming {
     /// Receive phase (may contain idle time waiting on predecessors).
     pub recv: f64,
@@ -53,7 +53,7 @@ impl TaskTiming {
 
 /// Timings for all seven tasks (paper order) plus measured pipeline
 /// rates.
-#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct PipelineTimings {
     /// Per-task phase times, averaged over the measured CPIs.
     pub tasks: [TaskTiming; 7],

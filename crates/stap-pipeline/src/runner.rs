@@ -1,11 +1,13 @@
 //! World construction, CPI injection and result collection.
 
-use crate::assignment::{NodeAssignment, Partitions, CFAR, DOPPLER, EASY_BF, EASY_WT, HARD_BF, HARD_WT, PC};
+use crate::assignment::{
+    NodeAssignment, Partitions, CFAR, DOPPLER, EASY_BF, EASY_WT, HARD_BF, HARD_WT, PC,
+};
 use crate::metrics::{PipelineTimings, TaskTiming};
 use crate::msg::{tag, Edge, Msg};
 use crate::tasks::{
     run_cfar, run_doppler, run_easy_bf, run_easy_weight, run_hard_bf, run_hard_weight, run_pc,
-    TaskCtx,
+    PipelinePools, TaskCtx,
 };
 use stap_core::{Detection, StapParams};
 use stap_cube::CCube;
@@ -85,6 +87,10 @@ impl ParallelStap {
         let parts_ref = &parts;
         let window = self.window.max(1);
         let cpis_ref = &cpis;
+        // One recycling pool per run, shared by every node thread:
+        // receivers retire message buffers, senders draw packing buffers.
+        let pools = PipelinePools::default();
+        let pools_ref = &pools;
 
         enum NodeResult {
             Task(usize, Vec<TaskTiming>),
@@ -99,6 +105,7 @@ impl ParallelStap {
                 parts: parts_ref,
                 steering,
                 num_cpis,
+                pools: pools_ref,
             };
             match assign.task_of_rank(rank) {
                 Some((DOPPLER, local)) => {
@@ -133,10 +140,16 @@ impl ParallelStap {
                             let cube = &cpis_ref[next_inject];
                             inject_t[next_inject] = t0.elapsed().as_secs_f64();
                             for (pn, kr) in parts_ref.doppler_k.iter().enumerate() {
-                                let slab = cube.extract(
+                                // Input slabs come from the shared pool too;
+                                // the Doppler nodes retire them after use.
+                                let buf = pools_ref
+                                    .cx
+                                    .get(kr.len() * params.j_channels * params.n_pulses);
+                                let slab = cube.extract_into(
                                     kr.clone(),
                                     0..params.j_channels,
                                     0..params.n_pulses,
+                                    buf,
                                 );
                                 comm.send(
                                     assign.rank_range(DOPPLER).start + pn,
@@ -181,10 +194,7 @@ impl ParallelStap {
                     }
                 }
                 NodeResult::Driver(d, inject, complete) => {
-                    let lat: Vec<f64> = measured
-                        .clone()
-                        .map(|i| complete[i] - inject[i])
-                        .collect();
+                    let lat: Vec<f64> = measured.clone().map(|i| complete[i] - inject[i]).collect();
                     timings.measured_latency = mean(&lat);
                     let mut intervals: Vec<f64> = measured
                         .clone()
@@ -198,8 +208,7 @@ impl ParallelStap {
                             .collect();
                     }
                     let mean_int = mean(&intervals);
-                    timings.measured_throughput =
-                        if mean_int > 0.0 { 1.0 / mean_int } else { 0.0 };
+                    timings.measured_throughput = if mean_int > 0.0 { 1.0 / mean_int } else { 0.0 };
                     detections = d;
                 }
             }
@@ -254,7 +263,13 @@ mod tests {
         let got = par.run(cpis);
         assert_eq!(got.detections.len(), want.len());
         for (i, (g, w)) in got.detections.iter().zip(&want).enumerate() {
-            assert_eq!(g.len(), w.len(), "CPI {i}: {} vs {} detections", g.len(), w.len());
+            assert_eq!(
+                g.len(),
+                w.len(),
+                "CPI {i}: {} vs {} detections",
+                g.len(),
+                w.len()
+            );
             for (gd, wd) in g.iter().zip(w) {
                 assert_eq!((gd.bin, gd.beam, gd.range), (wd.bin, wd.beam, wd.range));
                 assert!((gd.power - wd.power).abs() <= 1e-9 * wd.power.abs().max(1.0));
@@ -279,7 +294,8 @@ mod tests {
             NodeAssignment([4, 2, 3, 2, 2, 3, 2]),
             NodeAssignment([2, 1, 4, 1, 2, 1, 3]),
         ] {
-            let out = ParallelStap::for_scenario(params.clone(), assign, &scenario).run(cpis.clone());
+            let out =
+                ParallelStap::for_scenario(params.clone(), assign, &scenario).run(cpis.clone());
             for (i, (a, b)) in out.detections.iter().zip(&baseline.detections).enumerate() {
                 assert_eq!(a.len(), b.len(), "assignment {assign:?} CPI {i}");
                 for (x, y) in a.iter().zip(b) {

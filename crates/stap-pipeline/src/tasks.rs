@@ -10,6 +10,17 @@
 //! Bitwise equivalence with the sequential reference is maintained by
 //! assembling exactly the matrices `stap_core` builds, in the same
 //! element order, and calling the same kernels.
+//!
+//! # Steady-state allocation discipline
+//!
+//! Every per-CPI buffer whose size repeats exactly each cycle is either
+//! hoisted out of the CPI loop (assembly cubes, beamforming scratch
+//! matrices, FFT/pulse-compression workspaces) or drawn from the shared
+//! [`PipelinePools`] recycling pools (every redistribution message).
+//! Receivers retire consumed message buffers back into the pool, so
+//! after one warmup CPI the hot path performs no heap allocation for
+//! kernels or packing — only the small, variable-size weight matrices
+//! and detection lists still allocate.
 
 use crate::assignment::{overlap, NodeAssignment, Partitions, *};
 use crate::metrics::TaskTiming;
@@ -17,8 +28,13 @@ use crate::msg::{tag, Edge, Msg};
 use stap_core::params::StapParams;
 use stap_core::training::{easy_training_cells, hard_training_cells};
 use stap_core::weights::hard_constraint;
-use stap_core::{cfar, doppler::DopplerProcessor, pulse::PulseCompressor};
-use stap_cube::{CCube, RCube};
+use stap_core::{
+    cfar,
+    doppler::DopplerProcessor,
+    pulse::{PulseCompressor, PulseScratch},
+};
+use stap_cube::{CCube, RCube, SharedBufferPool};
+use stap_math::fft::FftScratch;
 use stap_math::qr::qr_update;
 use stap_math::solve::{constrained_lstsq, constrained_lstsq_from_r, normalize_columns};
 use stap_math::{CMat, Cx};
@@ -27,6 +43,19 @@ use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::ops::Range;
 use std::time::Instant;
+
+/// Process-wide recycling pools for redistribution message buffers.
+/// One instance is shared (by reference) across every node thread of a
+/// pipeline run; senders draw packing buffers, receivers retire consumed
+/// messages, and the global balance keeps the steady state allocation
+/// free.
+#[derive(Default)]
+pub struct PipelinePools {
+    /// Complex blocks: driver input slabs, Doppler and beamform edges.
+    pub cx: SharedBufferPool<Cx>,
+    /// Real blocks: the pulse compression to CFAR edge.
+    pub real: SharedBufferPool<f64>,
+}
 
 /// Shared, read-only context every task node gets.
 pub struct TaskCtx<'a> {
@@ -40,6 +69,8 @@ pub struct TaskCtx<'a> {
     pub steering: &'a [CMat],
     /// Number of CPIs to process.
     pub num_cpis: usize,
+    /// Shared send-buffer recycling pools.
+    pub pools: &'a PipelinePools,
 }
 
 impl TaskCtx<'_> {
@@ -127,6 +158,17 @@ pub fn run_doppler(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Vec<Tas
     let driver = ctx.assign.driver_rank();
     let easy_bins = p.easy_bins();
     let hard_bins = p.hard_bins();
+    let pool = &ctx.pools.cx;
+    // CPI-invariant packing metadata, computed once.
+    let easy_cells = easy_cells_in(p, &my_k);
+    let hard_cells: Vec<Vec<usize>> = (0..p.num_segments())
+        .map(|s| hard_cells_in(p, s, &my_k))
+        .collect();
+    let flat_cells: Vec<usize> = hard_cells.iter().flatten().copied().collect();
+    // Persistent workspaces: staggered cube and FFT scratch live across
+    // CPIs (fully overwritten each cycle).
+    let mut stag = CCube::zeros([my_k.len(), 2 * p.j_channels, p.n_pulses]);
+    let mut fft_ws = FftScratch::new();
     let mut timings = Vec::with_capacity(ctx.num_cpis);
 
     for cpi in 0..ctx.num_cpis {
@@ -137,16 +179,16 @@ pub fn run_doppler(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Vec<Tas
 
         // --- compute phase -------------------------------------------------
         let t1 = Instant::now();
-        let mut stag = CCube::zeros([my_k.len(), 2 * p.j_channels, p.n_pulses]);
-        proc.process_rows(&slab, k0, &mut stag);
+        proc.process_rows_with(&slab, k0, &mut stag, &mut fft_ws);
         let comp = t1.elapsed().as_secs_f64();
+        // The consumed input slab refills the send pool.
+        pool.recycle(slab);
 
         // --- send phase ----------------------------------------------------
         let t2 = Instant::now();
         // Easy weight: gathered training cells, first window, its bins.
-        let easy_cells = easy_cells_in(p, &my_k);
         for (q, bins_idx) in ctx.parts.easy_wt_bins.iter().enumerate() {
-            let block = CCube::from_fn(
+            let block = pool.take_cube(
                 [bins_idx.len(), easy_cells.len(), p.j_channels],
                 |bi, ci, ch| stag[(easy_cells[ci] - k0, ch, easy_bins[bins_idx.start + bi])],
             );
@@ -154,12 +196,8 @@ pub fn run_doppler(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Vec<Tas
             comm.send(dst, tag(Edge::DopplerToEasyWt, cpi), Msg::Cube(block));
         }
         // Hard weight: per-segment gathered cells, both windows.
-        let hard_cells: Vec<Vec<usize>> = (0..p.num_segments())
-            .map(|s| hard_cells_in(p, s, &my_k))
-            .collect();
-        let flat_cells: Vec<usize> = hard_cells.iter().flatten().copied().collect();
         for (q, bins_idx) in ctx.parts.hard_wt_bins.iter().enumerate() {
-            let block = CCube::from_fn(
+            let block = pool.take_cube(
                 [bins_idx.len(), flat_cells.len(), 2 * p.j_channels],
                 |bi, ci, ch| stag[(flat_cells[ci] - k0, ch, hard_bins[bins_idx.start + bi])],
             );
@@ -169,16 +207,15 @@ pub fn run_doppler(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Vec<Tas
         // Easy BF: full local range, first window, reorganized to
         // (bin, k, channel) — the Fig. 8 reorganization.
         for (r, bins_idx) in ctx.parts.easy_bf_bins.iter().enumerate() {
-            let block = CCube::from_fn(
-                [bins_idx.len(), my_k.len(), p.j_channels],
-                |bi, kc, ch| stag[(kc, ch, easy_bins[bins_idx.start + bi])],
-            );
+            let block = pool.take_cube([bins_idx.len(), my_k.len(), p.j_channels], |bi, kc, ch| {
+                stag[(kc, ch, easy_bins[bins_idx.start + bi])]
+            });
             let dst = ctx.assign.rank_range(EASY_BF).start + r;
             comm.send(dst, tag(Edge::DopplerToEasyBf, cpi), Msg::Cube(block));
         }
         // Hard BF: both windows.
         for (r, bins_idx) in ctx.parts.hard_bf_bins.iter().enumerate() {
-            let block = CCube::from_fn(
+            let block = pool.take_cube(
                 [bins_idx.len(), my_k.len(), 2 * p.j_channels],
                 |bi, kc, ch| stag[(kc, ch, hard_bins[bins_idx.start + bi])],
             );
@@ -206,19 +243,25 @@ pub fn run_easy_weight(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Vec
     // History per (beam, local bin): last `easy_history` snapshots.
     let mut history: HashMap<usize, VecDeque<Vec<CMat>>> = HashMap::new();
     let total_cells = easy_training_cells(p).len();
+    // Snapshot matrices evicted from the history ring are recycled as
+    // the next CPI's receive buffers (they are fully overwritten).
+    let mut spare: Option<Vec<CMat>> = None;
     let mut timings = Vec::with_capacity(ctx.num_cpis);
 
     for cpi in 0..ctx.num_cpis {
         // --- receive: one block per Doppler node ---------------------------
         let mut rp = RecvPhase::begin();
-        let mut snapshots: Vec<CMat> = (0..bins_idx.len())
-            .map(|_| CMat::zeros(total_cells, p.j_channels))
-            .collect();
+        let mut snapshots: Vec<CMat> = spare.take().unwrap_or_else(|| {
+            (0..bins_idx.len())
+                .map(|_| CMat::zeros(total_cells, p.j_channels))
+                .collect()
+        });
         let mut row = 0usize;
         for dp in 0..p0 {
-            let block = expect_cube(
-                rp.blocking(|| comm.recv(dop0 + dp, tag(Edge::DopplerToEasyWt, cpi)).unwrap()),
-            );
+            let block = expect_cube(rp.blocking(|| {
+                comm.recv(dop0 + dp, tag(Edge::DopplerToEasyWt, cpi))
+                    .unwrap()
+            }));
             let cells = block.shape()[1];
             for (bi, snap) in snapshots.iter_mut().enumerate() {
                 for ci in 0..cells {
@@ -229,6 +272,7 @@ pub fn run_easy_weight(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Vec
                 }
             }
             row += cells;
+            ctx.pools.cx.recycle(block);
         }
         debug_assert_eq!(row, total_cells);
         let (recv, recv_idle) = rp.finish();
@@ -239,7 +283,7 @@ pub fn run_easy_weight(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Vec
         let q = history.entry(beam).or_default();
         q.push_back(snapshots);
         while q.len() > p.easy_history {
-            q.pop_front();
+            spare = q.pop_front();
         }
         let steering = &ctx.steering[beam];
         let weights: Vec<CMat> = (0..bins_idx.len())
@@ -292,26 +336,31 @@ pub fn run_hard_weight(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Vec
     let segs = p.num_segments();
     // R state per (beam, local bin, segment).
     let mut r_state: HashMap<(usize, usize, usize), CMat> = HashMap::new();
-    let seg_cells: Vec<usize> = (0..segs)
-        .map(|s| hard_training_cells(p, s).len())
+    let seg_cells: Vec<usize> = (0..segs).map(|s| hard_training_cells(p, s).len()).collect();
+    // Per-sender segment cell counts are CPI-invariant.
+    let dp_counts: Vec<Vec<usize>> = (0..p0)
+        .map(|dp| {
+            let kr = ctx.parts.doppler_k[dp].clone();
+            (0..segs).map(|s| hard_cells_in(p, s, &kr).len()).collect()
+        })
+        .collect();
+    // snapshots[bin local][seg] is (cells, 2J), rows in global order;
+    // fully overwritten every CPI, so it persists across the loop.
+    let mut snapshots: Vec<Vec<CMat>> = (0..bins_idx.len())
+        .map(|_| (0..segs).map(|s| CMat::zeros(seg_cells[s], jj)).collect())
         .collect();
     let mut timings = Vec::with_capacity(ctx.num_cpis);
 
     for cpi in 0..ctx.num_cpis {
         // --- receive -------------------------------------------------------
         let mut rp = RecvPhase::begin();
-        // snapshots[bin local][seg] is (cells, 2J), rows in global order.
-        let mut snapshots: Vec<Vec<CMat>> = (0..bins_idx.len())
-            .map(|_| (0..segs).map(|s| CMat::zeros(seg_cells[s], jj)).collect())
-            .collect();
         let mut seg_rows = vec![0usize; segs];
-        for dp in 0..p0 {
-            let block = expect_cube(
-                rp.blocking(|| comm.recv(dop0 + dp, tag(Edge::DopplerToHardWt, cpi)).unwrap()),
-            );
-            // The sender packed cells segment-major; recompute its lists.
-            let kr = ctx.parts.doppler_k[dp].clone();
-            let counts: Vec<usize> = (0..segs).map(|s| hard_cells_in(p, s, &kr).len()).collect();
+        for (dp, counts) in dp_counts.iter().enumerate() {
+            let block = expect_cube(rp.blocking(|| {
+                comm.recv(dop0 + dp, tag(Edge::DopplerToHardWt, cpi))
+                    .unwrap()
+            }));
+            // The sender packed cells segment-major.
             let mut ci = 0usize;
             for (s, &cnt) in counts.iter().enumerate() {
                 for c in 0..cnt {
@@ -324,6 +373,7 @@ pub fn run_hard_weight(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Vec
                 seg_rows[s] += cnt;
                 ci += cnt;
             }
+            ctx.pools.cx.recycle(block);
         }
         let (recv, recv_idle) = rp.finish();
 
@@ -408,23 +458,43 @@ pub fn run_easy_bf(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Vec<Tas
     let easy_bins = p.easy_bins();
     let p0 = ctx.assign.nodes(DOPPLER);
     let dop0 = ctx.assign.rank_range(DOPPLER).start;
+    let pool = &ctx.pools.cx;
     let wt_sources = weight_sources(
         &ctx.parts.easy_wt_bins,
         &bins_idx,
         ctx.assign.rank_range(EASY_WT).start,
     );
+    // My natural bins, ascending, owned by each PC node (CPI-invariant).
+    let pc_mine: Vec<Vec<usize>> = ctx
+        .parts
+        .pc_bins
+        .iter()
+        .map(|pc_bins| {
+            bins_idx
+                .clone()
+                .filter(|&b| pc_bins.contains(&easy_bins[b]))
+                .collect()
+        })
+        .collect();
+    // Persistent assembly cube, output cube and beamforming scratch
+    // (all fully overwritten each CPI).
+    let mut data = CCube::zeros([bins_idx.len(), p.k_range, p.j_channels]);
+    let mut out = CCube::zeros([bins_idx.len(), p.m_beams, p.k_range]);
+    let mut slab = CMat::zeros(p.j_channels, p.k_range);
+    let mut y = CMat::zeros(p.m_beams, p.k_range);
     let mut timings = Vec::with_capacity(ctx.num_cpis);
 
     for cpi in 0..ctx.num_cpis {
         // --- receive -------------------------------------------------------
         let mut rp = RecvPhase::begin();
-        let mut data = CCube::zeros([bins_idx.len(), p.k_range, p.j_channels]);
         for dp in 0..p0 {
-            let block = expect_cube(
-                rp.blocking(|| comm.recv(dop0 + dp, tag(Edge::DopplerToEasyBf, cpi)).unwrap()),
-            );
+            let block = expect_cube(rp.blocking(|| {
+                comm.recv(dop0 + dp, tag(Edge::DopplerToEasyBf, cpi))
+                    .unwrap()
+            }));
             let k0 = ctx.parts.doppler_k[dp].start;
             data.place([0, k0, 0], &block);
+            pool.recycle(block);
         }
         // Weights: quiescent for the first visit of each azimuth.
         let weights: Vec<CMat> = if cpi < ctx.steering.len() {
@@ -440,17 +510,19 @@ pub fn run_easy_bf(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Vec<Tas
                     per_bin[b - bins_idx.start] = Some(w[i].clone());
                 }
             }
-            per_bin.into_iter().map(|w| w.expect("missing weights")).collect()
+            per_bin
+                .into_iter()
+                .map(|w| w.expect("missing weights"))
+                .collect()
         };
         let (recv, recv_idle) = rp.finish();
 
         // --- compute -------------------------------------------------------
         let t1 = Instant::now();
-        let mut out = CCube::zeros([bins_idx.len(), p.m_beams, p.k_range]);
         for bi in 0..bins_idx.len() {
             // Assemble (J, K) exactly as the sequential easy_bin_data.
-            let slab = CMat::from_fn(p.j_channels, p.k_range, |ch, kc| data[(bi, kc, ch)]);
-            let y = weights[bi].hermitian_matmul(&slab);
+            slab.fill_from_fn(|ch, kc| data[(bi, kc, ch)]);
+            weights[bi].hermitian_matmul_into(&slab, &mut y);
             for m in 0..p.m_beams {
                 out.lane_mut(bi, m).copy_from_slice(y.row(m));
             }
@@ -459,13 +531,8 @@ pub fn run_easy_bf(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Vec<Tas
 
         // --- send: natural-bin overlap with each PC node --------------------
         let t2 = Instant::now();
-        for (t, pc_bins) in ctx.parts.pc_bins.iter().enumerate() {
-            // My natural bins, ascending, that this PC node owns.
-            let mine: Vec<usize> = bins_idx
-                .clone()
-                .filter(|&b| pc_bins.contains(&easy_bins[b]))
-                .collect();
-            let block = CCube::from_fn([mine.len(), p.m_beams, p.k_range], |i, m, kc| {
+        for (t, mine) in pc_mine.iter().enumerate() {
+            let block = pool.take_cube([mine.len(), p.m_beams, p.k_range], |i, m, kc| {
                 out[(mine[i] - bins_idx.start, m, kc)]
             });
             let dst = ctx.assign.rank_range(PC).start + t;
@@ -491,23 +558,48 @@ pub fn run_hard_bf(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Vec<Tas
     let dop0 = ctx.assign.rank_range(DOPPLER).start;
     let jj = 2 * p.j_channels;
     let segs = p.num_segments();
+    let pool = &ctx.pools.cx;
     let wt_sources = weight_sources(
         &ctx.parts.hard_wt_bins,
         &bins_idx,
         ctx.assign.rank_range(HARD_WT).start,
     );
+    let pc_mine: Vec<Vec<usize>> = ctx
+        .parts
+        .pc_bins
+        .iter()
+        .map(|pc_bins| {
+            bins_idx
+                .clone()
+                .filter(|&b| pc_bins.contains(&hard_bins[b]))
+                .collect()
+        })
+        .collect();
+    // Persistent assembly/output cubes and per-segment scratch matrices.
+    let seg_ranges: Vec<Range<usize>> = (0..segs).map(|s| p.segment_range(s)).collect();
+    let mut data = CCube::zeros([bins_idx.len(), p.k_range, jj]);
+    let mut out = CCube::zeros([bins_idx.len(), p.m_beams, p.k_range]);
+    let mut slabs: Vec<CMat> = seg_ranges
+        .iter()
+        .map(|r| CMat::zeros(jj, r.len()))
+        .collect();
+    let mut ys: Vec<CMat> = seg_ranges
+        .iter()
+        .map(|r| CMat::zeros(p.m_beams, r.len()))
+        .collect();
     let mut timings = Vec::with_capacity(ctx.num_cpis);
 
     for cpi in 0..ctx.num_cpis {
         // --- receive -------------------------------------------------------
         let mut rp = RecvPhase::begin();
-        let mut data = CCube::zeros([bins_idx.len(), p.k_range, jj]);
         for dp in 0..p0 {
-            let block = expect_cube(
-                rp.blocking(|| comm.recv(dop0 + dp, tag(Edge::DopplerToHardBf, cpi)).unwrap()),
-            );
+            let block = expect_cube(rp.blocking(|| {
+                comm.recv(dop0 + dp, tag(Edge::DopplerToHardBf, cpi))
+                    .unwrap()
+            }));
             let k0 = ctx.parts.doppler_k[dp].start;
             data.place([0, k0, 0], &block);
+            pool.recycle(block);
         }
         let weights: Vec<Vec<CMat>> = if cpi < ctx.steering.len() {
             let beam = ctx.beam_of(cpi);
@@ -540,21 +632,22 @@ pub fn run_hard_bf(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Vec<Tas
                     per_bin[b - bins_idx.start] = Some(w[i * segs..(i + 1) * segs].to_vec());
                 }
             }
-            per_bin.into_iter().map(|w| w.expect("missing weights")).collect()
+            per_bin
+                .into_iter()
+                .map(|w| w.expect("missing weights"))
+                .collect()
         };
         let (recv, recv_idle) = rp.finish();
 
         // --- compute -------------------------------------------------------
         let t1 = Instant::now();
-        let mut out = CCube::zeros([bins_idx.len(), p.m_beams, p.k_range]);
         for bi in 0..bins_idx.len() {
             for seg in 0..segs {
-                let r = p.segment_range(seg);
-                let slab =
-                    CMat::from_fn(jj, r.len(), |ch, kc| data[(bi, r.start + kc, ch)]);
-                let y = weights[bi][seg].hermitian_matmul(&slab);
+                let r = &seg_ranges[seg];
+                slabs[seg].fill_from_fn(|ch, kc| data[(bi, r.start + kc, ch)]);
+                weights[bi][seg].hermitian_matmul_into(&slabs[seg], &mut ys[seg]);
                 for m in 0..p.m_beams {
-                    out.lane_mut(bi, m)[r.clone()].copy_from_slice(y.row(m));
+                    out.lane_mut(bi, m)[r.clone()].copy_from_slice(ys[seg].row(m));
                 }
             }
         }
@@ -562,12 +655,8 @@ pub fn run_hard_bf(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Vec<Tas
 
         // --- send ----------------------------------------------------------
         let t2 = Instant::now();
-        for (t, pc_bins) in ctx.parts.pc_bins.iter().enumerate() {
-            let mine: Vec<usize> = bins_idx
-                .clone()
-                .filter(|&b| pc_bins.contains(&hard_bins[b]))
-                .collect();
-            let block = CCube::from_fn([mine.len(), p.m_beams, p.k_range], |i, m, kc| {
+        for (t, mine) in pc_mine.iter().enumerate() {
+            let block = pool.take_cube([mine.len(), p.m_beams, p.k_range], |i, m, kc| {
                 out[(mine[i] - bins_idx.start, m, kc)]
             });
             let dst = ctx.assign.rank_range(PC).start + t;
@@ -612,11 +701,21 @@ pub fn run_pc(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Vec<TaskTimi
         feeders.push((ctx.assign.rank_range(HARD_BF).start + r, bins));
     }
     let easy_edge = |src: usize| src < ctx.assign.rank_range(HARD_BF).start;
+    // CFAR overlap ranges are CPI-invariant.
+    let cfar_ov: Vec<Range<usize>> = ctx
+        .parts
+        .cfar_bins
+        .iter()
+        .map(|c| overlap(&my_bins, c))
+        .collect();
+    // Persistent assembly cube, power cube and compression workspace.
+    let mut data = CCube::zeros([my_bins.len(), p.m_beams, p.k_range]);
+    let mut power = RCube::zeros([my_bins.len(), p.m_beams, p.k_range]);
+    let mut pc_ws = PulseScratch::new();
 
     for cpi in 0..ctx.num_cpis {
         // --- receive -------------------------------------------------------
         let mut rp = RecvPhase::begin();
-        let mut data = CCube::zeros([my_bins.len(), p.m_beams, p.k_range]);
         for (src, bins) in &feeders {
             let edge = if easy_edge(*src) {
                 Edge::EasyBfToPc
@@ -631,21 +730,24 @@ pub fn run_pc(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Vec<TaskTimi
                         .copy_from_slice(block.lane(i, m));
                 }
             }
+            ctx.pools.cx.recycle(block);
         }
         let (recv, recv_idle) = rp.finish();
 
         // --- compute -------------------------------------------------------
         let t1 = Instant::now();
-        let power = compressor.process(&data);
+        compressor.process_into_with(&data, &mut power, &mut pc_ws);
         let comp = t1.elapsed().as_secs_f64();
 
         // --- send ----------------------------------------------------------
         let t2 = Instant::now();
-        for (u, cfar_bins) in ctx.parts.cfar_bins.iter().enumerate() {
-            let ov = overlap(&my_bins, cfar_bins);
-            let block = RCube::from_fn([ov.len(), p.m_beams, p.k_range], |i, m, kc| {
-                power[(ov.start + i - my_bins.start, m, kc)]
-            });
+        for (u, ov) in cfar_ov.iter().enumerate() {
+            let block = ctx
+                .pools
+                .real
+                .take_cube([ov.len(), p.m_beams, p.k_range], |i, m, kc| {
+                    power[(ov.start + i - my_bins.start, m, kc)]
+                });
             let dst = ctx.assign.rank_range(CFAR).start + u;
             comm.send(dst, tag(Edge::PcToCfar, cpi), Msg::Real(block));
         }
@@ -673,12 +775,13 @@ pub fn run_cfar(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Vec<TaskTi
         .enumerate()
         .map(|(t, r)| (ctx.assign.rank_range(PC).start + t, overlap(r, &my_bins)))
         .collect();
+    // Persistent power assembly cube (fully overwritten each CPI).
+    let mut power = RCube::zeros([my_bins.len(), p.m_beams, p.k_range]);
     let mut timings = Vec::with_capacity(ctx.num_cpis);
 
     for cpi in 0..ctx.num_cpis {
         // --- receive -------------------------------------------------------
         let mut rp = RecvPhase::begin();
-        let mut power = RCube::zeros([my_bins.len(), p.m_beams, p.k_range]);
         for (src, ov) in &feeders {
             let block =
                 expect_real(rp.blocking(|| comm.recv(*src, tag(Edge::PcToCfar, cpi)).unwrap()));
@@ -686,6 +789,7 @@ pub fn run_cfar(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Vec<TaskTi
             if !ov.is_empty() {
                 power.place([ov.start - my_bins.start, 0, 0], &block);
             }
+            ctx.pools.real.recycle(block);
         }
         let (recv, recv_idle) = rp.finish();
 

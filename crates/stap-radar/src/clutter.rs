@@ -11,8 +11,7 @@
 //! the transmit-beam center maps to Doppler bin 0.
 
 use crate::steering::{doppler_steering, ArrayGeometry};
-use rand::rngs::SmallRng;
-use rand::Rng;
+use stap_util::Rng;
 
 use stap_cube::CCube;
 use stap_math::Cx;
@@ -75,7 +74,7 @@ pub fn add_clutter(
     geom: &ArrayGeometry,
     cfg: &ClutterConfig,
     beam_center_deg: f64,
-    rng: &mut SmallRng,
+    rng: &mut Rng,
 ) {
     let [k_cells, j_ch, n_pulses] = cpi.shape();
     assert_eq!(j_ch, geom.channels, "cube channels mismatch");
@@ -97,10 +96,10 @@ pub fn add_clutter(
         for k in 0..k_cells {
             // Independent complex-Gaussian amplitude per (patch, range),
             // with optional geometric range decay.
-            let atten = ((k + 1) as f64 / k_cells as f64)
-                .powf(-cfg.range_attenuation_exponent / 2.0);
+            let atten =
+                ((k + 1) as f64 / k_cells as f64).powf(-cfg.range_attenuation_exponent / 2.0);
             let g = gaussian_pair(rng).scale(amp * atten);
-            let dop = base_dop + cfg.doppler_spread * (rng.gen::<f64>() - 0.5);
+            let dop = base_dop + cfg.doppler_spread * (rng.gen_f64() - 0.5);
             let t = doppler_steering(dop, n_pulses);
             for (j, sj) in s.iter().enumerate() {
                 let gs = g * *sj;
@@ -116,7 +115,7 @@ pub fn add_clutter(
 }
 
 /// Adds a barrage jammer (spatially coherent, temporally white).
-pub fn add_jammer(cpi: &mut CCube, geom: &ArrayGeometry, j: &Jammer, rng: &mut SmallRng) {
+pub fn add_jammer(cpi: &mut CCube, geom: &ArrayGeometry, j: &Jammer, rng: &mut Rng) {
     let [k_cells, j_ch, n_pulses] = cpi.shape();
     assert_eq!(j_ch, geom.channels, "cube channels mismatch");
     let amp = 10f64.powf(j.jnr_db / 20.0);
@@ -132,27 +131,23 @@ pub fn add_jammer(cpi: &mut CCube, geom: &ArrayGeometry, j: &Jammer, rng: &mut S
 }
 
 /// Adds unit-power circular white Gaussian receiver noise.
-pub fn add_noise(cpi: &mut CCube, rng: &mut SmallRng) {
+pub fn add_noise(cpi: &mut CCube, rng: &mut Rng) {
     for v in cpi.as_mut_slice() {
         *v += gaussian_pair(rng);
     }
 }
 
 /// One sample of CN(0, 1) via Box-Muller.
-fn gaussian_pair(rng: &mut SmallRng) -> Cx {
-    let u1: f64 = rng.gen::<f64>().max(1e-300);
-    let u2: f64 = rng.gen();
+fn gaussian_pair(rng: &mut Rng) -> Cx {
+    let u1: f64 = rng.gen_f64().max(1e-300);
+    let u2: f64 = rng.gen_f64();
     let r = (-u1.ln()).sqrt(); // variance 1/2 per component
-    Cx::new(
-        r * (2.0 * PI * u2).cos(),
-        r * (2.0 * PI * u2).sin(),
-    )
+    Cx::new(r * (2.0 * PI * u2).cos(), r * (2.0 * PI * u2).sin())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn small_cube() -> (CCube, ArrayGeometry) {
         (CCube::zeros([32, 8, 16]), ArrayGeometry::small(8))
@@ -161,7 +156,7 @@ mod tests {
     #[test]
     fn noise_power_is_about_unity() {
         let (mut c, _) = small_cube();
-        let mut rng = SmallRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         add_noise(&mut c, &mut rng);
         let p: f64 = c.as_slice().iter().map(|x| x.norm_sqr()).sum::<f64>() / c.len() as f64;
         assert!((p - 1.0).abs() < 0.1, "noise power {p}");
@@ -170,7 +165,7 @@ mod tests {
     #[test]
     fn clutter_power_tracks_cnr() {
         let (mut c, geom) = small_cube();
-        let mut rng = SmallRng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         let cfg = ClutterConfig {
             cnr_db: 30.0,
             ..Default::default()
@@ -179,7 +174,10 @@ mod tests {
         let p: f64 = c.as_slice().iter().map(|x| x.norm_sqr()).sum::<f64>() / c.len() as f64;
         let want = 10f64.powf(3.0);
         // Uniform amplitude model: within a factor ~2 of nominal CNR.
-        assert!(p > want * 0.3 && p < want * 3.0, "clutter power {p} vs {want}");
+        assert!(
+            p > want * 0.3 && p < want * 3.0,
+            "clutter power {p} vs {want}"
+        );
     }
 
     #[test]
@@ -188,7 +186,7 @@ mod tests {
         // in low-|frequency| bins (the receiver centering the paper
         // describes).
         let (mut c, geom) = small_cube();
-        let mut rng = SmallRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         let cfg = ClutterConfig {
             extent_deg: 5.0, // only near-beam ground -> tight ridge
             ..Default::default()
@@ -218,7 +216,7 @@ mod tests {
     #[test]
     fn jammer_is_spatially_coherent_but_temporally_white() {
         let (mut c, geom) = small_cube();
-        let mut rng = SmallRng::seed_from_u64(4);
+        let mut rng = Rng::seed_from_u64(4);
         add_jammer(
             &mut c,
             &geom,
@@ -255,7 +253,7 @@ mod tests {
     #[test]
     fn range_attenuation_shapes_the_profile() {
         let (mut c, geom) = small_cube();
-        let mut rng = SmallRng::seed_from_u64(5);
+        let mut rng = Rng::seed_from_u64(5);
         let cfg = ClutterConfig {
             range_attenuation_exponent: 2.0,
             ..Default::default()
@@ -278,8 +276,8 @@ mod tests {
         let (mut a, geom) = small_cube();
         let (mut b, _) = small_cube();
         let cfg = ClutterConfig::default();
-        let mut r1 = SmallRng::seed_from_u64(42);
-        let mut r2 = SmallRng::seed_from_u64(42);
+        let mut r1 = Rng::seed_from_u64(42);
+        let mut r2 = Rng::seed_from_u64(42);
         add_clutter(&mut a, &geom, &cfg, 0.0, &mut r1);
         add_clutter(&mut b, &geom, &cfg, 0.0, &mut r2);
         assert!(a.max_abs_diff(&b) == 0.0);

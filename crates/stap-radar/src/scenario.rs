@@ -3,9 +3,8 @@
 use crate::clutter::{add_clutter, add_jammer, add_noise, ClutterConfig, Jammer};
 use crate::steering::{doppler_steering, ArrayGeometry};
 use crate::waveform::chirp;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use stap_cube::CCube;
+use stap_util::Rng;
 
 /// A point target injected into the scene.
 #[derive(Clone, Copy, Debug)]
@@ -146,7 +145,7 @@ impl Scenario {
     /// corner-turned layout the special interface boards produced).
     pub fn generate_cpi(&self, i: usize) -> CCube {
         let mut cube = CCube::zeros([self.range_cells, self.geom.channels, self.pulses]);
-        let mut rng = SmallRng::seed_from_u64(self.seed.wrapping_add(i as u64));
+        let mut rng = Rng::seed_from_u64(self.seed.wrapping_add(i as u64));
         let beam = self.beam_of_cpi(i);
         if let Some(cfg) = &self.clutter {
             add_clutter(&mut cube, &self.geom, cfg, beam, &mut rng);
@@ -194,7 +193,11 @@ impl Iterator for CpiStream<'_> {
         }
         let i = self.next;
         self.next += 1;
-        Some((i, self.scenario.beam_of_cpi(i), self.scenario.generate_cpi(i)))
+        Some((
+            i,
+            self.scenario.beam_of_cpi(i),
+            self.scenario.generate_cpi(i),
+        ))
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
@@ -291,7 +294,12 @@ mod tests {
         let t = sc.targets[0];
         // Power at target cell dwarfs a quiet cell.
         let p_target: f64 = (0..sc.geom.channels)
-            .map(|j| cube.lane(t.range_cell, j).iter().map(|x| x.norm_sqr()).sum::<f64>())
+            .map(|j| {
+                cube.lane(t.range_cell, j)
+                    .iter()
+                    .map(|x| x.norm_sqr())
+                    .sum::<f64>()
+            })
             .sum();
         let p_quiet: f64 = (0..sc.geom.channels)
             .map(|j| cube.lane(0, j).iter().map(|x| x.norm_sqr()).sum::<f64>())
@@ -326,12 +334,7 @@ mod tests {
             let want = (10.0 + 2.5 * cpi_idx as f64).round() as usize;
             // Strongest range cell (by channel-0 energy) must track.
             let (best, _) = (0..sc.range_cells)
-                .map(|k| {
-                    (
-                        k,
-                        cube.lane(k, 0).iter().map(|x| x.norm_sqr()).sum::<f64>(),
-                    )
-                })
+                .map(|k| (k, cube.lane(k, 0).iter().map(|x| x.norm_sqr()).sum::<f64>()))
                 .max_by(|a, b| a.1.total_cmp(&b.1))
                 .unwrap();
             assert_eq!(best, want, "cpi {cpi_idx}");

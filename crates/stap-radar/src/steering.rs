@@ -38,9 +38,7 @@ impl ArrayGeometry {
         let sin_az = (az_deg * PI / 180.0).sin();
         let scale = 1.0 / (self.channels as f64).sqrt();
         (0..self.channels)
-            .map(|j| {
-                Cx::cis(2.0 * PI * self.spacing_wavelengths * j as f64 * sin_az).scale(scale)
-            })
+            .map(|j| Cx::cis(2.0 * PI * self.spacing_wavelengths * j as f64 * sin_az).scale(scale))
             .collect()
     }
 
@@ -77,10 +75,7 @@ pub fn beam_azimuths(center_deg: f64, half_width_deg: f64, beams: usize) -> Vec<
         return vec![center_deg];
     }
     (0..beams)
-        .map(|b| {
-            center_deg - half_width_deg
-                + 2.0 * half_width_deg * b as f64 / (beams - 1) as f64
-        })
+        .map(|b| center_deg - half_width_deg + 2.0 * half_width_deg * b as f64 / (beams - 1) as f64)
         .collect()
 }
 

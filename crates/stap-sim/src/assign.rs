@@ -76,9 +76,7 @@ pub fn optimize(
     let mut result = eval(cfg, current);
     let feasible = |r: &SimResult| match objective {
         Objective::MaxThroughput => true,
-        Objective::MinLatency { throughput_floor } => {
-            r.measured_throughput >= throughput_floor
-        }
+        Objective::MinLatency { throughput_floor } => r.measured_throughput >= throughput_floor,
     };
     let better = |a: &SimResult, b: &SimResult| -> bool {
         match objective {

@@ -81,7 +81,7 @@ impl SimConfig {
 }
 
 /// Simulation output.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug)]
 pub struct SimResult {
     /// Per-task phase times averaged over nodes and measured CPIs.
     pub tasks: [TaskTiming; 7],
@@ -95,6 +95,32 @@ pub struct SimResult {
     pub eq_latency: f64,
     /// Equation (3) (idle-excluded) latency.
     pub eq_real_latency: f64,
+}
+
+impl SimResult {
+    /// A JSON rendering of the result (field order matches the struct),
+    /// used by `stapctl simulate --json`.
+    pub fn to_json(&self) -> stap_util::Json {
+        use stap_util::Json;
+        Json::obj([
+            (
+                "tasks",
+                Json::arr(self.tasks.iter().map(|t| {
+                    Json::obj([
+                        ("recv", Json::Num(t.recv)),
+                        ("comp", Json::Num(t.comp)),
+                        ("send", Json::Num(t.send)),
+                        ("recv_idle", Json::Num(t.recv_idle)),
+                    ])
+                })),
+            ),
+            ("measured_throughput", Json::Num(self.measured_throughput)),
+            ("measured_latency", Json::Num(self.measured_latency)),
+            ("eq_throughput", Json::Num(self.eq_throughput)),
+            ("eq_latency", Json::Num(self.eq_latency)),
+            ("eq_real_latency", Json::Num(self.eq_real_latency)),
+        ])
+    }
 }
 
 /// Per-pair message volumes in bytes (complex samples are 8 bytes, the
@@ -309,7 +335,11 @@ fn simulate_inner(
                             continue;
                         }
                         let prev_cpi = cpi - stride;
-                        let prev_target = if *is_weight { prev_cpi + cfg.beams } else { prev_cpi };
+                        let prev_target = if *is_weight {
+                            prev_cpi + cfg.beams
+                        } else {
+                            prev_cpi
+                        };
                         if prev_target >= n || (*is_weight && prev_target >= cpi) {
                             // Weight messages target a future CPI whose
                             // consumption hasn't been simulated yet; the
@@ -320,8 +350,7 @@ fn simulate_inner(
                             if bytes == 0 {
                                 continue;
                             }
-                            if let Some(&e) = recv_end_at.get(&(*dst_task, dst_node, prev_target))
-                            {
+                            if let Some(&e) = recv_end_at.get(&(*dst_task, dst_node, prev_target)) {
                                 phase_start = phase_start.max(e);
                             }
                         }
@@ -425,7 +454,9 @@ fn simulate_inner(
         .map(|i| completions[i] - completions[i - 1])
         .collect();
     let mean_interval = intervals.iter().sum::<f64>() / intervals.len().max(1) as f64;
-    let latencies: Vec<f64> = (lo..hi).map(|i| completions[i] - doppler_start[i]).collect();
+    let latencies: Vec<f64> = (lo..hi)
+        .map(|i| completions[i] - doppler_start[i])
+        .collect();
     let mean_latency = latencies.iter().sum::<f64>() / latencies.len().max(1) as f64;
 
     SimResult {
@@ -619,10 +650,7 @@ mod volume_tests {
             assert_eq!(sum(&v.hbf_to_pc), volumes::hard_bf_to_pc(&p) * 8);
             assert_eq!(sum(&v.pc_to_cfar), volumes::pc_to_cfar_real(&p) * 4);
             let input: u64 = v.input_slab.iter().sum();
-            assert_eq!(
-                input,
-                (p.k_range * p.j_channels * p.n_pulses) as u64 * 8
-            );
+            assert_eq!(input, (p.k_range * p.j_channels * p.n_pulses) as u64 * 8);
         }
     }
 }

@@ -156,13 +156,22 @@ pub fn tables2to6() -> String {
     writeln!(
         out,
         "{:<8} {:>15} {:>17} {:>17} {:>17} {:>17} {:>17}",
-        "doppler", "send pap/mod", "easyWt16 p/m", "hardWt56 p/m", "hardWt112 p/m",
-        "easyBF16 p/m", "hardBF16 p/m"
+        "doppler",
+        "send pap/mod",
+        "easyWt16 p/m",
+        "hardWt56 p/m",
+        "hardWt112 p/m",
+        "easyBF16 p/m",
+        "hardBF16 p/m"
     )
     .unwrap();
     for (i, &dn) in [8usize, 16, 32].iter().enumerate() {
-        let r56 = simulate(&SimConfig::paper(NodeAssignment([dn, 16, 56, 16, 16, 16, 16])));
-        let r112 = simulate(&SimConfig::paper(NodeAssignment([dn, 16, 112, 16, 16, 16, 16])));
+        let r56 = simulate(&SimConfig::paper(NodeAssignment([
+            dn, 16, 56, 16, 16, 16, 16,
+        ])));
+        let r112 = simulate(&SimConfig::paper(NodeAssignment([
+            dn, 16, 112, 16, 16, 16, 16,
+        ])));
         writeln!(
             out,
             "{:<8} {:>7.4}/{:<7.4} {:>8.4}/{:<8.4} {:>8.4}/{:<8.4} {:>8.4}/{:<8.4} {:>8.4}/{:<8.4} {:>8.4}/{:<8.4}",
@@ -186,17 +195,40 @@ pub fn tables2to6() -> String {
 
     // --- Table 3: easy weight -> easy BF. ------------------------------
     let t3_paper = [
-        (8usize, [(4usize, 0.0005, 0.1956), (8, 0.0088, 0.0883), (16, 0.0768, 0.0807)]),
-        (16, [(4, 0.0007, 0.2570), (8, 0.0004, 0.0905), (16, 0.0003, 0.0660)]),
+        (
+            8usize,
+            [
+                (4usize, 0.0005, 0.1956),
+                (8, 0.0088, 0.0883),
+                (16, 0.0768, 0.0807),
+            ],
+        ),
+        (
+            16,
+            [
+                (4, 0.0007, 0.2570),
+                (8, 0.0004, 0.0905),
+                (16, 0.0003, 0.0660),
+            ],
+        ),
     ];
     for (bf, rows) in t3_paper {
         let paper_rows: Vec<CommPaperRow> = rows
             .iter()
-            .map(|&(n, send, recv)| CommPaperRow { sweep_nodes: n, send, recv })
+            .map(|&(n, send, recv)| CommPaperRow {
+                sweep_nodes: n,
+                send,
+                recv,
+            })
             .collect();
         let pairs: Vec<(NodeAssignment, &CommPaperRow)> = paper_rows
             .iter()
-            .map(|pr| (NodeAssignment([32, pr.sweep_nodes, 112, bf, 16, 16, 16]), pr))
+            .map(|pr| {
+                (
+                    NodeAssignment([32, pr.sweep_nodes, 112, bf, 16, 16, 16]),
+                    pr,
+                )
+            })
             .collect();
         render_comm_table(
             &mut out,
@@ -210,13 +242,31 @@ pub fn tables2to6() -> String {
 
     // --- Table 4: hard weight -> hard BF. ------------------------------
     let t4_paper = [
-        (8usize, [(28usize, 0.0007, 0.1798), (56, 0.0100, 0.1468), (112, 0.1824, 0.1398)]),
-        (16, [(28, 0.0007, 0.2485), (56, 0.0065, 0.0765), (112, 0.0005, 0.0543)]),
+        (
+            8usize,
+            [
+                (28usize, 0.0007, 0.1798),
+                (56, 0.0100, 0.1468),
+                (112, 0.1824, 0.1398),
+            ],
+        ),
+        (
+            16,
+            [
+                (28, 0.0007, 0.2485),
+                (56, 0.0065, 0.0765),
+                (112, 0.0005, 0.0543),
+            ],
+        ),
     ];
     for (bf, rows) in t4_paper {
         let paper_rows: Vec<CommPaperRow> = rows
             .iter()
-            .map(|&(n, send, recv)| CommPaperRow { sweep_nodes: n, send, recv })
+            .map(|&(n, send, recv)| CommPaperRow {
+                sweep_nodes: n,
+                send,
+                recv,
+            })
             .collect();
         let pairs: Vec<(NodeAssignment, &CommPaperRow)> = paper_rows
             .iter()
@@ -234,13 +284,31 @@ pub fn tables2to6() -> String {
 
     // --- Table 5: beamforming -> pulse compression. ---------------------
     let t5_paper = [
-        (8usize, [(4usize, 0.0069, 0.5016), (8, 0.0036, 0.1379), (16, 0.0580, 0.0771)]),
-        (16, [(4, 0.0069, 0.5714), (8, 0.0036, 0.2090), (16, 0.0022, 0.0569)]),
+        (
+            8usize,
+            [
+                (4usize, 0.0069, 0.5016),
+                (8, 0.0036, 0.1379),
+                (16, 0.0580, 0.0771),
+            ],
+        ),
+        (
+            16,
+            [
+                (4, 0.0069, 0.5714),
+                (8, 0.0036, 0.2090),
+                (16, 0.0022, 0.0569),
+            ],
+        ),
     ];
     for (pc, rows) in t5_paper {
         let paper_rows: Vec<CommPaperRow> = rows
             .iter()
-            .map(|&(n, send, recv)| CommPaperRow { sweep_nodes: n, send, recv })
+            .map(|&(n, send, recv)| CommPaperRow {
+                sweep_nodes: n,
+                send,
+                recv,
+            })
             .collect();
         let pairs: Vec<(NodeAssignment, &CommPaperRow)> = paper_rows
             .iter()
@@ -253,7 +321,9 @@ pub fn tables2to6() -> String {
             .collect();
         render_comm_table(
             &mut out,
-            &format!("Table 5 — easy BF -> pulse compression ({pc} PC nodes; hard BF swept together)"),
+            &format!(
+                "Table 5 — easy BF -> pulse compression ({pc} PC nodes; hard BF swept together)"
+            ),
             &pairs,
             EASY_BF,
             PC,
@@ -263,17 +333,40 @@ pub fn tables2to6() -> String {
 
     // --- Table 6: pulse compression -> CFAR. ----------------------------
     let t6_paper = [
-        (4usize, [(4usize, 0.0099, 0.3351), (8, 0.0053, 0.0662), (16, 0.1256, 0.0435)]),
-        (8, [(4, 0.0098, 0.3348), (8, 0.0051, 0.1750), (16, 0.0028, 0.1783)]),
+        (
+            4usize,
+            [
+                (4usize, 0.0099, 0.3351),
+                (8, 0.0053, 0.0662),
+                (16, 0.1256, 0.0435),
+            ],
+        ),
+        (
+            8,
+            [
+                (4, 0.0098, 0.3348),
+                (8, 0.0051, 0.1750),
+                (16, 0.0028, 0.1783),
+            ],
+        ),
     ];
     for (cf, rows) in t6_paper {
         let paper_rows: Vec<CommPaperRow> = rows
             .iter()
-            .map(|&(n, send, recv)| CommPaperRow { sweep_nodes: n, send, recv })
+            .map(|&(n, send, recv)| CommPaperRow {
+                sweep_nodes: n,
+                send,
+                recv,
+            })
             .collect();
         let pairs: Vec<(NodeAssignment, &CommPaperRow)> = paper_rows
             .iter()
-            .map(|pr| (NodeAssignment([32, 16, 112, 16, 16, pr.sweep_nodes, cf]), pr))
+            .map(|pr| {
+                (
+                    NodeAssignment([32, 16, 112, 16, 16, pr.sweep_nodes, cf]),
+                    pr,
+                )
+            })
             .collect();
         render_comm_table(
             &mut out,
@@ -450,7 +543,13 @@ pub fn tables9and10() -> String {
     writeln!(out, "Tables 9 & 10 — adding nodes to case 2").unwrap();
     row(&mut out, "case 2 (118 nodes)", &base, 3.7959, 0.6805);
     row(&mut out, "table 9 (+4 Doppler, 122)", &t9, 5.0213, 0.5498);
-    row(&mut out, "table 10 (+16 PC/CFAR, 138)", &t10, 4.9052, 0.4247);
+    row(
+        &mut out,
+        "table 10 (+16 PC/CFAR, 138)",
+        &t10,
+        4.9052,
+        0.4247,
+    );
     writeln!(
         out,
         "paper's observations: (9) +3% nodes -> +32% throughput, -19% latency;\n\
@@ -656,7 +755,11 @@ pub fn optimizer() -> String {
         writeln!(
             out,
             "budget {:>3}: seed {:?} tp {:.3} -> optimized {:?} tp {:.3} lat {:.3}",
-            budget, seed.0, seed_r.measured_throughput, tp_a.0, tp_r.measured_throughput,
+            budget,
+            seed.0,
+            seed_r.measured_throughput,
+            tp_a.0,
+            tp_r.measured_throughput,
             tp_r.measured_latency
         )
         .unwrap();
@@ -885,14 +988,34 @@ pub fn check() -> Vec<String> {
     for (assign, tp, lat) in refs {
         let r = simulate(&SimConfig::paper(assign));
         let n = assign.total();
-        expect(&mut failures, &format!("throughput@{n}"), r.measured_throughput, tp, 0.10);
-        expect(&mut failures, &format!("latency@{n}"), r.measured_latency, lat, 0.15);
+        expect(
+            &mut failures,
+            &format!("throughput@{n}"),
+            r.measured_throughput,
+            tp,
+            0.10,
+        );
+        expect(
+            &mut failures,
+            &format!("latency@{n}"),
+            r.measured_latency,
+            lat,
+            0.15,
+        );
     }
 
     // Table 2 send anchors.
     for (dn, want) in [(8usize, 0.1332), (16, 0.0679), (32, 0.0340)] {
-        let r = simulate(&SimConfig::paper(NodeAssignment([dn, 16, 56, 16, 16, 16, 16])));
-        expect(&mut failures, &format!("doppler_send@{dn}"), r.tasks[0].send, want, 0.08);
+        let r = simulate(&SimConfig::paper(NodeAssignment([
+            dn, 16, 56, 16, 16, 16, 16,
+        ])));
+        expect(
+            &mut failures,
+            &format!("doppler_send@{dn}"),
+            r.tasks[0].send,
+            want,
+            0.08,
+        );
     }
 
     // Table 9: adding Doppler nodes lifts throughput substantially.
@@ -936,6 +1059,10 @@ mod check_tests {
     #[test]
     fn reproduction_gate_passes() {
         let failures = super::check();
-        assert!(failures.is_empty(), "reproduction drifted:\n{}", failures.join("\n"));
+        assert!(
+            failures.is_empty(),
+            "reproduction drifted:\n{}",
+            failures.join("\n")
+        );
     }
 }

@@ -13,7 +13,7 @@ use stap_pipeline::NodeAssignment;
 use std::fmt::Write as _;
 
 /// One per-task computation-time sample (Figure 11's data).
-#[derive(Clone, Debug, PartialEq, serde::Serialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CompTimeRow {
     /// Task name (paper's labels).
     pub task: String,
@@ -27,7 +27,11 @@ pub struct CompTimeRow {
 
 /// Per-task computation time over node sweeps (the data behind
 /// Figure 11).
-pub fn fig11_rows(machine: &Paragon, flops: &[u64; 7], sweeps: &[(usize, Vec<usize>)]) -> Vec<CompTimeRow> {
+pub fn fig11_rows(
+    machine: &Paragon,
+    flops: &[u64; 7],
+    sweeps: &[(usize, Vec<usize>)],
+) -> Vec<CompTimeRow> {
     let mut rows = Vec::new();
     for (task, nodes) in sweeps {
         let base = machine.compute_time(ALL_TASKS[*task], flops[*task], nodes[0]);
@@ -45,7 +49,7 @@ pub fn fig11_rows(machine: &Paragon, flops: &[u64; 7], sweeps: &[(usize, Vec<usi
 }
 
 /// One integrated-system sample (scaling-curve data).
-#[derive(Clone, Debug, PartialEq, serde::Serialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ScalingRow {
     /// Total node count.
     pub nodes: usize,
@@ -82,7 +86,12 @@ pub fn scaling_rows(cfg: &SimConfig, assignments: &[NodeAssignment]) -> Vec<Scal
 pub fn fig11_csv(rows: &[CompTimeRow]) -> String {
     let mut out = String::from("task,nodes,comp_s,speedup\n");
     for r in rows {
-        writeln!(out, "{},{},{:.6},{:.4}", r.task, r.nodes, r.comp_s, r.speedup).unwrap();
+        writeln!(
+            out,
+            "{},{},{:.6},{:.4}",
+            r.task, r.nodes, r.comp_s, r.speedup
+        )
+        .unwrap();
     }
     out
 }

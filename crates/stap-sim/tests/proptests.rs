@@ -1,85 +1,108 @@
 //! Property-based tests for the Paragon-scale simulator: structural
-//! invariants that must hold for arbitrary configurations.
+//! invariants that must hold for arbitrary configurations (in-tree
+//! harness; see `stap_util::check`).
 
-use proptest::prelude::*;
 use stap_pipeline::NodeAssignment;
 use stap_sim::des::{simulate, simulate_traced, SimConfig};
+use stap_util::check::{check, Gen};
 
-fn counts_strategy() -> impl Strategy<Value = [usize; 7]> {
-    proptest::array::uniform7(1usize..24)
+fn counts(g: &mut Gen) -> [usize; 7] {
+    g.array(|g| g.int(1, 24))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn replication_never_reduces_throughput(counts in counts_strategy(), task in 0usize..7) {
+#[test]
+fn replication_never_reduces_throughput() {
+    check("replication_never_reduces_throughput", 24, |g| {
+        let counts = counts(g);
+        let task = g.int(0, 7);
         let base = simulate(&SimConfig::paper(NodeAssignment(counts)));
         let mut cfg = SimConfig::paper(NodeAssignment(counts));
         cfg.replicas[task] = 2;
         let rep = simulate(&cfg);
-        prop_assert!(
+        assert!(
             rep.measured_throughput >= base.measured_throughput * 0.98,
             "replicating task {task} hurt: {} -> {}",
             base.measured_throughput,
             rep.measured_throughput
         );
-    }
+    });
+}
 
-    #[test]
-    fn input_rate_caps_throughput_exactly(counts in counts_strategy(), rate_pct in 20u32..95) {
+#[test]
+fn input_rate_caps_throughput_exactly() {
+    check("input_rate_caps_throughput_exactly", 24, |g| {
         // Feed the pipeline at a fraction of its free-running rate: the
         // measured throughput must equal the input rate.
+        let counts = counts(g);
+        let rate_pct = g.int(20, 95) as f64;
         let free = simulate(&SimConfig::paper(NodeAssignment(counts)));
-        let rate = free.measured_throughput * rate_pct as f64 / 100.0;
+        let rate = free.measured_throughput * rate_pct / 100.0;
         let mut cfg = SimConfig::paper(NodeAssignment(counts));
         cfg.input_interval_s = Some(1.0 / rate);
         let limited = simulate(&cfg);
         let rel = (limited.measured_throughput - rate).abs() / rate;
-        prop_assert!(rel < 0.02, "wanted {rate}, got {}", limited.measured_throughput);
-    }
+        assert!(
+            rel < 0.02,
+            "wanted {rate}, got {}",
+            limited.measured_throughput
+        );
+    });
+}
 
-    #[test]
-    fn smp_speedup_bounded_by_amdahl(counts in counts_strategy(), cpus in 2usize..4) {
+#[test]
+fn smp_speedup_bounded_by_amdahl() {
+    check("smp_speedup_bounded_by_amdahl", 24, |g| {
+        let counts = counts(g);
+        let cpus = g.int(2, 4);
         let base = simulate(&SimConfig::paper(NodeAssignment(counts)));
         let mut cfg = SimConfig::paper(NodeAssignment(counts));
         cfg.cpus_per_node = cpus;
         let smp = simulate(&cfg);
         let gain = smp.measured_throughput / base.measured_throughput;
         let amdahl = cfg.machine.smp_speedup(cpus);
-        prop_assert!(gain <= amdahl * 1.01, "gain {gain} exceeds Amdahl {amdahl}");
-        prop_assert!(gain >= 0.99, "SMP made things worse: {gain}");
-    }
+        assert!(gain <= amdahl * 1.01, "gain {gain} exceeds Amdahl {amdahl}");
+        assert!(gain >= 0.99, "SMP made things worse: {gain}");
+    });
+}
 
-    #[test]
-    fn traced_intervals_are_causally_ordered(counts in proptest::array::uniform7(1usize..8)) {
+#[test]
+fn traced_intervals_are_causally_ordered() {
+    check("traced_intervals_are_causally_ordered", 24, |g| {
+        let counts: [usize; 7] = g.array(|g| g.int(1, 8));
         let mut cfg = SimConfig::paper(NodeAssignment(counts));
         cfg.num_cpis = 6;
         let traced = simulate_traced(&cfg);
         for iv in &traced.intervals {
-            prop_assert!(iv.start.is_finite() && iv.start >= 0.0);
-            prop_assert!(iv.start <= iv.recv_end);
-            prop_assert!(iv.recv_end <= iv.comp_end);
-            prop_assert!(iv.comp_end <= iv.send_end);
+            assert!(iv.start.is_finite() && iv.start >= 0.0);
+            assert!(iv.start <= iv.recv_end);
+            assert!(iv.recv_end <= iv.comp_end);
+            assert!(iv.comp_end <= iv.send_end);
         }
         // CFAR CPI i completes after Doppler CPI i computes.
         for cpi in 0..6 {
-            let dop = traced.intervals.iter()
+            let dop = traced
+                .intervals
+                .iter()
                 .filter(|iv| iv.task == 0 && iv.cpi == cpi)
                 .map(|iv| iv.comp_end)
                 .fold(f64::MAX, f64::min);
-            let cfar = traced.intervals.iter()
+            let cfar = traced
+                .intervals
+                .iter()
                 .filter(|iv| iv.task == 6 && iv.cpi == cpi)
                 .map(|iv| iv.send_end)
                 .fold(0.0f64, f64::max);
-            prop_assert!(cfar > dop, "cpi {cpi}: cfar {cfar} before doppler {dop}");
+            assert!(cfar > dop, "cpi {cpi}: cfar {cfar} before doppler {dop}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn eq_latency_dominates_real_latency(counts in counts_strategy()) {
+#[test]
+fn eq_latency_dominates_real_latency() {
+    check("eq_latency_dominates_real_latency", 24, |g| {
+        let counts = counts(g);
         let r = simulate(&SimConfig::paper(NodeAssignment(counts)));
-        prop_assert!(r.eq_latency >= r.eq_real_latency - 1e-12);
-        prop_assert!(r.eq_real_latency > 0.0);
-    }
+        assert!(r.eq_latency >= r.eq_real_latency - 1e-12);
+        assert!(r.eq_real_latency > 0.0);
+    });
 }

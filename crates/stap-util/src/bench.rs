@@ -1,0 +1,191 @@
+//! A small wall-clock micro-benchmark harness.
+//!
+//! Criterion can't be resolved in hermetic builds; this provides the
+//! subset the repo needs: warmup, calibrated batch sizing (so timer
+//! overhead is amortized for nanosecond-scale kernels), and a robust
+//! median-of-batches per-iteration estimate.
+
+use std::time::{Duration, Instant};
+
+/// Result of one benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Benchmark name.
+    pub name: String,
+    /// Median per-iteration time, nanoseconds.
+    pub median_ns: f64,
+    /// Minimum per-iteration time, nanoseconds (noise floor).
+    pub min_ns: f64,
+    /// Mean per-iteration time, nanoseconds.
+    pub mean_ns: f64,
+    /// Total iterations measured (excluding warmup).
+    pub iters: u64,
+}
+
+impl BenchResult {
+    /// Iterations per second implied by the median.
+    pub fn per_second(&self) -> f64 {
+        1e9 / self.median_ns
+    }
+}
+
+/// Harness configuration: `Bench::new().run("name", || work())`.
+#[derive(Clone, Debug)]
+pub struct Bench {
+    /// Warmup duration before measurement.
+    pub warmup: Duration,
+    /// Total measurement budget.
+    pub measure: Duration,
+    /// Number of timed batches the budget is split over (median is
+    /// taken across batches).
+    pub batches: usize,
+    /// Quiet mode suppresses the one-line report per bench.
+    pub quiet: bool,
+}
+
+impl Default for Bench {
+    fn default() -> Self {
+        Bench {
+            warmup: Duration::from_millis(150),
+            measure: Duration::from_millis(600),
+            batches: 15,
+            quiet: false,
+        }
+    }
+}
+
+impl Bench {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A faster profile for CI smoke runs.
+    pub fn quick() -> Self {
+        Bench {
+            warmup: Duration::from_millis(30),
+            measure: Duration::from_millis(120),
+            batches: 7,
+            quiet: false,
+        }
+    }
+
+    /// Times `f`, returning per-iteration statistics. `f` should return
+    /// a value derived from its work (returned values are passed to
+    /// [`std::hint::black_box`] so the optimizer can't delete the work).
+    pub fn run<T>(&self, name: &str, mut f: impl FnMut() -> T) -> BenchResult {
+        // Warmup and calibration: find how many iterations fit in one
+        // batch window.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warmup || warm_iters == 0 {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let warm_elapsed = warm_start.elapsed().as_secs_f64();
+        let per_iter = warm_elapsed / warm_iters as f64;
+        let batch_window = self.measure.as_secs_f64() / self.batches as f64;
+        let batch_iters = ((batch_window / per_iter) as u64).max(1);
+
+        let mut samples = Vec::with_capacity(self.batches);
+        let mut total_iters = 0u64;
+        for _ in 0..self.batches {
+            let t0 = Instant::now();
+            for _ in 0..batch_iters {
+                std::hint::black_box(f());
+            }
+            let ns = t0.elapsed().as_nanos() as f64 / batch_iters as f64;
+            samples.push(ns);
+            total_iters += batch_iters;
+        }
+        samples.sort_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+        let min = samples[0];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let r = BenchResult {
+            name: name.to_string(),
+            median_ns: median,
+            min_ns: min,
+            mean_ns: mean,
+            iters: total_iters,
+        };
+        if !self.quiet {
+            println!(
+                "bench {:<44} median {:>12}  min {:>12}  ({} iters)",
+                r.name,
+                fmt_ns(r.median_ns),
+                fmt_ns(r.min_ns),
+                r.iters
+            );
+        }
+        r
+    }
+}
+
+/// Human-readable nanoseconds.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Bench {
+        Bench {
+            warmup: Duration::from_millis(5),
+            measure: Duration::from_millis(20),
+            batches: 5,
+            quiet: true,
+        }
+    }
+
+    #[test]
+    fn measures_something_positive() {
+        let r = tiny().run("spin", || {
+            let mut s = 0u64;
+            for i in 0..100 {
+                s = s.wrapping_add(std::hint::black_box(i));
+            }
+            s
+        });
+        assert!(r.median_ns > 0.0);
+        assert!(r.min_ns <= r.median_ns);
+        assert!(r.iters >= 5);
+        assert!(r.per_second() > 0.0);
+    }
+
+    #[test]
+    fn distinguishes_cheap_from_expensive() {
+        let b = tiny();
+        let cheap = b.run("cheap", || 1u64);
+        let costly = b.run("costly", || {
+            let mut s = 1.0f64;
+            for i in 1..2000 {
+                s += (i as f64).sqrt();
+            }
+            s
+        });
+        assert!(
+            costly.median_ns > cheap.median_ns,
+            "costly {} vs cheap {}",
+            costly.median_ns,
+            cheap.median_ns
+        );
+    }
+
+    #[test]
+    fn formats_scales() {
+        assert!(fmt_ns(12.0).contains("ns"));
+        assert!(fmt_ns(12_000.0).contains("us"));
+        assert!(fmt_ns(12_000_000.0).contains("ms"));
+        assert!(fmt_ns(12_000_000_000.0).contains("s"));
+    }
+}

@@ -34,9 +34,7 @@ fn main() {
         pulse_window,
         scenario.geom.channels * pulse_window
     );
-    println!(
-        "clutter eigenvalues (dB below peak), Brennan's rule predicts rank ~{predicted}:"
-    );
+    println!("clutter eigenvalues (dB below peak), Brennan's rule predicts rank ~{predicted}:");
     let peak = eig.values[0];
     for (i, chunk) in eig.values.chunks(8).enumerate() {
         let row: Vec<String> = chunk

@@ -51,7 +51,10 @@ fn main() {
          azimuth 2 deg, under 40 dB clutter)\n",
         trials
     );
-    println!("{:>8} {:>12} {:>12}", "SNR dB", "adaptive Pd", "quiescent Pd");
+    println!(
+        "{:>8} {:>12} {:>12}",
+        "SNR dB", "adaptive Pd", "quiescent Pd"
+    );
     for snr in [-5.0f64, 0.0, 5.0, 10.0, 15.0, 20.0] {
         let mut hits_a = 0;
         let mut hits_q = 0;

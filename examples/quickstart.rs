@@ -21,14 +21,20 @@ fn main() {
     let scenario = Scenario::reduced(2024);
     let mut stap = SequentialStap::for_scenario(params, &scenario);
 
-    println!("geometry: K={} range cells, J={} channels, N={} pulses, M={} beams",
-        stap.params.k_range, stap.params.j_channels, stap.params.n_pulses, stap.params.m_beams);
+    println!(
+        "geometry: K={} range cells, J={} channels, N={} pulses, M={} beams",
+        stap.params.k_range, stap.params.j_channels, stap.params.n_pulses, stap.params.m_beams
+    );
     println!("target truth: range 30, Doppler bin 8, azimuth 2 deg, SNR 5 dB\n");
 
     for (i, _beam_deg, cpi) in scenario.stream(6) {
         let out = stap.process_cpi(0, &cpi);
         let reports = cluster(&out.detections);
-        println!("CPI {i}: {} raw detections, {} clustered", out.detections.len(), reports.len());
+        println!(
+            "CPI {i}: {} raw detections, {} clustered",
+            out.detections.len(),
+            reports.len()
+        );
         for d in reports.iter().take(8) {
             println!(
                 "    bin {:>3}  beam {}  range {:>3}  power {:>9.1} (threshold {:>8.1})",
@@ -43,7 +49,6 @@ fn main() {
     let final_cpi = scenario.generate_cpi(5);
     let out = stap.process_cpi(0, &final_cpi);
     let path = std::env::temp_dir().join("stap_quickstart_rd_map.pgm");
-    save_range_doppler_map(&out.power, 2, &path, &RenderOptions::default())
-        .expect("write PGM");
+    save_range_doppler_map(&out.power, 2, &path, &RenderOptions::default()).expect("write PGM");
     println!("\nrange-Doppler map (beam 2) written to {}", path.display());
 }

@@ -32,20 +32,31 @@ fn main() {
         Target::fixed(101, 0.33, -38.0, 8.0),
     ];
 
-    println!("RTMCARM flight: {} CPIs, beams {:?} deg", num_cpis, scenario.transmit_beams);
-    println!("truth: 3 targets at (range, bin, az) = (200, 32, 2), (340, 102, 22), (101, 42, -38)\n");
+    println!(
+        "RTMCARM flight: {} CPIs, beams {:?} deg",
+        num_cpis, scenario.transmit_beams
+    );
+    println!(
+        "truth: 3 targets at (range, bin, az) = (200, 32, 2), (340, 102, 22), (101, 42, -38)\n"
+    );
     println!("generating CPI stream (512x16x128 each)...");
     let cpis: Vec<_> = scenario.stream(num_cpis).map(|(_, _, c)| c).collect();
 
     let assign = NodeAssignment([2, 1, 2, 1, 1, 2, 1]);
-    println!("running parallel pipeline on {} rank threads + driver...\n", assign.total());
+    println!(
+        "running parallel pipeline on {} rank threads + driver...\n",
+        assign.total()
+    );
     let runner = ParallelStap::for_scenario(params, assign, &scenario);
     let out = runner.run(cpis);
 
     for (i, dets) in out.detections.iter().enumerate() {
         let beam_deg = scenario.beam_of_cpi(i);
         let reports = cluster(dets);
-        println!("CPI {i:>2} (beam {beam_deg:>5.1} deg): {} reports", reports.len());
+        println!(
+            "CPI {i:>2} (beam {beam_deg:>5.1} deg): {} reports",
+            reports.len()
+        );
         for d in reports.iter().take(6) {
             println!(
                 "    bin {:>3}  beam {}  range {:>3}  power {:>12.1}",

@@ -29,7 +29,9 @@ fn balance(mut assign: NodeAssignment, steps: usize) -> NodeAssignment {
     for _ in 0..steps {
         let r = simulate(&SimConfig::paper(assign));
         let totals: Vec<f64> = r.tasks.iter().map(|t| t.total()).collect();
-        let worst = (0..7).max_by(|&a, &b| totals[a].total_cmp(&totals[b])).unwrap();
+        let worst = (0..7)
+            .max_by(|&a, &b| totals[a].total_cmp(&totals[b]))
+            .unwrap();
         let mut improved = false;
         // Try donating from every task (richest spare time first).
         let mut donors: Vec<usize> = (0..7).filter(|&t| t != worst && assign.0[t] > 1).collect();
@@ -55,7 +57,10 @@ fn balance(mut assign: NodeAssignment, steps: usize) -> NodeAssignment {
 
 fn main() {
     println!("== proportional scaling (case-3 ratios) ==");
-    println!("{:>7} {:>24} {:>12} {:>10}", "budget", "assignment", "throughput", "latency");
+    println!(
+        "{:>7} {:>24} {:>12} {:>10}",
+        "budget", "assignment", "throughput", "latency"
+    );
     let mut base_tp = None;
     for budget in [30usize, 59, 118, 177, 236, 295] {
         let a = proportional(budget);

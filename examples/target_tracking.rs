@@ -28,7 +28,10 @@ fn main() {
         Target::fixed(50, -0.28, -3.0, 10.0),
     ];
     println!("truth: target A starts at range 12, walks +1.8 cells/CPI, Doppler bin 8");
-    println!("       target B fixed at range 50, Doppler bin {} (= -0.28 * 32 mod 32)\n", (32.0 - 0.28 * 32.0) as usize);
+    println!(
+        "       target B fixed at range 50, Doppler bin {} (= -0.28 * 32 mod 32)\n",
+        (32.0 - 0.28 * 32.0) as usize
+    );
 
     let runner = ParallelStap::for_scenario(params, NodeAssignment::tiny(), &scenario);
     let cpis: Vec<_> = scenario.stream(num_cpis).map(|(_, _, c)| c).collect();

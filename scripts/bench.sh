@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Kernel before/after benchmarks: builds the optimized binaries, runs the
+# paired seed-path vs optimized kernels at the paper's sizes (N = 128,
+# K = 512), and writes BENCH_kernels.json at the repo root.
+#
+#   scripts/bench.sh           # full profile (the numbers EXPERIMENTS.md quotes)
+#   scripts/bench.sh --quick   # fast CI profile
+#   scripts/bench.sh --all     # also run the cargo bench harness suites
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=""
+ALL=0
+for a in "$@"; do
+  case "$a" in
+    --quick) QUICK="--quick" ;;
+    --all) ALL=1 ;;
+    *) echo "usage: scripts/bench.sh [--quick] [--all]" >&2; exit 2 ;;
+  esac
+done
+
+cargo build --release -p stap-bench
+
+echo "== kernel before/after pairs -> BENCH_kernels.json =="
+./target/release/stapctl bench $QUICK --out BENCH_kernels.json
+
+if [[ "$ALL" == 1 ]]; then
+  echo "== micro-bench suite (kernels) =="
+  cargo bench -p stap-bench --bench kernels -- $QUICK
+  echo "== end-to-end suite (pipeline) =="
+  cargo bench -p stap-bench --bench pipeline -- $QUICK
+fi

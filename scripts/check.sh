@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 gate: format, build, test — everything the CI acceptance check
+# runs, in one command. Fully offline (the workspace has no external
+# dependencies, so no registry access is ever needed).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== 1/3 rustfmt =="
+cargo fmt --all -- --check
+
+echo "== 2/3 release build =="
+cargo build --release --workspace
+
+echo "== 3/3 tests (includes the zero-allocation regression) =="
+cargo test -q --workspace
+
+echo "check passed."

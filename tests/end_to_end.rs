@@ -27,7 +27,10 @@ fn detects_strong_target_in_clutter_sequential_and_parallel() {
             .filter(|d| d.range.abs_diff(40) <= 1 && d.bin.abs_diff(8) <= 1)
             .count();
     }
-    assert!(seq_hits >= 2, "sequential missed the target: {seq_hits} hits");
+    assert!(
+        seq_hits >= 2,
+        "sequential missed the target: {seq_hits} hits"
+    );
 
     let par = ParallelStap::for_scenario(params, NodeAssignment::tiny(), &scenario);
     let out = par.run(cpis);
@@ -92,8 +95,7 @@ fn pipeline_matches_reference_with_jammer_and_multiple_beams() {
     let par = ParallelStap::for_scenario(params, NodeAssignment([3, 2, 2, 1, 2, 2, 1]), &scenario);
     let got = par.run(cpis);
     for (i, (g, w)) in got.detections.iter().zip(&want).enumerate() {
-        let gl: Vec<(usize, usize, usize)> =
-            g.iter().map(|d| (d.bin, d.beam, d.range)).collect();
+        let gl: Vec<(usize, usize, usize)> = g.iter().map(|d| (d.bin, d.beam, d.range)).collect();
         assert_eq!(&gl, w, "CPI {i}");
     }
 }
@@ -139,8 +141,7 @@ fn driver_window_size_does_not_change_results() {
     let scenario = Scenario::reduced(909);
     let cpis = collect_cpis(&scenario, 5);
     let run_with = |window: usize| -> Vec<usize> {
-        let mut par =
-            ParallelStap::for_scenario(params.clone(), NodeAssignment::tiny(), &scenario);
+        let mut par = ParallelStap::for_scenario(params.clone(), NodeAssignment::tiny(), &scenario);
         par.window = window;
         par.run(cpis.clone())
             .detections

@@ -1,14 +1,14 @@
 //! Property-based tests over the parallel pipeline and redistribution
 //! machinery: for arbitrary geometries and node assignments, structural
-//! invariants must hold.
+//! invariants must hold (in-tree harness; see `stap_util::check`).
 
-use proptest::prelude::*;
 use stap::core::StapParams;
-use stap::cube::{block_ranges, AxisPartition, CCube, RedistPlan};
+use stap::cube::{block_ranges, AxisPartition, CCube, RedistPlan, SharedBufferPool};
 use stap::math::Cx;
 use stap::pipeline::assignment::Partitions;
 use stap::pipeline::NodeAssignment;
 use stap::sim::{simulate, SimConfig};
+use stap_util::check::check;
 
 fn small_params(k: usize, j: usize, n: usize, n_hard: usize) -> StapParams {
     let mut p = StapParams::reduced();
@@ -24,37 +24,44 @@ fn small_params(k: usize, j: usize, n: usize, n_hard: usize) -> StapParams {
     p
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn block_ranges_partition_exactly(len in 1usize..500, parts in 1usize..40) {
+#[test]
+fn block_ranges_partition_exactly() {
+    check("block_ranges_partition_exactly", 32, |g| {
+        let len = g.int(1, 500);
+        let parts = g.int(1, 40);
         let rs = block_ranges(len, parts);
-        prop_assert_eq!(rs.len(), parts);
+        assert_eq!(rs.len(), parts);
         let mut next = 0;
         for r in &rs {
-            prop_assert_eq!(r.start, next);
+            assert_eq!(r.start, next);
             next = r.end;
         }
-        prop_assert_eq!(next, len);
+        assert_eq!(next, len);
         let min = rs.iter().map(|r| r.len()).min().unwrap();
         let max = rs.iter().map(|r| r.len()).max().unwrap();
-        prop_assert!(max - min <= 1);
-    }
+        assert!(max - min <= 1);
+    });
+}
 
-    #[test]
-    fn redistribution_conserves_every_element(
-        d0 in 2usize..10,
-        d1 in 2usize..6,
-        d2 in 2usize..10,
-        src_n in 1usize..5,
-        dst_n in 1usize..5,
-        perm_idx in 0usize..6,
-        src_axis in 0usize..3,
-        dst_axis in 0usize..3,
-    ) {
-        let perms = [[0,1,2],[0,2,1],[1,0,2],[1,2,0],[2,0,1],[2,1,0]];
-        let perm = perms[perm_idx];
+#[test]
+fn redistribution_conserves_every_element() {
+    check("redistribution_conserves_every_element", 32, |g| {
+        let d0 = g.int(2, 10);
+        let d1 = g.int(2, 6);
+        let d2 = g.int(2, 10);
+        let src_n = g.int(1, 5);
+        let dst_n = g.int(1, 5);
+        let perms = [
+            [0, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
+        ];
+        let perm = perms[g.int(0, 6)];
+        let src_axis = g.int(0, 3);
+        let dst_axis = g.int(0, 3);
         let shape = [d0, d1, d2];
         let dst_shape = [shape[perm[0]], shape[perm[1]], shape[perm[2]]];
         let plan = RedistPlan::new(
@@ -64,10 +71,12 @@ proptest! {
             perm,
         );
         let total: usize = plan.blocks.iter().map(|b| b.elements).sum();
-        prop_assert_eq!(total, d0 * d1 * d2, "elements conserved");
+        assert_eq!(total, d0 * d1 * d2, "elements conserved");
 
         // Execute it in-memory and verify full reassembly.
-        let global = CCube::from_fn(shape, |i, j, k| Cx::new((i * 1000 + j * 50 + k) as f64, 0.0));
+        let global = CCube::from_fn(shape, |i, j, k| {
+            Cx::new((i * 1000 + j * 50 + k) as f64, 0.0)
+        });
         let mut assembled = CCube::zeros(dst_shape);
         for block in &plan.blocks {
             let mut r = [0..shape[0], 0..shape[1], 0..shape[2]];
@@ -79,47 +88,151 @@ proptest! {
             offset[plan.dst_part.axis] += own.start;
             assembled.place(offset, &msg);
         }
-        prop_assert!(assembled.max_abs_diff(&global.permute(perm)) == 0.0);
-    }
+        assert!(assembled.max_abs_diff(&global.permute(perm)) == 0.0);
+    });
+}
 
-    #[test]
-    fn partitions_cover_all_work_for_any_assignment(
-        counts in proptest::array::uniform7(1usize..20),
-    ) {
+#[test]
+fn pooled_redistribution_is_byte_identical_to_plain_path() {
+    check(
+        "pooled_redistribution_is_byte_identical_to_plain_path",
+        32,
+        |g| {
+            let d0 = g.int(2, 10);
+            let d1 = g.int(2, 6);
+            let d2 = g.int(2, 10);
+            let src_n = g.int(1, 5);
+            let dst_n = g.int(1, 5);
+            let perms = [
+                [0, 1, 2],
+                [0, 2, 1],
+                [1, 0, 2],
+                [1, 2, 0],
+                [2, 0, 1],
+                [2, 1, 0],
+            ];
+            let perm = perms[g.int(0, 6)];
+            let src_axis = g.int(0, 3);
+            let dst_axis = g.int(0, 3);
+            let shape = [d0, d1, d2];
+            let dst_shape = [shape[perm[0]], shape[perm[1]], shape[perm[2]]];
+            let plan = RedistPlan::new(
+                shape,
+                AxisPartition::block(src_axis, shape[src_axis], src_n),
+                AxisPartition::block(dst_axis, dst_shape[dst_axis], dst_n),
+                perm,
+            );
+            let global = CCube::from_fn(shape, |i, j, k| {
+                Cx::new(
+                    (i * 977 + j * 53 + k) as f64 * 0.375,
+                    (i + 7 * j + 31 * k) as f64 * -1.5,
+                )
+            });
+            let pool: SharedBufferPool<Cx> = SharedBufferPool::new();
+            let bits = |x: Cx| (x.re.to_bits(), x.im.to_bits());
+            // Two rounds: the second draws its packing buffers entirely from
+            // buffers recycled by the first, and must stay bit-identical.
+            for round in 0..2 {
+                let mut plain = CCube::zeros(dst_shape);
+                let mut pooled = CCube::zeros(dst_shape);
+                for block in &plan.blocks {
+                    let mut r = [0..shape[0], 0..shape[1], 0..shape[2]];
+                    r[plan.src_part.axis] = plan.src_part.range_of(block.src);
+                    let local = global.extract(r[0].clone(), r[1].clone(), r[2].clone());
+                    let msg_plain = plan.pack(block, &local);
+                    let msg_pooled = plan.pack_with(block, &local, &pool);
+                    assert_eq!(msg_plain.shape(), msg_pooled.shape());
+                    assert!(
+                        msg_plain
+                            .as_slice()
+                            .iter()
+                            .zip(msg_pooled.as_slice())
+                            .all(|(&a, &b)| bits(a) == bits(b)),
+                        "pooled pack differs (round {round})"
+                    );
+                    let own = plan.dst_part.range_of(block.dst);
+                    let mut offset = block.dst_offset;
+                    offset[plan.dst_part.axis] += own.start;
+                    // Same as unpack()/unpack_recycling() but the receivers
+                    // here share one global cube instead of local slabs.
+                    plain.place(offset, &msg_plain);
+                    pooled.place(offset, &msg_pooled);
+                    pool.recycle(msg_pooled);
+                }
+                assert!(
+                    plain
+                        .as_slice()
+                        .iter()
+                        .zip(pooled.as_slice())
+                        .all(|(&a, &b)| bits(a) == bits(b)),
+                    "assembled cubes differ (round {round})"
+                );
+                assert!(plain.max_abs_diff(&global.permute(perm)) == 0.0);
+            }
+            let s = pool.stats();
+            assert!(
+                s.hits >= plan.blocks.len() as u64,
+                "round 2 must recycle round 1's buffers: {s:?}"
+            );
+        },
+    );
+}
+
+#[test]
+fn partitions_cover_all_work_for_any_assignment() {
+    check("partitions_cover_all_work_for_any_assignment", 32, |g| {
+        let counts: [usize; 7] = g.array(|g| g.int(1, 20));
         let p = StapParams::paper();
         let a = NodeAssignment(counts);
         let parts = Partitions::new(&p, &a);
-        prop_assert_eq!(parts.doppler_k.iter().map(|r| r.len()).sum::<usize>(), p.k_range);
-        prop_assert_eq!(parts.easy_wt_bins.iter().map(|r| r.len()).sum::<usize>(), p.n_easy());
-        prop_assert_eq!(parts.hard_wt_bins.iter().map(|r| r.len()).sum::<usize>(), p.n_hard);
-        prop_assert_eq!(parts.pc_bins.iter().map(|r| r.len()).sum::<usize>(), p.n_pulses);
-        prop_assert_eq!(parts.cfar_bins.iter().map(|r| r.len()).sum::<usize>(), p.n_pulses);
-    }
+        assert_eq!(
+            parts.doppler_k.iter().map(|r| r.len()).sum::<usize>(),
+            p.k_range
+        );
+        assert_eq!(
+            parts.easy_wt_bins.iter().map(|r| r.len()).sum::<usize>(),
+            p.n_easy()
+        );
+        assert_eq!(
+            parts.hard_wt_bins.iter().map(|r| r.len()).sum::<usize>(),
+            p.n_hard
+        );
+        assert_eq!(
+            parts.pc_bins.iter().map(|r| r.len()).sum::<usize>(),
+            p.n_pulses
+        );
+        assert_eq!(
+            parts.cfar_bins.iter().map(|r| r.len()).sum::<usize>(),
+            p.n_pulses
+        );
+    });
+}
 
-    #[test]
-    fn simulator_is_sane_for_arbitrary_assignments(
-        counts in proptest::array::uniform7(1usize..30),
-    ) {
+#[test]
+fn simulator_is_sane_for_arbitrary_assignments() {
+    check("simulator_is_sane_for_arbitrary_assignments", 32, |g| {
+        let counts: [usize; 7] = g.array(|g| g.int(1, 30));
         let r = simulate(&SimConfig::paper(NodeAssignment(counts)));
-        prop_assert!(r.measured_throughput.is_finite() && r.measured_throughput > 0.0);
-        prop_assert!(r.measured_latency.is_finite() && r.measured_latency > 0.0);
+        assert!(r.measured_throughput.is_finite() && r.measured_throughput > 0.0);
+        assert!(r.measured_latency.is_finite() && r.measured_latency > 0.0);
         for t in &r.tasks {
-            prop_assert!(t.recv >= 0.0 && t.comp > 0.0 && t.send >= 0.0);
-            prop_assert!(t.recv_idle <= t.recv + 1e-12);
+            assert!(t.recv >= 0.0 && t.comp > 0.0 && t.send >= 0.0);
+            assert!(t.recv_idle <= t.recv + 1e-12);
         }
         // Measured throughput tracks the bottleneck equation closely.
         // It may slightly exceed it (the paper's own Table 8 shows real
         // 7.2659 vs equation 7.1019 — averaging task totals over CPIs is
         // not the same as averaging completion intervals).
-        prop_assert!(r.measured_throughput <= r.eq_throughput * 1.10);
-        prop_assert!(r.measured_throughput >= r.eq_throughput * 0.80);
-    }
+        assert!(r.measured_throughput <= r.eq_throughput * 1.10);
+        assert!(r.measured_throughput >= r.eq_throughput * 0.80);
+    });
+}
 
-    #[test]
-    fn adding_nodes_never_hurts_throughput_much(
-        seed_counts in proptest::array::uniform7(1usize..12),
-        task in 0usize..7,
-    ) {
+#[test]
+fn adding_nodes_never_hurts_throughput_much() {
+    check("adding_nodes_never_hurts_throughput_much", 32, |g| {
+        let seed_counts: [usize; 7] = g.array(|g| g.int(1, 12));
+        let task = g.int(0, 7);
         let base = NodeAssignment(seed_counts);
         let mut more = base;
         more.0[task] += 4;
@@ -127,23 +240,25 @@ proptest! {
         let r1 = simulate(&SimConfig::paper(more));
         // Monotonicity within tolerance (communication effects can eat a
         // little, but adding nodes must not collapse performance).
-        prop_assert!(
+        assert!(
             r1.measured_throughput >= 0.9 * r0.measured_throughput,
             "throughput collapsed: {} -> {} adding to task {}",
-            r0.measured_throughput, r1.measured_throughput, task
+            r0.measured_throughput,
+            r1.measured_throughput,
+            task
         );
-    }
+    });
+}
 
-    #[test]
-    fn reduced_geometry_params_validate(
-        k in 16usize..96,
-        n_pow in 4u32..7,
-    ) {
-        let n = 1usize << n_pow;
+#[test]
+fn reduced_geometry_params_validate() {
+    check("reduced_geometry_params_validate", 32, |g| {
+        let k = g.int(16, 96);
+        let n = 1usize << g.int(4, 7);
         let p = small_params(k, 4, n, (n / 4) & !1);
         if p.n_hard >= 2 {
-            prop_assert!(p.validate().is_ok(), "{:?}", p.validate());
-            prop_assert_eq!(p.easy_bins().len() + p.hard_bins().len(), n);
+            assert!(p.validate().is_ok(), "{:?}", p.validate());
+            assert_eq!(p.easy_bins().len() + p.hard_bins().len(), n);
         }
-    }
+    });
 }

@@ -53,7 +53,13 @@ fn throughput_equation_tracks_measured_throughput() {
     for (assign, _, _) in paper_cases() {
         let r = simulate(&SimConfig::paper(assign));
         let rel = (r.eq_throughput - r.measured_throughput).abs() / r.measured_throughput;
-        assert!(rel < 0.05, "{:?}: eq {} vs measured {}", assign.0, r.eq_throughput, r.measured_throughput);
+        assert!(
+            rel < 0.05,
+            "{:?}: eq {} vs measured {}",
+            assign.0,
+            r.eq_throughput,
+            r.measured_throughput
+        );
     }
 }
 
@@ -101,7 +107,10 @@ fn weight_tasks_are_off_the_latency_path() {
     let r = simulate(&slow);
     let tp = r.measured_throughput;
     let fast = simulate(&SimConfig::paper(NodeAssignment::case2()));
-    assert!(tp < 0.5 * fast.measured_throughput, "weights must bottleneck throughput");
+    assert!(
+        tp < 0.5 * fast.measured_throughput,
+        "weights must bottleneck throughput"
+    );
     // Equation 2 excludes weight-task time itself (only their successors'
     // waiting shows up as idle, which eq 3 strips).
     let eq3 = r.eq_real_latency;
