@@ -8,8 +8,12 @@
 //! stapctl detect   [--cpis 6] [--seed 42] [--full] [--nodes 2,1,2,1,1,2,1]
 //! stapctl gantt    [--nodes N0,..,N6] [--cpis 8]
 //! stapctl csv      --what fig11|scaling
-//! stapctl bench    [--quick] [--json] [--out BENCH_kernels.json]
+//! stapctl bench    [--quick] [--json] [--force] [--out BENCH_kernels.json]
 //! ```
+//!
+//! `bench` in full mode refuses to overwrite its output file when any
+//! kernel's optimized-path median regressed more than 10% against the
+//! recorded `after_ns` (pass `--force` to accept a new baseline).
 
 use stap::core::cfar::cluster;
 use stap::core::StapParams;
@@ -28,7 +32,7 @@ fn usage() -> ExitCode {
          stapctl simulate --nodes N0,..,N6 [--cpis K] [--input-rate R] [--replicas R0,..,R6] [--contention]\n  \
          stapctl optimize --budget B [--objective throughput|latency] [--floor T] [--moves M]\n  \
          stapctl detect [--cpis K] [--seed S] [--full] [--nodes N0,..,N6]\n  \
-         stapctl bench [--quick] [--json] [--out PATH]"
+         stapctl bench [--quick] [--json] [--force] [--out PATH]"
     );
     ExitCode::from(2)
 }
@@ -39,7 +43,12 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     while i < args.len() {
         let a = &args[i];
         if let Some(name) = a.strip_prefix("--") {
-            if name == "contention" || name == "full" || name == "json" || name == "quick" {
+            if name == "contention"
+                || name == "full"
+                || name == "json"
+                || name == "quick"
+                || name == "force"
+            {
                 flags.insert(name.to_string(), "true".to_string());
                 i += 1;
             } else {
@@ -281,6 +290,24 @@ fn cmd_bench(flags: HashMap<String, String>) -> Result<(), String> {
         .get("out")
         .map(String::as_str)
         .unwrap_or("BENCH_kernels.json");
+    // Regression gate: full-mode runs must not silently regress a kernel
+    // past the recorded baseline. Quick mode (CI smoke) times too little
+    // to be meaningful; --force records a new baseline regardless.
+    if !quick && !flags.contains_key("force") {
+        if let Ok(baseline) = std::fs::read_to_string(out_path) {
+            let slow = kernels::regressions(&pairs, &baseline, 0.10)?;
+            if !slow.is_empty() {
+                for line in &slow {
+                    eprintln!("REGRESSION {line}");
+                }
+                return Err(format!(
+                    "{} kernel(s) regressed >10% vs the recorded {out_path}; \
+                     baseline left untouched (re-run with --force to accept)",
+                    slow.len()
+                ));
+            }
+        }
+    }
     let j = kernels::report(&pairs, quick);
     if flags.contains_key("json") {
         println!("{}", j.to_string_pretty());

@@ -12,9 +12,11 @@
 use stap::core::doppler::DopplerProcessor;
 use stap::core::params::StapParams;
 use stap::core::pulse::{chirp, PulseCompressor, PulseScratch};
-use stap::cube::{AxisPartition, CCube, RCube, RedistPlan, SharedBufferPool};
+use stap::cube::{AxisPartition, CCube, RCube, RedistBlock, RedistPlan, SharedBufferPool};
 use stap::math::fft::{Fft, FftScratch};
-use stap::math::{CMat, Cx};
+use stap::math::gemm::{gemm_planar_into, hermitian_matmul_interleaved_into, PlanarMat};
+use stap::math::qr::{qr_r, qr_update_with, QrScratch};
+use stap::math::{flops, CMat, Cx};
 use stap_util::{Bench, BenchResult, Json};
 
 /// Deterministic complex test data.
@@ -132,6 +134,94 @@ impl ReferencePulse {
         }
         out
     }
+}
+
+/// The seed tree's redistribution pack: a per-element strided gather
+/// (one 3-D index computation and one push per element), before the run
+/// fusion / transpose blocking of `Cube::extract_permuted_into`.
+pub fn reference_pack(plan: &RedistPlan, block: &RedistBlock, local: &CCube) -> Vec<Cx> {
+    let own = plan.src_part.range_of(block.src);
+    let mut r = block.src_ranges.clone();
+    r[plan.src_part.axis] =
+        (r[plan.src_part.axis].start - own.start)..(r[plan.src_part.axis].end - own.start);
+    let perm = plan.perm;
+    let out_shape = [r[perm[0]].len(), r[perm[1]].len(), r[perm[2]].len()];
+    let mut data = Vec::with_capacity(block.elements);
+    for y0 in 0..out_shape[0] {
+        for y1 in 0..out_shape[1] {
+            for y2 in 0..out_shape[2] {
+                let mut x = [0usize; 3];
+                x[perm[0]] = r[perm[0]].start + y0;
+                x[perm[1]] = r[perm[1]].start + y1;
+                x[perm[2]] = r[perm[2]].start + y2;
+                data.push(local[(x[0], x[1], x[2])]);
+            }
+        }
+    }
+    data
+}
+
+/// The seed tree's recursive QR update: interleaved `Cx` storage, a
+/// fresh `R` clone, a fresh column snapshot per reflector, and
+/// strided column walks through the new-row block.
+pub fn reference_qr_update(r_old: &CMat, forget: f64, new_rows: &CMat) -> CMat {
+    let n = r_old.rows();
+    let cols = r_old.cols();
+    assert!(
+        cols >= n,
+        "r_old must have at least as many columns as rows"
+    );
+    assert_eq!(new_rows.cols(), cols, "new_rows column mismatch");
+    let s = new_rows.rows();
+
+    let mut r = r_old.scale(forget);
+    let mut x = new_rows.clone();
+    flops::add(2 * (n * n) as u64);
+
+    for k in 0..n {
+        let mut norm_sqr = r[(k, k)].norm_sqr();
+        for i in 0..s {
+            norm_sqr += x[(i, k)].norm_sqr();
+        }
+        let norm = norm_sqr.sqrt();
+        if norm == 0.0 {
+            continue;
+        }
+        let d = r[(k, k)];
+        let phase = if d.abs() == 0.0 {
+            Cx::real(1.0)
+        } else {
+            d.scale(1.0 / d.abs())
+        };
+        let alpha = -phase.scale(norm);
+        let v0 = d - alpha;
+        let vx: Vec<Cx> = (0..s).map(|i| x[(i, k)]).collect();
+        let mut vnorm_sqr = v0.norm_sqr();
+        for v in &vx {
+            vnorm_sqr += v.norm_sqr();
+        }
+        if vnorm_sqr == 0.0 {
+            continue;
+        }
+        let beta = 2.0 / vnorm_sqr;
+        for j in k + 1..cols {
+            let mut w = v0.conj() * r[(k, j)];
+            for (i, v) in vx.iter().enumerate() {
+                w = w.mul_add(v.conj(), x[(i, j)]);
+            }
+            let wb = w.scale(beta);
+            r[(k, j)] = r[(k, j)] - v0 * wb;
+            for (i, v) in vx.iter().enumerate() {
+                x[(i, j)] = x[(i, j)] - *v * wb;
+            }
+        }
+        r[(k, k)] = alpha;
+        for i in 0..s {
+            x[(i, k)] = Cx::default();
+        }
+        flops::add((cols - k) as u64 * (2 * flops::CMAC * s as u64 + 20) + 4 * s as u64 + 30);
+    }
+    r
 }
 
 /// One before/after measurement.
@@ -260,10 +350,11 @@ pub fn measure(quick: bool) -> Vec<Pair> {
         let local = CCube::from_fn(plan.src_local_shape(0), |a, bb, c| det_cx(a, bb, c));
         let blocks: Vec<_> = plan.sends_of(0).collect();
         let before = b.run("redist_pack_ref", || {
+            // Seed path: per-element index arithmetic, fresh Vec per block.
             let mut acc = 0.0;
             for blk in &blocks {
-                let msg = plan.pack(blk, &local);
-                acc += msg.as_slice()[0].re;
+                let msg = reference_pack(&plan, blk, &local);
+                acc += msg[0].re;
             }
             acc
         });
@@ -289,19 +380,99 @@ pub fn measure(quick: bool) -> Vec<Pair> {
         let w = CMat::from_fn(p.j_channels, p.m_beams, |i, j| det_cx(i, j, 3));
         let data = CCube::from_fn([1, p.k_range, p.j_channels], |a, bb, c| det_cx(a, bb, c));
         let before = b.run("easy_bf_bin_ref", || {
+            // Seed path: fresh slab + output, interleaved k-i-j product.
             let slab = CMat::from_fn(p.j_channels, p.k_range, |ch, kc| data[(0, kc, ch)]);
-            let y = w.hermitian_matmul(&slab);
+            let mut y = CMat::zeros(p.m_beams, p.k_range);
+            hermitian_matmul_interleaved_into(&w, &slab, &mut y);
             y[(0, 0)].re
         });
-        let mut slab = CMat::zeros(p.j_channels, p.k_range);
+        let mut slab = PlanarMat::zeros(p.j_channels, p.k_range);
+        let mut wpack = PlanarMat::zeros(p.m_beams, p.j_channels);
         let mut y = CMat::zeros(p.m_beams, p.k_range);
         let after = b.run("easy_bf_bin_opt", || {
-            slab.fill_from_fn(|ch, kc| data[(0, kc, ch)]);
-            w.hermitian_matmul_into(&slab, &mut y);
+            // Hot path: split-complex packing + register-tiled micro-kernel.
+            slab.fill_from_fn(p.j_channels, p.k_range, |ch, kc| data[(0, kc, ch)]);
+            wpack.pack_hermitian_from(&w);
+            gemm_planar_into(&wpack, &slab, &mut y);
             y[(0, 0)].re
         });
         pairs.push(Pair {
             name: "easy_beamform_bin_16x6x512".into(),
+            before,
+            after,
+        });
+    }
+
+    // --- hard beamforming, one (bin, segment): (2J x M)^H . (2J x Kseg) -
+    {
+        let jj = 2 * p.j_channels;
+        let seg = p.segment_range(p.num_segments() - 1); // largest segment
+        let k_seg = seg.len();
+        let w = CMat::from_fn(jj, p.m_beams, |i, j| det_cx(i, j, 7));
+        let data = CCube::from_fn([1, k_seg, jj], |a, bb, c| det_cx(a, bb, c));
+        let before = b.run("hard_bf_seg_ref", || {
+            let slab = CMat::from_fn(jj, k_seg, |ch, kc| data[(0, kc, ch)]);
+            let mut y = CMat::zeros(p.m_beams, k_seg);
+            hermitian_matmul_interleaved_into(&w, &slab, &mut y);
+            y[(0, 0)].re
+        });
+        let mut slab = PlanarMat::zeros(jj, k_seg);
+        let mut wpack = PlanarMat::zeros(p.m_beams, jj);
+        let mut y = CMat::zeros(p.m_beams, k_seg);
+        let after = b.run("hard_bf_seg_opt", || {
+            slab.fill_from_fn(jj, k_seg, |ch, kc| data[(0, kc, ch)]);
+            wpack.pack_hermitian_from(&w);
+            gemm_planar_into(&wpack, &slab, &mut y);
+            y[(0, 0)].re
+        });
+        pairs.push(Pair {
+            name: format!("hard_beamform_seg_32x6x{k_seg}"),
+            before,
+            after,
+        });
+    }
+
+    // --- SMI sample covariance: X^H X for a 48 x 16 training block -----
+    {
+        let rows = 3 * p.j_channels; // 48 training snapshots
+        let x = CMat::from_fn(rows, p.j_channels, |i, j| det_cx(i, j, 11));
+        let before = b.run("smi_cov_ref", || {
+            let mut r = CMat::zeros(p.j_channels, p.j_channels);
+            hermitian_matmul_interleaved_into(&x, &x, &mut r);
+            r[(0, 0)].re
+        });
+        let mut r = CMat::zeros(p.j_channels, p.j_channels);
+        let after = b.run("smi_cov_opt", || {
+            // Dispatches to the planar engine (48*16*16 MACs > cutoff).
+            x.hermitian_matmul_into(&x, &mut r);
+            r[(0, 0)].re
+        });
+        pairs.push(Pair {
+            name: "smi_covariance_48x16".into(),
+            before,
+            after,
+        });
+    }
+
+    // --- recursive QR weight update: 2J x 2J R + one training block ----
+    {
+        let jj = 2 * p.j_channels;
+        let s = p.hard_samples;
+        let seed_block = CMat::from_fn(2 * jj, jj, |i, j| det_cx(i, j, 13));
+        let r0 = qr_r(&seed_block);
+        let new_rows = CMat::from_fn(s, jj, |i, j| det_cx(i, j, 17));
+        let before = b.run("qr_weights_ref", || {
+            let r = reference_qr_update(&r0, 0.95, &new_rows);
+            r[(0, 0)].re
+        });
+        let mut out = CMat::zeros(jj, jj);
+        let mut ws = QrScratch::new();
+        let after = b.run("qr_weights_opt", || {
+            qr_update_with(&r0, 0.95, &new_rows, &mut out, &mut ws);
+            out[(0, 0)].re
+        });
+        pairs.push(Pair {
+            name: format!("qr_weights_{jj}x{jj}_s{s}"),
             before,
             after,
         });
@@ -330,6 +501,40 @@ pub fn report(pairs: &[Pair], quick: bool) -> Json {
         ),
         ("kernels", Json::arr(pairs.iter().map(|pr| pr.to_json()))),
     ])
+}
+
+/// Compares fresh timings against a recorded `BENCH_kernels.json`
+/// document. Returns one human-readable line per kernel whose new
+/// optimized-path median is more than `tolerance` (fractional, e.g.
+/// `0.10`) slower than the recorded `after_ns`. Kernels absent from the
+/// baseline (new entries) are skipped. Errors when the baseline is not
+/// parseable — a gate that silently skips is no gate.
+pub fn regressions(pairs: &[Pair], baseline: &str, tolerance: f64) -> Result<Vec<String>, String> {
+    let doc = Json::parse(baseline).map_err(|e| format!("baseline parse error: {e}"))?;
+    let recorded = match doc.get("kernels") {
+        Some(Json::Arr(a)) => a,
+        _ => return Err("baseline has no `kernels` array".to_string()),
+    };
+    let mut lines = Vec::new();
+    for p in pairs {
+        let rec = recorded
+            .iter()
+            .find(|k| matches!(k.get("name"), Some(Json::Str(n)) if *n == p.name));
+        let Some(old) = rec.and_then(|k| k.get("after_ns")).and_then(Json::as_f64) else {
+            continue;
+        };
+        if old > 0.0 && p.after.median_ns > old * (1.0 + tolerance) {
+            lines.push(format!(
+                "{}: after_ns {:.0} -> {:.0} (+{:.1}%, tolerance {:.0}%)",
+                p.name,
+                old,
+                p.after.median_ns,
+                (p.after.median_ns / old - 1.0) * 100.0,
+                tolerance * 100.0
+            ));
+        }
+    }
+    Ok(lines)
 }
 
 #[cfg(test)]
@@ -370,6 +575,86 @@ mod tests {
         assert!(diff < 1e-9, "max power diff {diff}");
     }
 
+    /// The frozen per-element pack must agree byte-for-byte with the
+    /// run-fused / transpose-blocked live pack.
+    #[test]
+    fn reference_pack_matches_optimized() {
+        let shape = [32, 8, 12];
+        for perm in [[2, 0, 1], [0, 1, 2], [1, 2, 0]] {
+            let plan = RedistPlan::new(
+                shape,
+                AxisPartition::block(0, shape[0], 4),
+                AxisPartition::block(0, shape[perm[0]], 3),
+                perm,
+            );
+            for src in 0..4 {
+                let local = CCube::from_fn(plan.src_local_shape(src), |a, b, c| det_cx(a, b, c));
+                for blk in plan.sends_of(src) {
+                    let want = reference_pack(&plan, blk, &local);
+                    let got = plan.pack(blk, &local);
+                    assert_eq!(got.as_slice(), &want[..], "perm {perm:?} src {src}");
+                }
+            }
+        }
+    }
+
+    /// The frozen interleaved QR update must agree bit-for-bit with the
+    /// planar scratch-based update (identical IEEE operation order).
+    #[test]
+    fn reference_qr_update_matches_optimized() {
+        let seed_block = CMat::from_fn(20, 8, |i, j| det_cx(i, j, 23));
+        let r0 = qr_r(&seed_block);
+        let new_rows = CMat::from_fn(5, 8, |i, j| det_cx(i, j, 29));
+        let want = reference_qr_update(&r0, 0.9, &new_rows);
+        let mut got = CMat::zeros(8, 8);
+        qr_update_with(&r0, 0.9, &new_rows, &mut got, &mut QrScratch::new());
+        assert_eq!(got.as_slice(), want.as_slice());
+    }
+
+    fn fake_pair(name: &str, after_ns: f64) -> Pair {
+        let mk = |ns: f64| BenchResult {
+            name: name.to_string(),
+            median_ns: ns,
+            min_ns: ns,
+            mean_ns: ns,
+            iters: 1,
+        };
+        Pair {
+            name: name.to_string(),
+            before: mk(after_ns * 2.0),
+            after: mk(after_ns),
+        }
+    }
+
+    #[test]
+    fn regression_gate_flags_only_slowdowns_beyond_tolerance() {
+        let baseline = Json::obj([(
+            "kernels",
+            Json::arr([
+                Json::obj([
+                    ("name", Json::Str("a".into())),
+                    ("after_ns", Json::Num(100.0)),
+                ]),
+                Json::obj([
+                    ("name", Json::Str("b".into())),
+                    ("after_ns", Json::Num(100.0)),
+                ]),
+            ]),
+        )])
+        .to_string_pretty();
+        // a: 25% slower (flagged). b: 5% slower (within tolerance).
+        // c: not in baseline (skipped).
+        let pairs = vec![
+            fake_pair("a", 125.0),
+            fake_pair("b", 105.0),
+            fake_pair("c", 9999.0),
+        ];
+        let lines = regressions(&pairs, &baseline, 0.10).unwrap();
+        assert_eq!(lines.len(), 1, "{lines:?}");
+        assert!(lines[0].starts_with("a:"), "{}", lines[0]);
+        assert!(regressions(&pairs, "not json", 0.10).is_err());
+    }
+
     #[test]
     fn report_has_all_pairs_and_positive_speedups() {
         // Tiny windows: this checks plumbing, not performance.
@@ -380,7 +665,7 @@ mod tests {
             other => panic!("kernels not an array: {other:?}"),
         };
         assert_eq!(arr.len(), pairs.len());
-        assert!(pairs.len() >= 5);
+        assert!(pairs.len() >= 8);
         for pr in &pairs {
             assert!(pr.before.median_ns > 0.0 && pr.after.median_ns > 0.0);
             assert!(pr.speedup() > 0.0);

@@ -10,13 +10,18 @@
 //! - pulse compression of a node's bin group (`process_into_with`)
 //! - redistribution packing + recycling through the shared buffer pool
 //! - easy beamforming of one Doppler bin (`hermitian_matmul_into`)
+//! - hard weight computation for one azimuth (`process_into`: snapshot
+//!   gather, recursive planar QR update, constrained solve)
+//! - hard beamforming of every (bin, segment) (`hard_beamform_into_with`)
 //!
 //! Everything lives in ONE `#[test]` because the counters are global:
 //! libtest runs tests on separate threads, and a concurrent test's
 //! allocations would show up in our deltas.
 
+use stap::core::beamform::{hard_beamform_into_with, HardBeamformScratch};
 use stap::core::doppler::DopplerProcessor;
 use stap::core::pulse::{PulseCompressor, PulseScratch};
+use stap::core::weights::{HardWeightComputer, HardWeightScratch, HardWeights};
 use stap::core::StapParams;
 use stap::cube::{AxisPartition, CCube, RCube, RedistPlan, SharedBufferPool};
 use stap::math::fft::FftScratch;
@@ -137,6 +142,32 @@ fn steady_state_cpi_kernels_do_not_allocate() {
             slab.fill_from_fn(|ch, kc| data[(0, kc, ch)]);
             w.hermitian_matmul_into(&slab, &mut y);
             black_box(y[(0, 0)]);
+        });
+    }
+
+    // --- Hard weight computation + hard beamforming for one azimuth. ---
+    {
+        let staggered = CCube::from_fn([p.k_range, 2 * p.j_channels, p.n_pulses], det_cx);
+        let steering = CMat::from_fn(p.j_channels, p.m_beams, |i, j| det_cx(i, j, 9));
+        let mut computer = HardWeightComputer::new(&p);
+        let mut weights = HardWeights::zeros(&p, p.m_beams);
+        let mut wws = HardWeightScratch::new(&p);
+        let beam = 0;
+        // Warmup inserts the per-(beam, bin, segment) recursion state and
+        // sizes every grow-only scratch (QR transpose planes, bordered
+        // solve buffers, the thread-local GEMM pack buffers).
+        computer.process_into(beam, &staggered, &steering, &mut weights, &mut wws);
+        assert_zero_alloc("hard weights process_into", || {
+            computer.process_into(beam, &staggered, &steering, &mut weights, &mut wws);
+            black_box(weights.per_bin[0][0][(0, 0)]);
+        });
+
+        let mut out = CCube::zeros([p.hard_bins().len(), p.m_beams, p.k_range]);
+        let mut bws = HardBeamformScratch::new(&p);
+        hard_beamform_into_with(&p, &staggered, &weights, &mut out, &mut bws);
+        assert_zero_alloc("hard beamform into_with", || {
+            hard_beamform_into_with(&p, &staggered, &weights, &mut out, &mut bws);
+            black_box(out[(0, 0, 0)]);
         });
     }
 

@@ -14,29 +14,46 @@
 use crate::params::StapParams;
 use crate::weights::{EasyWeights, HardWeights};
 use stap_cube::CCube;
+use stap_math::gemm::{gemm_planar_into, PlanarMat};
 use stap_math::CMat;
 
-/// Reusable easy-beamforming workspace: one `J x K` gather matrix and
-/// one `M x K` product matrix serve every bin of every CPI.
+/// Reusable easy-beamforming workspace: the bin slab is gathered
+/// **straight into split-complex planes** (skipping the interleaved
+/// intermediate and the engine's pack pass), the weights are packed
+/// conjugate-transposed once per bin, and one `M x K` product matrix
+/// serves every bin of every CPI.
 pub struct EasyBeamformScratch {
-    data: CMat,
+    /// `J x K` gather slab, planar.
+    data: PlanarMat,
+    /// `M x J` conjugate-transposed weight pack, planar.
+    wpack: PlanarMat,
+    /// `M x K` product.
     y: CMat,
+    /// Easy Doppler bins, cached so the steady state never re-derives
+    /// (and re-allocates) the list from the parameters.
+    bins: Vec<usize>,
 }
 
 impl EasyBeamformScratch {
     /// Builds the workspace for a local range extent of `k` cells.
     pub fn new(params: &StapParams, k: usize) -> Self {
         EasyBeamformScratch {
-            data: CMat::zeros(params.j_channels, k),
+            data: PlanarMat::zeros(params.j_channels, k),
+            wpack: PlanarMat::zeros(params.m_beams, params.j_channels),
             y: CMat::zeros(params.m_beams, k),
+            bins: params.easy_bins(),
         }
     }
 }
 
-/// Reusable hard-beamforming workspace: per segment, one `2J x K_seg`
-/// gather matrix and one `M x K_seg` product matrix.
+/// Reusable hard-beamforming workspace: per segment, one planar
+/// `2J x K_seg` gather slab and one `M x K_seg` product matrix, plus a
+/// shared `M x 2J` weight pack.
 pub struct HardBeamformScratch {
-    per_seg: Vec<(CMat, CMat)>,
+    per_seg: Vec<(PlanarMat, CMat)>,
+    wpack: PlanarMat,
+    /// Hard Doppler bins, cached (see [`EasyBeamformScratch::bins`]).
+    bins: Vec<usize>,
 }
 
 impl HardBeamformScratch {
@@ -47,12 +64,16 @@ impl HardBeamformScratch {
             .map(|seg| {
                 let r = params.segment_range(seg);
                 (
-                    CMat::zeros(2 * params.j_channels, r.len()),
+                    PlanarMat::zeros(2 * params.j_channels, r.len()),
                     CMat::zeros(params.m_beams, r.len()),
                 )
             })
             .collect();
-        HardBeamformScratch { per_seg }
+        HardBeamformScratch {
+            per_seg,
+            wpack: PlanarMat::zeros(params.m_beams, 2 * params.j_channels),
+            bins: params.hard_bins(),
+        }
     }
 }
 
@@ -117,12 +138,14 @@ pub fn easy_beamform_into_with(
     ws: &mut EasyBeamformScratch,
 ) {
     let k = staggered.shape()[0];
-    let bins = params.easy_bins();
+    let bins = &ws.bins;
     assert_eq!(out.shape(), [bins.len(), params.m_beams, k], "output shape");
     assert_eq!(ws.data.shape(), (params.j_channels, k), "scratch shape");
     for (bi, &bin) in bins.iter().enumerate() {
-        ws.data.fill_from_fn(|ch, kc| staggered[(kc, ch, bin)]);
-        w.per_bin[bi].hermitian_matmul_into(&ws.data, &mut ws.y);
+        ws.data
+            .fill_from_fn(params.j_channels, k, |ch, kc| staggered[(kc, ch, bin)]);
+        ws.wpack.pack_hermitian_from(&w.per_bin[bi]);
+        gemm_planar_into(&ws.wpack, &ws.data, &mut ws.y);
         for m in 0..params.m_beams {
             out.lane_mut(bi, m).copy_from_slice(ws.y.row(m));
         }
@@ -161,14 +184,16 @@ pub fn hard_beamform_into_with(
     ws: &mut HardBeamformScratch,
 ) {
     let k = staggered.shape()[0];
-    let bins = params.hard_bins();
+    let bins = &ws.bins;
     assert_eq!(out.shape(), [bins.len(), params.m_beams, k], "output shape");
+    let jj = 2 * params.j_channels;
     for (bi, &bin) in bins.iter().enumerate() {
         for seg in 0..params.num_segments() {
             let r = params.segment_range(seg);
             let (data, y) = &mut ws.per_seg[seg];
-            data.fill_from_fn(|ch, kc| staggered[(r.start + kc, ch, bin)]);
-            w.per_bin[bi][seg].hermitian_matmul_into(data, y);
+            data.fill_from_fn(jj, r.len(), |ch, kc| staggered[(r.start + kc, ch, bin)]);
+            ws.wpack.pack_hermitian_from(&w.per_bin[bi][seg]);
+            gemm_planar_into(&ws.wpack, data, y);
             for m in 0..params.m_beams {
                 out.lane_mut(bi, m)[r.clone()].copy_from_slice(y.row(m));
             }

@@ -62,9 +62,19 @@ pub fn easy_snapshot(staggered: &CCube, params: &StapParams, bin: usize) -> CMat
 pub fn hard_snapshot(staggered: &CCube, params: &StapParams, bin: usize, seg: usize) -> CMat {
     let cells = hard_training_cells(params, seg);
     let jj = 2 * params.j_channels;
-    CMat::from_fn(cells.len(), jj, |row, ch| {
-        staggered[(cells[row], ch, bin)].conj()
-    })
+    let mut out = CMat::zeros(cells.len(), jj);
+    hard_snapshot_into(staggered, &cells, bin, &mut out);
+    out
+}
+
+/// Allocation-free [`hard_snapshot`]: gathers the `cells.len() x jj`
+/// snapshot for `bin` into `out` (resized grow-only; `out`'s column
+/// count fixes `jj`). Callers precompute `cells` once per segment (see
+/// `HardWeightScratch`) so the steady-state gather touches no heap.
+pub fn hard_snapshot_into(staggered: &CCube, cells: &[usize], bin: usize, out: &mut CMat) {
+    let jj = out.cols();
+    out.resize(cells.len(), jj);
+    out.fill_from_fn(|row, ch| staggered[(cells[row], ch, bin)].conj());
 }
 
 /// Rolling per-azimuth store of easy training snapshots.

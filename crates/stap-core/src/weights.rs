@@ -20,10 +20,12 @@
 //! computation off the latency-critical path.
 
 use crate::params::StapParams;
-use crate::training::{easy_snapshot, hard_snapshot, EasyTrainingStore};
+use crate::training::{easy_snapshot, hard_snapshot_into, hard_training_cells, EasyTrainingStore};
 use stap_cube::CCube;
-use stap_math::qr::qr_update;
-use stap_math::solve::{constrained_lstsq, constrained_lstsq_from_r, normalize_columns};
+use stap_math::qr::{qr_update_with, QrScratch};
+use stap_math::solve::{
+    constrained_lstsq, constrained_lstsq_from_r_with, normalize_columns, SolveScratch,
+};
 use stap_math::{CMat, Cx};
 use std::collections::HashMap;
 use std::f64::consts::PI;
@@ -41,6 +43,23 @@ pub struct HardWeights {
     /// Outer index: hard-bin order (`StapParams::hard_bins`); inner:
     /// range segment.
     pub per_bin: Vec<Vec<CMat>>,
+}
+
+impl HardWeights {
+    /// Preallocated weights (`2J x beams` zeros per (bin, segment)) for
+    /// the zero-alloc [`HardWeightComputer::process_into`] path.
+    pub fn zeros(params: &StapParams, beams: usize) -> Self {
+        let jj = 2 * params.j_channels;
+        HardWeights {
+            per_bin: (0..params.n_hard)
+                .map(|_| {
+                    (0..params.num_segments())
+                        .map(|_| CMat::zeros(jj, beams))
+                        .collect()
+                })
+                .collect(),
+        }
+    }
 }
 
 /// The hard-bin constraint matrix `[I_J | e^{-2 pi i d s / N} I_J]`.
@@ -129,13 +148,16 @@ pub struct HardWeightComputer {
     /// Per-hard-bin constraint matrices `[I_J | e^{-2 pi i d s / N} I_J]`,
     /// built once and reused every CPI.
     constraints: Vec<CMat>,
+    /// Hard Doppler bins, cached so the steady-state path never
+    /// re-derives (and re-allocates) the list from the parameters.
+    bins: Vec<usize>,
 }
 
 impl HardWeightComputer {
     /// Creates the computer (empty recursion state).
     pub fn new(params: &StapParams) -> Self {
-        let constraints = params
-            .hard_bins()
+        let bins = params.hard_bins();
+        let constraints = bins
             .iter()
             .map(|&bin| hard_constraint(params, bin))
             .collect();
@@ -143,6 +165,7 @@ impl HardWeightComputer {
             params: params.clone(),
             r_state: HashMap::new(),
             constraints,
+            bins,
         }
     }
 
@@ -176,27 +199,87 @@ impl HardWeightComputer {
     /// (recursive update of every (bin, segment) R factor) and returns
     /// the weights for the next CPI. `steering` is `J x M`.
     pub fn process(&mut self, beam: usize, staggered: &CCube, steering: &CMat) -> HardWeights {
+        let mut out = HardWeights::zeros(&self.params, steering.cols());
+        let mut ws = HardWeightScratch::new(&self.params);
+        self.process_into(beam, staggered, steering, &mut out, &mut ws);
+        out
+    }
+
+    /// The zero-allocation steady-state form of
+    /// [`HardWeightComputer::process`]: the snapshot gather, the planar
+    /// recursive QR update and the constrained solve all run inside the
+    /// caller's [`HardWeightScratch`] and write into a preallocated
+    /// [`HardWeights`]. After the first CPI per azimuth (which inserts
+    /// the recursion state), a steady-state call performs **zero** heap
+    /// allocations. Results are bit-for-bit identical to `process`.
+    pub fn process_into(
+        &mut self,
+        beam: usize,
+        staggered: &CCube,
+        steering: &CMat,
+        out: &mut HardWeights,
+        ws: &mut HardWeightScratch,
+    ) {
         let jj = 2 * self.params.j_channels;
-        let bins = self.params.hard_bins();
-        let mut per_bin = Vec::with_capacity(bins.len());
+        let bins = &self.bins;
+        assert_eq!(out.per_bin.len(), bins.len(), "hard weight bin count");
         for (bi, &bin) in bins.iter().enumerate() {
             let constraint = &self.constraints[bi];
-            let mut per_seg = Vec::with_capacity(self.params.num_segments());
             for seg in 0..self.params.num_segments() {
-                let x = hard_snapshot(staggered, &self.params, bin, seg);
+                ws.x.resize(0, jj);
+                hard_snapshot_into(staggered, &ws.cells[seg], bin, &mut ws.x);
                 let r_prev = self
                     .r_state
                     .entry((beam, bi, seg))
                     .or_insert_with(|| CMat::zeros(jj, jj));
-                let r_new = qr_update(r_prev, self.params.forgetting_factor, &x);
-                let k = mean_abs(&x) * self.params.beam_constraint_wt;
-                let w = constrained_lstsq_from_r(&r_new, constraint, k, steering);
-                *r_prev = r_new;
-                per_seg.push(w);
+                qr_update_with(
+                    r_prev,
+                    self.params.forgetting_factor,
+                    &ws.x,
+                    &mut ws.r_new,
+                    &mut ws.qr,
+                );
+                let k = mean_abs(&ws.x) * self.params.beam_constraint_wt;
+                constrained_lstsq_from_r_with(
+                    &ws.r_new,
+                    constraint,
+                    k,
+                    steering,
+                    &mut out.per_bin[bi][seg],
+                    &mut ws.solve,
+                );
+                r_prev.as_mut_slice().copy_from_slice(ws.r_new.as_slice());
             }
-            per_bin.push(per_seg);
         }
-        HardWeights { per_bin }
+    }
+}
+
+/// Persistent scratch for [`HardWeightComputer::process_into`]:
+/// precomputed per-segment training cells, the snapshot gather matrix,
+/// the updated `R` staging buffer and the QR/solve scratches.
+pub struct HardWeightScratch {
+    /// Training range cells per segment (fixed by the parameters).
+    cells: Vec<Vec<usize>>,
+    /// Snapshot gather, `samples x 2J`.
+    x: CMat,
+    /// Updated `R` before it is committed back to the recursion state.
+    r_new: CMat,
+    qr: QrScratch,
+    solve: SolveScratch,
+}
+
+impl HardWeightScratch {
+    /// Builds the scratch (training cells are precomputed here).
+    pub fn new(params: &StapParams) -> Self {
+        HardWeightScratch {
+            cells: (0..params.num_segments())
+                .map(|seg| hard_training_cells(params, seg))
+                .collect(),
+            x: CMat::zeros(0, 2 * params.j_channels),
+            r_new: CMat::zeros(0, 0),
+            qr: QrScratch::new(),
+            solve: SolveScratch::new(),
+        }
     }
 }
 

@@ -209,6 +209,17 @@ impl<T: Copy + Default> Cube<T> {
     /// buffer (typically recycled from a [`crate::BufferPool`]), so the
     /// steady-state redistribution pack path allocates nothing.
     /// Byte-identical to [`Cube::extract_permuted`].
+    ///
+    /// **Run fusion rule**: writing `st[i]` for the source stride of
+    /// output axis `i`, the gather is a sequence of `copy_from_slice`
+    /// runs whenever `st[2] == 1` (the output's inner axis is the
+    /// source's inner axis). The run starts at length `out_shape[2]` and
+    /// folds outer axes in while their stride equals the current run
+    /// length, so an identity permutation degenerates to one `memcpy`.
+    /// When `st[2] != 1` the runs would all be length 1; instead a
+    /// transpose-blocked fallback tiles the unit-source-stride output
+    /// axis against the inner output axis so each 16x16 tile reuses the
+    /// source cache lines it pulls.
     pub fn extract_permuted_into(
         &self,
         r0: Range<usize>,
@@ -228,21 +239,79 @@ impl<T: Copy + Default> Cube<T> {
             src_ranges[perm[1]].len(),
             src_ranges[perm[2]].len(),
         ];
+        let total = out_shape[0] * out_shape[1] * out_shape[2];
         data.clear();
-        data.reserve(out_shape[0] * out_shape[1] * out_shape[2]);
+        data.reserve(total);
         let base = [
             src_ranges[0].start,
             src_ranges[1].start,
             src_ranges[2].start,
         ];
-        let mut x = [0usize; 3];
-        for y0 in 0..out_shape[0] {
-            x[perm[0]] = base[perm[0]] + y0;
-            for y1 in 0..out_shape[1] {
-                x[perm[1]] = base[perm[1]] + y1;
-                for y2 in 0..out_shape[2] {
-                    x[perm[2]] = base[perm[2]] + y2;
-                    data.push(self.data[self.offset(x[0], x[1], x[2])]);
+        // Source strides per *output* axis plus the block's base offset:
+        // src_index = base_off + y0*st[0] + y1*st[1] + y2*st[2].
+        let sstr = [self.shape[1] * self.shape[2], self.shape[2], 1];
+        let st = [sstr[perm[0]], sstr[perm[1]], sstr[perm[2]]];
+        let base_off = base[0] * sstr[0] + base[1] * sstr[1] + base[2] * sstr[2];
+
+        if total == 0 {
+            return Cube {
+                shape: out_shape,
+                data,
+            };
+        }
+
+        if st[2] == 1 {
+            // Maximal-run fusion over the contiguous inner axis.
+            let mut run = out_shape[2];
+            if st[1] == run {
+                run *= out_shape[1];
+                if st[0] == run {
+                    // Fully contiguous: one memcpy.
+                    run *= out_shape[0];
+                    data.extend_from_slice(&self.data[base_off..base_off + run]);
+                } else {
+                    for y0 in 0..out_shape[0] {
+                        let o = base_off + y0 * st[0];
+                        data.extend_from_slice(&self.data[o..o + run]);
+                    }
+                }
+            } else {
+                for y0 in 0..out_shape[0] {
+                    let o0 = base_off + y0 * st[0];
+                    for y1 in 0..out_shape[1] {
+                        let o = o0 + y1 * st[1];
+                        data.extend_from_slice(&self.data[o..o + run]);
+                    }
+                }
+            }
+        } else {
+            // Length-1 runs: transpose-blocked gather. One output axis
+            // `a` walks the source with unit stride (perm[a] == 2);
+            // tile it against the inner output axis.
+            const B: usize = 16;
+            let a = if perm[0] == 2 { 0 } else { 1 };
+            let b = 1 - a;
+            let ost = [out_shape[1] * out_shape[2], out_shape[2], 1];
+            data.resize(total, T::default());
+            for yb in 0..out_shape[b] {
+                let sb = base_off + yb * st[b];
+                let ob = yb * ost[b];
+                let mut ya0 = 0;
+                while ya0 < out_shape[a] {
+                    let ya1 = (ya0 + B).min(out_shape[a]);
+                    let mut y20 = 0;
+                    while y20 < out_shape[2] {
+                        let y21 = (y20 + B).min(out_shape[2]);
+                        for ya in ya0..ya1 {
+                            let srow = sb + ya; // st[a] == 1
+                            let orow = ob + ya * ost[a];
+                            for y2 in y20..y21 {
+                                data[orow + y2] = self.data[srow + y2 * st[2]];
+                            }
+                        }
+                        y20 = y21;
+                    }
+                    ya0 = ya1;
                 }
             }
         }
@@ -391,6 +460,49 @@ mod tests {
         let a = c.extract_permuted(1..4, 2..6, 3..7, perm);
         let b = c.extract(1..4, 2..6, 3..7).permute(perm);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_six_permutations_match_reference_gather() {
+        // Exercises both the run-fused path (perm[2] == 2) and the
+        // transpose-blocked fallback (perm[2] != 2), including tiles
+        // larger than the 16-element block.
+        let c = numbered([5, 19, 37]);
+        for perm in [
+            [0, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
+        ] {
+            let got = c.extract_permuted(1..4, 2..19, 3..36, perm);
+            let ranges = [1..4usize, 2..19, 3..36];
+            assert_eq!(
+                got.shape(),
+                [
+                    ranges[perm[0]].len(),
+                    ranges[perm[1]].len(),
+                    ranges[perm[2]].len()
+                ],
+                "{perm:?}"
+            );
+            for y0 in 0..got.shape()[0] {
+                for y1 in 0..got.shape()[1] {
+                    for y2 in 0..got.shape()[2] {
+                        let mut x = [0usize; 3];
+                        x[perm[0]] = ranges[perm[0]].start + y0;
+                        x[perm[1]] = ranges[perm[1]].start + y1;
+                        x[perm[2]] = ranges[perm[2]].start + y2;
+                        assert_eq!(
+                            got[(y0, y1, y2)],
+                            c[(x[0], x[1], x[2])],
+                            "{perm:?} at ({y0},{y1},{y2})"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -15,6 +15,16 @@
 //! The plan is pure metadata, so the same object drives both the real
 //! threaded runtime (`stap-mp`) and the Paragon-scale discrete-event
 //! simulator (`stap-sim`), which charges the machine model per block.
+//!
+//! **Packing cost**: the pack is a strided gather whose cost depends on
+//! the permutation. [`Cube::extract_permuted_into`] applies a *run
+//! fusion rule* — when the output's inner axis is source-contiguous
+//! (`perm[2] == 2`) the gather collapses into maximal `copy_from_slice`
+//! runs, folding outer axes in while strides chain; otherwise (e.g. the
+//! Doppler→beamform `perm = [2, 0, 1]`, whose runs are all length 1) it
+//! falls back to a 16x16 transpose-blocked gather so each tile reuses
+//! the source cache lines it pulls. See `Cube::extract_permuted_into`
+//! for the precise rule.
 
 //! ```
 //! use stap_cube::{AxisPartition, Cube, RedistPlan};

@@ -8,6 +8,8 @@
 //! * [`fft`] — radix-2 and Bluestein FFTs with a reusable [`fft::Fft`] plan,
 //! * [`window`] — Hanning/Hamming/rectangular tapers,
 //! * [`mat::CMat`] — dense complex matrices with a cache-friendly multiply,
+//! * [`gemm`] — the split-complex (planar SoA) GEMM engine behind the
+//!   beamforming/weight hot path, with packed zero-alloc scratch,
 //! * [`qr`] — Householder QR, recursive (exponentially forgotten) QR
 //!   updates and block constraint updates,
 //! * [`solve`] — back substitution and constrained least squares,
@@ -22,6 +24,7 @@ pub mod complex;
 pub mod eigen;
 pub mod fft;
 pub mod flops;
+pub mod gemm;
 pub mod mat;
 pub mod qr;
 pub mod solve;

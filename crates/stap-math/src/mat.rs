@@ -8,6 +8,7 @@
 
 use crate::complex::{Cx, ONE, ZERO};
 use crate::flops;
+use crate::gemm;
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
@@ -91,9 +92,36 @@ impl CMat {
         &mut self.data[i * self.cols..(i + 1) * self.cols]
     }
 
-    /// Column `j` copied into a `Vec`.
-    pub fn col(&self, j: usize) -> Vec<Cx> {
-        (0..self.rows).map(|i| self[(i, j)]).collect()
+    /// Strided iterator over column `j` (no allocation; replaces the old
+    /// `col` accessor that copied into a fresh `Vec`).
+    #[inline]
+    pub fn col_iter(&self, j: usize) -> impl Iterator<Item = Cx> + '_ {
+        debug_assert!(j < self.cols);
+        self.data[j..].iter().step_by(self.cols.max(1)).copied()
+    }
+
+    /// Copies column `j` into `out` (which must hold exactly `rows`
+    /// elements). The zero-alloc counterpart of the old `col` accessor.
+    pub fn copy_col_into(&self, j: usize, out: &mut [Cx]) {
+        assert!(j < self.cols, "column {j} out of bounds ({})", self.cols);
+        assert_eq!(out.len(), self.rows, "copy_col_into length mismatch");
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.data[i * self.cols + j];
+        }
+    }
+
+    /// Grow-only reshape: after the first few CPIs the backing buffer
+    /// stabilizes at the high-water mark and steady state allocates
+    /// nothing. Contents are unspecified after a shape change.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        let need = rows * cols;
+        if need > self.data.len() {
+            self.data.resize(need, ZERO);
+        } else {
+            self.data.truncate(need);
+        }
+        self.rows = rows;
+        self.cols = cols;
     }
 
     /// The whole backing buffer (row-major).
@@ -143,6 +171,11 @@ impl CMat {
     ///
     /// Counts `8 * m * k * n` flops (complex multiply-accumulate), the
     /// convention behind the paper's beamforming counts in Table 1.
+    ///
+    /// Products of at least [`gemm::GEMM_CUTOFF`] complex MACs route
+    /// through the split-complex [`gemm`] engine (bit-for-bit identical
+    /// results, thread-local pack scratch); smaller ones run the
+    /// interleaved kernel directly.
     pub fn matmul_into(&self, rhs: &CMat, out: &mut CMat) {
         assert_eq!(
             self.cols, rhs.rows,
@@ -150,18 +183,11 @@ impl CMat {
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         assert_eq!(out.shape(), (self.rows, rhs.cols), "output shape mismatch");
-        out.data.fill(ZERO);
-        for i in 0..self.rows {
-            let arow = self.row(i);
-            for (k, &a) in arow.iter().enumerate() {
-                let brow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &b) in orow.iter_mut().zip(brow.iter()) {
-                    *o = o.mul_add(a, b);
-                }
-            }
+        if self.rows * self.cols * rhs.cols >= gemm::GEMM_CUTOFF {
+            gemm::with_scratch(|ws| gemm::matmul_planar_into(self, rhs, out, ws));
+        } else {
+            gemm::matmul_interleaved_into(self, rhs, out);
         }
-        flops::add(flops::CMAC * (self.rows * self.cols * rhs.cols) as u64);
     }
 
     /// `self^H * rhs` without materializing the transpose.
@@ -173,6 +199,11 @@ impl CMat {
 
     /// `out = self^H * rhs`, reusing `out`'s storage (the steady-state
     /// beamforming kernel: one workspace matrix serves every bin).
+    ///
+    /// Dispatches like [`CMat::matmul_into`]: large products run the
+    /// split-complex [`gemm`] engine, small ones the interleaved kernel.
+    /// The `A^H` pack folds the conjugate-transpose into the gather so
+    /// the micro-kernel never shuffles.
     pub fn hermitian_matmul_into(&self, rhs: &CMat, out: &mut CMat) {
         assert_eq!(
             self.rows, rhs.rows,
@@ -180,19 +211,11 @@ impl CMat {
             self.rows, rhs.rows
         );
         assert_eq!(out.shape(), (self.cols, rhs.cols), "output shape mismatch");
-        out.data.fill(ZERO);
-        for k in 0..self.rows {
-            let arow = self.row(k);
-            let brow = rhs.row(k);
-            for (i, &a) in arow.iter().enumerate() {
-                let ac = a.conj();
-                let orow = out.row_mut(i);
-                for (o, &b) in orow.iter_mut().zip(brow.iter()) {
-                    *o = o.mul_add(ac, b);
-                }
-            }
+        if self.rows * self.cols * rhs.cols >= gemm::GEMM_CUTOFF {
+            gemm::with_scratch(|ws| gemm::hermitian_matmul_planar_into(self, rhs, out, ws));
+        } else {
+            gemm::hermitian_matmul_interleaved_into(self, rhs, out);
         }
-        flops::add(flops::CMAC * (self.rows * self.cols * rhs.cols) as u64);
     }
 
     /// Overwrites every element with `f(row, col)` without reallocating

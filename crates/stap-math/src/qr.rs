@@ -60,6 +60,63 @@ pub fn qr_with_rhs(a: &CMat, b: &CMat) -> (CMat, CMat) {
 /// `s` new rows, giving the `O(n^2 s)` cost the paper's hard-weight task
 /// depends on.
 pub fn qr_update(r_old: &CMat, forget: f64, new_rows: &CMat) -> CMat {
+    let mut out = CMat::zeros(r_old.rows(), r_old.cols());
+    let mut ws = QrScratch::new();
+    qr_update_with(r_old, forget, new_rows, &mut out, &mut ws);
+    out
+}
+
+/// Persistent scratch for [`qr_update_with`]: the new-rows block held in
+/// split-complex, **transposed** form (`cols x s`, so each column of the
+/// update block is a unit-stride plane row) plus the reflector snapshot.
+/// Buffers grow once and are reused; steady state allocates nothing.
+#[derive(Default)]
+pub struct QrScratch {
+    /// `x^T` real plane, `cols x s` row-major.
+    xt_re: Vec<f64>,
+    /// `x^T` imaginary plane, `cols x s` row-major.
+    xt_im: Vec<f64>,
+    /// Reflector snapshot (real), length `s`.
+    v_re: Vec<f64>,
+    /// Reflector snapshot (imaginary), length `s`.
+    v_im: Vec<f64>,
+}
+
+impl QrScratch {
+    /// Empty scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        QrScratch::default()
+    }
+
+    fn ensure(&mut self, cols: usize, s: usize) {
+        let n = cols * s;
+        if self.xt_re.len() < n {
+            self.xt_re.resize(n, 0.0);
+            self.xt_im.resize(n, 0.0);
+        }
+        if self.v_re.len() < s {
+            self.v_re.resize(s, 0.0);
+            self.v_im.resize(s, 0.0);
+        }
+    }
+}
+
+/// Allocation-free [`qr_update`]: writes the updated `R` into `out`
+/// (resized grow-only) using the caller's [`QrScratch`].
+///
+/// The new-rows block lives in split-complex transposed layout so the
+/// reflector dot-products and rank-1 updates stream unit-stride f64
+/// lanes; every arithmetic expression preserves the interleaved
+/// kernel's evaluation order (negation and `a - b == a + (-b)` are
+/// exact in IEEE-754), so results are **bit-for-bit** identical to the
+/// original — the golden detection outputs do not move.
+pub fn qr_update_with(
+    r_old: &CMat,
+    forget: f64,
+    new_rows: &CMat,
+    out: &mut CMat,
+    ws: &mut QrScratch,
+) {
     // `r_old` may carry extra columns beyond the triangular block (an
     // augmented right-hand side); only the leading `rows x rows` block must
     // be upper triangular.
@@ -72,16 +129,33 @@ pub fn qr_update(r_old: &CMat, forget: f64, new_rows: &CMat) -> CMat {
     assert_eq!(new_rows.cols(), cols, "new_rows column mismatch");
     let s = new_rows.rows();
 
-    let mut r = r_old.scale(forget);
-    let mut x = new_rows.clone();
+    // r = r_old * forget, written into the caller's buffer.
+    out.resize(n, cols);
+    for (o, &v) in out.as_mut_slice().iter_mut().zip(r_old.as_slice()) {
+        *o = v.scale(forget);
+    }
     flops::add(2 * (n * n) as u64); // the forgetting-factor scaling
+
+    // Pack the new block transposed: plane row j holds column j of x.
+    ws.ensure(cols, s);
+    for i in 0..s {
+        let row = new_rows.row(i);
+        for (j, &v) in row.iter().enumerate() {
+            ws.xt_re[j * s + i] = v.re;
+            ws.xt_im[j * s + i] = v.im;
+        }
+    }
+    let r = out;
 
     // For each column k, annihilate the s entries of the new block using a
     // Householder reflector on the vector [r[k,k]; x[:,k]].
     for k in 0..n {
         let mut norm_sqr = r[(k, k)].norm_sqr();
-        for i in 0..s {
-            norm_sqr += x[(i, k)].norm_sqr();
+        {
+            let (xkr, xki) = (&ws.xt_re[k * s..(k + 1) * s], &ws.xt_im[k * s..(k + 1) * s]);
+            for i in 0..s {
+                norm_sqr += xkr[i] * xkr[i] + xki[i] * xki[i];
+            }
         }
         let norm = norm_sqr.sqrt();
         if norm == 0.0 {
@@ -98,36 +172,47 @@ pub fn qr_update(r_old: &CMat, forget: f64, new_rows: &CMat) -> CMat {
         let v0 = d - alpha;
         // Snapshot the reflector: column k of x is overwritten below while
         // later columns still need the original vector.
-        let vx: Vec<Cx> = (0..s).map(|i| x[(i, k)]).collect();
         let mut vnorm_sqr = v0.norm_sqr();
-        for v in &vx {
-            vnorm_sqr += v.norm_sqr();
+        {
+            let (xkr, xki) = (&ws.xt_re[k * s..(k + 1) * s], &ws.xt_im[k * s..(k + 1) * s]);
+            ws.v_re[..s].copy_from_slice(xkr);
+            ws.v_im[..s].copy_from_slice(xki);
+            for i in 0..s {
+                vnorm_sqr += xkr[i] * xkr[i] + xki[i] * xki[i];
+            }
         }
         if vnorm_sqr == 0.0 {
             continue;
         }
         let beta = 2.0 / vnorm_sqr;
+        let (vr, vi) = (&ws.v_re[..s], &ws.v_im[..s]);
         // Apply (I - beta v v^H) to columns k+1..n of the stacked matrix.
         for j in k + 1..cols {
-            // w = v^H * col_j over the affected rows.
-            let mut w = v0.conj() * r[(k, j)];
-            for (i, v) in vx.iter().enumerate() {
-                w = w.mul_add(v.conj(), x[(i, j)]);
+            let xjr = &mut ws.xt_re[j * s..(j + 1) * s];
+            let xji = &mut ws.xt_im[j * s..(j + 1) * s];
+            // w = v^H * col_j over the affected rows (sequential over i,
+            // matching the interleaved mul_add chain exactly).
+            let w0 = v0.conj() * r[(k, j)];
+            let (mut w_re, mut w_im) = (w0.re, w0.im);
+            for i in 0..s {
+                w_re = w_re + vr[i] * xjr[i] + vi[i] * xji[i];
+                w_im = w_im + vr[i] * xji[i] - vi[i] * xjr[i];
             }
-            let wb = w.scale(beta);
+            let wb = Cx::new(w_re, w_im).scale(beta);
             r[(k, j)] = r[(k, j)] - v0 * wb;
-            for (i, v) in vx.iter().enumerate() {
-                x[(i, j)] = x[(i, j)] - *v * wb;
+            let (wbr, wbi) = (wb.re, wb.im);
+            for i in 0..s {
+                // x[i][j] -= v[i] * wb, componentwise (vectorizable).
+                xjr[i] -= vr[i] * wbr - vi[i] * wbi;
+                xji[i] -= vr[i] * wbi + vi[i] * wbr;
             }
         }
         // Column k transforms to alpha on the diagonal, zeros below.
         r[(k, k)] = alpha;
-        for i in 0..s {
-            x[(i, k)] = ZERO;
-        }
+        ws.xt_re[k * s..(k + 1) * s].fill(0.0);
+        ws.xt_im[k * s..(k + 1) * s].fill(0.0);
         flops::add((cols - k) as u64 * (2 * flops::CMAC * s as u64 + 20) + 4 * s as u64 + 30);
     }
-    r
 }
 
 /// In-place Householder reduction to upper-triangular form, optionally

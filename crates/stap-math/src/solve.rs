@@ -11,7 +11,7 @@
 use crate::complex::{Cx, ZERO};
 use crate::flops;
 use crate::mat::CMat;
-use crate::qr::{qr_update, qr_with_rhs};
+use crate::qr::{qr_update_with, qr_with_rhs, QrScratch};
 
 /// Solves `R X = B` for upper-triangular `R` (multiple right-hand sides).
 ///
@@ -74,6 +74,55 @@ pub fn constrained_lstsq(data: &CMat, constraint: &CMat, k: f64, steering: &CMat
 /// `R` already summarizes the training snapshots, so only the constraint
 /// rows need annihilating — the [`qr_update`] structure makes this cheap.
 pub fn constrained_lstsq_from_r(r: &CMat, constraint: &CMat, k: f64, steering: &CMat) -> CMat {
+    let mut out = CMat::zeros(r.cols(), steering.cols());
+    let mut ws = SolveScratch::new();
+    constrained_lstsq_from_r_with(r, constraint, k, steering, &mut out, &mut ws);
+    out
+}
+
+/// Persistent scratch for [`constrained_lstsq_from_r_with`]: the bordered
+/// system, its triangular/constraint split, the updated factor, and the
+/// QR-update scratch. Grow-only, so the steady-state hard-weight path
+/// performs zero heap allocations.
+pub struct SolveScratch {
+    bordered: CMat,
+    top: CMat,
+    bottom: CMat,
+    rr: CMat,
+    qr: QrScratch,
+}
+
+impl SolveScratch {
+    /// Empty scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        SolveScratch {
+            bordered: CMat::zeros(0, 0),
+            top: CMat::zeros(0, 0),
+            bottom: CMat::zeros(0, 0),
+            rr: CMat::zeros(0, 0),
+            qr: QrScratch::new(),
+        }
+    }
+}
+
+impl Default for SolveScratch {
+    fn default() -> Self {
+        SolveScratch::new()
+    }
+}
+
+/// Allocation-free [`constrained_lstsq_from_r`]: writes the normalized
+/// weights into `out` (resized grow-only) using the caller's scratch.
+/// Arithmetic order is identical to the allocating version — results are
+/// bit-for-bit equal.
+pub fn constrained_lstsq_from_r_with(
+    r: &CMat,
+    constraint: &CMat,
+    k: f64,
+    steering: &CMat,
+    out: &mut CMat,
+    ws: &mut SolveScratch,
+) {
     let n = r.cols();
     assert_eq!(constraint.cols(), n, "constraint column mismatch");
     assert_eq!(
@@ -81,41 +130,64 @@ pub fn constrained_lstsq_from_r(r: &CMat, constraint: &CMat, k: f64, steering: &
         constraint.rows(),
         "steering rows must match constraint rows"
     );
+    let sc = steering.cols();
     // Annihilate the constraint block against R, tracking the rhs through
     // the same reflections: factor the bordered system
     //   [R  0 ] -> updated R and transformed rhs.
     //   [kC ks]
-    let scaled_c = constraint.scale(k);
-    let bordered = {
-        // Append the rhs as extra columns so one pass transforms both.
-        let mut m = CMat::zeros(r.rows() + scaled_c.rows(), n + steering.cols());
-        for i in 0..r.rows() {
-            for j in 0..n {
-                m[(i, j)] = r[(i, j)];
-            }
+    let brows = r.rows() + constraint.rows();
+    let bcols = n + sc;
+    ws.bordered.resize(brows, bcols);
+    ws.bordered.as_mut_slice().fill(ZERO);
+    for i in 0..r.rows() {
+        for j in 0..n {
+            ws.bordered[(i, j)] = r[(i, j)];
         }
-        for i in 0..scaled_c.rows() {
-            for j in 0..n {
-                m[(r.rows() + i, j)] = scaled_c[(i, j)];
-            }
-            for j in 0..steering.cols() {
-                m[(r.rows() + i, n + j)] = steering[(i, j)].scale(k);
-            }
+    }
+    for i in 0..constraint.rows() {
+        for j in 0..n {
+            ws.bordered[(r.rows() + i, j)] = constraint[(i, j)].scale(k);
         }
-        m
-    };
+        for j in 0..sc {
+            ws.bordered[(r.rows() + i, n + j)] = steering[(i, j)].scale(k);
+        }
+    }
     // The leading n x n block is triangular: use the structured update on
     // the extended matrix.
-    let top = bordered.rows_range(0, n);
-    let bottom = bordered.rows_range(n, bordered.rows());
-    let rr = qr_update(&top, 1.0, &bottom);
-    let r_new = CMat::from_fn(n, n, |i, j| rr[(i, j)]);
-    let qtb = CMat::from_fn(n, steering.cols(), |i, j| rr[(i, n + j)]);
-    normalize_columns(back_substitute(&r_new, &qtb))
+    ws.top.resize(n, bcols);
+    ws.top
+        .as_mut_slice()
+        .copy_from_slice(&ws.bordered.as_slice()[..n * bcols]);
+    ws.bottom.resize(brows - n, bcols);
+    ws.bottom
+        .as_mut_slice()
+        .copy_from_slice(&ws.bordered.as_slice()[n * bcols..brows * bcols]);
+    qr_update_with(&ws.top, 1.0, &ws.bottom, &mut ws.rr, &mut ws.qr);
+    // Back-substitute straight out of the bordered factor: columns
+    // `n..n+sc` of `rr` are `Q^H rhs`, its leading block the new `R`.
+    out.resize(n, sc);
+    let rr = &ws.rr;
+    for j in 0..sc {
+        for i in (0..n).rev() {
+            let mut acc = rr[(i, n + j)];
+            for kk in i + 1..n {
+                acc = acc - rr[(i, kk)] * out[(kk, j)];
+            }
+            out[(i, j)] = acc / rr[(i, i)];
+        }
+    }
+    flops::add((sc * n * n) as u64 * flops::CMAC / 2 + (sc * n) as u64 * 7);
+    normalize_columns_in_place(out);
 }
 
 /// Scales every column to unit Euclidean length (zero columns unchanged).
 pub fn normalize_columns(mut w: CMat) -> CMat {
+    normalize_columns_in_place(&mut w);
+    w
+}
+
+/// In-place [`normalize_columns`] (the zero-alloc steady-state form).
+pub fn normalize_columns_in_place(w: &mut CMat) {
     for j in 0..w.cols() {
         let norm = (0..w.rows())
             .map(|i| w[(i, j)].norm_sqr())
@@ -129,7 +201,6 @@ pub fn normalize_columns(mut w: CMat) -> CMat {
         }
     }
     flops::add((w.rows() * w.cols()) as u64 * 6);
-    w
 }
 
 /// Residual `||A X - B||_F`, a convenience for tests and diagnostics.

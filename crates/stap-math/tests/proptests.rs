@@ -2,7 +2,11 @@
 //! see `stap_util::check`).
 
 use stap_math::fft::{dft_naive, Direction, Fft, FftScratch};
-use stap_math::qr::{is_upper_triangular, qr_r, qr_update};
+use stap_math::gemm::{
+    hermitian_matmul_interleaved_into, hermitian_matmul_planar_into, matmul_interleaved_into,
+    matmul_planar_into, GemmScratch, GEMM_CUTOFF,
+};
+use stap_math::qr::{is_upper_triangular, qr_r, qr_update, qr_update_with, QrScratch};
 use stap_math::solve::{back_substitute, lstsq};
 use stap_math::{CMat, Cx};
 use stap_util::check::{check, Gen};
@@ -227,6 +231,123 @@ fn matmul_distributes_over_addition() {
         let right = a.matmul(&b).add(&a.matmul(&c));
         let scale = left.fro_norm().max(1.0);
         assert!(left.max_abs_diff(&right) < 1e-8 * scale);
+    });
+}
+
+fn assert_bitwise_eq(got: &CMat, want: &CMat, what: &str) {
+    assert_eq!(got.shape(), want.shape(), "{what}: shape");
+    for (a, b) in got.as_slice().iter().zip(want.as_slice()) {
+        assert!(
+            a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits(),
+            "{what}: {a:?} != {b:?}"
+        );
+    }
+}
+
+/// The tentpole contract: the split-complex (SoA) packed engine must be
+/// *bit-identical* to the naive interleaved kernel — the planar MAC
+/// expansion and k-ascending accumulation reproduce the exact IEEE
+/// operation order. Shapes cover tall, wide, non-square, and
+/// single-row/column cases.
+#[test]
+fn gemm_planar_matches_interleaved_bitwise() {
+    check("gemm_planar_matches_interleaved_bitwise", 48, |g| {
+        let m = g.int(1, 13);
+        let k = g.int(1, 13);
+        let n = g.int(1, 27); // crosses the NR=8 strip boundary
+        let a = cmat(g, m, k);
+        let b = cmat(g, k, n);
+        let mut want = CMat::zeros(m, n);
+        matmul_interleaved_into(&a, &b, &mut want);
+        let mut got = CMat::zeros(m, n);
+        let mut ws = GemmScratch::new();
+        matmul_planar_into(&a, &b, &mut got, &mut ws);
+        assert_bitwise_eq(&got, &want, &format!("A({m}x{k}) B({k}x{n})"));
+    });
+}
+
+/// Same contract for the adjoint product `A^H B` — the conjugation is
+/// folded into the pack (negated imaginary plane), which must still be
+/// exact.
+#[test]
+fn hermitian_gemm_planar_matches_interleaved_bitwise() {
+    check(
+        "hermitian_gemm_planar_matches_interleaved_bitwise",
+        48,
+        |g| {
+            let m = g.int(1, 13);
+            let k = g.int(1, 13);
+            let n = g.int(1, 27);
+            let a = cmat(g, k, m); // A^H B: a is k x m
+            let b = cmat(g, k, n);
+            let mut want = CMat::zeros(m, n);
+            hermitian_matmul_interleaved_into(&a, &b, &mut want);
+            let mut got = CMat::zeros(m, n);
+            let mut ws = GemmScratch::new();
+            hermitian_matmul_planar_into(&a, &b, &mut got, &mut ws);
+            assert_bitwise_eq(&got, &want, &format!("A^H({m}x{k}) B({k}x{n})"));
+        },
+    );
+}
+
+/// `CMat::matmul_into` dispatches on problem size (small problems use
+/// the interleaved kernel, large ones the packed engine). Both sides of
+/// the cutoff must agree bitwise, so the dispatch boundary is invisible
+/// to callers.
+#[test]
+fn matmul_dispatch_is_bitwise_stable_across_cutoff() {
+    check("matmul_dispatch_is_bitwise_stable_across_cutoff", 24, |g| {
+        // m*k*n straddles GEMM_CUTOFF = 4096: 16*16*n with n in 14..=18.
+        let m = 16;
+        let k = 16;
+        let n = g.int(14, 19);
+        assert!((m * k * 14 < GEMM_CUTOFF) && (m * k * 18 >= GEMM_CUTOFF));
+        let a = cmat(g, m, k);
+        let b = cmat(g, k, n);
+        let mut want = CMat::zeros(m, n);
+        matmul_interleaved_into(&a, &b, &mut want);
+        let mut got = CMat::zeros(m, n);
+        a.matmul_into(&b, &mut got);
+        assert_bitwise_eq(&got, &want, &format!("dispatch {m}x{k}x{n}"));
+
+        let ah = cmat(g, k, m);
+        let mut wanth = CMat::zeros(m, n);
+        hermitian_matmul_interleaved_into(&ah, &b, &mut wanth);
+        let mut goth = CMat::zeros(m, n);
+        ah.hermitian_matmul_into(&b, &mut goth);
+        assert_bitwise_eq(&goth, &wanth, &format!("adjoint dispatch {m}x{k}x{n}"));
+    });
+}
+
+/// The planar scratch-based recursive QR update must match the
+/// allocating wrapper bitwise for arbitrary augmented shapes.
+#[test]
+fn qr_update_with_matches_wrapper_bitwise() {
+    check("qr_update_with_matches_wrapper_bitwise", 32, |g| {
+        let n = g.int(1, 7);
+        let extra_cols = g.int(0, 4);
+        let s = g.int(1, 9);
+        let top = cmat(g, n + 4, n);
+        let mut r_old = qr_r(&top);
+        // Augment with extra right-hand-side columns.
+        if extra_cols > 0 {
+            r_old = CMat::from_fn(
+                n,
+                n + extra_cols,
+                |i, j| {
+                    if j < n {
+                        r_old[(i, j)]
+                    } else {
+                        cx(g)
+                    }
+                },
+            );
+        }
+        let new_rows = cmat(g, s, n + extra_cols);
+        let want = qr_update(&r_old, 0.85, &new_rows);
+        let mut got = CMat::zeros(0, 0);
+        qr_update_with(&r_old, 0.85, &new_rows, &mut got, &mut QrScratch::new());
+        assert_bitwise_eq(&got, &want, &format!("qr_update n={n}+{extra_cols} s={s}"));
     });
 }
 

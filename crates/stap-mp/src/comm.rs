@@ -1,5 +1,6 @@
 //! Per-rank communicator with tag/source matching.
 
+use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::Duration;
@@ -26,6 +27,72 @@ pub(crate) struct Envelope<M> {
     pub msg: M,
 }
 
+/// The unexpected-message queue, indexed by `(src, tag)` bucket.
+///
+/// `recv_matching` used to rescan a flat `Vec` of buffered envelopes on
+/// every call — O(pending) per receive, quadratic over a CPI's worth of
+/// out-of-order traffic. Each bucket is a FIFO of `(arrival_seq, msg)`;
+/// the global arrival counter lets [`Mailbox::take_any`] preserve the
+/// earliest-arrival semantics of `ANY_SOURCE` across buckets. Tags
+/// encode the CPI index, so drained buckets are removed eagerly to keep
+/// the map from growing without bound.
+pub(crate) struct Mailbox<M> {
+    buckets: HashMap<(usize, Tag), VecDeque<(u64, M)>>,
+    seq: u64,
+}
+
+impl<M> Default for Mailbox<M> {
+    fn default() -> Self {
+        Mailbox {
+            buckets: HashMap::new(),
+            seq: 0,
+        }
+    }
+}
+
+impl<M> Mailbox<M> {
+    /// Buffers an envelope, stamping it with the arrival sequence.
+    fn push(&mut self, e: Envelope<M>) {
+        let s = self.seq;
+        self.seq += 1;
+        self.buckets
+            .entry((e.src, e.tag))
+            .or_default()
+            .push_back((s, e.msg));
+    }
+
+    /// Pops the oldest buffered message from `(src, tag)`, removing the
+    /// bucket when it drains.
+    fn take(&mut self, src: usize, tag: Tag) -> Option<M> {
+        let q = self.buckets.get_mut(&(src, tag))?;
+        let (_, msg) = q.pop_front().expect("empty buckets are removed eagerly");
+        if q.is_empty() {
+            self.buckets.remove(&(src, tag));
+        }
+        Some(msg)
+    }
+
+    /// Pops the earliest-arrived message with `tag` from any source.
+    fn take_any(&mut self, tag: Tag) -> Option<(usize, M)> {
+        let src = self
+            .buckets
+            .iter()
+            .filter(|((_, t), _)| *t == tag)
+            .min_by_key(|(_, q)| q.front().expect("empty buckets are removed eagerly").0)
+            .map(|((s, _), _)| *s)?;
+        Some((src, self.take(src, tag)?))
+    }
+
+    /// True when a message matching `(src, tag)` is buffered.
+    fn contains(&self, src: usize, tag: Tag) -> bool {
+        if src == ANY_SOURCE {
+            self.buckets.keys().any(|&(_, t)| t == tag)
+        } else {
+            self.buckets.contains_key(&(src, tag))
+        }
+    }
+}
+
 /// One rank's endpoint into a [`crate::World`].
 ///
 /// Sending is asynchronous (enqueue-and-return); receiving blocks until a
@@ -37,7 +104,7 @@ pub struct Comm<M> {
     pub(crate) rank: usize,
     pub(crate) senders: Arc<Vec<Sender<Envelope<M>>>>,
     pub(crate) inbox: Receiver<Envelope<M>>,
-    pub(crate) pending: Vec<Envelope<M>>,
+    pub(crate) pending: Mailbox<M>,
     pub(crate) barrier: Arc<std::sync::Barrier>,
     /// Number of endpoints still alive. Every rank shares one `Arc` to the
     /// sender table, so a blocked receiver keeps its own channel open;
@@ -89,16 +156,15 @@ impl<M: Send> Comm<M> {
     /// [`ANY_SOURCE`]. Returns the message only (use
     /// [`Comm::recv_any`] to learn the sender).
     pub fn recv_matching(&mut self, src: usize, tag: Tag) -> Result<M, RecvError> {
-        if let Some(i) = self
-            .pending
-            .iter()
-            .position(|e| e.tag == tag && (src == ANY_SOURCE || e.src == src))
-        {
-            return Ok(self.pending.remove(i).msg);
+        if src == ANY_SOURCE {
+            return self.recv_any(tag).map(|(_, m)| m);
+        }
+        if let Some(m) = self.pending.take(src, tag) {
+            return Ok(m);
         }
         loop {
             let e = self.blocking_next()?;
-            if e.tag == tag && (src == ANY_SOURCE || e.src == src) {
+            if e.tag == tag && e.src == src {
                 return Ok(e.msg);
             }
             self.pending.push(e);
@@ -108,9 +174,8 @@ impl<M: Send> Comm<M> {
     /// Blocking receive of the next message with `tag` from any source,
     /// returning `(source, message)`.
     pub fn recv_any(&mut self, tag: Tag) -> Result<(usize, M), RecvError> {
-        if let Some(i) = self.pending.iter().position(|e| e.tag == tag) {
-            let e = self.pending.remove(i);
-            return Ok((e.src, e.msg));
+        if let Some(hit) = self.pending.take_any(tag) {
+            return Ok(hit);
         }
         loop {
             let e = self.blocking_next()?;
@@ -152,12 +217,12 @@ impl<M: Send> Comm<M> {
         tag: Tag,
         timeout: Duration,
     ) -> Result<M, RecvError> {
-        if let Some(i) = self
-            .pending
-            .iter()
-            .position(|e| e.tag == tag && (src == ANY_SOURCE || e.src == src))
-        {
-            return Ok(self.pending.remove(i).msg);
+        if src == ANY_SOURCE {
+            if let Some((_, m)) = self.pending.take_any(tag) {
+                return Ok(m);
+            }
+        } else if let Some(m) = self.pending.take(src, tag) {
+            return Ok(m);
         }
         let deadline = std::time::Instant::now() + timeout;
         loop {
@@ -181,9 +246,7 @@ impl<M: Send> Comm<M> {
     /// Non-blocking probe: true when a matching message is available now.
     pub fn probe(&mut self, src: usize, tag: Tag) -> bool {
         self.drain_inbox();
-        self.pending
-            .iter()
-            .any(|e| e.tag == tag && (src == ANY_SOURCE || e.src == src))
+        self.pending.contains(src, tag)
     }
 
     /// Collects `count` messages with `tag` from any sources, e.g. one per
@@ -225,6 +288,58 @@ mod tests {
             } else {
                 let x = comm.recv(0, 7).unwrap();
                 comm.send(0, 8, x + 1);
+            }
+        });
+    }
+
+    #[test]
+    fn out_of_order_tag_arrival_pops_fifo_per_bucket() {
+        // One sender interleaves two tags; the receiver drains them in
+        // the opposite tag order. Within a (src, tag) bucket, messages
+        // must come out in arrival (FIFO) order.
+        let world: World<u32> = World::new(2);
+        world.run(|mut comm| {
+            if comm.rank() == 0 {
+                for &(tag, v) in &[(2u64, 20u32), (1, 10), (2, 21), (1, 11), (2, 22)] {
+                    comm.send(1, tag, v);
+                }
+                comm.barrier();
+            } else {
+                comm.barrier(); // everything is buffered out of order now
+                assert_eq!(comm.recv(0, 1).unwrap(), 10);
+                assert_eq!(comm.recv(0, 1).unwrap(), 11);
+                assert_eq!(comm.recv(0, 2).unwrap(), 20);
+                assert_eq!(comm.recv(0, 2).unwrap(), 21);
+                assert_eq!(comm.recv(0, 2).unwrap(), 22);
+            }
+        });
+    }
+
+    #[test]
+    fn recv_any_prefers_earliest_arrival_across_sources() {
+        // Rank 1 then rank 2 send the same tag (sequenced through rank
+        // 0); ANY_SOURCE receives must pop in arrival order even though
+        // the buckets are distinct.
+        let world: World<u8> = World::new(3);
+        world.run(|mut comm| match comm.rank() {
+            1 => {
+                comm.send(0, 5, 1);
+                comm.send(2, 9, 0); // wake rank 2 only after ours is sent
+            }
+            2 => {
+                let _ = comm.recv(1, 9).unwrap();
+                comm.send(0, 5, 2);
+            }
+            _ => {
+                // Wait until both are buffered so the order is decided
+                // by the mailbox, not the channel.
+                while !(comm.probe(1, 5) && comm.probe(2, 5)) {
+                    std::thread::yield_now();
+                }
+                let (s1, v1) = comm.recv_any(5).unwrap();
+                let (s2, v2) = comm.recv_any(5).unwrap();
+                assert_eq!((s1, v1), (1, 1), "first arrival must pop first");
+                assert_eq!((s2, v2), (2, 2));
             }
         });
     }

@@ -35,7 +35,7 @@ impl<M: Send> World<M> {
                 rank,
                 senders: Arc::clone(&senders),
                 inbox,
-                pending: Vec::new(),
+                pending: crate::comm::Mailbox::default(),
                 barrier: Arc::clone(&barrier),
                 alive: Arc::clone(&alive),
                 poisoned: Arc::clone(&poisoned),

@@ -5,13 +5,22 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== 1/3 rustfmt =="
+echo "== 1/4 rustfmt =="
 cargo fmt --all -- --check
 
-echo "== 2/3 release build =="
+echo "== 2/4 release build =="
 cargo build --release --workspace
 
-echo "== 3/3 tests (includes the zero-allocation regression) =="
+echo "== 3/4 tests (includes the zero-allocation regression) =="
 cargo test -q --workspace
+
+echo "== 4/4 bench smoke (quick windows; plumbing only, not timing) =="
+# Quick mode writes to a scratch path so the recorded full-mode baseline
+# in BENCH_kernels.json is never clobbered by smoke numbers. Full runs
+# (stapctl bench, no --quick) gate themselves against the baseline and
+# refuse to record a >10% kernel regression.
+smoke_out="$(mktemp /tmp/BENCH_kernels_smoke.XXXXXX.json)"
+trap 'rm -f "$smoke_out"' EXIT
+cargo run --release -q -p stap-bench --bin stapctl -- bench --quick --out "$smoke_out"
 
 echo "check passed."
