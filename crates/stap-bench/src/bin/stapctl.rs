@@ -6,10 +6,18 @@
 //!                  [--replicas 1,1,1,1,1,1,1] [--contention] [--json]
 //! stapctl optimize --budget 118 [--objective throughput|latency] [--floor 3.0]
 //! stapctl detect   [--cpis 6] [--seed 42] [--full] [--nodes 2,1,2,1,1,2,1]
+//! stapctl faults   [--cpis 10] [--seed 7] [--drop-cpi 2] [--stall-cpi 6]
+//!                  [--expect degraded=3,dropped=1] [--json]
 //! stapctl gantt    [--nodes N0,..,N6] [--cpis 8]
 //! stapctl csv      --what fig11|scaling
 //! stapctl bench    [--quick] [--json] [--force] [--out BENCH_kernels.json]
 //! ```
+//!
+//! `faults` runs a deterministic fault-injection campaign on the real
+//! (reduced-size) pipeline: one weight-task stall and one dropped
+//! inter-task message, then reports per-CPI outcomes and health
+//! counters. `--expect degraded=G,dropped=D` turns it into a CI gate
+//! that fails when the classification deviates.
 //!
 //! `bench` in full mode refuses to overwrite its output file when any
 //! kernel's optimized-path median regressed more than 10% against the
@@ -25,6 +33,7 @@ use stap::sim::assign::{optimize, Objective};
 use stap::sim::{simulate, SimConfig};
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -32,6 +41,7 @@ fn usage() -> ExitCode {
          stapctl simulate --nodes N0,..,N6 [--cpis K] [--input-rate R] [--replicas R0,..,R6] [--contention]\n  \
          stapctl optimize --budget B [--objective throughput|latency] [--floor T] [--moves M]\n  \
          stapctl detect [--cpis K] [--seed S] [--full] [--nodes N0,..,N6]\n  \
+         stapctl faults [--cpis K] [--seed S] [--drop-cpi C] [--stall-cpi C] [--expect degraded=G,dropped=D]\n  \
          stapctl bench [--quick] [--json] [--force] [--out PATH]"
     );
     ExitCode::from(2)
@@ -86,11 +96,11 @@ fn print_sim(r: &stap::sim::SimResult, assign: &NodeAssignment) {
         "{:<16} {:>5} {:>8} {:>8} {:>8} {:>8}",
         "task", "nodes", "recv", "comp", "send", "total"
     );
-    for t in 0..7 {
+    for (t, name) in TASK_NAMES.iter().enumerate() {
         let tt = r.tasks[t];
         println!(
             "{:<16} {:>5} {:>8.4} {:>8.4} {:>8.4} {:>8.4}",
-            TASK_NAMES[t],
+            name,
             assign.0[t],
             tt.recv,
             tt.comp,
@@ -227,6 +237,137 @@ fn cmd_detect(flags: HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_faults(flags: HashMap<String, String>) -> Result<(), String> {
+    use stap::mp::FaultPlan;
+    use stap::pipeline::assignment::{DOPPLER, EASY_BF, EASY_WT};
+    use stap::pipeline::msg::{tag, Edge};
+    use stap::pipeline::{CpiOutcome, RuntimePolicy};
+
+    let cpis: usize = flags
+        .get("cpis")
+        .map(|c| c.parse().map_err(|e| format!("--cpis: {e}")))
+        .transpose()?
+        .unwrap_or(10);
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| s.parse().map_err(|e| format!("--seed: {e}")))
+        .transpose()?
+        .unwrap_or(7);
+    let drop_cpi: usize = flags
+        .get("drop-cpi")
+        .map(|s| s.parse().map_err(|e| format!("--drop-cpi: {e}")))
+        .transpose()?
+        .unwrap_or(2);
+    let stall_cpi: usize = flags
+        .get("stall-cpi")
+        .map(|s| s.parse().map_err(|e| format!("--stall-cpi: {e}")))
+        .transpose()?
+        .unwrap_or(6);
+    if drop_cpi >= cpis || stall_cpi >= cpis {
+        return Err(format!("--drop-cpi/--stall-cpi must be < --cpis ({cpis})"));
+    }
+
+    let params = StapParams::reduced();
+    let scenario = Scenario::reduced(seed);
+    let assign = NodeAssignment::tiny();
+    // The campaign of the acceptance spec: (a) one weight-task stall
+    // long enough that every later weight misses its grace deadline
+    // until the run drains, and (b) one dropped Doppler->beamform data
+    // message. Everything is addressed by (rank, tagged edge, CPI), so
+    // the outcome classification is exactly reproducible.
+    let easy_wt_rank = assign.rank_range(EASY_WT).start;
+    let doppler0 = assign.rank_range(DOPPLER).start;
+    let easy_bf_rank = assign.rank_range(EASY_BF).start;
+    let plan = FaultPlan::seeded(seed)
+        .stall_rank(easy_wt_rank, stall_cpi as u64, Duration::from_secs(2))
+        .drop_message(doppler0, easy_bf_rank, tag(Edge::DopplerToEasyBf, drop_cpi));
+    let policy = RuntimePolicy {
+        fault_tolerant: true,
+        edge_timeout: Duration::from_millis(200),
+        weight_grace: Duration::from_millis(50),
+        max_retries: 1,
+        screen_nonfinite: true,
+    };
+    let runner = ParallelStap::for_scenario(params, assign, &scenario)
+        .with_policy(policy)
+        .with_faults(plan);
+    println!(
+        "fault campaign: {cpis} reduced CPIs, drop Doppler->easyBF at CPI {drop_cpi}, \
+         stall easy-weight rank {easy_wt_rank} for 2 s at CPI {stall_cpi}"
+    );
+    let data: Vec<_> = scenario.stream(cpis).map(|(_, _, c)| c).collect();
+    let out = runner
+        .try_run(data)
+        .map_err(|e| format!("campaign failed: {e}"))?;
+
+    let h = &out.timings.health;
+    let (degraded, dropped) = (h.degraded_cpis, h.dropped_cpis);
+    if flags.contains_key("json") {
+        use stap_util::Json;
+        let outcome_str = |o: &CpiOutcome| match o {
+            CpiOutcome::Ok => "ok",
+            CpiOutcome::DegradedStaleWeights => "degraded",
+            CpiOutcome::Dropped => "dropped",
+        };
+        let j = Json::obj([
+            ("cpis", Json::Num(cpis as f64)),
+            ("degraded_cpis", Json::Num(degraded as f64)),
+            ("dropped_cpis", Json::Num(dropped as f64)),
+            (
+                "outcomes",
+                Json::arr(
+                    out.timings
+                        .outcomes
+                        .iter()
+                        .map(|o| Json::Str(outcome_str(o).to_string())),
+                ),
+            ),
+        ]);
+        println!("{}", j.to_string_pretty());
+    } else {
+        print!("{}", stap::pipeline::render_health(&out.timings));
+        let marks: String = out
+            .timings
+            .outcomes
+            .iter()
+            .map(|o| match o {
+                CpiOutcome::Ok => '.',
+                CpiOutcome::DegradedStaleWeights => 'd',
+                CpiOutcome::Dropped => 'X',
+            })
+            .collect();
+        println!("per-CPI    [{marks}]  (.=ok d=degraded X=dropped)");
+    }
+
+    if let Some(exp) = flags.get("expect") {
+        let mut want_deg: Option<u64> = None;
+        let mut want_drop: Option<u64> = None;
+        for part in exp.split(',') {
+            match part.trim().split_once('=') {
+                Some(("degraded", v)) => {
+                    want_deg = Some(v.parse().map_err(|e| format!("--expect degraded: {e}"))?)
+                }
+                Some(("dropped", v)) => {
+                    want_drop = Some(v.parse().map_err(|e| format!("--expect dropped: {e}"))?)
+                }
+                _ => return Err(format!("--expect: cannot parse {part:?}")),
+            }
+        }
+        if let Some(w) = want_deg {
+            if degraded != w {
+                return Err(format!("expected {w} degraded CPIs, observed {degraded}"));
+            }
+        }
+        if let Some(w) = want_drop {
+            if dropped != w {
+                return Err(format!("expected {w} dropped CPIs, observed {dropped}"));
+            }
+        }
+        println!("expectations met: degraded={degraded} dropped={dropped}");
+    }
+    Ok(())
+}
+
 fn cmd_gantt(flags: HashMap<String, String>) -> Result<(), String> {
     let nodes = flags
         .get("nodes")
@@ -333,6 +474,7 @@ fn main() -> ExitCode {
         "simulate" => cmd_simulate(flags),
         "optimize" => cmd_optimize(flags),
         "detect" => cmd_detect(flags),
+        "faults" => cmd_faults(flags),
         "gantt" => cmd_gantt(flags),
         "csv" => cmd_csv(flags),
         "bench" => cmd_bench(flags),

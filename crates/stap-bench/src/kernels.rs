@@ -123,7 +123,7 @@ impl ReferencePulse {
                 let mut buf = beamformed.lane(bin, beam).to_vec();
                 self.fft.forward(&mut buf);
                 for (x, f) in buf.iter_mut().zip(&self.filter) {
-                    *x = *x * *f;
+                    *x *= *f;
                 }
                 self.fft.inverse(&mut buf);
                 let lane = out.lane_mut(bin, beam);
@@ -210,9 +210,9 @@ pub fn reference_qr_update(r_old: &CMat, forget: f64, new_rows: &CMat) -> CMat {
                 w = w.mul_add(v.conj(), x[(i, j)]);
             }
             let wb = w.scale(beta);
-            r[(k, j)] = r[(k, j)] - v0 * wb;
+            r[(k, j)] -= v0 * wb;
             for (i, v) in vx.iter().enumerate() {
-                x[(i, j)] = x[(i, j)] - *v * wb;
+                x[(i, j)] -= *v * wb;
             }
         }
         r[(k, k)] = alpha;
@@ -251,7 +251,7 @@ impl Pair {
 }
 
 fn doppler_slab(p: &StapParams, rows: usize) -> CCube {
-    CCube::from_fn([rows, p.j_channels, p.n_pulses], |a, b, c| det_cx(a, b, c))
+    CCube::from_fn([rows, p.j_channels, p.n_pulses], det_cx)
 }
 
 /// Times every before/after kernel pair. `quick` shrinks the bench
@@ -320,7 +320,7 @@ pub fn measure(quick: bool) -> Vec<Pair> {
 
     // --- pulse compression (8 bins, M = 6, K = 512) --------------------
     {
-        let cube = CCube::from_fn([8, p.m_beams, p.k_range], |a, bb, c| det_cx(a, bb, c));
+        let cube = CCube::from_fn([8, p.m_beams, p.k_range], det_cx);
         let refp = ReferencePulse::new(&p);
         let before = b.run("pulse_compression_ref", || refp.process(&cube)[(0, 0, 0)]);
         let pc = PulseCompressor::new(&p);
@@ -347,7 +347,7 @@ pub fn measure(quick: bool) -> Vec<Pair> {
             AxisPartition::block(0, p.n_pulses, 4),
             [2, 0, 1],
         );
-        let local = CCube::from_fn(plan.src_local_shape(0), |a, bb, c| det_cx(a, bb, c));
+        let local = CCube::from_fn(plan.src_local_shape(0), det_cx);
         let blocks: Vec<_> = plan.sends_of(0).collect();
         let before = b.run("redist_pack_ref", || {
             // Seed path: per-element index arithmetic, fresh Vec per block.
@@ -378,7 +378,7 @@ pub fn measure(quick: bool) -> Vec<Pair> {
     // --- easy beamforming, one bin: (J x M)^H . (J x K) ----------------
     {
         let w = CMat::from_fn(p.j_channels, p.m_beams, |i, j| det_cx(i, j, 3));
-        let data = CCube::from_fn([1, p.k_range, p.j_channels], |a, bb, c| det_cx(a, bb, c));
+        let data = CCube::from_fn([1, p.k_range, p.j_channels], det_cx);
         let before = b.run("easy_bf_bin_ref", || {
             // Seed path: fresh slab + output, interleaved k-i-j product.
             let slab = CMat::from_fn(p.j_channels, p.k_range, |ch, kc| data[(0, kc, ch)]);
@@ -409,7 +409,7 @@ pub fn measure(quick: bool) -> Vec<Pair> {
         let seg = p.segment_range(p.num_segments() - 1); // largest segment
         let k_seg = seg.len();
         let w = CMat::from_fn(jj, p.m_beams, |i, j| det_cx(i, j, 7));
-        let data = CCube::from_fn([1, k_seg, jj], |a, bb, c| det_cx(a, bb, c));
+        let data = CCube::from_fn([1, k_seg, jj], det_cx);
         let before = b.run("hard_bf_seg_ref", || {
             let slab = CMat::from_fn(jj, k_seg, |ch, kc| data[(0, kc, ch)]);
             let mut y = CMat::zeros(p.m_beams, k_seg);

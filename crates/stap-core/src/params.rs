@@ -144,7 +144,7 @@ impl StapParams {
 
     /// Validates internal consistency; call once after manual edits.
     pub fn validate(&self) -> Result<(), String> {
-        if self.n_hard % 2 != 0 {
+        if !self.n_hard.is_multiple_of(2) {
             return Err("n_hard must be even (split around zero Doppler)".into());
         }
         if self.n_hard >= self.n_pulses {
@@ -167,7 +167,7 @@ impl StapParams {
         if self.replica_len == 0 || self.replica_len > self.k_range {
             return Err("replica length must be in 1..=k_range".into());
         }
-        if self.cfar_window == 0 || self.cfar_window % 2 != 0 {
+        if self.cfar_window == 0 || !self.cfar_window.is_multiple_of(2) {
             return Err("cfar_window must be positive and even".into());
         }
         Ok(())

@@ -95,7 +95,7 @@ impl PulseCompressor {
         self.fft.forward_lanes(spec, &mut ws.fft);
         for lane in spec.chunks_exact_mut(k) {
             for (x, f) in lane.iter_mut().zip(&self.filter) {
-                *x = *x * *f;
+                *x *= *f;
             }
         }
         flops::add(flops::CMUL * total as u64);
@@ -113,7 +113,7 @@ impl PulseCompressor {
         buf.extend_from_slice(lane);
         self.fft.forward(buf);
         for (x, f) in buf.iter_mut().zip(&self.filter) {
-            *x = *x * *f;
+            *x *= *f;
         }
         flops::add(flops::CMUL * self.k as u64);
         self.fft.inverse(buf);

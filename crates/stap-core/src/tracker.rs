@@ -108,7 +108,7 @@ impl Tracker {
                 let dr = (d.range as f64 - t.range) / self.cfg.range_gate;
                 let db = (d.bin as f64 - t.bin) / self.cfg.bin_gate;
                 let dist = dr * dr + db * db;
-                if dist <= 1.0 && best.map_or(true, |(_, bd)| dist < bd) {
+                if dist <= 1.0 && best.is_none_or(|(_, bd)| dist < bd) {
                     best = Some((i, dist));
                 }
             }

@@ -352,6 +352,20 @@ impl CCube {
             .map(|(&a, &b)| (a - b).abs())
             .fold(0.0, f64::max)
     }
+
+    /// True when every element is finite (no NaN/Inf in either part).
+    /// Task boundaries in the fault-tolerant pipeline screen payloads
+    /// with this before admitting them into double-buffered state.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+}
+
+impl RCube {
+    /// True when every element is finite (no NaN/Inf).
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
 }
 
 impl<T: Copy + Default> Index<(usize, usize, usize)> for Cube<T> {

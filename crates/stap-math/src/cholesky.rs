@@ -46,7 +46,7 @@ pub fn cholesky(a: &CMat) -> Result<CMat, CholeskyError> {
         for i in j + 1..n {
             let mut acc = a[(i, j)];
             for k in 0..j {
-                acc = acc - l[(i, k)] * l[(j, k)].conj();
+                acc -= l[(i, k)] * l[(j, k)].conj();
             }
             l[(i, j)] = acc / ljj;
         }
@@ -72,7 +72,7 @@ pub fn solve_with_factor(l: &CMat, b: &CMat) -> CMat {
         for i in 0..n {
             let mut acc = x[(i, col)];
             for k in 0..i {
-                acc = acc - l[(i, k)] * x[(k, col)];
+                acc -= l[(i, k)] * x[(k, col)];
             }
             x[(i, col)] = acc / l[(i, i)];
         }
@@ -80,7 +80,7 @@ pub fn solve_with_factor(l: &CMat, b: &CMat) -> CMat {
         for i in (0..n).rev() {
             let mut acc = x[(i, col)];
             for k in i + 1..n {
-                acc = acc - l[(k, i)].conj() * x[(k, col)];
+                acc -= l[(k, i)].conj() * x[(k, col)];
             }
             x[(i, col)] = acc / l[(i, i)];
         }

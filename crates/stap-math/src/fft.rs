@@ -439,7 +439,7 @@ impl Bluestein {
         }
         self.inner_run(a, Direction::Forward, inner_scratch);
         for (x, b) in a.iter_mut().zip(self.bfft.iter()) {
-            *x = *x * *b;
+            *x *= *b;
         }
         self.inner_run(a, Direction::Inverse, inner_scratch);
         for k in 0..n {
@@ -519,9 +519,7 @@ impl Radix4 {
         };
         factors.push(first);
         let remaining = log2n as usize - first.trailing_zeros() as usize;
-        for _ in 0..remaining / 2 {
-            factors.push(4);
-        }
+        factors.resize(factors.len() + remaining / 2, 4);
         // Mixed digit-reversal: element i moves to position rev(i),
         // where the most significant output digit is `i % f_last`
         // (each DIT stage's sub-sequences are the residues mod its

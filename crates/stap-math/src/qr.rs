@@ -199,7 +199,7 @@ pub fn qr_update_with(
                 w_im = w_im + vr[i] * xji[i] - vi[i] * xjr[i];
             }
             let wb = Cx::new(w_re, w_im).scale(beta);
-            r[(k, j)] = r[(k, j)] - v0 * wb;
+            r[(k, j)] -= v0 * wb;
             let (wbr, wbi) = (wb.re, wb.im);
             for i in 0..s {
                 // x[i][j] -= v[i] * wb, componentwise (vectorizable).
@@ -258,7 +258,7 @@ fn householder_inplace(a: &mut CMat, mut rhs: Option<&mut CMat>) {
             let wb = w.scale(beta);
             for i in k..m {
                 let t = v[i];
-                a[(i, j)] = a[(i, j)] - t * wb;
+                a[(i, j)] -= t * wb;
             }
         }
         // Apply to the right-hand side.
@@ -271,7 +271,7 @@ fn householder_inplace(a: &mut CMat, mut rhs: Option<&mut CMat>) {
                 let wb = w.scale(beta);
                 for i in k..m {
                     let t = v[i];
-                    b[(i, j)] = b[(i, j)] - t * wb;
+                    b[(i, j)] -= t * wb;
                 }
             }
         }

@@ -27,7 +27,7 @@ pub fn back_substitute(r: &CMat, b: &CMat) -> CMat {
         for i in (0..n).rev() {
             let mut acc = x[(i, j)];
             for k in i + 1..n {
-                acc = acc - r[(i, k)] * x[(k, j)];
+                acc -= r[(i, k)] * x[(k, j)];
             }
             x[(i, j)] = acc / r[(i, i)];
         }
@@ -171,7 +171,7 @@ pub fn constrained_lstsq_from_r_with(
         for i in (0..n).rev() {
             let mut acc = rr[(i, n + j)];
             for kk in i + 1..n {
-                acc = acc - rr[(i, kk)] * out[(kk, j)];
+                acc -= rr[(i, kk)] * out[(kk, j)];
             }
             out[(i, j)] = acc / rr[(i, i)];
         }
@@ -218,7 +218,7 @@ pub fn forward_substitute_hermitian(r: &CMat, b: &[Cx]) -> Vec<Cx> {
     for i in 0..n {
         let mut acc = b[i];
         for k in 0..i {
-            acc = acc - r[(k, i)].conj() * y[k];
+            acc -= r[(k, i)].conj() * y[k];
         }
         y[i] = acc / r[(i, i)].conj();
     }

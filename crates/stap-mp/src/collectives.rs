@@ -272,6 +272,39 @@ mod tests {
     }
 
     #[test]
+    fn panicking_rank_unblocks_collective_peers() {
+        // Rank 2 dies mid all-to-all: its peers are blocked waiting for
+        // its contribution, which will never come. World poisoning must
+        // surface as `Disconnected` inside the collective on every
+        // surviving rank — not a hang — and the structured error must
+        // name the failing rank.
+        use crate::world::World;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let unblocked = AtomicUsize::new(0);
+        let group: Vec<usize> = (0..4).collect();
+        let world: World<u64> = World::new(4);
+        let err = world
+            .try_run(|mut comm| {
+                let me = comm.rank();
+                if me == 2 {
+                    panic!("rank 2 injected failure");
+                }
+                let sends = vec![me as u64; 4];
+                let r = all_to_all(&mut comm, &group, 40, sends);
+                assert_eq!(r.unwrap_err(), RecvError::Disconnected);
+                unblocked.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap_err();
+        assert_eq!(err.rank, 2);
+        assert_eq!(err.message, "rank 2 injected failure");
+        assert_eq!(
+            unblocked.load(Ordering::SeqCst),
+            3,
+            "all three peers must observe Disconnected instead of hanging"
+        );
+    }
+
+    #[test]
     fn sequential_collectives_with_distinct_tags_do_not_cross() {
         let group: Vec<usize> = (0..3).collect();
         let got = run_spmd::<u64, (u64, u64)>(3, |mut comm| {

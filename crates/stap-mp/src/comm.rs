@@ -91,6 +91,23 @@ impl<M> Mailbox<M> {
             self.buckets.contains_key(&(src, tag))
         }
     }
+
+    /// Discards every buffered message whose `(src, tag)` fails `keep`,
+    /// returning how many messages were dropped. Used by fault-tolerant
+    /// task loops to shed late/duplicate traffic for completed CPIs so
+    /// the unexpected-message queue cannot grow without bound.
+    fn purge(&mut self, mut keep: impl FnMut(usize, Tag) -> bool) -> usize {
+        let mut dropped = 0;
+        self.buckets.retain(|&(src, tag), q| {
+            if keep(src, tag) {
+                true
+            } else {
+                dropped += q.len();
+                false
+            }
+        });
+        dropped
+    }
 }
 
 /// One rank's endpoint into a [`crate::World`].
@@ -115,6 +132,9 @@ pub struct Comm<M> {
     /// can never complete its communication pattern, so receivers fail
     /// fast with `Disconnected` instead of waiting on a dead peer.
     pub(crate) poisoned: Arc<std::sync::atomic::AtomicBool>,
+    /// Fault-injection state (see [`crate::fault`]). `None` in production
+    /// worlds: the send hot path then pays exactly one branch.
+    pub(crate) faults: Option<crate::fault::FaultState<M>>,
 }
 
 impl<M> Drop for Comm<M> {
@@ -140,6 +160,24 @@ impl<M: Send> Comm<M> {
     /// pipeline's drain phase relies on this).
     pub fn send(&self, dst: usize, tag: Tag, msg: M) {
         assert!(dst < self.size(), "send to rank {dst} of {}", self.size());
+        let msg = match &self.faults {
+            None => msg,
+            Some(f) => match f.on_send(self.rank, dst, tag, msg) {
+                crate::fault::SendVerdict::Deliver(m) => m,
+                crate::fault::SendVerdict::DeliverTwice(a, b) => {
+                    self.raw_send(dst, tag, a);
+                    self.raw_send(dst, tag, b);
+                    return;
+                }
+                crate::fault::SendVerdict::Consumed => return,
+            },
+        };
+        self.raw_send(dst, tag, msg);
+    }
+
+    /// Enqueues an envelope directly, bypassing the fault plane. Used for
+    /// delayed-message release and duplicate delivery.
+    pub(crate) fn raw_send(&self, dst: usize, tag: Tag, msg: M) {
         let _ = self.senders[dst].send(Envelope {
             src: self.rank,
             tag,
@@ -211,12 +249,17 @@ impl<M: Send> Comm<M> {
     }
 
     /// Like [`Comm::recv_matching`] but gives up after `timeout`.
+    ///
+    /// Polls in short chunks so it also observes world poisoning and
+    /// peer exit (like [`Comm::recv`] does) instead of burning the whole
+    /// timeout waiting on a peer that can never send.
     pub fn recv_timeout(
         &mut self,
         src: usize,
         tag: Tag,
         timeout: Duration,
     ) -> Result<M, RecvError> {
+        use std::sync::atomic::Ordering;
         if src == ANY_SOURCE {
             if let Some((_, m)) = self.pending.take_any(tag) {
                 return Ok(m);
@@ -230,17 +273,66 @@ impl<M: Send> Comm<M> {
             if now >= deadline {
                 return Err(RecvError::Timeout);
             }
-            match self.inbox.recv_timeout(deadline - now) {
+            let chunk = (deadline - now).min(Duration::from_millis(2));
+            match self.inbox.recv_timeout(chunk) {
                 Ok(e) => {
                     if e.tag == tag && (src == ANY_SOURCE || e.src == src) {
                         return Ok(e.msg);
                     }
                     self.pending.push(e);
                 }
-                Err(RecvTimeoutError::Timeout) => return Err(RecvError::Timeout),
+                Err(RecvTimeoutError::Timeout) => {
+                    if self.poisoned.load(Ordering::SeqCst)
+                        || self.alive.load(Ordering::SeqCst) <= 1
+                    {
+                        self.drain_inbox();
+                        if self.pending.contains(src, tag) {
+                            return Ok(if src == ANY_SOURCE {
+                                self.pending.take_any(tag).map(|(_, m)| m)
+                            } else {
+                                self.pending.take(src, tag)
+                            }
+                            .expect("contains implies take succeeds"));
+                        }
+                        return Err(RecvError::Disconnected);
+                    }
+                }
                 Err(RecvTimeoutError::Disconnected) => return Err(RecvError::Disconnected),
             }
         }
+    }
+
+    /// Marks an application progress point for the fault plane: releases
+    /// delayed messages that have come due, then applies any rank stall
+    /// or rank panic the plan schedules at `(rank, epoch)`. A no-op (one
+    /// branch) in worlds without a fault plan.
+    ///
+    /// The STAP pipeline calls this once per CPI from every task loop.
+    pub fn fault_checkpoint(&mut self, epoch: u64) {
+        let Some(f) = &self.faults else { return };
+        let (due, stall, should_panic) = f.on_checkpoint(self.rank, epoch);
+        for (dst, tag, msg) in due {
+            // Released messages bypass the rules: they already matched.
+            self.raw_send(dst, tag, msg);
+        }
+        if let Some(d) = stall {
+            std::thread::sleep(d);
+        }
+        if should_panic {
+            panic!(
+                "fault injection: rank {} panicked at epoch {epoch}",
+                self.rank
+            );
+        }
+    }
+
+    /// Discards buffered unexpected messages whose `(src, tag)` fails
+    /// `keep`, returning the number of messages dropped. Fault-tolerant
+    /// receivers use this to shed late or duplicate traffic belonging to
+    /// CPIs that already completed (or were abandoned).
+    pub fn purge_pending(&mut self, keep: impl FnMut(usize, Tag) -> bool) -> usize {
+        self.drain_inbox();
+        self.pending.purge(keep)
     }
 
     /// Non-blocking probe: true when a matching message is available now.

@@ -1,8 +1,40 @@
 //! World construction and SPMD launch helpers.
 
 use crate::comm::{Comm, Envelope};
+use crate::fault::{Corruptor, FaultPlan, FaultState};
 use std::sync::mpsc::channel as unbounded;
 use std::sync::Arc;
+
+/// Structured failure report from [`World::try_run`] /
+/// [`World::try_run_collect`]: the first rank (by index) that panicked,
+/// with its panic payload rendered to a string when possible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorldError {
+    /// Index of the first panicking rank.
+    pub rank: usize,
+    /// The panic payload, downcast from `&str` / `String` when possible.
+    pub message: String,
+}
+
+impl std::fmt::Display for WorldError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rank {} panicked: {}", self.rank, self.message)
+    }
+}
+
+impl std::error::Error for WorldError {}
+
+/// Renders a panic payload as a string (the two payload types `panic!`
+/// produces in practice), falling back to a placeholder.
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
 
 /// A set of `n` rank endpoints sharing a message space.
 ///
@@ -39,9 +71,39 @@ impl<M: Send> World<M> {
                 barrier: Arc::clone(&barrier),
                 alive: Arc::clone(&alive),
                 poisoned: Arc::clone(&poisoned),
+                faults: None,
             })
             .collect();
         World { comms }
+    }
+
+    /// Installs a deterministic [`FaultPlan`] on every rank endpoint (see
+    /// [`crate::fault`]). Worlds without a plan skip the fault plane
+    /// entirely — production sends pay exactly one `Option` branch.
+    ///
+    /// Requires `M: Clone` so [`crate::fault::FaultAction::Duplicate`]
+    /// can deliver a payload twice.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self
+    where
+        M: Clone,
+    {
+        let plan = Arc::new(plan);
+        for comm in &mut self.comms {
+            comm.faults = Some(FaultState::new(Arc::clone(&plan), None));
+        }
+        self
+    }
+
+    /// Installs a payload corruptor used by
+    /// [`crate::fault::FaultAction::Corrupt`] rules. Call *after*
+    /// [`World::with_faults`]; without a plan this is a no-op.
+    pub fn with_corruptor(mut self, corruptor: Corruptor<M>) -> Self {
+        for comm in &mut self.comms {
+            if let Some(f) = &mut comm.faults {
+                f.set_corruptor(Arc::clone(&corruptor));
+            }
+        }
+        self
     }
 
     /// Number of ranks.
@@ -61,25 +123,45 @@ impl<M: Send> World<M> {
     /// communication pattern that can no longer complete.
     pub fn run<F>(self, f: F)
     where
-        F: Fn(Comm<M>) -> () + Sync,
+        F: Fn(Comm<M>) + Sync,
     {
-        std::thread::scope(|s| {
-            for comm in self.comms {
-                let f = &f;
-                s.spawn(move || run_poisoning(f, comm));
-            }
-        });
+        if let Err(e) = self.try_run(f) {
+            panic!("{e}");
+        }
+    }
+
+    /// Like [`World::run`] but reports the first panicking rank as a
+    /// structured [`WorldError`] instead of re-panicking.
+    pub fn try_run<F>(self, f: F) -> Result<(), WorldError>
+    where
+        F: Fn(Comm<M>) + Sync,
+    {
+        self.try_run_collect(f).map(|_| ())
     }
 
     /// Like [`World::run`] but collects each rank's return value, indexed
-    /// by rank.
+    /// by rank. Panics (with the original rank's message) when any rank
+    /// panicked; use [`World::try_run_collect`] to handle that case.
     pub fn run_collect<F, R>(self, f: F) -> Vec<R>
+    where
+        F: Fn(Comm<M>) -> R + Sync,
+        R: Send,
+    {
+        self.try_run_collect(f).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Runs `f` on every rank and collects results indexed by rank. When
+    /// one or more ranks panic, returns a [`WorldError`] naming the
+    /// lowest-indexed panicking rank and its panic message — every rank
+    /// is still joined first, so no threads leak.
+    pub fn try_run_collect<F, R>(self, f: F) -> Result<Vec<R>, WorldError>
     where
         F: Fn(Comm<M>) -> R + Sync,
         R: Send,
     {
         let n = self.size();
         let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let mut first_err: Option<WorldError> = None;
         std::thread::scope(|s| {
             let mut handles = Vec::with_capacity(n);
             for comm in self.comms {
@@ -87,10 +169,23 @@ impl<M: Send> World<M> {
                 handles.push(s.spawn(move || run_poisoning(f, comm)));
             }
             for (i, h) in handles.into_iter().enumerate() {
-                out[i] = Some(h.join().expect("rank panicked"));
+                match h.join() {
+                    Ok(r) => out[i] = Some(r),
+                    Err(payload) => {
+                        if first_err.is_none() {
+                            first_err = Some(WorldError {
+                                rank: i,
+                                message: payload_message(payload.as_ref()),
+                            });
+                        }
+                    }
+                }
             }
         });
-        out.into_iter().map(|r| r.unwrap()).collect()
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(out.into_iter().map(|r| r.unwrap()).collect()),
+        }
     }
 }
 
@@ -154,6 +249,45 @@ mod tests {
     #[should_panic(expected = "at least one rank")]
     fn zero_ranks_panics() {
         let _ = World::<()>::new(0);
+    }
+
+    #[test]
+    fn try_run_collect_names_first_panicking_rank() {
+        // Ranks 1 and 3 both die (rank 3 with a String payload); the
+        // error must report the lowest-indexed failure with its message.
+        let world: World<()> = World::new(4);
+        let err = world
+            .try_run_collect(|comm| match comm.rank() {
+                1 => panic!("static payload"),
+                3 => panic!("formatted payload {}", 3),
+                r => r,
+            })
+            .unwrap_err();
+        assert_eq!(err.rank, 1);
+        assert_eq!(err.message, "static payload");
+        assert_eq!(format!("{err}"), "rank 1 panicked: static payload");
+    }
+
+    #[test]
+    fn try_run_collect_reports_string_payloads() {
+        let world: World<()> = World::new(2);
+        let err = world
+            .try_run_collect(|comm| {
+                if comm.rank() == 1 {
+                    panic!("rank {} hit shape mismatch", comm.rank());
+                }
+            })
+            .unwrap_err();
+        assert_eq!(err.rank, 1);
+        assert_eq!(err.message, "rank 1 hit shape mismatch");
+    }
+
+    #[test]
+    fn try_run_succeeds_and_collects_when_no_rank_panics() {
+        let out = World::<()>::new(3)
+            .try_run_collect(|comm| comm.rank() + 100)
+            .unwrap();
+        assert_eq!(out, vec![100, 101, 102]);
     }
 
     #[test]

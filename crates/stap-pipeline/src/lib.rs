@@ -49,6 +49,7 @@
 //! assembled matrices in the same order.
 
 pub mod assignment;
+pub mod fault;
 pub mod metrics;
 pub mod msg;
 pub mod report;
@@ -56,6 +57,10 @@ pub mod runner;
 pub mod tasks;
 
 pub use assignment::NodeAssignment;
-pub use metrics::{latency_eq2, real_latency_eq3, throughput_eq1, PipelineTimings, TaskTiming};
-pub use report::render_timings;
-pub use runner::{ParallelStap, PipelineOutput};
+pub use fault::RuntimePolicy;
+pub use metrics::{
+    latency_eq2, real_latency_eq3, throughput_eq1, CpiOutcome, EdgeHealth, PipelineHealth,
+    PipelineTimings, TaskTiming,
+};
+pub use report::{render_health, render_timings};
+pub use runner::{ParallelStap, PipelineError, PipelineOutput};

@@ -51,6 +51,82 @@ impl TaskTiming {
     }
 }
 
+/// Per-edge fault-tolerance counters (indexed by
+/// [`crate::msg::edge_of_tag`] / `Edge as usize`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EdgeHealth {
+    /// Receive deadlines that expired and were retried.
+    pub retries: u64,
+    /// Messages declared lost on this edge (timeout after retries, or a
+    /// disconnected peer).
+    pub dropped: u64,
+    /// CPIs beamformed with last-good (stale) weights because this
+    /// weight edge overran its grace deadline or carried a drop marker.
+    pub stale_weights: u64,
+    /// Payloads rejected by the non-finite screen.
+    pub quarantined: u64,
+    /// Late or duplicated messages discarded by sequence checking or
+    /// end-of-CPI purging.
+    pub late_or_dup: u64,
+}
+
+impl EdgeHealth {
+    /// Element-wise accumulate.
+    pub fn add(&mut self, other: &EdgeHealth) {
+        self.retries += other.retries;
+        self.dropped += other.dropped;
+        self.stale_weights += other.stale_weights;
+        self.quarantined += other.quarantined;
+        self.late_or_dup += other.late_or_dup;
+    }
+
+    /// True when any counter is non-zero.
+    pub fn any(&self) -> bool {
+        *self != EdgeHealth::default()
+    }
+}
+
+/// Aggregated fault-tolerance health of one run (or one task node,
+/// before merging).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PipelineHealth {
+    /// Per-edge counters, indexed by `Edge as usize`.
+    pub edges: [EdgeHealth; crate::msg::NUM_EDGES],
+    /// CPIs the driver classified as dropped end-to-end.
+    pub dropped_cpis: u64,
+    /// CPIs the driver classified as degraded (stale weights).
+    pub degraded_cpis: u64,
+}
+
+impl PipelineHealth {
+    /// Accumulates another node's counters into this one.
+    pub fn merge(&mut self, other: &PipelineHealth) {
+        for (a, b) in self.edges.iter_mut().zip(&other.edges) {
+            a.add(b);
+        }
+        self.dropped_cpis += other.dropped_cpis;
+        self.degraded_cpis += other.degraded_cpis;
+    }
+
+    /// True when any counter anywhere is non-zero.
+    pub fn any(&self) -> bool {
+        self.edges.iter().any(EdgeHealth::any) || self.dropped_cpis > 0 || self.degraded_cpis > 0
+    }
+}
+
+/// How one CPI made it through the pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CpiOutcome {
+    /// Fully processed with fresh weights.
+    Ok,
+    /// Processed, but at least one beamform node used last-good weights
+    /// (the paper's CPI `i` -> `i + beams` temporal dependency widened
+    /// by one revisit).
+    DegradedStaleWeights,
+    /// Lost end-to-end (no detections reported).
+    Dropped,
+}
+
 /// Timings for all seven tasks (paper order) plus measured pipeline
 /// rates.
 #[derive(Clone, Debug, Default)]
@@ -63,6 +139,12 @@ pub struct PipelineTimings {
     /// Measured latency: mean time from a CPI entering the first task to
     /// its detection report (seconds).
     pub measured_latency: f64,
+    /// Fault-tolerance counters merged across every node. All zero in a
+    /// healthy (or non-fault-tolerant) run.
+    pub health: PipelineHealth,
+    /// Per-CPI outcome as classified by the driver. Empty when the run
+    /// was not fault-tolerant (every CPI is implicitly `Ok`).
+    pub outcomes: Vec<CpiOutcome>,
 }
 
 /// Equation (1): `throughput = 1 / max_i T_i`.

@@ -1,12 +1,19 @@
 //! Wire messages and the tag scheme.
+//!
+//! Every message carries a `seq` (the CPI index it belongs to) and a
+//! `degraded` flag in addition to its payload. Tags already encode the
+//! CPI, so in a healthy run `seq` is redundant — it exists so the
+//! fault-tolerant receive path can *verify* that a matched message
+//! really belongs to the CPI being assembled and discard late or
+//! duplicated deliveries instead of corrupting double-buffer order.
 
 use stap_core::Detection;
 use stap_cube::{CCube, RCube};
 use stap_math::CMat;
 
-/// Everything that travels between pipeline ranks.
-#[derive(Debug)]
-pub enum Msg {
+/// Payload variants that travel between pipeline ranks.
+#[derive(Debug, Clone)]
+pub enum Payload {
     /// A packed complex cube block (raw CPI slabs, Doppler outputs,
     /// beamformed blocks).
     Cube(CCube),
@@ -17,6 +24,49 @@ pub enum Msg {
     Weights(Vec<CMat>),
     /// Detections from a CFAR node (to the driver).
     Detections(Vec<Detection>),
+    /// Explicit "this CPI is lost on this edge" marker. Forwarding it
+    /// (instead of just not sending) is what keeps the pipeline
+    /// *draining* under faults: downstream receivers learn immediately
+    /// that the CPI is gone rather than burning their edge timeout.
+    Dropped,
+}
+
+/// Everything that travels between pipeline ranks.
+#[derive(Debug, Clone)]
+pub struct Msg {
+    /// CPI index this message belongs to (echoes the tag's low bits).
+    pub seq: u32,
+    /// True when the sender computed this data in a degraded mode
+    /// (e.g. beamformed with stale weights). ORed along the data path
+    /// so the driver can classify the CPI outcome.
+    pub degraded: bool,
+    /// The actual payload.
+    pub payload: Payload,
+}
+
+impl Msg {
+    /// A healthy message for CPI `cpi`.
+    pub fn new(cpi: usize, payload: Payload) -> Msg {
+        Msg {
+            seq: cpi as u32,
+            degraded: false,
+            payload,
+        }
+    }
+
+    /// A message carrying an explicit degraded flag.
+    pub fn flagged(cpi: usize, degraded: bool, payload: Payload) -> Msg {
+        Msg {
+            seq: cpi as u32,
+            degraded,
+            payload,
+        }
+    }
+
+    /// The drop marker for CPI `cpi`.
+    pub fn dropped(cpi: usize) -> Msg {
+        Msg::new(cpi, Payload::Dropped)
+    }
 }
 
 /// Logical communication edges, used in tags so messages for different
@@ -48,9 +98,22 @@ pub enum Edge {
     Output = 10,
 }
 
+/// Number of logical edges (sizes the per-edge health counters).
+pub const NUM_EDGES: usize = 11;
+
 /// Builds the tag for `edge` at CPI index `cpi`.
 pub fn tag(edge: Edge, cpi: usize) -> u64 {
     ((edge as u64) << 48) | cpi as u64
+}
+
+/// CPI index encoded in a tag.
+pub fn cpi_of_tag(t: u64) -> usize {
+    (t & ((1u64 << 48) - 1)) as usize
+}
+
+/// Edge index encoded in a tag (indexes [`NUM_EDGES`]-sized tables).
+pub fn edge_of_tag(t: u64) -> usize {
+    (t >> 48) as usize
 }
 
 #[cfg(test)]
@@ -77,5 +140,26 @@ mod tests {
                 assert!(seen.insert(tag(e, cpi)), "collision at {e:?} cpi {cpi}");
             }
         }
+    }
+
+    #[test]
+    fn tag_fields_round_trip() {
+        for e in [Edge::Input, Edge::EasyWtToEasyBf, Edge::Output] {
+            for cpi in [0usize, 7, 4095, (1 << 20) + 3] {
+                let t = tag(e, cpi);
+                assert_eq!(cpi_of_tag(t), cpi);
+                assert_eq!(edge_of_tag(t), e as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn msg_constructors_stamp_seq_and_flags() {
+        let m = Msg::new(42, Payload::Dropped);
+        assert_eq!(m.seq, 42);
+        assert!(!m.degraded);
+        let m = Msg::flagged(7, true, Payload::Detections(Vec::new()));
+        assert!(m.degraded);
+        assert!(matches!(Msg::dropped(3).payload, Payload::Dropped));
     }
 }

@@ -14,12 +14,12 @@ pub fn render_timings(timings: &PipelineTimings, assign: &NodeAssignment) -> Str
         "task", "nodes", "recv", "comp", "send", "total"
     )
     .unwrap();
-    for t in 0..7 {
+    for (t, name) in TASK_NAMES.iter().enumerate() {
         let tt = timings.tasks[t];
         writeln!(
             out,
             "{:<16} {:>5} {:>9.4} {:>9.4} {:>9.4} {:>9.4}",
-            TASK_NAMES[t],
+            name,
             assign.0[t],
             tt.recv,
             tt.comp,
@@ -43,6 +43,49 @@ pub fn render_timings(timings: &PipelineTimings, assign: &NodeAssignment) -> Str
         real_latency_eq3(&timings.tasks)
     )
     .unwrap();
+    if timings.health.any() || !timings.outcomes.is_empty() {
+        out.push_str(&render_health(timings));
+    }
+    out
+}
+
+/// Renders the fault-tolerance section: per-CPI outcome tallies and the
+/// non-zero per-edge health counters. Empty-ish runs produce a single
+/// "healthy" line so a fault campaign's log always states its verdict.
+pub fn render_health(timings: &PipelineTimings) -> String {
+    use crate::metrics::CpiOutcome;
+    let mut out = String::new();
+    let h = &timings.health;
+    let total = timings.outcomes.len();
+    let ok = timings
+        .outcomes
+        .iter()
+        .filter(|o| **o == CpiOutcome::Ok)
+        .count();
+    writeln!(
+        out,
+        "health     {total} CPIs: {ok} ok, {} degraded (stale weights), {} dropped",
+        h.degraded_cpis, h.dropped_cpis
+    )
+    .unwrap();
+    let (mut retries, mut dropped, mut stale, mut quar, mut late) = (0u64, 0u64, 0u64, 0u64, 0u64);
+    for e in &h.edges {
+        retries += e.retries;
+        dropped += e.dropped;
+        stale += e.stale_weights;
+        quar += e.quarantined;
+        late += e.late_or_dup;
+    }
+    if retries + dropped + stale + quar + late > 0 {
+        writeln!(
+            out,
+            "edges      {retries} retries, {dropped} drops, {stale} stale-weight fallbacks, \
+             {quar} quarantined, {late} late/dup discarded"
+        )
+        .unwrap();
+    } else if total > 0 && ok == total {
+        writeln!(out, "edges      healthy (no retries, drops or fallbacks)").unwrap();
+    }
     out
 }
 
@@ -71,6 +114,37 @@ mod tests {
         assert!(s.contains("throughput 3.5000"));
         assert!(s.contains("eq2"));
         assert!(s.contains("eq3"));
+        // Healthy, non-FT run: no health section.
+        assert!(!s.contains("health"));
+    }
+
+    #[test]
+    fn report_renders_health_section_when_faulty() {
+        use crate::metrics::CpiOutcome;
+        let mut t = PipelineTimings::default();
+        t.outcomes = vec![
+            CpiOutcome::Ok,
+            CpiOutcome::DegradedStaleWeights,
+            CpiOutcome::Dropped,
+        ];
+        t.health.degraded_cpis = 1;
+        t.health.dropped_cpis = 1;
+        t.health.edges[crate::msg::Edge::EasyWtToEasyBf as usize].stale_weights = 1;
+        t.health.edges[crate::msg::Edge::Input as usize].dropped = 1;
+        let s = render_timings(&t, &NodeAssignment::case2());
+        assert!(s.contains("3 CPIs: 1 ok, 1 degraded"), "{s}");
+        assert!(s.contains("1 drops"), "{s}");
+        assert!(s.contains("1 stale-weight fallbacks"), "{s}");
+    }
+
+    #[test]
+    fn all_ok_ft_run_reports_healthy() {
+        use crate::metrics::CpiOutcome;
+        let mut t = PipelineTimings::default();
+        t.outcomes = vec![CpiOutcome::Ok; 4];
+        let s = render_health(&t);
+        assert!(s.contains("4 CPIs: 4 ok"), "{s}");
+        assert!(s.contains("healthy"), "{s}");
     }
 
     #[test]

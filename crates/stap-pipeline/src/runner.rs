@@ -3,20 +3,51 @@
 use crate::assignment::{
     NodeAssignment, Partitions, CFAR, DOPPLER, EASY_BF, EASY_WT, HARD_BF, HARD_WT, PC,
 };
-use crate::metrics::{PipelineTimings, TaskTiming};
-use crate::msg::{tag, Edge, Msg};
+use crate::fault::{nan_corruptor, RuntimePolicy};
+use crate::metrics::{CpiOutcome, PipelineHealth, PipelineTimings, TaskTiming};
+use crate::msg::{tag, Edge, Msg, Payload};
 use crate::tasks::{
-    run_cfar, run_doppler, run_easy_bf, run_easy_weight, run_hard_bf, run_hard_weight, run_pc,
-    PipelinePools, TaskCtx,
+    purge_late, recv_msg, run_cfar, run_doppler, run_easy_bf, run_easy_weight, run_hard_bf,
+    run_hard_weight, run_pc, PipelinePools, Recvd, TaskCtx, TaskReport,
 };
 use stap_core::{Detection, StapParams};
 use stap_cube::CCube;
 use stap_math::CMat;
-use stap_mp::World;
+use stap_mp::{FaultPlan, World, WorldError};
 use stap_radar::Scenario;
+use std::fmt;
 use std::time::Instant;
 
+/// Why a pipeline run could not produce output.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// The injected input was rejected before any rank was spawned
+    /// (wrong cube shape, empty CPI list).
+    InvalidInput(String),
+    /// A rank panicked and the failure was joined back (see
+    /// [`stap_mp::WorldError`]).
+    World(WorldError),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::InvalidInput(m) => write!(f, "invalid pipeline input: {m}"),
+            PipelineError::World(e) => write!(f, "pipeline {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<WorldError> for PipelineError {
+    fn from(e: WorldError) -> Self {
+        PipelineError::World(e)
+    }
+}
+
 /// What a pipeline run returns.
+#[derive(Debug)]
 pub struct PipelineOutput {
     /// Detections per CPI, merged across CFAR nodes and sorted
     /// (bin, beam, range).
@@ -42,6 +73,13 @@ pub struct ParallelStap {
     pub warmup: usize,
     /// Trailing CPIs excluded from timing averages (paper: last 2).
     pub cooldown: usize,
+    /// Fault-tolerance policy for the task loops. Defaults to off
+    /// (zero-overhead blocking receives, bit-identical to the non-FT
+    /// pipeline).
+    pub policy: RuntimePolicy,
+    /// Deterministic fault-injection plan installed in the world.
+    /// `None` (the default) builds a clean world.
+    pub faults: Option<FaultPlan>,
 }
 
 impl ParallelStap {
@@ -56,7 +94,28 @@ impl ParallelStap {
             window: 4,
             warmup: 3,
             cooldown: 2,
+            policy: RuntimePolicy::default(),
+            faults: None,
         }
+    }
+
+    /// Sets the runtime degradation policy (deadlines, retry budget,
+    /// payload screening).
+    pub fn with_policy(mut self, policy: RuntimePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Installs a deterministic fault-injection plan and, unless a
+    /// policy was already set, switches the task loops to the
+    /// fault-tolerant path (injecting faults into a non-tolerant
+    /// pipeline would just panic it).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        if !self.policy.fault_tolerant {
+            self.policy = RuntimePolicy::fault_tolerant();
+        }
+        self.faults = Some(plan);
+        self
     }
 
     /// Builds a runner whose steering fans match
@@ -75,29 +134,67 @@ impl ParallelStap {
     }
 
     /// Runs the pipeline over `cpis` (index, cube) pairs, one OS thread
-    /// per node plus a driver thread.
+    /// per node plus a driver thread. Panics on invalid input or a rank
+    /// failure; use [`ParallelStap::try_run`] for recoverable errors.
     pub fn run(&self, cpis: Vec<CCube>) -> PipelineOutput {
+        self.try_run(cpis).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`ParallelStap::run`] but validates the input cubes before
+    /// any rank is spawned and joins rank panics back as structured
+    /// [`PipelineError`]s instead of panicking the caller.
+    pub fn try_run(&self, cpis: Vec<CCube>) -> Result<PipelineOutput, PipelineError> {
         let num_cpis = cpis.len();
-        assert!(num_cpis > 0, "need at least one CPI");
+        if num_cpis == 0 {
+            return Err(PipelineError::InvalidInput(
+                "need at least one CPI".to_string(),
+            ));
+        }
+        let want = [
+            self.params.k_range,
+            self.params.j_channels,
+            self.params.n_pulses,
+        ];
+        for (i, c) in cpis.iter().enumerate() {
+            if c.shape() != want {
+                return Err(PipelineError::InvalidInput(format!(
+                    "CPI {i} cube has shape {:?}, but StapParams requires \
+                     [k_range, j_channels, n_pulses] = {want:?}",
+                    c.shape()
+                )));
+            }
+        }
         let parts = Partitions::new(&self.params, &self.assign);
-        let world: World<Msg> = World::new(self.assign.world_size());
+        let mut world: World<Msg> = World::new(self.assign.world_size());
+        if let Some(plan) = &self.faults {
+            world = world
+                .with_faults(plan.clone())
+                .with_corruptor(nan_corruptor());
+        }
         let assign = self.assign;
         let params = &self.params;
         let steering = &self.steering;
         let parts_ref = &parts;
         let window = self.window.max(1);
         let cpis_ref = &cpis;
+        let policy = &self.policy;
         // One recycling pool per run, shared by every node thread:
         // receivers retire message buffers, senders draw packing buffers.
         let pools = PipelinePools::default();
         let pools_ref = &pools;
 
         enum NodeResult {
-            Task(usize, Vec<TaskTiming>),
-            Driver(Vec<Vec<Detection>>, Vec<f64>, Vec<f64>),
+            Task(usize, TaskReport),
+            Driver {
+                detections: Vec<Vec<Detection>>,
+                inject_t: Vec<f64>,
+                complete_t: Vec<f64>,
+                outcomes: Vec<CpiOutcome>,
+                health: PipelineHealth,
+            },
         }
 
-        let results = world.run_collect(|mut comm| {
+        let results = world.try_run_collect(|mut comm| {
             let rank = comm.rank();
             let ctx = TaskCtx {
                 params,
@@ -106,6 +203,7 @@ impl ParallelStap {
                 steering,
                 num_cpis,
                 pools: pools_ref,
+                policy,
             };
             match assign.task_of_rank(rank) {
                 Some((DOPPLER, local)) => {
@@ -128,14 +226,21 @@ impl ParallelStap {
                 Some(_) => unreachable!("unknown task"),
                 None => {
                     // Driver: inject CPI slabs (windowed) and collect
-                    // detections, recording injection and completion times.
+                    // detections, recording injection and completion times
+                    // and classifying each CPI's outcome.
                     let cfar_ranks: Vec<usize> = assign.rank_range(CFAR).collect();
                     let mut detections: Vec<Vec<Detection>> = Vec::with_capacity(num_cpis);
+                    let mut outcomes: Vec<CpiOutcome> = Vec::with_capacity(num_cpis);
+                    let mut health = PipelineHealth::default();
                     let mut inject_t = vec![0.0f64; num_cpis];
                     let mut complete_t = vec![0.0f64; num_cpis];
                     let t0 = Instant::now();
                     let mut next_inject = 0usize;
+                    // `done` is simultaneously a tag, a checkpoint epoch
+                    // and an index; an enumerate rewrite would obscure it.
+                    #[allow(clippy::needless_range_loop)]
                     for done in 0..num_cpis {
+                        comm.fault_checkpoint(done as u64);
                         while next_inject < num_cpis && next_inject < done + window {
                             let cube = &cpis_ref[next_inject];
                             inject_t[next_inject] = t0.elapsed().as_secs_f64();
@@ -154,26 +259,58 @@ impl ParallelStap {
                                 comm.send(
                                     assign.rank_range(DOPPLER).start + pn,
                                     tag(Edge::Input, next_inject),
-                                    Msg::Cube(slab),
+                                    Msg::new(next_inject, Payload::Cube(slab)),
                                 );
                             }
                             next_inject += 1;
                         }
                         let mut merged = Vec::new();
+                        let mut lost = false;
+                        let mut degraded = false;
                         for &src in &cfar_ranks {
-                            match comm.recv(src, tag(Edge::Output, done)).unwrap() {
-                                Msg::Detections(d) => merged.extend(d),
-                                other => panic!("expected detections, got {other:?}"),
+                            match recv_msg(
+                                &mut comm,
+                                src,
+                                tag(Edge::Output, done),
+                                done,
+                                policy,
+                                policy.edge_timeout,
+                                &mut health,
+                            ) {
+                                Recvd::Data(Payload::Detections(d), deg) => {
+                                    degraded |= deg;
+                                    merged.extend(d);
+                                }
+                                Recvd::Data(other, _) => {
+                                    panic!("expected detections, got {other:?}")
+                                }
+                                Recvd::Gone => lost = true,
                             }
                         }
                         merged.sort_by_key(|d| (d.bin, d.beam, d.range));
                         complete_t[done] = t0.elapsed().as_secs_f64();
-                        detections.push(merged);
+                        outcomes.push(if lost {
+                            CpiOutcome::Dropped
+                        } else if degraded {
+                            CpiOutcome::DegradedStaleWeights
+                        } else {
+                            CpiOutcome::Ok
+                        });
+                        detections.push(if lost { Vec::new() } else { merged });
+                        if policy.fault_tolerant {
+                            purge_late(&mut comm, done, &mut health);
+                        }
                     }
-                    NodeResult::Driver(detections, inject_t, complete_t)
+                    NodeResult::Driver {
+                        detections,
+                        inject_t,
+                        complete_t,
+                        outcomes,
+                        health,
+                    }
                 }
             }
-        });
+        })?;
 
         // Aggregate.
         let lo = self.warmup.min(num_cpis.saturating_sub(1));
@@ -185,15 +322,22 @@ impl ParallelStap {
         let mut timings = PipelineTimings::default();
         for r in results {
             match r {
-                NodeResult::Task(t, per_cpi) => {
+                NodeResult::Task(t, report) => {
                     for cpi in measured.clone() {
-                        if let Some(tt) = per_cpi.get(cpi) {
+                        if let Some(tt) = report.timings.get(cpi) {
                             tasks[t].add(tt);
                             counts[t] += 1;
                         }
                     }
+                    timings.health.merge(&report.health);
                 }
-                NodeResult::Driver(d, inject, complete) => {
+                NodeResult::Driver {
+                    detections: d,
+                    inject_t: inject,
+                    complete_t: complete,
+                    outcomes,
+                    health,
+                } => {
                     let lat: Vec<f64> = measured.clone().map(|i| complete[i] - inject[i]).collect();
                     timings.measured_latency = mean(&lat);
                     let mut intervals: Vec<f64> = measured
@@ -210,6 +354,19 @@ impl ParallelStap {
                     let mean_int = mean(&intervals);
                     timings.measured_throughput = if mean_int > 0.0 { 1.0 / mean_int } else { 0.0 };
                     detections = d;
+                    timings.health.merge(&health);
+                    if self.policy.fault_tolerant {
+                        for o in &outcomes {
+                            match o {
+                                CpiOutcome::Dropped => timings.health.dropped_cpis += 1,
+                                CpiOutcome::DegradedStaleWeights => {
+                                    timings.health.degraded_cpis += 1
+                                }
+                                CpiOutcome::Ok => {}
+                            }
+                        }
+                        timings.outcomes = outcomes;
+                    }
                 }
             }
         }
@@ -219,10 +376,10 @@ impl ParallelStap {
             }
         }
         timings.tasks = tasks;
-        PipelineOutput {
+        Ok(PipelineOutput {
             detections,
             timings,
-        }
+        })
     }
 }
 
@@ -347,18 +504,40 @@ mod tests {
 mod failure_tests {
     use super::*;
 
-    /// A panicking kernel anywhere in the pipeline must surface as a
-    /// panic from `run`, not a silent hang: the liveness counter in
-    /// stap-mp turns the dead rank into `Disconnected` errors on its
-    /// peers, whose unwraps then fail fast.
+    /// A wrong-shape CPI cube must be rejected with a descriptive error
+    /// before any rank thread is spawned — not surface as a worker
+    /// panic deep inside the Doppler task.
     #[test]
-    #[should_panic]
+    fn invalid_cube_shape_is_rejected_before_spawn() {
+        let params = StapParams::reduced();
+        let scenario = Scenario::reduced(1);
+        let bad = CCube::zeros([8, 2, 4]);
+        let par = ParallelStap::for_scenario(params, NodeAssignment::tiny(), &scenario);
+        match par.try_run(vec![bad]) {
+            Err(PipelineError::InvalidInput(msg)) => {
+                assert!(msg.contains("CPI 0"), "unhelpful message: {msg}");
+                assert!(msg.contains("[8, 2, 4]"), "missing got-shape: {msg}");
+            }
+            Err(other) => panic!("expected InvalidInput, got {other}"),
+            Ok(_) => panic!("expected InvalidInput, got output"),
+        }
+        // The panicking `run` wrapper surfaces the same message.
+        assert!(par.try_run(Vec::new()).is_err());
+    }
+
+    /// A panicking rank must surface as a panic from `run` (and an
+    /// `Err` from `try_run`), not a silent hang: the liveness counter in
+    /// stap-mp turns the dead rank into `Disconnected` errors on its
+    /// peers, and the join layer converts the panic into a
+    /// `WorldError` naming the rank.
+    #[test]
+    #[should_panic(expected = "panicked")]
     fn rank_panic_propagates_not_hangs() {
         let params = StapParams::reduced();
         let scenario = Scenario::reduced(1);
-        // A CPI with the wrong shape panics inside the Doppler task.
-        let bad = CCube::zeros([8, 2, 4]);
-        let par = ParallelStap::for_scenario(params, NodeAssignment::tiny(), &scenario);
-        let _ = par.run(vec![bad]);
+        let cpis: Vec<CCube> = scenario.stream(2).map(|(_, _, c)| c).collect();
+        let par = ParallelStap::for_scenario(params, NodeAssignment::tiny(), &scenario)
+            .with_faults(stap_mp::FaultPlan::seeded(11).panic_rank(0, 0));
+        let _ = par.run(cpis);
     }
 }

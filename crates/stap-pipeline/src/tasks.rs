@@ -23,8 +23,9 @@
 //! and detection lists still allocate.
 
 use crate::assignment::{overlap, NodeAssignment, Partitions, *};
-use crate::metrics::TaskTiming;
-use crate::msg::{tag, Edge, Msg};
+use crate::fault::{payload_is_finite, RuntimePolicy};
+use crate::metrics::{PipelineHealth, TaskTiming};
+use crate::msg::{cpi_of_tag, edge_of_tag, tag, Edge, Msg, Payload};
 use stap_core::params::StapParams;
 use stap_core::training::{easy_training_cells, hard_training_cells};
 use stap_core::weights::hard_constraint;
@@ -38,11 +39,11 @@ use stap_math::fft::FftScratch;
 use stap_math::qr::qr_update;
 use stap_math::solve::{constrained_lstsq, constrained_lstsq_from_r, normalize_columns};
 use stap_math::{CMat, Cx};
-use stap_mp::Comm;
+use stap_mp::{Comm, RecvError, Tag};
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::ops::Range;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Process-wide recycling pools for redistribution message buffers.
 /// One instance is shared (by reference) across every node thread of a
@@ -71,6 +72,8 @@ pub struct TaskCtx<'a> {
     pub num_cpis: usize,
     /// Shared send-buffer recycling pools.
     pub pools: &'a PipelinePools,
+    /// Fault-tolerance policy (default: off, zero-overhead path).
+    pub policy: &'a RuntimePolicy,
 }
 
 impl TaskCtx<'_> {
@@ -112,25 +115,132 @@ impl RecvPhase {
     }
 }
 
-fn expect_cube(m: Msg) -> CCube {
-    match m {
-        Msg::Cube(c) => c,
+fn expect_cube(p: Payload) -> CCube {
+    match p {
+        Payload::Cube(c) => c,
         other => panic!("expected Cube, got {other:?}"),
     }
 }
 
-fn expect_real(m: Msg) -> RCube {
-    match m {
-        Msg::Real(c) => c,
+fn expect_real(p: Payload) -> RCube {
+    match p {
+        Payload::Real(c) => c,
         other => panic!("expected Real, got {other:?}"),
     }
 }
 
-fn expect_weights(m: Msg) -> Vec<CMat> {
-    match m {
-        Msg::Weights(w) => w,
+fn expect_weights(p: Payload) -> Vec<CMat> {
+    match p {
+        Payload::Weights(w) => w,
         other => panic!("expected Weights, got {other:?}"),
     }
+}
+
+/// What a task's timing loop hands back: per-CPI phase times plus the
+/// node's fault-tolerance counters.
+#[derive(Default)]
+pub struct TaskReport {
+    /// Per-CPI phase timings.
+    pub timings: Vec<TaskTiming>,
+    /// This node's health counters (all zero without faults).
+    pub health: PipelineHealth,
+}
+
+impl TaskReport {
+    fn with_capacity(n: usize) -> Self {
+        TaskReport {
+            timings: Vec::with_capacity(n),
+            health: PipelineHealth::default(),
+        }
+    }
+}
+
+/// Outcome of one fault-aware edge receive.
+pub(crate) enum Recvd {
+    /// Healthy payload plus the sender's degraded flag.
+    Data(Payload, bool),
+    /// The input is gone: explicit drop marker, deadline overrun after
+    /// retries, a dead peer, or a quarantined (non-finite) payload.
+    Gone,
+}
+
+/// One receive on edge-tag `t` for CPI `cpi` under `policy`.
+///
+/// The non-fault-tolerant path is the original blocking receive (an
+/// unexpected `Disconnected` still panics, preserving the fail-fast
+/// behaviour production relies on). The fault-tolerant path enforces
+/// `timeout` per attempt with `policy.max_retries` retries, discards
+/// messages whose `seq` does not match `cpi` (late/duplicate CPIs), and
+/// screens payloads for non-finite values.
+pub(crate) fn recv_msg(
+    comm: &mut Comm<Msg>,
+    src: usize,
+    t: Tag,
+    cpi: usize,
+    policy: &RuntimePolicy,
+    timeout: Duration,
+    health: &mut PipelineHealth,
+) -> Recvd {
+    let e = edge_of_tag(t);
+    if !policy.fault_tolerant {
+        let m = comm.recv(src, t).unwrap();
+        debug_assert_eq!(m.seq as usize, cpi, "tag/seq mismatch on edge {e}");
+        return match m.payload {
+            Payload::Dropped => Recvd::Gone,
+            p => Recvd::Data(p, m.degraded),
+        };
+    }
+    let mut retries = 0u32;
+    loop {
+        match comm.recv_timeout(src, t, timeout) {
+            Ok(m) => {
+                if m.seq as usize != cpi {
+                    // A late or duplicated CPI matched this tag (possible
+                    // only under injection); discard and keep waiting.
+                    health.edges[e].late_or_dup += 1;
+                    continue;
+                }
+                if matches!(m.payload, Payload::Dropped) {
+                    return Recvd::Gone;
+                }
+                if policy.screen_nonfinite && !payload_is_finite(&m.payload) {
+                    health.edges[e].quarantined += 1;
+                    return Recvd::Gone;
+                }
+                return Recvd::Data(m.payload, m.degraded);
+            }
+            Err(RecvError::Timeout) => {
+                if retries < policy.max_retries {
+                    retries += 1;
+                    health.edges[e].retries += 1;
+                    continue;
+                }
+                health.edges[e].dropped += 1;
+                return Recvd::Gone;
+            }
+            Err(RecvError::Disconnected) => {
+                health.edges[e].dropped += 1;
+                return Recvd::Gone;
+            }
+        }
+    }
+}
+
+/// End-of-CPI hygiene for fault-tolerant loops: discards every buffered
+/// message belonging to CPI `cpi` or earlier — late deliveries the loop
+/// gave up on, and duplicate copies of messages already consumed —
+/// attributing the discards to their edges. Without this the
+/// unexpected-message queue would grow for the rest of the run.
+pub(crate) fn purge_late(comm: &mut Comm<Msg>, cpi: usize, health: &mut PipelineHealth) {
+    let edges = &mut health.edges;
+    comm.purge_pending(|_, t| {
+        if cpi_of_tag(t) <= cpi {
+            edges[edge_of_tag(t)].late_or_dup += 1;
+            false
+        } else {
+            true
+        }
+    });
 }
 
 /// Global training cells for easy weights that fall inside `krange`.
@@ -150,7 +260,7 @@ fn hard_cells_in(params: &StapParams, seg: usize, krange: &Range<usize>) -> Vec<
 }
 
 /// The Doppler filter processing task (task 0).
-pub fn run_doppler(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Vec<TaskTiming> {
+pub fn run_doppler(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> TaskReport {
     let p = ctx.params;
     let my_k = ctx.parts.doppler_k[local].clone();
     let k0 = my_k.start;
@@ -169,20 +279,69 @@ pub fn run_doppler(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Vec<Tas
     // CPIs (fully overwritten each cycle).
     let mut stag = CCube::zeros([my_k.len(), 2 * p.j_channels, p.n_pulses]);
     let mut fft_ws = FftScratch::new();
-    let mut timings = Vec::with_capacity(ctx.num_cpis);
+    let mut report = TaskReport::with_capacity(ctx.num_cpis);
 
     for cpi in 0..ctx.num_cpis {
+        comm.fault_checkpoint(cpi as u64);
         // --- receive phase -------------------------------------------------
         let mut rp = RecvPhase::begin();
-        let slab = expect_cube(rp.blocking(|| comm.recv(driver, tag(Edge::Input, cpi)).unwrap()));
+        let got = rp.blocking(|| {
+            recv_msg(
+                comm,
+                driver,
+                tag(Edge::Input, cpi),
+                cpi,
+                ctx.policy,
+                ctx.policy.edge_timeout,
+                &mut report.health,
+            )
+        });
         let (recv, recv_idle) = rp.finish();
+
+        let slab = match got {
+            Recvd::Data(p, _) => Some(expect_cube(p)),
+            Recvd::Gone => None,
+        };
 
         // --- compute phase -------------------------------------------------
         let t1 = Instant::now();
-        proc.process_rows_with(&slab, k0, &mut stag, &mut fft_ws);
+        if let Some(slab) = &slab {
+            proc.process_rows_with(slab, k0, &mut stag, &mut fft_ws);
+        }
         let comp = t1.elapsed().as_secs_f64();
         // The consumed input slab refills the send pool.
-        pool.recycle(slab);
+        if let Some(slab) = slab {
+            pool.recycle(slab);
+        } else {
+            // Input lost: propagate the drop on every out-edge so the
+            // rest of the pipeline keeps draining this CPI.
+            for (q, _) in ctx.parts.easy_wt_bins.iter().enumerate() {
+                let dst = ctx.assign.rank_range(EASY_WT).start + q;
+                comm.send(dst, tag(Edge::DopplerToEasyWt, cpi), Msg::dropped(cpi));
+            }
+            for (q, _) in ctx.parts.hard_wt_bins.iter().enumerate() {
+                let dst = ctx.assign.rank_range(HARD_WT).start + q;
+                comm.send(dst, tag(Edge::DopplerToHardWt, cpi), Msg::dropped(cpi));
+            }
+            for (r, _) in ctx.parts.easy_bf_bins.iter().enumerate() {
+                let dst = ctx.assign.rank_range(EASY_BF).start + r;
+                comm.send(dst, tag(Edge::DopplerToEasyBf, cpi), Msg::dropped(cpi));
+            }
+            for (r, _) in ctx.parts.hard_bf_bins.iter().enumerate() {
+                let dst = ctx.assign.rank_range(HARD_BF).start + r;
+                comm.send(dst, tag(Edge::DopplerToHardBf, cpi), Msg::dropped(cpi));
+            }
+            report.timings.push(TaskTiming {
+                recv,
+                comp,
+                send: 0.0,
+                recv_idle,
+            });
+            if ctx.policy.fault_tolerant {
+                purge_late(comm, cpi, &mut report.health);
+            }
+            continue;
+        }
 
         // --- send phase ----------------------------------------------------
         let t2 = Instant::now();
@@ -193,7 +352,11 @@ pub fn run_doppler(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Vec<Tas
                 |bi, ci, ch| stag[(easy_cells[ci] - k0, ch, easy_bins[bins_idx.start + bi])],
             );
             let dst = ctx.assign.rank_range(EASY_WT).start + q;
-            comm.send(dst, tag(Edge::DopplerToEasyWt, cpi), Msg::Cube(block));
+            comm.send(
+                dst,
+                tag(Edge::DopplerToEasyWt, cpi),
+                Msg::new(cpi, Payload::Cube(block)),
+            );
         }
         // Hard weight: per-segment gathered cells, both windows.
         for (q, bins_idx) in ctx.parts.hard_wt_bins.iter().enumerate() {
@@ -202,7 +365,11 @@ pub fn run_doppler(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Vec<Tas
                 |bi, ci, ch| stag[(flat_cells[ci] - k0, ch, hard_bins[bins_idx.start + bi])],
             );
             let dst = ctx.assign.rank_range(HARD_WT).start + q;
-            comm.send(dst, tag(Edge::DopplerToHardWt, cpi), Msg::Cube(block));
+            comm.send(
+                dst,
+                tag(Edge::DopplerToHardWt, cpi),
+                Msg::new(cpi, Payload::Cube(block)),
+            );
         }
         // Easy BF: full local range, first window, reorganized to
         // (bin, k, channel) — the Fig. 8 reorganization.
@@ -211,7 +378,11 @@ pub fn run_doppler(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Vec<Tas
                 stag[(kc, ch, easy_bins[bins_idx.start + bi])]
             });
             let dst = ctx.assign.rank_range(EASY_BF).start + r;
-            comm.send(dst, tag(Edge::DopplerToEasyBf, cpi), Msg::Cube(block));
+            comm.send(
+                dst,
+                tag(Edge::DopplerToEasyBf, cpi),
+                Msg::new(cpi, Payload::Cube(block)),
+            );
         }
         // Hard BF: both windows.
         for (r, bins_idx) in ctx.parts.hard_bf_bins.iter().enumerate() {
@@ -220,21 +391,28 @@ pub fn run_doppler(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Vec<Tas
                 |bi, kc, ch| stag[(kc, ch, hard_bins[bins_idx.start + bi])],
             );
             let dst = ctx.assign.rank_range(HARD_BF).start + r;
-            comm.send(dst, tag(Edge::DopplerToHardBf, cpi), Msg::Cube(block));
+            comm.send(
+                dst,
+                tag(Edge::DopplerToHardBf, cpi),
+                Msg::new(cpi, Payload::Cube(block)),
+            );
         }
         let send = t2.elapsed().as_secs_f64();
-        timings.push(TaskTiming {
+        report.timings.push(TaskTiming {
             recv,
             comp,
             send,
             recv_idle,
         });
+        if ctx.policy.fault_tolerant {
+            purge_late(comm, cpi, &mut report.health);
+        }
     }
-    timings
+    report
 }
 
 /// The easy weight computation task (task 1).
-pub fn run_easy_weight(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Vec<TaskTiming> {
+pub fn run_easy_weight(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> TaskReport {
     let p = ctx.params;
     let bins_idx = ctx.parts.easy_wt_bins[local].clone();
     let p0 = ctx.assign.nodes(DOPPLER);
@@ -246,9 +424,10 @@ pub fn run_easy_weight(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Vec
     // Snapshot matrices evicted from the history ring are recycled as
     // the next CPI's receive buffers (they are fully overwritten).
     let mut spare: Option<Vec<CMat>> = None;
-    let mut timings = Vec::with_capacity(ctx.num_cpis);
+    let mut report = TaskReport::with_capacity(ctx.num_cpis);
 
     for cpi in 0..ctx.num_cpis {
+        comm.fault_checkpoint(cpi as u64);
         // --- receive: one block per Doppler node ---------------------------
         let mut rp = RecvPhase::begin();
         let mut snapshots: Vec<CMat> = spare.take().unwrap_or_else(|| {
@@ -257,11 +436,26 @@ pub fn run_easy_weight(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Vec
                 .collect()
         });
         let mut row = 0usize;
+        let mut lost = false;
         for dp in 0..p0 {
-            let block = expect_cube(rp.blocking(|| {
-                comm.recv(dop0 + dp, tag(Edge::DopplerToEasyWt, cpi))
-                    .unwrap()
-            }));
+            let got = rp.blocking(|| {
+                recv_msg(
+                    comm,
+                    dop0 + dp,
+                    tag(Edge::DopplerToEasyWt, cpi),
+                    cpi,
+                    ctx.policy,
+                    ctx.policy.edge_timeout,
+                    &mut report.health,
+                )
+            });
+            let block = match got {
+                Recvd::Data(p, _) => expect_cube(p),
+                Recvd::Gone => {
+                    lost = true;
+                    continue;
+                }
+            };
             let cells = block.shape()[1];
             for (bi, snap) in snapshots.iter_mut().enumerate() {
                 for ci in 0..cells {
@@ -274,8 +468,34 @@ pub fn run_easy_weight(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Vec
             row += cells;
             ctx.pools.cx.recycle(block);
         }
-        debug_assert_eq!(row, total_cells);
+        debug_assert!(lost || row == total_cells);
         let (recv, recv_idle) = rp.finish();
+
+        if lost {
+            // Training data incomplete: do not touch the weight history
+            // (it still holds the last good snapshots) and tell the
+            // beamform nodes to fall back for the target CPI.
+            spare = Some(snapshots);
+            if let Some(target) = ctx.weight_target(cpi) {
+                for (r, bf_bins) in ctx.parts.easy_bf_bins.iter().enumerate() {
+                    if overlap(&bins_idx, bf_bins).is_empty() {
+                        continue;
+                    }
+                    let dst = ctx.assign.rank_range(EASY_BF).start + r;
+                    comm.send(dst, tag(Edge::EasyWtToEasyBf, target), Msg::dropped(target));
+                }
+            }
+            report.timings.push(TaskTiming {
+                recv,
+                comp: 0.0,
+                send: 0.0,
+                recv_idle,
+            });
+            if ctx.policy.fault_tolerant {
+                purge_late(comm, cpi, &mut report.health);
+            }
+            continue;
+        }
 
         // --- compute -------------------------------------------------------
         let t1 = Instant::now();
@@ -311,22 +531,29 @@ pub fn run_easy_weight(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Vec
                     .map(|b| weights[b - bins_idx.start].clone())
                     .collect();
                 let dst = ctx.assign.rank_range(EASY_BF).start + r;
-                comm.send(dst, tag(Edge::EasyWtToEasyBf, target), Msg::Weights(w));
+                comm.send(
+                    dst,
+                    tag(Edge::EasyWtToEasyBf, target),
+                    Msg::new(target, Payload::Weights(w)),
+                );
             }
         }
         let send = t2.elapsed().as_secs_f64();
-        timings.push(TaskTiming {
+        report.timings.push(TaskTiming {
             recv,
             comp,
             send,
             recv_idle,
         });
+        if ctx.policy.fault_tolerant {
+            purge_late(comm, cpi, &mut report.health);
+        }
     }
-    timings
+    report
 }
 
 /// The hard weight computation task (task 2).
-pub fn run_hard_weight(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Vec<TaskTiming> {
+pub fn run_hard_weight(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> TaskReport {
     let p = ctx.params;
     let bins_idx = ctx.parts.hard_wt_bins[local].clone();
     let hard_bins = p.hard_bins();
@@ -349,17 +576,33 @@ pub fn run_hard_weight(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Vec
     let mut snapshots: Vec<Vec<CMat>> = (0..bins_idx.len())
         .map(|_| (0..segs).map(|s| CMat::zeros(seg_cells[s], jj)).collect())
         .collect();
-    let mut timings = Vec::with_capacity(ctx.num_cpis);
+    let mut report = TaskReport::with_capacity(ctx.num_cpis);
 
     for cpi in 0..ctx.num_cpis {
+        comm.fault_checkpoint(cpi as u64);
         // --- receive -------------------------------------------------------
         let mut rp = RecvPhase::begin();
         let mut seg_rows = vec![0usize; segs];
+        let mut lost = false;
         for (dp, counts) in dp_counts.iter().enumerate() {
-            let block = expect_cube(rp.blocking(|| {
-                comm.recv(dop0 + dp, tag(Edge::DopplerToHardWt, cpi))
-                    .unwrap()
-            }));
+            let got = rp.blocking(|| {
+                recv_msg(
+                    comm,
+                    dop0 + dp,
+                    tag(Edge::DopplerToHardWt, cpi),
+                    cpi,
+                    ctx.policy,
+                    ctx.policy.edge_timeout,
+                    &mut report.health,
+                )
+            });
+            let block = match got {
+                Recvd::Data(p, _) => expect_cube(p),
+                Recvd::Gone => {
+                    lost = true;
+                    continue;
+                }
+            };
             // The sender packed cells segment-major.
             let mut ci = 0usize;
             for (s, &cnt) in counts.iter().enumerate() {
@@ -376,6 +619,31 @@ pub fn run_hard_weight(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Vec
             ctx.pools.cx.recycle(block);
         }
         let (recv, recv_idle) = rp.finish();
+
+        if lost {
+            // Incomplete training data: leave the QR recursion state at
+            // its last good value and signal fallback to the hard BF
+            // nodes for the target CPI.
+            if let Some(target) = ctx.weight_target(cpi) {
+                for (r, bf_bins) in ctx.parts.hard_bf_bins.iter().enumerate() {
+                    if overlap(&bins_idx, bf_bins).is_empty() {
+                        continue;
+                    }
+                    let dst = ctx.assign.rank_range(HARD_BF).start + r;
+                    comm.send(dst, tag(Edge::HardWtToHardBf, target), Msg::dropped(target));
+                }
+            }
+            report.timings.push(TaskTiming {
+                recv,
+                comp: 0.0,
+                send: 0.0,
+                recv_idle,
+            });
+            if ctx.policy.fault_tolerant {
+                purge_late(comm, cpi, &mut report.health);
+            }
+            continue;
+        }
 
         // --- compute -------------------------------------------------------
         let t1 = Instant::now();
@@ -413,18 +681,25 @@ pub fn run_hard_weight(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Vec
                     w.extend(weights[base..base + segs].iter().cloned());
                 }
                 let dst = ctx.assign.rank_range(HARD_BF).start + r;
-                comm.send(dst, tag(Edge::HardWtToHardBf, target), Msg::Weights(w));
+                comm.send(
+                    dst,
+                    tag(Edge::HardWtToHardBf, target),
+                    Msg::new(target, Payload::Weights(w)),
+                );
             }
         }
         let send = t2.elapsed().as_secs_f64();
-        timings.push(TaskTiming {
+        report.timings.push(TaskTiming {
             recv,
             comp,
             send,
             recv_idle,
         });
+        if ctx.policy.fault_tolerant {
+            purge_late(comm, cpi, &mut report.health);
+        }
     }
-    timings
+    report
 }
 
 fn mean_abs(m: &CMat) -> f64 {
@@ -452,7 +727,12 @@ fn weight_sources(
 }
 
 /// The easy beamforming task (task 3).
-pub fn run_easy_bf(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Vec<TaskTiming> {
+///
+/// Degraded mode: when the weight edge overruns its grace deadline (or
+/// carries a drop marker), the node beamforms with the *last good
+/// weights for this azimuth* — the same matrices the paper would have
+/// applied one revisit earlier — and flags its output `degraded`.
+pub fn run_easy_bf(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> TaskReport {
     let p = ctx.params;
     let bins_idx = ctx.parts.easy_bf_bins[local].clone();
     let easy_bins = p.easy_bins();
@@ -482,38 +762,112 @@ pub fn run_easy_bf(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Vec<Tas
     let mut out = CCube::zeros([bins_idx.len(), p.m_beams, p.k_range]);
     let mut slab = CMat::zeros(p.j_channels, p.k_range);
     let mut y = CMat::zeros(p.m_beams, p.k_range);
-    let mut timings = Vec::with_capacity(ctx.num_cpis);
+    // Last-good weights per azimuth (fault-tolerant runs only): the
+    // stale-weight fallback source. Guaranteed populated for a beam by
+    // the time it is needed because each azimuth's first visit takes
+    // the quiescent path below.
+    let mut last_good: HashMap<usize, Vec<CMat>> = HashMap::new();
+    let mut report = TaskReport::with_capacity(ctx.num_cpis);
 
     for cpi in 0..ctx.num_cpis {
+        comm.fault_checkpoint(cpi as u64);
+        let beam = ctx.beam_of(cpi);
         // --- receive -------------------------------------------------------
         let mut rp = RecvPhase::begin();
+        let mut data_lost = false;
         for dp in 0..p0 {
-            let block = expect_cube(rp.blocking(|| {
-                comm.recv(dop0 + dp, tag(Edge::DopplerToEasyBf, cpi))
-                    .unwrap()
-            }));
-            let k0 = ctx.parts.doppler_k[dp].start;
-            data.place([0, k0, 0], &block);
-            pool.recycle(block);
+            let got = rp.blocking(|| {
+                recv_msg(
+                    comm,
+                    dop0 + dp,
+                    tag(Edge::DopplerToEasyBf, cpi),
+                    cpi,
+                    ctx.policy,
+                    ctx.policy.edge_timeout,
+                    &mut report.health,
+                )
+            });
+            match got {
+                Recvd::Data(pl, _) => {
+                    let block = expect_cube(pl);
+                    let k0 = ctx.parts.doppler_k[dp].start;
+                    data.place([0, k0, 0], &block);
+                    pool.recycle(block);
+                }
+                Recvd::Gone => data_lost = true,
+            }
+        }
+        if data_lost {
+            // The data cube is incomplete: drop this CPI end-to-end.
+            // Weight messages for this CPI (if any) are shed by the
+            // end-of-CPI purge.
+            let (recv, recv_idle) = rp.finish();
+            for (t, _) in pc_mine.iter().enumerate() {
+                let dst = ctx.assign.rank_range(PC).start + t;
+                comm.send(dst, tag(Edge::EasyBfToPc, cpi), Msg::dropped(cpi));
+            }
+            report.timings.push(TaskTiming {
+                recv,
+                comp: 0.0,
+                send: 0.0,
+                recv_idle,
+            });
+            if ctx.policy.fault_tolerant {
+                purge_late(comm, cpi, &mut report.health);
+            }
+            continue;
         }
         // Weights: quiescent for the first visit of each azimuth.
+        let mut stale = false;
         let weights: Vec<CMat> = if cpi < ctx.steering.len() {
-            let q = normalize_columns(ctx.steering[ctx.beam_of(cpi)].clone());
-            vec![q; bins_idx.len()]
+            let q = normalize_columns(ctx.steering[beam].clone());
+            let w = vec![q; bins_idx.len()];
+            if ctx.policy.fault_tolerant {
+                last_good.insert(beam, w.clone());
+            }
+            w
         } else {
             let mut per_bin: Vec<Option<CMat>> = vec![None; bins_idx.len()];
             for (src, ov) in &wt_sources {
-                let w = expect_weights(
-                    rp.blocking(|| comm.recv(*src, tag(Edge::EasyWtToEasyBf, cpi)).unwrap()),
-                );
-                for (i, b) in ov.clone().enumerate() {
-                    per_bin[b - bins_idx.start] = Some(w[i].clone());
+                let got = rp.blocking(|| {
+                    recv_msg(
+                        comm,
+                        *src,
+                        tag(Edge::EasyWtToEasyBf, cpi),
+                        cpi,
+                        ctx.policy,
+                        ctx.policy.weight_grace,
+                        &mut report.health,
+                    )
+                });
+                match got {
+                    Recvd::Data(pl, _) => {
+                        let w = expect_weights(pl);
+                        for (i, b) in ov.clone().enumerate() {
+                            per_bin[b - bins_idx.start] = Some(w[i].clone());
+                        }
+                    }
+                    Recvd::Gone => stale = true,
                 }
             }
-            per_bin
-                .into_iter()
-                .map(|w| w.expect("missing weights"))
-                .collect()
+            if stale {
+                // Fall back to the last good weights for this azimuth —
+                // the paper already applies weights one revisit late
+                // (TD(1,3)); this widens the gap by one more revisit.
+                report.health.edges[Edge::EasyWtToEasyBf as usize].stale_weights += 1;
+                last_good.get(&beam).cloned().unwrap_or_else(|| {
+                    vec![normalize_columns(ctx.steering[beam].clone()); bins_idx.len()]
+                })
+            } else {
+                let w: Vec<CMat> = per_bin
+                    .into_iter()
+                    .map(|w| w.expect("missing weights"))
+                    .collect();
+                if ctx.policy.fault_tolerant {
+                    last_good.insert(beam, w.clone());
+                }
+                w
+            }
         };
         let (recv, recv_idle) = rp.finish();
 
@@ -536,21 +890,29 @@ pub fn run_easy_bf(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Vec<Tas
                 out[(mine[i] - bins_idx.start, m, kc)]
             });
             let dst = ctx.assign.rank_range(PC).start + t;
-            comm.send(dst, tag(Edge::EasyBfToPc, cpi), Msg::Cube(block));
+            comm.send(
+                dst,
+                tag(Edge::EasyBfToPc, cpi),
+                Msg::flagged(cpi, stale, Payload::Cube(block)),
+            );
         }
         let send = t2.elapsed().as_secs_f64();
-        timings.push(TaskTiming {
+        report.timings.push(TaskTiming {
             recv,
             comp,
             send,
             recv_idle,
         });
+        if ctx.policy.fault_tolerant {
+            purge_late(comm, cpi, &mut report.health);
+        }
     }
-    timings
+    report
 }
 
-/// The hard beamforming task (task 4).
-pub fn run_hard_bf(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Vec<TaskTiming> {
+/// The hard beamforming task (task 4). Same degraded mode as
+/// [`run_easy_bf`], with per-(bin, segment) weight sets.
+pub fn run_hard_bf(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> TaskReport {
     let p = ctx.params;
     let bins_idx = ctx.parts.hard_bf_bins[local].clone();
     let hard_bins = p.hard_bins();
@@ -587,55 +949,126 @@ pub fn run_hard_bf(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Vec<Tas
         .iter()
         .map(|r| CMat::zeros(p.m_beams, r.len()))
         .collect();
-    let mut timings = Vec::with_capacity(ctx.num_cpis);
+    // Last-good per-(bin, segment) weights per azimuth (stale fallback).
+    let mut last_good: HashMap<usize, Vec<Vec<CMat>>> = HashMap::new();
+    let mut report = TaskReport::with_capacity(ctx.num_cpis);
+
+    // Quiescent weights for `beam` (each azimuth's first visit, and the
+    // fallback of last resort).
+    let quiescent = |beam: usize| -> Vec<Vec<CMat>> {
+        bins_idx
+            .clone()
+            .map(|b| {
+                let bin = hard_bins[b];
+                let phase = Cx::cis(
+                    2.0 * std::f64::consts::PI * bin as f64 * p.stagger as f64 / p.n_pulses as f64,
+                );
+                let s = &ctx.steering[beam];
+                let w = CMat::from_fn(jj, p.m_beams, |r, c| {
+                    if r < p.j_channels {
+                        s[(r, c)]
+                    } else {
+                        s[(r - p.j_channels, c)] * phase
+                    }
+                });
+                vec![normalize_columns(w); segs]
+            })
+            .collect()
+    };
 
     for cpi in 0..ctx.num_cpis {
+        comm.fault_checkpoint(cpi as u64);
+        let beam = ctx.beam_of(cpi);
         // --- receive -------------------------------------------------------
         let mut rp = RecvPhase::begin();
+        let mut data_lost = false;
         for dp in 0..p0 {
-            let block = expect_cube(rp.blocking(|| {
-                comm.recv(dop0 + dp, tag(Edge::DopplerToHardBf, cpi))
-                    .unwrap()
-            }));
-            let k0 = ctx.parts.doppler_k[dp].start;
-            data.place([0, k0, 0], &block);
-            pool.recycle(block);
+            let got = rp.blocking(|| {
+                recv_msg(
+                    comm,
+                    dop0 + dp,
+                    tag(Edge::DopplerToHardBf, cpi),
+                    cpi,
+                    ctx.policy,
+                    ctx.policy.edge_timeout,
+                    &mut report.health,
+                )
+            });
+            match got {
+                Recvd::Data(pl, _) => {
+                    let block = expect_cube(pl);
+                    let k0 = ctx.parts.doppler_k[dp].start;
+                    data.place([0, k0, 0], &block);
+                    pool.recycle(block);
+                }
+                Recvd::Gone => data_lost = true,
+            }
         }
+        if data_lost {
+            let (recv, recv_idle) = rp.finish();
+            for (t, _) in pc_mine.iter().enumerate() {
+                let dst = ctx.assign.rank_range(PC).start + t;
+                comm.send(dst, tag(Edge::HardBfToPc, cpi), Msg::dropped(cpi));
+            }
+            report.timings.push(TaskTiming {
+                recv,
+                comp: 0.0,
+                send: 0.0,
+                recv_idle,
+            });
+            if ctx.policy.fault_tolerant {
+                purge_late(comm, cpi, &mut report.health);
+            }
+            continue;
+        }
+        let mut stale = false;
         let weights: Vec<Vec<CMat>> = if cpi < ctx.steering.len() {
-            let beam = ctx.beam_of(cpi);
-            bins_idx
-                .clone()
-                .map(|b| {
-                    let bin = hard_bins[b];
-                    let phase = Cx::cis(
-                        2.0 * std::f64::consts::PI * bin as f64 * p.stagger as f64
-                            / p.n_pulses as f64,
-                    );
-                    let s = &ctx.steering[beam];
-                    let w = CMat::from_fn(jj, p.m_beams, |r, c| {
-                        if r < p.j_channels {
-                            s[(r, c)]
-                        } else {
-                            s[(r - p.j_channels, c)] * phase
-                        }
-                    });
-                    vec![normalize_columns(w); segs]
-                })
-                .collect()
+            let w = quiescent(beam);
+            if ctx.policy.fault_tolerant {
+                last_good.insert(beam, w.clone());
+            }
+            w
         } else {
             let mut per_bin: Vec<Option<Vec<CMat>>> = vec![None; bins_idx.len()];
             for (src, ov) in &wt_sources {
-                let w = expect_weights(
-                    rp.blocking(|| comm.recv(*src, tag(Edge::HardWtToHardBf, cpi)).unwrap()),
-                );
-                for (i, b) in ov.clone().enumerate() {
-                    per_bin[b - bins_idx.start] = Some(w[i * segs..(i + 1) * segs].to_vec());
+                let got = rp.blocking(|| {
+                    recv_msg(
+                        comm,
+                        *src,
+                        tag(Edge::HardWtToHardBf, cpi),
+                        cpi,
+                        ctx.policy,
+                        ctx.policy.weight_grace,
+                        &mut report.health,
+                    )
+                });
+                match got {
+                    Recvd::Data(pl, _) => {
+                        let w = expect_weights(pl);
+                        for (i, b) in ov.clone().enumerate() {
+                            per_bin[b - bins_idx.start] =
+                                Some(w[i * segs..(i + 1) * segs].to_vec());
+                        }
+                    }
+                    Recvd::Gone => stale = true,
                 }
             }
-            per_bin
-                .into_iter()
-                .map(|w| w.expect("missing weights"))
-                .collect()
+            if stale {
+                report.health.edges[Edge::HardWtToHardBf as usize].stale_weights += 1;
+                last_good
+                    .get(&beam)
+                    .cloned()
+                    .unwrap_or_else(|| quiescent(beam))
+            } else {
+                let w: Vec<Vec<CMat>> = per_bin
+                    .into_iter()
+                    .map(|w| w.expect("missing weights"))
+                    .collect();
+                if ctx.policy.fault_tolerant {
+                    last_good.insert(beam, w.clone());
+                }
+                w
+            }
         };
         let (recv, recv_idle) = rp.finish();
 
@@ -660,27 +1093,34 @@ pub fn run_hard_bf(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Vec<Tas
                 out[(mine[i] - bins_idx.start, m, kc)]
             });
             let dst = ctx.assign.rank_range(PC).start + t;
-            comm.send(dst, tag(Edge::HardBfToPc, cpi), Msg::Cube(block));
+            comm.send(
+                dst,
+                tag(Edge::HardBfToPc, cpi),
+                Msg::flagged(cpi, stale, Payload::Cube(block)),
+            );
         }
         let send = t2.elapsed().as_secs_f64();
-        timings.push(TaskTiming {
+        report.timings.push(TaskTiming {
             recv,
             comp,
             send,
             recv_idle,
         });
+        if ctx.policy.fault_tolerant {
+            purge_late(comm, cpi, &mut report.health);
+        }
     }
-    timings
+    report
 }
 
 /// The pulse compression task (task 5).
-pub fn run_pc(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Vec<TaskTiming> {
+pub fn run_pc(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> TaskReport {
     let p = ctx.params;
     let my_bins = ctx.parts.pc_bins[local].clone();
     let easy_bins = p.easy_bins();
     let hard_bins = p.hard_bins();
     let compressor = PulseCompressor::new(p);
-    let mut timings = Vec::with_capacity(ctx.num_cpis);
+    let mut report = TaskReport::with_capacity(ctx.num_cpis);
 
     // Which (sender rank, natural-bin list) pairs feed me.
     let mut feeders: Vec<(usize, Vec<usize>)> = Vec::new();
@@ -714,15 +1154,38 @@ pub fn run_pc(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Vec<TaskTimi
     let mut pc_ws = PulseScratch::new();
 
     for cpi in 0..ctx.num_cpis {
+        comm.fault_checkpoint(cpi as u64);
         // --- receive -------------------------------------------------------
         let mut rp = RecvPhase::begin();
+        let mut lost = false;
+        let mut degraded = false;
         for (src, bins) in &feeders {
             let edge = if easy_edge(*src) {
                 Edge::EasyBfToPc
             } else {
                 Edge::HardBfToPc
             };
-            let block = expect_cube(rp.blocking(|| comm.recv(*src, tag(edge, cpi)).unwrap()));
+            let got = rp.blocking(|| {
+                recv_msg(
+                    comm,
+                    *src,
+                    tag(edge, cpi),
+                    cpi,
+                    ctx.policy,
+                    ctx.policy.edge_timeout,
+                    &mut report.health,
+                )
+            });
+            let block = match got {
+                Recvd::Data(pl, d) => {
+                    degraded |= d;
+                    expect_cube(pl)
+                }
+                Recvd::Gone => {
+                    lost = true;
+                    continue;
+                }
+            };
             debug_assert_eq!(block.shape()[0], bins.len());
             for (i, &b) in bins.iter().enumerate() {
                 for m in 0..p.m_beams {
@@ -733,6 +1196,25 @@ pub fn run_pc(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Vec<TaskTimi
             ctx.pools.cx.recycle(block);
         }
         let (recv, recv_idle) = rp.finish();
+
+        if lost {
+            // At least one beamformed block is gone: the assembled cube
+            // would be a mix of CPIs, so drop this CPI downstream.
+            for u in 0..ctx.parts.cfar_bins.len() {
+                let dst = ctx.assign.rank_range(CFAR).start + u;
+                comm.send(dst, tag(Edge::PcToCfar, cpi), Msg::dropped(cpi));
+            }
+            report.timings.push(TaskTiming {
+                recv,
+                comp: 0.0,
+                send: 0.0,
+                recv_idle,
+            });
+            if ctx.policy.fault_tolerant {
+                purge_late(comm, cpi, &mut report.health);
+            }
+            continue;
+        }
 
         // --- compute -------------------------------------------------------
         let t1 = Instant::now();
@@ -749,21 +1231,28 @@ pub fn run_pc(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Vec<TaskTimi
                     power[(ov.start + i - my_bins.start, m, kc)]
                 });
             let dst = ctx.assign.rank_range(CFAR).start + u;
-            comm.send(dst, tag(Edge::PcToCfar, cpi), Msg::Real(block));
+            comm.send(
+                dst,
+                tag(Edge::PcToCfar, cpi),
+                Msg::flagged(cpi, degraded, Payload::Real(block)),
+            );
         }
         let send = t2.elapsed().as_secs_f64();
-        timings.push(TaskTiming {
+        report.timings.push(TaskTiming {
             recv,
             comp,
             send,
             recv_idle,
         });
+        if ctx.policy.fault_tolerant {
+            purge_late(comm, cpi, &mut report.health);
+        }
     }
-    timings
+    report
 }
 
 /// The CFAR task (task 6).
-pub fn run_cfar(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Vec<TaskTiming> {
+pub fn run_cfar(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> TaskReport {
     let p = ctx.params;
     let my_bins = ctx.parts.cfar_bins[local].clone();
     let driver = ctx.assign.driver_rank();
@@ -777,14 +1266,36 @@ pub fn run_cfar(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Vec<TaskTi
         .collect();
     // Persistent power assembly cube (fully overwritten each CPI).
     let mut power = RCube::zeros([my_bins.len(), p.m_beams, p.k_range]);
-    let mut timings = Vec::with_capacity(ctx.num_cpis);
+    let mut report = TaskReport::with_capacity(ctx.num_cpis);
 
     for cpi in 0..ctx.num_cpis {
+        comm.fault_checkpoint(cpi as u64);
         // --- receive -------------------------------------------------------
         let mut rp = RecvPhase::begin();
+        let mut lost = false;
+        let mut degraded = false;
         for (src, ov) in &feeders {
-            let block =
-                expect_real(rp.blocking(|| comm.recv(*src, tag(Edge::PcToCfar, cpi)).unwrap()));
+            let got = rp.blocking(|| {
+                recv_msg(
+                    comm,
+                    *src,
+                    tag(Edge::PcToCfar, cpi),
+                    cpi,
+                    ctx.policy,
+                    ctx.policy.edge_timeout,
+                    &mut report.health,
+                )
+            });
+            let block = match got {
+                Recvd::Data(pl, d) => {
+                    degraded |= d;
+                    expect_real(pl)
+                }
+                Recvd::Gone => {
+                    lost = true;
+                    continue;
+                }
+            };
             debug_assert_eq!(block.shape()[0], ov.len());
             if !ov.is_empty() {
                 power.place([ov.start - my_bins.start, 0, 0], &block);
@@ -792,6 +1303,23 @@ pub fn run_cfar(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Vec<TaskTi
             ctx.pools.real.recycle(block);
         }
         let (recv, recv_idle) = rp.finish();
+
+        if lost {
+            // Report the loss to the driver so it can classify the CPI
+            // as dropped instead of waiting on detections that will
+            // never come.
+            comm.send(driver, tag(Edge::Output, cpi), Msg::dropped(cpi));
+            report.timings.push(TaskTiming {
+                recv,
+                comp: 0.0,
+                send: 0.0,
+                recv_idle,
+            });
+            if ctx.policy.fault_tolerant {
+                purge_late(comm, cpi, &mut report.health);
+            }
+            continue;
+        }
 
         // --- compute -------------------------------------------------------
         let t1 = Instant::now();
@@ -805,14 +1333,104 @@ pub fn run_cfar(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Vec<TaskTi
 
         // --- send ----------------------------------------------------------
         let t2 = Instant::now();
-        comm.send(driver, tag(Edge::Output, cpi), Msg::Detections(detections));
+        comm.send(
+            driver,
+            tag(Edge::Output, cpi),
+            Msg::flagged(cpi, degraded, Payload::Detections(detections)),
+        );
         let send = t2.elapsed().as_secs_f64();
-        timings.push(TaskTiming {
+        report.timings.push(TaskTiming {
             recv,
             comp,
             send,
             recv_idle,
         });
+        if ctx.policy.fault_tolerant {
+            purge_late(comm, cpi, &mut report.health);
+        }
     }
-    timings
+    report
+}
+
+#[cfg(test)]
+mod seq_tests {
+    use super::*;
+    use stap_mp::World;
+
+    fn det_msg(cpi: usize) -> Msg {
+        Msg::new(cpi, Payload::Detections(Vec::new()))
+    }
+
+    /// A message whose `seq` disagrees with the CPI being assembled
+    /// (a late or duplicated delivery that landed on a reused tag) is
+    /// discarded and counted, and the receive keeps waiting for the
+    /// real message.
+    #[test]
+    fn out_of_order_seq_is_discarded_then_real_message_received() {
+        let world: World<Msg> = World::new(2);
+        let policy = RuntimePolicy::fault_tolerant();
+        let counts = world.run_collect(move |mut comm| {
+            if comm.rank() == 0 {
+                // A stale CPI-4 message mislabeled onto CPI 5's tag,
+                // then the genuine CPI-5 message.
+                comm.send(
+                    1,
+                    tag(Edge::Input, 5),
+                    Msg::flagged(4, false, Payload::Detections(Vec::new())),
+                );
+                comm.send(1, tag(Edge::Input, 5), det_msg(5));
+                0
+            } else {
+                let mut health = PipelineHealth::default();
+                let got = recv_msg(
+                    &mut comm,
+                    0,
+                    tag(Edge::Input, 5),
+                    5,
+                    &policy,
+                    Duration::from_secs(2),
+                    &mut health,
+                );
+                assert!(matches!(got, Recvd::Data(Payload::Detections(_), false)));
+                health.edges[Edge::Input as usize].late_or_dup
+            }
+        });
+        assert_eq!(counts[1], 1, "stale seq not counted");
+    }
+
+    /// Duplicated or late messages left in the mailbox are shed by the
+    /// end-of-CPI purge; messages for future CPIs survive it.
+    #[test]
+    fn purge_discards_current_and_earlier_cpis_only() {
+        let world: World<Msg> = World::new(2);
+        let policy = RuntimePolicy::fault_tolerant();
+        let results = world.run_collect(move |mut comm| {
+            if comm.rank() == 0 {
+                comm.send(1, tag(Edge::Input, 0), det_msg(0)); // duplicate of a consumed CPI
+                comm.send(1, tag(Edge::Input, 1), det_msg(1)); // late for the current CPI
+                comm.send(1, tag(Edge::Input, 2), det_msg(2)); // next CPI: must survive
+                (0, true)
+            } else {
+                let mut health = PipelineHealth::default();
+                // Give all three sends time to land in the mailbox.
+                std::thread::sleep(Duration::from_millis(50));
+                purge_late(&mut comm, 1, &mut health);
+                // CPI 2 must still be receivable after the purge.
+                let got = recv_msg(
+                    &mut comm,
+                    0,
+                    tag(Edge::Input, 2),
+                    2,
+                    &policy,
+                    Duration::from_secs(2),
+                    &mut health,
+                );
+                let survived = matches!(got, Recvd::Data(Payload::Detections(_), _));
+                (health.edges[Edge::Input as usize].late_or_dup, survived)
+            }
+        });
+        let (purged, survived) = results[1];
+        assert!(purged >= 1, "nothing was purged");
+        assert!(survived, "future CPI was wrongly purged");
+    }
 }

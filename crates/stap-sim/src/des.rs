@@ -6,9 +6,55 @@ use stap_core::training::{easy_training_cells, hard_training_cells};
 use stap_core::StapParams;
 use stap_machine::{Mesh, Paragon, ALL_TASKS};
 use stap_pipeline::assignment::{overlap, NodeAssignment, Partitions};
-use stap_pipeline::metrics::{latency_eq2, real_latency_eq3, throughput_eq1, TaskTiming};
-use std::collections::HashMap;
+use stap_pipeline::fault::RuntimePolicy;
+use stap_pipeline::metrics::{
+    latency_eq2, real_latency_eq3, throughput_eq1, CpiOutcome, TaskTiming,
+};
+use std::collections::{HashMap, HashSet};
 use std::ops::Range;
+
+/// Deterministic fault events for the simulator, mirroring the runtime
+/// fault plane of `stap-mp`/`stap-pipeline` at the granularity the
+/// timestamp model can express.
+#[derive(Clone, Debug, Default)]
+pub struct SimFaults {
+    /// `(task, node, cpi, seconds)`: the node stalls that long between
+    /// its receive and compute phases of that CPI (a page fault, a
+    /// competing process, a slow link retrain).
+    pub stalls: Vec<(usize, usize, usize, f64)>,
+    /// CPIs lost on some data edge: the pipeline forwards drop markers
+    /// instead of data, so the CPI traverses the graph at marker cost
+    /// (per-message startup only) and produces no detections.
+    pub dropped_cpis: Vec<usize>,
+    /// CPIs explicitly beamformed with last-good weights (in addition to
+    /// those derived from weight-task stalls below).
+    pub stale_weight_cpis: Vec<usize>,
+    /// Weight-receive grace (seconds) used to *derive* degradation: a
+    /// stall on a weight task (1 or 2) at CPI `c` longer than this makes
+    /// the target CPI `c + beams` degraded — the beamformers would have
+    /// fallen back to stale weights rather than wait. Mirrors
+    /// `RuntimePolicy::weight_grace`.
+    pub weight_grace_s: f64,
+}
+
+impl SimFaults {
+    /// True when no fault event is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.stalls.is_empty() && self.dropped_cpis.is_empty() && self.stale_weight_cpis.is_empty()
+    }
+}
+
+/// Derives the runtime degradation policy the real pipeline should use
+/// on the modeled machine: deadlines scaled from the model's predicted
+/// CPI interval (equation (1)).
+pub fn derive_policy(result: &SimResult) -> RuntimePolicy {
+    let interval = if result.eq_throughput.is_finite() && result.eq_throughput > 0.0 {
+        1.0 / result.eq_throughput
+    } else {
+        0.1
+    };
+    RuntimePolicy::from_cpi_interval(interval)
+}
 
 /// Simulation configuration.
 #[derive(Clone, Debug)]
@@ -57,6 +103,8 @@ pub struct SimConfig {
     /// collection is performed to avoid sending redundant data and hence
     /// reduces the communication costs."
     pub no_data_collection: bool,
+    /// Deterministic fault events (`None` = healthy run).
+    pub faults: Option<SimFaults>,
 }
 
 impl SimConfig {
@@ -76,6 +124,7 @@ impl SimConfig {
             input_interval_s: None,
             cpus_per_node: 1,
             no_data_collection: false,
+            faults: None,
         }
     }
 }
@@ -95,6 +144,9 @@ pub struct SimResult {
     pub eq_latency: f64,
     /// Equation (3) (idle-excluded) latency.
     pub eq_real_latency: f64,
+    /// Per-CPI outcome under the configured fault events. Empty for a
+    /// healthy (faultless) simulation.
+    pub outcomes: Vec<CpiOutcome>,
 }
 
 impl SimResult {
@@ -119,7 +171,20 @@ impl SimResult {
             ("eq_throughput", Json::Num(self.eq_throughput)),
             ("eq_latency", Json::Num(self.eq_latency)),
             ("eq_real_latency", Json::Num(self.eq_real_latency)),
+            (
+                "degraded_cpis",
+                Json::Num(self.count(CpiOutcome::DegradedStaleWeights) as f64),
+            ),
+            (
+                "dropped_cpis",
+                Json::Num(self.count(CpiOutcome::Dropped) as f64),
+            ),
         ])
+    }
+
+    /// Number of simulated CPIs with the given outcome.
+    pub fn count(&self, o: CpiOutcome) -> usize {
+        self.outcomes.iter().filter(|x| **x == o).count()
     }
 }
 
@@ -244,6 +309,27 @@ fn simulate_inner(
     let mach = &cfg.machine;
     let n = cfg.num_cpis;
 
+    // Fault-event lookups (all empty in a healthy run).
+    let faults = cfg.faults.clone().unwrap_or_default();
+    let stall_at: HashMap<(usize, usize, usize), f64> = faults
+        .stalls
+        .iter()
+        .map(|&(t, nd, c, s)| ((t, nd, c), s))
+        .collect();
+    let dropped: HashSet<usize> = faults.dropped_cpis.iter().copied().collect();
+    let mut stale: HashSet<usize> = faults.stale_weight_cpis.iter().copied().collect();
+    // A weight-task stall past the grace deadline degrades the CPI its
+    // weights were destined for: the beamformers fall back rather than
+    // wait (the runtime's stale-weight policy).
+    for &(t, _, c, s) in &faults.stalls {
+        if (t == 1 || t == 2) && s > faults.weight_grace_s {
+            let target = c + cfg.beams;
+            if target < n {
+                stale.insert(target);
+            }
+        }
+    }
+
     // Contention factor per (src task, dst task) pair, if enabled.
     let contention = |src_task: usize, dst_task: usize| -> f64 {
         match &cfg.mesh_contention {
@@ -294,7 +380,8 @@ fn simulate_inner(
     // of Doppler require data collection/reorganization (strided pack);
     // everything downstream keeps the same bin partitioning and ships
     // contiguous buffers ("no data collection or reorganization").
-    let send_edges: [(usize, &Vec<Vec<u64>>, usize, bool, bool); 9] = [
+    type SendEdge<'a> = (usize, &'a Vec<Vec<u64>>, usize, bool, bool);
+    let send_edges: [SendEdge<'_>; 9] = [
         (0, &vols.d_to_ew, 1, false, true),
         (0, &vols.d_to_hw, 2, false, true),
         (0, &vols.d_to_ebf, 3, false, true),
@@ -378,7 +465,12 @@ fn simulate_inner(
                 recv_end_at.insert((t, node, cpi), recv_end);
 
                 // ---- compute phase ----
-                let comp_end = recv_end + comp_time;
+                // An injected stall delays the node; a dropped CPI flows
+                // through at zero compute (drop markers skip the kernels).
+                let drop_this = dropped.contains(&cpi);
+                let stall_s = stall_at.get(&(t, node, cpi)).copied().unwrap_or(0.0);
+                let comp_this = if drop_this { 0.0 } else { comp_time } + stall_s;
+                let comp_end = recv_end + comp_this;
 
                 // ---- send phase ----
                 let mut send_cursor = comp_end;
@@ -397,7 +489,13 @@ fn simulate_inner(
                         if bytes == 0 {
                             continue;
                         }
-                        let samples = bytes / mach.bytes_per_sample;
+                        // Dropped CPIs ship zero-volume markers: the edge
+                        // still costs a message startup, nothing more.
+                        let samples = if drop_this {
+                            0
+                        } else {
+                            bytes / mach.bytes_per_sample
+                        };
                         let pack = if *strided {
                             mach.pack_time(samples)
                         } else {
@@ -428,7 +526,7 @@ fn simulate_inner(
 
                 acc[t][cpi].add(&TaskTiming {
                     recv,
-                    comp: comp_time,
+                    comp: comp_this,
                     send,
                     recv_idle,
                 });
@@ -442,8 +540,8 @@ fn simulate_inner(
     let mut tasks = [TaskTiming::default(); 7];
     for t in 0..7 {
         let mut sum = TaskTiming::default();
-        for cpi in lo..hi {
-            sum.add(&acc[t][cpi].scale(1.0 / cfg.assign.0[t] as f64));
+        for a in &acc[t][lo..hi] {
+            sum.add(&a.scale(1.0 / cfg.assign.0[t] as f64));
         }
         tasks[t] = sum.scale(1.0 / (hi - lo) as f64);
     }
@@ -459,6 +557,22 @@ fn simulate_inner(
         .collect();
     let mean_latency = latencies.iter().sum::<f64>() / latencies.len().max(1) as f64;
 
+    let outcomes = if cfg.faults.is_some() {
+        (0..n)
+            .map(|c| {
+                if dropped.contains(&c) {
+                    CpiOutcome::Dropped
+                } else if stale.contains(&c) {
+                    CpiOutcome::DegradedStaleWeights
+                } else {
+                    CpiOutcome::Ok
+                }
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
     SimResult {
         tasks,
         measured_throughput: if mean_interval > 0.0 {
@@ -470,6 +584,7 @@ fn simulate_inner(
         eq_throughput: throughput_eq1(&tasks),
         eq_latency: latency_eq2(&tasks),
         eq_real_latency: real_latency_eq3(&tasks),
+        outcomes,
     }
 }
 
@@ -595,6 +710,99 @@ mod tests {
         let b = run(NodeAssignment::case2());
         assert_eq!(a.measured_latency, b.measured_latency);
         assert_eq!(a.measured_throughput, b.measured_throughput);
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+
+    #[test]
+    fn empty_faults_change_nothing_and_report_no_outcomes() {
+        let base = simulate(&SimConfig::paper(NodeAssignment::case3()));
+        let mut cfg = SimConfig::paper(NodeAssignment::case3());
+        cfg.faults = Some(SimFaults::default());
+        let r = simulate(&cfg);
+        assert_eq!(r.measured_throughput, base.measured_throughput);
+        assert_eq!(r.measured_latency, base.measured_latency);
+        assert!(base.outcomes.is_empty());
+        assert_eq!(r.outcomes.len(), cfg.num_cpis);
+        assert!(r.outcomes.iter().all(|o| *o == CpiOutcome::Ok));
+    }
+
+    #[test]
+    fn dropped_cpi_is_classified_and_cheap() {
+        let mut cfg = SimConfig::paper(NodeAssignment::case3());
+        cfg.faults = Some(SimFaults {
+            dropped_cpis: vec![10],
+            ..SimFaults::default()
+        });
+        let r = simulate(&cfg);
+        assert_eq!(r.outcomes[10], CpiOutcome::Dropped);
+        assert_eq!(r.count(CpiOutcome::Dropped), 1);
+        // Dropping a CPI frees its compute; the pipeline must not slow.
+        let base = simulate(&SimConfig::paper(NodeAssignment::case3()));
+        assert!(r.measured_throughput >= base.measured_throughput * 0.99);
+    }
+
+    #[test]
+    fn weight_stall_past_grace_degrades_the_target_cpi() {
+        let mut cfg = SimConfig::paper(NodeAssignment::case3());
+        cfg.faults = Some(SimFaults {
+            stalls: vec![(1, 0, 6, 2.0)], // easy-weight node 0 stalls 2 s at CPI 6
+            weight_grace_s: 0.5,
+            ..SimFaults::default()
+        });
+        let r = simulate(&cfg);
+        // Weights from CPI 6 target CPI 6 + beams = 11.
+        assert_eq!(r.outcomes[6 + cfg.beams], CpiOutcome::DegradedStaleWeights);
+        assert_eq!(r.count(CpiOutcome::DegradedStaleWeights), 1);
+    }
+
+    #[test]
+    fn short_weight_stall_within_grace_stays_ok() {
+        let mut cfg = SimConfig::paper(NodeAssignment::case3());
+        cfg.faults = Some(SimFaults {
+            stalls: vec![(1, 0, 6, 0.1)],
+            weight_grace_s: 0.5,
+            ..SimFaults::default()
+        });
+        let r = simulate(&cfg);
+        assert_eq!(r.count(CpiOutcome::DegradedStaleWeights), 0);
+        assert_eq!(r.count(CpiOutcome::Dropped), 0);
+    }
+
+    #[test]
+    fn data_task_stall_slows_but_does_not_degrade() {
+        let base = simulate(&SimConfig::paper(NodeAssignment::case3()));
+        let mut cfg = SimConfig::paper(NodeAssignment::case3());
+        cfg.faults = Some(SimFaults {
+            stalls: vec![(0, 0, 12, 1.5)], // Doppler node 0 stalls mid-run
+            ..SimFaults::default()
+        });
+        let r = simulate(&cfg);
+        assert!(r.outcomes.iter().all(|o| *o == CpiOutcome::Ok));
+        assert!(
+            r.measured_throughput < base.measured_throughput,
+            "a stall inside the measured window must cost throughput: {} vs {}",
+            r.measured_throughput,
+            base.measured_throughput
+        );
+    }
+
+    #[test]
+    fn derived_policy_scales_with_modeled_interval() {
+        let fast = simulate(&SimConfig::paper(NodeAssignment::case1()));
+        let slow = simulate(&SimConfig::paper(NodeAssignment::case3()));
+        let pf = derive_policy(&fast);
+        let ps = derive_policy(&slow);
+        assert!(pf.fault_tolerant && ps.fault_tolerant);
+        assert!(
+            ps.edge_timeout >= pf.edge_timeout,
+            "slower machine must get looser deadlines: {:?} vs {:?}",
+            ps.edge_timeout,
+            pf.edge_timeout
+        );
     }
 }
 

@@ -380,8 +380,11 @@ pub fn tables2to6() -> String {
     out
 }
 
-/// Paper Table 7 per-task reference rows (recv, comp, send) per case.
-const TABLE7_PAPER: [(&str, [usize; 7], [[f64; 3]; 7], f64, f64); 3] = [
+/// Paper Table 7 per-task reference rows (recv, comp, send) per case:
+/// (label, node assignment, per-task [recv, comp, send], throughput,
+/// latency).
+type Table7Row = (&'static str, [usize; 7], [[f64; 3]; 7], f64, f64);
+const TABLE7_PAPER: [Table7Row; 3] = [
     (
         "case 1 (236 nodes)",
         [32, 16, 112, 16, 28, 16, 16],

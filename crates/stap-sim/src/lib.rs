@@ -26,5 +26,5 @@ pub mod sweep;
 pub mod trace;
 
 pub use assign::{optimize, Objective};
-pub use des::{simulate, simulate_traced, SimConfig, SimResult};
+pub use des::{derive_policy, simulate, simulate_traced, SimConfig, SimFaults, SimResult};
 pub use trace::{render_gantt, Traced};

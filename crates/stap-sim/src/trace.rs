@@ -70,7 +70,7 @@ pub fn render_gantt(traced: &Traced, max_cpis: usize, columns: usize) -> String 
         "legend: digit = CPI index during compute, 'r' = receive/wait, 's' = send/pack"
     )
     .unwrap();
-    for task in 0..7 {
+    for (task, task_name) in TASK_NAMES.iter().enumerate() {
         let mut row = vec![' '; columns];
         for iv in intervals.iter().filter(|iv| iv.task == task) {
             let col = |t: f64| ((t * scale) as usize).min(columns - 1);
@@ -86,7 +86,7 @@ pub fn render_gantt(traced: &Traced, max_cpis: usize, columns: usize) -> String 
             }
         }
         let line: String = row.into_iter().collect();
-        writeln!(out, "{:<15}|{}|", TASK_NAMES[task], line).unwrap();
+        writeln!(out, "{task_name:<15}|{line}|").unwrap();
     }
     out
 }

@@ -5,16 +5,24 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== 1/4 rustfmt =="
+echo "== 1/6 rustfmt =="
 cargo fmt --all -- --check
 
-echo "== 2/4 release build =="
+echo "== 2/6 clippy (deny warnings) =="
+cargo clippy --workspace -- -D warnings
+
+echo "== 3/6 release build =="
 cargo build --release --workspace
 
-echo "== 3/4 tests (includes the zero-allocation regression) =="
+echo "== 4/6 tests (includes the zero-allocation regression) =="
 cargo test -q --workspace
 
-echo "== 4/4 bench smoke (quick windows; plumbing only, not timing) =="
+echo "== 5/6 fault smoke (deterministic campaign: stall + drop over 10 CPIs) =="
+# One weight-rank stall plus one dropped data message must classify
+# exactly [..X....ddd] — 6 ok, 3 degraded (stale weights), 1 dropped.
+cargo run --release -q -p stap-bench --bin stapctl -- faults --expect degraded=3,dropped=1
+
+echo "== 6/6 bench smoke (quick windows; plumbing only, not timing) =="
 # Quick mode writes to a scratch path so the recorded full-mode baseline
 # in BENCH_kernels.json is never clobbered by smoke numbers. Full runs
 # (stapctl bench, no --quick) gate themselves against the baseline and
