@@ -7,10 +7,12 @@
 //! stapctl optimize --budget 118 [--objective throughput|latency] [--floor 3.0]
 //! stapctl detect   [--cpis 6] [--seed 42] [--full] [--nodes 2,1,2,1,1,2,1]
 //! stapctl faults   [--cpis 10] [--seed 7] [--drop-cpi 2] [--stall-cpi 6]
-//!                  [--expect degraded=3,dropped=1] [--json]
+//!                  [--expect degraded=3,dropped=1] [--json] [--out PATH]
 //! stapctl gantt    [--nodes N0,..,N6] [--cpis 8]
 //! stapctl csv      --what fig11|scaling
 //! stapctl bench    [--quick] [--json] [--force] [--out BENCH_kernels.json]
+//! stapctl trace    [--cpis 6] [--seed 42] [--nodes 2,1,2,1,1,2,1] [--json]
+//!                  [--out TRACE_pipeline.json]
 //! ```
 //!
 //! `faults` runs a deterministic fault-injection campaign on the real
@@ -22,6 +24,12 @@
 //! `bench` in full mode refuses to overwrite its output file when any
 //! kernel's optimized-path median regressed more than 10% against the
 //! recorded `after_ns` (pass `--force` to accept a new baseline).
+//!
+//! `trace` runs the canonical two-azimuth reduced scenario with the
+//! span recorder enabled, writes a Chrome trace-event JSON (loadable in
+//! Perfetto or `chrome://tracing`), prints the per-task/per-edge text
+//! breakdown, and reconciles the measured run against the `stap-sim`
+//! model of the same configuration.
 
 use stap::core::cfar::cluster;
 use stap::core::StapParams;
@@ -41,8 +49,9 @@ fn usage() -> ExitCode {
          stapctl simulate --nodes N0,..,N6 [--cpis K] [--input-rate R] [--replicas R0,..,R6] [--contention]\n  \
          stapctl optimize --budget B [--objective throughput|latency] [--floor T] [--moves M]\n  \
          stapctl detect [--cpis K] [--seed S] [--full] [--nodes N0,..,N6]\n  \
-         stapctl faults [--cpis K] [--seed S] [--drop-cpi C] [--stall-cpi C] [--expect degraded=G,dropped=D]\n  \
-         stapctl bench [--quick] [--json] [--force] [--out PATH]"
+         stapctl faults [--cpis K] [--seed S] [--drop-cpi C] [--stall-cpi C] [--expect degraded=G,dropped=D] [--json] [--out PATH]\n  \
+         stapctl bench [--quick] [--json] [--force] [--out PATH]\n  \
+         stapctl trace [--cpis K] [--seed S] [--nodes N0,..,N6] [--json] [--out PATH]"
     );
     ExitCode::from(2)
 }
@@ -302,7 +311,8 @@ fn cmd_faults(flags: HashMap<String, String>) -> Result<(), String> {
 
     let h = &out.timings.health;
     let (degraded, dropped) = (h.degraded_cpis, h.dropped_cpis);
-    if flags.contains_key("json") {
+    let want_json = flags.contains_key("json") || flags.contains_key("out");
+    if want_json {
         use stap_util::Json;
         let outcome_str = |o: &CpiOutcome| match o {
             CpiOutcome::Ok => "ok",
@@ -323,7 +333,13 @@ fn cmd_faults(flags: HashMap<String, String>) -> Result<(), String> {
                 ),
             ),
         ]);
-        println!("{}", j.to_string_pretty());
+        if let Some(path) = flags.get("out") {
+            std::fs::write(path, j.to_string_pretty()).map_err(|e| format!("write {path}: {e}"))?;
+            println!("wrote {path}");
+        }
+        if flags.contains_key("json") {
+            println!("{}", j.to_string_pretty());
+        }
     } else {
         print!("{}", stap::pipeline::render_health(&out.timings));
         let marks: String = out
@@ -458,6 +474,99 @@ fn cmd_bench(flags: HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_trace(flags: HashMap<String, String>) -> Result<(), String> {
+    use stap::pipeline::trace::{chrome_trace_json, render_breakdown, TraceStats};
+    use stap::sim::{reconcile, render_reconciliation};
+    use stap_util::Json;
+
+    let cpis: usize = flags
+        .get("cpis")
+        .map(|c| c.parse().map_err(|e| format!("--cpis: {e}")))
+        .transpose()?
+        .unwrap_or(6);
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| s.parse().map_err(|e| format!("--seed: {e}")))
+        .transpose()?
+        .unwrap_or(42);
+    let nodes = flags
+        .get("nodes")
+        .map(|s| parse_counts(s))
+        .transpose()?
+        .unwrap_or(NodeAssignment::tiny().0);
+    if cpis == 0 {
+        return Err("--cpis must be >= 1".to_string());
+    }
+
+    // The canonical tracing configuration: the reduced scenario with a
+    // two-azimuth revisit cycle, so the temporal weight dependency
+    // (weights applied `beams` CPIs later) is exercised without the
+    // paper's full five-beam cycle.
+    let params = StapParams::reduced();
+    let mut scenario = Scenario::reduced(seed);
+    scenario.transmit_beams = vec![-20.0, 20.0];
+
+    let runner =
+        ParallelStap::for_scenario(params.clone(), NodeAssignment(nodes), &scenario).with_tracing();
+    println!(
+        "tracing {cpis} reduced CPIs (2-azimuth revisit) on {} rank threads...",
+        runner.assign.total()
+    );
+    let data: Vec<_> = scenario.stream(cpis).map(|(_, _, c)| c).collect();
+    let out = runner
+        .try_run(data)
+        .map_err(|e| format!("traced run failed: {e}"))?;
+    let trace = out.trace.as_ref().expect("tracing was enabled");
+
+    // Artifact 1: Chrome trace-event JSON (Perfetto / chrome://tracing).
+    let chrome = chrome_trace_json(trace);
+    let events = match chrome.get("traceEvents") {
+        Some(Json::Arr(v)) => v.len(),
+        _ => 0,
+    };
+    let out_path = flags
+        .get("out")
+        .map(String::as_str)
+        .unwrap_or("TRACE_pipeline.json");
+    std::fs::write(out_path, chrome.to_string_pretty())
+        .map_err(|e| format!("write {out_path}: {e}"))?;
+
+    // Artifact 2: measured-vs-modeled reconciliation of the same
+    // configuration (reduced geometry, measured flops, 2-beam cycle).
+    let stats = TraceStats::from_trace(trace);
+    let mut cfg = SimConfig::paper(NodeAssignment(nodes));
+    cfg.params = params;
+    cfg.flops = stap::core::flops::measure(&cfg.params, seed);
+    cfg.beams = scenario.transmit_beams.len();
+    cfg.num_cpis = cpis;
+    cfg.warmup = if cpis > 6 { 3 } else { 1 };
+    cfg.cooldown = if cpis > 6 { 2 } else { 1 };
+    let rec = reconcile(&out.timings, &stats.bytes_per_cpi(), &cfg);
+
+    if flags.contains_key("json") {
+        let j = Json::obj([
+            ("trace_file", Json::Str(out_path.to_string())),
+            ("trace_events", Json::Num(events as f64)),
+            ("cpis", Json::Num(cpis as f64)),
+            (
+                "throughput_cpi_s",
+                Json::Num(out.timings.measured_throughput),
+            ),
+            ("latency_s", Json::Num(out.timings.measured_latency)),
+            ("reconciliation", rec.to_json()),
+        ]);
+        println!("{}", j.to_string_pretty());
+    } else {
+        println!();
+        print!("{}", render_breakdown(trace, &out.timings));
+        println!();
+        print!("{}", render_reconciliation(&rec));
+        println!();
+    }
+    println!("wrote {out_path} ({events} events; load in Perfetto or chrome://tracing)");
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -478,6 +587,7 @@ fn main() -> ExitCode {
         "gantt" => cmd_gantt(flags),
         "csv" => cmd_csv(flags),
         "bench" => cmd_bench(flags),
+        "trace" => cmd_trace(flags),
         _ => return usage(),
     };
     match result {

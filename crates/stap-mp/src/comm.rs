@@ -135,10 +135,19 @@ pub struct Comm<M> {
     /// Fault-injection state (see [`crate::fault`]). `None` in production
     /// worlds: the send hot path then pays exactly one branch.
     pub(crate) faults: Option<crate::fault::FaultState<M>>,
+    /// Span-tracing state (see [`crate::trace`]). `None` in production
+    /// worlds: every instrumented call then pays exactly one branch and
+    /// performs no allocation or clock read.
+    pub(crate) tracer: Option<crate::trace::CommTracer<M>>,
 }
 
 impl<M> Drop for Comm<M> {
     fn drop(&mut self) {
+        // Flush this rank's span buffer before announcing exit, so the
+        // sink is complete once every endpoint has dropped.
+        if let Some(t) = &self.tracer {
+            t.flush(self.rank);
+        }
         self.alive.fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
     }
 }
@@ -160,6 +169,10 @@ impl<M: Send> Comm<M> {
     /// pipeline's drain phase relies on this).
     pub fn send(&self, dst: usize, tag: Tag, msg: M) {
         assert!(dst < self.size(), "send to rank {dst} of {}", self.size());
+        if let Some(t) = &self.tracer {
+            t.recorder
+                .record_instant(crate::trace::TraceKind::Send, dst, tag, t.bytes(&msg));
+        }
         let msg = match &self.faults {
             None => msg,
             Some(f) => match f.on_send(self.rank, dst, tag, msg) {
@@ -195,8 +208,20 @@ impl<M: Send> Comm<M> {
     /// [`Comm::recv_any`] to learn the sender).
     pub fn recv_matching(&mut self, src: usize, tag: Tag) -> Result<M, RecvError> {
         if src == ANY_SOURCE {
+            // Delegates to the *traced* recv_any so the span is
+            // recorded exactly once, with the matched source.
             return self.recv_any(tag).map(|(_, m)| m);
         }
+        let started = self.trace_now();
+        let r = self.recv_matching_inner(src, tag);
+        if let (Some(t), Ok(m)) = (&self.tracer, &r) {
+            t.recorder
+                .record_span(crate::trace::TraceKind::Recv, src, tag, t.bytes(m), started);
+        }
+        r
+    }
+
+    fn recv_matching_inner(&mut self, src: usize, tag: Tag) -> Result<M, RecvError> {
         if let Some(m) = self.pending.take(src, tag) {
             return Ok(m);
         }
@@ -212,6 +237,21 @@ impl<M: Send> Comm<M> {
     /// Blocking receive of the next message with `tag` from any source,
     /// returning `(source, message)`.
     pub fn recv_any(&mut self, tag: Tag) -> Result<(usize, M), RecvError> {
+        let started = self.trace_now();
+        let r = self.recv_any_inner(tag);
+        if let (Some(t), Ok((src, m))) = (&self.tracer, &r) {
+            t.recorder.record_span(
+                crate::trace::TraceKind::Recv,
+                *src,
+                tag,
+                t.bytes(m),
+                started,
+            );
+        }
+        r
+    }
+
+    fn recv_any_inner(&mut self, tag: Tag) -> Result<(usize, M), RecvError> {
         if let Some(hit) = self.pending.take_any(tag) {
             return Ok(hit);
         }
@@ -254,6 +294,35 @@ impl<M: Send> Comm<M> {
     /// peer exit (like [`Comm::recv`] does) instead of burning the whole
     /// timeout waiting on a peer that can never send.
     pub fn recv_timeout(
+        &mut self,
+        src: usize,
+        tag: Tag,
+        timeout: Duration,
+    ) -> Result<M, RecvError> {
+        let started = self.trace_now();
+        let r = self.recv_timeout_inner(src, tag, timeout);
+        if let Some(t) = &self.tracer {
+            match &r {
+                Ok(m) => t.recorder.record_span(
+                    crate::trace::TraceKind::Recv,
+                    src,
+                    tag,
+                    t.bytes(m),
+                    started,
+                ),
+                Err(RecvError::Timeout) => {
+                    // The whole window was spent blocked with nothing
+                    // to show for it: a scheduling gap, not a receive.
+                    t.recorder
+                        .record_span(crate::trace::TraceKind::Wait, src, tag, 0, started)
+                }
+                Err(RecvError::Disconnected) => {}
+            }
+        }
+        r
+    }
+
+    fn recv_timeout_inner(
         &mut self,
         src: usize,
         tag: Tag,
@@ -355,7 +424,49 @@ impl<M: Send> Comm<M> {
 
     /// World-wide barrier (all ranks must call it).
     pub fn barrier(&self) {
+        let started = self.trace_now();
         self.barrier.wait();
+        if let Some(t) = &self.tracer {
+            t.recorder.record_span(
+                crate::trace::TraceKind::Wait,
+                self.rank,
+                crate::trace::BARRIER_TAG,
+                0,
+                started,
+            );
+        }
+    }
+
+    /// Reads the clock only when tracing is enabled; pair with
+    /// [`Comm::trace_redistribute`] to attribute application-side
+    /// redistribution work (cube pack/unpack) without paying a clock
+    /// read in production worlds.
+    #[inline]
+    pub fn trace_now(&self) -> Option<std::time::Instant> {
+        self.tracer.as_ref().and_then(|t| t.recorder.start())
+    }
+
+    /// Records a [`crate::trace::TraceKind::Redistribute`] span begun at
+    /// `started` (from [`Comm::trace_now`]) covering `bytes` moved
+    /// between this rank and `peer` under `tag`. One branch, no-op when
+    /// tracing is disabled or `started` is `None`.
+    #[inline]
+    pub fn trace_redistribute(
+        &self,
+        peer: usize,
+        tag: Tag,
+        bytes: u64,
+        started: Option<std::time::Instant>,
+    ) {
+        if let Some(t) = &self.tracer {
+            t.recorder.record_span(
+                crate::trace::TraceKind::Redistribute,
+                peer,
+                tag,
+                bytes,
+                started,
+            );
+        }
     }
 
     fn drain_inbox(&mut self) {

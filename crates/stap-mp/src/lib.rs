@@ -23,9 +23,11 @@ pub mod collectives;
 pub mod comm;
 pub mod fault;
 pub mod request;
+pub mod trace;
 pub mod world;
 
 pub use comm::{Comm, RecvError, Tag};
 pub use fault::{Corruptor, FaultAction, FaultPlan, FaultRule, TagPattern};
 pub use request::RecvRequest;
+pub use trace::{CommEvent, RankTrace, SpanRecorder, TraceKind, TraceSink};
 pub use world::{run_spmd, World, WorldError};

@@ -72,6 +72,7 @@ impl<M: Send> World<M> {
                 alive: Arc::clone(&alive),
                 poisoned: Arc::clone(&poisoned),
                 faults: None,
+                tracer: None,
             })
             .collect();
         World { comms }
@@ -102,6 +103,23 @@ impl<M: Send> World<M> {
             if let Some(f) = &mut comm.faults {
                 f.set_corruptor(Arc::clone(&corruptor));
             }
+        }
+        self
+    }
+
+    /// Installs a span recorder on every rank endpoint (see
+    /// [`crate::trace`]). Events are timestamped relative to `epoch`,
+    /// payload sizes are attributed through `bytes_of`, and each rank
+    /// flushes its buffer into `sink` when its endpoint drops. Worlds
+    /// without tracing pay exactly one branch per instrumented call.
+    pub fn with_tracing(
+        mut self,
+        epoch: std::time::Instant,
+        sink: &crate::trace::TraceSink,
+        bytes_of: fn(&M) -> u64,
+    ) -> Self {
+        for comm in &mut self.comms {
+            comm.tracer = Some(crate::trace::CommTracer::new(epoch, sink.clone(), bytes_of));
         }
         self
     }

@@ -55,6 +55,7 @@ pub mod msg;
 pub mod report;
 pub mod runner;
 pub mod tasks;
+pub mod trace;
 
 pub use assignment::NodeAssignment;
 pub use fault::RuntimePolicy;
@@ -64,3 +65,7 @@ pub use metrics::{
 };
 pub use report::{render_health, render_timings};
 pub use runner::{ParallelStap, PipelineError, PipelineOutput};
+pub use trace::{
+    chrome_trace_json, render_breakdown, CpiMark, EdgeStat, PipelineTrace, TaskInterval, TaskSpan,
+    TraceStats,
+};

@@ -101,6 +101,41 @@ pub enum Edge {
 /// Number of logical edges (sizes the per-edge health counters).
 pub const NUM_EDGES: usize = 11;
 
+/// Human-readable edge names, indexed by [`Edge`] discriminant. Used by
+/// the trace exporters and the measured-vs-modeled reconciliation.
+pub const EDGE_NAMES: [&str; NUM_EDGES] = [
+    "input",
+    "doppler->easy_wt",
+    "doppler->hard_wt",
+    "doppler->easy_bf",
+    "doppler->hard_bf",
+    "easy_wt->easy_bf",
+    "hard_wt->hard_bf",
+    "easy_bf->pc",
+    "hard_bf->pc",
+    "pc->cfar",
+    "output",
+];
+
+/// Wire-byte attribution for a message, in the *Paragon encoding* the
+/// machine model (`stap-machine` / `stap-sim`) prices: 8 bytes per
+/// complex sample, 4 bytes per real sample. The host actually moves
+/// 16-byte `Complex<f64>` values, but tracing in model units makes the
+/// measured-vs-modeled byte reconciliation an exact-match check instead
+/// of a constant-factor one.
+pub fn wire_bytes(msg: &Msg) -> u64 {
+    match &msg.payload {
+        Payload::Cube(c) => 8 * c.len() as u64,
+        Payload::Real(r) => 4 * r.len() as u64,
+        Payload::Weights(ws) => ws.iter().map(|w| 8 * (w.rows() * w.cols()) as u64).sum(),
+        // Output-edge payloads are unmodeled (the paper does not price
+        // detection reports); 16 bytes per detection keeps the trace
+        // honest about non-zero traffic.
+        Payload::Detections(ds) => 16 * ds.len() as u64,
+        Payload::Dropped => 0,
+    }
+}
+
 /// Builds the tag for `edge` at CPI index `cpi`.
 pub fn tag(edge: Edge, cpi: usize) -> u64 {
     ((edge as u64) << 48) | cpi as u64

@@ -57,6 +57,10 @@ pub struct PipelineOutput {
     /// functional timings, not Paragon performance — `stap-sim` models
     /// the latter.
     pub timings: PipelineTimings,
+    /// Unified measured timeline (task spans + comm events + CPI
+    /// marks). `None` unless the run was built with
+    /// [`ParallelStap::with_tracing`].
+    pub trace: Option<crate::trace::PipelineTrace>,
 }
 
 /// The parallel pipelined STAP system.
@@ -80,6 +84,11 @@ pub struct ParallelStap {
     /// Deterministic fault-injection plan installed in the world.
     /// `None` (the default) builds a clean world.
     pub faults: Option<FaultPlan>,
+    /// When true, the run records a full span timeline (task phases,
+    /// comm events, CPI marks) into [`PipelineOutput::trace`]. Off by
+    /// default: the untraced path performs no clock reads or
+    /// allocations beyond the existing per-CPI timing.
+    pub tracing: bool,
 }
 
 impl ParallelStap {
@@ -96,7 +105,16 @@ impl ParallelStap {
             cooldown: 2,
             policy: RuntimePolicy::default(),
             faults: None,
+            tracing: false,
         }
+    }
+
+    /// Enables span tracing: the returned output carries a
+    /// [`crate::trace::PipelineTrace`] merging every task node's
+    /// per-CPI phase spans with every rank's communication events.
+    pub fn with_tracing(mut self) -> Self {
+        self.tracing = true;
+        self
     }
 
     /// Sets the runtime degradation policy (deadlines, retry budget,
@@ -171,6 +189,13 @@ impl ParallelStap {
                 .with_faults(plan.clone())
                 .with_corruptor(nan_corruptor());
         }
+        // One epoch shared by the comm recorder, the task spans and the
+        // driver's CPI marks, so the merged timeline is coherent.
+        let epoch = self.tracing.then(Instant::now);
+        let sink = stap_mp::TraceSink::new();
+        if let Some(e) = epoch {
+            world = world.with_tracing(e, &sink, crate::msg::wire_bytes);
+        }
         let assign = self.assign;
         let params = &self.params;
         let steering = &self.steering;
@@ -184,7 +209,7 @@ impl ParallelStap {
         let pools_ref = &pools;
 
         enum NodeResult {
-            Task(usize, TaskReport),
+            Task(usize, usize, TaskReport),
             Driver {
                 detections: Vec<Vec<Detection>>,
                 inject_t: Vec<f64>,
@@ -204,25 +229,28 @@ impl ParallelStap {
                 num_cpis,
                 pools: pools_ref,
                 policy,
+                epoch,
             };
             match assign.task_of_rank(rank) {
                 Some((DOPPLER, local)) => {
-                    NodeResult::Task(DOPPLER, run_doppler(&ctx, &mut comm, local))
+                    NodeResult::Task(DOPPLER, local, run_doppler(&ctx, &mut comm, local))
                 }
                 Some((EASY_WT, local)) => {
-                    NodeResult::Task(EASY_WT, run_easy_weight(&ctx, &mut comm, local))
+                    NodeResult::Task(EASY_WT, local, run_easy_weight(&ctx, &mut comm, local))
                 }
                 Some((HARD_WT, local)) => {
-                    NodeResult::Task(HARD_WT, run_hard_weight(&ctx, &mut comm, local))
+                    NodeResult::Task(HARD_WT, local, run_hard_weight(&ctx, &mut comm, local))
                 }
                 Some((EASY_BF, local)) => {
-                    NodeResult::Task(EASY_BF, run_easy_bf(&ctx, &mut comm, local))
+                    NodeResult::Task(EASY_BF, local, run_easy_bf(&ctx, &mut comm, local))
                 }
                 Some((HARD_BF, local)) => {
-                    NodeResult::Task(HARD_BF, run_hard_bf(&ctx, &mut comm, local))
+                    NodeResult::Task(HARD_BF, local, run_hard_bf(&ctx, &mut comm, local))
                 }
-                Some((PC, local)) => NodeResult::Task(PC, run_pc(&ctx, &mut comm, local)),
-                Some((CFAR, local)) => NodeResult::Task(CFAR, run_cfar(&ctx, &mut comm, local)),
+                Some((PC, local)) => NodeResult::Task(PC, local, run_pc(&ctx, &mut comm, local)),
+                Some((CFAR, local)) => {
+                    NodeResult::Task(CFAR, local, run_cfar(&ctx, &mut comm, local))
+                }
                 Some(_) => unreachable!("unknown task"),
                 None => {
                     // Driver: inject CPI slabs (windowed) and collect
@@ -234,7 +262,9 @@ impl ParallelStap {
                     let mut health = PipelineHealth::default();
                     let mut inject_t = vec![0.0f64; num_cpis];
                     let mut complete_t = vec![0.0f64; num_cpis];
-                    let t0 = Instant::now();
+                    // Under tracing the driver clock shares the trace
+                    // epoch so CPI marks line up with the spans.
+                    let t0 = epoch.unwrap_or_else(Instant::now);
                     let mut next_inject = 0usize;
                     // `done` is simultaneously a tag, a checkpoint epoch
                     // and an index; an enumerate rewrite would obscure it.
@@ -320,9 +350,11 @@ impl ParallelStap {
         let mut counts = [0usize; 7];
         let mut detections = Vec::new();
         let mut timings = PipelineTimings::default();
+        let mut trace_tasks: Vec<crate::trace::TaskInterval> = Vec::new();
+        let mut trace_cpis: Vec<crate::trace::CpiMark> = Vec::new();
         for r in results {
             match r {
-                NodeResult::Task(t, report) => {
+                NodeResult::Task(t, local, report) => {
                     for cpi in measured.clone() {
                         if let Some(tt) = report.timings.get(cpi) {
                             tasks[t].add(tt);
@@ -330,6 +362,13 @@ impl ParallelStap {
                         }
                     }
                     timings.health.merge(&report.health);
+                    trace_tasks.extend(report.spans.iter().map(|&span| {
+                        crate::trace::TaskInterval {
+                            task: t,
+                            node: local,
+                            span,
+                        }
+                    }));
                 }
                 NodeResult::Driver {
                     detections: d,
@@ -353,6 +392,15 @@ impl ParallelStap {
                     }
                     let mean_int = mean(&intervals);
                     timings.measured_throughput = if mean_int > 0.0 { 1.0 / mean_int } else { 0.0 };
+                    if self.tracing {
+                        trace_cpis = (0..num_cpis)
+                            .map(|cpi| crate::trace::CpiMark {
+                                cpi,
+                                inject_s: inject[cpi],
+                                complete_s: complete[cpi],
+                            })
+                            .collect();
+                    }
                     detections = d;
                     timings.health.merge(&health);
                     if self.policy.fault_tolerant {
@@ -376,9 +424,20 @@ impl ParallelStap {
             }
         }
         timings.tasks = tasks;
+        let trace = self.tracing.then(|| {
+            trace_tasks.sort_by_key(|iv| (iv.task, iv.node, iv.span.cpi));
+            crate::trace::PipelineTrace {
+                assign: self.assign,
+                num_cpis,
+                tasks: trace_tasks,
+                comm: sink.take(),
+                cpis: trace_cpis,
+            }
+        });
         Ok(PipelineOutput {
             detections,
             timings,
+            trace,
         })
     }
 }

@@ -74,6 +74,10 @@ pub struct TaskCtx<'a> {
     pub pools: &'a PipelinePools,
     /// Fault-tolerance policy (default: off, zero-overhead path).
     pub policy: &'a RuntimePolicy,
+    /// Trace epoch when span tracing is on; `None` (the default) keeps
+    /// the task loops on the untraced path — no extra clock reads, no
+    /// span allocation.
+    pub epoch: Option<Instant>,
 }
 
 impl TaskCtx<'_> {
@@ -144,6 +148,9 @@ pub struct TaskReport {
     pub timings: Vec<TaskTiming>,
     /// This node's health counters (all zero without faults).
     pub health: PipelineHealth,
+    /// Per-CPI spans (empty unless the run was traced; `Vec::new` does
+    /// not allocate, so the untraced path stays allocation-free).
+    pub spans: Vec<crate::trace::TaskSpan>,
 }
 
 impl TaskReport {
@@ -151,7 +158,26 @@ impl TaskReport {
         TaskReport {
             timings: Vec::with_capacity(n),
             health: PipelineHealth::default(),
+            spans: Vec::new(),
         }
+    }
+
+    /// Records one CPI's phase timing, and — when `epoch` is set — the
+    /// corresponding absolute span (phase boundaries reconstructed from
+    /// the cumulative phase durations; inter-phase gaps on a node are
+    /// nanoseconds).
+    fn push_cpi(&mut self, epoch: Option<Instant>, cpi: usize, started: Instant, t: TaskTiming) {
+        if let Some(e) = epoch {
+            let start = started.duration_since(e).as_secs_f64();
+            self.spans.push(crate::trace::TaskSpan {
+                cpi,
+                start,
+                recv_end: start + t.recv,
+                comp_end: start + t.recv + t.comp,
+                send_end: start + t.recv + t.comp + t.send,
+            });
+        }
+        self.timings.push(t);
     }
 }
 
@@ -285,6 +311,7 @@ pub fn run_doppler(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> TaskRep
         comm.fault_checkpoint(cpi as u64);
         // --- receive phase -------------------------------------------------
         let mut rp = RecvPhase::begin();
+        let cpi_t0 = rp.start;
         let got = rp.blocking(|| {
             recv_msg(
                 comm,
@@ -331,12 +358,17 @@ pub fn run_doppler(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> TaskRep
                 let dst = ctx.assign.rank_range(HARD_BF).start + r;
                 comm.send(dst, tag(Edge::DopplerToHardBf, cpi), Msg::dropped(cpi));
             }
-            report.timings.push(TaskTiming {
-                recv,
-                comp,
-                send: 0.0,
-                recv_idle,
-            });
+            report.push_cpi(
+                ctx.epoch,
+                cpi,
+                cpi_t0,
+                TaskTiming {
+                    recv,
+                    comp,
+                    send: 0.0,
+                    recv_idle,
+                },
+            );
             if ctx.policy.fault_tolerant {
                 purge_late(comm, cpi, &mut report.health);
             }
@@ -344,66 +376,75 @@ pub fn run_doppler(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> TaskRep
         }
 
         // --- send phase ----------------------------------------------------
+        // Each pack below is also attributed as a `Redistribute` span
+        // (pack + enqueue) when tracing is on: Doppler's "data
+        // collection and reorganization" is the redistribution step the
+        // paper singles out, so the trace shows its per-edge cost.
         let t2 = Instant::now();
         // Easy weight: gathered training cells, first window, its bins.
         for (q, bins_idx) in ctx.parts.easy_wt_bins.iter().enumerate() {
+            let pack_t0 = comm.trace_now();
             let block = pool.take_cube(
                 [bins_idx.len(), easy_cells.len(), p.j_channels],
                 |bi, ci, ch| stag[(easy_cells[ci] - k0, ch, easy_bins[bins_idx.start + bi])],
             );
+            let bytes = 8 * block.len() as u64;
             let dst = ctx.assign.rank_range(EASY_WT).start + q;
-            comm.send(
-                dst,
-                tag(Edge::DopplerToEasyWt, cpi),
-                Msg::new(cpi, Payload::Cube(block)),
-            );
+            let t = tag(Edge::DopplerToEasyWt, cpi);
+            comm.send(dst, t, Msg::new(cpi, Payload::Cube(block)));
+            comm.trace_redistribute(dst, t, bytes, pack_t0);
         }
         // Hard weight: per-segment gathered cells, both windows.
         for (q, bins_idx) in ctx.parts.hard_wt_bins.iter().enumerate() {
+            let pack_t0 = comm.trace_now();
             let block = pool.take_cube(
                 [bins_idx.len(), flat_cells.len(), 2 * p.j_channels],
                 |bi, ci, ch| stag[(flat_cells[ci] - k0, ch, hard_bins[bins_idx.start + bi])],
             );
+            let bytes = 8 * block.len() as u64;
             let dst = ctx.assign.rank_range(HARD_WT).start + q;
-            comm.send(
-                dst,
-                tag(Edge::DopplerToHardWt, cpi),
-                Msg::new(cpi, Payload::Cube(block)),
-            );
+            let t = tag(Edge::DopplerToHardWt, cpi);
+            comm.send(dst, t, Msg::new(cpi, Payload::Cube(block)));
+            comm.trace_redistribute(dst, t, bytes, pack_t0);
         }
         // Easy BF: full local range, first window, reorganized to
         // (bin, k, channel) — the Fig. 8 reorganization.
         for (r, bins_idx) in ctx.parts.easy_bf_bins.iter().enumerate() {
+            let pack_t0 = comm.trace_now();
             let block = pool.take_cube([bins_idx.len(), my_k.len(), p.j_channels], |bi, kc, ch| {
                 stag[(kc, ch, easy_bins[bins_idx.start + bi])]
             });
+            let bytes = 8 * block.len() as u64;
             let dst = ctx.assign.rank_range(EASY_BF).start + r;
-            comm.send(
-                dst,
-                tag(Edge::DopplerToEasyBf, cpi),
-                Msg::new(cpi, Payload::Cube(block)),
-            );
+            let t = tag(Edge::DopplerToEasyBf, cpi);
+            comm.send(dst, t, Msg::new(cpi, Payload::Cube(block)));
+            comm.trace_redistribute(dst, t, bytes, pack_t0);
         }
         // Hard BF: both windows.
         for (r, bins_idx) in ctx.parts.hard_bf_bins.iter().enumerate() {
+            let pack_t0 = comm.trace_now();
             let block = pool.take_cube(
                 [bins_idx.len(), my_k.len(), 2 * p.j_channels],
                 |bi, kc, ch| stag[(kc, ch, hard_bins[bins_idx.start + bi])],
             );
+            let bytes = 8 * block.len() as u64;
             let dst = ctx.assign.rank_range(HARD_BF).start + r;
-            comm.send(
-                dst,
-                tag(Edge::DopplerToHardBf, cpi),
-                Msg::new(cpi, Payload::Cube(block)),
-            );
+            let t = tag(Edge::DopplerToHardBf, cpi);
+            comm.send(dst, t, Msg::new(cpi, Payload::Cube(block)));
+            comm.trace_redistribute(dst, t, bytes, pack_t0);
         }
         let send = t2.elapsed().as_secs_f64();
-        report.timings.push(TaskTiming {
-            recv,
-            comp,
-            send,
-            recv_idle,
-        });
+        report.push_cpi(
+            ctx.epoch,
+            cpi,
+            cpi_t0,
+            TaskTiming {
+                recv,
+                comp,
+                send,
+                recv_idle,
+            },
+        );
         if ctx.policy.fault_tolerant {
             purge_late(comm, cpi, &mut report.health);
         }
@@ -430,6 +471,7 @@ pub fn run_easy_weight(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Tas
         comm.fault_checkpoint(cpi as u64);
         // --- receive: one block per Doppler node ---------------------------
         let mut rp = RecvPhase::begin();
+        let cpi_t0 = rp.start;
         let mut snapshots: Vec<CMat> = spare.take().unwrap_or_else(|| {
             (0..bins_idx.len())
                 .map(|_| CMat::zeros(total_cells, p.j_channels))
@@ -485,12 +527,17 @@ pub fn run_easy_weight(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Tas
                     comm.send(dst, tag(Edge::EasyWtToEasyBf, target), Msg::dropped(target));
                 }
             }
-            report.timings.push(TaskTiming {
-                recv,
-                comp: 0.0,
-                send: 0.0,
-                recv_idle,
-            });
+            report.push_cpi(
+                ctx.epoch,
+                cpi,
+                cpi_t0,
+                TaskTiming {
+                    recv,
+                    comp: 0.0,
+                    send: 0.0,
+                    recv_idle,
+                },
+            );
             if ctx.policy.fault_tolerant {
                 purge_late(comm, cpi, &mut report.health);
             }
@@ -539,12 +586,17 @@ pub fn run_easy_weight(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Tas
             }
         }
         let send = t2.elapsed().as_secs_f64();
-        report.timings.push(TaskTiming {
-            recv,
-            comp,
-            send,
-            recv_idle,
-        });
+        report.push_cpi(
+            ctx.epoch,
+            cpi,
+            cpi_t0,
+            TaskTiming {
+                recv,
+                comp,
+                send,
+                recv_idle,
+            },
+        );
         if ctx.policy.fault_tolerant {
             purge_late(comm, cpi, &mut report.health);
         }
@@ -582,6 +634,7 @@ pub fn run_hard_weight(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Tas
         comm.fault_checkpoint(cpi as u64);
         // --- receive -------------------------------------------------------
         let mut rp = RecvPhase::begin();
+        let cpi_t0 = rp.start;
         let mut seg_rows = vec![0usize; segs];
         let mut lost = false;
         for (dp, counts) in dp_counts.iter().enumerate() {
@@ -633,12 +686,17 @@ pub fn run_hard_weight(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Tas
                     comm.send(dst, tag(Edge::HardWtToHardBf, target), Msg::dropped(target));
                 }
             }
-            report.timings.push(TaskTiming {
-                recv,
-                comp: 0.0,
-                send: 0.0,
-                recv_idle,
-            });
+            report.push_cpi(
+                ctx.epoch,
+                cpi,
+                cpi_t0,
+                TaskTiming {
+                    recv,
+                    comp: 0.0,
+                    send: 0.0,
+                    recv_idle,
+                },
+            );
             if ctx.policy.fault_tolerant {
                 purge_late(comm, cpi, &mut report.health);
             }
@@ -689,12 +747,17 @@ pub fn run_hard_weight(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Tas
             }
         }
         let send = t2.elapsed().as_secs_f64();
-        report.timings.push(TaskTiming {
-            recv,
-            comp,
-            send,
-            recv_idle,
-        });
+        report.push_cpi(
+            ctx.epoch,
+            cpi,
+            cpi_t0,
+            TaskTiming {
+                recv,
+                comp,
+                send,
+                recv_idle,
+            },
+        );
         if ctx.policy.fault_tolerant {
             purge_late(comm, cpi, &mut report.health);
         }
@@ -774,6 +837,7 @@ pub fn run_easy_bf(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> TaskRep
         let beam = ctx.beam_of(cpi);
         // --- receive -------------------------------------------------------
         let mut rp = RecvPhase::begin();
+        let cpi_t0 = rp.start;
         let mut data_lost = false;
         for dp in 0..p0 {
             let got = rp.blocking(|| {
@@ -806,12 +870,17 @@ pub fn run_easy_bf(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> TaskRep
                 let dst = ctx.assign.rank_range(PC).start + t;
                 comm.send(dst, tag(Edge::EasyBfToPc, cpi), Msg::dropped(cpi));
             }
-            report.timings.push(TaskTiming {
-                recv,
-                comp: 0.0,
-                send: 0.0,
-                recv_idle,
-            });
+            report.push_cpi(
+                ctx.epoch,
+                cpi,
+                cpi_t0,
+                TaskTiming {
+                    recv,
+                    comp: 0.0,
+                    send: 0.0,
+                    recv_idle,
+                },
+            );
             if ctx.policy.fault_tolerant {
                 purge_late(comm, cpi, &mut report.health);
             }
@@ -897,12 +966,17 @@ pub fn run_easy_bf(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> TaskRep
             );
         }
         let send = t2.elapsed().as_secs_f64();
-        report.timings.push(TaskTiming {
-            recv,
-            comp,
-            send,
-            recv_idle,
-        });
+        report.push_cpi(
+            ctx.epoch,
+            cpi,
+            cpi_t0,
+            TaskTiming {
+                recv,
+                comp,
+                send,
+                recv_idle,
+            },
+        );
         if ctx.policy.fault_tolerant {
             purge_late(comm, cpi, &mut report.health);
         }
@@ -981,6 +1055,7 @@ pub fn run_hard_bf(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> TaskRep
         let beam = ctx.beam_of(cpi);
         // --- receive -------------------------------------------------------
         let mut rp = RecvPhase::begin();
+        let cpi_t0 = rp.start;
         let mut data_lost = false;
         for dp in 0..p0 {
             let got = rp.blocking(|| {
@@ -1010,12 +1085,17 @@ pub fn run_hard_bf(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> TaskRep
                 let dst = ctx.assign.rank_range(PC).start + t;
                 comm.send(dst, tag(Edge::HardBfToPc, cpi), Msg::dropped(cpi));
             }
-            report.timings.push(TaskTiming {
-                recv,
-                comp: 0.0,
-                send: 0.0,
-                recv_idle,
-            });
+            report.push_cpi(
+                ctx.epoch,
+                cpi,
+                cpi_t0,
+                TaskTiming {
+                    recv,
+                    comp: 0.0,
+                    send: 0.0,
+                    recv_idle,
+                },
+            );
             if ctx.policy.fault_tolerant {
                 purge_late(comm, cpi, &mut report.health);
             }
@@ -1100,12 +1180,17 @@ pub fn run_hard_bf(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> TaskRep
             );
         }
         let send = t2.elapsed().as_secs_f64();
-        report.timings.push(TaskTiming {
-            recv,
-            comp,
-            send,
-            recv_idle,
-        });
+        report.push_cpi(
+            ctx.epoch,
+            cpi,
+            cpi_t0,
+            TaskTiming {
+                recv,
+                comp,
+                send,
+                recv_idle,
+            },
+        );
         if ctx.policy.fault_tolerant {
             purge_late(comm, cpi, &mut report.health);
         }
@@ -1157,6 +1242,7 @@ pub fn run_pc(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> TaskReport {
         comm.fault_checkpoint(cpi as u64);
         // --- receive -------------------------------------------------------
         let mut rp = RecvPhase::begin();
+        let cpi_t0 = rp.start;
         let mut lost = false;
         let mut degraded = false;
         for (src, bins) in &feeders {
@@ -1204,12 +1290,17 @@ pub fn run_pc(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> TaskReport {
                 let dst = ctx.assign.rank_range(CFAR).start + u;
                 comm.send(dst, tag(Edge::PcToCfar, cpi), Msg::dropped(cpi));
             }
-            report.timings.push(TaskTiming {
-                recv,
-                comp: 0.0,
-                send: 0.0,
-                recv_idle,
-            });
+            report.push_cpi(
+                ctx.epoch,
+                cpi,
+                cpi_t0,
+                TaskTiming {
+                    recv,
+                    comp: 0.0,
+                    send: 0.0,
+                    recv_idle,
+                },
+            );
             if ctx.policy.fault_tolerant {
                 purge_late(comm, cpi, &mut report.health);
             }
@@ -1238,12 +1329,17 @@ pub fn run_pc(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> TaskReport {
             );
         }
         let send = t2.elapsed().as_secs_f64();
-        report.timings.push(TaskTiming {
-            recv,
-            comp,
-            send,
-            recv_idle,
-        });
+        report.push_cpi(
+            ctx.epoch,
+            cpi,
+            cpi_t0,
+            TaskTiming {
+                recv,
+                comp,
+                send,
+                recv_idle,
+            },
+        );
         if ctx.policy.fault_tolerant {
             purge_late(comm, cpi, &mut report.health);
         }
@@ -1272,6 +1368,7 @@ pub fn run_cfar(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> TaskReport
         comm.fault_checkpoint(cpi as u64);
         // --- receive -------------------------------------------------------
         let mut rp = RecvPhase::begin();
+        let cpi_t0 = rp.start;
         let mut lost = false;
         let mut degraded = false;
         for (src, ov) in &feeders {
@@ -1309,12 +1406,17 @@ pub fn run_cfar(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> TaskReport
             // as dropped instead of waiting on detections that will
             // never come.
             comm.send(driver, tag(Edge::Output, cpi), Msg::dropped(cpi));
-            report.timings.push(TaskTiming {
-                recv,
-                comp: 0.0,
-                send: 0.0,
-                recv_idle,
-            });
+            report.push_cpi(
+                ctx.epoch,
+                cpi,
+                cpi_t0,
+                TaskTiming {
+                    recv,
+                    comp: 0.0,
+                    send: 0.0,
+                    recv_idle,
+                },
+            );
             if ctx.policy.fault_tolerant {
                 purge_late(comm, cpi, &mut report.health);
             }
@@ -1339,12 +1441,17 @@ pub fn run_cfar(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> TaskReport
             Msg::flagged(cpi, degraded, Payload::Detections(detections)),
         );
         let send = t2.elapsed().as_secs_f64();
-        report.timings.push(TaskTiming {
-            recv,
-            comp,
-            send,
-            recv_idle,
-        });
+        report.push_cpi(
+            ctx.epoch,
+            cpi,
+            cpi_t0,
+            TaskTiming {
+                recv,
+                comp,
+                send,
+                recv_idle,
+            },
+        );
         if ctx.policy.fault_tolerant {
             purge_late(comm, cpi, &mut report.health);
         }

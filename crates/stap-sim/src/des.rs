@@ -283,6 +283,32 @@ impl Volumes {
     }
 }
 
+/// Modeled wire bytes for one CPI on each logical pipeline edge,
+/// indexed by the [`stap_pipeline::msg::Edge`] discriminant. This is
+/// the model-side half of the measured-vs-modeled reconciliation: the
+/// runtime traces attribute the same Paragon byte encoding (8 bytes per
+/// complex sample, 4 per real) to every message, so on a healthy run
+/// the per-edge comparison is an exact-match check. The output edge
+/// (detection reports) is unmodeled by the paper and reported as 0.
+pub fn modeled_edge_bytes(cfg: &SimConfig) -> [u64; stap_pipeline::msg::NUM_EDGES] {
+    let parts = Partitions::new(&cfg.params, &cfg.assign);
+    let vols = Volumes::with_collection(&cfg.params, &parts, !cfg.no_data_collection);
+    let sum = |m: &Vec<Vec<u64>>| -> u64 { m.iter().flatten().sum() };
+    [
+        vols.input_slab.iter().sum(),
+        sum(&vols.d_to_ew),
+        sum(&vols.d_to_hw),
+        sum(&vols.d_to_ebf),
+        sum(&vols.d_to_hbf),
+        sum(&vols.ew_to_ebf),
+        sum(&vols.hw_to_hbf),
+        sum(&vols.ebf_to_pc),
+        sum(&vols.hbf_to_pc),
+        sum(&vols.pc_to_cfar),
+        0,
+    ]
+}
+
 /// Task indices in pipeline order.
 const TASK_ORDER: [usize; 7] = [0, 1, 2, 3, 4, 5, 6];
 

@@ -22,9 +22,13 @@
 pub mod assign;
 pub mod des;
 pub mod experiments;
+pub mod reconcile;
 pub mod sweep;
 pub mod trace;
 
 pub use assign::{optimize, Objective};
-pub use des::{derive_policy, simulate, simulate_traced, SimConfig, SimFaults, SimResult};
+pub use des::{
+    derive_policy, modeled_edge_bytes, simulate, simulate_traced, SimConfig, SimFaults, SimResult,
+};
+pub use reconcile::{reconcile, render_reconciliation, ReconRow, Reconciliation};
 pub use trace::{render_gantt, Traced};

@@ -2,33 +2,101 @@
 # Tier-1 gate: format, build, test — everything the CI acceptance check
 # runs, in one command. Fully offline (the workspace has no external
 # dependencies, so no registry access is ever needed).
-set -euo pipefail
+#
+# Usage:
+#   scripts/check.sh              # run every stage in order
+#   scripts/check.sh --stage 4    # run a single stage (used by CI jobs)
+#   scripts/check.sh --list       # list stage numbers and names
+#
+# On failure the script exits non-zero and names the failing stage, so a
+# CI log (or a human) sees *which* gate broke without scrolling.
+set -uo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== 1/6 rustfmt =="
-cargo fmt --all -- --check
+NUM_STAGES=7
+stage_name() {
+  case "$1" in
+    1) echo "rustfmt" ;;
+    2) echo "clippy (deny warnings)" ;;
+    3) echo "release build" ;;
+    4) echo "tests (includes the zero-allocation regression)" ;;
+    5) echo "fault smoke (deterministic campaign: stall + drop over 10 CPIs)" ;;
+    6) echo "bench smoke (quick windows; plumbing only, not timing)" ;;
+    7) echo "trace smoke (Chrome trace + measured-vs-modeled reconciliation)" ;;
+    *) echo "unknown" ;;
+  esac
+}
 
-echo "== 2/6 clippy (deny warnings) =="
-cargo clippy --workspace -- -D warnings
+run_stage() {
+  case "$1" in
+    1)
+      cargo fmt --all -- --check
+      ;;
+    2)
+      cargo clippy --workspace -- -D warnings
+      ;;
+    3)
+      cargo build --release --workspace
+      ;;
+    4)
+      cargo test -q --workspace
+      ;;
+    5)
+      # One weight-rank stall plus one dropped data message must classify
+      # exactly [..X....ddd] — 6 ok, 3 degraded (stale weights), 1 dropped.
+      cargo run --release -q -p stap-bench --bin stapctl -- faults --expect degraded=3,dropped=1
+      ;;
+    6)
+      # Quick mode writes to a scratch path so the recorded full-mode
+      # baseline in BENCH_kernels.json is never clobbered by smoke
+      # numbers. Full runs (stapctl bench, no --quick) gate themselves
+      # against the baseline and refuse to record a >10% regression.
+      local smoke_out
+      smoke_out="$(mktemp /tmp/BENCH_kernels_smoke.XXXXXX.json)"
+      trap 'rm -f "$smoke_out"' RETURN
+      cargo run --release -q -p stap-bench --bin stapctl -- bench --quick --out "$smoke_out"
+      ;;
+    7)
+      # Traced run of the canonical 2-azimuth reduced config: must emit a
+      # parseable Chrome trace artifact and the reconciliation table.
+      local trace_out
+      trace_out="$(mktemp /tmp/TRACE_pipeline_smoke.XXXXXX.json)"
+      trap 'rm -f "$trace_out"' RETURN
+      cargo run --release -q -p stap-bench --bin stapctl -- trace --cpis 6 --out "$trace_out" \
+        && grep -q '"traceEvents"' "$trace_out"
+      ;;
+    *)
+      echo "error: unknown stage $1 (valid: 1..$NUM_STAGES)" >&2
+      return 2
+      ;;
+  esac
+}
 
-echo "== 3/6 release build =="
-cargo build --release --workspace
+stages=$(seq 1 "$NUM_STAGES")
+case "${1:-}" in
+  --stage)
+    stages="${2:?--stage needs a number}"
+    ;;
+  --list)
+    for i in $(seq 1 "$NUM_STAGES"); do
+      echo "$i $(stage_name "$i")"
+    done
+    exit 0
+    ;;
+  "") ;;
+  *)
+    echo "usage: $0 [--stage N | --list]" >&2
+    exit 2
+    ;;
+esac
 
-echo "== 4/6 tests (includes the zero-allocation regression) =="
-cargo test -q --workspace
-
-echo "== 5/6 fault smoke (deterministic campaign: stall + drop over 10 CPIs) =="
-# One weight-rank stall plus one dropped data message must classify
-# exactly [..X....ddd] — 6 ok, 3 degraded (stale weights), 1 dropped.
-cargo run --release -q -p stap-bench --bin stapctl -- faults --expect degraded=3,dropped=1
-
-echo "== 6/6 bench smoke (quick windows; plumbing only, not timing) =="
-# Quick mode writes to a scratch path so the recorded full-mode baseline
-# in BENCH_kernels.json is never clobbered by smoke numbers. Full runs
-# (stapctl bench, no --quick) gate themselves against the baseline and
-# refuse to record a >10% kernel regression.
-smoke_out="$(mktemp /tmp/BENCH_kernels_smoke.XXXXXX.json)"
-trap 'rm -f "$smoke_out"' EXIT
-cargo run --release -q -p stap-bench --bin stapctl -- bench --quick --out "$smoke_out"
+for i in $stages; do
+  echo "== $i/$NUM_STAGES $(stage_name "$i") =="
+  if ! run_stage "$i"; then
+    echo
+    echo "FAILED at stage $i/$NUM_STAGES: $(stage_name "$i")" >&2
+    exit 1
+  fi
+done
 
 echo "check passed."
