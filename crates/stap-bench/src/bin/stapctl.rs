@@ -449,19 +449,29 @@ fn cmd_bench(flags: HashMap<String, String>) -> Result<(), String> {
         .unwrap_or("BENCH_kernels.json");
     // Regression gate: full-mode runs must not silently regress a kernel
     // past the recorded baseline. Quick mode (CI smoke) times too little
-    // to be meaningful; --force records a new baseline regardless.
+    // to be meaningful; --force records a new baseline regardless. A
+    // baseline recorded under a different SIMD backend (host metadata
+    // mismatch) only warns — cross-host timings are not comparable and
+    // must not hard-fail the gate.
     if !quick && !flags.contains_key("force") {
         if let Ok(baseline) = std::fs::read_to_string(out_path) {
-            let slow = kernels::regressions(&pairs, &baseline, 0.10)?;
-            if !slow.is_empty() {
-                for line in &slow {
-                    eprintln!("REGRESSION {line}");
+            if let Some(why) = kernels::host_mismatch(&baseline) {
+                eprintln!(
+                    "WARNING: {why}; skipping the >10% regression gate \
+                     (timings are not comparable across SIMD backends)"
+                );
+            } else {
+                let slow = kernels::regressions(&pairs, &baseline, 0.10)?;
+                if !slow.is_empty() {
+                    for line in &slow {
+                        eprintln!("REGRESSION {line}");
+                    }
+                    return Err(format!(
+                        "{} kernel(s) regressed >10% vs the recorded {out_path}; \
+                         baseline left untouched (re-run with --force to accept)",
+                        slow.len()
+                    ));
                 }
-                return Err(format!(
-                    "{} kernel(s) regressed >10% vs the recorded {out_path}; \
-                     baseline left untouched (re-run with --force to accept)",
-                    slow.len()
-                ));
             }
         }
     }

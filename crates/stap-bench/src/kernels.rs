@@ -9,6 +9,7 @@
 //! sizes (`N = 128`, `K = 512`, `J = 16`, `M = 6`) and renders the
 //! `BENCH_kernels.json` document.
 
+use stap::core::cfar::{self, CfarKind, CfarScratch, Detection};
 use stap::core::doppler::DopplerProcessor;
 use stap::core::params::StapParams;
 use stap::core::pulse::{chirp, PulseCompressor, PulseScratch};
@@ -16,6 +17,7 @@ use stap::cube::{AxisPartition, CCube, RCube, RedistBlock, RedistPlan, SharedBuf
 use stap::math::fft::{Fft, FftScratch};
 use stap::math::gemm::{gemm_planar_into, hermitian_matmul_interleaved_into, PlanarMat};
 use stap::math::qr::{qr_r, qr_update_with, QrScratch};
+use stap::math::simd::{self, Backend};
 use stap::math::{flops, CMat, Cx};
 use stap_util::{Bench, BenchResult, Json};
 
@@ -222,6 +224,75 @@ pub fn reference_qr_update(r_old: &CMat, forget: f64, new_rows: &CMat) -> CMat {
         flops::add((cols - k) as u64 * (2 * flops::CMAC * s as u64 + 20) + 4 * s as u64 + 30);
     }
     r
+}
+
+/// The seed tree's CFAR detector, frozen verbatim: both reference
+/// half-windows are *recomputed* for every test cell — O(K·W) per lane
+/// — where the live [`cfar::cfar_lane_kind`] maintains rolling sums
+/// (initial sum + slide, O(K + W)). Kept as the bench "before" path and
+/// as the oracle for the rolling-window equivalence test: the set of
+/// reference cells per test cell is identical, so thresholds agree to
+/// rounding for all three [`CfarKind`] variants including clamped
+/// edges. (No flop accounting here — this is a reference, not a
+/// modeled kernel.)
+pub fn reference_cfar_lane(
+    params: &StapParams,
+    kind: CfarKind,
+    lane: &[f64],
+    bin: usize,
+    beam: usize,
+    out: &mut Vec<Detection>,
+) {
+    let k = lane.len();
+    let half = params.cfar_window / 2;
+    let g = params.cfar_guard;
+    for t in 0..k {
+        // Reference cells: [t-g-half, t-g) and (t+g, t+g+half], clamped.
+        let mut lo_sum = 0.0;
+        let mut lo_count = 0usize;
+        let lo_end = t.saturating_sub(g);
+        let lo_start = t.saturating_sub(g + half);
+        for &v in &lane[lo_start..lo_end] {
+            lo_sum += v;
+            lo_count += 1;
+        }
+        let mut hi_sum = 0.0;
+        let mut hi_count = 0usize;
+        let hi_start = (t + g + 1).min(k);
+        let hi_end = (t + g + 1 + half).min(k);
+        for &v in &lane[hi_start..hi_end] {
+            hi_sum += v;
+            hi_count += 1;
+        }
+        if lo_count + hi_count == 0 {
+            continue;
+        }
+        let stat = match kind {
+            CfarKind::CellAveraging => (lo_sum + hi_sum) / (lo_count + hi_count) as f64,
+            CfarKind::GreatestOf | CfarKind::SmallestOf => {
+                // Means of each half; a fully clamped-away half defers
+                // to the other.
+                let lo = (lo_count > 0).then(|| lo_sum / lo_count as f64);
+                let hi = (hi_count > 0).then(|| hi_sum / hi_count as f64);
+                match (lo, hi, kind) {
+                    (Some(a), Some(b), CfarKind::GreatestOf) => a.max(b),
+                    (Some(a), Some(b), CfarKind::SmallestOf) => a.min(b),
+                    (Some(a), None, _) | (None, Some(a), _) => a,
+                    _ => unreachable!("one side is non-empty"),
+                }
+            }
+        };
+        let threshold = params.cfar_scale * stat;
+        if lane[t] > threshold {
+            out.push(Detection {
+                bin,
+                beam,
+                range: t,
+                power: lane[t],
+                threshold,
+            });
+        }
+    }
 }
 
 /// One before/after measurement.
@@ -478,6 +549,172 @@ pub fn measure(quick: bool) -> Vec<Pair> {
         });
     }
 
+    // --- rolling-window CFAR vs the frozen recomputing detector --------
+    // Reduced config (K = 64, W = 16): the per-cell cost drops from
+    // O(W) window recomputation to O(1) bound slides.
+    {
+        let rp = StapParams::reduced();
+        let power = RCube::from_fn([rp.n_pulses, rp.m_beams, rp.k_range], |a, bb, c| {
+            let v = det_cx(a, bb, c).norm_sqr();
+            // A sprinkling of strong cells so the detection-push path
+            // is exercised, not just the threshold math.
+            if (a + bb + c) % 97 == 0 {
+                v * 400.0
+            } else {
+                v
+            }
+        });
+        let [nb, m, _] = power.shape();
+        let mut dets: Vec<Detection> = Vec::with_capacity(1024);
+        let before = b.run("cfar_ref", || {
+            dets.clear();
+            for bin in 0..nb {
+                for beam in 0..m {
+                    reference_cfar_lane(
+                        &rp,
+                        CfarKind::CellAveraging,
+                        power.lane(bin, beam),
+                        bin,
+                        beam,
+                        &mut dets,
+                    );
+                }
+            }
+            dets.len()
+        });
+        let mut scratch = CfarScratch::with_capacity(1024);
+        let after = b.run("cfar_opt", || {
+            scratch.begin_cpi();
+            for bin in 0..nb {
+                for beam in 0..m {
+                    cfar::cfar_lane(
+                        &rp,
+                        power.lane(bin, beam),
+                        bin,
+                        beam,
+                        &mut scratch.detections,
+                    );
+                }
+            }
+            scratch.detections.len()
+        });
+        pairs.push(Pair {
+            name: format!("cfar_rolling_k{}_w{}", rp.k_range, rp.cfar_window),
+            before,
+            after,
+        });
+    }
+
+    // --- SIMD dispatch pairs: forced-scalar vs runtime-dispatched ------
+    // backend through the *same* code paths (outputs are bit-identical;
+    // the delta is pure vectorization). On hosts without AVX2 — or with
+    // STAP_SIMD=off — both sides resolve to scalar and the pair reads
+    // ~1.0x, which is exactly what the recorded host metadata explains.
+    {
+        let lanes = 16usize;
+        let k = p.k_range;
+        let filt: Vec<Cx> = (0..k).map(|i| det_cx(i, 23, 29)).collect();
+        let src: Vec<Cx> = (0..lanes * k).map(|i| det_cx(i, 31, 37)).collect();
+        let mut spec = src.clone();
+        simd::set_backend(Some(Backend::Scalar));
+        let before = b.run("simd_cmul_ref", || {
+            spec.copy_from_slice(&src);
+            for lane in spec.chunks_exact_mut(k) {
+                simd::cmul_in_place(lane, &filt);
+            }
+            spec[0].re
+        });
+        simd::set_backend(None);
+        let after = b.run("simd_cmul_opt", || {
+            spec.copy_from_slice(&src);
+            for lane in spec.chunks_exact_mut(k) {
+                simd::cmul_in_place(lane, &filt);
+            }
+            spec[0].re
+        });
+        pairs.push(Pair {
+            name: format!("simd_cmul_{k}x{lanes}"),
+            before,
+            after,
+        });
+
+        let mut pow = vec![0.0f64; lanes * k];
+        simd::set_backend(Some(Backend::Scalar));
+        let before = b.run("simd_norm_sqr_ref", || {
+            simd::norm_sqr_into(&mut pow, &src);
+            pow[0]
+        });
+        simd::set_backend(None);
+        let after = b.run("simd_norm_sqr_opt", || {
+            simd::norm_sqr_into(&mut pow, &src);
+            pow[0]
+        });
+        pairs.push(Pair {
+            name: format!("simd_norm_sqr_{k}x{lanes}"),
+            before,
+            after,
+        });
+    }
+    {
+        // Doppler taper at the paper lane shape: window of N - stagger
+        // weights applied with a per-range correction factor.
+        let n = p.n_pulses;
+        let wlen = n - p.stagger;
+        let lanes = 64usize;
+        let src: Vec<Cx> = (0..lanes * n).map(|i| det_cx(i, 41, 43)).collect();
+        let win: Vec<f64> = (0..wlen).map(|i| det_cx(i, 47, 53).re + 1.0).collect();
+        let mut out = vec![Cx::default(); n];
+        simd::set_backend(Some(Backend::Scalar));
+        let before = b.run("simd_taper_ref", || {
+            let mut acc = 0.0;
+            for lane in src.chunks_exact(n) {
+                simd::taper_into(&mut out, lane, &win, 0.731);
+                acc += out[0].re;
+            }
+            acc
+        });
+        simd::set_backend(None);
+        let after = b.run("simd_taper_opt", || {
+            let mut acc = 0.0;
+            for lane in src.chunks_exact(n) {
+                simd::taper_into(&mut out, lane, &win, 0.731);
+                acc += out[0].re;
+            }
+            acc
+        });
+        pairs.push(Pair {
+            name: format!("simd_taper_{wlen}x{lanes}"),
+            before,
+            after,
+        });
+    }
+    {
+        // Batched FFT butterflies at the pulse-compression length.
+        let n = p.k_range;
+        let lanes = 16usize;
+        let fft = Fft::new(n);
+        let src: Vec<Cx> = (0..lanes * n).map(|i| det_cx(i, 67, 71)).collect();
+        let mut work = src.clone();
+        let mut ws = FftScratch::new();
+        simd::set_backend(Some(Backend::Scalar));
+        let before = b.run("simd_fft_ref", || {
+            work.copy_from_slice(&src);
+            fft.forward_lanes(&mut work, &mut ws);
+            work[0].re
+        });
+        simd::set_backend(None);
+        let after = b.run("simd_fft_opt", || {
+            work.copy_from_slice(&src);
+            fft.forward_lanes(&mut work, &mut ws);
+            work[0].re
+        });
+        pairs.push(Pair {
+            name: format!("simd_fft_n{n}_{lanes}lanes"),
+            before,
+            after,
+        });
+    }
+
     pairs
 }
 
@@ -499,8 +736,49 @@ pub fn report(pairs: &[Pair], quick: bool) -> Json {
                 ("m_beams", Json::Num(p.m_beams as f64)),
             ]),
         ),
+        ("host", host_metadata()),
         ("kernels", Json::arr(pairs.iter().map(|pr| pr.to_json()))),
     ])
+}
+
+/// The host CPU-feature context a benchmark document was recorded
+/// under. Baselines move across machines; the regression gate compares
+/// this against [`host_mismatch`] so a scalar-host rerun of an
+/// AVX2-recorded baseline warns instead of misfiring.
+fn host_metadata() -> Json {
+    Json::obj([
+        ("simd_backend", Json::Str(simd::backend_name().into())),
+        ("avx2_available", Json::Bool(simd::avx2_available())),
+        (
+            "stap_simd_env",
+            match std::env::var("STAP_SIMD") {
+                Ok(v) => Json::Str(v),
+                Err(_) => Json::Null,
+            },
+        ),
+    ])
+}
+
+/// Checks whether `baseline` was recorded under a different SIMD
+/// backend than the current process dispatches. Returns a
+/// human-readable description of the mismatch, or `None` when the
+/// backends agree (or the baseline predates host metadata — those
+/// documents were all recorded on the gating host, so the gate still
+/// applies).
+pub fn host_mismatch(baseline: &str) -> Option<String> {
+    let doc = Json::parse(baseline).ok()?;
+    let recorded = match doc.get("host")?.get("simd_backend")? {
+        Json::Str(s) => s.clone(),
+        _ => return None,
+    };
+    let current = simd::backend_name();
+    if recorded != current {
+        Some(format!(
+            "baseline recorded with simd_backend={recorded}, current host dispatches {current}"
+        ))
+    } else {
+        None
+    }
 }
 
 /// Compares fresh timings against a recorded `BENCH_kernels.json`
@@ -563,7 +841,7 @@ mod tests {
     #[test]
     fn reference_pulse_matches_optimized() {
         let p = StapParams::reduced();
-        let cube = CCube::from_fn([2, p.m_beams, p.k_range], |a, b, c| det_cx(a, b, c));
+        let cube = CCube::from_fn([2, p.m_beams, p.k_range], det_cx);
         let want = ReferencePulse::new(&p).process(&cube);
         let got = PulseCompressor::new(&p).process(&cube);
         let diff = want
@@ -588,7 +866,7 @@ mod tests {
                 perm,
             );
             for src in 0..4 {
-                let local = CCube::from_fn(plan.src_local_shape(src), |a, b, c| det_cx(a, b, c));
+                let local = CCube::from_fn(plan.src_local_shape(src), det_cx);
                 for blk in plan.sends_of(src) {
                     let want = reference_pack(&plan, blk, &local);
                     let got = plan.pack(blk, &local);
@@ -609,6 +887,105 @@ mod tests {
         let mut got = CMat::zeros(8, 8);
         qr_update_with(&r0, 0.9, &new_rows, &mut got, &mut QrScratch::new());
         assert_eq!(got.as_slice(), want.as_slice());
+    }
+
+    /// The rolling-window detector must agree with the frozen
+    /// recomputing reference for every `CfarKind`, including lanes
+    /// shorter than the window (both edges fully clamped) and guard
+    /// widths that collapse one half-window entirely.
+    #[test]
+    fn rolling_cfar_matches_frozen_reference() {
+        // (lane length, window, guard): normal interior windows, a
+        // window wider than the lane, guard swallowing the low half,
+        // and a degenerate two-cell lane.
+        let compare = |p: &StapParams, kind: CfarKind, lane: &[f64], what: &str| -> usize {
+            let mut want = Vec::new();
+            reference_cfar_lane(p, kind, lane, 3, 1, &mut want);
+            let mut got = Vec::new();
+            cfar::cfar_lane_kind(p, kind, lane, 3, 1, &mut got);
+            assert_eq!(got.len(), want.len(), "{what}: {got:?} vs {want:?}");
+            for (a, b) in got.iter().zip(&want) {
+                assert_eq!((a.bin, a.beam, a.range), (b.bin, b.beam, b.range), "{what}");
+                assert_eq!(a.power, b.power, "{what}");
+                // Rolling sums accumulate the same cells in a
+                // different association order: equal to rounding.
+                assert!(
+                    (a.threshold - b.threshold).abs() <= 1e-12 * b.threshold.abs().max(1.0),
+                    "{what} range {}: threshold {} vs {}",
+                    a.range,
+                    a.threshold,
+                    b.threshold
+                );
+            }
+            got.len()
+        };
+        let kinds = [
+            CfarKind::CellAveraging,
+            CfarKind::GreatestOf,
+            CfarKind::SmallestOf,
+        ];
+        for (k, w, g) in [
+            (64usize, 16usize, 2usize),
+            (64, 16, 0),
+            (16, 32, 1),
+            (8, 64, 0),
+            (5, 4, 3),
+            (2, 2, 0),
+        ] {
+            let mut p = StapParams::reduced();
+            p.cfar_window = w;
+            p.cfar_guard = g;
+            // A near-zero scale makes every cell with a non-empty
+            // reference window a detection, so the comparison pins the
+            // threshold statistic at *every* range cell — interior,
+            // clamped, and degenerate — not just at planted targets.
+            p.cfar_scale = 1e-9;
+            let lane: Vec<f64> = (0..k).map(|i| det_cx(i, w, g).norm_sqr() + 1e-3).collect();
+            for kind in kinds {
+                let n = compare(&p, kind, &lane, &format!("k={k} w={w} g={g} {kind:?}"));
+                assert!(n > 0, "k={k} w={w} g={g}: no cells compared");
+            }
+        }
+        // And one realistic pass: sparse 1000x spikes (spacing wider
+        // than the reference span) at the paper's false-alarm scale, so
+        // the actual detect/no-detect boundary is exercised too.
+        {
+            let p = StapParams::reduced(); // K = 64, W = 16, g = 2
+            let lane: Vec<f64> = (0..p.k_range)
+                .map(|i| {
+                    let v = det_cx(i, 5, 9).norm_sqr() + 1e-3;
+                    if i % 17 == 0 {
+                        v * 1000.0
+                    } else {
+                        v
+                    }
+                })
+                .collect();
+            for kind in kinds {
+                let n = compare(&p, kind, &lane, &format!("spikes {kind:?}"));
+                assert!(n >= 3, "spiked lane should fire, got {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn host_mismatch_detects_backend_change() {
+        let mine = report(&[], true).to_string_pretty();
+        assert_eq!(host_mismatch(&mine), None);
+        let other = if simd::backend_name() == "avx2" {
+            "scalar"
+        } else {
+            "avx2"
+        };
+        let foreign = Json::obj([(
+            "host",
+            Json::obj([("simd_backend", Json::Str(other.into()))]),
+        )])
+        .to_string_pretty();
+        assert!(host_mismatch(&foreign).is_some());
+        // Pre-metadata baselines (no `host` key) are not a mismatch.
+        assert_eq!(host_mismatch("{\"kernels\": []}"), None);
+        assert_eq!(host_mismatch("not json"), None);
     }
 
     fn fake_pair(name: &str, after_ns: f64) -> Pair {
@@ -665,7 +1042,8 @@ mod tests {
             other => panic!("kernels not an array: {other:?}"),
         };
         assert_eq!(arr.len(), pairs.len());
-        assert!(pairs.len() >= 8);
+        assert!(pairs.len() >= 14);
+        assert!(j.get("host").and_then(|h| h.get("simd_backend")).is_some());
         for pr in &pairs {
             assert!(pr.before.median_ns > 0.0 && pr.after.median_ns > 0.0);
             assert!(pr.speedup() > 0.0);

@@ -8,6 +8,9 @@
 //!
 //! - Doppler filtering of a node slab (`process_rows_with`)
 //! - pulse compression of a node's bin group (`process_into_with`)
+//! - CFAR detection over a node's bin group (rolling `cfar_lane` into a
+//!   reserved `CfarScratch` — the take() handoff is the one permitted
+//!   send-boundary allocation)
 //! - redistribution packing + recycling through the shared buffer pool
 //! - easy beamforming of one Doppler bin (`hermitian_matmul_into`)
 //! - hard weight computation for one azimuth (`process_into`: snapshot
@@ -85,6 +88,50 @@ fn steady_state_cpi_kernels_do_not_allocate() {
             pc.process_into_with(&cube, &mut power, &mut ws);
             black_box(power[(0, 0, 0)]);
         });
+    }
+
+    // --- CFAR: one node's bin group through the rolling detector. ------
+    {
+        use stap::core::cfar::{self, CfarScratch};
+        let bins = 8usize;
+        // Positive power floor with two strong cells per lane, so the
+        // detection-push path runs without outgrowing the reserved
+        // capacity (`for_task` budgets 4 detections per (bin, beam)).
+        let power = RCube::from_fn([bins, p.m_beams, p.k_range], |i, j, r| {
+            let base = ((i * 131 + j * 31 + r * 7) % 23) as f64 + 1.0;
+            if r % 256 == 7 {
+                base * 1000.0
+            } else {
+                base
+            }
+        });
+        let mut scratch = CfarScratch::for_task(&p, bins);
+        let round = |scratch: &mut CfarScratch| {
+            scratch.begin_cpi();
+            for bin in 0..bins {
+                for beam in 0..p.m_beams {
+                    cfar::cfar_lane(
+                        &p,
+                        power.lane(bin, beam),
+                        bin,
+                        beam,
+                        &mut scratch.detections,
+                    );
+                }
+            }
+        };
+        round(&mut scratch); // warmup: flop thread-local, branch history
+        let found = scratch.detections.len();
+        assert!(found > 0, "CFAR round found nothing");
+        // The compute phase is allocation-free; `take()` at the send
+        // boundary swaps in a fresh reserved buffer and is the one
+        // permitted steady-state allocation (it ships with the message).
+        assert_zero_alloc("cfar begin_cpi + cfar_lane rounds", || {
+            round(&mut scratch);
+            black_box(scratch.detections.len());
+        });
+        assert_eq!(scratch.detections.len(), found);
+        assert_eq!(scratch.take().len(), found);
     }
 
     // --- Redistribution packing through the shared pool. ---------------

@@ -71,6 +71,20 @@ pub fn cfar_lane(
 }
 
 /// CFAR over one range lane with an explicit detector variant.
+///
+/// **Rolling-window implementation** (initial sum + slide): the two
+/// reference half-window sums are maintained incrementally as the test
+/// cell advances — each of the four window bounds moves by at most one
+/// cell per step, so the per-cell cost is O(1) and the whole lane is
+/// O(K + W), exactly the accounting [`crate::flops::cfar`] has always
+/// billed (`W - 1` initial adds + 4 slide ops per cell). Edge clamping
+/// is preserved: the same `saturating_sub`/`min(k)` bounds as the
+/// original recomputing detector define each window, so the *set* of
+/// reference cells per test cell is identical for all three
+/// [`CfarKind`] variants (the equivalence test in `stap-bench` pins
+/// this against a frozen copy of the recomputing detector; thresholds
+/// agree to rounding because a rolling sum accumulates the same values
+/// in a different association order).
 pub fn cfar_lane_kind(
     params: &StapParams,
     kind: CfarKind,
@@ -82,54 +96,339 @@ pub fn cfar_lane_kind(
     let k = lane.len();
     let half = params.cfar_window / 2;
     let g = params.cfar_guard;
+    let scale = params.cfar_scale;
     // Initial-sum + slide accounting (see flops::cfar in `flops`).
     flops::add(params.cfar_window as u64 - 1 + 4 * k as u64);
-    for t in 0..k {
-        // Reference cells: [t-g-half, t-g) and (t+g, t+g+half], clamped.
-        let mut lo_sum = 0.0;
-        let mut lo_count = 0usize;
-        let lo_end = t.saturating_sub(g);
-        let lo_start = t.saturating_sub(g + half);
-        for &v in &lane[lo_start..lo_end] {
-            lo_sum += v;
-            lo_count += 1;
-        }
-        let mut hi_sum = 0.0;
-        let mut hi_count = 0usize;
-        let hi_start = (t + g + 1).min(k);
-        let hi_end = (t + g + 1 + half).min(k);
-        for &v in &lane[hi_start..hi_end] {
-            hi_sum += v;
-            hi_count += 1;
-        }
-        if lo_count + hi_count == 0 {
-            continue;
-        }
-        let stat = match kind {
-            CfarKind::CellAveraging => (lo_sum + hi_sum) / (lo_count + hi_count) as f64,
-            CfarKind::GreatestOf | CfarKind::SmallestOf => {
-                // Means of each half; a fully clamped-away half defers
-                // to the other.
-                let lo = (lo_count > 0).then(|| lo_sum / lo_count as f64);
-                let hi = (hi_count > 0).then(|| hi_sum / hi_count as f64);
-                match (lo, hi, kind) {
-                    (Some(a), Some(b), CfarKind::GreatestOf) => a.max(b),
-                    (Some(a), Some(b), CfarKind::SmallestOf) => a.min(b),
-                    (Some(a), None, _) | (None, Some(a), _) => a,
-                    _ => unreachable!("one side is non-empty"),
+    if k == 0 {
+        return;
+    }
+    // Reference cells for test cell t: lo = [t-g-half, t-g) and
+    // hi = [t+g+1, t+g+1+half), both clamped to [0, k). State below is
+    // the window for t = 0: lo is empty, hi is summed once up front.
+    let mut lo_start = 0usize;
+    let mut lo_end = 0usize;
+    let mut lo_sum = 0.0f64;
+    let mut hi_start = (g + 1).min(k);
+    let mut hi_end = (g + 1 + half).min(k);
+    let mut hi_sum = 0.0f64;
+    for &v in &lane[hi_start..hi_end] {
+        hi_sum += v;
+    }
+    // General (edge-clamped) per-cell step: threshold from the current
+    // window state, then slide every bound to its position for t + 1
+    // (each moves by at most one cell; the while loops cover the
+    // clamped phases where a bound holds still).
+    macro_rules! general_cell {
+        ($t:expr) => {{
+            let t: usize = $t;
+            let lo_count = lo_end - lo_start;
+            let hi_count = hi_end - hi_start;
+            if lo_count + hi_count > 0 {
+                match kind {
+                    CfarKind::CellAveraging => {
+                        let count = (lo_count + hi_count) as f64;
+                        let threshold = scale * ((lo_sum + hi_sum) / count);
+                        if lane[t] > threshold {
+                            out.push(Detection {
+                                bin,
+                                beam,
+                                range: t,
+                                power: lane[t],
+                                threshold,
+                            });
+                        }
+                    }
+                    CfarKind::GreatestOf | CfarKind::SmallestOf => {
+                        // Means of each half; a fully clamped-away half
+                        // defers to the other.
+                        let lo = (lo_count > 0).then(|| lo_sum / lo_count as f64);
+                        let hi = (hi_count > 0).then(|| hi_sum / hi_count as f64);
+                        let stat = match (lo, hi, kind) {
+                            (Some(a), Some(b), CfarKind::GreatestOf) => a.max(b),
+                            (Some(a), Some(b), CfarKind::SmallestOf) => a.min(b),
+                            (Some(a), None, _) | (None, Some(a), _) => a,
+                            _ => unreachable!("one side is non-empty"),
+                        };
+                        let threshold = scale * stat;
+                        if lane[t] > threshold {
+                            out.push(Detection {
+                                bin,
+                                beam,
+                                range: t,
+                                power: lane[t],
+                                threshold,
+                            });
+                        }
+                    }
                 }
             }
-        };
-        let threshold = params.cfar_scale * stat;
-        if lane[t] > threshold {
-            out.push(Detection {
-                bin,
-                beam,
-                range: t,
-                power: lane[t],
-                threshold,
-            });
+            let nt = t + 1;
+            let new_lo_end = nt.saturating_sub(g);
+            while lo_end < new_lo_end {
+                lo_sum += lane[lo_end];
+                lo_end += 1;
+            }
+            let new_lo_start = nt.saturating_sub(g + half);
+            while lo_start < new_lo_start {
+                lo_sum -= lane[lo_start];
+                lo_start += 1;
+            }
+            let new_hi_end = (nt + g + 1 + half).min(k);
+            while hi_end < new_hi_end {
+                hi_sum += lane[hi_end];
+                hi_end += 1;
+            }
+            let new_hi_start = (nt + g + 1).min(k);
+            while hi_start < new_hi_start {
+                hi_sum -= lane[hi_start];
+                hi_start += 1;
+            }
+        }};
+    }
+
+    // Interior cells have both half-windows completely unclamped (lo
+    // full needs t >= g + half; hi full through the *slide* needs
+    // t + g + half + 1 < k), so the counts are constant and every bound
+    // advances by exactly one cell per step: the per-cell work is four
+    // sum updates, one multiply by a phase-constant threshold factor,
+    // and one compare — the single divide is hoisted out of the loop.
+    // (Multiplying by the hoisted `scale / count` instead of dividing
+    // per cell moves thresholds by at most an ulp or two; the frozen-
+    // reference equivalence test bounds the difference.)
+    let int_start = g + half;
+    let int_end = k.saturating_sub(g + half + 1);
+    let mut t = 0usize;
+    if int_start < int_end {
+        // Lead phase (t < g + half): the lo window's left edge is
+        // pinned at 0 and its right edge only advances once t >= g; the
+        // hi window never touches the right boundary (the interior
+        // exists, so k > 2g + 2·half + 1), keeping its count at `half`
+        // and both of its bounds advancing every step. The general
+        // slide's four clamp computations reduce to one branch.
+        while t < int_start {
+            let lo_count = lo_end; // lo_start == 0 throughout
+            match kind {
+                CfarKind::CellAveraging => {
+                    let count = (lo_count + half) as f64;
+                    let threshold = scale * ((lo_sum + hi_sum) / count);
+                    if lane[t] > threshold {
+                        out.push(Detection {
+                            bin,
+                            beam,
+                            range: t,
+                            power: lane[t],
+                            threshold,
+                        });
+                    }
+                }
+                CfarKind::GreatestOf | CfarKind::SmallestOf => {
+                    let hi_mean = hi_sum / half as f64;
+                    let stat = if lo_count > 0 {
+                        let lo_mean = lo_sum / lo_count as f64;
+                        match kind {
+                            CfarKind::GreatestOf => lo_mean.max(hi_mean),
+                            _ => lo_mean.min(hi_mean),
+                        }
+                    } else {
+                        hi_mean
+                    };
+                    let threshold = scale * stat;
+                    if lane[t] > threshold {
+                        out.push(Detection {
+                            bin,
+                            beam,
+                            range: t,
+                            power: lane[t],
+                            threshold,
+                        });
+                    }
+                }
+            }
+            if t >= g {
+                lo_sum += lane[lo_end];
+                lo_end += 1;
+            }
+            // Add-then-subtract (not the delta form) so the edge cells
+            // round bit-identically to the general slide.
+            hi_sum += lane[hi_end];
+            hi_end += 1;
+            hi_sum -= lane[hi_start];
+            hi_start += 1;
+            t += 1;
         }
+        debug_assert_eq!((lo_start, lo_end), (t - g - half, t - g));
+        debug_assert_eq!((hi_start, hi_end), (t + g + 1, t + g + 1 + half));
+        // Pre-sliced enter/leave windows, all of equal length: the
+        // zipped iteration carries no per-cell bounds checks (the last
+        // hi-enter cell is lane[k - 1] by construction of `int_end`).
+        let n_int = int_end - t;
+        let cells = &lane[t..int_end];
+        let lo_enter = &lane[t - g..int_end - g];
+        let lo_leave = &lane[t - g - half..int_end - g - half];
+        let hi_enter = &lane[t + g + half + 1..int_end + g + half + 1];
+        let hi_leave = &lane[t + g + 1..int_end + g + 1];
+        debug_assert!([lo_enter, lo_leave, hi_enter, hi_leave]
+            .iter()
+            .all(|s| s.len() == n_int));
+        macro_rules! interior {
+            ($threshold:expr) => {
+                for (i, ((((&c, &le), &ll), &he), &hl)) in cells
+                    .iter()
+                    .zip(lo_enter)
+                    .zip(lo_leave)
+                    .zip(hi_enter)
+                    .zip(hi_leave)
+                    .enumerate()
+                {
+                    let threshold = $threshold;
+                    if c > threshold {
+                        out.push(Detection {
+                            bin,
+                            beam,
+                            range: t + i,
+                            power: c,
+                            threshold,
+                        });
+                    }
+                    // Delta form: the (enter - leave) difference is
+                    // independent of the running sum, so the loop-
+                    // carried dependency is one add per half, not two.
+                    lo_sum += le - ll;
+                    hi_sum += he - hl;
+                }
+            };
+        }
+        match kind {
+            CfarKind::CellAveraging => {
+                let mul = scale / (2 * half) as f64;
+                interior!(mul * (lo_sum + hi_sum));
+            }
+            // Equal counts: the greater/smaller *mean* is the
+            // greater/smaller *sum*.
+            CfarKind::GreatestOf => {
+                let mul = scale / half as f64;
+                interior!(mul * lo_sum.max(hi_sum));
+            }
+            CfarKind::SmallestOf => {
+                let mul = scale / half as f64;
+                interior!(mul * lo_sum.min(hi_sum));
+            }
+        }
+        // Trail phase (t >= int_end): lo is full (count = half) and
+        // both of its bounds advance every step; hi_end is pinned at k,
+        // so only hi_start moves, shrinking the hi window until it
+        // empties at the last few cells.
+        t = int_end;
+        lo_start = t - g - half;
+        lo_end = t - g;
+        hi_start = (t + g + 1).min(k);
+        // By construction int_end + g + half + 1 == k: the hi window is
+        // [hi_start, k) from here on (hi_end would be pinned at k).
+        debug_assert_eq!(t + g + half + 1, k);
+        let _ = hi_end;
+        while t < k {
+            let hi_count = k - hi_start;
+            match kind {
+                CfarKind::CellAveraging => {
+                    let count = (half + hi_count) as f64;
+                    let threshold = scale * ((lo_sum + hi_sum) / count);
+                    if lane[t] > threshold {
+                        out.push(Detection {
+                            bin,
+                            beam,
+                            range: t,
+                            power: lane[t],
+                            threshold,
+                        });
+                    }
+                }
+                CfarKind::GreatestOf | CfarKind::SmallestOf => {
+                    let lo_mean = lo_sum / half as f64;
+                    let stat = if hi_count > 0 {
+                        let hi_mean = hi_sum / hi_count as f64;
+                        match kind {
+                            CfarKind::GreatestOf => lo_mean.max(hi_mean),
+                            _ => lo_mean.min(hi_mean),
+                        }
+                    } else {
+                        lo_mean
+                    };
+                    let threshold = scale * stat;
+                    if lane[t] > threshold {
+                        out.push(Detection {
+                            bin,
+                            beam,
+                            range: t,
+                            power: lane[t],
+                            threshold,
+                        });
+                    }
+                }
+            }
+            // Add-then-subtract slide, matching the general loop's
+            // rounding exactly.
+            lo_sum += lane[lo_end];
+            lo_end += 1;
+            lo_sum -= lane[lo_start];
+            lo_start += 1;
+            if hi_start < k {
+                hi_sum -= lane[hi_start];
+                hi_start += 1;
+            }
+            t += 1;
+        }
+    } else {
+        // No interior (tiny lane or a window spanning the whole lane):
+        // every cell is edge-clamped, so the general step covers all.
+        while t < k {
+            general_cell!(t);
+            t += 1;
+        }
+    }
+}
+
+/// Reusable workspace for the CFAR task: the detection list is
+/// reserved once and reused across CPIs, extending the zero-allocation
+/// steady state to task 6 (policed by the counting-allocator
+/// regression in `stap-bench`). The per-CPI pattern is
+/// [`CfarScratch::begin_cpi`] → [`cfar_lane`] per (bin, beam) →
+/// [`CfarScratch::take`] to hand the detections to the output message
+/// (the handoff swaps in an equally-reserved buffer so the next CPI
+/// stays allocation-free up to the reserved capacity).
+#[derive(Default)]
+pub struct CfarScratch {
+    /// Detections accumulated for the CPI in flight.
+    pub detections: Vec<Detection>,
+    /// Capacity restored by [`CfarScratch::take`].
+    reserve: usize,
+}
+
+impl CfarScratch {
+    /// A workspace with room for `capacity` detections before any
+    /// reallocation.
+    pub fn with_capacity(capacity: usize) -> Self {
+        CfarScratch {
+            detections: Vec::with_capacity(capacity),
+            reserve: capacity,
+        }
+    }
+
+    /// Sizes the workspace for a task owning `bins` Doppler bins: a
+    /// generous per-(bin, beam) detection budget so steady-state target
+    /// scenes never outgrow it.
+    pub fn for_task(params: &StapParams, bins: usize) -> Self {
+        Self::with_capacity((bins * params.m_beams * 4).max(64))
+    }
+
+    /// Clears the detection list for a new CPI (keeps capacity).
+    pub fn begin_cpi(&mut self) {
+        self.detections.clear();
+    }
+
+    /// Hands the accumulated detections off (for the output message),
+    /// leaving a fresh buffer with the original reserved capacity.
+    pub fn take(&mut self) -> Vec<Detection> {
+        std::mem::replace(&mut self.detections, Vec::with_capacity(self.reserve))
     }
 }
 

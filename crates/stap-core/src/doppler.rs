@@ -15,7 +15,7 @@
 use crate::params::StapParams;
 use stap_cube::CCube;
 use stap_math::fft::{Fft, FftScratch};
-use stap_math::{flops, Cx};
+use stap_math::{flops, simd, Cx};
 
 /// Reusable Doppler-filtering state (FFT plan and taper samples).
 pub struct DopplerProcessor {
@@ -95,19 +95,17 @@ impl DopplerProcessor {
             for j in 0..j_ch {
                 let lane = slab.lane(k, j);
                 // Window 0: pulses 0..N-s, zero-padded at the tail.
+                // The taper product runs through the dispatched SIMD
+                // kernel (bit-identical to the scalar loop).
                 let w0 = out.lane_mut(k, j);
-                for i in 0..wlen {
-                    w0[i] = lane[i].scale(self.window[i] * corr);
-                }
+                simd::taper_into(w0, lane, &self.window, corr);
                 w0[wlen..n].fill(Cx::default());
                 // Window 1: pulses s..N re-indexed from zero, so a tone
                 // at bin d shows the PRI-stagger phase e^{2 pi i d s / N}
                 // relative to window 0 — the phase the hard-weight
                 // constraint aligns.
                 let w1 = out.lane_mut(k, j_ch + j);
-                for i in 0..wlen {
-                    w1[i] = lane[s + i].scale(self.window[i] * corr);
-                }
+                simd::taper_into(w1, &lane[s..], &self.window, corr);
                 w1[wlen..n].fill(Cx::default());
             }
         }

@@ -16,7 +16,15 @@
 use crate::params::StapParams;
 use stap_cube::{CCube, RCube};
 use stap_math::fft::{Fft, FftScratch};
-use stap_math::{flops, Cx};
+use stap_math::{flops, simd, Cx};
+use std::cell::RefCell;
+
+thread_local! {
+    /// Per-thread workspace backing [`PulseCompressor::process_into`],
+    /// so the convenience entry point stops allocating a fresh
+    /// [`PulseScratch`] on every call.
+    static TLS_PULSE_SCRATCH: RefCell<PulseScratch> = RefCell::new(PulseScratch::new());
+}
 
 /// Reusable pulse-compression workspace: one spectrum buffer big enough
 /// for a whole beamformed cube, grown on first use and reused across
@@ -72,11 +80,14 @@ impl PulseCompressor {
     }
 
     /// Like [`PulseCompressor::process`] but writing into a
-    /// caller-provided cube of the same shape (transient workspace;
-    /// prefer [`PulseCompressor::process_into_with`] in hot loops).
+    /// caller-provided cube of the same shape. Routes through a lazily
+    /// initialized thread-local [`PulseScratch`] (the same pattern as
+    /// the GEMM engine's pack buffers), so repeated calls allocate
+    /// nothing once the scratch is warm; hot loops that own their
+    /// workspace should still prefer
+    /// [`PulseCompressor::process_into_with`].
     pub fn process_into(&self, beamformed: &CCube, out: &mut RCube) {
-        let mut ws = PulseScratch::new();
-        self.process_into_with(beamformed, out, &mut ws);
+        TLS_PULSE_SCRATCH.with(|s| self.process_into_with(beamformed, out, &mut s.borrow_mut()));
     }
 
     /// The zero-allocation steady-state kernel: matched-filters every
@@ -94,15 +105,11 @@ impl PulseCompressor {
         spec.copy_from_slice(beamformed.as_slice());
         self.fft.forward_lanes(spec, &mut ws.fft);
         for lane in spec.chunks_exact_mut(k) {
-            for (x, f) in lane.iter_mut().zip(&self.filter) {
-                *x *= *f;
-            }
+            simd::cmul_in_place(lane, &self.filter);
         }
         flops::add(flops::CMUL * total as u64);
         self.fft.inverse_lanes(spec, &mut ws.fft);
-        for (o, v) in out.as_mut_slice().iter_mut().zip(spec.iter()) {
-            *o = v.norm_sqr();
-        }
+        simd::norm_sqr_into(out.as_mut_slice(), spec);
         flops::add(3 * total as u64); // |.|^2 per cell
     }
 
@@ -112,9 +119,7 @@ impl PulseCompressor {
         buf.clear();
         buf.extend_from_slice(lane);
         self.fft.forward(buf);
-        for (x, f) in buf.iter_mut().zip(&self.filter) {
-            *x *= *f;
-        }
+        simd::cmul_in_place(buf, &self.filter);
         flops::add(flops::CMUL * self.k as u64);
         self.fft.inverse(buf);
     }

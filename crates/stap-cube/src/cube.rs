@@ -287,12 +287,16 @@ impl<T: Copy + Default> Cube<T> {
         } else {
             // Length-1 runs: transpose-blocked gather. One output axis
             // `a` walks the source with unit stride (perm[a] == 2);
-            // tile it against the inner output axis.
+            // tile it against the inner output axis. For 16-byte
+            // payloads (`Cx`, the redistribution wire type) the inner
+            // strided row runs through the dispatched SIMD gather —
+            // pure data movement, byte-identical to the scalar copy.
             const B: usize = 16;
             let a = if perm[0] == 2 { 0 } else { 1 };
             let b = 1 - a;
             let ost = [out_shape[1] * out_shape[2], out_shape[2], 1];
             data.resize(total, T::default());
+            let simd_16b = std::mem::size_of::<T>() == 16;
             for yb in 0..out_shape[b] {
                 let sb = base_off + yb * st[b];
                 let ob = yb * ost[b];
@@ -305,8 +309,28 @@ impl<T: Copy + Default> Cube<T> {
                         for ya in ya0..ya1 {
                             let srow = sb + ya; // st[a] == 1
                             let orow = ob + ya * ost[a];
-                            for y2 in y20..y21 {
-                                data[orow + y2] = self.data[srow + y2 * st[2]];
+                            if simd_16b {
+                                // Bounds of the strided row (also
+                                // checked by the asserts below): last
+                                // read is srow + (y21-1)*st[2], last
+                                // write orow + y21 - 1.
+                                assert!(srow + (y21 - 1) * st[2] < self.data.len());
+                                assert!(orow + y21 <= data.len());
+                                // SAFETY: `T` is `Copy` with size 16;
+                                // ranges asserted in bounds; source
+                                // and destination buffers are distinct.
+                                unsafe {
+                                    stap_math::simd::gather_16b_strided(
+                                        data.as_mut_ptr().add(orow + y20) as *mut u8,
+                                        self.data.as_ptr().add(srow + y20 * st[2]) as *const u8,
+                                        y21 - y20,
+                                        st[2],
+                                    );
+                                }
+                            } else {
+                                for y2 in y20..y21 {
+                                    data[orow + y2] = self.data[srow + y2 * st[2]];
+                                }
                             }
                         }
                         y20 = y21;

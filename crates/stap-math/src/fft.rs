@@ -43,6 +43,8 @@
 
 use crate::complex::{Cx, ZERO};
 use crate::flops;
+#[cfg(target_arch = "x86_64")]
+use crate::simd;
 use std::f64::consts::PI;
 use std::sync::Arc;
 
@@ -711,6 +713,7 @@ impl Radix4 {
     /// middle stages run in place on `scratch`, and the last stage
     /// reads `scratch` while writing its outputs into the caller's
     /// buffer — the data lands back in `data` without a copy pass.
+    #[allow(clippy::needless_continue)]
     fn butterflies<const INV: bool>(&self, data: &mut [Cx], scratch: &mut [Cx]) {
         if self.stages.is_empty() {
             // n <= 8: identity permutation, single twiddle-free stage.
@@ -753,6 +756,11 @@ impl Radix4 {
         // Middle radix-4 stages with tabled twiddles, in place on
         // scratch. Iterator zips (rather than indexed loops) let the
         // compiler drop the bounds checks in the innermost butterfly.
+        // The AVX2 path runs two butterflies per iteration with the
+        // identical operation order (`h` is a power of two >= 4 for
+        // every tabled stage, so the pairing is exact).
+        #[cfg(target_arch = "x86_64")]
+        let use_avx2 = simd::backend() == simd::Backend::Avx2;
         let (middle, lastv) = self.stages.split_at(self.stages.len() - 1);
         let mut h = self.first_h;
         for tw in middle {
@@ -761,6 +769,13 @@ impl Radix4 {
                 let (q01, q23) = chunk.split_at_mut(2 * h);
                 let (q0, q1) = q01.split_at_mut(h);
                 let (q2, q3) = q23.split_at_mut(h);
+                #[cfg(target_arch = "x86_64")]
+                if use_avx2 {
+                    // SAFETY: AVX2 established above; the quarter and
+                    // twiddle slices all hold exactly `h` elements.
+                    unsafe { simd::avx2::radix4_stage::<INV>(q0, q1, q2, q3, &tw[..h]) };
+                    continue;
+                }
                 let it = q0
                     .iter_mut()
                     .zip(q1.iter_mut())
@@ -800,6 +815,16 @@ impl Radix4 {
             let (d01, d23) = dst.split_at_mut(2 * h);
             let (d0, d1) = d01.split_at_mut(h);
             let (d2, d3) = d23.split_at_mut(h);
+            #[cfg(target_arch = "x86_64")]
+            if use_avx2 {
+                // SAFETY: AVX2 established above; sources (scratch) and
+                // destinations (data) are disjoint buffers of `h`
+                // elements per quarter.
+                unsafe {
+                    simd::avx2::radix4_stage_oop::<INV>(d0, d1, d2, d3, s0, s1, s2, s3, &tw[..h]);
+                }
+                continue;
+            }
             let srcs = s0.iter().zip(s1).zip(s2).zip(s3);
             let dsts = d0.iter_mut().zip(d1).zip(d2).zip(d3);
             for (((((y0, y1), y2), y3), (((x0, x1), x2), x3)), &[w1, w2, w3]) in

@@ -41,6 +41,8 @@
 use crate::complex::{Cx, ZERO};
 use crate::flops;
 use crate::mat::CMat;
+#[cfg(target_arch = "x86_64")]
+use crate::simd;
 use std::cell::RefCell;
 
 /// Dispatch threshold in complex multiply-accumulates (`m * k * n`):
@@ -219,6 +221,15 @@ pub fn gemm_planar_into(a: &PlanarMat, b: &PlanarMat, out: &mut CMat) {
     let br = &b.re[..kk * n];
     let bi = &b.im[..kk * n];
     let od = out.as_mut_slice();
+    // Resolve the SIMD backend once per product; the AVX2 micro-kernel
+    // performs the identical update order (bit-for-bit, see
+    // `simd::avx2::micro_2x8`). On builds already targeting AVX2 the
+    // scalar micro-kernel auto-vectorizes and the intrinsic path is
+    // skipped — see `simd::avx2_gemm_dispatch`.
+    #[cfg(target_arch = "x86_64")]
+    let use_avx2 = simd::avx2_gemm_dispatch();
+    #[cfg(not(target_arch = "x86_64"))]
+    let use_avx2 = false;
 
     let mut i = 0;
     // MR = 2: two output rows share every B load.
@@ -229,6 +240,29 @@ pub fn gemm_planar_into(a: &PlanarMat, b: &PlanarMat, out: &mut CMat) {
         let a1i = &ai[(i + 1) * kk..(i + 2) * kk];
         let mut j = 0;
         while j + NR <= n {
+            #[cfg(target_arch = "x86_64")]
+            if use_avx2 {
+                // SAFETY: AVX2 availability established above; slice
+                // bounds mirror the scalar call (j + 8 <= n, rows i and
+                // i + 1 of `od`).
+                unsafe {
+                    simd::avx2::micro_2x8(
+                        kk,
+                        n,
+                        j,
+                        a0r,
+                        a0i,
+                        a1r,
+                        a1i,
+                        br,
+                        bi,
+                        &mut od[i * n..],
+                        n,
+                    );
+                }
+                j += NR;
+                continue;
+            }
             micro_2xnr(kk, n, j, a0r, a0i, a1r, a1i, br, bi, &mut od[i * n..], i, n);
             j += NR;
         }
@@ -245,6 +279,16 @@ pub fn gemm_planar_into(a: &PlanarMat, b: &PlanarMat, out: &mut CMat) {
         let a0i = &ai[i * kk..(i + 1) * kk];
         let mut j = 0;
         while j + NR <= n {
+            #[cfg(target_arch = "x86_64")]
+            if use_avx2 {
+                // SAFETY: AVX2 availability established above; same
+                // bounds as the scalar panel below.
+                unsafe {
+                    simd::avx2::micro_1x8(kk, n, j, a0r, a0i, br, bi, &mut od[i * n..]);
+                }
+                j += NR;
+                continue;
+            }
             let mut cr = [0.0f64; NR];
             let mut ci = [0.0f64; NR];
             for k in 0..kk {

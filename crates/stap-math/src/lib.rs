@@ -14,7 +14,9 @@
 //!   updates and block constraint updates,
 //! * [`solve`] — back substitution and constrained least squares,
 //! * [`flops`] — thread-local floating-point-operation accounting used to
-//!   regenerate Table 1 of the paper.
+//!   regenerate Table 1 of the paper,
+//! * [`simd`] — runtime-dispatched AVX2 backend for the hot inner loops
+//!   (bit-identical to the scalar fallback; `STAP_SIMD=off` forces scalar).
 //!
 //! The heavy kernels count the flops they perform through [`flops`], so the
 //! paper's operation counts can be measured rather than merely asserted.
@@ -27,6 +29,7 @@ pub mod flops;
 pub mod gemm;
 pub mod mat;
 pub mod qr;
+pub mod simd;
 pub mod solve;
 pub mod window;
 

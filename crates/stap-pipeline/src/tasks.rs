@@ -1360,8 +1360,12 @@ pub fn run_cfar(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> TaskReport
         .enumerate()
         .map(|(t, r)| (ctx.assign.rank_range(PC).start + t, overlap(r, &my_bins)))
         .collect();
-    // Persistent power assembly cube (fully overwritten each CPI).
+    // Persistent power assembly cube (fully overwritten each CPI) and
+    // CFAR workspace: the detection list is reserved once, so the
+    // steady-state CFAR round performs no heap allocation (the handoff
+    // at the send boundary swaps in an equally-reserved buffer).
     let mut power = RCube::zeros([my_bins.len(), p.m_beams, p.k_range]);
+    let mut scratch = cfar::CfarScratch::for_task(p, my_bins.len());
     let mut report = TaskReport::with_capacity(ctx.num_cpis);
 
     for cpi in 0..ctx.num_cpis {
@@ -1425,10 +1429,16 @@ pub fn run_cfar(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> TaskReport
 
         // --- compute -------------------------------------------------------
         let t1 = Instant::now();
-        let mut detections = Vec::new();
+        scratch.begin_cpi();
         for bi in 0..my_bins.len() {
             for m in 0..p.m_beams {
-                cfar::cfar_lane(p, power.lane(bi, m), my_bins.start + bi, m, &mut detections);
+                cfar::cfar_lane(
+                    p,
+                    power.lane(bi, m),
+                    my_bins.start + bi,
+                    m,
+                    &mut scratch.detections,
+                );
             }
         }
         let comp = t1.elapsed().as_secs_f64();
@@ -1438,7 +1448,7 @@ pub fn run_cfar(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> TaskReport
         comm.send(
             driver,
             tag(Edge::Output, cpi),
-            Msg::flagged(cpi, degraded, Payload::Detections(detections)),
+            Msg::flagged(cpi, degraded, Payload::Detections(scratch.take())),
         );
         let send = t2.elapsed().as_secs_f64();
         report.push_cpi(

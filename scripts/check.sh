@@ -13,7 +13,7 @@
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
-NUM_STAGES=7
+NUM_STAGES=8
 stage_name() {
   case "$1" in
     1) echo "rustfmt" ;;
@@ -23,6 +23,7 @@ stage_name() {
     5) echo "fault smoke (deterministic campaign: stall + drop over 10 CPIs)" ;;
     6) echo "bench smoke (quick windows; plumbing only, not timing)" ;;
     7) echo "trace smoke (Chrome trace + measured-vs-modeled reconciliation)" ;;
+    8) echo "scalar fallback (STAP_SIMD=off: the non-AVX2 path stays green)" ;;
     *) echo "unknown" ;;
   esac
 }
@@ -64,6 +65,12 @@ run_stage() {
       trap 'rm -f "$trace_out"' RETURN
       cargo run --release -q -p stap-bench --bin stapctl -- trace --cpis 6 --out "$trace_out" \
         && grep -q '"traceEvents"' "$trace_out"
+      ;;
+    8)
+      # The runtime SIMD dispatch must leave the scalar path fully
+      # working (and bit-identical — the property tests run either way):
+      # the whole test suite with the backend forced off.
+      STAP_SIMD=off cargo test -q --workspace
       ;;
     *)
       echo "error: unknown stage $1 (valid: 1..$NUM_STAGES)" >&2

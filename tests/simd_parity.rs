@@ -1,0 +1,88 @@
+//! End-to-end SIMD transparency: the runtime-dispatched vector backend
+//! must be observationally invisible. A same-seed run of the full
+//! parallel pipeline on the canonical 2-azimuth tracing config is
+//! executed once with the backend forced to scalar and once with
+//! runtime dispatch (AVX2 where the host has it), and the two runs must
+//! produce **bit-identical** detection lists and identical comm-event
+//! multisets — the SIMD kernels perform the same IEEE operations in the
+//! same order as the scalar loops, so not even the last ulp may move.
+//!
+//! Everything lives in ONE `#[test]`: the backend selector is a
+//! process-wide atomic and libtest runs `#[test]`s concurrently, so a
+//! second backend-toggling test in this binary would race. On hosts
+//! without AVX2 (or under `STAP_SIMD=off`) both runs resolve to scalar
+//! and the test passes trivially — the CI scalar job pins that
+//! configuration explicitly.
+
+use stap::core::StapParams;
+use stap::math::simd::{self, Backend};
+use stap::pipeline::trace::PipelineTrace;
+use stap::pipeline::{NodeAssignment, ParallelStap, PipelineOutput};
+use stap::radar::Scenario;
+
+/// The canonical 2-azimuth reduced configuration (same as
+/// `stapctl trace`): the temporal weight dependency is exercised with a
+/// two-beam revisit cycle.
+fn run_canonical(seed: u64, cpis: usize) -> (PipelineOutput, PipelineTrace) {
+    let mut scenario = Scenario::reduced(seed);
+    scenario.transmit_beams = vec![-20.0, 20.0];
+    let runner =
+        ParallelStap::for_scenario(StapParams::reduced(), NodeAssignment::tiny(), &scenario)
+            .with_tracing();
+    let data: Vec<_> = scenario.stream(cpis).map(|(_, _, c)| c).collect();
+    let mut out = runner.run(data);
+    let trace = out.trace.take().expect("tracing enabled");
+    (out, trace)
+}
+
+/// The order-insensitive comm-event fingerprint (timestamps excluded —
+/// they are the one attribute allowed to differ).
+fn comm_key(trace: &PipelineTrace) -> Vec<(usize, &'static str, usize, u64, u64)> {
+    let mut v: Vec<_> = trace
+        .comm
+        .iter()
+        .flat_map(|rt| {
+            rt.events
+                .iter()
+                .map(move |e| (rt.rank, e.kind.name(), e.peer, e.tag, e.bytes))
+        })
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn simd_and_scalar_runs_are_bit_identical() {
+    let seed = 4242;
+    let cpis = 4;
+
+    simd::set_backend(Some(Backend::Scalar));
+    let (out_scalar, trace_scalar) = run_canonical(seed, cpis);
+
+    // Runtime dispatch: AVX2 where detected, honoring STAP_SIMD.
+    simd::set_backend(None);
+    let dispatched = simd::backend_name();
+    let (out_simd, trace_simd) = run_canonical(seed, cpis);
+    simd::set_backend(None);
+
+    assert!(
+        !out_scalar.detections.is_empty(),
+        "canonical scenario should produce detections"
+    );
+    // Detection carries f64 power and threshold; PartialEq equality on
+    // the full list is the bit-identity claim.
+    assert_eq!(
+        out_scalar.detections, out_simd.detections,
+        "detections differ between scalar and {dispatched} backends"
+    );
+    assert_eq!(
+        comm_key(&trace_scalar),
+        comm_key(&trace_simd),
+        "comm event multiset differs between scalar and {dispatched} backends"
+    );
+    assert_eq!(
+        trace_scalar.tasks.len(),
+        trace_simd.tasks.len(),
+        "task span count differs"
+    );
+}

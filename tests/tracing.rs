@@ -281,11 +281,12 @@ fn ci_workflow_is_structurally_valid() {
         "fault-smoke:",
         "bench-smoke:",
         "trace-smoke:",
+        "scalar-fallback:",
     ] {
         assert!(text.contains(job), "missing job {job}");
     }
     assert!(text.contains("jobs:"));
-    for stage in 1..=7 {
+    for stage in 1..=8 {
         assert!(
             text.contains(&format!("scripts/check.sh --stage {stage}")),
             "workflow must run check.sh stage {stage}"
@@ -304,8 +305,8 @@ fn ci_workflow_is_structurally_valid() {
 fn check_script_stage_list_matches_workflow() {
     let script = repo_file("scripts/check.sh");
     assert!(
-        script.contains("NUM_STAGES=7"),
-        "check.sh declares 7 stages"
+        script.contains("NUM_STAGES=8"),
+        "check.sh declares 8 stages"
     );
     for anchor in [
         "rustfmt",
@@ -313,6 +314,7 @@ fn check_script_stage_list_matches_workflow() {
         "fault smoke",
         "bench smoke",
         "trace smoke",
+        "scalar fallback",
     ] {
         assert!(script.contains(anchor), "check.sh names stage {anchor:?}");
     }
