@@ -11,9 +11,23 @@
 //! stapctl gantt    [--nodes N0,..,N6] [--cpis 8]
 //! stapctl csv      --what fig11|scaling
 //! stapctl bench    [--quick] [--json] [--force] [--out BENCH_kernels.json]
+//! stapctl bench    --streams [--quick] [--json] [--force] [--out BENCH_streams.json]
+//! stapctl serve    [--streams 4] [--cpis 8] [--seed 42] [--depth 8] [--group G]
+//!                  [--window 4] [--json] [--out PATH]
+//! stapctl loadgen  [--streams 4] [--cpis 8] [--seed 42] [--depth 2] [--group G]
+//!                  [--window 4] [--json] [--out PATH]
 //! stapctl trace    [--cpis 6] [--seed 42] [--nodes 2,1,2,1,1,2,1] [--json]
 //!                  [--out TRACE_pipeline.json]
 //! ```
+//!
+//! `serve` runs a resident multi-stream ingestion session (simulated
+//! producer streams through admission control, cross-stream batching
+//! and the resident pipeline) and reports per-stream p50/p99 latency;
+//! `loadgen` is the same engine with a deliberately tight per-stream
+//! queue so admission backpressure (QueueFull + retry) is exercised.
+//! `bench --streams` measures the aggregate multi-stream rate against a
+//! serial one-shot baseline and gates `BENCH_streams.json` like the
+//! kernel bench.
 //!
 //! `faults` runs a deterministic fault-injection campaign on the real
 //! (reduced-size) pipeline: one weight-task stall and one dropped
@@ -50,24 +64,21 @@ fn usage() -> ExitCode {
          stapctl optimize --budget B [--objective throughput|latency] [--floor T] [--moves M]\n  \
          stapctl detect [--cpis K] [--seed S] [--full] [--nodes N0,..,N6]\n  \
          stapctl faults [--cpis K] [--seed S] [--drop-cpi C] [--stall-cpi C] [--expect degraded=G,dropped=D] [--json] [--out PATH]\n  \
-         stapctl bench [--quick] [--json] [--force] [--out PATH]\n  \
+         stapctl bench [--streams] [--quick] [--json] [--force] [--out PATH]\n  \
+         stapctl serve [--streams N] [--cpis K] [--seed S] [--depth D] [--group G] [--window W] [--json] [--out PATH]\n  \
+         stapctl loadgen [--streams N] [--cpis K] [--seed S] [--depth D] [--group G] [--window W] [--json] [--out PATH]\n  \
          stapctl trace [--cpis K] [--seed S] [--nodes N0,..,N6] [--json] [--out PATH]"
     );
     ExitCode::from(2)
 }
 
-fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+fn parse_flags(args: &[String], bools: &[&str]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
     let mut i = 0;
     while i < args.len() {
         let a = &args[i];
         if let Some(name) = a.strip_prefix("--") {
-            if name == "contention"
-                || name == "full"
-                || name == "json"
-                || name == "quick"
-                || name == "force"
-            {
+            if bools.contains(&name) {
                 flags.insert(name.to_string(), "true".to_string());
                 i += 1;
             } else {
@@ -427,6 +438,9 @@ fn cmd_csv(flags: HashMap<String, String>) -> Result<(), String> {
 fn cmd_bench(flags: HashMap<String, String>) -> Result<(), String> {
     use stap_bench::kernels;
     use stap_util::bench::fmt_ns;
+    if flags.contains_key("streams") {
+        return cmd_bench_streams(flags);
+    }
     let quick = flags.contains_key("quick");
     let pairs = kernels::measure(quick);
     println!();
@@ -481,6 +495,184 @@ fn cmd_bench(flags: HashMap<String, String>) -> Result<(), String> {
     }
     std::fs::write(out_path, j.to_string_pretty()).map_err(|e| format!("write {out_path}: {e}"))?;
     println!("wrote {out_path}");
+    Ok(())
+}
+
+fn cmd_bench_streams(flags: HashMap<String, String>) -> Result<(), String> {
+    use stap_bench::streams;
+    let quick = flags.contains_key("quick");
+    let cfg = if quick {
+        streams::StreamsConfig::quick()
+    } else {
+        streams::StreamsConfig::full()
+    };
+    println!(
+        "multi-stream bench: {} streams x {} CPIs (group {}, window {}) vs {} serial one-shot CPIs...",
+        cfg.streams, cfg.cpis_per_stream, cfg.max_group, cfg.window, cfg.serial_cpis
+    );
+    let r = streams::measure(cfg)?;
+    let s = &r.load.summary;
+    println!(
+        "serial one-shot  {:>8.1} CPI/s\nmulti-stream     {:>8.1} CPI/s  ({} CPIs in {} slots, {:.2} CPIs/slot)\nspeedup          {:>8.2}x",
+        r.serial_cpis_per_sec,
+        s.cpis_per_sec,
+        s.cpis,
+        s.slots,
+        s.cpis as f64 / s.slots.max(1) as f64,
+        r.speedup
+    );
+    println!(
+        "latency          p50 {:.2} ms  p99 {:.2} ms  max {:.2} ms   backpressure retries {}",
+        s.aggregate.p50_ms, s.aggregate.p99_ms, s.aggregate.max_ms, r.load.backpressure_retries
+    );
+    for st in &s.streams {
+        println!(
+            "  stream {:>2}: {:>3} CPIs  p50 {:>7.2} ms  p99 {:>7.2} ms  max {:>7.2} ms",
+            st.stream, st.cpis, st.latency.p50_ms, st.latency.p99_ms, st.latency.max_ms
+        );
+    }
+    let out_path = flags
+        .get("out")
+        .map(String::as_str)
+        .unwrap_or("BENCH_streams.json");
+    // Same gating discipline as the kernel bench: a full-mode run that
+    // lost more than 10% aggregate throughput (or gained >10% p99)
+    // against the recorded baseline refuses to overwrite it.
+    if !quick && !flags.contains_key("force") {
+        if let Ok(baseline) = std::fs::read_to_string(out_path) {
+            if let Some(why) = stap_bench::kernels::host_mismatch(&baseline) {
+                eprintln!(
+                    "WARNING: {why}; skipping the >10% regression gate \
+                     (timings are not comparable across SIMD backends)"
+                );
+            } else {
+                let slow = streams::regressions(&r, &baseline, 0.10)?;
+                if !slow.is_empty() {
+                    for line in &slow {
+                        eprintln!("REGRESSION {line}");
+                    }
+                    return Err(format!(
+                        "{} metric(s) regressed >10% vs the recorded {out_path}; \
+                         baseline left untouched (re-run with --force to accept)",
+                        slow.len()
+                    ));
+                }
+            }
+        }
+    }
+    let j = streams::report(&r, quick);
+    if flags.contains_key("json") {
+        println!("{}", j.to_string_pretty());
+    }
+    std::fs::write(out_path, j.to_string_pretty()).map_err(|e| format!("write {out_path}: {e}"))?;
+    println!("wrote {out_path}");
+    Ok(())
+}
+
+/// Shared implementation of `stapctl serve` and `stapctl loadgen`: a
+/// resident server session driven by the in-process load generator
+/// (the repo is hermetic — streams are simulated producers, not
+/// sockets). `serve` defaults to a steady session report; `loadgen`
+/// defaults to a tighter queue to exercise admission backpressure.
+fn cmd_serve_session(flags: HashMap<String, String>, loadgen_defaults: bool) -> Result<(), String> {
+    use stap::pipeline::ResidentStap;
+    use stap::serve::{run_loadgen, LoadgenConfig, ServerConfig, StapServer};
+
+    let get = |k: &str, d: usize| -> Result<usize, String> {
+        flags
+            .get(k)
+            .map(|v| v.parse().map_err(|e| format!("--{k}: {e}")))
+            .transpose()
+            .map(|o| o.unwrap_or(d))
+    };
+    let streams = get("streams", 4)?.max(1);
+    let cpis = get("cpis", 8)?.max(1);
+    let depth = get("depth", if loadgen_defaults { 2 } else { 8 })?.max(1);
+    let group = get("group", streams.min(8))?.max(1);
+    let window = get("window", 4)?.max(1);
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| s.parse().map_err(|e| format!("--seed: {e}")))
+        .transpose()?
+        .unwrap_or(42);
+
+    // The progress banner goes to stderr so `--json` leaves stdout as
+    // one parseable document.
+    eprintln!(
+        "resident serve session: {streams} streams x {cpis} CPIs \
+         (group {group}, window {window}, queue depth {depth})..."
+    );
+    let report = run_loadgen(
+        || {
+            let params = StapParams::reduced();
+            let scenario = Scenario::reduced(seed);
+            let res = ResidentStap::for_scenario(params, NodeAssignment::tiny(), &scenario);
+            StapServer::start(
+                res,
+                ServerConfig {
+                    window,
+                    max_group: group,
+                    queue_depth: depth,
+                    streams_hint: streams,
+                    ..ServerConfig::default()
+                },
+            )
+        },
+        LoadgenConfig {
+            streams,
+            cpis_per_stream: cpis,
+            seed,
+            ..LoadgenConfig::default()
+        },
+    )
+    .map_err(|e| format!("serve session failed: {e}"))?;
+    let s = &report.summary;
+
+    if flags.contains_key("json") {
+        println!("{}", s.to_json().to_string_pretty());
+    } else {
+        println!(
+            "{} CPIs in {} slots ({:.2} CPIs/slot), {:.1} CPI/s aggregate",
+            s.cpis,
+            s.slots,
+            s.cpis as f64 / s.slots.max(1) as f64,
+            s.cpis_per_sec
+        );
+        println!(
+            "latency p50 {:.2} ms  p99 {:.2} ms  max {:.2} ms",
+            s.aggregate.p50_ms, s.aggregate.p99_ms, s.aggregate.max_ms
+        );
+        for st in &s.streams {
+            println!(
+                "  stream {:>2}: {:>3} CPIs  {:>5} detections  p50 {:>7.2} ms  p99 {:>7.2} ms",
+                st.stream, st.cpis, st.detections, st.latency.p50_ms, st.latency.p99_ms
+            );
+        }
+        println!(
+            "admission: {} rejected, {} purged, {} backpressure retries",
+            s.rejected, s.purged, report.backpressure_retries
+        );
+        println!(
+            "pools: cx {}/{} hits/misses, real {}/{}\nmailbox depth max {} (over high water {})",
+            s.resident.pool_cx.hits,
+            s.resident.pool_cx.misses,
+            s.resident.pool_real.hits,
+            s.resident.pool_real.misses,
+            s.resident
+                .health
+                .max_mailbox_depth
+                .iter()
+                .copied()
+                .max()
+                .unwrap_or(0),
+            s.resident.health.mailbox_over_high_water
+        );
+    }
+    if let Some(out) = flags.get("out") {
+        std::fs::write(out, s.to_json().to_string_pretty())
+            .map_err(|e| format!("write {out}: {e}"))?;
+        println!("wrote {out}");
+    }
     Ok(())
 }
 
@@ -582,7 +774,14 @@ fn main() -> ExitCode {
     let Some(cmd) = args.first() else {
         return usage();
     };
-    let flags = match parse_flags(&args[1..]) {
+    // `bench --streams` is a selector (boolean); `serve`/`loadgen`
+    // take `--streams N` as a value.
+    let bools: &[&str] = match cmd.as_str() {
+        "bench" => &["quick", "json", "force", "streams"],
+        "serve" | "loadgen" => &["json"],
+        _ => &["contention", "full", "json", "quick", "force"],
+    };
+    let flags = match parse_flags(&args[1..], bools) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("error: {e}");
@@ -597,6 +796,8 @@ fn main() -> ExitCode {
         "gantt" => cmd_gantt(flags),
         "csv" => cmd_csv(flags),
         "bench" => cmd_bench(flags),
+        "serve" => cmd_serve_session(flags, false),
+        "loadgen" => cmd_serve_session(flags, true),
         "trace" => cmd_trace(flags),
         _ => return usage(),
     };

@@ -745,7 +745,7 @@ pub fn report(pairs: &[Pair], quick: bool) -> Json {
 /// under. Baselines move across machines; the regression gate compares
 /// this against [`host_mismatch`] so a scalar-host rerun of an
 /// AVX2-recorded baseline warns instead of misfiring.
-fn host_metadata() -> Json {
+pub fn host_metadata() -> Json {
     Json::obj([
         ("simd_backend", Json::Str(simd::backend_name().into())),
         ("avx2_available", Json::Bool(simd::avx2_available())),

@@ -4,6 +4,7 @@
 
 pub mod alloc_count;
 pub mod kernels;
+pub mod streams;
 
 use stap::core::doppler::DopplerProcessor;
 use stap::core::weights::EasyWeightComputer;

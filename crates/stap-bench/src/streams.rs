@@ -1,0 +1,334 @@
+//! Multi-stream ingestion benchmark (`stapctl bench --streams`).
+//!
+//! Measures the tentpole claim of the serve front end: coalescing CPIs
+//! from many concurrent streams into batched pipeline slots sustains a
+//! higher aggregate rate than serving CPIs one at a time. Two
+//! measurements over the same workload:
+//!
+//! * **serial baseline** — one CPI at a time, each through a freshly
+//!   constructed batch pipeline (`ParallelStap::run` on a single cube):
+//!   the cost model of the pre-serve front end (ROADMAP item 1's
+//!   "process one scenario and exit"), which pays world spawn, cold
+//!   pools and per-slot messaging on every request;
+//! * **multi-stream** — `streams` concurrent producers through
+//!   [`StapServer`] with cross-stream batching, recording per-stream
+//!   p50/p99 submit-to-complete latency and the aggregate CPIs/sec.
+//!
+//! The workload is the *service geometry*: CPIs half the linear size of
+//! the `reduced` test geometry (`K = 32, N = 16`). This bench measures
+//! the ingestion runtime — admission, batching, messaging, pool reuse —
+//! so the CPI is sized to the high-rate regime where that per-request
+//! overhead is a first-order cost; kernel-scale arithmetic throughput
+//! has its own benchmark (`BENCH_kernels.json`). On a single-core host
+//! batching cannot overlap compute, so amortized per-request overhead
+//! is exactly what the speedup measures.
+//!
+//! The report lands in `BENCH_streams.json` with the same host metadata
+//! and >10% self-regression gating discipline as `BENCH_kernels.json`
+//! (throughput gates downward: a run slower than the recorded baseline
+//! by more than the tolerance fails).
+
+use stap::core::StapParams;
+use stap::pipeline::{NodeAssignment, ParallelStap, ResidentStap};
+use stap::radar::{Scenario, Target};
+use stap::serve::{run_loadgen, LoadgenConfig, LoadgenReport, ServerConfig, StapServer};
+use stap_util::Json;
+use std::time::Instant;
+
+/// Benchmark shape.
+#[derive(Clone, Copy, Debug)]
+pub struct StreamsConfig {
+    /// Concurrent streams driven against the server.
+    pub streams: usize,
+    /// CPIs per stream.
+    pub cpis_per_stream: usize,
+    /// CPIs timed for the serial one-shot baseline.
+    pub serial_cpis: usize,
+    /// Slot coalescing bound for the server.
+    pub max_group: usize,
+    /// In-flight slot window.
+    pub window: usize,
+    /// Per-stream admission depth.
+    pub queue_depth: usize,
+    /// Scenario seed.
+    pub seed: u64,
+}
+
+impl StreamsConfig {
+    /// Full measurement: 8 streams, enough CPIs to reach steady state
+    /// and average over scheduler noise.
+    pub fn full() -> Self {
+        StreamsConfig {
+            streams: 8,
+            cpis_per_stream: 64,
+            serial_cpis: 64,
+            max_group: 8,
+            window: 4,
+            // Depth must cover in-flight slots (window * group / streams)
+            // plus admitted-and-waiting headroom, or the batcher starves
+            // and coalesces partial groups.
+            queue_depth: 16,
+            seed: 42,
+        }
+    }
+
+    /// Quick smoke for CI: minutes matter more than precision.
+    pub fn quick() -> Self {
+        StreamsConfig {
+            streams: 2,
+            cpis_per_stream: 4,
+            serial_cpis: 4,
+            max_group: 2,
+            window: 2,
+            queue_depth: 4,
+            seed: 42,
+        }
+    }
+}
+
+/// The service-scale CPI: half of `reduced` in range cells and pulses,
+/// same 8-channel array. See the module docs for why the streams bench
+/// runs a high-rate/small-CPI workload.
+pub fn service_params() -> StapParams {
+    StapParams {
+        k_range: 32,
+        n_pulses: 16,
+        n_hard: 6,
+        range_segments: vec![0, 16, 32],
+        easy_samples_per_cpi: 8,
+        hard_samples: 12,
+        cfar_window: 8,
+        ..StapParams::reduced()
+    }
+}
+
+/// The matching scenario (target mid-range so detections stay in-band).
+pub fn service_scenario(seed: u64) -> Scenario {
+    Scenario {
+        range_cells: 32,
+        pulses: 16,
+        targets: vec![Target::fixed(15, 0.25, 2.0, 5.0)],
+        ..Scenario::reduced(seed)
+    }
+}
+
+/// Both measurements plus the derived speedup.
+#[derive(Debug)]
+pub struct StreamsResult {
+    /// The configuration measured.
+    pub cfg: StreamsConfig,
+    /// Serial one-shot baseline rate (CPIs/sec).
+    pub serial_cpis_per_sec: f64,
+    /// The multi-stream load run (summary + backpressure counters).
+    pub load: LoadgenReport,
+    /// `aggregate CPIs/sec / serial baseline`.
+    pub speedup: f64,
+}
+
+/// Runs both measurements.
+pub fn measure(cfg: StreamsConfig) -> Result<StreamsResult, String> {
+    let params = service_params();
+    params
+        .validate()
+        .map_err(|e| format!("service params: {e}"))?;
+    let assign = NodeAssignment::tiny();
+
+    // Serial baseline: fresh pipeline per CPI, one CPI per run.
+    let scenario = service_scenario(cfg.seed);
+    let cubes: Vec<_> = scenario
+        .stream(cfg.serial_cpis)
+        .map(|(_, _, c)| c)
+        .collect();
+    let t0 = Instant::now();
+    for c in &cubes {
+        let runner = ParallelStap::for_scenario(params.clone(), assign, &scenario);
+        let out = runner.run(vec![c.clone()]);
+        assert_eq!(out.detections.len(), 1);
+    }
+    let serial_elapsed = t0.elapsed().as_secs_f64();
+    let serial_cpis_per_sec = cfg.serial_cpis as f64 / serial_elapsed;
+
+    // Multi-stream: producers with backpressure through the server.
+    let load = run_loadgen(
+        || {
+            let scenario = service_scenario(cfg.seed);
+            let res = ResidentStap::for_scenario(params.clone(), assign, &scenario);
+            StapServer::start(
+                res,
+                ServerConfig {
+                    window: cfg.window,
+                    max_group: cfg.max_group,
+                    queue_depth: cfg.queue_depth,
+                    streams_hint: cfg.streams,
+                    ..ServerConfig::default()
+                },
+            )
+        },
+        LoadgenConfig {
+            streams: cfg.streams,
+            cpis_per_stream: cfg.cpis_per_stream,
+            seed: cfg.seed,
+            scenario: service_scenario,
+        },
+    )
+    .map_err(|e| format!("multi-stream run failed: {e}"))?;
+    let s = &load.summary;
+    if s.cpis as usize != cfg.streams * cfg.cpis_per_stream {
+        return Err(format!(
+            "multi-stream run completed {} of {} CPIs",
+            s.cpis,
+            cfg.streams * cfg.cpis_per_stream
+        ));
+    }
+    if s.resident.health.any() {
+        return Err("multi-stream run reported fault counters".into());
+    }
+    let speedup = s.cpis_per_sec / serial_cpis_per_sec;
+    Ok(StreamsResult {
+        cfg,
+        serial_cpis_per_sec,
+        load,
+        speedup,
+    })
+}
+
+/// Renders the `BENCH_streams.json` document.
+pub fn report(r: &StreamsResult, quick: bool) -> Json {
+    let s = &r.load.summary;
+    Json::obj([
+        ("bench", Json::Str("streams".into())),
+        (
+            "mode",
+            Json::Str(if quick { "quick" } else { "full" }.into()),
+        ),
+        ("host", crate::kernels::host_metadata()),
+        (
+            "config",
+            Json::obj([
+                ("k_range", Json::Num(service_params().k_range as f64)),
+                ("n_pulses", Json::Num(service_params().n_pulses as f64)),
+                ("j_channels", Json::Num(service_params().j_channels as f64)),
+                ("streams", Json::Num(r.cfg.streams as f64)),
+                ("cpis_per_stream", Json::Num(r.cfg.cpis_per_stream as f64)),
+                ("serial_cpis", Json::Num(r.cfg.serial_cpis as f64)),
+                ("max_group", Json::Num(r.cfg.max_group as f64)),
+                ("window", Json::Num(r.cfg.window as f64)),
+                ("queue_depth", Json::Num(r.cfg.queue_depth as f64)),
+            ]),
+        ),
+        (
+            "serial",
+            Json::obj([("cpis_per_sec", Json::Num(r.serial_cpis_per_sec))]),
+        ),
+        (
+            "multi",
+            Json::obj([
+                ("cpis_per_sec", Json::Num(s.cpis_per_sec)),
+                ("cpis", Json::Num(s.cpis as f64)),
+                ("slots", Json::Num(s.slots as f64)),
+                ("elapsed_s", Json::Num(s.elapsed)),
+                ("p50_ms", Json::Num(s.aggregate.p50_ms)),
+                ("p99_ms", Json::Num(s.aggregate.p99_ms)),
+                ("max_ms", Json::Num(s.aggregate.max_ms)),
+                (
+                    "backpressure_retries",
+                    Json::Num(r.load.backpressure_retries as f64),
+                ),
+                ("rejected", Json::Num(s.rejected as f64)),
+                (
+                    "pool_misses",
+                    Json::Num((s.resident.pool_cx.misses + s.resident.pool_real.misses) as f64),
+                ),
+                (
+                    "streams",
+                    Json::arr(s.streams.iter().map(|st| {
+                        Json::obj([
+                            ("stream", Json::Num(st.stream as f64)),
+                            ("cpis", Json::Num(st.cpis as f64)),
+                            ("detections", Json::Num(st.detections as f64)),
+                            ("p50_ms", Json::Num(st.latency.p50_ms)),
+                            ("p99_ms", Json::Num(st.latency.p99_ms)),
+                            ("max_ms", Json::Num(st.latency.max_ms)),
+                        ])
+                    })),
+                ),
+            ]),
+        ),
+        ("speedup", Json::Num(r.speedup)),
+    ])
+}
+
+/// Self-regression gate: compares a fresh result against a recorded
+/// `BENCH_streams.json`. Throughput gates downward (slower than the
+/// recorded aggregate by more than `tolerance` fails), p99 gates upward.
+/// Errors when the baseline does not parse — a silently skipped gate is
+/// no gate.
+pub fn regressions(
+    r: &StreamsResult,
+    baseline: &str,
+    tolerance: f64,
+) -> Result<Vec<String>, String> {
+    let doc = Json::parse(baseline).map_err(|e| format!("baseline parse error: {e}"))?;
+    let mut lines = Vec::new();
+    let s = &r.load.summary;
+    if let Some(old) = doc
+        .get("multi")
+        .and_then(|m| m.get("cpis_per_sec"))
+        .and_then(Json::as_f64)
+    {
+        if old > 0.0 && s.cpis_per_sec < old * (1.0 - tolerance) {
+            lines.push(format!(
+                "aggregate cpis_per_sec {:.1} -> {:.1} (-{:.1}%, tolerance {:.0}%)",
+                old,
+                s.cpis_per_sec,
+                (1.0 - s.cpis_per_sec / old) * 100.0,
+                tolerance * 100.0
+            ));
+        }
+    }
+    if let Some(old) = doc
+        .get("multi")
+        .and_then(|m| m.get("p99_ms"))
+        .and_then(Json::as_f64)
+    {
+        if old > 0.0 && s.aggregate.p99_ms > old * (1.0 + tolerance) {
+            lines.push(format!(
+                "aggregate p99_ms {:.2} -> {:.2} (+{:.1}%, tolerance {:.0}%)",
+                old,
+                s.aggregate.p99_ms,
+                (s.aggregate.p99_ms / old - 1.0) * 100.0,
+                tolerance * 100.0
+            ));
+        }
+    }
+    Ok(lines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_fires_on_throughput_drop_and_p99_rise() {
+        let cfg = StreamsConfig::quick();
+        let mut r = StreamsResult {
+            cfg,
+            serial_cpis_per_sec: 100.0,
+            load: LoadgenReport {
+                summary: Default::default(),
+                backpressure_retries: 0,
+            },
+            speedup: 2.0,
+        };
+        r.load.summary.cpis_per_sec = 200.0;
+        r.load.summary.aggregate.p50_ms = 5.0;
+        r.load.summary.aggregate.p99_ms = 10.0;
+        let baseline = r#"{"multi": {"cpis_per_sec": 250.0, "p99_ms": 8.0}}"#;
+        let lines = regressions(&r, baseline, 0.10).unwrap();
+        assert_eq!(lines.len(), 2, "{lines:?}");
+        // Within tolerance: no findings.
+        let ok = r#"{"multi": {"cpis_per_sec": 205.0, "p99_ms": 9.5}}"#;
+        assert!(regressions(&r, ok, 0.10).unwrap().is_empty());
+        assert!(regressions(&r, "not json", 0.10).is_err());
+    }
+}

@@ -218,6 +218,68 @@ fn steady_state_cpi_kernels_do_not_allocate() {
         });
     }
 
+    // --- Multi-stream slot round: ingest-copy, cross-stream slot -------
+    // assembly and the grouped Doppler pass, all through a pool warmed
+    // by `reserve` the way `ResidentStap::reserve` pre-warms the serve
+    // pools. This is the serve front end's per-slot hot path: B
+    // submitted CPIs (different streams) coalesce into one stacked slab
+    // and one batched FFT call.
+    {
+        let b = 4usize; // group size: CPIs per slot
+        let klen = 64usize; // one node's k-rows per sub-CPI
+        let sub_shape = [p.k_range, p.j_channels, p.n_pulses];
+        let sub_len = sub_shape.iter().product::<usize>();
+        let row = p.j_channels * p.n_pulses;
+        let proc = DopplerProcessor::new(&p);
+        let mut stag = CCube::zeros([b * klen, 2 * p.j_channels, p.n_pulses]);
+        let mut fft_ws = FftScratch::new();
+        let pool: SharedBufferPool<Cx> = SharedBufferPool::new();
+        // Demand-driven pre-warm: B producer-held cubes plus the group
+        // slab, exactly what one in-flight slot needs.
+        pool.reserve(sub_len, b);
+        pool.reserve(b * klen * row, 1);
+        let sources: Vec<CCube> = (0..b)
+            .map(|s| CCube::from_fn(sub_shape, |i, j, k| det_cx(i + s, j, k)))
+            .collect();
+        // Reused across rounds so the round itself allocates nothing.
+        let mut held: Vec<CCube> = Vec::with_capacity(b);
+        let mut slot = |pool: &SharedBufferPool<Cx>, held: &mut Vec<CCube>| {
+            // Producers: one memcpy ingest per stream (take_cube_from).
+            for c in &sources {
+                held.push(pool.take_cube_from(c));
+            }
+            // Driver: concatenate each sub-CPI's k-slab into the slot
+            // group slab (axis 0 is slowest, so b slice copies).
+            let mut buf = pool.get(b * klen * row);
+            for cube in held.iter() {
+                buf.extend_from_slice(&cube.as_slice()[..klen * row]);
+            }
+            let slab = CCube::from_vec([b * klen, p.j_channels, p.n_pulses], buf);
+            for cube in held.drain(..) {
+                pool.recycle(cube);
+            }
+            // Doppler node: the whole group through one batched pass.
+            proc.process_groups_with(&slab, 0, b, &mut stag, &mut fft_ws);
+            pool.recycle(slab);
+            black_box(stag[(0, 0, 0)]);
+        };
+        slot(&pool, &mut held); // warmup: FFT scratch sizing, flop thread-locals
+        let before = pool.stats();
+        assert_zero_alloc("multi-stream slot assembly + grouped doppler", || {
+            slot(&pool, &mut held)
+        });
+        let after = pool.stats();
+        assert_eq!(
+            after.misses, before.misses,
+            "steady-state slots must not miss the reserved pool: {after:?}"
+        );
+        // The reserve pre-warm means even the warmup slot never missed.
+        assert_eq!(
+            after.misses, 0,
+            "reserve must cover the first slot: {after:?}"
+        );
+    }
+
     // --- Tracing: the disabled span recorder is allocation-free. -------
     // Every production world runs with tracing disabled; this pins the
     // "one branch, no clock, no alloc" guarantee of the disabled path

@@ -20,9 +20,13 @@ use crate::cube::Cube;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-/// Upper bound on free buffers retained per size class. Bounds pool
-/// memory at `MAX_FREE_PER_CLASS * class_size` per class; the pipeline's
-/// steady state needs far fewer (one per in-flight block).
+/// Default upper bound on free buffers retained per size class. Bounds
+/// pool memory at `MAX_FREE_PER_CLASS * class_size` per class; the
+/// pipeline's steady state needs far fewer (one per in-flight block).
+/// A [`BufferPool::reserve`] call raises the bound for its class: a
+/// demand-driven reservation *is* the steady-state population count
+/// (e.g. `streams * queue_depth` admitted CPI cubes), so capping it at
+/// the default would reintroduce the misses it exists to prevent.
 const MAX_FREE_PER_CLASS: usize = 64;
 
 /// Pool traffic counters (for benchmarks and tests).
@@ -45,6 +49,8 @@ pub struct PoolStats {
 #[derive(Default)]
 pub struct BufferPool<T> {
     free: HashMap<usize, Vec<Vec<T>>>,
+    /// Per-class retention overrides from [`BufferPool::reserve`].
+    reserved: HashMap<usize, usize>,
     stats: PoolStats,
 }
 
@@ -53,6 +59,7 @@ impl<T> BufferPool<T> {
     pub fn new() -> Self {
         BufferPool {
             free: HashMap::new(),
+            reserved: HashMap::new(),
             stats: PoolStats::default(),
         }
     }
@@ -89,12 +96,23 @@ impl<T> BufferPool<T> {
         // Largest class this buffer can serve: any get(c) with
         // next_power_of_two(c) == class needs capacity >= class <= cap.
         let class = 1usize << (usize::BITS - 1 - cap.leading_zeros());
+        let bound = self.retention(class);
         let slot = self.free.entry(class).or_default();
-        if slot.len() < MAX_FREE_PER_CLASS {
+        if slot.len() < bound {
             slot.push(buf);
         } else {
             self.stats.dropped += 1;
         }
+    }
+
+    /// Retention bound for a class: the default, unless a reservation
+    /// declared a larger steady-state population.
+    fn retention(&self, class: usize) -> usize {
+        self.reserved
+            .get(&class)
+            .copied()
+            .unwrap_or(0)
+            .max(MAX_FREE_PER_CLASS)
     }
 
     /// Traffic counters so far.
@@ -105,6 +123,27 @@ impl<T> BufferPool<T> {
     /// Number of buffers currently on the freelist.
     pub fn free_buffers(&self) -> usize {
         self.free.values().map(Vec::len).sum()
+    }
+
+    /// Pre-warms the size class serving `get(capacity)` so it holds at
+    /// least `count` free buffers, and raises the class's retention
+    /// bound to `count` when that exceeds the default. Demand-driven
+    /// sizing hint for multi-stream runs: callers that know how many
+    /// blocks of each size will be in flight reserve them up front, and
+    /// the steady state then records zero misses instead of paying one
+    /// allocating miss per class per warmup CPI. Reservation does not
+    /// touch the hit/miss counters.
+    pub fn reserve(&mut self, capacity: usize, count: usize) {
+        if capacity == 0 || count == 0 {
+            return;
+        }
+        let class = capacity.next_power_of_two();
+        let cur = self.reserved.entry(class).or_default();
+        *cur = (*cur).max(count);
+        let slot = self.free.entry(class).or_default();
+        while slot.len() < count {
+            slot.push(Vec::with_capacity(class));
+        }
     }
 }
 
@@ -158,6 +197,11 @@ impl<T> SharedBufferPool<T> {
     pub fn stats(&self) -> PoolStats {
         self.lock().stats()
     }
+
+    /// See [`BufferPool::reserve`].
+    pub fn reserve(&self, capacity: usize, count: usize) {
+        self.lock().reserve(capacity, count)
+    }
 }
 
 impl<T: Copy + Default> SharedBufferPool<T> {
@@ -173,6 +217,16 @@ impl<T: Copy + Default> SharedBufferPool<T> {
     /// the pool.
     pub fn recycle(&self, cube: Cube<T>) {
         self.put(cube.into_vec())
+    }
+
+    /// The pooled analogue of `Cube::clone`: copies `src` into a
+    /// recycled buffer in one slice copy instead of an element-wise
+    /// rebuild. This is the ingestion fast path — a submitted CPI is
+    /// one `memcpy` into the pool, not 16k closure calls.
+    pub fn take_cube_from(&self, src: &Cube<T>) -> Cube<T> {
+        let mut buf = self.get(src.len());
+        buf.extend_from_slice(src.as_slice());
+        Cube::from_vec(src.shape(), buf)
     }
 }
 
@@ -223,6 +277,31 @@ mod tests {
         }
         assert_eq!(pool.free_buffers(), MAX_FREE_PER_CLASS);
         assert_eq!(pool.stats().dropped, 5);
+    }
+
+    #[test]
+    fn reserve_prewarms_class_without_touching_stats() {
+        let mut pool: BufferPool<f64> = BufferPool::new();
+        pool.reserve(100, 3);
+        assert_eq!(pool.free_buffers(), 3);
+        assert_eq!(pool.stats(), PoolStats::default(), "reserve is not traffic");
+        // Re-reserving an already-warm class is a no-op.
+        pool.reserve(100, 2);
+        assert_eq!(pool.free_buffers(), 3);
+        for _ in 0..3 {
+            let b = pool.get(100);
+            assert!(b.capacity() >= 100);
+        }
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses), (3, 0), "reserved gets must all hit");
+        // A reservation beyond the default bound raises the bound: the
+        // caller declared the steady-state population, so both the
+        // pre-warm and subsequent put() retention honor it.
+        pool.reserve(8, MAX_FREE_PER_CLASS + 10);
+        assert_eq!(pool.free_buffers(), MAX_FREE_PER_CLASS + 10);
+        let b = pool.get(8);
+        pool.put(b);
+        assert_eq!(pool.stats().dropped, 0, "reserved class must retain");
     }
 
     #[test]

@@ -39,6 +39,31 @@ pub(crate) struct Envelope<M> {
 pub(crate) struct Mailbox<M> {
     buckets: HashMap<(usize, Tag), VecDeque<(u64, M)>>,
     seq: u64,
+    /// Messages currently buffered across every bucket.
+    depth: usize,
+    /// High-water mark of `depth` over the mailbox lifetime.
+    max_depth: usize,
+    /// Configurable soft bound; 0 disables the check. Crossing it only
+    /// counts (hard shedding on a blocking-receive runtime would
+    /// deadlock the pipeline) — the count is the backpressure signal
+    /// admission control acts on.
+    high_water: usize,
+    /// Pushes observed while `depth` already sat at or above
+    /// `high_water`.
+    over_high_water: u64,
+}
+
+/// Buffered-depth accounting of one rank's unexpected-message queue.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MailboxStats {
+    /// Messages buffered right now.
+    pub depth: usize,
+    /// Largest depth ever observed.
+    pub max_depth: usize,
+    /// Configured soft high-water mark (0 = unbounded).
+    pub high_water: usize,
+    /// Pushes that landed while at or above the high-water mark.
+    pub over_high_water: u64,
 }
 
 impl<M> Default for Mailbox<M> {
@@ -46,6 +71,10 @@ impl<M> Default for Mailbox<M> {
         Mailbox {
             buckets: HashMap::new(),
             seq: 0,
+            depth: 0,
+            max_depth: 0,
+            high_water: 0,
+            over_high_water: 0,
         }
     }
 }
@@ -55,6 +84,11 @@ impl<M> Mailbox<M> {
     fn push(&mut self, e: Envelope<M>) {
         let s = self.seq;
         self.seq += 1;
+        if self.high_water > 0 && self.depth >= self.high_water {
+            self.over_high_water += 1;
+        }
+        self.depth += 1;
+        self.max_depth = self.max_depth.max(self.depth);
         self.buckets
             .entry((e.src, e.tag))
             .or_default()
@@ -69,6 +103,7 @@ impl<M> Mailbox<M> {
         if q.is_empty() {
             self.buckets.remove(&(src, tag));
         }
+        self.depth -= 1;
         Some(msg)
     }
 
@@ -106,7 +141,18 @@ impl<M> Mailbox<M> {
                 false
             }
         });
+        self.depth -= dropped;
         dropped
+    }
+
+    /// Current depth accounting.
+    fn stats(&self) -> MailboxStats {
+        MailboxStats {
+            depth: self.depth,
+            max_depth: self.max_depth,
+            high_water: self.high_water,
+            over_high_water: self.over_high_water,
+        }
     }
 }
 
@@ -410,6 +456,35 @@ impl<M: Send> Comm<M> {
         self.pending.contains(src, tag)
     }
 
+    /// Depth accounting of this rank's unexpected-message queue. Drains
+    /// the delivery channel first so "buffered" means every message that
+    /// has arrived but not been consumed, not just those a receive
+    /// already parked.
+    pub fn mailbox_stats(&mut self) -> MailboxStats {
+        self.drain_inbox();
+        self.pending.stats()
+    }
+
+    /// Sets the mailbox's soft high-water mark (0 disables). Crossing it
+    /// increments [`MailboxStats::over_high_water`] instead of shedding:
+    /// on a blocking-receive runtime, dropping buffered messages would
+    /// deadlock the consumers expecting them, so the bound is a
+    /// backpressure *signal* for the layer that admits work.
+    pub fn set_mailbox_high_water(&mut self, high_water: usize) {
+        self.pending.high_water = high_water;
+    }
+
+    /// Visits every buffered `(src, tag)` bucket with its current depth
+    /// (draining the delivery channel first). Lets the application
+    /// attribute queue depth to its own tag structure — e.g. per
+    /// pipeline edge — without stap-mp knowing the tag encoding.
+    pub fn pending_counts(&mut self, mut visit: impl FnMut(usize, Tag, usize)) {
+        self.drain_inbox();
+        for (&(src, tag), q) in &self.pending.buckets {
+            visit(src, tag, q.len());
+        }
+    }
+
     /// Collects `count` messages with `tag` from any sources, e.g. one per
     /// predecessor-task node in an all-to-all step. Returns them sorted by
     /// source rank for determinism.
@@ -659,6 +734,61 @@ mod tests {
         world.run(|mut comm| {
             comm.send(0, 11, 77);
             assert_eq!(comm.recv(0, 11).unwrap(), 77);
+        });
+    }
+
+    #[test]
+    fn mailbox_depth_tracks_buffered_messages() {
+        let world: World<u32> = World::new(2);
+        world.run(|mut comm| {
+            if comm.rank() == 0 {
+                for t in 0..5u64 {
+                    comm.send(1, t, t as u32);
+                }
+                comm.barrier();
+            } else {
+                comm.barrier(); // all five are in flight or buffered now
+                let s = comm.mailbox_stats();
+                assert_eq!(s.depth, 5);
+                assert_eq!(s.max_depth, 5);
+                assert_eq!(s.over_high_water, 0, "no high-water configured");
+                let mut seen = 0;
+                comm.pending_counts(|src, _t, n| {
+                    assert_eq!(src, 0);
+                    seen += n;
+                });
+                assert_eq!(seen, 5);
+                for t in 0..5u64 {
+                    let _ = comm.recv(0, t).unwrap();
+                }
+                let s = comm.mailbox_stats();
+                assert_eq!(s.depth, 0, "consumed messages leave the mailbox");
+                assert_eq!(s.max_depth, 5, "high-water mark persists");
+            }
+        });
+    }
+
+    #[test]
+    fn high_water_crossings_are_counted_not_shed() {
+        let world: World<u32> = World::new(2);
+        world.run(|mut comm| {
+            if comm.rank() == 0 {
+                for t in 0..6u64 {
+                    comm.send(1, t, t as u32);
+                }
+                comm.barrier();
+            } else {
+                comm.set_mailbox_high_water(2);
+                comm.barrier();
+                let s = comm.mailbox_stats();
+                assert_eq!(s.depth, 6, "soft bound must not drop messages");
+                assert_eq!(s.high_water, 2);
+                assert_eq!(s.over_high_water, 4, "pushes at/above the mark");
+                // Every message is still receivable.
+                for t in 0..6u64 {
+                    assert_eq!(comm.recv(0, t).unwrap(), t as u32);
+                }
+            }
         });
     }
 

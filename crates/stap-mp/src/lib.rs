@@ -26,7 +26,7 @@ pub mod request;
 pub mod trace;
 pub mod world;
 
-pub use comm::{Comm, RecvError, Tag};
+pub use comm::{Comm, MailboxStats, RecvError, Tag};
 pub use fault::{Corruptor, FaultAction, FaultPlan, FaultRule, TagPattern};
 pub use request::RecvRequest;
 pub use trace::{CommEvent, RankTrace, SpanRecorder, TraceKind, TraceSink};

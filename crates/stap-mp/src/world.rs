@@ -107,6 +107,17 @@ impl<M: Send> World<M> {
         self
     }
 
+    /// Sets the soft mailbox high-water mark on every rank endpoint
+    /// (see [`Comm::set_mailbox_high_water`]): buffered-message pushes
+    /// at or above `high_water` are counted, never shed. 0 (the
+    /// default) disables the check.
+    pub fn with_mailbox_high_water(mut self, high_water: usize) -> Self {
+        for comm in &mut self.comms {
+            comm.set_mailbox_high_water(high_water);
+        }
+        self
+    }
+
     /// Installs a span recorder on every rank endpoint (see
     /// [`crate::trace`]). Events are timestamped relative to `epoch`,
     /// payload sizes are attributed through `bytes_of`, and each rank

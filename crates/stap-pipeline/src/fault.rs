@@ -121,7 +121,12 @@ pub fn nan_corruptor() -> stap_mp::Corruptor<crate::msg::Msg> {
                 d.power = f64::NAN;
             }
         }
-        Payload::Dropped => {}
+        Payload::DetectionsGroup(gs) => {
+            if let Some(d) = gs.iter_mut().flatten().next() {
+                d.power = f64::NAN;
+            }
+        }
+        Payload::Dropped | Payload::Shutdown => {}
     })
 }
 
@@ -134,7 +139,8 @@ pub fn payload_is_finite(p: &crate::msg::Payload) -> bool {
         Payload::Real(c) => c.is_finite(),
         Payload::Weights(ws) => ws.iter().all(|w| w.is_finite()),
         Payload::Detections(ds) => ds.iter().all(|d| d.power.is_finite()),
-        Payload::Dropped => true,
+        Payload::DetectionsGroup(gs) => gs.iter().flatten().all(|d| d.power.is_finite()),
+        Payload::Dropped | Payload::Shutdown => true,
     }
 }
 

@@ -53,6 +53,7 @@ pub mod fault;
 pub mod metrics;
 pub mod msg;
 pub mod report;
+pub mod resident;
 pub mod runner;
 pub mod tasks;
 pub mod trace;
@@ -64,6 +65,7 @@ pub use metrics::{
     PipelineTimings, TaskTiming,
 };
 pub use report::{render_health, render_timings};
+pub use resident::{CpiDone, CpiJob, ResidentStap, ResidentSummary};
 pub use runner::{ParallelStap, PipelineError, PipelineOutput};
 pub use trace::{
     chrome_trace_json, render_breakdown, CpiMark, EdgeStat, PipelineTrace, TaskInterval, TaskSpan,

@@ -96,19 +96,37 @@ pub struct PipelineHealth {
     pub dropped_cpis: u64,
     /// CPIs the driver classified as degraded (stale weights).
     pub degraded_cpis: u64,
+    /// Largest buffered mailbox depth observed per edge (sampled once
+    /// per CPI/slot at each receiver). Depth telemetry, not a fault
+    /// signal: excluded from [`PipelineHealth::any`].
+    pub max_mailbox_depth: [u64; crate::msg::NUM_EDGES],
+    /// Mailbox pushes that landed at or above the configured soft
+    /// high-water mark, summed across ranks (0 when no mark is set).
+    pub mailbox_over_high_water: u64,
 }
 
 impl PipelineHealth {
-    /// Accumulates another node's counters into this one.
+    /// Accumulates another node's counters into this one (max-merging
+    /// the depth high-water marks).
     pub fn merge(&mut self, other: &PipelineHealth) {
         for (a, b) in self.edges.iter_mut().zip(&other.edges) {
             a.add(b);
         }
         self.dropped_cpis += other.dropped_cpis;
         self.degraded_cpis += other.degraded_cpis;
+        for (a, b) in self
+            .max_mailbox_depth
+            .iter_mut()
+            .zip(&other.max_mailbox_depth)
+        {
+            *a = (*a).max(*b);
+        }
+        self.mailbox_over_high_water += other.mailbox_over_high_water;
     }
 
-    /// True when any counter anywhere is non-zero.
+    /// True when any *fault* counter anywhere is non-zero. Mailbox depth
+    /// telemetry does not count: healthy pipelined runs legitimately
+    /// buffer in-flight messages.
     pub fn any(&self) -> bool {
         self.edges.iter().any(EdgeHealth::any) || self.dropped_cpis > 0 || self.degraded_cpis > 0
     }
@@ -145,6 +163,11 @@ pub struct PipelineTimings {
     /// Per-CPI outcome as classified by the driver. Empty when the run
     /// was not fault-tolerant (every CPI is implicitly `Ok`).
     pub outcomes: Vec<CpiOutcome>,
+    /// Complex buffer pool counters for the run (hits vs misses tells
+    /// whether the steady state stayed allocation-free).
+    pub pool_cx: stap_cube::PoolStats,
+    /// Real buffer pool counters for the run.
+    pub pool_real: stap_cube::PoolStats,
 }
 
 /// Equation (1): `throughput = 1 / max_i T_i`.

@@ -10,6 +10,19 @@
 use stap_core::Detection;
 use stap_cube::{CCube, RCube};
 use stap_math::CMat;
+use std::sync::Arc;
+
+/// One stream's CPI inside a resident-mode slot group: which ingestion
+/// stream it belongs to and its per-stream sequence number (the index
+/// that drives azimuth revisit and the weight temporal dependency, so
+/// cross-stream batching stays bit-identical to per-stream serial runs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SubCpi {
+    /// Ingestion stream id.
+    pub stream: u16,
+    /// Per-stream CPI index.
+    pub scpi: u32,
+}
 
 /// Payload variants that travel between pipeline ranks.
 #[derive(Debug, Clone)]
@@ -24,22 +37,35 @@ pub enum Payload {
     Weights(Vec<CMat>),
     /// Detections from a CFAR node (to the driver).
     Detections(Vec<Detection>),
+    /// Per-sub-CPI detection lists from a CFAR node in resident mode,
+    /// aligned with the slot's [`Msg::group`] order.
+    DetectionsGroup(Vec<Vec<Detection>>),
     /// Explicit "this CPI is lost on this edge" marker. Forwarding it
     /// (instead of just not sending) is what keeps the pipeline
     /// *draining* under faults: downstream receivers learn immediately
     /// that the CPI is gone rather than burning their edge timeout.
     Dropped,
+    /// Resident-mode end-of-stream sentinel, cascaded down the data
+    /// edges so every task loop unwinds after its last slot.
+    Shutdown,
 }
 
 /// Everything that travels between pipeline ranks.
 #[derive(Debug, Clone)]
 pub struct Msg {
     /// CPI index this message belongs to (echoes the tag's low bits).
+    /// In resident mode this is the *slot* index.
     pub seq: u32,
     /// True when the sender computed this data in a degraded mode
     /// (e.g. beamformed with stale weights). ORed along the data path
     /// so the driver can classify the CPI outcome.
     pub degraded: bool,
+    /// Resident-mode slot composition: which `(stream, scpi)` pairs are
+    /// coalesced into this slot, in axis-0 concatenation order. Built
+    /// once per slot by the driver and shared by `Arc` so forwarding it
+    /// along every edge costs one refcount, not an allocation. `None`
+    /// in batch mode (the classic one-scenario run).
+    pub group: Option<Arc<[SubCpi]>>,
     /// The actual payload.
     pub payload: Payload,
 }
@@ -50,6 +76,7 @@ impl Msg {
         Msg {
             seq: cpi as u32,
             degraded: false,
+            group: None,
             payload,
         }
     }
@@ -59,6 +86,7 @@ impl Msg {
         Msg {
             seq: cpi as u32,
             degraded,
+            group: None,
             payload,
         }
     }
@@ -66,6 +94,17 @@ impl Msg {
     /// The drop marker for CPI `cpi`.
     pub fn dropped(cpi: usize) -> Msg {
         Msg::new(cpi, Payload::Dropped)
+    }
+
+    /// A resident-mode message for slot `slot` carrying the slot's
+    /// stream composition.
+    pub fn grouped(slot: usize, group: Arc<[SubCpi]>, payload: Payload) -> Msg {
+        Msg {
+            seq: slot as u32,
+            degraded: false,
+            group: Some(group),
+            payload,
+        }
     }
 }
 
@@ -132,7 +171,8 @@ pub fn wire_bytes(msg: &Msg) -> u64 {
         // detection reports); 16 bytes per detection keeps the trace
         // honest about non-zero traffic.
         Payload::Detections(ds) => 16 * ds.len() as u64,
-        Payload::Dropped => 0,
+        Payload::DetectionsGroup(gs) => gs.iter().map(|ds| 16 * ds.len() as u64).sum(),
+        Payload::Dropped | Payload::Shutdown => 0,
     }
 }
 

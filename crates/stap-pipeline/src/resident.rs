@@ -1,0 +1,1648 @@
+//! Resident multi-stream pipeline: the long-running ingestion back end.
+//!
+//! The batch runner ([`crate::runner::ParallelStap`]) spawns a world,
+//! streams a fixed CPI list through it and tears everything down. A
+//! radar front end serving many concurrent *streams* cannot afford that:
+//! per-arrival world spawns dominate, and each stream's CPIs arrive
+//! interleaved with every other stream's. This module keeps the seven
+//! task nodes resident and drives them with **slot groups**: the driver
+//! coalesces up to `max_group` CPIs — from *different* streams — into
+//! one slot, every cube on every edge carries the group concatenated
+//! along axis 0, and the kernels run once per slot over all member
+//! CPIs (`DopplerProcessor::process_groups_with` batches the FFT lanes
+//! of the whole group through a single `forward_lanes` call).
+//!
+//! Cross-stream batching is bit-exact with per-stream serial runs
+//! because all per-CPI state is keyed by *stream*:
+//!
+//! * azimuth revisit: `beam = scpi % steering.len()` uses the
+//!   per-stream CPI index, not the slot index;
+//! * easy-weight history rings are keyed `(stream, beam)`;
+//! * hard-weight QR recursion state is keyed `(stream, beam, bin, seg)`;
+//! * the beamform tasks keep per-`(stream, beam)` weight FIFOs: every
+//!   slot first *pushes* the weight sets computed from its member CPIs,
+//!   then *consumes* for each member — popping the front of
+//!   `fifo[(stream, scpi % beams)]` yields exactly the weights computed
+//!   from `(stream, scpi - beams)`, the paper's TD(1,3)/TD(2,4)
+//!   temporal dependency, even when one slot carries several CPIs of
+//!   the same stream.
+//!
+//! The contract the admission layer (`stap-serve`) upholds: each
+//! stream's CPIs are submitted in `scpi` order starting at 0, with no
+//! gaps. Resident mode is the production fast path — non-fault-tolerant
+//! (plain blocking receives), untraced, and steady-state
+//! allocation-free for every cube that travels an edge (all drawn from
+//! the shared [`PipelinePools`], pre-warmed by [`ResidentStap::reserve`]).
+
+use crate::assignment::{overlap, NodeAssignment, Partitions, *};
+use crate::metrics::PipelineHealth;
+use crate::msg::{tag, Edge, Msg, Payload, SubCpi};
+use crate::runner::PipelineError;
+use crate::tasks::{
+    easy_cells_in, expect_weights, hard_cells_in, mean_abs, sample_mailbox, weight_sources,
+    PipelinePools,
+};
+use stap_core::params::StapParams;
+use stap_core::training::easy_training_cells;
+use stap_core::weights::hard_constraint;
+use stap_core::{
+    cfar,
+    doppler::DopplerProcessor,
+    pulse::{PulseCompressor, PulseScratch},
+    Detection,
+};
+use stap_cube::{CCube, Cube, PoolStats, RCube, SharedBufferPool};
+use stap_math::fft::FftScratch;
+use stap_math::qr::qr_update;
+use stap_math::solve::{constrained_lstsq, constrained_lstsq_from_r, normalize_columns};
+use stap_math::{CMat, Cx};
+use stap_mp::{Comm, World};
+use stap_radar::Scenario;
+use std::collections::{HashMap, VecDeque};
+use std::ops::Range;
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One CPI submitted to the resident pipeline.
+pub struct CpiJob {
+    /// Ingestion stream id.
+    pub stream: u16,
+    /// Per-stream CPI index (must be contiguous from 0 per stream).
+    pub scpi: u32,
+    /// The raw data cube, `[k_range, j_channels, n_pulses]`. Draw it
+    /// from [`ResidentStap::pools`] (`cx.take_cube`) to keep the steady
+    /// state allocation-free — the driver recycles it after packing.
+    pub cube: CCube,
+    /// Submission instant (the latency clock starts here).
+    pub submitted: Instant,
+}
+
+/// One CPI's completed result, delivered on the `done` channel.
+pub struct CpiDone {
+    /// Ingestion stream id.
+    pub stream: u16,
+    /// Per-stream CPI index.
+    pub scpi: u32,
+    /// Detections, sorted by (bin, beam, range).
+    pub detections: Vec<Detection>,
+    /// Submit-to-complete latency in seconds.
+    pub latency: f64,
+}
+
+/// What a resident session reports after shutdown.
+#[derive(Clone, Debug, Default)]
+pub struct ResidentSummary {
+    /// CPIs fully processed.
+    pub cpis: u64,
+    /// Slots (coalesced groups) processed.
+    pub slots: u64,
+    /// Merged health counters (mailbox depth telemetry; the fault
+    /// counters stay zero — resident mode is non-fault-tolerant).
+    pub health: PipelineHealth,
+    /// Complex pool traffic. `misses` beyond warmup means
+    /// [`ResidentStap::reserve`] under-provisioned.
+    pub pool_cx: PoolStats,
+    /// Real pool traffic.
+    pub pool_real: PoolStats,
+    /// Wall-clock seconds from `serve` entry to return.
+    pub elapsed: f64,
+}
+
+/// The resident multi-stream STAP pipeline.
+pub struct ResidentStap {
+    /// Algorithm parameters.
+    pub params: StapParams,
+    /// Node assignment.
+    pub assign: NodeAssignment,
+    /// Steering matrices per transmit-beam position.
+    pub steering: Vec<CMat>,
+    /// Slots the driver keeps in flight.
+    pub window: usize,
+    /// Maximum CPIs coalesced into one slot.
+    pub max_group: usize,
+    /// Soft mailbox high-water mark installed in every rank's comm
+    /// (0 = disabled); crossings are counted in the summary health.
+    pub mailbox_high_water: usize,
+    pools: PipelinePools,
+}
+
+impl ResidentStap {
+    /// Builds a resident runner from explicit steering matrices.
+    pub fn new(params: StapParams, assign: NodeAssignment, steering: Vec<CMat>) -> Self {
+        params.validate().expect("invalid parameters");
+        assert!(!steering.is_empty(), "need at least one steering matrix");
+        ResidentStap {
+            params,
+            assign,
+            steering,
+            window: 4,
+            max_group: 4,
+            mailbox_high_water: 0,
+            pools: PipelinePools::default(),
+        }
+    }
+
+    /// Steering fans matching [`stap_core::SequentialStap::for_scenario`].
+    pub fn for_scenario(params: StapParams, assign: NodeAssignment, scenario: &Scenario) -> Self {
+        let steering = scenario
+            .transmit_beams
+            .iter()
+            .map(|&c| {
+                scenario
+                    .geom
+                    .beam_fan(c, scenario.beam_half_width_deg / 2.0, params.m_beams)
+            })
+            .collect();
+        ResidentStap::new(params, assign, steering)
+    }
+
+    /// Sets the slot window (in-flight slots).
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.window = window.max(1);
+        self
+    }
+
+    /// Sets the per-slot coalescing bound.
+    pub fn with_max_group(mut self, max_group: usize) -> Self {
+        self.max_group = max_group.max(1);
+        self
+    }
+
+    /// Installs a soft mailbox high-water mark on every rank.
+    pub fn with_mailbox_high_water(mut self, high_water: usize) -> Self {
+        self.mailbox_high_water = high_water;
+        self
+    }
+
+    /// The shared buffer pools. The ingestion side draws raw CPI cubes
+    /// from `pools().cx` so submission is allocation-free too.
+    pub fn pools(&self) -> &PipelinePools {
+        &self.pools
+    }
+
+    /// Demand-driven pool sizing: pre-warms every size class the
+    /// resident hot path will draw from, for `streams` concurrent
+    /// streams with `queue_depth` admitted-and-waiting CPIs each, so
+    /// even the first slot is miss-free. Derives the exact block sizes
+    /// from the partitions (the same index arithmetic the task loops
+    /// use) and multiplies by the in-flight slot count. The batcher
+    /// coalesces *partial* groups while streams ramp up or drain, and a
+    /// `g < max_group` slot draws from smaller size classes than the
+    /// steady-state full group — every group size up to the bound gets
+    /// a transient allowance so ramp slots stay miss-free too.
+    pub fn reserve(&self, streams: usize, queue_depth: usize) {
+        let p = &self.params;
+        let parts = Partitions::new(p, &self.assign);
+        let b = self.max_group.min(streams.max(1)).max(1);
+        let w = self.window + 2; // in-flight slots + assembly margin
+        let mut cx: HashMap<usize, usize> = HashMap::new();
+        let mut real: HashMap<usize, usize> = HashMap::new();
+        fn add(m: &mut HashMap<usize, usize>, len: usize, count: usize) {
+            if len > 0 {
+                *m.entry(len.next_power_of_two()).or_default() += count;
+            }
+        }
+        // Raw CPI cubes: one held per producer, up to `queue_depth`
+        // admitted per stream, plus in-flight groups.
+        let raw = p.k_range * p.j_channels * p.n_pulses;
+        add(&mut cx, raw, streams * (queue_depth + 1) + b * w);
+        let easy_bins = p.easy_bins();
+        let hard_bins = p.hard_bins();
+        for g in 1..=b {
+            // Full groups are the steady state and need the whole
+            // in-flight window; partial sizes are transient and only
+            // need an assembly allowance (power-of-two classes merge
+            // many of them with the full-group classes anyway).
+            let n = if g == b { w } else { 2 };
+            for kr in &parts.doppler_k {
+                // Driver input slabs.
+                add(&mut cx, g * kr.len() * p.j_channels * p.n_pulses, n);
+                let ec = easy_cells_in(p, kr).len();
+                let fc: usize = (0..p.num_segments())
+                    .map(|s| hard_cells_in(p, s, kr).len())
+                    .sum();
+                for bins in &parts.easy_wt_bins {
+                    add(&mut cx, g * bins.len() * ec * p.j_channels, n);
+                }
+                for bins in &parts.hard_wt_bins {
+                    add(&mut cx, g * bins.len() * fc * 2 * p.j_channels, n);
+                }
+                for bins in &parts.easy_bf_bins {
+                    add(&mut cx, g * bins.len() * kr.len() * p.j_channels, n);
+                }
+                for bins in &parts.hard_bf_bins {
+                    add(&mut cx, g * bins.len() * kr.len() * 2 * p.j_channels, n);
+                }
+            }
+            // Beamform -> PC blocks: per (BF node, PC node) natural-bin
+            // overlap, exactly as the task loops compute `pc_mine`.
+            for pc_bins in &parts.pc_bins {
+                for idx in &parts.easy_bf_bins {
+                    let mine = idx
+                        .clone()
+                        .filter(|&bn| pc_bins.contains(&easy_bins[bn]))
+                        .count();
+                    add(&mut cx, g * mine * p.m_beams * p.k_range, n);
+                }
+                for idx in &parts.hard_bf_bins {
+                    let mine = idx
+                        .clone()
+                        .filter(|&bn| pc_bins.contains(&hard_bins[bn]))
+                        .count();
+                    add(&mut cx, g * mine * p.m_beams * p.k_range, n);
+                }
+                // PC -> CFAR real blocks.
+                for cf in &parts.cfar_bins {
+                    let ov = overlap(pc_bins, cf);
+                    add(&mut real, g * ov.len() * p.m_beams * p.k_range, n);
+                }
+            }
+        }
+        for (cap, count) in cx {
+            self.pools.cx.reserve(cap, count);
+        }
+        for (cap, count) in real {
+            self.pools.real.reserve(cap, count);
+        }
+    }
+
+    /// Runs the resident world until the `jobs` channel disconnects and
+    /// every in-flight slot has drained. Each received `Vec<CpiJob>` is
+    /// one slot group (1..=`max_group` CPIs, distinct or repeated
+    /// streams); results stream out on `done` as slots complete.
+    pub fn serve(
+        &self,
+        jobs: Receiver<Vec<CpiJob>>,
+        done: Sender<CpiDone>,
+    ) -> Result<ResidentSummary, PipelineError> {
+        let t0 = Instant::now();
+        let parts = Partitions::new(&self.params, &self.assign);
+        let mut world: World<Msg> = World::new(self.assign.world_size());
+        if self.mailbox_high_water > 0 {
+            world = world.with_mailbox_high_water(self.mailbox_high_water);
+        }
+        let ctx = ResCtx {
+            params: &self.params,
+            assign: &self.assign,
+            parts: &parts,
+            steering: &self.steering,
+            pools: &self.pools,
+            max_group: self.max_group,
+        };
+        let ctx_ref = &ctx;
+        let window = self.window.max(1);
+        // mpsc endpoints are Send but not Sync; the SPMD closure is
+        // shared by reference across ranks, so the driver arm takes
+        // them out of a mutex (it runs exactly once).
+        let jobs_cell = Mutex::new(Some(jobs));
+        let done_cell = Mutex::new(Some(done));
+
+        enum Res {
+            Task(PipelineHealth),
+            Driver {
+                health: PipelineHealth,
+                cpis: u64,
+                slots: u64,
+            },
+        }
+
+        let results = world.try_run_collect(|mut comm| {
+            let rank = comm.rank();
+            match ctx_ref.assign.task_of_rank(rank) {
+                Some((DOPPLER, local)) => Res::Task(resident_doppler(ctx_ref, &mut comm, local)),
+                Some((EASY_WT, local)) => {
+                    Res::Task(resident_easy_weight(ctx_ref, &mut comm, local))
+                }
+                Some((HARD_WT, local)) => {
+                    Res::Task(resident_hard_weight(ctx_ref, &mut comm, local))
+                }
+                Some((EASY_BF, local)) => Res::Task(resident_easy_bf(ctx_ref, &mut comm, local)),
+                Some((HARD_BF, local)) => Res::Task(resident_hard_bf(ctx_ref, &mut comm, local)),
+                Some((PC, local)) => Res::Task(resident_pc(ctx_ref, &mut comm, local)),
+                Some((CFAR, local)) => Res::Task(resident_cfar(ctx_ref, &mut comm, local)),
+                Some(_) => unreachable!("unknown task"),
+                None => {
+                    let jobs = jobs_cell
+                        .lock()
+                        .unwrap()
+                        .take()
+                        .expect("driver rank runs once");
+                    let done = done_cell.lock().unwrap().take().expect("driver rank once");
+                    let (health, cpis, slots) =
+                        resident_driver(ctx_ref, &mut comm, window, jobs, done);
+                    Res::Driver {
+                        health,
+                        cpis,
+                        slots,
+                    }
+                }
+            }
+        })?;
+
+        let mut summary = ResidentSummary::default();
+        for r in results {
+            match r {
+                Res::Task(h) => summary.health.merge(&h),
+                Res::Driver {
+                    health,
+                    cpis,
+                    slots,
+                } => {
+                    summary.health.merge(&health);
+                    summary.cpis = cpis;
+                    summary.slots = slots;
+                }
+            }
+        }
+        summary.pool_cx = self.pools.cx.stats();
+        summary.pool_real = self.pools.real.stats();
+        summary.elapsed = t0.elapsed().as_secs_f64();
+        Ok(summary)
+    }
+}
+
+/// Shared read-only context for the resident task loops.
+struct ResCtx<'a> {
+    params: &'a StapParams,
+    assign: &'a NodeAssignment,
+    parts: &'a Partitions,
+    steering: &'a [CMat],
+    pools: &'a PipelinePools,
+    max_group: usize,
+}
+
+/// Lazily-built per-group-size workspaces: slot groups are usually at
+/// the `max_group` steady-state size, but ramp-up and the final tail
+/// slot can be smaller; each distinct size allocates its workspace once
+/// and reuses it for the rest of the session.
+struct ByGroup<T> {
+    slots: Vec<Option<T>>,
+}
+
+impl<T> ByGroup<T> {
+    fn new(max: usize) -> Self {
+        ByGroup {
+            slots: (0..=max).map(|_| None).collect(),
+        }
+    }
+
+    fn get(&mut self, b: usize, mk: impl FnOnce(usize) -> T) -> &mut T {
+        self.slots[b].get_or_insert_with(|| mk(b))
+    }
+}
+
+fn expect_grouped_cube(m: Msg) -> Option<(Arc<[SubCpi]>, CCube)> {
+    match m.payload {
+        Payload::Shutdown => None,
+        Payload::Cube(c) => Some((m.group.expect("resident messages carry a group"), c)),
+        other => panic!("resident: expected grouped Cube or Shutdown, got {other:?}"),
+    }
+}
+
+fn expect_grouped_real(m: Msg) -> Option<(Arc<[SubCpi]>, RCube)> {
+    match m.payload {
+        Payload::Shutdown => None,
+        Payload::Real(c) => Some((m.group.expect("resident messages carry a group"), c)),
+        other => panic!("resident: expected grouped Real or Shutdown, got {other:?}"),
+    }
+}
+
+/// Gathers one grouped Doppler fan-out block without per-element
+/// div/mod index math: the loops run in output row-major order
+/// `(sub, bin, row, channel)`, so the bytes match the closure-built
+/// cube exactly while the hot path is pure pointer stepping.
+fn gather_bins_block(
+    pool: &SharedBufferPool<Cx>,
+    stag: &CCube,
+    b: usize,
+    klen: usize,
+    bins: &[usize],
+    rows: &[usize],
+    channels: usize,
+) -> CCube {
+    let nb = bins.len();
+    let s = stag.as_slice();
+    let [_, cdim, n] = stag.shape();
+    let row_stride = cdim * n;
+    let mut buf = pool.get(b * nb * rows.len() * channels);
+    for u in 0..b {
+        let sub0 = u * klen;
+        for &bin in bins {
+            for &row in rows {
+                let base = (sub0 + row) * row_stride + bin;
+                for ch in 0..channels {
+                    buf.push(s[base + ch * n]);
+                }
+            }
+        }
+    }
+    CCube::from_vec([b * nb, rows.len(), channels], buf)
+}
+
+/// Gathers whole `[d1, d2]` planes of `src` (the BF→PC and PC→CFAR
+/// blocks keep their two inner axes intact): each output row is one
+/// contiguous slice copy. `src_row(sub, o)` names the source plane for
+/// output row `sub * out_rows + o`.
+fn gather_plane_rows<T: Copy + Default>(
+    pool: &SharedBufferPool<T>,
+    src: &Cube<T>,
+    b: usize,
+    out_rows: usize,
+    mut src_row: impl FnMut(usize, usize) -> usize,
+) -> Cube<T> {
+    let [_, d1, d2] = src.shape();
+    let plane = d1 * d2;
+    let s = src.as_slice();
+    let mut buf = pool.get(b * out_rows * plane);
+    for u in 0..b {
+        for o in 0..out_rows {
+            let r = src_row(u, o);
+            buf.extend_from_slice(&s[r * plane..(r + 1) * plane]);
+        }
+    }
+    Cube::from_vec([b * out_rows, d1, d2], buf)
+}
+
+/// Resident Doppler (task 0): one grouped slab in, one batched FFT pass
+/// over the whole group, four grouped redistribution blocks out.
+fn resident_doppler(ctx: &ResCtx, comm: &mut Comm<Msg>, local: usize) -> PipelineHealth {
+    let p = ctx.params;
+    let my_k = ctx.parts.doppler_k[local].clone();
+    let (k0, klen) = (my_k.start, my_k.len());
+    let proc = DopplerProcessor::new(p);
+    let driver = ctx.assign.driver_rank();
+    let easy_bins = p.easy_bins();
+    let hard_bins = p.hard_bins();
+    let pool = &ctx.pools.cx;
+    let easy_cells = easy_cells_in(p, &my_k);
+    let flat_cells: Vec<usize> = (0..p.num_segments())
+        .flat_map(|s| hard_cells_in(p, s, &my_k))
+        .collect();
+    // Row offsets (within one sub-CPI's stagger slab) for the gather
+    // helpers, precomputed so the slot loop does no index arithmetic
+    // beyond pointer stepping.
+    let easy_rows: Vec<usize> = easy_cells.iter().map(|&c| c - k0).collect();
+    let flat_rows: Vec<usize> = flat_cells.iter().map(|&c| c - k0).collect();
+    let all_rows: Vec<usize> = (0..klen).collect();
+    let mut stag_by = ByGroup::<CCube>::new(ctx.max_group);
+    let mut fft_ws = FftScratch::new();
+    let mut health = PipelineHealth::default();
+    let mut slot = 0usize;
+    loop {
+        sample_mailbox(comm, &mut health);
+        let m = comm.recv(driver, tag(Edge::Input, slot)).unwrap();
+        let Some((group, slab)) = expect_grouped_cube(m) else {
+            // Cascade the shutdown on all four out-edges.
+            for (q, _) in ctx.parts.easy_wt_bins.iter().enumerate() {
+                let dst = ctx.assign.rank_range(EASY_WT).start + q;
+                comm.send(
+                    dst,
+                    tag(Edge::DopplerToEasyWt, slot),
+                    Msg::new(slot, Payload::Shutdown),
+                );
+            }
+            for (q, _) in ctx.parts.hard_wt_bins.iter().enumerate() {
+                let dst = ctx.assign.rank_range(HARD_WT).start + q;
+                comm.send(
+                    dst,
+                    tag(Edge::DopplerToHardWt, slot),
+                    Msg::new(slot, Payload::Shutdown),
+                );
+            }
+            for (r, _) in ctx.parts.easy_bf_bins.iter().enumerate() {
+                let dst = ctx.assign.rank_range(EASY_BF).start + r;
+                comm.send(
+                    dst,
+                    tag(Edge::DopplerToEasyBf, slot),
+                    Msg::new(slot, Payload::Shutdown),
+                );
+            }
+            for (r, _) in ctx.parts.hard_bf_bins.iter().enumerate() {
+                let dst = ctx.assign.rank_range(HARD_BF).start + r;
+                comm.send(
+                    dst,
+                    tag(Edge::DopplerToHardBf, slot),
+                    Msg::new(slot, Payload::Shutdown),
+                );
+            }
+            break;
+        };
+        let b = group.len();
+        let stag = stag_by.get(b, |b| {
+            CCube::zeros([b * klen, 2 * p.j_channels, p.n_pulses])
+        });
+        // The perf core: ALL group members' FFT lanes through one
+        // batched forward pass.
+        proc.process_groups_with(&slab, k0, b, stag, &mut fft_ws);
+        pool.recycle(slab);
+
+        for (q, bins_idx) in ctx.parts.easy_wt_bins.iter().enumerate() {
+            let block = gather_bins_block(
+                pool,
+                stag,
+                b,
+                klen,
+                &easy_bins[bins_idx.clone()],
+                &easy_rows,
+                p.j_channels,
+            );
+            let dst = ctx.assign.rank_range(EASY_WT).start + q;
+            comm.send(
+                dst,
+                tag(Edge::DopplerToEasyWt, slot),
+                Msg::grouped(slot, group.clone(), Payload::Cube(block)),
+            );
+        }
+        for (q, bins_idx) in ctx.parts.hard_wt_bins.iter().enumerate() {
+            let block = gather_bins_block(
+                pool,
+                stag,
+                b,
+                klen,
+                &hard_bins[bins_idx.clone()],
+                &flat_rows,
+                2 * p.j_channels,
+            );
+            let dst = ctx.assign.rank_range(HARD_WT).start + q;
+            comm.send(
+                dst,
+                tag(Edge::DopplerToHardWt, slot),
+                Msg::grouped(slot, group.clone(), Payload::Cube(block)),
+            );
+        }
+        for (r, bins_idx) in ctx.parts.easy_bf_bins.iter().enumerate() {
+            let block = gather_bins_block(
+                pool,
+                stag,
+                b,
+                klen,
+                &easy_bins[bins_idx.clone()],
+                &all_rows,
+                p.j_channels,
+            );
+            let dst = ctx.assign.rank_range(EASY_BF).start + r;
+            comm.send(
+                dst,
+                tag(Edge::DopplerToEasyBf, slot),
+                Msg::grouped(slot, group.clone(), Payload::Cube(block)),
+            );
+        }
+        for (r, bins_idx) in ctx.parts.hard_bf_bins.iter().enumerate() {
+            let block = gather_bins_block(
+                pool,
+                stag,
+                b,
+                klen,
+                &hard_bins[bins_idx.clone()],
+                &all_rows,
+                2 * p.j_channels,
+            );
+            let dst = ctx.assign.rank_range(HARD_BF).start + r;
+            comm.send(
+                dst,
+                tag(Edge::DopplerToHardBf, slot),
+                Msg::grouped(slot, group.clone(), Payload::Cube(block)),
+            );
+        }
+        slot += 1;
+    }
+    health.mailbox_over_high_water = comm.mailbox_stats().over_high_water;
+    health
+}
+
+/// Receives one grouped block per Doppler node; `None` means shutdown
+/// (remaining Doppler shutdowns drained).
+fn recv_doppler_blocks(
+    comm: &mut Comm<Msg>,
+    dop0: usize,
+    p0: usize,
+    edge: Edge,
+    slot: usize,
+    blocks: &mut Vec<CCube>,
+) -> Option<Arc<[SubCpi]>> {
+    let mut group: Option<Arc<[SubCpi]>> = None;
+    for dp in 0..p0 {
+        let m = comm.recv(dop0 + dp, tag(edge, slot)).unwrap();
+        match expect_grouped_cube(m) {
+            Some((g, c)) => {
+                group.get_or_insert(g);
+                blocks.push(c);
+            }
+            None => {
+                for dp2 in dp + 1..p0 {
+                    let m2 = comm.recv(dop0 + dp2, tag(edge, slot)).unwrap();
+                    assert!(
+                        matches!(m2.payload, Payload::Shutdown),
+                        "mixed shutdown/data within a slot"
+                    );
+                }
+                return None;
+            }
+        }
+    }
+    Some(group.expect("at least one Doppler node"))
+}
+
+/// Resident easy weight (task 1): per-(stream, beam) history rings,
+/// weights for every member CPI of every slot, one grouped weight
+/// message per overlapping BF node per slot.
+fn resident_easy_weight(ctx: &ResCtx, comm: &mut Comm<Msg>, local: usize) -> PipelineHealth {
+    let p = ctx.params;
+    let bins_idx = ctx.parts.easy_wt_bins[local].clone();
+    let nbins = bins_idx.len();
+    let p0 = ctx.assign.nodes(DOPPLER);
+    let dop0 = ctx.assign.rank_range(DOPPLER).start;
+    let beams = ctx.steering.len();
+    let constraint = CMat::identity(p.j_channels);
+    let total_cells = easy_training_cells(p).len();
+    // Destination BF nodes with their bin overlaps (slot-invariant).
+    let bf0 = ctx.assign.rank_range(EASY_BF).start;
+    let targets: Vec<(usize, Range<usize>)> = ctx
+        .parts
+        .easy_bf_bins
+        .iter()
+        .enumerate()
+        .filter_map(|(r, bf_bins)| {
+            let ov = overlap(&bins_idx, bf_bins);
+            (!ov.is_empty()).then_some((bf0 + r, ov))
+        })
+        .collect();
+    let mut history: HashMap<(u16, usize), VecDeque<Vec<CMat>>> = HashMap::new();
+    let mut spares: Vec<Vec<CMat>> = Vec::new();
+    let mut blocks: Vec<CCube> = Vec::with_capacity(p0);
+    let mut health = PipelineHealth::default();
+    let mut slot = 0usize;
+    loop {
+        sample_mailbox(comm, &mut health);
+        blocks.clear();
+        let Some(group) =
+            recv_doppler_blocks(comm, dop0, p0, Edge::DopplerToEasyWt, slot, &mut blocks)
+        else {
+            for (dst, _) in &targets {
+                comm.send(
+                    *dst,
+                    tag(Edge::EasyWtToEasyBf, slot),
+                    Msg::new(slot, Payload::Shutdown),
+                );
+            }
+            break;
+        };
+        let b = group.len();
+        let mut per_node: Vec<Vec<CMat>> = targets
+            .iter()
+            .map(|(_, ov)| Vec::with_capacity(b * ov.len()))
+            .collect();
+        for (u, sub) in group.iter().enumerate() {
+            let mut snaps = spares.pop().unwrap_or_else(|| {
+                (0..nbins)
+                    .map(|_| CMat::zeros(total_cells, p.j_channels))
+                    .collect()
+            });
+            let mut row = 0usize;
+            for block in &blocks {
+                let cells = block.shape()[1];
+                for (bi, snap) in snaps.iter_mut().enumerate() {
+                    for ci in 0..cells {
+                        for ch in 0..p.j_channels {
+                            snap[(row + ci, ch)] = block[(u * nbins + bi, ci, ch)].conj();
+                        }
+                    }
+                }
+                row += cells;
+            }
+            debug_assert_eq!(row, total_cells);
+            let beam = sub.scpi as usize % beams;
+            let q = history.entry((sub.stream, beam)).or_default();
+            q.push_back(snaps);
+            while q.len() > p.easy_history {
+                if let Some(s) = q.pop_front() {
+                    spares.push(s);
+                }
+            }
+            let steering = &ctx.steering[beam];
+            let weights: Vec<CMat> = (0..nbins)
+                .map(|bi| {
+                    let mut stacked = q[0][bi].clone();
+                    for older in q.iter().skip(1) {
+                        stacked = stacked.vstack(&older[bi]);
+                    }
+                    let k = mean_abs(&stacked) * p.beam_constraint_wt;
+                    constrained_lstsq(&stacked, &constraint, k, steering)
+                })
+                .collect();
+            for (i, (_, ov)) in targets.iter().enumerate() {
+                per_node[i].extend(ov.clone().map(|bn| weights[bn - bins_idx.start].clone()));
+            }
+        }
+        for block in blocks.drain(..) {
+            ctx.pools.cx.recycle(block);
+        }
+        for ((dst, _), w) in targets.iter().zip(per_node) {
+            comm.send(
+                *dst,
+                tag(Edge::EasyWtToEasyBf, slot),
+                Msg::grouped(slot, group.clone(), Payload::Weights(w)),
+            );
+        }
+        slot += 1;
+    }
+    health.mailbox_over_high_water = comm.mailbox_stats().over_high_water;
+    health
+}
+
+/// Resident hard weight (task 2): QR recursion state keyed
+/// (stream, beam, bin, segment).
+fn resident_hard_weight(ctx: &ResCtx, comm: &mut Comm<Msg>, local: usize) -> PipelineHealth {
+    let p = ctx.params;
+    let bins_idx = ctx.parts.hard_wt_bins[local].clone();
+    let nbins = bins_idx.len();
+    let hard_bins = p.hard_bins();
+    let p0 = ctx.assign.nodes(DOPPLER);
+    let dop0 = ctx.assign.rank_range(DOPPLER).start;
+    let beams = ctx.steering.len();
+    let jj = 2 * p.j_channels;
+    let segs = p.num_segments();
+    let bf0 = ctx.assign.rank_range(HARD_BF).start;
+    let targets: Vec<(usize, Range<usize>)> = ctx
+        .parts
+        .hard_bf_bins
+        .iter()
+        .enumerate()
+        .filter_map(|(r, bf_bins)| {
+            let ov = overlap(&bins_idx, bf_bins);
+            (!ov.is_empty()).then_some((bf0 + r, ov))
+        })
+        .collect();
+    let mut r_state: HashMap<(u16, usize, usize, usize), CMat> = HashMap::new();
+    let seg_cells: Vec<usize> = (0..segs)
+        .map(|s| stap_core::training::hard_training_cells(p, s).len())
+        .collect();
+    let dp_counts: Vec<Vec<usize>> = (0..p0)
+        .map(|dp| {
+            let kr = ctx.parts.doppler_k[dp].clone();
+            (0..segs).map(|s| hard_cells_in(p, s, &kr).len()).collect()
+        })
+        .collect();
+    // Per-sub snapshot scratch, fully overwritten for each member CPI.
+    let mut snapshots: Vec<Vec<CMat>> = (0..nbins)
+        .map(|_| (0..segs).map(|s| CMat::zeros(seg_cells[s], jj)).collect())
+        .collect();
+    let mut seg_rows = vec![0usize; segs];
+    let mut blocks: Vec<CCube> = Vec::with_capacity(p0);
+    let mut health = PipelineHealth::default();
+    let mut slot = 0usize;
+    loop {
+        sample_mailbox(comm, &mut health);
+        blocks.clear();
+        let Some(group) =
+            recv_doppler_blocks(comm, dop0, p0, Edge::DopplerToHardWt, slot, &mut blocks)
+        else {
+            for (dst, _) in &targets {
+                comm.send(
+                    *dst,
+                    tag(Edge::HardWtToHardBf, slot),
+                    Msg::new(slot, Payload::Shutdown),
+                );
+            }
+            break;
+        };
+        let b = group.len();
+        let mut per_node: Vec<Vec<CMat>> = targets
+            .iter()
+            .map(|(_, ov)| Vec::with_capacity(b * ov.len() * segs))
+            .collect();
+        for (u, sub) in group.iter().enumerate() {
+            seg_rows.iter_mut().for_each(|r| *r = 0);
+            for (block, counts) in blocks.iter().zip(&dp_counts) {
+                let mut ci = 0usize;
+                for (s, &cnt) in counts.iter().enumerate() {
+                    for c in 0..cnt {
+                        for (bi, snap) in snapshots.iter_mut().enumerate() {
+                            for ch in 0..jj {
+                                snap[s][(seg_rows[s] + c, ch)] =
+                                    block[(u * nbins + bi, ci + c, ch)].conj();
+                            }
+                        }
+                    }
+                    seg_rows[s] += cnt;
+                    ci += cnt;
+                }
+            }
+            let beam = sub.scpi as usize % beams;
+            let steering = &ctx.steering[beam];
+            let mut weights: Vec<CMat> = Vec::with_capacity(nbins * segs);
+            for bi in 0..nbins {
+                let bin = hard_bins[bins_idx.start + bi];
+                let constraint = hard_constraint(p, bin);
+                for (s, snap) in snapshots[bi].iter().enumerate() {
+                    let r_prev = r_state
+                        .entry((sub.stream, beam, bi, s))
+                        .or_insert_with(|| CMat::zeros(jj, jj));
+                    let r_new = qr_update(r_prev, p.forgetting_factor, snap);
+                    let k = mean_abs(snap) * p.beam_constraint_wt;
+                    let w = constrained_lstsq_from_r(&r_new, &constraint, k, steering);
+                    *r_prev = r_new;
+                    weights.push(w);
+                }
+            }
+            for (i, (_, ov)) in targets.iter().enumerate() {
+                for bn in ov.clone() {
+                    let base = (bn - bins_idx.start) * segs;
+                    per_node[i].extend(weights[base..base + segs].iter().cloned());
+                }
+            }
+        }
+        for block in blocks.drain(..) {
+            ctx.pools.cx.recycle(block);
+        }
+        for ((dst, _), w) in targets.iter().zip(per_node) {
+            comm.send(
+                *dst,
+                tag(Edge::HardWtToHardBf, slot),
+                Msg::grouped(slot, group.clone(), Payload::Weights(w)),
+            );
+        }
+        slot += 1;
+    }
+    health.mailbox_over_high_water = comm.mailbox_stats().over_high_water;
+    health
+}
+
+/// Resident easy beamform (task 3): per-(stream, beam) weight FIFOs,
+/// push-then-consume per slot.
+fn resident_easy_bf(ctx: &ResCtx, comm: &mut Comm<Msg>, local: usize) -> PipelineHealth {
+    let p = ctx.params;
+    let bins_idx = ctx.parts.easy_bf_bins[local].clone();
+    let nbins = bins_idx.len();
+    let easy_bins = p.easy_bins();
+    let p0 = ctx.assign.nodes(DOPPLER);
+    let dop0 = ctx.assign.rank_range(DOPPLER).start;
+    let beams = ctx.steering.len();
+    let pool = &ctx.pools.cx;
+    let wt_sources = weight_sources(
+        &ctx.parts.easy_wt_bins,
+        &bins_idx,
+        ctx.assign.rank_range(EASY_WT).start,
+    );
+    let pc_mine: Vec<Vec<usize>> = ctx
+        .parts
+        .pc_bins
+        .iter()
+        .map(|pc_bins| {
+            bins_idx
+                .clone()
+                .filter(|&bn| pc_bins.contains(&easy_bins[bn]))
+                .collect()
+        })
+        .collect();
+    let mut data_by = ByGroup::<CCube>::new(ctx.max_group);
+    let mut out_by = ByGroup::<CCube>::new(ctx.max_group);
+    let mut slab = CMat::zeros(p.j_channels, p.k_range);
+    let mut y = CMat::zeros(p.m_beams, p.k_range);
+    let mut fifo: HashMap<(u16, usize), VecDeque<Vec<CMat>>> = HashMap::new();
+    let mut health = PipelineHealth::default();
+    let mut slot = 0usize;
+    'outer: loop {
+        sample_mailbox(comm, &mut health);
+        let mut group: Option<Arc<[SubCpi]>> = None;
+        let mut first = true;
+        for dp in 0..p0 {
+            let m = comm
+                .recv(dop0 + dp, tag(Edge::DopplerToEasyBf, slot))
+                .unwrap();
+            match expect_grouped_cube(m) {
+                Some((g, block)) => {
+                    let b = g.len();
+                    if first {
+                        first = false;
+                        group = Some(g);
+                        // Touch the workspaces so they exist for this size.
+                        data_by.get(b, |b| CCube::zeros([b * nbins, p.k_range, p.j_channels]));
+                        out_by.get(b, |b| CCube::zeros([b * nbins, p.m_beams, p.k_range]));
+                    }
+                    let data = data_by.slots[b].as_mut().unwrap();
+                    let k0 = ctx.parts.doppler_k[dp].start;
+                    data.place([0, k0, 0], &block);
+                    pool.recycle(block);
+                }
+                None => {
+                    // Remaining Doppler shutdowns were drained; drain the
+                    // weight-edge shutdowns, cascade to PC and exit.
+                    for (src, _) in &wt_sources {
+                        let m2 = comm.recv(*src, tag(Edge::EasyWtToEasyBf, slot)).unwrap();
+                        assert!(matches!(m2.payload, Payload::Shutdown));
+                    }
+                    for (t, _) in pc_mine.iter().enumerate() {
+                        let dst = ctx.assign.rank_range(PC).start + t;
+                        comm.send(
+                            dst,
+                            tag(Edge::EasyBfToPc, slot),
+                            Msg::new(slot, Payload::Shutdown),
+                        );
+                    }
+                    break 'outer;
+                }
+            }
+        }
+        let group = group.expect("at least one Doppler node");
+        let b = group.len();
+        let data = data_by.slots[b].as_mut().unwrap();
+        let out = out_by.slots[b].as_mut().unwrap();
+
+        // Push phase: assemble each member CPI's freshly-computed
+        // per-bin weight set from the slot's weight messages and file it
+        // in that member's (stream, beam) FIFO.
+        let mut pushed: Vec<Vec<Option<CMat>>> = (0..b).map(|_| vec![None; nbins]).collect();
+        for (src, ov) in &wt_sources {
+            let m = comm.recv(*src, tag(Edge::EasyWtToEasyBf, slot)).unwrap();
+            let w = expect_weights(m.payload);
+            let ol = ov.len();
+            debug_assert_eq!(w.len(), b * ol);
+            for (u, sub_w) in w.chunks(ol).enumerate() {
+                for (i, bn) in ov.clone().enumerate() {
+                    pushed[u][bn - bins_idx.start] = Some(sub_w[i].clone());
+                }
+            }
+        }
+        for (u, pb) in pushed.into_iter().enumerate() {
+            let sub = group[u];
+            let beam = sub.scpi as usize % beams;
+            let set: Vec<CMat> = pb
+                .into_iter()
+                .map(|w| w.expect("missing weights from overlap source"))
+                .collect();
+            fifo.entry((sub.stream, beam)).or_default().push_back(set);
+        }
+
+        // Consume phase: beamform each member with the weights computed
+        // from its own stream's CPI `scpi - beams` (quiescent before the
+        // first revisit), exactly the per-stream serial schedule.
+        for (u, sub) in group.iter().enumerate() {
+            let beam = sub.scpi as usize % beams;
+            let weights: Vec<CMat> = if (sub.scpi as usize) < beams {
+                vec![normalize_columns(ctx.steering[beam].clone()); nbins]
+            } else {
+                fifo.get_mut(&(sub.stream, beam))
+                    .and_then(VecDeque::pop_front)
+                    .expect("weight FIFO underflow: streams must submit CPIs in order")
+            };
+            for bi in 0..nbins {
+                slab.fill_from_fn(|ch, kc| data[(u * nbins + bi, kc, ch)]);
+                weights[bi].hermitian_matmul_into(&slab, &mut y);
+                for m in 0..p.m_beams {
+                    out.lane_mut(u * nbins + bi, m).copy_from_slice(y.row(m));
+                }
+            }
+        }
+
+        for (t, mine) in pc_mine.iter().enumerate() {
+            let ml = mine.len();
+            let block = gather_plane_rows(pool, out, b, ml, |u, o| {
+                u * nbins + mine[o] - bins_idx.start
+            });
+            let dst = ctx.assign.rank_range(PC).start + t;
+            comm.send(
+                dst,
+                tag(Edge::EasyBfToPc, slot),
+                Msg::grouped(slot, group.clone(), Payload::Cube(block)),
+            );
+        }
+        slot += 1;
+    }
+    health.mailbox_over_high_water = comm.mailbox_stats().over_high_water;
+    health
+}
+
+/// Resident hard beamform (task 4): per-(bin, segment) weight sets in
+/// per-(stream, beam) FIFOs.
+fn resident_hard_bf(ctx: &ResCtx, comm: &mut Comm<Msg>, local: usize) -> PipelineHealth {
+    let p = ctx.params;
+    let bins_idx = ctx.parts.hard_bf_bins[local].clone();
+    let nbins = bins_idx.len();
+    let hard_bins = p.hard_bins();
+    let p0 = ctx.assign.nodes(DOPPLER);
+    let dop0 = ctx.assign.rank_range(DOPPLER).start;
+    let beams = ctx.steering.len();
+    let jj = 2 * p.j_channels;
+    let segs = p.num_segments();
+    let pool = &ctx.pools.cx;
+    let wt_sources = weight_sources(
+        &ctx.parts.hard_wt_bins,
+        &bins_idx,
+        ctx.assign.rank_range(HARD_WT).start,
+    );
+    let pc_mine: Vec<Vec<usize>> = ctx
+        .parts
+        .pc_bins
+        .iter()
+        .map(|pc_bins| {
+            bins_idx
+                .clone()
+                .filter(|&bn| pc_bins.contains(&hard_bins[bn]))
+                .collect()
+        })
+        .collect();
+    let seg_ranges: Vec<Range<usize>> = (0..segs).map(|s| p.segment_range(s)).collect();
+    let mut data_by = ByGroup::<CCube>::new(ctx.max_group);
+    let mut out_by = ByGroup::<CCube>::new(ctx.max_group);
+    let mut slabs: Vec<CMat> = seg_ranges
+        .iter()
+        .map(|r| CMat::zeros(jj, r.len()))
+        .collect();
+    let mut ys: Vec<CMat> = seg_ranges
+        .iter()
+        .map(|r| CMat::zeros(p.m_beams, r.len()))
+        .collect();
+    let mut fifo: HashMap<(u16, usize), VecDeque<Vec<Vec<CMat>>>> = HashMap::new();
+    let mut health = PipelineHealth::default();
+    let mut slot = 0usize;
+
+    let quiescent = |beam: usize| -> Vec<Vec<CMat>> {
+        bins_idx
+            .clone()
+            .map(|bn| {
+                let bin = hard_bins[bn];
+                let phase = Cx::cis(
+                    2.0 * std::f64::consts::PI * bin as f64 * p.stagger as f64 / p.n_pulses as f64,
+                );
+                let s = &ctx.steering[beam];
+                let w = CMat::from_fn(jj, p.m_beams, |r, c| {
+                    if r < p.j_channels {
+                        s[(r, c)]
+                    } else {
+                        s[(r - p.j_channels, c)] * phase
+                    }
+                });
+                vec![normalize_columns(w); segs]
+            })
+            .collect()
+    };
+
+    'outer: loop {
+        sample_mailbox(comm, &mut health);
+        let mut group: Option<Arc<[SubCpi]>> = None;
+        let mut first = true;
+        for dp in 0..p0 {
+            let m = comm
+                .recv(dop0 + dp, tag(Edge::DopplerToHardBf, slot))
+                .unwrap();
+            match expect_grouped_cube(m) {
+                Some((g, block)) => {
+                    let b = g.len();
+                    if first {
+                        first = false;
+                        group = Some(g);
+                        data_by.get(b, |b| CCube::zeros([b * nbins, p.k_range, jj]));
+                        out_by.get(b, |b| CCube::zeros([b * nbins, p.m_beams, p.k_range]));
+                    }
+                    let data = data_by.slots[b].as_mut().unwrap();
+                    let k0 = ctx.parts.doppler_k[dp].start;
+                    data.place([0, k0, 0], &block);
+                    pool.recycle(block);
+                }
+                None => {
+                    for (src, _) in &wt_sources {
+                        let m2 = comm.recv(*src, tag(Edge::HardWtToHardBf, slot)).unwrap();
+                        assert!(matches!(m2.payload, Payload::Shutdown));
+                    }
+                    for (t, _) in pc_mine.iter().enumerate() {
+                        let dst = ctx.assign.rank_range(PC).start + t;
+                        comm.send(
+                            dst,
+                            tag(Edge::HardBfToPc, slot),
+                            Msg::new(slot, Payload::Shutdown),
+                        );
+                    }
+                    break 'outer;
+                }
+            }
+        }
+        let group = group.expect("at least one Doppler node");
+        let b = group.len();
+        let data = data_by.slots[b].as_mut().unwrap();
+        let out = out_by.slots[b].as_mut().unwrap();
+
+        let mut pushed: Vec<Vec<Option<Vec<CMat>>>> = (0..b).map(|_| vec![None; nbins]).collect();
+        for (src, ov) in &wt_sources {
+            let m = comm.recv(*src, tag(Edge::HardWtToHardBf, slot)).unwrap();
+            let w = expect_weights(m.payload);
+            let ol = ov.len();
+            debug_assert_eq!(w.len(), b * ol * segs);
+            for (u, sub_w) in w.chunks(ol * segs).enumerate() {
+                for (i, bn) in ov.clone().enumerate() {
+                    pushed[u][bn - bins_idx.start] = Some(sub_w[i * segs..(i + 1) * segs].to_vec());
+                }
+            }
+        }
+        for (u, pb) in pushed.into_iter().enumerate() {
+            let sub = group[u];
+            let beam = sub.scpi as usize % beams;
+            let set: Vec<Vec<CMat>> = pb
+                .into_iter()
+                .map(|w| w.expect("missing weights from overlap source"))
+                .collect();
+            fifo.entry((sub.stream, beam)).or_default().push_back(set);
+        }
+
+        for (u, sub) in group.iter().enumerate() {
+            let beam = sub.scpi as usize % beams;
+            let weights: Vec<Vec<CMat>> = if (sub.scpi as usize) < beams {
+                quiescent(beam)
+            } else {
+                fifo.get_mut(&(sub.stream, beam))
+                    .and_then(VecDeque::pop_front)
+                    .expect("weight FIFO underflow: streams must submit CPIs in order")
+            };
+            for bi in 0..nbins {
+                for seg in 0..segs {
+                    let r = &seg_ranges[seg];
+                    slabs[seg].fill_from_fn(|ch, kc| data[(u * nbins + bi, r.start + kc, ch)]);
+                    weights[bi][seg].hermitian_matmul_into(&slabs[seg], &mut ys[seg]);
+                    for m in 0..p.m_beams {
+                        out.lane_mut(u * nbins + bi, m)[r.clone()].copy_from_slice(ys[seg].row(m));
+                    }
+                }
+            }
+        }
+
+        for (t, mine) in pc_mine.iter().enumerate() {
+            let ml = mine.len();
+            let block = gather_plane_rows(pool, out, b, ml, |u, o| {
+                u * nbins + mine[o] - bins_idx.start
+            });
+            let dst = ctx.assign.rank_range(PC).start + t;
+            comm.send(
+                dst,
+                tag(Edge::HardBfToPc, slot),
+                Msg::grouped(slot, group.clone(), Payload::Cube(block)),
+            );
+        }
+        slot += 1;
+    }
+    health.mailbox_over_high_water = comm.mailbox_stats().over_high_water;
+    health
+}
+
+/// Resident pulse compression (task 5): the whole slot group through
+/// one `process_into_with` pass over the concatenated cube.
+fn resident_pc(ctx: &ResCtx, comm: &mut Comm<Msg>, local: usize) -> PipelineHealth {
+    let p = ctx.params;
+    let my_bins = ctx.parts.pc_bins[local].clone();
+    let ml = my_bins.len();
+    let easy_bins = p.easy_bins();
+    let hard_bins = p.hard_bins();
+    let compressor = PulseCompressor::new(p);
+    let mut feeders: Vec<(usize, Vec<usize>)> = Vec::new();
+    for (r, idx) in ctx.parts.easy_bf_bins.iter().enumerate() {
+        let bins: Vec<usize> = idx
+            .clone()
+            .map(|bn| easy_bins[bn])
+            .filter(|bn| my_bins.contains(bn))
+            .collect();
+        feeders.push((ctx.assign.rank_range(EASY_BF).start + r, bins));
+    }
+    for (r, idx) in ctx.parts.hard_bf_bins.iter().enumerate() {
+        let bins: Vec<usize> = idx
+            .clone()
+            .map(|bn| hard_bins[bn])
+            .filter(|bn| my_bins.contains(bn))
+            .collect();
+        feeders.push((ctx.assign.rank_range(HARD_BF).start + r, bins));
+    }
+    let cfar_ov: Vec<Range<usize>> = ctx
+        .parts
+        .cfar_bins
+        .iter()
+        .map(|c| overlap(&my_bins, c))
+        .collect();
+    let mut data_by = ByGroup::<CCube>::new(ctx.max_group);
+    let mut power_by = ByGroup::<RCube>::new(ctx.max_group);
+    let mut pc_ws = PulseScratch::new();
+    let mut health = PipelineHealth::default();
+    let mut slot = 0usize;
+    'outer: loop {
+        sample_mailbox(comm, &mut health);
+        let mut group: Option<Arc<[SubCpi]>> = None;
+        let mut first = true;
+        for (fi, (src, bins)) in feeders.iter().enumerate() {
+            let m = comm.recv(*src, tag(edge_for(ctx, *src), slot)).unwrap();
+            match expect_grouped_cube(m) {
+                Some((g, block)) => {
+                    let b = g.len();
+                    if first {
+                        first = false;
+                        group = Some(g);
+                        data_by.get(b, |b| CCube::zeros([b * ml, p.m_beams, p.k_range]));
+                        power_by.get(b, |b| RCube::zeros([b * ml, p.m_beams, p.k_range]));
+                    }
+                    let data = data_by.slots[b].as_mut().unwrap();
+                    let bl = bins.len();
+                    debug_assert_eq!(block.shape()[0], b * bl);
+                    for u in 0..b {
+                        for (i, &bn) in bins.iter().enumerate() {
+                            for m in 0..p.m_beams {
+                                data.lane_mut(u * ml + bn - my_bins.start, m)
+                                    .copy_from_slice(block.lane(u * bl + i, m));
+                            }
+                        }
+                    }
+                    ctx.pools.cx.recycle(block);
+                }
+                None => {
+                    for (src2, _) in feeders.iter().skip(fi + 1) {
+                        let m2 = comm.recv(*src2, tag(edge_for(ctx, *src2), slot)).unwrap();
+                        assert!(matches!(m2.payload, Payload::Shutdown));
+                    }
+                    for u in 0..ctx.parts.cfar_bins.len() {
+                        let dst = ctx.assign.rank_range(CFAR).start + u;
+                        comm.send(
+                            dst,
+                            tag(Edge::PcToCfar, slot),
+                            Msg::new(slot, Payload::Shutdown),
+                        );
+                    }
+                    break 'outer;
+                }
+            }
+        }
+        let group = group.expect("at least one feeder");
+        let b = group.len();
+        let data = data_by.slots[b].as_mut().unwrap();
+        let power = power_by.slots[b].as_mut().unwrap();
+        compressor.process_into_with(data, power, &mut pc_ws);
+        for (u_cf, ov) in cfar_ov.iter().enumerate() {
+            let ol = ov.len();
+            let block = gather_plane_rows(&ctx.pools.real, power, b, ol, |u, o| {
+                u * ml + ov.start + o - my_bins.start
+            });
+            let dst = ctx.assign.rank_range(CFAR).start + u_cf;
+            comm.send(
+                dst,
+                tag(Edge::PcToCfar, slot),
+                Msg::grouped(slot, group.clone(), Payload::Real(block)),
+            );
+        }
+        slot += 1;
+    }
+    health.mailbox_over_high_water = comm.mailbox_stats().over_high_water;
+    health
+}
+
+/// Which BF->PC edge a sender rank uses (PC receives on two edges).
+fn edge_for(ctx: &ResCtx, src: usize) -> Edge {
+    if src < ctx.assign.rank_range(HARD_BF).start {
+        Edge::EasyBfToPc
+    } else {
+        Edge::HardBfToPc
+    }
+}
+
+/// Resident CFAR (task 6): per-member detection lists, one grouped
+/// `DetectionsGroup` message to the driver per slot.
+fn resident_cfar(ctx: &ResCtx, comm: &mut Comm<Msg>, local: usize) -> PipelineHealth {
+    let p = ctx.params;
+    let my_bins = ctx.parts.cfar_bins[local].clone();
+    let ml = my_bins.len();
+    let driver = ctx.assign.driver_rank();
+    let feeders: Vec<(usize, Range<usize>)> = ctx
+        .parts
+        .pc_bins
+        .iter()
+        .enumerate()
+        .map(|(t, r)| (ctx.assign.rank_range(PC).start + t, overlap(r, &my_bins)))
+        .collect();
+    let mut power_by = ByGroup::<RCube>::new(ctx.max_group);
+    let mut scratch = cfar::CfarScratch::for_task(p, ml);
+    let mut health = PipelineHealth::default();
+    let mut slot = 0usize;
+    'outer: loop {
+        sample_mailbox(comm, &mut health);
+        let mut group: Option<Arc<[SubCpi]>> = None;
+        let mut first = true;
+        for (fi, (src, ov)) in feeders.iter().enumerate() {
+            let m = comm.recv(*src, tag(Edge::PcToCfar, slot)).unwrap();
+            match expect_grouped_real(m) {
+                Some((g, block)) => {
+                    let b = g.len();
+                    if first {
+                        first = false;
+                        group = Some(g);
+                        power_by.get(b, |b| RCube::zeros([b * ml, p.m_beams, p.k_range]));
+                    }
+                    let power = power_by.slots[b].as_mut().unwrap();
+                    let ol = ov.len();
+                    debug_assert_eq!(block.shape()[0], b * ol);
+                    for u in 0..b {
+                        for i in 0..ol {
+                            for m in 0..p.m_beams {
+                                power
+                                    .lane_mut(u * ml + ov.start - my_bins.start + i, m)
+                                    .copy_from_slice(block.lane(u * ol + i, m));
+                            }
+                        }
+                    }
+                    ctx.pools.real.recycle(block);
+                }
+                None => {
+                    for (src2, _) in feeders.iter().skip(fi + 1) {
+                        let m2 = comm.recv(*src2, tag(Edge::PcToCfar, slot)).unwrap();
+                        assert!(matches!(m2.payload, Payload::Shutdown));
+                    }
+                    break 'outer;
+                }
+            }
+        }
+        let group = group.expect("at least one PC node");
+        let b = group.len();
+        let power = power_by.slots[b].as_mut().unwrap();
+        let mut per_sub: Vec<Vec<Detection>> = Vec::with_capacity(b);
+        for u in 0..b {
+            scratch.begin_cpi();
+            for bi in 0..ml {
+                for m in 0..p.m_beams {
+                    cfar::cfar_lane(
+                        p,
+                        power.lane(u * ml + bi, m),
+                        my_bins.start + bi,
+                        m,
+                        &mut scratch.detections,
+                    );
+                }
+            }
+            per_sub.push(scratch.take());
+        }
+        comm.send(
+            driver,
+            tag(Edge::Output, slot),
+            Msg::grouped(slot, group.clone(), Payload::DetectionsGroup(per_sub)),
+        );
+        slot += 1;
+    }
+    health.mailbox_over_high_water = comm.mailbox_stats().over_high_water;
+    health
+}
+
+/// The driver arm of a resident session: windowed slot injection from
+/// the jobs channel, completion collection, shutdown cascade.
+fn resident_driver(
+    ctx: &ResCtx,
+    comm: &mut Comm<Msg>,
+    window: usize,
+    jobs: Receiver<Vec<CpiJob>>,
+    done: Sender<CpiDone>,
+) -> (PipelineHealth, u64, u64) {
+    let p = ctx.params;
+    let dop0 = ctx.assign.rank_range(DOPPLER).start;
+    let cfar_ranks: Vec<usize> = ctx.assign.rank_range(CFAR).collect();
+    let mut inflight: VecDeque<(Arc<[SubCpi]>, Vec<Instant>)> = VecDeque::with_capacity(window);
+    let mut health = PipelineHealth::default();
+    let mut next_slot = 0usize;
+    let mut collected = 0usize;
+    let mut cpis = 0u64;
+    let mut open = true;
+    while open || collected < next_slot {
+        // Fill the window. Block for the first job only when nothing is
+        // in flight; otherwise prefer draining completed slots.
+        while open && next_slot - collected < window {
+            let batch = if collected < next_slot {
+                match jobs.try_recv() {
+                    Ok(bt) => Some(bt),
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => {
+                        open = false;
+                        break;
+                    }
+                }
+            } else {
+                match jobs.recv() {
+                    Ok(bt) => Some(bt),
+                    Err(_) => {
+                        open = false;
+                        break;
+                    }
+                }
+            };
+            let Some(batch) = batch else { break };
+            if batch.is_empty() {
+                continue;
+            }
+            assert!(
+                batch.len() <= ctx.max_group,
+                "slot group of {} exceeds max_group {}",
+                batch.len(),
+                ctx.max_group
+            );
+            let b = batch.len();
+            let group: Arc<[SubCpi]> = batch
+                .iter()
+                .map(|j| SubCpi {
+                    stream: j.stream,
+                    scpi: j.scpi,
+                })
+                .collect();
+            let submitted: Vec<Instant> = batch.iter().map(|j| j.submitted).collect();
+            for (pn, kr) in ctx.parts.doppler_k.iter().enumerate() {
+                let klen = kr.len();
+                // Axis 0 is the slowest axis, so each sub-CPI's k-slab is
+                // one contiguous run: assemble the group slab with b slice
+                // copies rather than an element-wise rebuild.
+                let row = p.j_channels * p.n_pulses;
+                let mut buf = ctx.pools.cx.get(b * klen * row);
+                for job in &batch {
+                    buf.extend_from_slice(&job.cube.as_slice()[kr.start * row..kr.end * row]);
+                }
+                let slab = CCube::from_vec([b * klen, p.j_channels, p.n_pulses], buf);
+                comm.send(
+                    dop0 + pn,
+                    tag(Edge::Input, next_slot),
+                    Msg::grouped(next_slot, group.clone(), Payload::Cube(slab)),
+                );
+            }
+            for job in batch {
+                ctx.pools.cx.recycle(job.cube);
+            }
+            inflight.push_back((group, submitted));
+            next_slot += 1;
+        }
+        if collected < next_slot {
+            sample_mailbox(comm, &mut health);
+            let (group, submitted) = inflight.pop_front().unwrap();
+            let b = group.len();
+            let mut per_sub: Vec<Vec<Detection>> = (0..b).map(|_| Vec::new()).collect();
+            for &src in &cfar_ranks {
+                let m = comm.recv(src, tag(Edge::Output, collected)).unwrap();
+                match m.payload {
+                    Payload::DetectionsGroup(gs) => {
+                        debug_assert_eq!(gs.len(), b);
+                        for (u, ds) in gs.into_iter().enumerate() {
+                            per_sub[u].extend(ds);
+                        }
+                    }
+                    other => panic!("resident driver: expected DetectionsGroup, got {other:?}"),
+                }
+            }
+            let now = Instant::now();
+            for (u, mut ds) in per_sub.into_iter().enumerate() {
+                ds.sort_by_key(|d| (d.bin, d.beam, d.range));
+                // A closed `done` receiver is fine: keep draining.
+                let _ = done.send(CpiDone {
+                    stream: group[u].stream,
+                    scpi: group[u].scpi,
+                    detections: ds,
+                    latency: now.duration_since(submitted[u]).as_secs_f64(),
+                });
+            }
+            cpis += b as u64;
+            collected += 1;
+        }
+    }
+    // Every slot drained: cascade the shutdown from the input edge.
+    for pn in 0..ctx.parts.doppler_k.len() {
+        comm.send(
+            dop0 + pn,
+            tag(Edge::Input, next_slot),
+            Msg::new(next_slot, Payload::Shutdown),
+        );
+    }
+    health.mailbox_over_high_water = comm.mailbox_stats().over_high_water;
+    (health, cpis, next_slot as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::ParallelStap;
+    use std::sync::mpsc;
+
+    /// Interleaved multi-stream resident processing must be
+    /// bit-identical to running each stream through the batch pipeline
+    /// on its own.
+    #[test]
+    fn interleaved_streams_match_per_stream_batch_runs() {
+        let params = StapParams::reduced();
+        let seeds = [11u64, 23u64, 47u64];
+        let per_stream = 5usize;
+        let scenarios: Vec<Scenario> = seeds.iter().map(|&s| Scenario::reduced(s)).collect();
+        let streams: Vec<Vec<CCube>> = scenarios
+            .iter()
+            .map(|sc| sc.stream(per_stream).map(|(_, _, c)| c).collect())
+            .collect();
+
+        // Per-stream serial baselines (batch pipeline, same steering).
+        let mut want: Vec<Vec<Vec<Detection>>> = Vec::new();
+        for (sc, cubes) in scenarios.iter().zip(&streams) {
+            let par = ParallelStap::for_scenario(params.clone(), NodeAssignment::tiny(), sc);
+            want.push(par.run(cubes.clone()).detections);
+        }
+
+        // Resident run: one slot per CPI index carrying all three
+        // streams' cubes (steering fans are per-scenario; use stream 0's
+        // scenario for construction — all reduced scenarios share the
+        // same transmit beams and geometry).
+        let res = ResidentStap::for_scenario(params, NodeAssignment::tiny(), &scenarios[0])
+            .with_max_group(seeds.len());
+        res.reserve(seeds.len(), 1);
+        let (jobs_tx, jobs_rx) = mpsc::sync_channel(4);
+        let (done_tx, done_rx) = mpsc::channel();
+        let pool = res.pools().cx.clone();
+        let feeder = std::thread::spawn(move || {
+            for scpi in 0..per_stream {
+                let batch: Vec<CpiJob> = streams
+                    .iter()
+                    .enumerate()
+                    .map(|(s, cubes)| {
+                        let c = &cubes[scpi];
+                        CpiJob {
+                            stream: s as u16,
+                            scpi: scpi as u32,
+                            cube: pool.take_cube(c.shape(), |i, j, k| c[(i, j, k)]),
+                            submitted: Instant::now(),
+                        }
+                    })
+                    .collect();
+                jobs_tx.send(batch).unwrap();
+            }
+        });
+        let summary = res.serve(jobs_rx, done_tx).unwrap();
+        feeder.join().unwrap();
+        assert_eq!(summary.cpis as usize, seeds.len() * per_stream);
+        assert_eq!(summary.slots as usize, per_stream);
+
+        let mut got: Vec<Vec<Vec<Detection>>> = vec![vec![Vec::new(); per_stream]; seeds.len()];
+        let mut n = 0;
+        while let Ok(d) = done_rx.recv() {
+            assert!(d.latency >= 0.0);
+            got[d.stream as usize][d.scpi as usize] = d.detections;
+            n += 1;
+        }
+        assert_eq!(n, seeds.len() * per_stream);
+        for (s, (g, w)) in got.iter().zip(&want).enumerate() {
+            for (i, (gd, wd)) in g.iter().zip(w).enumerate() {
+                assert_eq!(gd.len(), wd.len(), "stream {s} CPI {i} detection count");
+                for (a, b) in gd.iter().zip(wd) {
+                    assert_eq!((a.bin, a.beam, a.range), (b.bin, b.beam, b.range));
+                    assert!((a.power - b.power).abs() <= 1e-9 * b.power.abs().max(1.0));
+                }
+            }
+        }
+        // Demand-driven reserve: the steady state must be miss-free
+        // (every class pre-warmed before the first slot).
+        assert_eq!(
+            summary.pool_cx.misses, 0,
+            "reserve() under-provisioned the complex pool: {:?}",
+            summary.pool_cx
+        );
+        assert_eq!(summary.pool_real.misses, 0);
+    }
+
+    /// Variable group sizes (ramp-up and tail slots smaller than
+    /// max_group) and same-stream multi-CPI slots keep the per-stream
+    /// weight schedule intact.
+    #[test]
+    fn uneven_groups_and_same_stream_slots_match() {
+        let params = StapParams::reduced();
+        let sc = Scenario::reduced(7);
+        let per_stream = 6usize;
+        let cubes: Vec<CCube> = sc.stream(per_stream).map(|(_, _, c)| c).collect();
+        let want = ParallelStap::for_scenario(params.clone(), NodeAssignment::tiny(), &sc)
+            .run(cubes.clone())
+            .detections;
+
+        // One stream, CPIs packed into uneven slots: [0], [1,2], [3,4,5].
+        let res = ResidentStap::for_scenario(params, NodeAssignment::tiny(), &sc).with_max_group(3);
+        res.reserve(1, 4);
+        let (jobs_tx, jobs_rx) = mpsc::sync_channel(4);
+        let (done_tx, done_rx) = mpsc::channel();
+        let pool = res.pools().cx.clone();
+        let feeder = std::thread::spawn(move || {
+            let mk = |scpi: usize| {
+                let c = &cubes[scpi];
+                CpiJob {
+                    stream: 0,
+                    scpi: scpi as u32,
+                    cube: pool.take_cube(c.shape(), |i, j, k| c[(i, j, k)]),
+                    submitted: Instant::now(),
+                }
+            };
+            jobs_tx.send(vec![mk(0)]).unwrap();
+            jobs_tx.send(vec![mk(1), mk(2)]).unwrap();
+            jobs_tx.send(vec![mk(3), mk(4), mk(5)]).unwrap();
+        });
+        let summary = res.serve(jobs_rx, done_tx).unwrap();
+        feeder.join().unwrap();
+        assert_eq!(summary.cpis as usize, per_stream);
+        assert_eq!(summary.slots, 3);
+
+        let mut got = vec![Vec::new(); per_stream];
+        while let Ok(d) = done_rx.recv() {
+            got[d.scpi as usize] = d.detections;
+        }
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            assert_eq!(g.len(), w.len(), "CPI {i}");
+            for (a, b) in g.iter().zip(w) {
+                assert_eq!((a.bin, a.beam, a.range), (b.bin, b.beam, b.range));
+            }
+        }
+    }
+}

@@ -424,6 +424,8 @@ impl ParallelStap {
             }
         }
         timings.tasks = tasks;
+        timings.pool_cx = pools.cx.stats();
+        timings.pool_real = pools.real.stats();
         let trace = self.tracing.then(|| {
             trace_tasks.sort_by_key(|iv| (iv.task, iv.node, iv.span.cpi));
             crate::trace::PipelineTrace {

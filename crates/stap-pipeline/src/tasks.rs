@@ -119,21 +119,21 @@ impl RecvPhase {
     }
 }
 
-fn expect_cube(p: Payload) -> CCube {
+pub(crate) fn expect_cube(p: Payload) -> CCube {
     match p {
         Payload::Cube(c) => c,
         other => panic!("expected Cube, got {other:?}"),
     }
 }
 
-fn expect_real(p: Payload) -> RCube {
+pub(crate) fn expect_real(p: Payload) -> RCube {
     match p {
         Payload::Real(c) => c,
         other => panic!("expected Real, got {other:?}"),
     }
 }
 
-fn expect_weights(p: Payload) -> Vec<CMat> {
+pub(crate) fn expect_weights(p: Payload) -> Vec<CMat> {
     match p {
         Payload::Weights(w) => w,
         other => panic!("expected Weights, got {other:?}"),
@@ -269,8 +269,25 @@ pub(crate) fn purge_late(comm: &mut Comm<Msg>, cpi: usize, health: &mut Pipeline
     });
 }
 
+/// Samples the receiver-side mailbox and max-merges the currently
+/// buffered per-edge depths into `health.max_mailbox_depth`. Called once
+/// per CPI at the top of each task loop: one inbox drain plus a bucket
+/// walk, no allocation, so the zero-alloc steady state is preserved.
+pub(crate) fn sample_mailbox(comm: &mut Comm<Msg>, health: &mut PipelineHealth) {
+    let mut depth = [0u64; crate::msg::NUM_EDGES];
+    comm.pending_counts(|_, t, n| {
+        let e = edge_of_tag(t);
+        if e < depth.len() {
+            depth[e] += n as u64;
+        }
+    });
+    for (a, b) in health.max_mailbox_depth.iter_mut().zip(depth) {
+        *a = (*a).max(b);
+    }
+}
+
 /// Global training cells for easy weights that fall inside `krange`.
-fn easy_cells_in(params: &StapParams, krange: &Range<usize>) -> Vec<usize> {
+pub(crate) fn easy_cells_in(params: &StapParams, krange: &Range<usize>) -> Vec<usize> {
     easy_training_cells(params)
         .into_iter()
         .filter(|c| krange.contains(c))
@@ -278,7 +295,7 @@ fn easy_cells_in(params: &StapParams, krange: &Range<usize>) -> Vec<usize> {
 }
 
 /// Global training cells for hard segment `seg` inside `krange`.
-fn hard_cells_in(params: &StapParams, seg: usize, krange: &Range<usize>) -> Vec<usize> {
+pub(crate) fn hard_cells_in(params: &StapParams, seg: usize, krange: &Range<usize>) -> Vec<usize> {
     hard_training_cells(params, seg)
         .into_iter()
         .filter(|c| krange.contains(c))
@@ -309,6 +326,7 @@ pub fn run_doppler(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> TaskRep
 
     for cpi in 0..ctx.num_cpis {
         comm.fault_checkpoint(cpi as u64);
+        sample_mailbox(comm, &mut report.health);
         // --- receive phase -------------------------------------------------
         let mut rp = RecvPhase::begin();
         let cpi_t0 = rp.start;
@@ -449,6 +467,7 @@ pub fn run_doppler(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> TaskRep
             purge_late(comm, cpi, &mut report.health);
         }
     }
+    report.health.mailbox_over_high_water = comm.mailbox_stats().over_high_water;
     report
 }
 
@@ -469,6 +488,7 @@ pub fn run_easy_weight(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Tas
 
     for cpi in 0..ctx.num_cpis {
         comm.fault_checkpoint(cpi as u64);
+        sample_mailbox(comm, &mut report.health);
         // --- receive: one block per Doppler node ---------------------------
         let mut rp = RecvPhase::begin();
         let cpi_t0 = rp.start;
@@ -601,6 +621,7 @@ pub fn run_easy_weight(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Tas
             purge_late(comm, cpi, &mut report.health);
         }
     }
+    report.health.mailbox_over_high_water = comm.mailbox_stats().over_high_water;
     report
 }
 
@@ -632,6 +653,7 @@ pub fn run_hard_weight(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Tas
 
     for cpi in 0..ctx.num_cpis {
         comm.fault_checkpoint(cpi as u64);
+        sample_mailbox(comm, &mut report.health);
         // --- receive -------------------------------------------------------
         let mut rp = RecvPhase::begin();
         let cpi_t0 = rp.start;
@@ -762,10 +784,11 @@ pub fn run_hard_weight(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> Tas
             purge_late(comm, cpi, &mut report.health);
         }
     }
+    report.health.mailbox_over_high_water = comm.mailbox_stats().over_high_water;
     report
 }
 
-fn mean_abs(m: &CMat) -> f64 {
+pub(crate) fn mean_abs(m: &CMat) -> f64 {
     if m.rows() == 0 || m.cols() == 0 {
         return 1.0;
     }
@@ -774,7 +797,7 @@ fn mean_abs(m: &CMat) -> f64 {
 }
 
 /// Weight-source nodes whose bin range overlaps `my_bins`.
-fn weight_sources(
+pub(crate) fn weight_sources(
     wt_parts: &[Range<usize>],
     my_bins: &Range<usize>,
     wt_rank0: usize,
@@ -834,6 +857,7 @@ pub fn run_easy_bf(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> TaskRep
 
     for cpi in 0..ctx.num_cpis {
         comm.fault_checkpoint(cpi as u64);
+        sample_mailbox(comm, &mut report.health);
         let beam = ctx.beam_of(cpi);
         // --- receive -------------------------------------------------------
         let mut rp = RecvPhase::begin();
@@ -981,6 +1005,7 @@ pub fn run_easy_bf(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> TaskRep
             purge_late(comm, cpi, &mut report.health);
         }
     }
+    report.health.mailbox_over_high_water = comm.mailbox_stats().over_high_water;
     report
 }
 
@@ -1052,6 +1077,7 @@ pub fn run_hard_bf(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> TaskRep
 
     for cpi in 0..ctx.num_cpis {
         comm.fault_checkpoint(cpi as u64);
+        sample_mailbox(comm, &mut report.health);
         let beam = ctx.beam_of(cpi);
         // --- receive -------------------------------------------------------
         let mut rp = RecvPhase::begin();
@@ -1195,6 +1221,7 @@ pub fn run_hard_bf(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> TaskRep
             purge_late(comm, cpi, &mut report.health);
         }
     }
+    report.health.mailbox_over_high_water = comm.mailbox_stats().over_high_water;
     report
 }
 
@@ -1240,6 +1267,7 @@ pub fn run_pc(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> TaskReport {
 
     for cpi in 0..ctx.num_cpis {
         comm.fault_checkpoint(cpi as u64);
+        sample_mailbox(comm, &mut report.health);
         // --- receive -------------------------------------------------------
         let mut rp = RecvPhase::begin();
         let cpi_t0 = rp.start;
@@ -1344,6 +1372,7 @@ pub fn run_pc(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> TaskReport {
             purge_late(comm, cpi, &mut report.health);
         }
     }
+    report.health.mailbox_over_high_water = comm.mailbox_stats().over_high_water;
     report
 }
 
@@ -1370,6 +1399,7 @@ pub fn run_cfar(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> TaskReport
 
     for cpi in 0..ctx.num_cpis {
         comm.fault_checkpoint(cpi as u64);
+        sample_mailbox(comm, &mut report.health);
         // --- receive -------------------------------------------------------
         let mut rp = RecvPhase::begin();
         let cpi_t0 = rp.start;
@@ -1466,6 +1496,7 @@ pub fn run_cfar(ctx: &TaskCtx, comm: &mut Comm<Msg>, local: usize) -> TaskReport
             purge_late(comm, cpi, &mut report.health);
         }
     }
+    report.health.mailbox_over_high_water = comm.mailbox_stats().over_high_water;
     report
 }
 

@@ -1,0 +1,307 @@
+//! Admission control: who may submit, how much, and in what order.
+//!
+//! Every stream must be registered before it can submit; submissions
+//! are sequenced per stream (the resident pipeline's weight FIFOs
+//! require contiguous `scpi` from 0) and bounded per stream: once a
+//! stream has `queue_depth` CPIs admitted-but-incomplete, further
+//! submissions are rejected with [`Reject::QueueFull`] rather than
+//! buffered without bound. Disconnecting a stream purges its undispatched
+//! CPIs so a mid-flight producer failure cannot wedge the batcher.
+
+use stap_cube::CCube;
+use std::collections::{HashMap, VecDeque};
+use std::time::Instant;
+
+/// Why a submission was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Reject {
+    /// The stream has `queue_depth` CPIs in flight; shed load or wait.
+    QueueFull {
+        /// The offending stream.
+        stream: u16,
+        /// The configured per-stream bound that was hit.
+        depth: usize,
+    },
+    /// The stream was never registered (or already disconnected).
+    UnknownStream(u16),
+    /// The cube's shape does not match the pipeline's `[K, J, N]`.
+    BadShape {
+        /// What the pipeline expects.
+        expected: [usize; 3],
+        /// What the caller submitted.
+        got: [usize; 3],
+    },
+    /// The server is shutting down.
+    Closed,
+}
+
+impl std::fmt::Display for Reject {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Reject::QueueFull { stream, depth } => {
+                write!(f, "stream {stream}: queue full (depth {depth})")
+            }
+            Reject::UnknownStream(s) => write!(f, "stream {s}: not registered"),
+            Reject::BadShape { expected, got } => {
+                write!(f, "bad cube shape {got:?}, expected {expected:?}")
+            }
+            Reject::Closed => write!(f, "server closed"),
+        }
+    }
+}
+
+/// Admission limits.
+#[derive(Clone, Copy, Debug)]
+pub struct AdmissionConfig {
+    /// Per-stream high-water mark: admitted-but-incomplete CPIs beyond
+    /// which submissions bounce with [`Reject::QueueFull`].
+    pub queue_depth: usize,
+    /// Required cube shape `[k_range, j_channels, n_pulses]`.
+    pub shape: [usize; 3],
+}
+
+/// One admitted CPI waiting for dispatch.
+pub(crate) struct Pending {
+    pub stream: u16,
+    pub scpi: u32,
+    pub cube: CCube,
+    pub submitted: Instant,
+}
+
+struct StreamState {
+    next_scpi: u32,
+    /// Admitted and not yet completed (spans the ready queue, the slot
+    /// channel and the pipeline itself).
+    in_flight: usize,
+}
+
+/// The shared admission ledger (lives under the server's mutex).
+pub(crate) struct Ingest {
+    cfg: AdmissionConfig,
+    streams: HashMap<u16, StreamState>,
+    /// Admitted CPIs not yet handed to the slot batcher, in arrival
+    /// order across streams.
+    pub ready: VecDeque<Pending>,
+    pub open: bool,
+    pub rejected: u64,
+    pub purged: u64,
+}
+
+impl Ingest {
+    pub fn new(cfg: AdmissionConfig) -> Self {
+        Ingest {
+            cfg,
+            streams: HashMap::new(),
+            ready: VecDeque::new(),
+            open: true,
+            rejected: 0,
+            purged: 0,
+        }
+    }
+
+    /// Registers a stream id. Idempotent for an already-active stream.
+    pub fn register(&mut self, stream: u16) {
+        self.streams.entry(stream).or_insert(StreamState {
+            next_scpi: 0,
+            in_flight: 0,
+        });
+    }
+
+    /// Admits one CPI, assigning its per-stream sequence number. On
+    /// rejection the cube rides back with the reason so the caller can
+    /// recycle it into the pool instead of dropping the buffer.
+    pub fn submit(
+        &mut self,
+        stream: u16,
+        cube: CCube,
+        now: Instant,
+    ) -> Result<u32, (Reject, CCube)> {
+        if !self.open {
+            self.rejected += 1;
+            return Err((Reject::Closed, cube));
+        }
+        if cube.shape() != self.cfg.shape {
+            self.rejected += 1;
+            let got = cube.shape();
+            return Err((
+                Reject::BadShape {
+                    expected: self.cfg.shape,
+                    got,
+                },
+                cube,
+            ));
+        }
+        let Some(st) = self.streams.get_mut(&stream) else {
+            self.rejected += 1;
+            return Err((Reject::UnknownStream(stream), cube));
+        };
+        if st.in_flight >= self.cfg.queue_depth {
+            self.rejected += 1;
+            return Err((
+                Reject::QueueFull {
+                    stream,
+                    depth: self.cfg.queue_depth,
+                },
+                cube,
+            ));
+        }
+        let scpi = st.next_scpi;
+        st.next_scpi += 1;
+        st.in_flight += 1;
+        self.ready.push_back(Pending {
+            stream,
+            scpi,
+            cube,
+            submitted: now,
+        });
+        Ok(scpi)
+    }
+
+    /// Cheap admission probe: would a submission for `stream` be
+    /// admitted right now? With one producer per stream (the sequencing
+    /// contract), a `true` answer cannot be invalidated concurrently —
+    /// other threads only *complete* CPIs, which frees depth.
+    pub fn ready_for(&self, stream: u16) -> bool {
+        self.open
+            && self
+                .streams
+                .get(&stream)
+                .is_some_and(|st| st.in_flight < self.cfg.queue_depth)
+    }
+
+    /// Removes a stream and purges its undispatched CPIs (CPIs already
+    /// handed to the pipeline still complete). Returns cubes purged so
+    /// the caller can recycle them into the pool outside the lock.
+    pub fn disconnect(&mut self, stream: u16) -> Vec<CCube> {
+        self.streams.remove(&stream);
+        let mut dropped = Vec::new();
+        self.ready.retain_mut(|p| {
+            if p.stream == stream {
+                dropped.push(std::mem::replace(&mut p.cube, CCube::zeros([0, 0, 0])));
+                false
+            } else {
+                true
+            }
+        });
+        self.purged += dropped.len() as u64;
+        dropped
+    }
+
+    /// Takes up to `max` ready CPIs for one pipeline slot. The batcher
+    /// takes in arrival order, so a slot naturally mixes streams.
+    pub fn next_group_into(&mut self, max: usize, out: &mut Vec<Pending>) {
+        while out.len() < max {
+            match self.ready.pop_front() {
+                Some(p) => out.push(p),
+                None => break,
+            }
+        }
+    }
+
+    /// Marks one CPI complete (frees a unit of that stream's depth; the
+    /// stream may already be disconnected, which is fine).
+    pub fn complete(&mut self, stream: u16) {
+        if let Some(st) = self.streams.get_mut(&stream) {
+            st.in_flight = st.in_flight.saturating_sub(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ingest(depth: usize) -> Ingest {
+        Ingest::new(AdmissionConfig {
+            queue_depth: depth,
+            shape: [2, 2, 2],
+        })
+    }
+
+    fn cube() -> CCube {
+        CCube::zeros([2, 2, 2])
+    }
+
+    #[test]
+    fn sequences_per_stream_and_bounds_depth() {
+        let mut ing = ingest(2);
+        ing.register(7);
+        let t = Instant::now();
+        assert_eq!(ing.submit(7, cube(), t).unwrap(), 0);
+        assert_eq!(ing.submit(7, cube(), t).unwrap(), 1);
+        assert_eq!(
+            ing.submit(7, cube(), t).unwrap_err().0,
+            Reject::QueueFull {
+                stream: 7,
+                depth: 2
+            }
+        );
+        assert_eq!(ing.rejected, 1);
+        ing.complete(7);
+        assert_eq!(ing.submit(7, cube(), t).unwrap(), 2);
+    }
+
+    #[test]
+    fn rejects_unknown_stream_and_bad_shape() {
+        let mut ing = ingest(4);
+        ing.register(1);
+        let t = Instant::now();
+        assert_eq!(
+            ing.submit(2, cube(), t).unwrap_err().0,
+            Reject::UnknownStream(2)
+        );
+        assert_eq!(
+            ing.submit(1, CCube::zeros([1, 2, 2]), t).unwrap_err().0,
+            Reject::BadShape {
+                expected: [2, 2, 2],
+                got: [1, 2, 2]
+            }
+        );
+        ing.open = false;
+        assert_eq!(ing.submit(1, cube(), t).unwrap_err().0, Reject::Closed);
+        assert_eq!(ing.rejected, 3);
+    }
+
+    #[test]
+    fn disconnect_purges_only_that_stream() {
+        let mut ing = ingest(8);
+        ing.register(1);
+        ing.register(2);
+        let t = Instant::now();
+        for _ in 0..3 {
+            ing.submit(1, cube(), t).unwrap();
+            ing.submit(2, cube(), t).unwrap();
+        }
+        let purged = ing.disconnect(1);
+        assert_eq!(purged.len(), 3);
+        assert_eq!(ing.purged, 3);
+        assert_eq!(ing.ready.len(), 3);
+        assert!(ing.ready.iter().all(|p| p.stream == 2));
+        // Re-registering starts a fresh sequence.
+        ing.register(1);
+        assert_eq!(ing.submit(1, cube(), t).unwrap(), 0);
+    }
+
+    #[test]
+    fn batcher_mixes_streams_in_arrival_order() {
+        let mut ing = ingest(8);
+        ing.register(1);
+        ing.register(2);
+        let t = Instant::now();
+        ing.submit(1, cube(), t).unwrap();
+        ing.submit(2, cube(), t).unwrap();
+        ing.submit(1, cube(), t).unwrap();
+        let mut g = Vec::new();
+        ing.next_group_into(2, &mut g);
+        assert_eq!(
+            g.iter().map(|p| (p.stream, p.scpi)).collect::<Vec<_>>(),
+            vec![(1, 0), (2, 0)]
+        );
+        g.clear();
+        ing.next_group_into(4, &mut g);
+        assert_eq!(
+            g.iter().map(|p| (p.stream, p.scpi)).collect::<Vec<_>>(),
+            vec![(1, 1)]
+        );
+    }
+}

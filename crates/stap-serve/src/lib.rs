@@ -1,0 +1,27 @@
+//! Multi-stream ingestion front end for the resident STAP pipeline.
+//!
+//! The paper evaluates the pipeline on one CPI stream; an operational
+//! radar processor serves *many* — one per active surveillance sector,
+//! each submitting CPIs concurrently. This crate is the long-running
+//! front end over [`stap_pipeline::ResidentStap`]:
+//!
+//! * [`admission`] — per-stream registration, in-order sequencing,
+//!   bounded per-stream depth with reject-with-reason beyond the
+//!   high-water mark, and purge-on-disconnect;
+//! * [`server`] — [`server::StapServer`]: a background resident
+//!   pipeline fed through a bounded (credit-based) slot channel, with
+//!   cross-stream batching — CPIs from different streams coalesce into
+//!   one pipeline slot so the FFT/GEMM kernels amortize across streams;
+//! * [`slo`] — latency percentile math for p50/p99 service objectives;
+//! * [`loadgen`] — a synthetic multi-stream load generator used by
+//!   `stapctl loadgen`, `stapctl bench --streams` and the smoke tests.
+
+pub mod admission;
+pub mod loadgen;
+pub mod server;
+pub mod slo;
+
+pub use admission::{AdmissionConfig, Reject};
+pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};
+pub use server::{ServeSummary, ServerConfig, StapServer, StreamStats};
+pub use slo::{percentile, LatencyProfile};

@@ -1,0 +1,437 @@
+//! The long-running ingestion server over the resident pipeline.
+//!
+//! Three background threads per server:
+//!
+//! * **batcher** — pulls admitted CPIs off the admission queue in
+//!   arrival order, coalesces up to `max_group` of them (naturally
+//!   mixing streams) into one slot group and pushes it down a *bounded*
+//!   slot channel. The bound is the credit supply: when `window` slots
+//!   are in flight the batcher blocks, admitted CPIs pile up against
+//!   each stream's queue depth, and further submissions bounce with
+//!   [`Reject::QueueFull`] — backpressure propagates to producers
+//!   instead of growing queues without bound;
+//! * **engine** — [`stap_pipeline::ResidentStap::serve`] on the slot
+//!   channel: the seven resident task nodes plus driver;
+//! * **collector** — drains per-CPI completions, records per-stream
+//!   latency samples and releases admission credits.
+//!
+//! Submission is allocation-free in steady state: producers draw cubes
+//! from the server's shared pool ([`StapServer::take_cube`]) and the
+//! pipeline recycles every block it consumes.
+
+use crate::admission::{AdmissionConfig, Ingest, Pending, Reject};
+use crate::slo::LatencyProfile;
+use stap_cube::CCube;
+use stap_math::Cx;
+use stap_pipeline::runner::PipelineError;
+use stap_pipeline::{CpiJob, ResidentStap, ResidentSummary};
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Server limits and batching knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Pipeline slots in flight (the slot channel bound / credit supply).
+    pub window: usize,
+    /// Maximum CPIs coalesced into one slot.
+    pub max_group: usize,
+    /// Per-stream admission bound (see [`AdmissionConfig`]).
+    pub queue_depth: usize,
+    /// Soft mailbox high-water mark inside the pipeline (0 = off).
+    pub mailbox_high_water: usize,
+    /// Expected concurrent streams; sizes the pool pre-warm
+    /// ([`ResidentStap::reserve`]). More streams than the hint still
+    /// work — the pool grows on (counted) misses.
+    pub streams_hint: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            window: 4,
+            max_group: 4,
+            queue_depth: 8,
+            mailbox_high_water: 64,
+            streams_hint: 4,
+        }
+    }
+}
+
+/// Per-stream completion statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StreamStats {
+    /// Stream id.
+    pub stream: u16,
+    /// CPIs completed.
+    pub cpis: u64,
+    /// Total detections reported.
+    pub detections: u64,
+    /// Latency percentiles over this stream's completions.
+    pub latency: LatencyProfile,
+}
+
+/// Everything a serve session reports at shutdown.
+#[derive(Clone, Debug, Default)]
+pub struct ServeSummary {
+    /// Per-stream stats, sorted by stream id.
+    pub streams: Vec<StreamStats>,
+    /// CPIs completed across all streams.
+    pub cpis: u64,
+    /// Pipeline slots processed (`cpis / slots` = achieved batching).
+    pub slots: u64,
+    /// Wall-clock seconds from server start to engine shutdown.
+    pub elapsed: f64,
+    /// Aggregate sustained throughput.
+    pub cpis_per_sec: f64,
+    /// Submissions refused by admission control.
+    pub rejected: u64,
+    /// CPIs purged by stream disconnects.
+    pub purged: u64,
+    /// Latency percentiles over all completions.
+    pub aggregate: LatencyProfile,
+    /// The resident pipeline's own summary (health, pool traffic).
+    pub resident: ResidentSummary,
+}
+
+impl ServeSummary {
+    /// JSON rendering for `stapctl serve`/`loadgen` and the CI smoke
+    /// stage (which asserts the SLO fields exist and the pools stayed
+    /// miss-free in steady state).
+    pub fn to_json(&self) -> stap_util::Json {
+        use stap_util::Json;
+        let profile = |p: &LatencyProfile| {
+            Json::obj([
+                ("p50_ms", Json::Num(p.p50_ms)),
+                ("p99_ms", Json::Num(p.p99_ms)),
+                ("max_ms", Json::Num(p.max_ms)),
+            ])
+        };
+        Json::obj([
+            ("cpis", Json::Num(self.cpis as f64)),
+            ("slots", Json::Num(self.slots as f64)),
+            ("elapsed_s", Json::Num(self.elapsed)),
+            ("cpis_per_sec", Json::Num(self.cpis_per_sec)),
+            ("rejected", Json::Num(self.rejected as f64)),
+            ("purged", Json::Num(self.purged as f64)),
+            ("latency", profile(&self.aggregate)),
+            (
+                "streams",
+                Json::arr(self.streams.iter().map(|s| {
+                    Json::obj([
+                        ("stream", Json::Num(s.stream as f64)),
+                        ("cpis", Json::Num(s.cpis as f64)),
+                        ("detections", Json::Num(s.detections as f64)),
+                        ("latency", profile(&s.latency)),
+                    ])
+                })),
+            ),
+            (
+                "pool",
+                Json::obj([
+                    ("cx_hits", Json::Num(self.resident.pool_cx.hits as f64)),
+                    ("cx_misses", Json::Num(self.resident.pool_cx.misses as f64)),
+                    ("real_hits", Json::Num(self.resident.pool_real.hits as f64)),
+                    (
+                        "real_misses",
+                        Json::Num(self.resident.pool_real.misses as f64),
+                    ),
+                ]),
+            ),
+            (
+                "health",
+                Json::obj([
+                    ("faults", Json::Bool(self.resident.health.any())),
+                    (
+                        "mailbox_over_high_water",
+                        Json::Num(self.resident.health.mailbox_over_high_water as f64),
+                    ),
+                    (
+                        "max_mailbox_depth",
+                        Json::Num(
+                            self.resident
+                                .health
+                                .max_mailbox_depth
+                                .iter()
+                                .copied()
+                                .max()
+                                .unwrap_or(0) as f64,
+                        ),
+                    ),
+                ]),
+            ),
+        ])
+    }
+}
+
+struct Collected {
+    latencies: HashMap<u16, Vec<f64>>,
+    detections: HashMap<u16, u64>,
+}
+
+struct Shared {
+    ing: Mutex<Ingest>,
+    cv: Condvar,
+}
+
+/// A running multi-stream STAP server. Construct with
+/// [`StapServer::start`], feed it with [`StapServer::submit`], stop it
+/// with [`StapServer::shutdown`].
+pub struct StapServer {
+    shared: Arc<Shared>,
+    pool: stap_cube::SharedBufferPool<Cx>,
+    shape: [usize; 3],
+    t0: Instant,
+    batcher: Option<JoinHandle<()>>,
+    engine: Option<JoinHandle<Result<ResidentSummary, PipelineError>>>,
+    collector: Option<JoinHandle<Collected>>,
+}
+
+impl StapServer {
+    /// Builds the resident pipeline, pre-warms its pools for
+    /// `cfg.streams_hint` streams and starts the background threads.
+    pub fn start(resident: ResidentStap, cfg: ServerConfig) -> StapServer {
+        StapServer::start_with_tap(resident, cfg, None)
+    }
+
+    /// Like [`StapServer::start`], but every completion is also
+    /// forwarded (detections and all) to `tap` — the hook consumers use
+    /// to receive results; a dropped tap is ignored.
+    pub fn start_with_tap(
+        resident: ResidentStap,
+        cfg: ServerConfig,
+        tap: Option<mpsc::Sender<stap_pipeline::CpiDone>>,
+    ) -> StapServer {
+        let resident = resident
+            .with_window(cfg.window)
+            .with_max_group(cfg.max_group)
+            .with_mailbox_high_water(cfg.mailbox_high_water);
+        resident.reserve(cfg.streams_hint, cfg.queue_depth);
+        let p = &resident.params;
+        let shape = [p.k_range, p.j_channels, p.n_pulses];
+        let pool = resident.pools().cx.clone();
+        let shared = Arc::new(Shared {
+            ing: Mutex::new(Ingest::new(AdmissionConfig {
+                queue_depth: cfg.queue_depth,
+                shape,
+            })),
+            cv: Condvar::new(),
+        });
+
+        // Credit-based backpressure: the slot channel holds at most
+        // `window` undelivered groups; a full channel blocks the batcher.
+        let (jobs_tx, jobs_rx) = mpsc::sync_channel::<Vec<CpiJob>>(cfg.window);
+        let (done_tx, done_rx) = mpsc::channel();
+
+        let max_group = cfg.max_group.max(1);
+        let sh = shared.clone();
+        let batcher = std::thread::spawn(move || {
+            let mut batch: Vec<Pending> = Vec::with_capacity(max_group);
+            loop {
+                batch.clear();
+                {
+                    let mut ing = sh.ing.lock().unwrap();
+                    loop {
+                        ing.next_group_into(max_group, &mut batch);
+                        if !batch.is_empty() {
+                            break;
+                        }
+                        if !ing.open {
+                            return; // drops jobs_tx -> engine drains and exits
+                        }
+                        ing = sh.cv.wait(ing).unwrap();
+                    }
+                }
+                let jobs: Vec<CpiJob> = batch
+                    .drain(..)
+                    .map(|p| CpiJob {
+                        stream: p.stream,
+                        scpi: p.scpi,
+                        cube: p.cube,
+                        submitted: p.submitted,
+                    })
+                    .collect();
+                if jobs_tx.send(jobs).is_err() {
+                    return; // engine died; shutdown() will surface the error
+                }
+            }
+        });
+
+        let engine = std::thread::spawn(move || resident.serve(jobs_rx, done_tx));
+
+        let sh = shared.clone();
+        let collector = std::thread::spawn(move || {
+            let mut out = Collected {
+                latencies: HashMap::new(),
+                detections: HashMap::new(),
+            };
+            while let Ok(d) = done_rx.recv() {
+                out.latencies.entry(d.stream).or_default().push(d.latency);
+                *out.detections.entry(d.stream).or_default() += d.detections.len() as u64;
+                sh.ing.lock().unwrap().complete(d.stream);
+                // Wake producers blocked in `wait_ready` (the batcher
+                // also wakes, rechecks and goes back to sleep — cheap).
+                sh.cv.notify_all();
+                if let Some(t) = &tap {
+                    let _ = t.send(d);
+                }
+            }
+            out
+        });
+
+        StapServer {
+            shared,
+            pool,
+            shape,
+            t0: Instant::now(),
+            batcher: Some(batcher),
+            engine: Some(engine),
+            collector: Some(collector),
+        }
+    }
+
+    /// The cube shape this server accepts (`[K, J, N]`).
+    pub fn shape(&self) -> [usize; 3] {
+        self.shape
+    }
+
+    /// Draws a correctly-shaped cube from the server's pool, filled by
+    /// `f(k, j, n)`. Submitting pool cubes keeps the steady state
+    /// allocation-free end to end.
+    pub fn take_cube(&self, f: impl FnMut(usize, usize, usize) -> Cx) -> CCube {
+        self.pool.take_cube(self.shape, f)
+    }
+
+    /// Draws a pool cube pre-filled from `src` in one slice copy — the
+    /// fast path for producers that already hold a CPI cube (A/D
+    /// buffers, replayed captures) and only need it in pool-recycled
+    /// memory for submission.
+    pub fn take_cube_from(&self, src: &CCube) -> CCube {
+        self.pool.take_cube_from(src)
+    }
+
+    /// Registers a stream id (idempotent while connected).
+    pub fn register(&self, stream: u16) {
+        self.shared.ing.lock().unwrap().register(stream);
+    }
+
+    /// Cheap admission probe: true when a [`StapServer::submit`] for
+    /// `stream` would be admitted right now. Producers use this to
+    /// avoid filling a cube they are about to have bounced (with one
+    /// producer per stream, a `true` answer only gets *more* true until
+    /// that producer submits).
+    pub fn ready_for(&self, stream: u16) -> bool {
+        self.shared.ing.lock().unwrap().ready_for(stream)
+    }
+
+    /// Blocks until `stream` has admission headroom (a completion freed
+    /// a unit of its queue depth) or the server stops accepting. Returns
+    /// the number of times the producer had to wait — the backpressure
+    /// event count. The stream must be registered: waiting on an
+    /// unregistered stream only ends at shutdown.
+    pub fn wait_ready(&self, stream: u16) -> u64 {
+        let mut waits = 0;
+        let mut ing = self.shared.ing.lock().unwrap();
+        while ing.open && !ing.ready_for(stream) {
+            waits += 1;
+            ing = self.shared.cv.wait(ing).unwrap();
+        }
+        waits
+    }
+
+    /// Submits one CPI for `stream`. Returns the assigned per-stream
+    /// sequence number, or the rejection reason (admission is
+    /// non-blocking: on [`Reject::QueueFull`] the producer decides
+    /// whether to retry, shed or fail over).
+    pub fn submit(&self, stream: u16, cube: CCube) -> Result<u32, Reject> {
+        let now = Instant::now();
+        let r = self.shared.ing.lock().unwrap().submit(stream, cube, now);
+        match r {
+            Ok(scpi) => {
+                self.shared.cv.notify_one();
+                Ok(scpi)
+            }
+            Err((reject, cube)) => {
+                // Rejected cubes go back to the pool, not the allocator.
+                self.pool.recycle(cube);
+                Err(reject)
+            }
+        }
+    }
+
+    /// Disconnects a stream: deregisters it and purges its
+    /// not-yet-dispatched CPIs (in-pipeline CPIs still complete).
+    /// Returns the number purged.
+    pub fn disconnect(&self, stream: u16) -> usize {
+        let cubes = self.shared.ing.lock().unwrap().disconnect(stream);
+        let n = cubes.len();
+        for c in cubes {
+            self.pool.recycle(c);
+        }
+        n
+    }
+
+    /// Stops admission, drains everything in flight and returns the
+    /// session summary.
+    pub fn shutdown(mut self) -> Result<ServeSummary, PipelineError> {
+        {
+            let mut ing = self.shared.ing.lock().unwrap();
+            ing.open = false;
+        }
+        self.shared.cv.notify_all();
+        self.batcher
+            .take()
+            .unwrap()
+            .join()
+            .expect("batcher panicked");
+        let resident = self
+            .engine
+            .take()
+            .unwrap()
+            .join()
+            .expect("engine panicked")?;
+        let collected = self
+            .collector
+            .take()
+            .unwrap()
+            .join()
+            .expect("collector panicked");
+        let elapsed = self.t0.elapsed().as_secs_f64();
+
+        let (rejected, purged) = {
+            let ing = self.shared.ing.lock().unwrap();
+            (ing.rejected, ing.purged)
+        };
+        let mut streams: Vec<StreamStats> = Vec::new();
+        let mut all: Vec<f64> = Vec::new();
+        for (&stream, lats) in &collected.latencies {
+            let mut sample = lats.clone();
+            all.extend_from_slice(&sample);
+            streams.push(StreamStats {
+                stream,
+                cpis: sample.len() as u64,
+                detections: collected.detections.get(&stream).copied().unwrap_or(0),
+                latency: LatencyProfile::from_seconds(&mut sample),
+            });
+        }
+        streams.sort_by_key(|s| s.stream);
+        let aggregate = LatencyProfile::from_seconds(&mut all);
+        Ok(ServeSummary {
+            streams,
+            cpis: resident.cpis,
+            slots: resident.slots,
+            elapsed,
+            cpis_per_sec: if elapsed > 0.0 {
+                resident.cpis as f64 / elapsed
+            } else {
+                0.0
+            },
+            rejected,
+            purged,
+            aggregate,
+            resident,
+        })
+    }
+}

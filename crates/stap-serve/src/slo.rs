@@ -1,0 +1,60 @@
+//! Latency service-objective math.
+
+/// Nearest-rank percentile of an ascending-sorted slice, `q` in [0, 1].
+/// Empty input yields 0 (a stream that completed nothing has no
+/// latency profile, not a NaN one).
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// p50/p99/max summary of a latency sample, in milliseconds.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LatencyProfile {
+    /// Median latency (ms).
+    pub p50_ms: f64,
+    /// 99th percentile latency (ms).
+    pub p99_ms: f64,
+    /// Worst observed latency (ms).
+    pub max_ms: f64,
+}
+
+impl LatencyProfile {
+    /// Profiles a sample of latencies given in seconds. Sorts in place.
+    pub fn from_seconds(sample: &mut [f64]) -> LatencyProfile {
+        sample.sort_by(f64::total_cmp);
+        LatencyProfile {
+            p50_ms: percentile(sample, 0.50) * 1e3,
+            p99_ms: percentile(sample, 0.99) * 1e3,
+            max_ms: sample.last().copied().unwrap_or(0.0) * 1e3,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 0.50), 50.0);
+        assert_eq!(percentile(&v, 0.99), 99.0);
+        assert_eq!(percentile(&v, 1.0), 100.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[42.0], 0.99), 42.0);
+    }
+
+    #[test]
+    fn profile_converts_to_ms() {
+        let mut s = vec![0.002, 0.001, 0.010];
+        let p = LatencyProfile::from_seconds(&mut s);
+        assert_eq!(p.p50_ms, 2.0);
+        assert_eq!(p.p99_ms, 10.0);
+        assert_eq!(p.max_ms, 10.0);
+    }
+}

@@ -307,6 +307,8 @@ mod tests {
             measured_latency: sim.eq_latency * comp_scale,
             health: Default::default(),
             outcomes: Vec::new(),
+            pool_cx: Default::default(),
+            pool_real: Default::default(),
         }
     }
 

@@ -28,4 +28,5 @@ pub use stap_math as math;
 pub use stap_mp as mp;
 pub use stap_pipeline as pipeline;
 pub use stap_radar as radar;
+pub use stap_serve as serve;
 pub use stap_sim as sim;

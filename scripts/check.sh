@@ -13,7 +13,7 @@
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
-NUM_STAGES=8
+NUM_STAGES=9
 stage_name() {
   case "$1" in
     1) echo "rustfmt" ;;
@@ -24,6 +24,7 @@ stage_name() {
     6) echo "bench smoke (quick windows; plumbing only, not timing)" ;;
     7) echo "trace smoke (Chrome trace + measured-vs-modeled reconciliation)" ;;
     8) echo "scalar fallback (STAP_SIMD=off: the non-AVX2 path stays green)" ;;
+    9) echo "serve smoke (small loadgen: SLO fields present, zero pool misses)" ;;
     *) echo "unknown" ;;
   esac
 }
@@ -71,6 +72,30 @@ run_stage() {
       # working (and bit-identical — the property tests run either way):
       # the whole test suite with the backend forced off.
       STAP_SIMD=off cargo test -q --workspace
+      ;;
+    9)
+      # Multi-stream ingestion smoke: a small loadgen session through the
+      # resident server must report the SLO latency fields and a steady
+      # state that never missed the pre-warmed pools. The JSON artifact
+      # is kept (CI uploads it) unless SERVE_SMOKE_OUT is unset.
+      local serve_out
+      serve_out="${SERVE_SMOKE_OUT:-$(mktemp /tmp/SERVE_smoke.XXXXXX.json)}"
+      [ -n "${SERVE_SMOKE_OUT:-}" ] || trap 'rm -f "$serve_out"' RETURN
+      cargo run --release -q -p stap-bench --bin stapctl -- \
+        serve --streams 4 --cpis 6 --group 4 --json >"$serve_out" \
+        && python3 - "$serve_out" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+lat = doc["latency"]
+assert lat["p50_ms"] > 0 and lat["p99_ms"] >= lat["p50_ms"], f"SLO fields wrong: {lat}"
+assert all("latency" in s for s in doc["streams"]), "per-stream SLO missing"
+assert doc["cpis"] == 24, f"expected 24 CPIs, got {doc['cpis']}"
+pool = doc["pool"]
+assert pool["cx_misses"] == 0 and pool["real_misses"] == 0, f"pool missed: {pool}"
+assert not doc["health"]["faults"], f"faults: {doc['health']}"
+print("serve smoke ok: p50 %.2fms p99 %.2fms, %d pool hits, zero misses"
+      % (lat["p50_ms"], lat["p99_ms"], pool["cx_hits"] + pool["real_hits"]))
+PY
       ;;
     *)
       echo "error: unknown stage $1 (valid: 1..$NUM_STAGES)" >&2

@@ -282,11 +282,12 @@ fn ci_workflow_is_structurally_valid() {
         "bench-smoke:",
         "trace-smoke:",
         "scalar-fallback:",
+        "serve-smoke:",
     ] {
         assert!(text.contains(job), "missing job {job}");
     }
     assert!(text.contains("jobs:"));
-    for stage in 1..=8 {
+    for stage in 1..=9 {
         assert!(
             text.contains(&format!("scripts/check.sh --stage {stage}")),
             "workflow must run check.sh stage {stage}"
@@ -305,8 +306,8 @@ fn ci_workflow_is_structurally_valid() {
 fn check_script_stage_list_matches_workflow() {
     let script = repo_file("scripts/check.sh");
     assert!(
-        script.contains("NUM_STAGES=8"),
-        "check.sh declares 8 stages"
+        script.contains("NUM_STAGES=9"),
+        "check.sh declares 9 stages"
     );
     for anchor in [
         "rustfmt",
@@ -315,6 +316,7 @@ fn check_script_stage_list_matches_workflow() {
         "bench smoke",
         "trace smoke",
         "scalar fallback",
+        "serve smoke",
     ] {
         assert!(script.contains(anchor), "check.sh names stage {anchor:?}");
     }
