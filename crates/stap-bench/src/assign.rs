@@ -1,0 +1,362 @@
+//! Assignment-optimizer benchmark (`stapctl bench --assign`).
+//!
+//! Measures the tentpole claim of the DES-driven assignment optimizer:
+//! the assignment it picks for *this host* sustains a higher
+//! steady-state CPI/s than the seed default (`NodeAssignment::tiny`)
+//! at the bench geometry. On the paper's Paragon the optimizer searches
+//! the DES frontier ([`stap::sim::explore`]); on the serialized
+//! single-core host this binary runs on, compute time is
+//! assignment-invariant and the decisive cost is per-slot messaging and
+//! thread-wakeup chains, which [`stap::sim::optimize_serialized`]
+//! minimizes over the same lattice.
+//!
+//! The measurement regime is deliberately **latency-bound**: a single
+//! stream, one CPI per slot, one slot in flight, on a micro CPI
+//! (`K = 8, J = 4, N = 8`). Cross-stream batching and deep windows
+//! exist precisely to *hide* per-slot messaging; this bench disables
+//! them so the cost the optimizer minimizes is the cost being measured
+//! (the ingestion-throughput regime has its own benchmark,
+//! `BENCH_streams.json`). The host is bursty (one core, many service
+//! threads), so each arm runs `trials` interleaved sessions and the
+//! arms compare **medians**.
+//!
+//! The report lands in `BENCH_assign.json` with the same host metadata
+//! and >10% self-regression gating discipline as the other benches.
+
+use stap::core::StapParams;
+use stap::pipeline::{NodeAssignment, ResidentStap};
+use stap::radar::{ArrayGeometry, Scenario, Target};
+use stap::serve::{run_loadgen, LoadgenConfig, ServerConfig, StapServer};
+use stap::sim::{optimize_serialized, SerializedHost, SimConfig};
+use stap_util::Json;
+
+/// Benchmark shape.
+#[derive(Clone, Copy, Debug)]
+pub struct AssignConfig {
+    /// Interleaved sessions per arm (medians compare).
+    pub trials: usize,
+    /// CPIs per session.
+    pub cpis_per_trial: usize,
+    /// In-flight slot window (1 = latency-bound).
+    pub window: usize,
+    /// Slot coalescing bound (1 = no batching).
+    pub max_group: usize,
+    /// Per-stream admission depth.
+    pub queue_depth: usize,
+    /// Scenario seed.
+    pub seed: u64,
+    /// Node-budget range handed to the optimizer.
+    pub budget_lo: usize,
+    /// Inclusive upper budget.
+    pub budget_hi: usize,
+}
+
+impl AssignConfig {
+    /// Full measurement: 5 sessions of 300 CPIs per arm.
+    pub fn full() -> Self {
+        AssignConfig {
+            trials: 5,
+            cpis_per_trial: 300,
+            window: 1,
+            max_group: 1,
+            queue_depth: 4,
+            seed: 42,
+            budget_lo: 7,
+            budget_hi: 16,
+        }
+    }
+
+    /// Quick smoke for CI: exercises the full path, times too little to
+    /// be meaningful.
+    pub fn quick() -> Self {
+        AssignConfig {
+            trials: 1,
+            cpis_per_trial: 40,
+            ..AssignConfig::full()
+        }
+    }
+}
+
+/// The micro CPI: small enough that per-slot messaging and wakeup
+/// chains — the cost that differs between assignments on a serialized
+/// host — are first-order against the kernel arithmetic.
+pub fn micro_params() -> StapParams {
+    StapParams {
+        k_range: 8,
+        j_channels: 4,
+        m_beams: 2,
+        n_pulses: 8,
+        n_hard: 6,
+        range_segments: vec![0, 8],
+        easy_samples_per_cpi: 8,
+        hard_samples: 12,
+        replica_len: 4,
+        cfar_window: 4,
+        ..StapParams::reduced()
+    }
+}
+
+/// The matching scenario (target mid-range so detections stay in-band).
+pub fn micro_scenario(seed: u64) -> Scenario {
+    Scenario {
+        geom: ArrayGeometry::small(4),
+        range_cells: 8,
+        pulses: 8,
+        targets: vec![Target::fixed(3, 0.25, 2.0, 5.0)],
+        replica_len: 4,
+        ..Scenario::reduced(seed)
+    }
+}
+
+/// Both arms plus the derived speedup.
+#[derive(Debug)]
+pub struct AssignResult {
+    /// The configuration measured.
+    pub cfg: AssignConfig,
+    /// The seed default arm's assignment.
+    pub default_assign: NodeAssignment,
+    /// The optimizer-chosen arm's assignment.
+    pub opt_assign: NodeAssignment,
+    /// The optimizer's modeled per-CPI overhead for its pick (seconds).
+    pub opt_modeled_overhead_s: f64,
+    /// Per-trial rates, default arm (CPIs/sec).
+    pub default_trials: Vec<f64>,
+    /// Per-trial rates, optimizer arm.
+    pub opt_trials: Vec<f64>,
+    /// Median of `default_trials`.
+    pub default_cpis_per_sec: f64,
+    /// Median of `opt_trials`.
+    pub opt_cpis_per_sec: f64,
+    /// `opt median / default median`.
+    pub speedup: f64,
+}
+
+fn median(xs: &[f64]) -> f64 {
+    let mut v = xs.to_vec();
+    v.sort_by(f64::total_cmp);
+    if v.is_empty() {
+        return 0.0;
+    }
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        0.5 * (v[n / 2 - 1] + v[n / 2])
+    }
+}
+
+/// Runs the optimizer, then the interleaved A/B measurement.
+pub fn measure(cfg: AssignConfig) -> Result<AssignResult, String> {
+    let params = micro_params();
+    params
+        .validate()
+        .map_err(|e| format!("micro params: {e}"))?;
+    let default_assign = NodeAssignment::tiny();
+
+    // The optimizer's pick for this host. Only the geometry (message
+    // volumes, partition shapes) matters to the serialized-host cost;
+    // the paper-machine fields of SimConfig are inert here.
+    let mut simcfg = SimConfig::paper(default_assign);
+    simcfg.params = params.clone();
+    simcfg.beams = 1;
+    let (opt_assign, opt_modeled_overhead_s) = optimize_serialized(
+        &simcfg,
+        &SerializedHost::default(),
+        cfg.budget_lo..=cfg.budget_hi,
+    );
+
+    let run_arm = |assign: NodeAssignment| -> Result<f64, String> {
+        let load = run_loadgen(
+            || {
+                let scenario = micro_scenario(cfg.seed);
+                let res = ResidentStap::for_scenario(params.clone(), assign, &scenario);
+                StapServer::start(
+                    res,
+                    ServerConfig {
+                        window: cfg.window,
+                        max_group: cfg.max_group,
+                        queue_depth: cfg.queue_depth,
+                        streams_hint: 1,
+                        ..ServerConfig::default()
+                    },
+                )
+            },
+            LoadgenConfig {
+                streams: 1,
+                cpis_per_stream: cfg.cpis_per_trial,
+                seed: cfg.seed,
+                scenario: micro_scenario,
+            },
+        )
+        .map_err(|e| format!("arm {assign:?} failed: {e}"))?;
+        let s = &load.summary;
+        if s.cpis as usize != cfg.cpis_per_trial {
+            return Err(format!(
+                "arm {assign:?} completed {} of {} CPIs",
+                s.cpis, cfg.cpis_per_trial
+            ));
+        }
+        if s.resident.health.any() {
+            return Err(format!("arm {assign:?} reported fault counters"));
+        }
+        Ok(s.cpis_per_sec)
+    };
+
+    // Interleave the arms so host burstiness (one core, background
+    // noise) hits both the same way within each round.
+    let mut default_trials = Vec::with_capacity(cfg.trials);
+    let mut opt_trials = Vec::with_capacity(cfg.trials);
+    for _ in 0..cfg.trials.max(1) {
+        default_trials.push(run_arm(default_assign)?);
+        opt_trials.push(run_arm(opt_assign)?);
+    }
+    let default_cpis_per_sec = median(&default_trials);
+    let opt_cpis_per_sec = median(&opt_trials);
+    Ok(AssignResult {
+        cfg,
+        default_assign,
+        opt_assign,
+        opt_modeled_overhead_s,
+        default_trials,
+        opt_trials,
+        default_cpis_per_sec,
+        opt_cpis_per_sec,
+        speedup: opt_cpis_per_sec / default_cpis_per_sec,
+    })
+}
+
+/// Renders the `BENCH_assign.json` document.
+pub fn report(r: &AssignResult, quick: bool) -> Json {
+    let counts = |a: &NodeAssignment| Json::arr(a.0.iter().map(|&n| Json::Num(n as f64)));
+    Json::obj([
+        ("bench", Json::Str("assign".into())),
+        (
+            "mode",
+            Json::Str(if quick { "quick" } else { "full" }.into()),
+        ),
+        ("host", crate::kernels::host_metadata()),
+        (
+            "config",
+            Json::obj([
+                ("k_range", Json::Num(micro_params().k_range as f64)),
+                ("n_pulses", Json::Num(micro_params().n_pulses as f64)),
+                ("j_channels", Json::Num(micro_params().j_channels as f64)),
+                ("trials", Json::Num(r.cfg.trials as f64)),
+                ("cpis_per_trial", Json::Num(r.cfg.cpis_per_trial as f64)),
+                ("window", Json::Num(r.cfg.window as f64)),
+                ("max_group", Json::Num(r.cfg.max_group as f64)),
+                ("budget_lo", Json::Num(r.cfg.budget_lo as f64)),
+                ("budget_hi", Json::Num(r.cfg.budget_hi as f64)),
+            ]),
+        ),
+        (
+            "default",
+            Json::obj([
+                ("nodes", counts(&r.default_assign)),
+                ("cpis_per_sec", Json::Num(r.default_cpis_per_sec)),
+                (
+                    "trials",
+                    Json::arr(r.default_trials.iter().map(|&x| Json::Num(x))),
+                ),
+            ]),
+        ),
+        (
+            "optimized",
+            Json::obj([
+                ("nodes", counts(&r.opt_assign)),
+                ("cpis_per_sec", Json::Num(r.opt_cpis_per_sec)),
+                (
+                    "trials",
+                    Json::arr(r.opt_trials.iter().map(|&x| Json::Num(x))),
+                ),
+                ("modeled_overhead_s", Json::Num(r.opt_modeled_overhead_s)),
+            ]),
+        ),
+        ("speedup", Json::Num(r.speedup)),
+    ])
+}
+
+/// Self-regression gate against a recorded `BENCH_assign.json`: the
+/// optimizer arm's rate gates downward, and so does the speedup itself
+/// — losing the optimizer's edge is the regression this bench exists
+/// to catch.
+pub fn regressions(
+    r: &AssignResult,
+    baseline: &str,
+    tolerance: f64,
+) -> Result<Vec<String>, String> {
+    let doc = Json::parse(baseline).map_err(|e| format!("baseline parse error: {e}"))?;
+    let mut lines = Vec::new();
+    if let Some(old) = doc
+        .get("optimized")
+        .and_then(|m| m.get("cpis_per_sec"))
+        .and_then(Json::as_f64)
+    {
+        if old > 0.0 && r.opt_cpis_per_sec < old * (1.0 - tolerance) {
+            lines.push(format!(
+                "optimized cpis_per_sec {:.1} -> {:.1} (-{:.1}%, tolerance {:.0}%)",
+                old,
+                r.opt_cpis_per_sec,
+                (1.0 - r.opt_cpis_per_sec / old) * 100.0,
+                tolerance * 100.0
+            ));
+        }
+    }
+    if let Some(old) = doc.get("speedup").and_then(Json::as_f64) {
+        if old > 0.0 && r.speedup < old * (1.0 - tolerance) {
+            lines.push(format!(
+                "speedup {:.2}x -> {:.2}x (-{:.1}%, tolerance {:.0}%)",
+                old,
+                r.speedup,
+                (1.0 - r.speedup / old) * 100.0,
+                tolerance * 100.0
+            ));
+        }
+    }
+    Ok(lines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_odd_and_even_samples() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn gate_fires_on_rate_drop_and_speedup_loss() {
+        let r = AssignResult {
+            cfg: AssignConfig::quick(),
+            default_assign: NodeAssignment::tiny(),
+            opt_assign: NodeAssignment([1; 7]),
+            opt_modeled_overhead_s: 1e-4,
+            default_trials: vec![100.0],
+            opt_trials: vec![120.0],
+            default_cpis_per_sec: 100.0,
+            opt_cpis_per_sec: 120.0,
+            speedup: 1.2,
+        };
+        let bad = r#"{"optimized": {"cpis_per_sec": 150.0}, "speedup": 1.5}"#;
+        let lines = regressions(&r, bad, 0.10).unwrap();
+        assert_eq!(lines.len(), 2, "{lines:?}");
+        let ok = r#"{"optimized": {"cpis_per_sec": 125.0}, "speedup": 1.25}"#;
+        assert!(regressions(&r, ok, 0.10).unwrap().is_empty());
+        assert!(regressions(&r, "nope", 0.10).is_err());
+    }
+
+    #[test]
+    fn micro_geometry_validates_and_optimizer_prefers_fewer_nodes() {
+        let p = micro_params();
+        p.validate().unwrap();
+        let mut simcfg = SimConfig::paper(NodeAssignment::tiny());
+        simcfg.params = p;
+        simcfg.beams = 1;
+        let (a, cost) = optimize_serialized(&simcfg, &SerializedHost::default(), 7..=10);
+        assert_eq!(a.0, [1; 7], "serialized host should minimize world size");
+        assert!(cost > 0.0);
+    }
+}

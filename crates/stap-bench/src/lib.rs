@@ -3,6 +3,7 @@
 //! `stap-sim`.
 
 pub mod alloc_count;
+pub mod assign;
 pub mod kernels;
 pub mod streams;
 

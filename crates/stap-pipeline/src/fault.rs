@@ -26,7 +26,7 @@ use std::time::Duration;
 /// configuration with fault tolerance *off*: every receive is the plain
 /// blocking receive and results are bit-identical to the non-FT
 /// pipeline.
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 pub struct RuntimePolicy {
     /// Master switch: when false, task loops take the zero-overhead
     /// blocking path (no timeouts, no screening, no purging).
@@ -42,6 +42,15 @@ pub struct RuntimePolicy {
     pub max_retries: u32,
     /// Screen received payloads for NaN/Inf and quarantine offenders.
     pub screen_nonfinite: bool,
+    /// Allow the elastic runner to shift ranks between tasks at slot
+    /// boundaries when live telemetry shows a sustained bottleneck.
+    pub rebalance: bool,
+    /// Minimum slots between two rebalances; also the telemetry window a
+    /// bottleneck must persist for before a shift is considered.
+    pub rebalance_cooldown: usize,
+    /// Per-node busy-time ratio (bottleneck vs donor) that must be
+    /// exceeded before a rank is moved; 1.0 would thrash on noise.
+    pub rebalance_imbalance: f64,
 }
 
 impl Default for RuntimePolicy {
@@ -52,6 +61,9 @@ impl Default for RuntimePolicy {
             weight_grace: Duration::from_millis(300),
             max_retries: 1,
             screen_nonfinite: true,
+            rebalance: false,
+            rebalance_cooldown: 8,
+            rebalance_imbalance: 1.25,
         }
     }
 }
@@ -80,6 +92,12 @@ impl RuntimePolicy {
             weight_grace: clamp(seconds_per_cpi, 0.05, 2.0),
             max_retries: 1,
             screen_nonfinite: true,
+            rebalance: true,
+            // Cooldown long enough that ~2 s of telemetry (or at least
+            // 4 slots) back a shift; bounded so a very slow machine can
+            // still adapt within a campaign.
+            rebalance_cooldown: ((2.0 / seconds_per_cpi).ceil() as usize).clamp(4, 64),
+            rebalance_imbalance: 1.25,
         }
     }
 }

@@ -49,6 +49,7 @@
 //! assembled matrices in the same order.
 
 pub mod assignment;
+pub mod elastic;
 pub mod fault;
 pub mod metrics;
 pub mod msg;
@@ -59,13 +60,14 @@ pub mod tasks;
 pub mod trace;
 
 pub use assignment::NodeAssignment;
+pub use elastic::{plan_rebalance, task_capacity, ElasticStap, ElasticSummary, Rebalance};
 pub use fault::RuntimePolicy;
 pub use metrics::{
     latency_eq2, real_latency_eq3, throughput_eq1, CpiOutcome, EdgeHealth, PipelineHealth,
     PipelineTimings, TaskTiming,
 };
 pub use report::{render_health, render_timings};
-pub use resident::{CpiDone, CpiJob, ResidentStap, ResidentSummary};
+pub use resident::{CpiDone, CpiJob, ResidentStap, ResidentState, ResidentSummary};
 pub use runner::{ParallelStap, PipelineError, PipelineOutput};
 pub use trace::{
     chrome_trace_json, render_breakdown, CpiMark, EdgeStat, PipelineTrace, TaskInterval, TaskSpan,

@@ -107,6 +107,70 @@ pub struct ResidentSummary {
     pub pool_real: PoolStats,
     /// Wall-clock seconds from `serve` entry to return.
     pub elapsed: f64,
+    /// Per-task busy seconds, summed over that task's nodes: time spent
+    /// assembling, computing and packing slots, excluding blocked
+    /// receives. The elastic scheduler ranks bottlenecks by
+    /// `busy[t] / nodes[t]`.
+    pub busy: [f64; 7],
+}
+
+/// Cross-slot task state exported when a resident session drains, keyed
+/// by **global** bin indices (the task-local partition offsets are
+/// rebased out), so a follow-on session may re-partition the same state
+/// under a *different* node assignment and continue bit-identically.
+///
+/// * easy keys are `(stream, beam, easy-bin index in 0..n_easy)`;
+/// * hard keys carry the hard-bin index in `0..n_hard` (and the range
+///   segment for the QR recursion);
+/// * FIFO/history order is preserved front-to-back exactly as the
+///   per-node queues held it.
+#[derive(Clone, Debug, Default)]
+pub struct ResidentState {
+    /// Easy-weight training history rings (task 1), front = oldest.
+    pub easy_history: HashMap<(u16, usize, usize), VecDeque<CMat>>,
+    /// Hard-weight QR recursion state (task 2), per segment.
+    pub hard_r: HashMap<(u16, usize, usize, usize), CMat>,
+    /// Easy-beamform pending weight FIFOs (task 3), front = next.
+    pub easy_fifo: HashMap<(u16, usize, usize), VecDeque<CMat>>,
+    /// Hard-beamform pending weight FIFOs (task 4), per-segment sets.
+    pub hard_fifo: HashMap<(u16, usize, usize), VecDeque<Vec<CMat>>>,
+}
+
+impl ResidentState {
+    /// True when no task carried any cross-slot state (a fresh world).
+    pub fn is_empty(&self) -> bool {
+        self.easy_history.is_empty()
+            && self.hard_r.is_empty()
+            && self.easy_fifo.is_empty()
+            && self.hard_fifo.is_empty()
+    }
+}
+
+/// What one resident task node hands back when its loop exits.
+struct TaskExit {
+    health: PipelineHealth,
+    busy: f64,
+    state: TaskState,
+}
+
+impl TaskExit {
+    fn stateless(health: PipelineHealth, busy: f64) -> Self {
+        TaskExit {
+            health,
+            busy,
+            state: TaskState::Stateless,
+        }
+    }
+}
+
+/// The node-local slice of [`ResidentState`], already rebased to global
+/// bin keys by the exporting task.
+enum TaskState {
+    Stateless,
+    EasyWt(HashMap<(u16, usize, usize), VecDeque<CMat>>),
+    HardWt(HashMap<(u16, usize, usize, usize), CMat>),
+    EasyBf(HashMap<(u16, usize, usize), VecDeque<CMat>>),
+    HardBf(HashMap<(u16, usize, usize), VecDeque<Vec<CMat>>>),
 }
 
 /// The resident multi-stream STAP pipeline.
@@ -172,6 +236,15 @@ impl ResidentStap {
     /// Installs a soft mailbox high-water mark on every rank.
     pub fn with_mailbox_high_water(mut self, high_water: usize) -> Self {
         self.mailbox_high_water = high_water;
+        self
+    }
+
+    /// Replaces the buffer pools with an existing (shared) set. The
+    /// elastic scheduler threads one pool family through successive
+    /// epochs so a rebalance does not re-warm every size class from
+    /// cold.
+    pub fn with_pools(mut self, pools: PipelinePools) -> Self {
+        self.pools = pools;
         self
     }
 
@@ -276,6 +349,23 @@ impl ResidentStap {
         jobs: Receiver<Vec<CpiJob>>,
         done: Sender<CpiDone>,
     ) -> Result<ResidentSummary, PipelineError> {
+        self.serve_with_state(jobs, done, ResidentState::default())
+            .map(|(summary, _)| summary)
+    }
+
+    /// [`Self::serve`] with cross-session state carry: the stateful
+    /// tasks (weight history rings, QR recursion, beamform weight
+    /// FIFOs) start from `carry` — re-partitioned to this session's
+    /// assignment — and the drained session's state comes back with the
+    /// summary. This is the rebalance primitive: exporting under one
+    /// assignment and importing under another is bit-identical to never
+    /// having stopped.
+    pub fn serve_with_state(
+        &self,
+        jobs: Receiver<Vec<CpiJob>>,
+        done: Sender<CpiDone>,
+        carry: ResidentState,
+    ) -> Result<(ResidentSummary, ResidentState), PipelineError> {
         let t0 = Instant::now();
         let parts = Partitions::new(&self.params, &self.assign);
         let mut world: World<Msg> = World::new(self.assign.world_size());
@@ -289,6 +379,7 @@ impl ResidentStap {
             steering: &self.steering,
             pools: &self.pools,
             max_group: self.max_group,
+            carry: &carry,
         };
         let ctx_ref = &ctx;
         let window = self.window.max(1);
@@ -299,7 +390,7 @@ impl ResidentStap {
         let done_cell = Mutex::new(Some(done));
 
         enum Res {
-            Task(PipelineHealth),
+            Task(usize, TaskExit),
             Driver {
                 health: PipelineHealth,
                 cpis: u64,
@@ -310,17 +401,23 @@ impl ResidentStap {
         let results = world.try_run_collect(|mut comm| {
             let rank = comm.rank();
             match ctx_ref.assign.task_of_rank(rank) {
-                Some((DOPPLER, local)) => Res::Task(resident_doppler(ctx_ref, &mut comm, local)),
-                Some((EASY_WT, local)) => {
-                    Res::Task(resident_easy_weight(ctx_ref, &mut comm, local))
+                Some((t @ DOPPLER, local)) => {
+                    Res::Task(t, resident_doppler(ctx_ref, &mut comm, local))
                 }
-                Some((HARD_WT, local)) => {
-                    Res::Task(resident_hard_weight(ctx_ref, &mut comm, local))
+                Some((t @ EASY_WT, local)) => {
+                    Res::Task(t, resident_easy_weight(ctx_ref, &mut comm, local))
                 }
-                Some((EASY_BF, local)) => Res::Task(resident_easy_bf(ctx_ref, &mut comm, local)),
-                Some((HARD_BF, local)) => Res::Task(resident_hard_bf(ctx_ref, &mut comm, local)),
-                Some((PC, local)) => Res::Task(resident_pc(ctx_ref, &mut comm, local)),
-                Some((CFAR, local)) => Res::Task(resident_cfar(ctx_ref, &mut comm, local)),
+                Some((t @ HARD_WT, local)) => {
+                    Res::Task(t, resident_hard_weight(ctx_ref, &mut comm, local))
+                }
+                Some((t @ EASY_BF, local)) => {
+                    Res::Task(t, resident_easy_bf(ctx_ref, &mut comm, local))
+                }
+                Some((t @ HARD_BF, local)) => {
+                    Res::Task(t, resident_hard_bf(ctx_ref, &mut comm, local))
+                }
+                Some((t @ PC, local)) => Res::Task(t, resident_pc(ctx_ref, &mut comm, local)),
+                Some((t @ CFAR, local)) => Res::Task(t, resident_cfar(ctx_ref, &mut comm, local)),
                 Some(_) => unreachable!("unknown task"),
                 None => {
                     let jobs = jobs_cell
@@ -341,9 +438,20 @@ impl ResidentStap {
         })?;
 
         let mut summary = ResidentSummary::default();
+        let mut state = ResidentState::default();
         for r in results {
             match r {
-                Res::Task(h) => summary.health.merge(&h),
+                Res::Task(t, exit) => {
+                    summary.health.merge(&exit.health);
+                    summary.busy[t] += exit.busy;
+                    match exit.state {
+                        TaskState::Stateless => {}
+                        TaskState::EasyWt(m) => state.easy_history.extend(m),
+                        TaskState::HardWt(m) => state.hard_r.extend(m),
+                        TaskState::EasyBf(m) => state.easy_fifo.extend(m),
+                        TaskState::HardBf(m) => state.hard_fifo.extend(m),
+                    }
+                }
                 Res::Driver {
                     health,
                     cpis,
@@ -358,7 +466,7 @@ impl ResidentStap {
         summary.pool_cx = self.pools.cx.stats();
         summary.pool_real = self.pools.real.stats();
         summary.elapsed = t0.elapsed().as_secs_f64();
-        Ok(summary)
+        Ok((summary, state))
     }
 }
 
@@ -370,6 +478,7 @@ struct ResCtx<'a> {
     steering: &'a [CMat],
     pools: &'a PipelinePools,
     max_group: usize,
+    carry: &'a ResidentState,
 }
 
 /// Lazily-built per-group-size workspaces: slot groups are usually at
@@ -466,7 +575,7 @@ fn gather_plane_rows<T: Copy + Default>(
 
 /// Resident Doppler (task 0): one grouped slab in, one batched FFT pass
 /// over the whole group, four grouped redistribution blocks out.
-fn resident_doppler(ctx: &ResCtx, comm: &mut Comm<Msg>, local: usize) -> PipelineHealth {
+fn resident_doppler(ctx: &ResCtx, comm: &mut Comm<Msg>, local: usize) -> TaskExit {
     let p = ctx.params;
     let my_k = ctx.parts.doppler_k[local].clone();
     let (k0, klen) = (my_k.start, my_k.len());
@@ -488,10 +597,12 @@ fn resident_doppler(ctx: &ResCtx, comm: &mut Comm<Msg>, local: usize) -> Pipelin
     let mut stag_by = ByGroup::<CCube>::new(ctx.max_group);
     let mut fft_ws = FftScratch::new();
     let mut health = PipelineHealth::default();
+    let mut busy = 0.0f64;
     let mut slot = 0usize;
     loop {
         sample_mailbox(comm, &mut health);
         let m = comm.recv(driver, tag(Edge::Input, slot)).unwrap();
+        let t_busy = Instant::now();
         let Some((group, slab)) = expect_grouped_cube(m) else {
             // Cascade the shutdown on all four out-edges.
             for (q, _) in ctx.parts.easy_wt_bins.iter().enumerate() {
@@ -605,10 +716,11 @@ fn resident_doppler(ctx: &ResCtx, comm: &mut Comm<Msg>, local: usize) -> Pipelin
                 Msg::grouped(slot, group.clone(), Payload::Cube(block)),
             );
         }
+        busy += t_busy.elapsed().as_secs_f64();
         slot += 1;
     }
     health.mailbox_over_high_water = comm.mailbox_stats().over_high_water;
-    health
+    TaskExit::stateless(health, busy)
 }
 
 /// Receives one grouped block per Doppler node; `None` means shutdown
@@ -644,10 +756,70 @@ fn recv_doppler_blocks(
     Some(group.expect("at least one Doppler node"))
 }
 
+/// Rebuilds a node-local `(stream, beam) -> queue of per-bin entries`
+/// map from globally-keyed carried state: picks this node's `bins_idx`
+/// slice and re-zips the per-bin queues back into per-slot-entry rows
+/// (inner `Vec` indexed by local bin), preserving queue order exactly.
+fn import_ring<T: Clone>(
+    carried: &HashMap<(u16, usize, usize), VecDeque<T>>,
+    bins_idx: &Range<usize>,
+) -> HashMap<(u16, usize), VecDeque<Vec<T>>> {
+    let nbins = bins_idx.len();
+    let mut out: HashMap<(u16, usize), VecDeque<Vec<T>>> = HashMap::new();
+    let keys: std::collections::HashSet<(u16, usize)> = carried
+        .keys()
+        .filter(|(_, _, g)| bins_idx.contains(g))
+        .map(|&(s, b, _)| (s, b))
+        .collect();
+    for (stream, beam) in keys {
+        let len = carried
+            .get(&(stream, beam, bins_idx.start))
+            .map_or(0, VecDeque::len);
+        let mut q: VecDeque<Vec<T>> = (0..len).map(|_| Vec::with_capacity(nbins)).collect();
+        for bin in bins_idx.clone() {
+            let d = carried
+                .get(&(stream, beam, bin))
+                .expect("carried state covers every bin of a (stream, beam)");
+            assert_eq!(d.len(), len, "ragged carried queue");
+            for (qi, item) in d.iter().enumerate() {
+                q[qi].push(item.clone());
+            }
+        }
+        out.insert((stream, beam), q);
+    }
+    out
+}
+
+/// Inverse of [`import_ring`]: unzips each `(stream, beam)` queue into
+/// per-bin queues rebased to global bin keys (`bin0` = this node's
+/// partition start).
+fn export_ring<T>(
+    rings: HashMap<(u16, usize), VecDeque<Vec<T>>>,
+    bin0: usize,
+) -> HashMap<(u16, usize, usize), VecDeque<T>> {
+    let mut out = HashMap::new();
+    for ((stream, beam), q) in rings {
+        let len = q.len();
+        let mut per_bin: Vec<VecDeque<T>> = Vec::new();
+        for entry in q {
+            if per_bin.is_empty() {
+                per_bin = entry.iter().map(|_| VecDeque::with_capacity(len)).collect();
+            }
+            for (bi, item) in entry.into_iter().enumerate() {
+                per_bin[bi].push_back(item);
+            }
+        }
+        for (bi, d) in per_bin.into_iter().enumerate() {
+            out.insert((stream, beam, bin0 + bi), d);
+        }
+    }
+    out
+}
+
 /// Resident easy weight (task 1): per-(stream, beam) history rings,
 /// weights for every member CPI of every slot, one grouped weight
 /// message per overlapping BF node per slot.
-fn resident_easy_weight(ctx: &ResCtx, comm: &mut Comm<Msg>, local: usize) -> PipelineHealth {
+fn resident_easy_weight(ctx: &ResCtx, comm: &mut Comm<Msg>, local: usize) -> TaskExit {
     let p = ctx.params;
     let bins_idx = ctx.parts.easy_wt_bins[local].clone();
     let nbins = bins_idx.len();
@@ -668,10 +840,12 @@ fn resident_easy_weight(ctx: &ResCtx, comm: &mut Comm<Msg>, local: usize) -> Pip
             (!ov.is_empty()).then_some((bf0 + r, ov))
         })
         .collect();
-    let mut history: HashMap<(u16, usize), VecDeque<Vec<CMat>>> = HashMap::new();
+    let mut history: HashMap<(u16, usize), VecDeque<Vec<CMat>>> =
+        import_ring(&ctx.carry.easy_history, &bins_idx);
     let mut spares: Vec<Vec<CMat>> = Vec::new();
     let mut blocks: Vec<CCube> = Vec::with_capacity(p0);
     let mut health = PipelineHealth::default();
+    let mut busy = 0.0f64;
     let mut slot = 0usize;
     loop {
         sample_mailbox(comm, &mut health);
@@ -688,6 +862,7 @@ fn resident_easy_weight(ctx: &ResCtx, comm: &mut Comm<Msg>, local: usize) -> Pip
             }
             break;
         };
+        let t_busy = Instant::now();
         let b = group.len();
         let mut per_node: Vec<Vec<CMat>> = targets
             .iter()
@@ -745,15 +920,20 @@ fn resident_easy_weight(ctx: &ResCtx, comm: &mut Comm<Msg>, local: usize) -> Pip
                 Msg::grouped(slot, group.clone(), Payload::Weights(w)),
             );
         }
+        busy += t_busy.elapsed().as_secs_f64();
         slot += 1;
     }
     health.mailbox_over_high_water = comm.mailbox_stats().over_high_water;
-    health
+    TaskExit {
+        health,
+        busy,
+        state: TaskState::EasyWt(export_ring(history, bins_idx.start)),
+    }
 }
 
 /// Resident hard weight (task 2): QR recursion state keyed
 /// (stream, beam, bin, segment).
-fn resident_hard_weight(ctx: &ResCtx, comm: &mut Comm<Msg>, local: usize) -> PipelineHealth {
+fn resident_hard_weight(ctx: &ResCtx, comm: &mut Comm<Msg>, local: usize) -> TaskExit {
     let p = ctx.params;
     let bins_idx = ctx.parts.hard_wt_bins[local].clone();
     let nbins = bins_idx.len();
@@ -774,7 +954,15 @@ fn resident_hard_weight(ctx: &ResCtx, comm: &mut Comm<Msg>, local: usize) -> Pip
             (!ov.is_empty()).then_some((bf0 + r, ov))
         })
         .collect();
-    let mut r_state: HashMap<(u16, usize, usize, usize), CMat> = HashMap::new();
+    // Node-local QR state, keyed by LOCAL bin index; imported from the
+    // carried global-keyed state and rebased back on export.
+    let mut r_state: HashMap<(u16, usize, usize, usize), CMat> = ctx
+        .carry
+        .hard_r
+        .iter()
+        .filter(|((_, _, bin, _), _)| bins_idx.contains(bin))
+        .map(|(&(s, bm, bin, seg), m)| ((s, bm, bin - bins_idx.start, seg), m.clone()))
+        .collect();
     let seg_cells: Vec<usize> = (0..segs)
         .map(|s| stap_core::training::hard_training_cells(p, s).len())
         .collect();
@@ -791,6 +979,7 @@ fn resident_hard_weight(ctx: &ResCtx, comm: &mut Comm<Msg>, local: usize) -> Pip
     let mut seg_rows = vec![0usize; segs];
     let mut blocks: Vec<CCube> = Vec::with_capacity(p0);
     let mut health = PipelineHealth::default();
+    let mut busy = 0.0f64;
     let mut slot = 0usize;
     loop {
         sample_mailbox(comm, &mut health);
@@ -807,6 +996,7 @@ fn resident_hard_weight(ctx: &ResCtx, comm: &mut Comm<Msg>, local: usize) -> Pip
             }
             break;
         };
+        let t_busy = Instant::now();
         let b = group.len();
         let mut per_node: Vec<Vec<CMat>> = targets
             .iter()
@@ -863,15 +1053,25 @@ fn resident_hard_weight(ctx: &ResCtx, comm: &mut Comm<Msg>, local: usize) -> Pip
                 Msg::grouped(slot, group.clone(), Payload::Weights(w)),
             );
         }
+        busy += t_busy.elapsed().as_secs_f64();
         slot += 1;
     }
     health.mailbox_over_high_water = comm.mailbox_stats().over_high_water;
-    health
+    TaskExit {
+        health,
+        busy,
+        state: TaskState::HardWt(
+            r_state
+                .into_iter()
+                .map(|((s, bm, bi, seg), m)| ((s, bm, bins_idx.start + bi, seg), m))
+                .collect(),
+        ),
+    }
 }
 
 /// Resident easy beamform (task 3): per-(stream, beam) weight FIFOs,
 /// push-then-consume per slot.
-fn resident_easy_bf(ctx: &ResCtx, comm: &mut Comm<Msg>, local: usize) -> PipelineHealth {
+fn resident_easy_bf(ctx: &ResCtx, comm: &mut Comm<Msg>, local: usize) -> TaskExit {
     let p = ctx.params;
     let bins_idx = ctx.parts.easy_bf_bins[local].clone();
     let nbins = bins_idx.len();
@@ -900,8 +1100,10 @@ fn resident_easy_bf(ctx: &ResCtx, comm: &mut Comm<Msg>, local: usize) -> Pipelin
     let mut out_by = ByGroup::<CCube>::new(ctx.max_group);
     let mut slab = CMat::zeros(p.j_channels, p.k_range);
     let mut y = CMat::zeros(p.m_beams, p.k_range);
-    let mut fifo: HashMap<(u16, usize), VecDeque<Vec<CMat>>> = HashMap::new();
+    let mut fifo: HashMap<(u16, usize), VecDeque<Vec<CMat>>> =
+        import_ring(&ctx.carry.easy_fifo, &bins_idx);
     let mut health = PipelineHealth::default();
+    let mut busy = 0.0f64;
     let mut slot = 0usize;
     'outer: loop {
         sample_mailbox(comm, &mut health);
@@ -946,6 +1148,7 @@ fn resident_easy_bf(ctx: &ResCtx, comm: &mut Comm<Msg>, local: usize) -> Pipelin
             }
         }
         let group = group.expect("at least one Doppler node");
+        let t_busy = Instant::now();
         let b = group.len();
         let data = data_by.slots[b].as_mut().unwrap();
         let out = out_by.slots[b].as_mut().unwrap();
@@ -1008,15 +1211,20 @@ fn resident_easy_bf(ctx: &ResCtx, comm: &mut Comm<Msg>, local: usize) -> Pipelin
                 Msg::grouped(slot, group.clone(), Payload::Cube(block)),
             );
         }
+        busy += t_busy.elapsed().as_secs_f64();
         slot += 1;
     }
     health.mailbox_over_high_water = comm.mailbox_stats().over_high_water;
-    health
+    TaskExit {
+        health,
+        busy,
+        state: TaskState::EasyBf(export_ring(fifo, bins_idx.start)),
+    }
 }
 
 /// Resident hard beamform (task 4): per-(bin, segment) weight sets in
 /// per-(stream, beam) FIFOs.
-fn resident_hard_bf(ctx: &ResCtx, comm: &mut Comm<Msg>, local: usize) -> PipelineHealth {
+fn resident_hard_bf(ctx: &ResCtx, comm: &mut Comm<Msg>, local: usize) -> TaskExit {
     let p = ctx.params;
     let bins_idx = ctx.parts.hard_bf_bins[local].clone();
     let nbins = bins_idx.len();
@@ -1054,8 +1262,10 @@ fn resident_hard_bf(ctx: &ResCtx, comm: &mut Comm<Msg>, local: usize) -> Pipelin
         .iter()
         .map(|r| CMat::zeros(p.m_beams, r.len()))
         .collect();
-    let mut fifo: HashMap<(u16, usize), VecDeque<Vec<Vec<CMat>>>> = HashMap::new();
+    let mut fifo: HashMap<(u16, usize), VecDeque<Vec<Vec<CMat>>>> =
+        import_ring(&ctx.carry.hard_fifo, &bins_idx);
     let mut health = PipelineHealth::default();
+    let mut busy = 0.0f64;
     let mut slot = 0usize;
 
     let quiescent = |beam: usize| -> Vec<Vec<CMat>> {
@@ -1119,6 +1329,7 @@ fn resident_hard_bf(ctx: &ResCtx, comm: &mut Comm<Msg>, local: usize) -> Pipelin
             }
         }
         let group = group.expect("at least one Doppler node");
+        let t_busy = Instant::now();
         let b = group.len();
         let data = data_by.slots[b].as_mut().unwrap();
         let out = out_by.slots[b].as_mut().unwrap();
@@ -1178,15 +1389,20 @@ fn resident_hard_bf(ctx: &ResCtx, comm: &mut Comm<Msg>, local: usize) -> Pipelin
                 Msg::grouped(slot, group.clone(), Payload::Cube(block)),
             );
         }
+        busy += t_busy.elapsed().as_secs_f64();
         slot += 1;
     }
     health.mailbox_over_high_water = comm.mailbox_stats().over_high_water;
-    health
+    TaskExit {
+        health,
+        busy,
+        state: TaskState::HardBf(export_ring(fifo, bins_idx.start)),
+    }
 }
 
 /// Resident pulse compression (task 5): the whole slot group through
 /// one `process_into_with` pass over the concatenated cube.
-fn resident_pc(ctx: &ResCtx, comm: &mut Comm<Msg>, local: usize) -> PipelineHealth {
+fn resident_pc(ctx: &ResCtx, comm: &mut Comm<Msg>, local: usize) -> TaskExit {
     let p = ctx.params;
     let my_bins = ctx.parts.pc_bins[local].clone();
     let ml = my_bins.len();
@@ -1220,6 +1436,7 @@ fn resident_pc(ctx: &ResCtx, comm: &mut Comm<Msg>, local: usize) -> PipelineHeal
     let mut power_by = ByGroup::<RCube>::new(ctx.max_group);
     let mut pc_ws = PulseScratch::new();
     let mut health = PipelineHealth::default();
+    let mut busy = 0.0f64;
     let mut slot = 0usize;
     'outer: loop {
         sample_mailbox(comm, &mut health);
@@ -1267,6 +1484,7 @@ fn resident_pc(ctx: &ResCtx, comm: &mut Comm<Msg>, local: usize) -> PipelineHeal
             }
         }
         let group = group.expect("at least one feeder");
+        let t_busy = Instant::now();
         let b = group.len();
         let data = data_by.slots[b].as_mut().unwrap();
         let power = power_by.slots[b].as_mut().unwrap();
@@ -1283,10 +1501,11 @@ fn resident_pc(ctx: &ResCtx, comm: &mut Comm<Msg>, local: usize) -> PipelineHeal
                 Msg::grouped(slot, group.clone(), Payload::Real(block)),
             );
         }
+        busy += t_busy.elapsed().as_secs_f64();
         slot += 1;
     }
     health.mailbox_over_high_water = comm.mailbox_stats().over_high_water;
-    health
+    TaskExit::stateless(health, busy)
 }
 
 /// Which BF->PC edge a sender rank uses (PC receives on two edges).
@@ -1300,7 +1519,7 @@ fn edge_for(ctx: &ResCtx, src: usize) -> Edge {
 
 /// Resident CFAR (task 6): per-member detection lists, one grouped
 /// `DetectionsGroup` message to the driver per slot.
-fn resident_cfar(ctx: &ResCtx, comm: &mut Comm<Msg>, local: usize) -> PipelineHealth {
+fn resident_cfar(ctx: &ResCtx, comm: &mut Comm<Msg>, local: usize) -> TaskExit {
     let p = ctx.params;
     let my_bins = ctx.parts.cfar_bins[local].clone();
     let ml = my_bins.len();
@@ -1315,6 +1534,7 @@ fn resident_cfar(ctx: &ResCtx, comm: &mut Comm<Msg>, local: usize) -> PipelineHe
     let mut power_by = ByGroup::<RCube>::new(ctx.max_group);
     let mut scratch = cfar::CfarScratch::for_task(p, ml);
     let mut health = PipelineHealth::default();
+    let mut busy = 0.0f64;
     let mut slot = 0usize;
     'outer: loop {
         sample_mailbox(comm, &mut health);
@@ -1354,6 +1574,7 @@ fn resident_cfar(ctx: &ResCtx, comm: &mut Comm<Msg>, local: usize) -> PipelineHe
             }
         }
         let group = group.expect("at least one PC node");
+        let t_busy = Instant::now();
         let b = group.len();
         let power = power_by.slots[b].as_mut().unwrap();
         let mut per_sub: Vec<Vec<Detection>> = Vec::with_capacity(b);
@@ -1377,10 +1598,11 @@ fn resident_cfar(ctx: &ResCtx, comm: &mut Comm<Msg>, local: usize) -> PipelineHe
             tag(Edge::Output, slot),
             Msg::grouped(slot, group.clone(), Payload::DetectionsGroup(per_sub)),
         );
+        busy += t_busy.elapsed().as_secs_f64();
         slot += 1;
     }
     health.mailbox_over_high_water = comm.mailbox_stats().over_high_water;
-    health
+    TaskExit::stateless(health, busy)
 }
 
 /// The driver arm of a resident session: windowed slot injection from

@@ -50,7 +50,7 @@ use std::time::{Duration, Instant};
 /// pipeline run; senders draw packing buffers, receivers retire consumed
 /// messages, and the global balance keeps the steady state allocation
 /// free.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct PipelinePools {
     /// Complex blocks: driver input slabs, Doppler and beamform edges.
     pub cx: SharedBufferPool<Cx>,

@@ -24,7 +24,7 @@ use crate::slo::LatencyProfile;
 use stap_cube::CCube;
 use stap_math::Cx;
 use stap_pipeline::runner::PipelineError;
-use stap_pipeline::{CpiJob, ResidentStap, ResidentSummary};
+use stap_pipeline::{CpiJob, ElasticStap, Rebalance, ResidentStap, ResidentSummary, RuntimePolicy};
 use std::collections::HashMap;
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
@@ -46,6 +46,21 @@ pub struct ServerConfig {
     /// ([`ResidentStap::reserve`]). More streams than the hint still
     /// work — the pool grows on (counted) misses.
     pub streams_hint: usize,
+    /// Run the elastic engine ([`ElasticStap`]) instead of a fixed
+    /// resident world: rank shifts toward the measured bottleneck at
+    /// slot boundaries, triggered by load spikes and degradation
+    /// events.
+    pub elastic: bool,
+    /// Runtime policy for the elastic engine (cooldown, imbalance
+    /// threshold); typically `stap_sim::derive_policy` output.
+    pub policy: RuntimePolicy,
+    /// Admission backlog (ready, undispatched CPIs) at which the
+    /// batcher raises a load-spike rebalance trigger (0 = off; only
+    /// meaningful with `elastic`).
+    pub spike_backlog: usize,
+    /// Per-stream completions treated as warm-up/ramp: excluded from
+    /// the latency percentiles and reported separately.
+    pub warmup_cpis: u32,
 }
 
 impl Default for ServerConfig {
@@ -56,6 +71,10 @@ impl Default for ServerConfig {
             queue_depth: 8,
             mailbox_high_water: 64,
             streams_hint: 4,
+            elastic: false,
+            policy: RuntimePolicy::default(),
+            spike_backlog: 0,
+            warmup_cpis: 2,
         }
     }
 }
@@ -90,8 +109,13 @@ pub struct ServeSummary {
     pub rejected: u64,
     /// CPIs purged by stream disconnects.
     pub purged: u64,
-    /// Latency percentiles over all completions.
+    /// Latency percentiles over all steady-state completions (each
+    /// stream's first `warmup_cpis` completions are excluded).
     pub aggregate: LatencyProfile,
+    /// Warm-up/ramp completions excluded from the percentiles.
+    pub warmup_cpis: u64,
+    /// Rank shifts the elastic engine applied (0 for a fixed world).
+    pub rebalances: u64,
     /// The resident pipeline's own summary (health, pool traffic).
     pub resident: ResidentSummary,
 }
@@ -116,6 +140,8 @@ impl ServeSummary {
             ("cpis_per_sec", Json::Num(self.cpis_per_sec)),
             ("rejected", Json::Num(self.rejected as f64)),
             ("purged", Json::Num(self.purged as f64)),
+            ("warmup_cpis", Json::Num(self.warmup_cpis as f64)),
+            ("rebalances", Json::Num(self.rebalances as f64)),
             ("latency", profile(&self.aggregate)),
             (
                 "streams",
@@ -167,7 +193,10 @@ impl ServeSummary {
 }
 
 struct Collected {
+    /// Steady-state latency samples (warm-up completions excluded).
     latencies: HashMap<u16, Vec<f64>>,
+    /// All completions per stream, warm-up included.
+    completed: HashMap<u16, u64>,
     detections: HashMap<u16, u64>,
 }
 
@@ -185,8 +214,9 @@ pub struct StapServer {
     shape: [usize; 3],
     t0: Instant,
     batcher: Option<JoinHandle<()>>,
-    engine: Option<JoinHandle<Result<ResidentSummary, PipelineError>>>,
+    engine: Option<JoinHandle<Result<(ResidentSummary, u64), PipelineError>>>,
     collector: Option<JoinHandle<Collected>>,
+    control: Option<mpsc::Sender<Rebalance>>,
 }
 
 impl StapServer {
@@ -226,11 +256,19 @@ impl StapServer {
         let (done_tx, done_rx) = mpsc::channel();
 
         let max_group = cfg.max_group.max(1);
+        // The elastic control channel exists even for a fixed world so
+        // `degrade`/`rebalance_now` are always callable; a fixed engine
+        // simply never reads it.
+        let (ctl_tx, ctl_rx) = mpsc::channel::<Rebalance>();
+        let spike_backlog = if cfg.elastic { cfg.spike_backlog } else { 0 };
+        let spike_tx = ctl_tx.clone();
         let sh = shared.clone();
         let batcher = std::thread::spawn(move || {
             let mut batch: Vec<Pending> = Vec::with_capacity(max_group);
+            let mut over = false;
             loop {
                 batch.clear();
+                let backlog;
                 {
                     let mut ing = sh.ing.lock().unwrap();
                     loop {
@@ -243,6 +281,19 @@ impl StapServer {
                         }
                         ing = sh.cv.wait(ing).unwrap();
                     }
+                    backlog = ing.ready.len();
+                }
+                // Load-spike trigger on the rising edge: admitted CPIs
+                // piling up faster than slots drain them means the
+                // current assignment is under-serving the bottleneck.
+                if spike_backlog > 0 {
+                    let now_over = backlog >= spike_backlog;
+                    if now_over && !over {
+                        let _ = spike_tx.send(Rebalance::Now {
+                            reason: format!("load-spike:backlog={backlog}"),
+                        });
+                    }
+                    over = now_over;
                 }
                 let jobs: Vec<CpiJob> = batch
                     .drain(..)
@@ -259,16 +310,39 @@ impl StapServer {
             }
         });
 
-        let engine = std::thread::spawn(move || resident.serve(jobs_rx, done_tx));
+        let engine = if cfg.elastic {
+            let el = ElasticStap::new(
+                resident.params.clone(),
+                resident.assign,
+                resident.steering.clone(),
+            )
+            .with_policy(cfg.policy)
+            .with_window(cfg.window)
+            .with_max_group(cfg.max_group)
+            .with_mailbox_high_water(cfg.mailbox_high_water)
+            .with_reserve_hints(cfg.streams_hint, cfg.queue_depth)
+            .with_shared_pools(resident.pools().clone());
+            std::thread::spawn(move || {
+                el.serve(jobs_rx, done_tx, ctl_rx)
+                    .map(|e| (e.merged_resident(), e.rebalances))
+            })
+        } else {
+            std::thread::spawn(move || resident.serve(jobs_rx, done_tx).map(|s| (s, 0)))
+        };
 
         let sh = shared.clone();
+        let warmup = cfg.warmup_cpis;
         let collector = std::thread::spawn(move || {
             let mut out = Collected {
                 latencies: HashMap::new(),
+                completed: HashMap::new(),
                 detections: HashMap::new(),
             };
             while let Ok(d) = done_rx.recv() {
-                out.latencies.entry(d.stream).or_default().push(d.latency);
+                *out.completed.entry(d.stream).or_default() += 1;
+                if d.scpi >= warmup {
+                    out.latencies.entry(d.stream).or_default().push(d.latency);
+                }
                 *out.detections.entry(d.stream).or_default() += d.detections.len() as u64;
                 sh.ing.lock().unwrap().complete(d.stream);
                 // Wake producers blocked in `wait_ready` (the batcher
@@ -289,6 +363,27 @@ impl StapServer {
             batcher: Some(batcher),
             engine: Some(engine),
             collector: Some(collector),
+            control: if cfg.elastic { Some(ctl_tx) } else { None },
+        }
+    }
+
+    /// Reports a rank-loss / degradation event on `task` (0..7): an
+    /// elastic engine shifts a rank toward it at the next slot
+    /// boundary, bypassing cooldown and imbalance checks. A no-op on a
+    /// fixed-assignment server.
+    pub fn degrade(&self, task: usize) {
+        if let Some(c) = &self.control {
+            let _ = c.send(Rebalance::Degraded { task });
+        }
+    }
+
+    /// Requests a rebalance at the next slot boundary (subject to the
+    /// policy cooldown). A no-op on a fixed-assignment server.
+    pub fn rebalance_now(&self, reason: impl Into<String>) {
+        if let Some(c) = &self.control {
+            let _ = c.send(Rebalance::Now {
+                reason: reason.into(),
+            });
         }
     }
 
@@ -386,7 +481,7 @@ impl StapServer {
             .unwrap()
             .join()
             .expect("batcher panicked");
-        let resident = self
+        let (resident, rebalances) = self
             .engine
             .take()
             .unwrap()
@@ -406,12 +501,18 @@ impl StapServer {
         };
         let mut streams: Vec<StreamStats> = Vec::new();
         let mut all: Vec<f64> = Vec::new();
-        for (&stream, lats) in &collected.latencies {
-            let mut sample = lats.clone();
+        let mut warmup_cpis: u64 = 0;
+        for (&stream, &completed) in &collected.completed {
+            let mut sample = collected
+                .latencies
+                .get(&stream)
+                .cloned()
+                .unwrap_or_default();
+            warmup_cpis += completed - sample.len() as u64;
             all.extend_from_slice(&sample);
             streams.push(StreamStats {
                 stream,
-                cpis: sample.len() as u64,
+                cpis: completed,
                 detections: collected.detections.get(&stream).copied().unwrap_or(0),
                 latency: LatencyProfile::from_seconds(&mut sample),
             });
@@ -431,7 +532,90 @@ impl StapServer {
             rejected,
             purged,
             aggregate,
+            warmup_cpis,
+            rebalances,
             resident,
         })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stap_core::params::StapParams;
+    use stap_pipeline::NodeAssignment;
+    use stap_radar::Scenario;
+
+    fn submit_stream(server: &StapServer, cubes: &[stap_cube::CCube]) {
+        server.register(0);
+        for c in cubes {
+            server.wait_ready(0);
+            let cube = server.take_cube_from(c);
+            server.submit(0, cube).expect("admission");
+        }
+    }
+
+    /// Warm-up completions are excluded from the percentiles but still
+    /// counted, and the split is reported.
+    #[test]
+    fn warmup_completions_are_reported_separately() {
+        let params = StapParams::reduced();
+        let sc = Scenario::reduced(3);
+        let cubes: Vec<_> = sc.stream(6).map(|(_, _, c)| c).collect();
+        let res = ResidentStap::for_scenario(params, NodeAssignment::tiny(), &sc);
+        let server = StapServer::start(
+            res,
+            ServerConfig {
+                max_group: 1,
+                warmup_cpis: 2,
+                ..ServerConfig::default()
+            },
+        );
+        submit_stream(&server, &cubes);
+        let s = server.shutdown().unwrap();
+        assert_eq!(s.cpis, 6);
+        assert_eq!(s.warmup_cpis, 2);
+        assert_eq!(s.rebalances, 0);
+        assert_eq!(s.streams[0].cpis, 6, "per-stream count includes warm-up");
+        assert!(s.aggregate.p50_ms > 0.0);
+        assert!(s.aggregate.p99_ms >= s.aggregate.p50_ms);
+    }
+
+    /// An elastic server survives a degradation event mid-session: the
+    /// engine shifts a rank toward the degraded task and every CPI
+    /// still completes.
+    #[test]
+    fn elastic_server_rebalances_on_degradation() {
+        let params = StapParams::reduced();
+        let sc = Scenario::reduced(9);
+        let cubes: Vec<_> = sc.stream(10).map(|(_, _, c)| c).collect();
+        let res = ResidentStap::for_scenario(params, NodeAssignment::tiny(), &sc);
+        let server = StapServer::start(
+            res,
+            ServerConfig {
+                max_group: 1,
+                window: 2,
+                elastic: true,
+                policy: stap_pipeline::RuntimePolicy {
+                    rebalance: true,
+                    rebalance_cooldown: 1,
+                    ..stap_pipeline::RuntimePolicy::default()
+                },
+                ..ServerConfig::default()
+            },
+        );
+        server.register(0);
+        for (scpi, c) in cubes.iter().enumerate() {
+            if scpi == 5 {
+                server.degrade(stap_pipeline::assignment::EASY_WT);
+            }
+            server.wait_ready(0);
+            let cube = server.take_cube_from(c);
+            server.submit(0, cube).expect("admission");
+        }
+        let s = server.shutdown().unwrap();
+        assert_eq!(s.cpis, 10);
+        assert_eq!(s.rebalances, 1, "degradation must force one rank shift");
+        assert!(s.resident.busy.iter().sum::<f64>() > 0.0);
     }
 }

@@ -830,6 +830,47 @@ mod fault_tests {
             pf.edge_timeout
         );
     }
+
+    #[test]
+    fn derived_policy_enables_rebalancing_with_bounded_cooldown() {
+        let r = simulate(&SimConfig::paper(NodeAssignment::case1()));
+        let p = derive_policy(&r);
+        assert!(p.rebalance, "derived policies opt into elastic rebalancing");
+        assert!(
+            (4..=64).contains(&p.rebalance_cooldown),
+            "cooldown must stay in the clamp band: {}",
+            p.rebalance_cooldown
+        );
+        assert!(p.rebalance_imbalance > 1.0);
+        // Faster modeled machines need more slots to accumulate the same
+        // telemetry window.
+        let slow = simulate(&SimConfig::paper(NodeAssignment::case3()));
+        let pslow = derive_policy(&slow);
+        assert!(
+            p.rebalance_cooldown >= pslow.rebalance_cooldown,
+            "faster machine gets a longer (in slots) cooldown: {} vs {}",
+            p.rebalance_cooldown,
+            pslow.rebalance_cooldown
+        );
+    }
+
+    #[test]
+    fn derived_policy_survives_degenerate_throughput() {
+        use std::time::Duration;
+        // A result with zero/non-finite modeled throughput (e.g. a
+        // single-rank world that never completed the measured window)
+        // must still yield usable, clamped deadlines rather than a
+        // divide-by-zero policy.
+        let mut r = simulate(&SimConfig::paper(NodeAssignment::case1()));
+        for bad in [0.0, f64::NAN, f64::INFINITY, -3.0] {
+            r.eq_throughput = bad;
+            let p = derive_policy(&r);
+            assert!(p.fault_tolerant);
+            assert!(p.edge_timeout >= Duration::from_millis(200));
+            assert!(p.edge_timeout <= Duration::from_secs(5));
+            assert!(p.rebalance_cooldown >= 4);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -22,6 +22,7 @@
 pub mod assign;
 pub mod des;
 pub mod experiments;
+pub mod lattice;
 pub mod reconcile;
 pub mod sweep;
 pub mod trace;
@@ -29,6 +30,10 @@ pub mod trace;
 pub use assign::{optimize, Objective};
 pub use des::{
     derive_policy, modeled_edge_bytes, simulate, simulate_traced, SimConfig, SimFaults, SimResult,
+};
+pub use lattice::{
+    evaluate, explore, feasible, lattice_size, optimize_serialized, task_capacity, Candidate,
+    ExploreOptions, LatticeReport, SerializedHost,
 };
 pub use reconcile::{reconcile, render_reconciliation, ReconRow, Reconciliation};
 pub use trace::{render_gantt, Traced};

@@ -13,7 +13,7 @@
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
-NUM_STAGES=9
+NUM_STAGES=10
 stage_name() {
   case "$1" in
     1) echo "rustfmt" ;;
@@ -25,6 +25,7 @@ stage_name() {
     7) echo "trace smoke (Chrome trace + measured-vs-modeled reconciliation)" ;;
     8) echo "scalar fallback (STAP_SIMD=off: the non-AVX2 path stays green)" ;;
     9) echo "serve smoke (small loadgen: SLO fields present, zero pool misses)" ;;
+    10) echo "assign smoke (lattice explore: frontier sanity + paper case dominated)" ;;
     *) echo "unknown" ;;
   esac
 }
@@ -96,6 +97,23 @@ assert not doc["health"]["faults"], f"faults: {doc['health']}"
 print("serve smoke ok: p50 %.2fms p99 %.2fms, %d pool hits, zero misses"
       % (lat["p50_ms"], lat["p99_ms"], pool["cx_hits"] + pool["real_hits"]))
 PY
+      ;;
+    10)
+      # Assignment-optimizer smoke: exhaustively sweep a small budget's
+      # lattice through the DES and check the frontier's invariants
+      # (non-empty, best points on it, exhaustive coverage accounting,
+      # no member strictly dominating another). Fully deterministic —
+      # the DES is a timestamp propagation, so this never flakes on a
+      # loaded CI host. The JSON artifact is kept when ASSIGN_SMOKE_OUT
+      # is set (CI uploads it).
+      local assign_out
+      assign_out="${ASSIGN_SMOKE_OUT:-$(mktemp /tmp/ASSIGN_smoke.XXXXXX.json)}"
+      [ -n "${ASSIGN_SMOKE_OUT:-}" ] || trap 'rm -f "$assign_out"' RETURN
+      cargo run --release -q -p stap-bench --bin stapctl -- \
+        assign --budget 10 --cpis 12 --expect sane --out "$assign_out" \
+        && grep -q '"frontier"' "$assign_out" \
+        && cargo run --release -q -p stap-bench --bin stapctl -- \
+          assign --budget 59 --cpis 12 --evals 120 --expect sane,paper-case
       ;;
     *)
       echo "error: unknown stage $1 (valid: 1..$NUM_STAGES)" >&2

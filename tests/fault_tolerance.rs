@@ -36,6 +36,7 @@ fn fast_policy() -> RuntimePolicy {
         weight_grace: Duration::from_millis(75),
         max_retries: 1,
         screen_nonfinite: true,
+        ..RuntimePolicy::default()
     }
 }
 
@@ -147,6 +148,7 @@ fn acceptance_campaign_stall_plus_drop_over_ten_cpis() {
         weight_grace: Duration::from_millis(50),
         max_retries: 1,
         screen_nonfinite: true,
+        ..RuntimePolicy::default()
     };
     let out = runner(&scenario)
         .with_policy(policy)

@@ -283,11 +283,12 @@ fn ci_workflow_is_structurally_valid() {
         "trace-smoke:",
         "scalar-fallback:",
         "serve-smoke:",
+        "assign-smoke:",
     ] {
         assert!(text.contains(job), "missing job {job}");
     }
     assert!(text.contains("jobs:"));
-    for stage in 1..=9 {
+    for stage in 1..=10 {
         assert!(
             text.contains(&format!("scripts/check.sh --stage {stage}")),
             "workflow must run check.sh stage {stage}"
@@ -306,8 +307,8 @@ fn ci_workflow_is_structurally_valid() {
 fn check_script_stage_list_matches_workflow() {
     let script = repo_file("scripts/check.sh");
     assert!(
-        script.contains("NUM_STAGES=9"),
-        "check.sh declares 9 stages"
+        script.contains("NUM_STAGES=10"),
+        "check.sh declares 10 stages"
     );
     for anchor in [
         "rustfmt",
@@ -317,6 +318,7 @@ fn check_script_stage_list_matches_workflow() {
         "trace smoke",
         "scalar fallback",
         "serve smoke",
+        "assign smoke",
     ] {
         assert!(script.contains(anchor), "check.sh names stage {anchor:?}");
     }
