@@ -21,6 +21,8 @@
 //!                  [--window 4] [--json] [--out PATH]
 //! stapctl trace    [--cpis 6] [--seed 42] [--nodes 2,1,2,1,1,2,1] [--json]
 //!                  [--out TRACE_pipeline.json]
+//! stapctl chaos    [--seed 7] [--cpis 10] [--checkpoint-every 3] [--deadline 120]
+//!                  [--expect recovered>=1,quarantined=1] [--json] [--out PATH]
 //! ```
 //!
 //! `serve` runs a resident multi-stream ingestion session (simulated
@@ -41,6 +43,16 @@
 //! `bench` in full mode refuses to overwrite its output file when any
 //! kernel's optimized-path median regressed more than 10% against the
 //! recorded `after_ns` (pass `--force` to accept a new baseline).
+//!
+//! `chaos` runs a seeded chaos campaign on the *supervised* serve
+//! runtime: a scheduled rank panic (checkpoint/restore recovery), a
+//! mid-flight stream disconnect + reconnect, a corrupt tenant that must
+//! be quarantined, and one in-transit corruption. The campaign gates on
+//! invariants — no deadlock, lost CPIs within the checkpoint bound,
+//! quarantine fired, healthy streams complete — and exits non-zero when
+//! any gate (or `--expect`) fails. `--expect` takes
+//! `metric{=,>=,<=}value` terms over the emitted JSON's numeric fields
+//! (booleans render as 0/1).
 //!
 //! `trace` runs the canonical two-azimuth reduced scenario with the
 //! span recorder enabled, writes a Chrome trace-event JSON (loadable in
@@ -71,7 +83,8 @@ fn usage() -> ExitCode {
          stapctl assign [--budget B] [--cpis K] [--evals E] [--expect sane,paper-case] [--json] [--out PATH]\n  \
          stapctl serve [--streams N] [--cpis K] [--seed S] [--depth D] [--group G] [--window W] [--json] [--out PATH]\n  \
          stapctl loadgen [--streams N] [--cpis K] [--seed S] [--depth D] [--group G] [--window W] [--json] [--out PATH]\n  \
-         stapctl trace [--cpis K] [--seed S] [--nodes N0,..,N6] [--json] [--out PATH]"
+         stapctl trace [--cpis K] [--seed S] [--nodes N0,..,N6] [--json] [--out PATH]\n  \
+         stapctl chaos [--seed S] [--cpis K] [--checkpoint-every C] [--deadline D] [--expect recovered>=1,quarantined=1] [--json] [--out PATH]"
     );
     ExitCode::from(2)
 }
@@ -899,9 +912,16 @@ fn cmd_serve_session(flags: HashMap<String, String>, loadgen_defaults: bool) -> 
             );
         }
         println!(
-            "admission: {} rejected, {} purged, {} backpressure retries",
-            s.rejected, s.purged, report.backpressure_retries
+            "admission: {} rejected, {} purged, {} backpressure retries, {} abandoned",
+            s.rejected, s.purged, report.backpressure_retries, report.abandoned_cpis
         );
+        for (stream, rc) in &report.rejects {
+            println!(
+                "  stream {stream:>2} rejects: queue_full {} non_finite {} quarantined {} \
+                 bad_shape {} unknown {} closed {}",
+                rc.queue_full, rc.non_finite, rc.quarantined, rc.bad_shape, rc.unknown, rc.closed
+            );
+        }
         println!(
             "pools: cx {}/{} hits/misses, real {}/{}\nmailbox depth max {} (over high water {})",
             s.resident.pool_cx.hits,
@@ -923,6 +943,108 @@ fn cmd_serve_session(flags: HashMap<String, String>, loadgen_defaults: bool) -> 
             .map_err(|e| format!("write {out}: {e}"))?;
         println!("wrote {out}");
     }
+    Ok(())
+}
+
+/// `stapctl chaos`: one seeded chaos campaign against the supervised
+/// serve runtime, gated on its invariants. Exits non-zero when a
+/// campaign gate fails or an `--expect` term does not hold.
+fn cmd_chaos(flags: HashMap<String, String>) -> Result<(), String> {
+    use stap::serve::{run_chaos, ChaosConfig};
+
+    let mut cfg = ChaosConfig::default();
+    if let Some(s) = flags.get("seed") {
+        cfg.seed = s.parse().map_err(|e| format!("--seed: {e}"))?;
+    }
+    if let Some(c) = flags.get("cpis") {
+        cfg.cpis_per_stream = c.parse().map_err(|e| format!("--cpis: {e}"))?;
+        if cfg.cpis_per_stream < 2 {
+            return Err("--cpis must be >= 2 (the churn tenant splits its load)".into());
+        }
+    }
+    if let Some(c) = flags.get("checkpoint-every") {
+        cfg.checkpoint_every = c.parse().map_err(|e| format!("--checkpoint-every: {e}"))?;
+    }
+    if let Some(d) = flags.get("deadline") {
+        cfg.deadline_s = d.parse().map_err(|e| format!("--deadline: {e}"))?;
+    }
+    eprintln!(
+        "chaos campaign: seed {}, {} CPIs/stream, checkpoint every {} slots, {} s watchdog...",
+        cfg.seed, cfg.cpis_per_stream, cfg.checkpoint_every, cfg.deadline_s
+    );
+    let report = run_chaos(cfg);
+    let j = report.to_json();
+
+    if flags.contains_key("json") {
+        println!("{}", j.to_string_pretty());
+    } else {
+        println!(
+            "recoveries {}  checkpoints {}  lost {}/{} CPIs  quarantines {}  \
+             degraded {}  completed {}",
+            report.recovered,
+            report.checkpoints,
+            report.lost_cpis,
+            report.lost_bound,
+            report.quarantine_events,
+            report.degraded_cpis,
+            report.cpis
+        );
+        println!(
+            "healthy p99 {:.2} ms (budget {:.0} ms)  reconnect {}  deadlock {}",
+            report.healthy_p99_ms,
+            report.p99_budget_ms,
+            if report.reconnect_ok { "ok" } else { "FAILED" },
+            if report.deadlock { "YES" } else { "no" }
+        );
+        for f in &report.failures {
+            eprintln!("GATE FAILED: {f}");
+        }
+    }
+    if let Some(out) = flags.get("out") {
+        std::fs::write(out, j.to_string_pretty()).map_err(|e| format!("write {out}: {e}"))?;
+        println!("wrote {out}");
+    }
+
+    // `--expect metric{=,>=,<=}value` over the report's numeric fields.
+    if let Some(exp) = flags.get("expect") {
+        let metric = |k: &str| -> Result<f64, String> {
+            match j.get(k) {
+                Some(stap_util::Json::Num(v)) => Ok(*v),
+                _ => Err(format!("--expect: unknown metric {k:?}")),
+            }
+        };
+        for term in exp.split(',') {
+            let term = term.trim();
+            let (key, op, want) = if let Some((k, v)) = term.split_once(">=") {
+                (k, ">=", v)
+            } else if let Some((k, v)) = term.split_once("<=") {
+                (k, "<=", v)
+            } else if let Some((k, v)) = term.split_once('=') {
+                (k, "=", v)
+            } else {
+                return Err(format!("--expect: cannot parse {term:?}"));
+            };
+            let want: f64 = want.parse().map_err(|e| format!("--expect {term}: {e}"))?;
+            let got = metric(key)?;
+            let ok = match op {
+                ">=" => got >= want,
+                "<=" => got <= want,
+                _ => got == want,
+            };
+            if !ok {
+                return Err(format!("expected {key} {op} {want}, observed {got}"));
+            }
+        }
+        println!("expectations met ({exp})");
+    }
+
+    if !report.passed {
+        return Err(format!(
+            "chaos campaign failed {} gate(s)",
+            report.failures.len()
+        ));
+    }
+    println!("chaos campaign passed all gates");
     Ok(())
 }
 
@@ -1028,7 +1150,7 @@ fn main() -> ExitCode {
     // take `--streams N` as a value.
     let bools: &[&str] = match cmd.as_str() {
         "bench" => &["quick", "json", "force", "streams", "assign"],
-        "serve" | "loadgen" | "assign" => &["json"],
+        "serve" | "loadgen" | "assign" | "chaos" => &["json"],
         _ => &["contention", "full", "json", "quick", "force"],
     };
     let flags = match parse_flags(&args[1..], bools) {
@@ -1050,6 +1172,7 @@ fn main() -> ExitCode {
         "serve" => cmd_serve_session(flags, false),
         "loadgen" => cmd_serve_session(flags, true),
         "trace" => cmd_trace(flags),
+        "chaos" => cmd_chaos(flags),
         _ => return usage(),
     };
     match result {

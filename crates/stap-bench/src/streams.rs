@@ -317,6 +317,9 @@ mod tests {
             load: LoadgenReport {
                 summary: Default::default(),
                 backpressure_retries: 0,
+                rejects: Vec::new(),
+                rejected_total: 0,
+                abandoned_cpis: 0,
             },
             speedup: 2.0,
         };

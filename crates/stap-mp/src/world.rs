@@ -181,8 +181,16 @@ impl<M: Send> World<M> {
 
     /// Runs `f` on every rank and collects results indexed by rank. When
     /// one or more ranks panic, returns a [`WorldError`] naming the
-    /// lowest-indexed panicking rank and its panic message — every rank
-    /// is still joined first, so no threads leak.
+    /// lowest-indexed *root-cause* panic — every rank is still joined
+    /// first, so no threads leak.
+    ///
+    /// Root-cause attribution: a panic on one rank poisons the world,
+    /// turning every peer's blocked receive into a `Disconnected` error
+    /// whose `unwrap` panics in turn. Those secondary cascade panics
+    /// carry the `Disconnected` payload signature and are skipped when
+    /// any rank died of something else, so supervisors see the original
+    /// failure (e.g. an injected fault) rather than whichever cascade
+    /// victim happened to have the lowest rank.
     pub fn try_run_collect<F, R>(self, f: F) -> Result<Vec<R>, WorldError>
     where
         F: Fn(Comm<M>) -> R + Sync,
@@ -190,7 +198,7 @@ impl<M: Send> World<M> {
     {
         let n = self.size();
         let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
-        let mut first_err: Option<WorldError> = None;
+        let mut failures: Vec<WorldError> = Vec::new();
         std::thread::scope(|s| {
             let mut handles = Vec::with_capacity(n);
             for comm in self.comms {
@@ -200,29 +208,64 @@ impl<M: Send> World<M> {
             for (i, h) in handles.into_iter().enumerate() {
                 match h.join() {
                     Ok(r) => out[i] = Some(r),
-                    Err(payload) => {
-                        if first_err.is_none() {
-                            first_err = Some(WorldError {
-                                rank: i,
-                                message: payload_message(payload.as_ref()),
-                            });
-                        }
-                    }
+                    Err(payload) => failures.push(WorldError {
+                        rank: i,
+                        message: payload_message(payload.as_ref()),
+                    }),
                 }
             }
         });
-        match first_err {
-            Some(e) => Err(e),
-            None => Ok(out.into_iter().map(|r| r.unwrap()).collect()),
+        if failures.is_empty() {
+            return Ok(out.into_iter().map(|r| r.unwrap()).collect());
         }
+        let cascade = |e: &WorldError| e.message.contains("Disconnected");
+        let root = failures
+            .iter()
+            .find(|e| !cascade(e))
+            .unwrap_or(&failures[0]);
+        Err(root.clone())
     }
+}
+
+thread_local! {
+    /// True while this thread is executing a world rank body (set by
+    /// [`run_poisoning`]); the quiet hook only mutes cascades here.
+    static WORLD_RANK_THREAD: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Installs — once, process-wide — a panic hook that silences the
+/// default stderr printing for *cascade* panics on world rank threads:
+/// the `Disconnected` unwraps that follow a poisoned world. One rank
+/// dying makes every peer's blocked receive panic in turn, and all of
+/// those are caught, joined and reduced to one root-cause
+/// [`WorldError`] by [`World::try_run_collect`] — so their default-hook
+/// spew is pure noise (a supervised serve session would print a dozen
+/// identical backtraces per recovery). The root panic itself, and any
+/// panic outside a world rank, still goes through the previous hook
+/// untouched.
+fn install_cascade_quiet_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let cascade = WORLD_RANK_THREAD.with(|flag| flag.get())
+                && payload_message(info.payload()).contains("Disconnected");
+            if !cascade {
+                prev(info);
+            }
+        }));
+    });
 }
 
 /// Runs `f(comm)`, marking the world poisoned if it panics so blocked
 /// peers fail fast rather than deadlock.
 fn run_poisoning<M: Send, R>(f: impl Fn(Comm<M>) -> R, comm: Comm<M>) -> R {
+    install_cascade_quiet_hook();
+    WORLD_RANK_THREAD.with(|flag| flag.set(true));
     let poison = Arc::clone(&comm.poisoned);
-    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(comm))) {
+    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(comm)));
+    WORLD_RANK_THREAD.with(|flag| flag.set(false));
+    match out {
         Ok(r) => r,
         Err(payload) => {
             poison.store(true, std::sync::atomic::Ordering::SeqCst);

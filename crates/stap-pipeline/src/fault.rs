@@ -139,7 +139,7 @@ pub fn nan_corruptor() -> stap_mp::Corruptor<crate::msg::Msg> {
                 d.power = f64::NAN;
             }
         }
-        Payload::DetectionsGroup(gs) => {
+        Payload::DetectionsGroup(gs, _) => {
             if let Some(d) = gs.iter_mut().flatten().next() {
                 d.power = f64::NAN;
             }
@@ -157,7 +157,7 @@ pub fn payload_is_finite(p: &crate::msg::Payload) -> bool {
         Payload::Real(c) => c.is_finite(),
         Payload::Weights(ws) => ws.iter().all(|w| w.is_finite()),
         Payload::Detections(ds) => ds.iter().all(|d| d.power.is_finite()),
-        Payload::DetectionsGroup(gs) => gs.iter().flatten().all(|d| d.power.is_finite()),
+        Payload::DetectionsGroup(gs, _) => gs.iter().flatten().all(|d| d.power.is_finite()),
         Payload::Dropped | Payload::Shutdown => true,
     }
 }

@@ -38,8 +38,12 @@ pub enum Payload {
     /// Detections from a CFAR node (to the driver).
     Detections(Vec<Detection>),
     /// Per-sub-CPI detection lists from a CFAR node in resident mode,
-    /// aligned with the slot's [`Msg::group`] order.
-    DetectionsGroup(Vec<Vec<Detection>>),
+    /// aligned with the slot's [`Msg::group`] order. The second vector
+    /// (same alignment) flags sub-CPIs whose power lanes contained
+    /// non-finite samples on this node — the serve layer folds it into
+    /// per-stream health so a poisoned tenant is attributed, not the
+    /// whole slot. Empty when screening is off.
+    DetectionsGroup(Vec<Vec<Detection>>, Vec<bool>),
     /// Explicit "this CPI is lost on this edge" marker. Forwarding it
     /// (instead of just not sending) is what keeps the pipeline
     /// *draining* under faults: downstream receivers learn immediately
@@ -171,7 +175,7 @@ pub fn wire_bytes(msg: &Msg) -> u64 {
         // detection reports); 16 bytes per detection keeps the trace
         // honest about non-zero traffic.
         Payload::Detections(ds) => 16 * ds.len() as u64,
-        Payload::DetectionsGroup(gs) => gs.iter().map(|ds| 16 * ds.len() as u64).sum(),
+        Payload::DetectionsGroup(gs, _) => gs.iter().map(|ds| 16 * ds.len() as u64).sum(),
         Payload::Dropped | Payload::Shutdown => 0,
     }
 }

@@ -88,6 +88,11 @@ pub struct CpiDone {
     pub detections: Vec<Detection>,
     /// Submit-to-complete latency in seconds.
     pub latency: f64,
+    /// True when screening flagged non-finite samples in this CPI's
+    /// power lanes (upstream corruption reached the detector) — the
+    /// detections are whatever CFAR salvaged from the finite cells. The
+    /// serve layer folds this into per-stream health.
+    pub degraded: bool,
 }
 
 /// What a resident session reports after shutdown.
@@ -188,6 +193,15 @@ pub struct ResidentStap {
     /// Soft mailbox high-water mark installed in every rank's comm
     /// (0 = disabled); crossings are counted in the summary health.
     pub mailbox_high_water: usize,
+    /// Deterministic fault schedule installed into the world on the
+    /// next [`Self::serve_with_state`] launch (`None` = clean world,
+    /// the production path). The supervisor re-arms this per launch so
+    /// a fired panic is not re-injected into the recovery world.
+    pub faults: Option<stap_mp::FaultPlan>,
+    /// Screen CFAR power lanes for non-finite samples and flag the
+    /// owning sub-CPI as degraded (costs one pass over each power
+    /// block; off by default).
+    pub screen: bool,
     pools: PipelinePools,
 }
 
@@ -203,6 +217,8 @@ impl ResidentStap {
             window: 4,
             max_group: 4,
             mailbox_high_water: 0,
+            faults: None,
+            screen: false,
             pools: PipelinePools::default(),
         }
     }
@@ -236,6 +252,20 @@ impl ResidentStap {
     /// Installs a soft mailbox high-water mark on every rank.
     pub fn with_mailbox_high_water(mut self, high_water: usize) -> Self {
         self.mailbox_high_water = high_water;
+        self
+    }
+
+    /// Installs a deterministic fault schedule for the next launch (the
+    /// chaos harness and the supervisor's per-launch plans use this).
+    pub fn with_faults(mut self, plan: stap_mp::FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Enables non-finite screening at the CFAR boundary with per-sub
+    /// degraded attribution.
+    pub fn with_screen(mut self, screen: bool) -> Self {
+        self.screen = screen;
         self
     }
 
@@ -372,6 +402,13 @@ impl ResidentStap {
         if self.mailbox_high_water > 0 {
             world = world.with_mailbox_high_water(self.mailbox_high_water);
         }
+        if let Some(plan) = &self.faults {
+            if !plan.is_empty() {
+                world = world
+                    .with_faults(plan.clone())
+                    .with_corruptor(crate::fault::nan_corruptor());
+            }
+        }
         let ctx = ResCtx {
             params: &self.params,
             assign: &self.assign,
@@ -379,6 +416,7 @@ impl ResidentStap {
             steering: &self.steering,
             pools: &self.pools,
             max_group: self.max_group,
+            screen: self.screen,
             carry: &carry,
         };
         let ctx_ref = &ctx;
@@ -478,6 +516,7 @@ struct ResCtx<'a> {
     steering: &'a [CMat],
     pools: &'a PipelinePools,
     max_group: usize,
+    screen: bool,
     carry: &'a ResidentState,
 }
 
@@ -601,6 +640,7 @@ fn resident_doppler(ctx: &ResCtx, comm: &mut Comm<Msg>, local: usize) -> TaskExi
     let mut slot = 0usize;
     loop {
         sample_mailbox(comm, &mut health);
+        comm.fault_checkpoint(slot as u64);
         let m = comm.recv(driver, tag(Edge::Input, slot)).unwrap();
         let t_busy = Instant::now();
         let Some((group, slab)) = expect_grouped_cube(m) else {
@@ -849,6 +889,7 @@ fn resident_easy_weight(ctx: &ResCtx, comm: &mut Comm<Msg>, local: usize) -> Tas
     let mut slot = 0usize;
     loop {
         sample_mailbox(comm, &mut health);
+        comm.fault_checkpoint(slot as u64);
         blocks.clear();
         let Some(group) =
             recv_doppler_blocks(comm, dop0, p0, Edge::DopplerToEasyWt, slot, &mut blocks)
@@ -983,6 +1024,7 @@ fn resident_hard_weight(ctx: &ResCtx, comm: &mut Comm<Msg>, local: usize) -> Tas
     let mut slot = 0usize;
     loop {
         sample_mailbox(comm, &mut health);
+        comm.fault_checkpoint(slot as u64);
         blocks.clear();
         let Some(group) =
             recv_doppler_blocks(comm, dop0, p0, Edge::DopplerToHardWt, slot, &mut blocks)
@@ -1107,6 +1149,7 @@ fn resident_easy_bf(ctx: &ResCtx, comm: &mut Comm<Msg>, local: usize) -> TaskExi
     let mut slot = 0usize;
     'outer: loop {
         sample_mailbox(comm, &mut health);
+        comm.fault_checkpoint(slot as u64);
         let mut group: Option<Arc<[SubCpi]>> = None;
         let mut first = true;
         for dp in 0..p0 {
@@ -1291,6 +1334,7 @@ fn resident_hard_bf(ctx: &ResCtx, comm: &mut Comm<Msg>, local: usize) -> TaskExi
 
     'outer: loop {
         sample_mailbox(comm, &mut health);
+        comm.fault_checkpoint(slot as u64);
         let mut group: Option<Arc<[SubCpi]>> = None;
         let mut first = true;
         for dp in 0..p0 {
@@ -1440,6 +1484,7 @@ fn resident_pc(ctx: &ResCtx, comm: &mut Comm<Msg>, local: usize) -> TaskExit {
     let mut slot = 0usize;
     'outer: loop {
         sample_mailbox(comm, &mut health);
+        comm.fault_checkpoint(slot as u64);
         let mut group: Option<Arc<[SubCpi]>> = None;
         let mut first = true;
         for (fi, (src, bins)) in feeders.iter().enumerate() {
@@ -1538,6 +1583,7 @@ fn resident_cfar(ctx: &ResCtx, comm: &mut Comm<Msg>, local: usize) -> TaskExit {
     let mut slot = 0usize;
     'outer: loop {
         sample_mailbox(comm, &mut health);
+        comm.fault_checkpoint(slot as u64);
         let mut group: Option<Arc<[SubCpi]>> = None;
         let mut first = true;
         for (fi, (src, ov)) in feeders.iter().enumerate() {
@@ -1578,25 +1624,31 @@ fn resident_cfar(ctx: &ResCtx, comm: &mut Comm<Msg>, local: usize) -> TaskExit {
         let b = group.len();
         let power = power_by.slots[b].as_mut().unwrap();
         let mut per_sub: Vec<Vec<Detection>> = Vec::with_capacity(b);
+        // Screening attributes non-finite power to the owning sub-CPI:
+        // each member's lanes are disjoint rows of the slot cube, so a
+        // poisoned tenant degrades its own CPI, never its slot-mates'.
+        let mut mask: Vec<bool> = Vec::new();
         for u in 0..b {
             scratch.begin_cpi();
+            let mut poisoned = false;
             for bi in 0..ml {
                 for m in 0..p.m_beams {
-                    cfar::cfar_lane(
-                        p,
-                        power.lane(u * ml + bi, m),
-                        my_bins.start + bi,
-                        m,
-                        &mut scratch.detections,
-                    );
+                    let lane = power.lane(u * ml + bi, m);
+                    if ctx.screen && !lane.iter().all(|v| v.is_finite()) {
+                        poisoned = true;
+                    }
+                    cfar::cfar_lane(p, lane, my_bins.start + bi, m, &mut scratch.detections);
                 }
+            }
+            if ctx.screen {
+                mask.push(poisoned);
             }
             per_sub.push(scratch.take());
         }
         comm.send(
             driver,
             tag(Edge::Output, slot),
-            Msg::grouped(slot, group.clone(), Payload::DetectionsGroup(per_sub)),
+            Msg::grouped(slot, group.clone(), Payload::DetectionsGroup(per_sub, mask)),
         );
         busy += t_busy.elapsed().as_secs_f64();
         slot += 1;
@@ -1624,6 +1676,7 @@ fn resident_driver(
     let mut cpis = 0u64;
     let mut open = true;
     while open || collected < next_slot {
+        comm.fault_checkpoint(next_slot as u64);
         // Fill the window. Block for the first job only when nothing is
         // in flight; otherwise prefer draining completed slots.
         while open && next_slot - collected < window {
@@ -1692,13 +1745,17 @@ fn resident_driver(
             let (group, submitted) = inflight.pop_front().unwrap();
             let b = group.len();
             let mut per_sub: Vec<Vec<Detection>> = (0..b).map(|_| Vec::new()).collect();
+            let mut degraded = vec![false; b];
             for &src in &cfar_ranks {
                 let m = comm.recv(src, tag(Edge::Output, collected)).unwrap();
                 match m.payload {
-                    Payload::DetectionsGroup(gs) => {
+                    Payload::DetectionsGroup(gs, mask) => {
                         debug_assert_eq!(gs.len(), b);
                         for (u, ds) in gs.into_iter().enumerate() {
                             per_sub[u].extend(ds);
+                        }
+                        for (u, &bad) in mask.iter().enumerate() {
+                            degraded[u] |= bad;
                         }
                     }
                     other => panic!("resident driver: expected DetectionsGroup, got {other:?}"),
@@ -1707,12 +1764,16 @@ fn resident_driver(
             let now = Instant::now();
             for (u, mut ds) in per_sub.into_iter().enumerate() {
                 ds.sort_by_key(|d| (d.bin, d.beam, d.range));
+                if degraded[u] {
+                    health.degraded_cpis += 1;
+                }
                 // A closed `done` receiver is fine: keep draining.
                 let _ = done.send(CpiDone {
                     stream: group[u].stream,
                     scpi: group[u].scpi,
                     detections: ds,
                     latency: now.duration_since(submitted[u]).as_secs_f64(),
+                    degraded: degraded[u],
                 });
             }
             cpis += b as u64;

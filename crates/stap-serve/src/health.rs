@@ -1,0 +1,139 @@
+//! Per-stream health ledger: outcome counters, failure streaks and the
+//! quarantine record.
+//!
+//! The resident pipeline reports *what* happened to each CPI (clean,
+//! degraded by non-finite data, dropped); the admission layer reports
+//! *why* submissions bounced. This module folds both into one
+//! [`StreamHealth`] row per stream so a degraded tenant is diagnosable
+//! from `ServeSummary::to_json` alone: which stream, how often, whether
+//! the quarantine state machine fired, and what happened last.
+
+use crate::admission::Reject;
+use stap_util::json::Json;
+
+/// The most recent thing that happened to a stream.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LastOutcome {
+    /// Nothing yet (registered, no traffic).
+    #[default]
+    None,
+    /// Last CPI completed clean.
+    Ok,
+    /// Last CPI completed with non-finite samples screened out.
+    Degraded,
+    /// Last CPI was dropped (purged at disconnect, lost in recovery, or
+    /// drained after the stream left).
+    Dropped,
+    /// Last submission was rejected at admission.
+    Rejected,
+    /// The stream is (or was last) quarantined.
+    Quarantined,
+}
+
+impl LastOutcome {
+    /// Stable lower-case label for JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            LastOutcome::None => "none",
+            LastOutcome::Ok => "ok",
+            LastOutcome::Degraded => "degraded",
+            LastOutcome::Dropped => "dropped",
+            LastOutcome::Rejected => "rejected",
+            LastOutcome::Quarantined => "quarantined",
+        }
+    }
+}
+
+/// Per-reason admission reject counters for one stream.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RejectCounts {
+    /// [`Reject::QueueFull`] bounces (backpressure, not a fault).
+    pub queue_full: u64,
+    /// [`Reject::UnknownStream`] bounces (unregistered or retired id).
+    pub unknown: u64,
+    /// [`Reject::BadShape`] bounces.
+    pub bad_shape: u64,
+    /// [`Reject::NonFinite`] bounces (pre-admission screen).
+    pub non_finite: u64,
+    /// [`Reject::Quarantined`] bounces.
+    pub quarantined: u64,
+    /// [`Reject::Closed`] bounces.
+    pub closed: u64,
+}
+
+impl RejectCounts {
+    /// Bumps the counter matching `r`.
+    pub fn bump(&mut self, r: &Reject) {
+        match r {
+            Reject::QueueFull { .. } => self.queue_full += 1,
+            Reject::UnknownStream(_) => self.unknown += 1,
+            Reject::BadShape { .. } => self.bad_shape += 1,
+            Reject::NonFinite(_) => self.non_finite += 1,
+            Reject::Quarantined { .. } => self.quarantined += 1,
+            Reject::Closed => self.closed += 1,
+        }
+    }
+
+    /// Total rejects across every reason.
+    pub fn total(&self) -> u64 {
+        self.queue_full
+            + self.unknown
+            + self.bad_shape
+            + self.non_finite
+            + self.quarantined
+            + self.closed
+    }
+}
+
+/// One stream's health record for the session.
+#[derive(Clone, Debug, Default)]
+pub struct StreamHealth {
+    /// Stream id.
+    pub stream: u16,
+    /// CPIs completed clean.
+    pub ok: u64,
+    /// CPIs completed with screened non-finite data.
+    pub degraded: u64,
+    /// CPIs that never produced a result: purged at disconnect, lost
+    /// across a recovery, or drained after the stream left.
+    pub dropped: u64,
+    /// Admission rejects by reason.
+    pub rejects: RejectCounts,
+    /// Consecutive failures (non-finite rejects or degraded
+    /// completions); a clean completion resets it.
+    pub streak: u32,
+    /// Times the quarantine state machine fired for this stream.
+    pub quarantines: u32,
+    /// True when the stream is quarantined right now.
+    pub quarantined_now: bool,
+    /// Most recent outcome.
+    pub last: LastOutcome,
+}
+
+impl StreamHealth {
+    /// JSON row for `ServeSummary::to_json`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("stream", Json::Num(self.stream as f64)),
+            ("ok", Json::Num(self.ok as f64)),
+            ("degraded", Json::Num(self.degraded as f64)),
+            ("dropped", Json::Num(self.dropped as f64)),
+            (
+                "rejects",
+                Json::obj([
+                    ("queue_full", Json::Num(self.rejects.queue_full as f64)),
+                    ("unknown", Json::Num(self.rejects.unknown as f64)),
+                    ("bad_shape", Json::Num(self.rejects.bad_shape as f64)),
+                    ("non_finite", Json::Num(self.rejects.non_finite as f64)),
+                    ("quarantined", Json::Num(self.rejects.quarantined as f64)),
+                    ("closed", Json::Num(self.rejects.closed as f64)),
+                    ("total", Json::Num(self.rejects.total() as f64)),
+                ]),
+            ),
+            ("streak", Json::Num(self.streak as f64)),
+            ("quarantines", Json::Num(self.quarantines as f64)),
+            ("quarantined_now", Json::Bool(self.quarantined_now)),
+            ("last", Json::Str(self.last.label().to_string())),
+        ])
+    }
+}

@@ -14,14 +14,30 @@
 //!   one pipeline slot so the FFT/GEMM kernels amortize across streams;
 //! * [`slo`] — latency percentile math for p50/p99 service objectives;
 //! * [`loadgen`] — a synthetic multi-stream load generator used by
-//!   `stapctl loadgen`, `stapctl bench --streams` and the smoke tests.
+//!   `stapctl loadgen`, `stapctl bench --streams` and the smoke tests;
+//! * [`health`] — per-stream outcome/reject counters, fault streaks,
+//!   and the quarantine bookkeeping surfaced in [`ServeSummary`];
+//! * [`supervisor`] — supervised serving: periodic checkpoint export at
+//!   slot boundaries, panic recovery by rebuild-and-replay from the
+//!   last checkpoint (bit-identical for surviving streams), typed
+//!   [`Recovered`] events;
+//! * [`chaos`] — a seeded, deterministic fault campaign
+//!   (`stapctl chaos`) that kills a rank mid-run, corrupts a tenant,
+//!   churns another, and gates on recovery/quarantine/lost-CPI
+//!   invariants.
 
 pub mod admission;
+pub mod chaos;
+pub mod health;
 pub mod loadgen;
 pub mod server;
 pub mod slo;
+pub mod supervisor;
 
-pub use admission::{AdmissionConfig, Reject};
+pub use admission::{AdmissionConfig, Ingest, Pending, Reject};
+pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
+pub use health::{LastOutcome, RejectCounts, StreamHealth};
 pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};
 pub use server::{ServeSummary, ServerConfig, StapServer, StreamStats};
 pub use slo::{percentile, LatencyProfile};
+pub use supervisor::{run_supervised, Recovered, SupervisorConfig, SupervisorHooks};

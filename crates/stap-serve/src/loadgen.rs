@@ -8,12 +8,15 @@
 //! queues rather than unbounded buffering.
 
 use crate::admission::Reject;
+use crate::health::RejectCounts;
 use crate::server::{ServeSummary, StapServer};
 use stap_cube::CCube;
 use stap_pipeline::runner::PipelineError;
 use stap_radar::Scenario;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// Load shape.
 #[derive(Clone, Copy, Debug)]
@@ -48,6 +51,15 @@ pub struct LoadgenReport {
     /// Backpressure events: times a producer blocked in
     /// [`StapServer::wait_ready`] for admission headroom.
     pub backpressure_retries: u64,
+    /// Producer-side reject tallies by reason, per stream (sorted by
+    /// stream id). Empty on a clean run — the happy-path smoke asserts
+    /// exactly that.
+    pub rejects: Vec<(u16, RejectCounts)>,
+    /// Total rejects across every stream and reason.
+    pub rejected_total: u64,
+    /// CPIs a producer gave up on after a terminal reject (bad shape,
+    /// retired id) or exhausted retries.
+    pub abandoned_cpis: u64,
 }
 
 /// Pre-generates every stream's CPI sequence, *then* builds the server
@@ -68,28 +80,58 @@ pub fn run_loadgen(
         .collect();
     let server = Arc::new(mk_server());
     let retries = Arc::new(AtomicU64::new(0));
+    let abandoned = Arc::new(AtomicU64::new(0));
+    let rejects = Arc::new(Mutex::new(HashMap::<u16, RejectCounts>::new()));
     let mut producers = Vec::new();
     for (s, cubes) in loads.into_iter().enumerate() {
         let stream = s as u16;
         server.register(stream);
         let srv = server.clone();
         let rt = retries.clone();
+        let ab = abandoned.clone();
+        let rj = rejects.clone();
         producers.push(std::thread::spawn(move || {
-            for c in &cubes {
-                // Wait before filling: a bounced submit wastes a full
-                // cube copy, so block until admission has headroom.
-                let waits = srv.wait_ready(stream);
-                if waits > 0 {
-                    rt.fetch_add(waits, Ordering::Relaxed);
-                }
-                let cube = srv.take_cube_from(c);
-                match srv.submit(stream, cube) {
-                    Ok(_) => {}
-                    Err(Reject::QueueFull { .. }) => {
-                        unreachable!("single producer per stream: wait cannot go stale")
+            let mut local = RejectCounts::default();
+            'cpis: for c in &cubes {
+                // Bounded retry per CPI: transient rejects (queue
+                // pressure, a closing quarantine window) are retried,
+                // terminal ones abandon just this CPI — a reject must
+                // never kill the producer, that is the failure mode the
+                // tally exists to observe.
+                let mut attempts = 0u32;
+                loop {
+                    // Wait before filling: a bounced submit wastes a
+                    // full cube copy, so block until admission has
+                    // headroom.
+                    let waits = srv.wait_ready(stream);
+                    if waits > 0 {
+                        rt.fetch_add(waits, Ordering::Relaxed);
                     }
-                    Err(e) => panic!("loadgen stream {stream}: {e}"),
+                    let cube = srv.take_cube_from(c);
+                    match srv.submit(stream, cube) {
+                        Ok(_) => continue 'cpis,
+                        Err(r) => {
+                            local.bump(&r);
+                            attempts += 1;
+                            match r {
+                                Reject::Closed => break 'cpis,
+                                Reject::Quarantined { retry_ms, .. } if attempts < 8 => {
+                                    std::thread::sleep(Duration::from_millis(
+                                        retry_ms.clamp(1, 50),
+                                    ));
+                                }
+                                Reject::QueueFull { .. } if attempts < 8 => {}
+                                _ => {
+                                    ab.fetch_add(1, Ordering::Relaxed);
+                                    continue 'cpis;
+                                }
+                            }
+                        }
+                    }
                 }
+            }
+            if local.total() > 0 {
+                *rj.lock().unwrap().entry(stream).or_default() = local;
             }
         }));
     }
@@ -98,8 +140,19 @@ pub fn run_loadgen(
     }
     let server = Arc::into_inner(server).expect("producers released the server");
     let summary = server.shutdown()?;
+    let mut rejects: Vec<(u16, RejectCounts)> = Arc::into_inner(rejects)
+        .unwrap()
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .collect();
+    rejects.sort_by_key(|(s, _)| *s);
+    let rejected_total = rejects.iter().map(|(_, c)| c.total()).sum();
     Ok(LoadgenReport {
         summary,
         backpressure_retries: retries.load(Ordering::Relaxed),
+        rejects,
+        rejected_total,
+        abandoned_cpis: abandoned.load(Ordering::Relaxed),
     })
 }

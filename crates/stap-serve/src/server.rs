@@ -20,7 +20,9 @@
 //! pipeline recycles every block it consumes.
 
 use crate::admission::{AdmissionConfig, Ingest, Pending, Reject};
+use crate::health::StreamHealth;
 use crate::slo::LatencyProfile;
+use crate::supervisor::{run_supervised, Recovered, SupervisorConfig, SupervisorHooks};
 use stap_cube::CCube;
 use stap_math::Cx;
 use stap_pipeline::runner::PipelineError;
@@ -32,7 +34,7 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 /// Server limits and batching knobs.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Pipeline slots in flight (the slot channel bound / credit supply).
     pub window: usize,
@@ -61,6 +63,21 @@ pub struct ServerConfig {
     /// Per-stream completions treated as warm-up/ramp: excluded from
     /// the latency percentiles and reported separately.
     pub warmup_cpis: u32,
+    /// Run the engine under checkpoint/restore supervision (see
+    /// [`crate::supervisor`]). Mutually exclusive with `elastic`.
+    pub supervised: Option<SupervisorConfig>,
+    /// Screen submissions and CFAR power lanes for non-finite samples:
+    /// a NaN/Inf cube bounces at admission with [`Reject::NonFinite`]
+    /// (feeding the quarantine streak) instead of poisoning the
+    /// pipeline's recursive state, and in-transit corruption surfaces
+    /// as a `degraded` completion.
+    pub screen: bool,
+    /// Consecutive per-stream failures before quarantine (0 = off); see
+    /// [`AdmissionConfig::quarantine_streak`].
+    pub quarantine_streak: u32,
+    /// Initial quarantine window in milliseconds (doubles per
+    /// re-offense, capped); see [`AdmissionConfig::probation_ms`].
+    pub probation_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -75,6 +92,10 @@ impl Default for ServerConfig {
             policy: RuntimePolicy::default(),
             spike_backlog: 0,
             warmup_cpis: 2,
+            supervised: None,
+            screen: false,
+            quarantine_streak: 0,
+            probation_ms: 250,
         }
     }
 }
@@ -116,6 +137,20 @@ pub struct ServeSummary {
     pub warmup_cpis: u64,
     /// Rank shifts the elastic engine applied (0 for a fixed world).
     pub rebalances: u64,
+    /// Per-stream health rows (outcomes, rejects by reason, quarantine
+    /// record), sorted by stream id.
+    pub stream_health: Vec<StreamHealth>,
+    /// Quarantine firings across all streams.
+    pub quarantines: u64,
+    /// Supervisor recoveries performed (0 for an unsupervised server).
+    pub recoveries: u64,
+    /// Every recovery event, in order.
+    pub recovery_log: Vec<Recovered>,
+    /// Sub-CPIs lost across recoveries (streams that disconnected
+    /// before their retained slots could be replayed).
+    pub lost_cpis: u64,
+    /// Checkpoints the supervisor banked.
+    pub checkpoints: u64,
     /// The resident pipeline's own summary (health, pool traffic).
     pub resident: ResidentSummary,
 }
@@ -171,6 +206,14 @@ impl ServeSummary {
                 Json::obj([
                     ("faults", Json::Bool(self.resident.health.any())),
                     (
+                        "dropped_cpis",
+                        Json::Num(self.resident.health.dropped_cpis as f64),
+                    ),
+                    (
+                        "degraded_cpis",
+                        Json::Num(self.resident.health.degraded_cpis as f64),
+                    ),
+                    (
                         "mailbox_over_high_water",
                         Json::Num(self.resident.health.mailbox_over_high_water as f64),
                     ),
@@ -186,10 +229,59 @@ impl ServeSummary {
                                 .unwrap_or(0) as f64,
                         ),
                     ),
+                    (
+                        "edges",
+                        Json::arr(stap_pipeline::msg::EDGE_NAMES.iter().enumerate().map(
+                            |(i, name)| {
+                                let e = &self.resident.health.edges[i];
+                                Json::obj([
+                                    ("edge", Json::Str((*name).to_string())),
+                                    ("retries", Json::Num(e.retries as f64)),
+                                    ("dropped", Json::Num(e.dropped as f64)),
+                                    ("stale_weights", Json::Num(e.stale_weights as f64)),
+                                    ("quarantined", Json::Num(e.quarantined as f64)),
+                                    ("late_or_dup", Json::Num(e.late_or_dup as f64)),
+                                ])
+                            },
+                        )),
+                    ),
+                ]),
+            ),
+            (
+                "stream_health",
+                Json::arr(self.stream_health.iter().map(StreamHealth::to_json)),
+            ),
+            ("quarantines", Json::Num(self.quarantines as f64)),
+            (
+                "recovery",
+                Json::obj([
+                    ("recoveries", Json::Num(self.recoveries as f64)),
+                    ("lost_cpis", Json::Num(self.lost_cpis as f64)),
+                    ("checkpoints", Json::Num(self.checkpoints as f64)),
+                    (
+                        "log",
+                        Json::arr(self.recovery_log.iter().map(|r| {
+                            Json::obj([
+                                ("epoch", Json::Num(r.epoch as f64)),
+                                ("at_slot", Json::Num(r.at_slot as f64)),
+                                ("lost_cpis", Json::Num(r.lost_cpis as f64)),
+                                ("error", Json::Str(r.error.clone())),
+                            ])
+                        })),
+                    ),
                 ]),
             ),
         ])
     }
+}
+
+/// What the engine thread (fixed, elastic or supervised) reports back.
+struct EngineOut {
+    resident: ResidentSummary,
+    rebalances: u64,
+    recoveries: Vec<Recovered>,
+    checkpoints: u64,
+    lost_cpis: u64,
 }
 
 struct Collected {
@@ -212,9 +304,10 @@ pub struct StapServer {
     shared: Arc<Shared>,
     pool: stap_cube::SharedBufferPool<Cx>,
     shape: [usize; 3],
+    screen: bool,
     t0: Instant,
     batcher: Option<JoinHandle<()>>,
-    engine: Option<JoinHandle<Result<(ResidentSummary, u64), PipelineError>>>,
+    engine: Option<JoinHandle<Result<EngineOut, PipelineError>>>,
     collector: Option<JoinHandle<Collected>>,
     control: Option<mpsc::Sender<Rebalance>>,
 }
@@ -234,18 +327,33 @@ impl StapServer {
         cfg: ServerConfig,
         tap: Option<mpsc::Sender<stap_pipeline::CpiDone>>,
     ) -> StapServer {
+        assert!(
+            !(cfg.elastic && cfg.supervised.is_some()),
+            "supervised and elastic modes are mutually exclusive"
+        );
         let resident = resident
             .with_window(cfg.window)
             .with_max_group(cfg.max_group)
-            .with_mailbox_high_water(cfg.mailbox_high_water);
+            .with_mailbox_high_water(cfg.mailbox_high_water)
+            .with_screen(cfg.screen);
         resident.reserve(cfg.streams_hint, cfg.queue_depth);
         let p = &resident.params;
         let shape = [p.k_range, p.j_channels, p.n_pulses];
         let pool = resident.pools().cx.clone();
+        if let Some(sup) = &cfg.supervised {
+            // The supervisor retains a pool-backed copy of every
+            // dispatched group until the next checkpoint, plus replay
+            // copies after a failure — pre-warm that headroom so
+            // recovery does not hit the allocator.
+            let extra = (sup.checkpoint_every as usize + cfg.window) * cfg.max_group.max(1);
+            pool.reserve(shape.iter().product(), extra);
+        }
         let shared = Arc::new(Shared {
             ing: Mutex::new(Ingest::new(AdmissionConfig {
                 queue_depth: cfg.queue_depth,
                 shape,
+                quarantine_streak: cfg.quarantine_streak,
+                probation_ms: cfg.probation_ms,
             })),
             cv: Condvar::new(),
         });
@@ -310,7 +418,23 @@ impl StapServer {
             }
         });
 
-        let engine = if cfg.elastic {
+        let engine = if let Some(sup) = cfg.supervised.clone() {
+            let ret = shared.clone();
+            let lost = shared.clone();
+            let hooks = SupervisorHooks {
+                is_retired: Box::new(move |s| ret.ing.lock().unwrap().is_retired(s)),
+                on_lost: Box::new(move |s| lost.ing.lock().unwrap().note_lost(s)),
+            };
+            std::thread::spawn(move || {
+                run_supervised(resident, sup, jobs_rx, done_tx, hooks).map(|o| EngineOut {
+                    resident: o.resident,
+                    rebalances: 0,
+                    recoveries: o.recoveries,
+                    checkpoints: o.checkpoints,
+                    lost_cpis: o.lost_cpis,
+                })
+            })
+        } else if cfg.elastic {
             let el = ElasticStap::new(
                 resident.params.clone(),
                 resident.assign,
@@ -323,11 +447,24 @@ impl StapServer {
             .with_reserve_hints(cfg.streams_hint, cfg.queue_depth)
             .with_shared_pools(resident.pools().clone());
             std::thread::spawn(move || {
-                el.serve(jobs_rx, done_tx, ctl_rx)
-                    .map(|e| (e.merged_resident(), e.rebalances))
+                el.serve(jobs_rx, done_tx, ctl_rx).map(|e| EngineOut {
+                    resident: e.merged_resident(),
+                    rebalances: e.rebalances,
+                    recoveries: Vec::new(),
+                    checkpoints: 0,
+                    lost_cpis: 0,
+                })
             })
         } else {
-            std::thread::spawn(move || resident.serve(jobs_rx, done_tx).map(|s| (s, 0)))
+            std::thread::spawn(move || {
+                resident.serve(jobs_rx, done_tx).map(|s| EngineOut {
+                    resident: s,
+                    rebalances: 0,
+                    recoveries: Vec::new(),
+                    checkpoints: 0,
+                    lost_cpis: 0,
+                })
+            })
         };
 
         let sh = shared.clone();
@@ -344,7 +481,10 @@ impl StapServer {
                     out.latencies.entry(d.stream).or_default().push(d.latency);
                 }
                 *out.detections.entry(d.stream).or_default() += d.detections.len() as u64;
-                sh.ing.lock().unwrap().complete(d.stream);
+                sh.ing
+                    .lock()
+                    .unwrap()
+                    .complete(d.stream, d.degraded, Instant::now());
                 // Wake producers blocked in `wait_ready` (the batcher
                 // also wakes, rechecks and goes back to sleep — cheap).
                 sh.cv.notify_all();
@@ -359,6 +499,7 @@ impl StapServer {
             shared,
             pool,
             shape,
+            screen: cfg.screen,
             t0: Instant::now(),
             batcher: Some(batcher),
             engine: Some(engine),
@@ -442,6 +583,13 @@ impl StapServer {
     /// whether to retry, shed or fail over).
     pub fn submit(&self, stream: u16, cube: CCube) -> Result<u32, Reject> {
         let now = Instant::now();
+        // Screen outside the admission lock: the finiteness scan is one
+        // pass over the cube and must not serialize other producers.
+        if self.screen && !cube.is_finite() {
+            let reject = self.shared.ing.lock().unwrap().note_nonfinite(stream, now);
+            self.pool.recycle(cube);
+            return Err(reject);
+        }
         let r = self.shared.ing.lock().unwrap().submit(stream, cube, now);
         match r {
             Ok(scpi) => {
@@ -481,12 +629,19 @@ impl StapServer {
             .unwrap()
             .join()
             .expect("batcher panicked");
-        let (resident, rebalances) = self
+        let out = self
             .engine
             .take()
             .unwrap()
             .join()
             .expect("engine panicked")?;
+        let EngineOut {
+            resident,
+            rebalances,
+            recoveries,
+            checkpoints,
+            lost_cpis,
+        } = out;
         let collected = self
             .collector
             .take()
@@ -495,9 +650,14 @@ impl StapServer {
             .expect("collector panicked");
         let elapsed = self.t0.elapsed().as_secs_f64();
 
-        let (rejected, purged) = {
+        let (rejected, purged, stream_health, quarantines) = {
             let ing = self.shared.ing.lock().unwrap();
-            (ing.rejected, ing.purged)
+            (
+                ing.rejected,
+                ing.purged,
+                ing.stream_health(Instant::now()),
+                ing.quarantines(),
+            )
         };
         let mut streams: Vec<StreamStats> = Vec::new();
         let mut all: Vec<f64> = Vec::new();
@@ -534,6 +694,12 @@ impl StapServer {
             aggregate,
             warmup_cpis,
             rebalances,
+            stream_health,
+            quarantines,
+            recoveries: recoveries.len() as u64,
+            recovery_log: recoveries,
+            lost_cpis,
+            checkpoints,
             resident,
         })
     }

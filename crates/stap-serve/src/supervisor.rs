@@ -1,0 +1,368 @@
+//! Checkpoint/restore supervision for the serve engine.
+//!
+//! A resident world is one process-wide failure domain: a panic on any
+//! rank poisons the world and [`ResidentStap::serve_with_state`]
+//! returns an error — without supervision the whole serve session dies
+//! and every stream's recursive state (training histories, QR
+//! recursions, weight FIFOs) is gone. The supervisor turns that into a
+//! bounded blip:
+//!
+//! * jobs flow from the server's batcher through the supervisor, which
+//!   **retains a pool-backed copy of every dispatched slot group** until
+//!   the next checkpoint;
+//! * every [`SupervisorConfig::checkpoint_every`] slots the supervisor
+//!   closes the engine's job channel, lets it drain, and banks the
+//!   exported [`ResidentState`] as the new checkpoint (retained copies
+//!   are recycled — nothing before a checkpoint can need replay);
+//! * on engine failure it rebuilds a fresh world from the banked state
+//!   and **replays the retained trajectory in order**, so the weight
+//!   FIFOs advance through exactly the same sequence and detections
+//!   stay bit-identical to an unfaulted run. Completions the failed
+//!   world already delivered are deduplicated, not re-delivered;
+//! * the only CPIs *lost* are replay subs whose stream disconnected in
+//!   the meantime (their per-stream sequence retired with them); each is
+//!   reported through [`SupervisorHooks::on_lost`] and counted in
+//!   [`Recovered::lost_cpis`] — bounded by one checkpoint interval.
+//!
+//! The checkpoint cadence is the knob: shorter epochs bound replay work
+//! and the lost-CPI exposure (`checkpoint_every * max_group`), longer
+//! epochs amortize the drain barrier over more slots.
+
+use stap_cube::CCube;
+use stap_pipeline::runner::PipelineError;
+use stap_pipeline::{CpiDone, CpiJob, ResidentStap, ResidentState, ResidentSummary};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Supervision knobs.
+#[derive(Clone, Debug)]
+pub struct SupervisorConfig {
+    /// Slots per checkpoint epoch: the engine drains and exports its
+    /// cross-slot state every this-many dispatched slot groups. Also
+    /// the replay/lost-CPI exposure bound (in slots).
+    pub checkpoint_every: u64,
+    /// Recoveries before the supervisor gives up and surfaces the
+    /// engine error (a world that keeps dying is not a blip).
+    pub max_recoveries: u32,
+    /// Deterministic fault plans, indexed by world launch: launch 0
+    /// (the first epoch) runs under `plans[0]`, the world launched for
+    /// epoch N under `plans[N]`. Launches past the end run fault-free.
+    /// Epoch counters inside a plan are slot indices *local to that
+    /// launch*. The chaos harness uses this to schedule a panic in
+    /// launch 0 and let the recovery world run clean.
+    pub plans: Vec<stap_mp::FaultPlan>,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            checkpoint_every: 8,
+            max_recoveries: 2,
+            plans: Vec::new(),
+        }
+    }
+}
+
+/// One recovery event.
+#[derive(Clone, Debug)]
+pub struct Recovered {
+    /// Which world launch failed (0 = the first).
+    pub epoch: u32,
+    /// Global slot-dispatch count when the failure was detected.
+    pub at_slot: u64,
+    /// Sub-CPIs that could not be replayed (their stream disconnected
+    /// between dispatch and recovery). Bounded by
+    /// `checkpoint_every * max_group`.
+    pub lost_cpis: u64,
+    /// The engine error that triggered recovery.
+    pub error: String,
+}
+
+/// Callbacks wiring the supervisor to the admission layer without a
+/// dependency cycle.
+pub struct SupervisorHooks {
+    /// True when the stream's id is retired (disconnected): its replay
+    /// subs are dropped as lost instead of re-submitted, because a
+    /// retired stream's sequence must not advance.
+    pub is_retired: Box<dyn Fn(u16) -> bool + Send>,
+    /// Invoked once per lost sub-CPI with the owning stream, so the
+    /// health ledger can count it.
+    pub on_lost: Box<dyn Fn(u16) + Send>,
+}
+
+impl Default for SupervisorHooks {
+    fn default() -> Self {
+        SupervisorHooks {
+            is_retired: Box::new(|_| false),
+            on_lost: Box::new(|_| {}),
+        }
+    }
+}
+
+/// What a supervised session reports at shutdown.
+#[derive(Debug, Default)]
+pub struct SupervisorOutcome {
+    /// Merged pipeline summary over every launch. `cpis`/`slots` are
+    /// the supervisor's *unique* counts (replayed work is not double
+    /// counted).
+    pub resident: ResidentSummary,
+    /// Every recovery, in order.
+    pub recoveries: Vec<Recovered>,
+    /// Checkpoints banked (final drain included).
+    pub checkpoints: u64,
+    /// Total sub-CPIs lost across all recoveries.
+    pub lost_cpis: u64,
+}
+
+/// One dispatched slot group, retained until the next checkpoint so it
+/// can be replayed into a rebuilt world.
+struct RetainedGroup {
+    /// `(stream, scpi, submitted)` per sub-CPI, in slot order.
+    subs: Vec<(u16, u32, Instant)>,
+    cubes: Vec<CCube>,
+}
+
+impl RetainedGroup {
+    /// Pool-backed copy of a group about to be dispatched.
+    fn copy_of(jobs: &[CpiJob], pool: &stap_cube::SharedBufferPool<stap_math::Cx>) -> Self {
+        RetainedGroup {
+            subs: jobs
+                .iter()
+                .map(|j| (j.stream, j.scpi, j.submitted))
+                .collect(),
+            cubes: jobs.iter().map(|j| pool.take_cube_from(&j.cube)).collect(),
+        }
+    }
+
+    /// Takes ownership of an undispatched group (the engine died before
+    /// accepting it) — no copy needed, the originals become the
+    /// retained trajectory.
+    fn from_jobs(jobs: Vec<CpiJob>) -> Self {
+        let mut subs = Vec::with_capacity(jobs.len());
+        let mut cubes = Vec::with_capacity(jobs.len());
+        for j in jobs {
+            subs.push((j.stream, j.scpi, j.submitted));
+            cubes.push(j.cube);
+        }
+        RetainedGroup { subs, cubes }
+    }
+
+    fn recycle_into(self, pool: &stap_cube::SharedBufferPool<stap_math::Cx>) {
+        for c in self.cubes {
+            pool.recycle(c);
+        }
+    }
+}
+
+/// Runs `resident` under checkpoint/restore supervision, pumping slot
+/// groups from `jobs` and unique completions into `done`. Returns the
+/// merged outcome, or the engine error once `max_recoveries` is
+/// exhausted.
+pub fn run_supervised(
+    mut resident: ResidentStap,
+    cfg: SupervisorConfig,
+    jobs: mpsc::Receiver<Vec<CpiJob>>,
+    done: mpsc::Sender<CpiDone>,
+    hooks: SupervisorHooks,
+) -> Result<SupervisorOutcome, PipelineError> {
+    let pool = resident.pools().cx.clone();
+    let window = resident.window.max(1);
+    let checkpoint_every = cfg.checkpoint_every.max(1);
+
+    let mut carry = ResidentState::default();
+    let mut pending: Vec<RetainedGroup> = Vec::new();
+    let mut outcome = SupervisorOutcome::default();
+    let mut outer_open = true;
+    let mut total_slots: u64 = 0;
+    let mut launch: u32 = 0;
+    let mut recoveries: u32 = 0;
+
+    // Completions the failed world delivered before dying must not be
+    // re-delivered by the replay; the pump filters on (stream, scpi).
+    // Cleared at each checkpoint (nothing retired can be replayed).
+    let delivered: Mutex<HashSet<(u16, u32)>> = Mutex::new(HashSet::new());
+    let engine_dead = AtomicBool::new(false);
+    // Unique completions, for the merged summary's `cpis`.
+    let unique = std::sync::atomic::AtomicU64::new(0);
+
+    while outer_open || !pending.is_empty() {
+        // Strip retired streams out of the replay trajectory. Grouping
+        // invariance (property-proven for `serve_with_state`) makes
+        // dropping one stream's subs safe for every other stream's
+        // bit-identity; the dropped subs are the recovery's loss.
+        let mut lost_now: u64 = 0;
+        for g in &mut pending {
+            let mut i = 0;
+            while i < g.subs.len() {
+                if (hooks.is_retired)(g.subs[i].0) {
+                    (hooks.on_lost)(g.subs[i].0);
+                    lost_now += 1;
+                    g.subs.remove(i);
+                    pool.recycle(g.cubes.remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        pending.retain(|g| !g.subs.is_empty());
+        if let Some(r) = outcome.recoveries.last_mut() {
+            r.lost_cpis += lost_now;
+        }
+        outcome.lost_cpis += lost_now;
+
+        resident.faults = cfg.plans.get(launch as usize).cloned();
+        engine_dead.store(false, Ordering::SeqCst);
+        let (ep_jobs_tx, ep_jobs_rx) = mpsc::sync_channel::<Vec<CpiJob>>(window);
+        let (ep_done_tx, ep_done_rx) = mpsc::channel::<CpiDone>();
+        let carry_in = carry.clone();
+
+        let epoch_result: std::thread::Result<
+            Result<(ResidentSummary, ResidentState), PipelineError>,
+        > = std::thread::scope(|s| {
+            let res = &resident;
+            let eng = s.spawn(move || res.serve_with_state(ep_jobs_rx, ep_done_tx, carry_in));
+            let out_done = done.clone();
+            let delivered = &delivered;
+            let engine_dead = &engine_dead;
+            let unique = &unique;
+            let pump = s.spawn(move || {
+                while let Ok(d) = ep_done_rx.recv() {
+                    let fresh = delivered.lock().unwrap().insert((d.stream, d.scpi));
+                    if fresh {
+                        unique.fetch_add(1, Ordering::Relaxed);
+                        let _ = out_done.send(d);
+                    }
+                }
+                engine_dead.store(true, Ordering::SeqCst);
+            });
+
+            let mut sent: u64 = 0;
+            let mut failed = false;
+
+            // Replay the retained trajectory, oldest first, feeding the
+            // rebuilt world *copies* so a second crash can replay again.
+            for g in &pending {
+                let group: Vec<CpiJob> = g
+                    .subs
+                    .iter()
+                    .zip(&g.cubes)
+                    .map(|(&(stream, scpi, submitted), cube)| CpiJob {
+                        stream,
+                        scpi,
+                        cube: pool.take_cube_from(cube),
+                        submitted,
+                    })
+                    .collect();
+                match ep_jobs_tx.send(group) {
+                    Ok(()) => sent += 1,
+                    Err(mpsc::SendError(group)) => {
+                        for j in group {
+                            pool.recycle(j.cube);
+                        }
+                        failed = true;
+                        break;
+                    }
+                }
+            }
+
+            // Fresh slots until the checkpoint boundary.
+            while !failed && sent < checkpoint_every && outer_open {
+                match jobs.recv_timeout(Duration::from_millis(25)) {
+                    Ok(group) => {
+                        if group.is_empty() {
+                            continue;
+                        }
+                        let retained = RetainedGroup::copy_of(&group, &pool);
+                        match ep_jobs_tx.send(group) {
+                            Ok(()) => {
+                                pending.push(retained);
+                                sent += 1;
+                                total_slots += 1;
+                            }
+                            Err(mpsc::SendError(group)) => {
+                                retained.recycle_into(&pool);
+                                pending.push(RetainedGroup::from_jobs(group));
+                                total_slots += 1;
+                                failed = true;
+                            }
+                        }
+                    }
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        if engine_dead.load(Ordering::SeqCst) {
+                            failed = true;
+                        }
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => outer_open = false,
+                }
+            }
+
+            // Checkpoint barrier (or failure): close the job channel so
+            // the engine drains and exports state, then collect it.
+            drop(ep_jobs_tx);
+            let res = eng.join();
+            let _ = pump.join();
+            res
+        });
+
+        let err: PipelineError = match epoch_result {
+            Ok(Ok((summary, state))) => {
+                // Banked checkpoint: everything dispatched this epoch
+                // completed and its effects live in `state`.
+                outcome.resident.elapsed += summary.elapsed;
+                outcome.resident.health.merge(&summary.health);
+                for t in 0..7 {
+                    outcome.resident.busy[t] += summary.busy[t];
+                }
+                outcome.resident.pool_cx = summary.pool_cx;
+                outcome.resident.pool_real = summary.pool_real;
+                outcome.resident.slots += pending.len() as u64;
+                carry = state;
+                for g in pending.drain(..) {
+                    g.recycle_into(&pool);
+                }
+                delivered.lock().unwrap().clear();
+                outcome.checkpoints += 1;
+                launch += 1;
+                continue;
+            }
+            Ok(Err(e)) => e,
+            Err(panic) => PipelineError::World(stap_mp::WorldError {
+                rank: usize::MAX,
+                message: format!(
+                    "supervised engine thread panicked outside the world: {}",
+                    panic_message(&panic)
+                ),
+            }),
+        };
+
+        // Engine failure: give up past the recovery budget, else record
+        // the event and loop — the next epoch rebuilds from `carry` and
+        // replays `pending`.
+        if recoveries >= cfg.max_recoveries {
+            return Err(err);
+        }
+        recoveries += 1;
+        outcome.recoveries.push(Recovered {
+            epoch: launch,
+            at_slot: total_slots,
+            lost_cpis: 0,
+            error: err.to_string(),
+        });
+        launch += 1;
+    }
+
+    outcome.resident.cpis = unique.load(Ordering::SeqCst);
+    Ok(outcome)
+}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic".to_string()
+    }
+}

@@ -13,7 +13,7 @@
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
-NUM_STAGES=10
+NUM_STAGES=11
 stage_name() {
   case "$1" in
     1) echo "rustfmt" ;;
@@ -26,6 +26,7 @@ stage_name() {
     8) echo "scalar fallback (STAP_SIMD=off: the non-AVX2 path stays green)" ;;
     9) echo "serve smoke (small loadgen: SLO fields present, zero pool misses)" ;;
     10) echo "assign smoke (lattice explore: frontier sanity + paper case dominated)" ;;
+    11) echo "chaos smoke (seeded campaign: recovery, quarantine, lost-CPI bound)" ;;
     *) echo "unknown" ;;
   esac
 }
@@ -94,7 +95,11 @@ assert doc["cpis"] == 24, f"expected 24 CPIs, got {doc['cpis']}"
 pool = doc["pool"]
 assert pool["cx_misses"] == 0 and pool["real_misses"] == 0, f"pool missed: {pool}"
 assert not doc["health"]["faults"], f"faults: {doc['health']}"
-print("serve smoke ok: p50 %.2fms p99 %.2fms, %d pool hits, zero misses"
+assert doc["rejected"] == 0, f"happy path rejected submissions: {doc['rejected']}"
+assert doc["quarantines"] == 0, "happy path quarantined a stream"
+for h in doc["stream_health"]:
+    assert h["ok"] == 6 and h["rejects"]["total"] == 0, f"unhealthy stream: {h}"
+print("serve smoke ok: p50 %.2fms p99 %.2fms, %d pool hits, zero misses, zero rejects"
       % (lat["p50_ms"], lat["p99_ms"], pool["cx_hits"] + pool["real_hits"]))
 PY
       ;;
@@ -114,6 +119,31 @@ PY
         && grep -q '"frontier"' "$assign_out" \
         && cargo run --release -q -p stap-bench --bin stapctl -- \
           assign --budget 59 --cpis 12 --evals 120 --expect sane,paper-case
+      ;;
+    11)
+      # Seeded chaos campaign on the supervised serve runtime: a
+      # scheduled rank kill must recover from checkpoint, the corrupt
+      # tenant must be quarantined, lost CPIs must stay within the
+      # checkpoint bound and healthy streams must finish. The campaign
+      # gates itself; --expect re-asserts the headline invariants from
+      # the JSON. Deterministic by seed. The artifact is kept when
+      # CHAOS_SMOKE_OUT is set (CI uploads it).
+      local chaos_out
+      chaos_out="${CHAOS_SMOKE_OUT:-$(mktemp /tmp/CHAOS_smoke.XXXXXX.json)}"
+      [ -n "${CHAOS_SMOKE_OUT:-}" ] || trap 'rm -f "$chaos_out"' RETURN
+      cargo run --release -q -p stap-bench --bin stapctl -- \
+        chaos --seed 7 --cpis 8 --out "$chaos_out" \
+        --expect "recovered>=1,quarantined=1,deadlock=0,passed=1" \
+        && python3 - "$chaos_out" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["passed"] == 1, f"campaign failed gates: {doc['failures']}"
+assert doc["lost_cpis"] <= doc["lost_bound"], f"lost-CPI bound broken: {doc}"
+assert doc["reconnect_ok"] == 1, "churned tenant never completed after reconnect"
+print("chaos smoke ok: %d recoveries, %d checkpoints, %d/%d lost CPIs, %d quarantine(s)"
+      % (doc["recovered"], doc["checkpoints"], doc["lost_cpis"],
+         doc["lost_bound"], doc["quarantine_events"]))
+PY
       ;;
     *)
       echo "error: unknown stage $1 (valid: 1..$NUM_STAGES)" >&2

@@ -221,4 +221,17 @@ fn loadgen_smoke_reports_backpressure_and_slo() {
     assert!(s.cpis_per_sec > 0.0);
     assert!(s.aggregate.p99_ms >= s.aggregate.p50_ms);
     assert!(!s.resident.health.any(), "loadgen run must be fault-free");
+    // Happy path: backpressure is absorbed by wait_ready, so no
+    // submission is ever rejected and no CPI abandoned.
+    assert!(
+        report.rejects.is_empty(),
+        "clean run must report zero rejects, got {:?}",
+        report.rejects
+    );
+    assert_eq!(report.rejected_total, 0);
+    assert_eq!(report.abandoned_cpis, 0);
+    assert_eq!(s.quarantines, 0);
+    for h in &s.stream_health {
+        assert_eq!(h.rejects.total(), 0, "stream {} saw rejects", h.stream);
+    }
 }

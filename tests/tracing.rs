@@ -284,11 +284,12 @@ fn ci_workflow_is_structurally_valid() {
         "scalar-fallback:",
         "serve-smoke:",
         "assign-smoke:",
+        "chaos-smoke:",
     ] {
         assert!(text.contains(job), "missing job {job}");
     }
     assert!(text.contains("jobs:"));
-    for stage in 1..=10 {
+    for stage in 1..=11 {
         assert!(
             text.contains(&format!("scripts/check.sh --stage {stage}")),
             "workflow must run check.sh stage {stage}"
@@ -307,8 +308,8 @@ fn ci_workflow_is_structurally_valid() {
 fn check_script_stage_list_matches_workflow() {
     let script = repo_file("scripts/check.sh");
     assert!(
-        script.contains("NUM_STAGES=10"),
-        "check.sh declares 10 stages"
+        script.contains("NUM_STAGES=11"),
+        "check.sh declares 11 stages"
     );
     for anchor in [
         "rustfmt",
@@ -319,6 +320,7 @@ fn check_script_stage_list_matches_workflow() {
         "scalar fallback",
         "serve smoke",
         "assign smoke",
+        "chaos smoke",
     ] {
         assert!(script.contains(anchor), "check.sh names stage {anchor:?}");
     }
