@@ -20,10 +20,23 @@
 //! stapctl loadgen  [--streams 4] [--cpis 8] [--seed 42] [--depth 2] [--group G]
 //!                  [--window 4] [--json] [--out PATH]
 //! stapctl trace    [--cpis 6] [--seed 42] [--nodes 2,1,2,1,1,2,1] [--json]
-//!                  [--out TRACE_pipeline.json]
+//!                  [--transport inproc|shm|tcp] [--out TRACE_pipeline.json]
 //! stapctl chaos    [--seed 7] [--cpis 10] [--checkpoint-every 3] [--deadline 120]
 //!                  [--expect recovered>=1,quarantined=1] [--json] [--out PATH]
+//! stapctl cluster  [--transport shm|tcp] [--cpis 6] [--seed 42] [--nodes ...]
+//!                  [--relaunches 0] [--json] [--out PATH]
+//! stapctl bench    --transport [--quick] [--json] [--force] [--out BENCH_transport.json]
 //! ```
+//!
+//! `--transport` selects the rank fabric: `inproc` (the default) runs
+//! every rank as a thread over channels; `shm` and `tcp` run each task
+//! rank as a separate OS process over a shared-memory ring region or a
+//! length-prefixed TCP mesh (with an in-process rendezvous listener),
+//! the parent holding the driver rank. Detections are bit-identical
+//! across all three — `trace --json` emits a `detections_digest` the CI
+//! parity stage compares. `cluster` is the standalone multi-process
+//! launcher (with relaunch supervision); `_rank` is the hidden re-exec
+//! entry point child rank processes run.
 //!
 //! `serve` runs a resident multi-stream ingestion session (simulated
 //! producer streams through admission control, cross-stream batching
@@ -70,7 +83,6 @@ use stap::sim::assign::{optimize, Objective};
 use stap::sim::{simulate, SimConfig};
 use std::collections::HashMap;
 use std::process::ExitCode;
-use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -78,12 +90,13 @@ fn usage() -> ExitCode {
          stapctl simulate --nodes N0,..,N6 [--cpis K] [--input-rate R] [--replicas R0,..,R6] [--contention]\n  \
          stapctl optimize --budget B [--objective throughput|latency] [--floor T] [--moves M]\n  \
          stapctl detect [--cpis K] [--seed S] [--full] [--nodes N0,..,N6]\n  \
-         stapctl faults [--cpis K] [--seed S] [--drop-cpi C] [--stall-cpi C] [--expect degraded=G,dropped=D] [--json] [--out PATH]\n  \
-         stapctl bench [--streams|--assign] [--quick] [--json] [--force] [--out PATH]\n  \
+         stapctl faults [--cpis K] [--seed S] [--drop-cpi C] [--stall-cpi C] [--transport inproc|shm|tcp] [--expect degraded=G,dropped=D] [--json] [--out PATH]\n  \
+         stapctl bench [--streams|--assign|--transport] [--quick] [--json] [--force] [--out PATH]\n  \
          stapctl assign [--budget B] [--cpis K] [--evals E] [--expect sane,paper-case] [--json] [--out PATH]\n  \
          stapctl serve [--streams N] [--cpis K] [--seed S] [--depth D] [--group G] [--window W] [--json] [--out PATH]\n  \
          stapctl loadgen [--streams N] [--cpis K] [--seed S] [--depth D] [--group G] [--window W] [--json] [--out PATH]\n  \
-         stapctl trace [--cpis K] [--seed S] [--nodes N0,..,N6] [--json] [--out PATH]\n  \
+         stapctl trace [--cpis K] [--seed S] [--nodes N0,..,N6] [--transport inproc|shm|tcp] [--json] [--out PATH]\n  \
+         stapctl cluster [--transport shm|tcp|inproc] [--cpis K] [--seed S] [--nodes N0,..,N6] [--relaunches R] [--json] [--out PATH]\n  \
          stapctl chaos [--seed S] [--cpis K] [--checkpoint-every C] [--deadline D] [--expect recovered>=1,quarantined=1] [--json] [--out PATH]"
     );
     ExitCode::from(2)
@@ -126,6 +139,17 @@ fn parse_counts(s: &str) -> Result<[usize; 7], String> {
     Ok([
         parts[0], parts[1], parts[2], parts[3], parts[4], parts[5], parts[6],
     ])
+}
+
+fn parse_transport(
+    flags: &HashMap<String, String>,
+    default: stap::mp::TransportKind,
+) -> Result<stap::mp::TransportKind, String> {
+    flags
+        .get("transport")
+        .map(|s| s.parse().map_err(|e| format!("--transport: {e}")))
+        .transpose()
+        .map(|t| t.unwrap_or(default))
 }
 
 fn print_sim(r: &stap::sim::SimResult, assign: &NodeAssignment) {
@@ -275,10 +299,8 @@ fn cmd_detect(flags: HashMap<String, String>) -> Result<(), String> {
 }
 
 fn cmd_faults(flags: HashMap<String, String>) -> Result<(), String> {
-    use stap::mp::FaultPlan;
-    use stap::pipeline::assignment::{DOPPLER, EASY_BF, EASY_WT};
-    use stap::pipeline::msg::{tag, Edge};
-    use stap::pipeline::{CpiOutcome, RuntimePolicy};
+    use stap::pipeline::assignment::EASY_WT;
+    use stap::pipeline::CpiOutcome;
 
     let cpis: usize = flags
         .get("cpis")
@@ -303,40 +325,39 @@ fn cmd_faults(flags: HashMap<String, String>) -> Result<(), String> {
     if drop_cpi >= cpis || stall_cpi >= cpis {
         return Err(format!("--drop-cpi/--stall-cpi must be < --cpis ({cpis})"));
     }
+    let transport = parse_transport(&flags, stap::mp::TransportKind::InProc)?;
 
-    let params = StapParams::reduced();
-    let scenario = Scenario::reduced(seed);
-    let assign = NodeAssignment::tiny();
     // The campaign of the acceptance spec: (a) one weight-task stall
     // long enough that every later weight misses its grace deadline
     // until the run drains, and (b) one dropped Doppler->beamform data
     // message. Everything is addressed by (rank, tagged edge, CPI), so
-    // the outcome classification is exactly reproducible.
+    // the outcome classification is exactly reproducible — on every
+    // transport: `cluster::build_runner` reconstructs this exact plan
+    // (same edge timeouts, same corruptor) in each rank process, so the
+    // classification parity across inproc/shm/tcp is a testable gate.
+    let assign = NodeAssignment::tiny();
     let easy_wt_rank = assign.rank_range(EASY_WT).start;
-    let doppler0 = assign.rank_range(DOPPLER).start;
-    let easy_bf_rank = assign.rank_range(EASY_BF).start;
-    let plan = FaultPlan::seeded(seed)
-        .stall_rank(easy_wt_rank, stall_cpi as u64, Duration::from_secs(2))
-        .drop_message(doppler0, easy_bf_rank, tag(Edge::DopplerToEasyBf, drop_cpi));
-    let policy = RuntimePolicy {
-        fault_tolerant: true,
-        edge_timeout: Duration::from_millis(200),
-        weight_grace: Duration::from_millis(50),
-        max_retries: 1,
-        screen_nonfinite: true,
-        ..RuntimePolicy::default()
-    };
-    let runner = ParallelStap::for_scenario(params, assign, &scenario)
-        .with_policy(policy)
-        .with_faults(plan);
     println!(
-        "fault campaign: {cpis} reduced CPIs, drop Doppler->easyBF at CPI {drop_cpi}, \
-         stall easy-weight rank {easy_wt_rank} for 2 s at CPI {stall_cpi}"
+        "fault campaign: {cpis} reduced CPIs over {}, drop Doppler->easyBF at CPI {drop_cpi}, \
+         stall easy-weight rank {easy_wt_rank} for 2 s at CPI {stall_cpi}",
+        transport.name()
     );
-    let data: Vec<_> = scenario.stream(cpis).map(|(_, _, c)| c).collect();
-    let out = runner
-        .try_run(data)
-        .map_err(|e| format!("campaign failed: {e}"))?;
+    let cfg = stap_bench::cluster::ClusterConfig {
+        transport,
+        nodes: assign.0,
+        cpis,
+        seed,
+        two_beam: false,
+        tracing: false,
+        faults: Some(stap_bench::cluster::FaultSpec {
+            drop_cpi,
+            stall_cpi,
+        }),
+        exe: std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?,
+        child_env: Vec::new(),
+    };
+    let out =
+        stap_bench::cluster::run_cluster(&cfg).map_err(|e| format!("campaign failed: {e}"))?;
 
     let h = &out.timings.health;
     let (degraded, dropped) = (h.degraded_cpis, h.dropped_cpis);
@@ -350,6 +371,7 @@ fn cmd_faults(flags: HashMap<String, String>) -> Result<(), String> {
         };
         let j = Json::obj([
             ("cpis", Json::Num(cpis as f64)),
+            ("transport", Json::Str(transport.name().to_string())),
             ("degraded_cpis", Json::Num(degraded as f64)),
             ("dropped_cpis", Json::Num(dropped as f64)),
             (
@@ -461,6 +483,9 @@ fn cmd_bench(flags: HashMap<String, String>) -> Result<(), String> {
     }
     if flags.contains_key("assign") {
         return cmd_bench_assign(flags);
+    }
+    if flags.contains_key("transport") {
+        return cmd_bench_transport(flags);
     }
     let quick = flags.contains_key("quick");
     let pairs = kernels::measure(quick);
@@ -654,6 +679,140 @@ fn cmd_bench_assign(flags: HashMap<String, String>) -> Result<(), String> {
     std::fs::write(out_path, j.to_string_pretty()).map_err(|e| format!("write {out_path}: {e}"))?;
     println!("wrote {out_path}");
     Ok(())
+}
+
+/// `stapctl bench --transport`: measure canonical-config pipeline
+/// throughput over every transport (inproc threads, shm processes, tcp
+/// processes), assert the detections digest agrees across all three,
+/// and gate `BENCH_transport.json` with the same discipline as the
+/// kernel bench: host-metadata mismatch warns and skips, a >10%
+/// throughput regression against the recorded baseline refuses to
+/// overwrite it unless `--force`.
+fn cmd_bench_transport(flags: HashMap<String, String>) -> Result<(), String> {
+    use stap::mp::TransportKind;
+    use stap::pipeline::wire::detections_digest;
+    use stap_bench::cluster::{run_cluster, ClusterConfig};
+    use stap_bench::kernels;
+    use stap_util::Json;
+
+    let quick = flags.contains_key("quick");
+    let cpis = if quick { 4 } else { 8 };
+    println!("transport bench: canonical reduced config, {cpis} CPIs per transport...");
+    let mut rows: Vec<(&'static str, f64, f64, f64)> = Vec::new();
+    let mut digests: Vec<u64> = Vec::new();
+    for t in TransportKind::ALL {
+        let mut cfg = ClusterConfig::canonical(t);
+        cfg.cpis = cpis;
+        let t0 = std::time::Instant::now();
+        let out = run_cluster(&cfg)?;
+        let wall = t0.elapsed().as_secs_f64();
+        let digest = detections_digest(&out.detections);
+        // Gate on wall-clock CPI/s (stable, includes process spawn);
+        // the steady-state rate rides along as information only — its
+        // measurement window is too small at bench CPI counts to gate.
+        let wall_thr = cpis as f64 / wall.max(1e-9);
+        println!(
+            "  {:<8} {wall_thr:>8.2} CPI/s wall (incl. spawn)  {:>10.2} CPI/s steady-state  digest {digest:016x}",
+            t.name(),
+            out.timings.measured_throughput,
+        );
+        rows.push((t.name(), wall_thr, out.timings.measured_throughput, wall));
+        digests.push(digest);
+    }
+    if digests.windows(2).any(|w| w[0] != w[1]) {
+        return Err("transports disagree on the detections digest — parity broken".into());
+    }
+
+    let out_path = flags
+        .get("out")
+        .map(String::as_str)
+        .unwrap_or("BENCH_transport.json");
+    // Same gating discipline as the kernel bench: full-mode runs must
+    // not silently lose >10% throughput on any transport vs the
+    // recorded baseline; cross-host baselines only warn.
+    if !quick && !flags.contains_key("force") {
+        if let Ok(baseline) = std::fs::read_to_string(out_path) {
+            if let Some(why) = kernels::host_mismatch(&baseline) {
+                eprintln!(
+                    "WARNING: {why}; skipping the >10% regression gate \
+                     (timings are not comparable across SIMD backends)"
+                );
+            } else {
+                let slow = transport_regressions(&rows, &baseline, 0.10)?;
+                if !slow.is_empty() {
+                    for line in &slow {
+                        eprintln!("REGRESSION {line}");
+                    }
+                    return Err(format!(
+                        "{} transport(s) regressed >10% vs the recorded {out_path}; \
+                         baseline left untouched (re-run with --force to accept)",
+                        slow.len()
+                    ));
+                }
+            }
+        }
+    }
+    let j = Json::obj([
+        ("quick", Json::Bool(quick)),
+        ("cpis", Json::Num(cpis as f64)),
+        (
+            "detections_digest",
+            Json::Str(format!("{:016x}", digests[0])),
+        ),
+        ("host", kernels::host_metadata()),
+        (
+            "transports",
+            Json::arr(rows.iter().map(|(name, thr, steady, wall)| {
+                Json::obj([
+                    ("name", Json::Str((*name).to_string())),
+                    ("cpis_per_sec", Json::Num(*thr)),
+                    ("steady_cpi_s", Json::Num(*steady)),
+                    ("wall_s", Json::Num(*wall)),
+                ])
+            })),
+        ),
+    ]);
+    if flags.contains_key("json") {
+        println!("{}", j.to_string_pretty());
+    }
+    std::fs::write(out_path, j.to_string_pretty()).map_err(|e| format!("write {out_path}: {e}"))?;
+    println!("wrote {out_path}");
+    Ok(())
+}
+
+/// Compares measured transport throughputs against a recorded
+/// `BENCH_transport.json` baseline; returns one line per transport
+/// whose wall-clock CPI/s fell more than `tol` below the baseline.
+/// Quick-mode baselines time too little to gate against and pass.
+fn transport_regressions(
+    rows: &[(&'static str, f64, f64, f64)],
+    baseline: &str,
+    tol: f64,
+) -> Result<Vec<String>, String> {
+    use stap_util::Json;
+    let doc = Json::parse(baseline).map_err(|e| format!("parse baseline: {e}"))?;
+    if matches!(doc.get("quick"), Some(Json::Bool(true))) {
+        return Ok(Vec::new());
+    }
+    let Some(Json::Arr(base)) = doc.get("transports") else {
+        return Err("baseline has no transports array".into());
+    };
+    let mut slow = Vec::new();
+    for (name, thr, _, _) in rows {
+        for b in base {
+            if !matches!(b.get("name"), Some(Json::Str(n)) if n.as_str() == *name) {
+                continue;
+            }
+            if let Some(Json::Num(old)) = b.get("cpis_per_sec") {
+                if *thr < old * (1.0 - tol) {
+                    slow.push(format!(
+                        "{name}: {old:.2} CPI/s recorded, {thr:.2} CPI/s measured"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(slow)
 }
 
 /// `stapctl assign`: enumerate (or heuristically search) the
@@ -1075,21 +1234,39 @@ fn cmd_trace(flags: HashMap<String, String>) -> Result<(), String> {
     // The canonical tracing configuration: the reduced scenario with a
     // two-azimuth revisit cycle, so the temporal weight dependency
     // (weights applied `beams` CPIs later) is exercised without the
-    // paper's full five-beam cycle.
+    // paper's full five-beam cycle. All three transports run through
+    // `cluster::run_cluster` (inproc short-circuits to the thread
+    // runner), so the detections digest below is directly comparable
+    // across `--transport` values — the CI parity gate's whole basis.
+    let transport = parse_transport(&flags, stap::mp::TransportKind::InProc)?;
     let params = StapParams::reduced();
     let mut scenario = Scenario::reduced(seed);
     scenario.transmit_beams = vec![-20.0, 20.0];
 
-    let runner =
-        ParallelStap::for_scenario(params.clone(), NodeAssignment(nodes), &scenario).with_tracing();
+    let cluster_cfg = stap_bench::cluster::ClusterConfig {
+        transport,
+        nodes,
+        cpis,
+        seed,
+        two_beam: true,
+        tracing: true,
+        faults: None,
+        exe: std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?,
+        child_env: Vec::new(),
+    };
     println!(
-        "tracing {cpis} reduced CPIs (2-azimuth revisit) on {} rank threads...",
-        runner.assign.total()
+        "tracing {cpis} reduced CPIs (2-azimuth revisit) on {} rank {} over {}...",
+        NodeAssignment(nodes).total(),
+        if transport == stap::mp::TransportKind::InProc {
+            "threads"
+        } else {
+            "processes"
+        },
+        transport.name()
     );
-    let data: Vec<_> = scenario.stream(cpis).map(|(_, _, c)| c).collect();
-    let out = runner
-        .try_run(data)
+    let out = stap_bench::cluster::run_cluster(&cluster_cfg)
         .map_err(|e| format!("traced run failed: {e}"))?;
+    let digest = stap::pipeline::wire::detections_digest(&out.detections);
     let trace = out.trace.as_ref().expect("tracing was enabled");
 
     // Artifact 1: Chrome trace-event JSON (Perfetto / chrome://tracing).
@@ -1122,6 +1299,8 @@ fn cmd_trace(flags: HashMap<String, String>) -> Result<(), String> {
             ("trace_file", Json::Str(out_path.to_string())),
             ("trace_events", Json::Num(events as f64)),
             ("cpis", Json::Num(cpis as f64)),
+            ("transport", Json::Str(transport.name().to_string())),
+            ("detections_digest", Json::Str(format!("{digest:016x}"))),
             (
                 "throughput_cpi_s",
                 Json::Num(out.timings.measured_throughput),
@@ -1136,8 +1315,82 @@ fn cmd_trace(flags: HashMap<String, String>) -> Result<(), String> {
         println!();
         print!("{}", render_reconciliation(&rec));
         println!();
+        println!("detections digest {digest:016x} (bit-exact across transports)");
     }
     println!("wrote {out_path} ({events} events; load in Perfetto or chrome://tracing)");
+    Ok(())
+}
+
+/// `stapctl cluster`: run the canonical reduced pipeline as a real
+/// multi-process cluster — the parent holds the driver rank plus the
+/// transport bootstrap (shared ring region for `shm`, rendezvous
+/// listener for `tcp`), and each task rank is a re-execed `stapctl
+/// _rank` child process — under relaunch supervision, then report
+/// throughput and the detections digest the CI parity gate compares.
+fn cmd_cluster(flags: HashMap<String, String>) -> Result<(), String> {
+    use stap::pipeline::wire::detections_digest;
+    use stap_bench::cluster::{run_supervised, ClusterConfig};
+    use stap_util::Json;
+
+    let transport = parse_transport(&flags, stap::mp::TransportKind::Shm)?;
+    let mut cfg = ClusterConfig::canonical(transport);
+    if let Some(c) = flags.get("cpis") {
+        cfg.cpis = c.parse().map_err(|e| format!("--cpis: {e}"))?;
+    }
+    if let Some(s) = flags.get("seed") {
+        cfg.seed = s.parse().map_err(|e| format!("--seed: {e}"))?;
+    }
+    if let Some(n) = flags.get("nodes") {
+        cfg.nodes = parse_counts(n)?;
+    }
+    if cfg.cpis == 0 {
+        return Err("--cpis must be >= 1".to_string());
+    }
+    let max_relaunches: usize = flags
+        .get("relaunches")
+        .map(|r| r.parse().map_err(|e| format!("--relaunches: {e}")))
+        .transpose()?
+        .unwrap_or(0);
+    let ranks = NodeAssignment(cfg.nodes).total();
+    println!(
+        "cluster: {} reduced CPIs on {ranks} task ranks + driver over {}...",
+        cfg.cpis,
+        transport.name()
+    );
+    let t0 = std::time::Instant::now();
+    let (out, relaunches) = run_supervised(&cfg, max_relaunches)?;
+    let wall = t0.elapsed().as_secs_f64();
+    let digest = detections_digest(&out.detections);
+
+    let want_json = flags.contains_key("json") || flags.contains_key("out");
+    if want_json {
+        let j = Json::obj([
+            ("transport", Json::Str(transport.name().to_string())),
+            ("cpis", Json::Num(cfg.cpis as f64)),
+            ("ranks", Json::Num(ranks as f64)),
+            ("relaunches", Json::Num(relaunches as f64)),
+            ("wall_s", Json::Num(wall)),
+            (
+                "throughput_cpi_s",
+                Json::Num(out.timings.measured_throughput),
+            ),
+            ("latency_s", Json::Num(out.timings.measured_latency)),
+            ("detections_digest", Json::Str(format!("{digest:016x}"))),
+        ]);
+        if let Some(path) = flags.get("out") {
+            std::fs::write(path, j.to_string_pretty()).map_err(|e| format!("write {path}: {e}"))?;
+            println!("wrote {path}");
+        }
+        if flags.contains_key("json") {
+            println!("{}", j.to_string_pretty());
+        }
+    } else {
+        println!(
+            "throughput {:.2} CPI/s, latency {:.3} s ({wall:.2} s wall incl. process spawn)",
+            out.timings.measured_throughput, out.timings.measured_latency
+        );
+        println!("detections digest {digest:016x}   relaunches {relaunches}");
+    }
     Ok(())
 }
 
@@ -1146,11 +1399,13 @@ fn main() -> ExitCode {
     let Some(cmd) = args.first() else {
         return usage();
     };
-    // `bench --streams` is a selector (boolean); `serve`/`loadgen`
-    // take `--streams N` as a value.
+    // `bench --streams`/`--transport` are selectors (boolean);
+    // `serve`/`loadgen` take `--streams N` and `trace`/`faults`/
+    // `cluster` take `--transport KIND` as values.
     let bools: &[&str] = match cmd.as_str() {
-        "bench" => &["quick", "json", "force", "streams", "assign"],
-        "serve" | "loadgen" | "assign" | "chaos" => &["json"],
+        "bench" => &["quick", "json", "force", "streams", "assign", "transport"],
+        "serve" | "loadgen" | "assign" | "chaos" | "cluster" => &["json"],
+        "_rank" => &["two-beam", "trace"],
         _ => &["contention", "full", "json", "quick", "force"],
     };
     let flags = match parse_flags(&args[1..], bools) {
@@ -1173,6 +1428,9 @@ fn main() -> ExitCode {
         "loadgen" => cmd_serve_session(flags, true),
         "trace" => cmd_trace(flags),
         "chaos" => cmd_chaos(flags),
+        "cluster" => cmd_cluster(flags),
+        // Hidden: the child-rank re-exec entry `cluster` spawns.
+        "_rank" => stap_bench::cluster::child_main(&flags),
         _ => return usage(),
     };
     match result {

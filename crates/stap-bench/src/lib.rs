@@ -4,6 +4,7 @@
 
 pub mod alloc_count;
 pub mod assign;
+pub mod cluster;
 pub mod kernels;
 pub mod streams;
 

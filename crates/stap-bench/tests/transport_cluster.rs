@@ -1,0 +1,141 @@
+//! Cross-transport integration tests for the multi-process cluster
+//! launcher: the same canonical configuration must produce bit-identical
+//! detections, the same trace event multiset, and the same fault
+//! classification whether the ranks are threads over channels (inproc)
+//! or separate OS processes over shared memory / loopback TCP — and a
+//! killed rank process must be recovered by the relaunch supervisor.
+//!
+//! Child ranks re-exec the real `stapctl` binary (Cargo builds it for
+//! integration tests and exposes the path via `CARGO_BIN_EXE_stapctl`),
+//! so these tests exercise exactly the code path `stapctl cluster` and
+//! the CI transport matrix run.
+
+use stap::mp::{TraceKind, TransportKind, CTRL_RESERVED_BASE};
+use stap::pipeline::wire::detections_digest;
+use stap::pipeline::PipelineOutput;
+use stap_bench::cluster::{run_cluster, run_supervised, ClusterConfig, FaultSpec};
+use std::path::PathBuf;
+
+fn canonical(transport: TransportKind) -> ClusterConfig {
+    let mut cfg = ClusterConfig::canonical(transport);
+    cfg.exe = PathBuf::from(env!("CARGO_BIN_EXE_stapctl"));
+    cfg
+}
+
+#[test]
+fn detections_bit_identical_across_transports() {
+    let base = run_cluster(&canonical(TransportKind::InProc)).expect("inproc run");
+    let want = detections_digest(&base.detections);
+    for transport in [TransportKind::Shm, TransportKind::Tcp] {
+        let out = run_cluster(&canonical(transport)).expect(transport.name());
+        assert_eq!(
+            out.detections,
+            base.detections,
+            "{} detections differ from inproc",
+            transport.name()
+        );
+        assert_eq!(detections_digest(&out.detections), want);
+    }
+}
+
+/// The application-level trace events — sends and receives of tagged
+/// pipeline messages, with their on-wire byte sizes — as a sorted
+/// multiset. Wall-clock spans and wait events differ run to run, and
+/// control traffic (barriers, goodbyes) differs by fabric, but *which*
+/// messages flow, between whom, and how many bytes each carries is a
+/// deterministic property of the configuration alone.
+fn data_event_multiset(out: &PipelineOutput) -> Vec<(usize, u8, usize, u64, u64)> {
+    let trace = out.trace.as_ref().expect("tracing enabled");
+    let mut events: Vec<(usize, u8, usize, u64, u64)> = trace
+        .comm
+        .iter()
+        .flat_map(|rt| {
+            rt.events.iter().filter_map(move |e| {
+                let kind = match e.kind {
+                    TraceKind::Send => 0u8,
+                    TraceKind::Recv => 1,
+                    _ => return None,
+                };
+                (e.tag < CTRL_RESERVED_BASE).then_some((rt.rank, kind, e.peer, e.tag, e.bytes))
+            })
+        })
+        .collect();
+    events.sort_unstable();
+    events
+}
+
+#[test]
+fn trace_event_multiset_deterministic_across_transports() {
+    let mut cfg = canonical(TransportKind::InProc);
+    cfg.tracing = true;
+    let base = data_event_multiset(&run_cluster(&cfg).expect("inproc run"));
+    assert!(!base.is_empty(), "traced run recorded no data events");
+    for transport in [TransportKind::Shm, TransportKind::Tcp] {
+        let mut cfg = canonical(transport);
+        cfg.tracing = true;
+        let events = data_event_multiset(&run_cluster(&cfg).expect(transport.name()));
+        assert_eq!(
+            events,
+            base,
+            "{} trace event multiset differs from inproc",
+            transport.name()
+        );
+    }
+}
+
+#[test]
+fn fault_classification_parity_across_transports() {
+    let campaign = |transport| {
+        let mut cfg = canonical(transport);
+        cfg.two_beam = false;
+        cfg.cpis = 10;
+        cfg.seed = 7;
+        cfg.faults = Some(FaultSpec {
+            drop_cpi: 2,
+            stall_cpi: 6,
+        });
+        cfg
+    };
+    let base = run_cluster(&campaign(TransportKind::InProc)).expect("inproc campaign");
+    assert_eq!(base.timings.health.degraded_cpis, 3);
+    assert_eq!(base.timings.health.dropped_cpis, 1);
+    for transport in [TransportKind::Shm, TransportKind::Tcp] {
+        let out = run_cluster(&campaign(transport)).expect(transport.name());
+        assert_eq!(
+            out.timings.outcomes,
+            base.timings.outcomes,
+            "{} per-CPI fault classification differs from inproc",
+            transport.name()
+        );
+        assert_eq!(out.timings.health.degraded_cpis, 3);
+        assert_eq!(out.timings.health.dropped_cpis, 1);
+    }
+}
+
+#[test]
+fn killed_rank_process_is_relaunched_and_completes() {
+    let marker = std::env::temp_dir().join(format!("stap_abort_once_{}", std::process::id()));
+    let _ = std::fs::remove_file(&marker);
+
+    // Rank 3 dies on the first launch (before it even attaches to the
+    // ring region); the supervisor must detect the dead process, poison
+    // the parent's driver comm so it cannot hang, tear the world down
+    // and relaunch — and the relaunched run must still produce the
+    // bit-exact canonical detections.
+    let mut cfg = canonical(TransportKind::Shm);
+    cfg.child_env = vec![(
+        "STAP_TEST_ABORT_ONCE".to_string(),
+        format!("3:{}", marker.display()),
+    )];
+    let result = run_supervised(&cfg, 2);
+    let _ = std::fs::remove_file(&marker);
+    let (out, relaunches) = result.expect("supervised run");
+    assert_eq!(relaunches, 1, "exactly one relaunch after the rank kill");
+
+    let inproc = run_cluster(&canonical(TransportKind::InProc)).expect("inproc run");
+    assert_eq!(
+        detections_digest(&out.detections),
+        detections_digest(&inproc.detections),
+        "post-recovery detections must match the clean run bit-for-bit"
+    );
+}

@@ -1,9 +1,16 @@
 //! Per-rank communicator with tag/source matching.
 
+use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use crate::transport::{
+    ctrl_gen, LinkError, WireCodec, WireFrame, WireLink, CTRL_BARRIER_ENTER, CTRL_BARRIER_RELEASE,
+    CTRL_GOODBYE, CTRL_RESERVED_BASE,
+};
 
 /// Message tag. The STAP pipeline encodes `(task pair, CPI index, phase)`
 /// into tags so successive CPIs never cross-match.
@@ -156,6 +163,78 @@ impl<M> Mailbox<M> {
     }
 }
 
+/// The in-process channel fabric: one mpsc channel per rank, shared
+/// barrier/liveness/poison state. This is the original (and default)
+/// backend; it moves typed messages with no serialization.
+pub(crate) struct LocalFabric<M> {
+    pub(crate) senders: Arc<Vec<Sender<Envelope<M>>>>,
+    pub(crate) inbox: Receiver<Envelope<M>>,
+    pub(crate) barrier: Arc<std::sync::Barrier>,
+    /// Number of endpoints still alive. Every rank shares one `Arc` to the
+    /// sender table, so a blocked receiver keeps its own channel open;
+    /// disconnect is therefore detected by polling this counter instead
+    /// of relying on channel closure.
+    pub(crate) alive: Arc<AtomicUsize>,
+    /// Set when any rank panicked (see `World::run*`): a poisoned world
+    /// can never complete its communication pattern, so receivers fail
+    /// fast with `Disconnected` instead of waiting on a dead peer.
+    pub(crate) poisoned: Arc<AtomicBool>,
+}
+
+/// Mutable state of a wire-backed endpoint. Wrapped in a `RefCell` so
+/// `Comm::send(&self)` keeps its signature; `Comm` is owned by one
+/// thread, so no borrow is ever contended.
+pub(crate) struct WireState<M> {
+    pub(crate) link: Box<dyn WireLink>,
+    pub(crate) codec: WireCodec<M>,
+    /// Reused encode scratch so steady-state sends do not allocate.
+    encode_buf: Vec<u8>,
+    /// Self-sends loop back here without touching the link (mirroring
+    /// the channel backend, which also skips serialization for them).
+    loopback: VecDeque<Envelope<M>>,
+    /// Goodbye control frames received; `size - 1` of them means every
+    /// peer exited cleanly (the wire analogue of the `alive` counter).
+    goodbyes: usize,
+    /// Completed barrier count; stamps control frames so a release from
+    /// barrier N can never satisfy barrier N+1.
+    barrier_gen: u64,
+    /// Barrier-enter frames received (rank 0 only): `(src, gen)`.
+    barrier_enters: Vec<(usize, u64)>,
+    /// Barrier-release generations received ahead of the wait loop.
+    barrier_releases: Vec<u64>,
+    /// The link reported `Disconnected`; no frame can ever arrive.
+    link_down: bool,
+}
+
+/// A multi-process fabric: a [`WireLink`] moving encoded frames plus
+/// the control-plane state `Comm` layers on top.
+pub(crate) struct WireFabric<M> {
+    pub(crate) size: usize,
+    pub(crate) state: RefCell<WireState<M>>,
+    /// External kill switch: a supervisor (e.g. the cluster parent after
+    /// a child process dies) sets this to turn blocked receives into
+    /// `Disconnected`, mirroring world poisoning on the local fabric.
+    pub(crate) poisoned: Arc<AtomicBool>,
+}
+
+/// Which fabric this endpoint runs on. Everything above this enum —
+/// mailbox, matching, fault injection, tracing — is shared, which is
+/// what makes behavior identical across transports.
+pub(crate) enum Fabric<M> {
+    Local(LocalFabric<M>),
+    Wire(WireFabric<M>),
+}
+
+/// One step of the fabric poll loop.
+enum Step<M> {
+    /// A data envelope arrived.
+    Got(Envelope<M>),
+    /// Nothing arrived within the chunk.
+    Idle,
+    /// The underlying channel/link can never deliver again.
+    Down,
+}
+
 /// One rank's endpoint into a [`crate::World`].
 ///
 /// Sending is asynchronous (enqueue-and-return); receiving blocks until a
@@ -163,21 +242,15 @@ impl<M> Mailbox<M> {
 /// arrivals are buffered internally, mirroring MPI's unexpected-message
 /// queue, so a rank may receive tag `B` before tag `A` even when `A`
 /// arrived first.
+///
+/// Endpoints are fabric-agnostic: [`crate::World`] builds them over
+/// in-process channels, [`Comm::over_wire`] builds them over a
+/// [`WireLink`] (shared memory or TCP). All matching, buffering, fault
+/// injection and tracing behavior is identical across fabrics.
 pub struct Comm<M> {
     pub(crate) rank: usize,
-    pub(crate) senders: Arc<Vec<Sender<Envelope<M>>>>,
-    pub(crate) inbox: Receiver<Envelope<M>>,
+    pub(crate) fabric: Fabric<M>,
     pub(crate) pending: Mailbox<M>,
-    pub(crate) barrier: Arc<std::sync::Barrier>,
-    /// Number of endpoints still alive. Every rank shares one `Arc` to the
-    /// sender table, so a blocked receiver keeps its own channel open;
-    /// disconnect is therefore detected by polling this counter instead
-    /// of relying on channel closure.
-    pub(crate) alive: Arc<std::sync::atomic::AtomicUsize>,
-    /// Set when any rank panicked (see `World::run*`): a poisoned world
-    /// can never complete its communication pattern, so receivers fail
-    /// fast with `Disconnected` instead of waiting on a dead peer.
-    pub(crate) poisoned: Arc<std::sync::atomic::AtomicBool>,
     /// Fault-injection state (see [`crate::fault`]). `None` in production
     /// worlds: the send hot path then pays exactly one branch.
     pub(crate) faults: Option<crate::fault::FaultState<M>>,
@@ -194,11 +267,98 @@ impl<M> Drop for Comm<M> {
         if let Some(t) = &self.tracer {
             t.flush(self.rank);
         }
-        self.alive.fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+        match &self.fabric {
+            Fabric::Local(l) => {
+                l.alive.fetch_sub(1, Ordering::SeqCst);
+            }
+            Fabric::Wire(w) => {
+                let mut st = w.state.borrow_mut();
+                // A panicking rank must *not* wave goodbye: peers would
+                // mistake the death for a clean drain. Process exit (TCP
+                // EOF) or the supervisor's poison handle reports it.
+                if !st.link_down && !std::thread::panicking() {
+                    for dst in (0..w.size).filter(|&d| d != self.rank) {
+                        st.link.send_frame(dst, CTRL_GOODBYE, &[]);
+                    }
+                }
+                st.link.close();
+            }
+        }
     }
 }
 
 impl<M: Send> Comm<M> {
+    /// Builds a standalone endpoint over a wire transport. The link
+    /// determines rank and world size; `codec` turns messages into
+    /// frames. Install fault plans and tracing with
+    /// [`Comm::install_fault_plan`] / [`Comm::install_tracing`].
+    pub fn over_wire(link: Box<dyn WireLink>, codec: WireCodec<M>) -> Comm<M> {
+        let (rank, size) = (link.rank(), link.size());
+        assert!(rank < size, "link rank {rank} outside world of {size}");
+        Comm {
+            rank,
+            fabric: Fabric::Wire(WireFabric {
+                size,
+                state: RefCell::new(WireState {
+                    link,
+                    codec,
+                    encode_buf: Vec::new(),
+                    loopback: VecDeque::new(),
+                    goodbyes: 0,
+                    barrier_gen: 0,
+                    barrier_enters: Vec::new(),
+                    barrier_releases: Vec::new(),
+                    link_down: false,
+                }),
+                poisoned: Arc::new(AtomicBool::new(false)),
+            }),
+            pending: Mailbox::default(),
+            faults: None,
+            tracer: None,
+        }
+    }
+
+    /// The poison flag peers/supervisors can set to turn this endpoint's
+    /// blocked receives into `Disconnected`. On the local fabric this is
+    /// the world-shared flag `World::run*` sets on a rank panic; on wire
+    /// fabrics it is per-endpoint (the cluster parent holds it and fires
+    /// it when a rank process dies).
+    pub fn poison_handle(&self) -> Arc<AtomicBool> {
+        match &self.fabric {
+            Fabric::Local(l) => Arc::clone(&l.poisoned),
+            Fabric::Wire(w) => Arc::clone(&w.poisoned),
+        }
+    }
+
+    /// Installs a deterministic fault plan on this endpoint (the
+    /// standalone analogue of [`crate::World::with_faults`], for wire
+    /// endpoints that never pass through a `World`).
+    pub fn install_fault_plan(
+        &mut self,
+        plan: crate::fault::FaultPlan,
+        corruptor: Option<crate::fault::Corruptor<M>>,
+    ) where
+        M: Clone,
+    {
+        let mut state = crate::fault::FaultState::new(Arc::new(plan), None);
+        if let Some(c) = corruptor {
+            state.set_corruptor(c);
+        }
+        self.faults = Some(state);
+    }
+
+    /// Installs span tracing on this endpoint (the standalone analogue
+    /// of [`crate::World::with_tracing`]). Events flush into `sink` when
+    /// the endpoint drops.
+    pub fn install_tracing(
+        &mut self,
+        epoch: Instant,
+        sink: &crate::trace::TraceSink,
+        bytes_of: fn(&M) -> u64,
+    ) {
+        self.tracer = Some(crate::trace::CommTracer::new(epoch, sink.clone(), bytes_of));
+    }
+
     /// This endpoint's rank in `0..size()`.
     pub fn rank(&self) -> usize {
         self.rank
@@ -206,7 +366,10 @@ impl<M: Send> Comm<M> {
 
     /// Number of ranks in the world.
     pub fn size(&self) -> usize {
-        self.senders.len()
+        match &self.fabric {
+            Fabric::Local(l) => l.senders.len(),
+            Fabric::Wire(w) => w.size,
+        }
     }
 
     /// Asynchronously sends `msg` to `dst` with `tag`. Never blocks; the
@@ -215,6 +378,12 @@ impl<M: Send> Comm<M> {
     /// pipeline's drain phase relies on this).
     pub fn send(&self, dst: usize, tag: Tag, msg: M) {
         assert!(dst < self.size(), "send to rank {dst} of {}", self.size());
+        if matches!(self.fabric, Fabric::Wire(_)) {
+            assert!(
+                tag < CTRL_RESERVED_BASE,
+                "tag {tag:#x} is reserved for the wire control plane"
+            );
+        }
         if let Some(t) = &self.tracer {
             t.recorder
                 .record_instant(crate::trace::TraceKind::Send, dst, tag, t.bytes(&msg));
@@ -237,11 +406,31 @@ impl<M: Send> Comm<M> {
     /// Enqueues an envelope directly, bypassing the fault plane. Used for
     /// delayed-message release and duplicate delivery.
     pub(crate) fn raw_send(&self, dst: usize, tag: Tag, msg: M) {
-        let _ = self.senders[dst].send(Envelope {
-            src: self.rank,
-            tag,
-            msg,
-        });
+        match &self.fabric {
+            Fabric::Local(l) => {
+                let _ = l.senders[dst].send(Envelope {
+                    src: self.rank,
+                    tag,
+                    msg,
+                });
+            }
+            Fabric::Wire(w) => {
+                let mut st = w.state.borrow_mut();
+                if dst == self.rank {
+                    st.loopback.push_back(Envelope {
+                        src: self.rank,
+                        tag,
+                        msg,
+                    });
+                    return;
+                }
+                let mut buf = std::mem::take(&mut st.encode_buf);
+                buf.clear();
+                (st.codec.encode)(&msg, &mut buf);
+                st.link.send_frame(dst, tag, &buf);
+                st.encode_buf = buf;
+            }
+        }
     }
 
     /// Blocking receive of a message from `src` with `tag`.
@@ -310,26 +499,91 @@ impl<M: Send> Comm<M> {
         }
     }
 
+    /// Waits up to `chunk` for one envelope from the fabric, absorbing
+    /// wire control frames along the way.
+    fn poll_step(&self, chunk: Duration) -> Step<M> {
+        match &self.fabric {
+            Fabric::Local(l) => match l.inbox.recv_timeout(chunk) {
+                Ok(e) => Step::Got(e),
+                Err(RecvTimeoutError::Timeout) => Step::Idle,
+                Err(RecvTimeoutError::Disconnected) => Step::Down,
+            },
+            Fabric::Wire(w) => {
+                let mut st = w.state.borrow_mut();
+                if let Some(e) = st.loopback.pop_front() {
+                    return Step::Got(e);
+                }
+                if st.link_down {
+                    return Step::Down;
+                }
+                let deadline = Instant::now() + chunk;
+                let mut first = true;
+                loop {
+                    let now = Instant::now();
+                    if !first && now >= deadline {
+                        return Step::Idle;
+                    }
+                    first = false;
+                    let remaining = deadline.saturating_duration_since(now);
+                    match st.link.recv_frame(remaining) {
+                        Ok(f) => {
+                            if let Some(e) = st.classify(f) {
+                                return Step::Got(e);
+                            }
+                            // Control frame absorbed; keep pulling.
+                        }
+                        Err(LinkError::Timeout) => return Step::Idle,
+                        Err(LinkError::Disconnected) => {
+                            st.link_down = true;
+                            return Step::Down;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// True when no peer can ever send to this endpoint again.
+    fn disconnected_now(&self) -> bool {
+        match &self.fabric {
+            Fabric::Local(l) => {
+                l.poisoned.load(Ordering::SeqCst) || l.alive.load(Ordering::SeqCst) <= 1
+            }
+            Fabric::Wire(w) => {
+                w.poisoned.load(Ordering::SeqCst) || {
+                    let st = w.state.borrow();
+                    st.link_down || st.goodbyes + 1 >= w.size
+                }
+            }
+        }
+    }
+
+    /// Non-blocking pull of one envelope, if immediately available.
+    fn try_next(&self) -> Option<Envelope<M>> {
+        match self.poll_step(Duration::ZERO) {
+            Step::Got(e) => Some(e),
+            _ => None,
+        }
+    }
+
     /// Waits for the next envelope, detecting the "everyone else exited"
-    /// condition via the shared liveness counter (see the `alive` field).
+    /// condition via the fabric's liveness signal (the shared `alive`
+    /// counter in-process; goodbye frames / link teardown on the wire).
     fn blocking_next(&mut self) -> Result<Envelope<M>, RecvError> {
-        use std::sync::atomic::Ordering;
         loop {
-            match self.inbox.recv_timeout(Duration::from_millis(2)) {
-                Ok(e) => return Ok(e),
-                Err(RecvTimeoutError::Timeout) => {
-                    if self.poisoned.load(Ordering::SeqCst)
-                        || self.alive.load(Ordering::SeqCst) <= 1
-                    {
+            match self.poll_step(Duration::from_millis(2)) {
+                Step::Got(e) => return Ok(e),
+                Step::Down => return Err(RecvError::Disconnected),
+                Step::Idle => {
+                    if self.disconnected_now() {
                         // No other endpoint can ever send again; drain any
-                        // message that raced with the counter update.
-                        if let Ok(e) = self.inbox.try_recv() {
+                        // message that raced with the liveness update.
+                        if let Some(e) = self.try_next() {
                             return Ok(e);
                         }
                         return Err(RecvError::Disconnected);
                     }
                 }
-                Err(RecvTimeoutError::Disconnected) => return Err(RecvError::Disconnected),
             }
         }
     }
@@ -374,7 +628,6 @@ impl<M: Send> Comm<M> {
         tag: Tag,
         timeout: Duration,
     ) -> Result<M, RecvError> {
-        use std::sync::atomic::Ordering;
         if src == ANY_SOURCE {
             if let Some((_, m)) = self.pending.take_any(tag) {
                 return Ok(m);
@@ -382,24 +635,23 @@ impl<M: Send> Comm<M> {
         } else if let Some(m) = self.pending.take(src, tag) {
             return Ok(m);
         }
-        let deadline = std::time::Instant::now() + timeout;
+        let deadline = Instant::now() + timeout;
         loop {
-            let now = std::time::Instant::now();
+            let now = Instant::now();
             if now >= deadline {
                 return Err(RecvError::Timeout);
             }
             let chunk = (deadline - now).min(Duration::from_millis(2));
-            match self.inbox.recv_timeout(chunk) {
-                Ok(e) => {
+            match self.poll_step(chunk) {
+                Step::Got(e) => {
                     if e.tag == tag && (src == ANY_SOURCE || e.src == src) {
                         return Ok(e.msg);
                     }
                     self.pending.push(e);
                 }
-                Err(RecvTimeoutError::Timeout) => {
-                    if self.poisoned.load(Ordering::SeqCst)
-                        || self.alive.load(Ordering::SeqCst) <= 1
-                    {
+                Step::Down => return Err(RecvError::Disconnected),
+                Step::Idle => {
+                    if self.disconnected_now() {
                         self.drain_inbox();
                         if self.pending.contains(src, tag) {
                             return Ok(if src == ANY_SOURCE {
@@ -412,7 +664,6 @@ impl<M: Send> Comm<M> {
                         return Err(RecvError::Disconnected);
                     }
                 }
-                Err(RecvTimeoutError::Disconnected) => return Err(RecvError::Disconnected),
             }
         }
     }
@@ -498,9 +749,20 @@ impl<M: Send> Comm<M> {
     }
 
     /// World-wide barrier (all ranks must call it).
-    pub fn barrier(&self) {
+    ///
+    /// On the wire fabric this is a rank-0-coordinated enter/release
+    /// exchange over control frames; data frames arriving while blocked
+    /// are parked in the unexpected-message queue, preserving ordering.
+    /// A disconnected world degrades the barrier to a no-op (every
+    /// blocked collective surfaces `Disconnected` on its next receive).
+    pub fn barrier(&mut self) {
         let started = self.trace_now();
-        self.barrier.wait();
+        match &self.fabric {
+            Fabric::Local(l) => {
+                l.barrier.wait();
+            }
+            Fabric::Wire(_) => self.wire_barrier(),
+        }
         if let Some(t) = &self.tracer {
             t.recorder.record_span(
                 crate::trace::TraceKind::Wait,
@@ -509,6 +771,100 @@ impl<M: Send> Comm<M> {
                 0,
                 started,
             );
+        }
+    }
+
+    /// Pumps the fabric once while a wire barrier waits, parking data
+    /// envelopes. Returns false when the world is disconnected (the
+    /// barrier should give up rather than hang).
+    fn barrier_pump(&mut self) -> bool {
+        match self.poll_step(Duration::from_millis(2)) {
+            Step::Got(e) => {
+                self.pending.push(e);
+                true
+            }
+            Step::Down => false,
+            Step::Idle => !self.disconnected_now(),
+        }
+    }
+
+    fn wire_barrier(&mut self) {
+        let Fabric::Wire(w) = &self.fabric else {
+            unreachable!("wire_barrier on local fabric")
+        };
+        let (size, gen) = {
+            let mut st = w.state.borrow_mut();
+            st.barrier_gen += 1;
+            (w.size, st.barrier_gen)
+        };
+        if size == 1 {
+            return;
+        }
+        if self.rank == 0 {
+            // Gather one enter per peer, then broadcast the release.
+            let mut seen = vec![false; size];
+            seen[0] = true;
+            loop {
+                {
+                    let Fabric::Wire(w) = &self.fabric else {
+                        unreachable!()
+                    };
+                    let mut st = w.state.borrow_mut();
+                    st.barrier_enters.retain(|&(s, g)| {
+                        if g == gen && s < size {
+                            seen[s] = true;
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                }
+                if seen.iter().all(|&b| b) {
+                    break;
+                }
+                if !self.barrier_pump() {
+                    return;
+                }
+            }
+            let Fabric::Wire(w) = &self.fabric else {
+                unreachable!()
+            };
+            let mut st = w.state.borrow_mut();
+            for dst in 1..size {
+                st.link
+                    .send_frame(dst, CTRL_BARRIER_RELEASE, &gen.to_le_bytes());
+            }
+        } else {
+            {
+                let Fabric::Wire(w) = &self.fabric else {
+                    unreachable!()
+                };
+                w.state
+                    .borrow_mut()
+                    .link
+                    .send_frame(0, CTRL_BARRIER_ENTER, &gen.to_le_bytes());
+            }
+            loop {
+                let released = {
+                    let Fabric::Wire(w) = &self.fabric else {
+                        unreachable!()
+                    };
+                    let mut st = w.state.borrow_mut();
+                    match st.barrier_releases.iter().position(|&g| g == gen) {
+                        Some(i) => {
+                            st.barrier_releases.swap_remove(i);
+                            true
+                        }
+                        None => false,
+                    }
+                };
+                if released {
+                    break;
+                }
+                if !self.barrier_pump() {
+                    return;
+                }
+            }
         }
     }
 
@@ -545,8 +901,34 @@ impl<M: Send> Comm<M> {
     }
 
     fn drain_inbox(&mut self) {
-        while let Ok(e) = self.inbox.try_recv() {
+        while let Some(e) = self.try_next() {
             self.pending.push(e);
+        }
+    }
+}
+
+impl<M> WireState<M> {
+    /// Absorbs control frames into the barrier/goodbye state; returns a
+    /// decoded envelope for data frames.
+    fn classify(&mut self, f: WireFrame) -> Option<Envelope<M>> {
+        match f.tag {
+            CTRL_GOODBYE => {
+                self.goodbyes += 1;
+                None
+            }
+            CTRL_BARRIER_ENTER => {
+                self.barrier_enters.push((f.src, ctrl_gen(&f.payload)));
+                None
+            }
+            CTRL_BARRIER_RELEASE => {
+                self.barrier_releases.push(ctrl_gen(&f.payload));
+                None
+            }
+            tag => Some(Envelope {
+                src: f.src,
+                tag,
+                msg: (self.codec.decode)(&f.payload),
+            }),
         }
     }
 }

@@ -16,18 +16,28 @@
 //! The runtime is deliberately *transport only*: redistribution planning
 //! lives in `stap-cube`, the pipeline loop in `stap-pipeline`, and
 //! modeled wire time in `stap-machine`. Everything here moves real bytes
-//! between real threads, so the parallel decomposition is testable on any
-//! host, even the single-core container this reproduction was built in.
+//! between real threads — or, via the [`transport`] layer, between real
+//! *processes*: the same [`Comm`] endpoint runs over in-process channels
+//! (`inproc`), a shared-memory ring region (`shm`, one OS process per
+//! rank) or length-prefixed TCP frames (`tcp`, loopback or a real
+//! network). The parallel decomposition is therefore testable on any
+//! host, and measurable on real multi-process machines.
 
 pub mod collectives;
 pub mod comm;
 pub mod fault;
 pub mod request;
+pub mod shm;
+pub mod tcp;
 pub mod trace;
+pub mod transport;
 pub mod world;
 
 pub use comm::{Comm, MailboxStats, RecvError, Tag};
 pub use fault::{Corruptor, FaultAction, FaultPlan, FaultRule, TagPattern};
 pub use request::RecvRequest;
+pub use shm::{ShmLink, ShmRegion};
+pub use tcp::{spawn_coordinator, TcpLink};
 pub use trace::{CommEvent, RankTrace, SpanRecorder, TraceKind, TraceSink};
+pub use transport::{LinkError, TransportKind, WireCodec, WireFrame, WireLink, CTRL_RESERVED_BASE};
 pub use world::{run_spmd, World, WorldError};

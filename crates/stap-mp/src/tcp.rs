@@ -1,0 +1,364 @@
+//! Length-prefixed TCP transport with a rendezvous coordinator.
+//!
+//! One process (or thread) per rank over a full socket mesh — loopback
+//! for single-host cluster runs, a real network otherwise. Launch
+//! protocol, mirroring `mpirun`'s wire-up:
+//!
+//! 1. The launcher binds a coordinator listener and passes its address
+//!    to every rank (`stapctl cluster` does this on the command line).
+//! 2. Each rank binds its own data listener on an ephemeral port,
+//!    registers `(rank, port)` with the coordinator, and receives the
+//!    full port table once everyone checked in.
+//! 3. The mesh forms deterministically: each rank *connects* to every
+//!    lower rank (announcing itself with a hello word) and *accepts*
+//!    from every higher rank.
+//!
+//! Frames are `[len u32][tag u64][payload]`, little-endian, one reader
+//! thread per peer socket feeding a single channel. Peer EOF is a
+//! liveness signal: when every peer socket has closed and the queue is
+//! drained, `recv_frame` reports `Disconnected` — so an abnormally dead
+//! rank process (which can never wave goodbye) still unblocks its peers,
+//! unlike shared memory where the supervisor's poison handle does it.
+
+use crate::comm::Tag;
+use crate::transport::{LinkError, WireFrame, WireLink};
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::time::{Duration, Instant};
+
+/// How long wire-up steps (register, connect, accept) may take before
+/// the launch is declared failed.
+const RENDEZVOUS_TIMEOUT: Duration = Duration::from_secs(30);
+
+fn read_exact_timeout(s: &mut TcpStream, buf: &mut [u8]) -> io::Result<()> {
+    s.set_read_timeout(Some(RENDEZVOUS_TIMEOUT))?;
+    let r = s.read_exact(buf);
+    let _ = s.set_read_timeout(None);
+    r
+}
+
+/// Serves the rendezvous exchange: collects `(rank, port)` from `size`
+/// participants, then replies to each with the full port table. Blocks;
+/// run it on a thread (see [`spawn_coordinator`]).
+pub fn coordinator_serve(listener: TcpListener, size: usize) -> io::Result<()> {
+    let mut streams: Vec<Option<TcpStream>> = (0..size).map(|_| None).collect();
+    let mut ports = vec![0u16; size];
+    let mut seen = 0usize;
+    let deadline = Instant::now() + RENDEZVOUS_TIMEOUT;
+    while seen < size {
+        if Instant::now() >= deadline {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!("rendezvous: {seen}/{size} ranks checked in"),
+            ));
+        }
+        let (mut s, _) = listener.accept()?;
+        let mut reg = [0u8; 6];
+        read_exact_timeout(&mut s, &mut reg)?;
+        let rank = u32::from_le_bytes(reg[..4].try_into().unwrap()) as usize;
+        let port = u16::from_le_bytes(reg[4..6].try_into().unwrap());
+        if rank >= size || streams[rank].is_some() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("rendezvous: bad or duplicate rank {rank}"),
+            ));
+        }
+        ports[rank] = port;
+        streams[rank] = Some(s);
+        seen += 1;
+    }
+    let table: Vec<u8> = ports.iter().flat_map(|p| p.to_le_bytes()).collect();
+    for s in streams.iter_mut().flatten() {
+        s.write_all(&table)?;
+    }
+    Ok(())
+}
+
+/// Binds a loopback coordinator and serves the rendezvous on a
+/// background thread. Returns the address to hand to every rank.
+pub fn spawn_coordinator(
+    size: usize,
+) -> io::Result<(String, std::thread::JoinHandle<io::Result<()>>)> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?.to_string();
+    let handle = std::thread::spawn(move || coordinator_serve(listener, size));
+    Ok((addr, handle))
+}
+
+enum TcpEvent {
+    Frame(WireFrame),
+    /// Reader thread for this peer exited (EOF or socket error).
+    Closed,
+}
+
+/// One rank's endpoint into a TCP mesh.
+pub struct TcpLink {
+    rank: usize,
+    size: usize,
+    /// Write half per peer (`None` at self / after a write error).
+    writers: Vec<Option<TcpStream>>,
+    rx: Receiver<TcpEvent>,
+    /// Peers whose reader thread is still running.
+    live: usize,
+}
+
+fn connect_retry(addr: &SocketAddr) -> io::Result<TcpStream> {
+    let deadline = Instant::now() + RENDEZVOUS_TIMEOUT;
+    loop {
+        match TcpStream::connect_timeout(addr, Duration::from_secs(2)) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(e);
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+fn spawn_reader(src: usize, stream: TcpStream, tx: Sender<TcpEvent>) {
+    std::thread::spawn(move || {
+        let mut s = stream;
+        loop {
+            let mut hdr = [0u8; 12];
+            if s.read_exact(&mut hdr).is_err() {
+                let _ = tx.send(TcpEvent::Closed);
+                return;
+            }
+            let len = u32::from_le_bytes(hdr[..4].try_into().unwrap()) as usize;
+            let tag = Tag::from_le_bytes(hdr[4..12].try_into().unwrap());
+            let mut payload = vec![0u8; len];
+            if s.read_exact(&mut payload).is_err() {
+                let _ = tx.send(TcpEvent::Closed);
+                return;
+            }
+            if tx
+                .send(TcpEvent::Frame(WireFrame { src, tag, payload }))
+                .is_err()
+            {
+                return; // link dropped; stop reading
+            }
+        }
+    });
+}
+
+impl TcpLink {
+    /// Joins the mesh as `rank` of `size` via the coordinator at
+    /// `coord` (e.g. `"127.0.0.1:40000"`). Blocks until every pairwise
+    /// connection is up.
+    pub fn rendezvous(coord: &str, rank: usize, size: usize) -> io::Result<TcpLink> {
+        assert!(rank < size, "rank {rank} outside world of {size}");
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let my_port = listener.local_addr()?.port();
+
+        // Register and fetch the port table.
+        let coord_addr: SocketAddr = coord
+            .parse()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, format!("{coord}: {e}")))?;
+        let mut c = connect_retry(&coord_addr)?;
+        let mut reg = [0u8; 6];
+        reg[..4].copy_from_slice(&(rank as u32).to_le_bytes());
+        reg[4..6].copy_from_slice(&my_port.to_le_bytes());
+        c.write_all(&reg)?;
+        let mut table = vec![0u8; 2 * size];
+        read_exact_timeout(&mut c, &mut table)?;
+        drop(c);
+        let ports: Vec<u16> = (0..size)
+            .map(|i| u16::from_le_bytes(table[2 * i..2 * i + 2].try_into().unwrap()))
+            .collect();
+
+        let (tx, rx) = channel();
+        let mut writers: Vec<Option<TcpStream>> = (0..size).map(|_| None).collect();
+
+        // Connect downward, announcing who we are.
+        for (peer, &port) in ports.iter().enumerate().take(rank) {
+            let addr = SocketAddr::from(([127, 0, 0, 1], port));
+            let mut s = connect_retry(&addr)?;
+            s.write_all(&(rank as u32).to_le_bytes())?;
+            s.set_nodelay(true)?;
+            spawn_reader(peer, s.try_clone()?, tx.clone());
+            writers[peer] = Some(s);
+        }
+        // Accept upward.
+        for _ in rank + 1..size {
+            let (mut s, _) = listener.accept()?;
+            let mut hello = [0u8; 4];
+            read_exact_timeout(&mut s, &mut hello)?;
+            let peer = u32::from_le_bytes(hello) as usize;
+            if peer <= rank || peer >= size || writers[peer].is_some() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("mesh: unexpected hello from rank {peer}"),
+                ));
+            }
+            s.set_nodelay(true)?;
+            spawn_reader(peer, s.try_clone()?, tx.clone());
+            writers[peer] = Some(s);
+        }
+
+        Ok(TcpLink {
+            rank,
+            size,
+            writers,
+            rx,
+            live: size - 1,
+        })
+    }
+
+    fn idle(&self) -> Result<WireFrame, LinkError> {
+        if self.live == 0 {
+            Err(LinkError::Disconnected)
+        } else {
+            Err(LinkError::Timeout)
+        }
+    }
+}
+
+impl WireLink for TcpLink {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn send_frame(&mut self, dst: usize, tag: Tag, payload: &[u8]) {
+        assert!(dst < self.size && dst != self.rank, "bad tcp dst {dst}");
+        let Some(s) = &mut self.writers[dst] else {
+            return; // peer gone: discard, like sends to a dropped rank
+        };
+        let mut hdr = [0u8; 12];
+        hdr[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+        hdr[4..12].copy_from_slice(&tag.to_le_bytes());
+        if s.write_all(&hdr).is_err() || s.write_all(payload).is_err() {
+            self.writers[dst] = None;
+        }
+    }
+
+    fn recv_frame(&mut self, timeout: Duration) -> Result<WireFrame, LinkError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let ev = if timeout.is_zero() {
+                match self.rx.try_recv() {
+                    Ok(ev) => ev,
+                    Err(TryRecvError::Empty) => return self.idle(),
+                    Err(TryRecvError::Disconnected) => return Err(LinkError::Disconnected),
+                }
+            } else {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    return self.idle();
+                }
+                match self.rx.recv_timeout(remaining) {
+                    Ok(ev) => ev,
+                    Err(RecvTimeoutError::Timeout) => return self.idle(),
+                    Err(RecvTimeoutError::Disconnected) => return Err(LinkError::Disconnected),
+                }
+            };
+            match ev {
+                TcpEvent::Frame(f) => return Ok(f),
+                TcpEvent::Closed => {
+                    self.live = self.live.saturating_sub(1);
+                    if self.live == 0 {
+                        // Drain anything already queued before reporting
+                        // the world gone.
+                        if let Ok(TcpEvent::Frame(f)) = self.rx.try_recv() {
+                            return Ok(f);
+                        }
+                        return Err(LinkError::Disconnected);
+                    }
+                }
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        for s in self.writers.iter_mut().flatten() {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+        for s in &mut self.writers {
+            *s = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh(n: usize) -> Vec<TcpLink> {
+        let (addr, coord) = spawn_coordinator(n).unwrap();
+        let links: Vec<TcpLink> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n)
+                .map(|r| {
+                    let addr = addr.clone();
+                    s.spawn(move || TcpLink::rendezvous(&addr, r, n).unwrap())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        coord.join().unwrap().unwrap();
+        links
+    }
+
+    #[test]
+    fn mesh_moves_frames_both_directions() {
+        let mut links = mesh(3);
+        let mut c = links.remove(2);
+        let mut b = links.remove(1);
+        let mut a = links.remove(0);
+        a.send_frame(2, 5, b"down");
+        c.send_frame(0, 6, b"up");
+        b.send_frame(0, 7, b"mid");
+        let f = c.recv_frame(Duration::from_secs(2)).unwrap();
+        assert_eq!((f.src, f.tag, f.payload.as_slice()), (0, 5, &b"down"[..]));
+        let mut got = vec![
+            a.recv_frame(Duration::from_secs(2)).unwrap(),
+            a.recv_frame(Duration::from_secs(2)).unwrap(),
+        ];
+        got.sort_by_key(|f| f.src);
+        assert_eq!((got[0].src, got[0].tag), (1, 7));
+        assert_eq!((got[1].src, got[1].tag), (2, 6));
+    }
+
+    #[test]
+    fn peer_close_eventually_reports_disconnected() {
+        let mut links = mesh(2);
+        let mut b = links.remove(1);
+        let mut a = links.remove(0);
+        a.send_frame(1, 1, b"last words");
+        a.close();
+        drop(a);
+        // The queued frame must still arrive, then EOF turns into
+        // Disconnected.
+        let f = b.recv_frame(Duration::from_secs(2)).unwrap();
+        assert_eq!(f.payload, b"last words");
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match b.recv_frame(Duration::from_millis(20)) {
+                Err(LinkError::Disconnected) => break,
+                Err(LinkError::Timeout) => assert!(Instant::now() < deadline, "no EOF signal"),
+                Ok(f) => panic!("unexpected frame {f:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn large_frames_cross_intact() {
+        let mut links = mesh(2);
+        let mut b = links.remove(1);
+        let mut a = links.remove(0);
+        let payload: Vec<u8> = (0..1_000_000u32).map(|i| (i % 251) as u8).collect();
+        let expect = payload.clone();
+        let w = std::thread::spawn(move || {
+            a.send_frame(1, 9, &payload);
+            a
+        });
+        let f = b.recv_frame(Duration::from_secs(10)).unwrap();
+        w.join().unwrap();
+        assert_eq!(f.payload, expect);
+    }
+}

@@ -65,12 +65,14 @@ impl<M: Send> World<M> {
             .enumerate()
             .map(|(rank, inbox)| Comm {
                 rank,
-                senders: Arc::clone(&senders),
-                inbox,
+                fabric: crate::comm::Fabric::Local(crate::comm::LocalFabric {
+                    senders: Arc::clone(&senders),
+                    inbox,
+                    barrier: Arc::clone(&barrier),
+                    alive: Arc::clone(&alive),
+                    poisoned: Arc::clone(&poisoned),
+                }),
                 pending: crate::comm::Mailbox::default(),
-                barrier: Arc::clone(&barrier),
-                alive: Arc::clone(&alive),
-                poisoned: Arc::clone(&poisoned),
                 faults: None,
                 tracer: None,
             })
@@ -262,7 +264,7 @@ fn install_cascade_quiet_hook() {
 fn run_poisoning<M: Send, R>(f: impl Fn(Comm<M>) -> R, comm: Comm<M>) -> R {
     install_cascade_quiet_hook();
     WORLD_RANK_THREAD.with(|flag| flag.set(true));
-    let poison = Arc::clone(&comm.poisoned);
+    let poison = comm.poison_handle();
     let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(comm)));
     WORLD_RANK_THREAD.with(|flag| flag.set(false));
     match out {
@@ -309,7 +311,7 @@ mod tests {
         use std::sync::atomic::{AtomicUsize, Ordering};
         static PHASE1: AtomicUsize = AtomicUsize::new(0);
         let n = 4;
-        run_spmd::<(), ()>(n, |comm| {
+        run_spmd::<(), ()>(n, |mut comm| {
             PHASE1.fetch_add(1, Ordering::SeqCst);
             comm.barrier();
             // After the barrier every rank must observe all increments.

@@ -58,6 +58,7 @@ pub mod resident;
 pub mod runner;
 pub mod tasks;
 pub mod trace;
+pub mod wire;
 
 pub use assignment::NodeAssignment;
 pub use elastic::{plan_rebalance, task_capacity, ElasticStap, ElasticSummary, Rebalance};

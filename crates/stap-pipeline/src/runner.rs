@@ -63,6 +63,43 @@ pub struct PipelineOutput {
     pub trace: Option<crate::trace::PipelineTrace>,
 }
 
+/// What one rank contributes to a run. Produced by
+/// [`ParallelStap::run_rank`] on every rank (in-process thread or
+/// cluster child process) and folded into a [`PipelineOutput`] by
+/// [`ParallelStap::assemble`].
+#[derive(Debug)]
+pub enum RankResult {
+    /// A task node's report: paper task index, local node index within
+    /// the task, and its per-CPI report.
+    Task {
+        /// Task index (0..7, paper order).
+        task: usize,
+        /// Local node index within the task.
+        node: usize,
+        /// The node's timings, health counters and spans.
+        report: TaskReport,
+    },
+    /// The driver rank's collected output.
+    Driver(DriverResult),
+}
+
+/// Everything the driver rank collects: merged detections plus the
+/// raw per-CPI timestamps the aggregation turns into throughput and
+/// latency.
+#[derive(Debug)]
+pub struct DriverResult {
+    /// Detections per CPI, merged across CFAR nodes and sorted.
+    pub detections: Vec<Vec<Detection>>,
+    /// Injection time of each CPI, seconds since the driver epoch.
+    pub inject_t: Vec<f64>,
+    /// Completion time of each CPI, seconds since the driver epoch.
+    pub complete_t: Vec<f64>,
+    /// Per-CPI outcome classification (fault-tolerant runs).
+    pub outcomes: Vec<CpiOutcome>,
+    /// Health counters observed at the driver.
+    pub health: PipelineHealth,
+}
+
 /// The parallel pipelined STAP system.
 pub struct ParallelStap {
     /// Algorithm parameters.
@@ -162,8 +199,41 @@ impl ParallelStap {
     /// any rank is spawned and joins rank panics back as structured
     /// [`PipelineError`]s instead of panicking the caller.
     pub fn try_run(&self, cpis: Vec<CCube>) -> Result<PipelineOutput, PipelineError> {
+        self.validate_input(&cpis)?;
         let num_cpis = cpis.len();
-        if num_cpis == 0 {
+        let parts = Partitions::new(&self.params, &self.assign);
+        let mut world: World<Msg> = World::new(self.assign.world_size());
+        if let Some(plan) = &self.faults {
+            world = world
+                .with_faults(plan.clone())
+                .with_corruptor(nan_corruptor());
+        }
+        // One epoch shared by the comm recorder, the task spans and the
+        // driver's CPI marks, so the merged timeline is coherent.
+        let epoch = self.tracing.then(Instant::now);
+        let sink = stap_mp::TraceSink::new();
+        if let Some(e) = epoch {
+            world = world.with_tracing(e, &sink, crate::msg::wire_bytes);
+        }
+        let parts_ref = &parts;
+        let cpis_ref = &cpis;
+        // One recycling pool per run, shared by every node thread:
+        // receivers retire message buffers, senders draw packing buffers.
+        let pools = PipelinePools::default();
+        let pools_ref = &pools;
+
+        let results = world.try_run_collect(|mut comm| {
+            self.run_rank(&mut comm, cpis_ref, parts_ref, pools_ref, epoch)
+        })?;
+        Ok(self.assemble(num_cpis, results, sink.take(), &pools))
+    }
+
+    /// Checks that `cpis` is non-empty and every cube matches the
+    /// configured `[k_range, j_channels, n_pulses]` shape. `try_run`
+    /// calls this before spawning; the cluster parent calls it before
+    /// launching rank processes.
+    pub fn validate_input(&self, cpis: &[CCube]) -> Result<(), PipelineError> {
+        if cpis.is_empty() {
             return Err(PipelineError::InvalidInput(
                 "need at least one CPI".to_string(),
             ));
@@ -182,167 +252,185 @@ impl ParallelStap {
                 )));
             }
         }
-        let parts = Partitions::new(&self.params, &self.assign);
-        let mut world: World<Msg> = World::new(self.assign.world_size());
-        if let Some(plan) = &self.faults {
-            world = world
-                .with_faults(plan.clone())
-                .with_corruptor(nan_corruptor());
-        }
-        // One epoch shared by the comm recorder, the task spans and the
-        // driver's CPI marks, so the merged timeline is coherent.
-        let epoch = self.tracing.then(Instant::now);
-        let sink = stap_mp::TraceSink::new();
-        if let Some(e) = epoch {
-            world = world.with_tracing(e, &sink, crate::msg::wire_bytes);
-        }
-        let assign = self.assign;
-        let params = &self.params;
-        let steering = &self.steering;
-        let parts_ref = &parts;
-        let window = self.window.max(1);
-        let cpis_ref = &cpis;
-        let policy = &self.policy;
-        // One recycling pool per run, shared by every node thread:
-        // receivers retire message buffers, senders draw packing buffers.
-        let pools = PipelinePools::default();
-        let pools_ref = &pools;
+        Ok(())
+    }
 
-        enum NodeResult {
-            Task(usize, usize, TaskReport),
-            Driver {
-                detections: Vec<Vec<Detection>>,
-                inject_t: Vec<f64>,
-                complete_t: Vec<f64>,
-                outcomes: Vec<CpiOutcome>,
-                health: PipelineHealth,
+    /// Runs exactly one rank of the pipeline to completion over `comm`
+    /// and returns its contribution. This is the whole per-rank body of
+    /// [`ParallelStap::try_run`], exposed so a cluster child process
+    /// (which *is* one rank, on a wire-backed `Comm`) can execute the
+    /// identical code path the in-process threads run.
+    ///
+    /// Task ranks only use `cpis` for its length; the driver rank
+    /// extracts and injects the actual cubes.
+    pub fn run_rank(
+        &self,
+        comm: &mut stap_mp::Comm<Msg>,
+        cpis: &[CCube],
+        parts: &Partitions,
+        pools: &PipelinePools,
+        epoch: Option<Instant>,
+    ) -> RankResult {
+        let rank = comm.rank();
+        let ctx = TaskCtx {
+            params: &self.params,
+            assign: &self.assign,
+            parts,
+            steering: &self.steering,
+            num_cpis: cpis.len(),
+            pools,
+            policy: &self.policy,
+            epoch,
+        };
+        match self.assign.task_of_rank(rank) {
+            Some((DOPPLER, local)) => RankResult::Task {
+                task: DOPPLER,
+                node: local,
+                report: run_doppler(&ctx, comm, local),
             },
+            Some((EASY_WT, local)) => RankResult::Task {
+                task: EASY_WT,
+                node: local,
+                report: run_easy_weight(&ctx, comm, local),
+            },
+            Some((HARD_WT, local)) => RankResult::Task {
+                task: HARD_WT,
+                node: local,
+                report: run_hard_weight(&ctx, comm, local),
+            },
+            Some((EASY_BF, local)) => RankResult::Task {
+                task: EASY_BF,
+                node: local,
+                report: run_easy_bf(&ctx, comm, local),
+            },
+            Some((HARD_BF, local)) => RankResult::Task {
+                task: HARD_BF,
+                node: local,
+                report: run_hard_bf(&ctx, comm, local),
+            },
+            Some((PC, local)) => RankResult::Task {
+                task: PC,
+                node: local,
+                report: run_pc(&ctx, comm, local),
+            },
+            Some((CFAR, local)) => RankResult::Task {
+                task: CFAR,
+                node: local,
+                report: run_cfar(&ctx, comm, local),
+            },
+            Some(_) => unreachable!("unknown task"),
+            None => RankResult::Driver(self.run_driver(comm, cpis, parts, pools, epoch)),
         }
+    }
 
-        let results = world.try_run_collect(|mut comm| {
-            let rank = comm.rank();
-            let ctx = TaskCtx {
-                params,
-                assign: &assign,
-                parts: parts_ref,
-                steering,
-                num_cpis,
-                pools: pools_ref,
-                policy,
-                epoch,
-            };
-            match assign.task_of_rank(rank) {
-                Some((DOPPLER, local)) => {
-                    NodeResult::Task(DOPPLER, local, run_doppler(&ctx, &mut comm, local))
+    /// The driver rank: inject CPI slabs (windowed) and collect
+    /// detections, recording injection and completion times and
+    /// classifying each CPI's outcome.
+    fn run_driver(
+        &self,
+        comm: &mut stap_mp::Comm<Msg>,
+        cpis: &[CCube],
+        parts: &Partitions,
+        pools: &PipelinePools,
+        epoch: Option<Instant>,
+    ) -> DriverResult {
+        let num_cpis = cpis.len();
+        let window = self.window.max(1);
+        let policy = &self.policy;
+        let cfar_ranks: Vec<usize> = self.assign.rank_range(CFAR).collect();
+        let mut detections: Vec<Vec<Detection>> = Vec::with_capacity(num_cpis);
+        let mut outcomes: Vec<CpiOutcome> = Vec::with_capacity(num_cpis);
+        let mut health = PipelineHealth::default();
+        let mut inject_t = vec![0.0f64; num_cpis];
+        let mut complete_t = vec![0.0f64; num_cpis];
+        // Under tracing the driver clock shares the trace epoch so CPI
+        // marks line up with the spans.
+        let t0 = epoch.unwrap_or_else(Instant::now);
+        let mut next_inject = 0usize;
+        // `done` is simultaneously a tag, a checkpoint epoch and an
+        // index; an enumerate rewrite would obscure it.
+        #[allow(clippy::needless_range_loop)]
+        for done in 0..num_cpis {
+            comm.fault_checkpoint(done as u64);
+            while next_inject < num_cpis && next_inject < done + window {
+                let cube = &cpis[next_inject];
+                inject_t[next_inject] = t0.elapsed().as_secs_f64();
+                for (pn, kr) in parts.doppler_k.iter().enumerate() {
+                    // Input slabs come from the shared pool too; the
+                    // Doppler nodes retire them after use.
+                    let buf = pools
+                        .cx
+                        .get(kr.len() * self.params.j_channels * self.params.n_pulses);
+                    let slab = cube.extract_into(
+                        kr.clone(),
+                        0..self.params.j_channels,
+                        0..self.params.n_pulses,
+                        buf,
+                    );
+                    comm.send(
+                        self.assign.rank_range(DOPPLER).start + pn,
+                        tag(Edge::Input, next_inject),
+                        Msg::new(next_inject, Payload::Cube(slab)),
+                    );
                 }
-                Some((EASY_WT, local)) => {
-                    NodeResult::Task(EASY_WT, local, run_easy_weight(&ctx, &mut comm, local))
-                }
-                Some((HARD_WT, local)) => {
-                    NodeResult::Task(HARD_WT, local, run_hard_weight(&ctx, &mut comm, local))
-                }
-                Some((EASY_BF, local)) => {
-                    NodeResult::Task(EASY_BF, local, run_easy_bf(&ctx, &mut comm, local))
-                }
-                Some((HARD_BF, local)) => {
-                    NodeResult::Task(HARD_BF, local, run_hard_bf(&ctx, &mut comm, local))
-                }
-                Some((PC, local)) => NodeResult::Task(PC, local, run_pc(&ctx, &mut comm, local)),
-                Some((CFAR, local)) => {
-                    NodeResult::Task(CFAR, local, run_cfar(&ctx, &mut comm, local))
-                }
-                Some(_) => unreachable!("unknown task"),
-                None => {
-                    // Driver: inject CPI slabs (windowed) and collect
-                    // detections, recording injection and completion times
-                    // and classifying each CPI's outcome.
-                    let cfar_ranks: Vec<usize> = assign.rank_range(CFAR).collect();
-                    let mut detections: Vec<Vec<Detection>> = Vec::with_capacity(num_cpis);
-                    let mut outcomes: Vec<CpiOutcome> = Vec::with_capacity(num_cpis);
-                    let mut health = PipelineHealth::default();
-                    let mut inject_t = vec![0.0f64; num_cpis];
-                    let mut complete_t = vec![0.0f64; num_cpis];
-                    // Under tracing the driver clock shares the trace
-                    // epoch so CPI marks line up with the spans.
-                    let t0 = epoch.unwrap_or_else(Instant::now);
-                    let mut next_inject = 0usize;
-                    // `done` is simultaneously a tag, a checkpoint epoch
-                    // and an index; an enumerate rewrite would obscure it.
-                    #[allow(clippy::needless_range_loop)]
-                    for done in 0..num_cpis {
-                        comm.fault_checkpoint(done as u64);
-                        while next_inject < num_cpis && next_inject < done + window {
-                            let cube = &cpis_ref[next_inject];
-                            inject_t[next_inject] = t0.elapsed().as_secs_f64();
-                            for (pn, kr) in parts_ref.doppler_k.iter().enumerate() {
-                                // Input slabs come from the shared pool too;
-                                // the Doppler nodes retire them after use.
-                                let buf = pools_ref
-                                    .cx
-                                    .get(kr.len() * params.j_channels * params.n_pulses);
-                                let slab = cube.extract_into(
-                                    kr.clone(),
-                                    0..params.j_channels,
-                                    0..params.n_pulses,
-                                    buf,
-                                );
-                                comm.send(
-                                    assign.rank_range(DOPPLER).start + pn,
-                                    tag(Edge::Input, next_inject),
-                                    Msg::new(next_inject, Payload::Cube(slab)),
-                                );
-                            }
-                            next_inject += 1;
-                        }
-                        let mut merged = Vec::new();
-                        let mut lost = false;
-                        let mut degraded = false;
-                        for &src in &cfar_ranks {
-                            match recv_msg(
-                                &mut comm,
-                                src,
-                                tag(Edge::Output, done),
-                                done,
-                                policy,
-                                policy.edge_timeout,
-                                &mut health,
-                            ) {
-                                Recvd::Data(Payload::Detections(d), deg) => {
-                                    degraded |= deg;
-                                    merged.extend(d);
-                                }
-                                Recvd::Data(other, _) => {
-                                    panic!("expected detections, got {other:?}")
-                                }
-                                Recvd::Gone => lost = true,
-                            }
-                        }
-                        merged.sort_by_key(|d| (d.bin, d.beam, d.range));
-                        complete_t[done] = t0.elapsed().as_secs_f64();
-                        outcomes.push(if lost {
-                            CpiOutcome::Dropped
-                        } else if degraded {
-                            CpiOutcome::DegradedStaleWeights
-                        } else {
-                            CpiOutcome::Ok
-                        });
-                        detections.push(if lost { Vec::new() } else { merged });
-                        if policy.fault_tolerant {
-                            purge_late(&mut comm, done, &mut health);
-                        }
+                next_inject += 1;
+            }
+            let mut merged = Vec::new();
+            let mut lost = false;
+            let mut degraded = false;
+            for &src in &cfar_ranks {
+                match recv_msg(
+                    comm,
+                    src,
+                    tag(Edge::Output, done),
+                    done,
+                    policy,
+                    policy.edge_timeout,
+                    &mut health,
+                ) {
+                    Recvd::Data(Payload::Detections(d), deg) => {
+                        degraded |= deg;
+                        merged.extend(d);
                     }
-                    NodeResult::Driver {
-                        detections,
-                        inject_t,
-                        complete_t,
-                        outcomes,
-                        health,
+                    Recvd::Data(other, _) => {
+                        panic!("expected detections, got {other:?}")
                     }
+                    Recvd::Gone => lost = true,
                 }
             }
-        })?;
+            merged.sort_by_key(|d| (d.bin, d.beam, d.range));
+            complete_t[done] = t0.elapsed().as_secs_f64();
+            outcomes.push(if lost {
+                CpiOutcome::Dropped
+            } else if degraded {
+                CpiOutcome::DegradedStaleWeights
+            } else {
+                CpiOutcome::Ok
+            });
+            detections.push(if lost { Vec::new() } else { merged });
+            if policy.fault_tolerant {
+                purge_late(comm, done, &mut health);
+            }
+        }
+        DriverResult {
+            detections,
+            inject_t,
+            complete_t,
+            outcomes,
+            health,
+        }
+    }
 
-        // Aggregate.
+    /// Folds per-rank results (however they were obtained: in-process
+    /// threads or cluster child processes) plus the collected comm
+    /// traces into the run's [`PipelineOutput`].
+    pub fn assemble(
+        &self,
+        num_cpis: usize,
+        results: Vec<RankResult>,
+        comm_traces: Vec<stap_mp::RankTrace>,
+        pools: &PipelinePools,
+    ) -> PipelineOutput {
         let lo = self.warmup.min(num_cpis.saturating_sub(1));
         let hi = num_cpis.saturating_sub(self.cooldown).max(lo + 1);
         let measured: std::ops::Range<usize> = lo..hi;
@@ -354,7 +442,11 @@ impl ParallelStap {
         let mut trace_cpis: Vec<crate::trace::CpiMark> = Vec::new();
         for r in results {
             match r {
-                NodeResult::Task(t, local, report) => {
+                RankResult::Task {
+                    task: t,
+                    node: local,
+                    report,
+                } => {
                     for cpi in measured.clone() {
                         if let Some(tt) = report.timings.get(cpi) {
                             tasks[t].add(tt);
@@ -370,13 +462,13 @@ impl ParallelStap {
                         }
                     }));
                 }
-                NodeResult::Driver {
+                RankResult::Driver(DriverResult {
                     detections: d,
                     inject_t: inject,
                     complete_t: complete,
                     outcomes,
                     health,
-                } => {
+                }) => {
                     let lat: Vec<f64> = measured.clone().map(|i| complete[i] - inject[i]).collect();
                     timings.measured_latency = mean(&lat);
                     let mut intervals: Vec<f64> = measured
@@ -432,15 +524,15 @@ impl ParallelStap {
                 assign: self.assign,
                 num_cpis,
                 tasks: trace_tasks,
-                comm: sink.take(),
+                comm: comm_traces,
                 cpis: trace_cpis,
             }
         });
-        Ok(PipelineOutput {
+        PipelineOutput {
             detections,
             timings,
             trace,
-        })
+        }
     }
 }
 

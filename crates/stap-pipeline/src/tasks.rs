@@ -142,7 +142,7 @@ pub(crate) fn expect_weights(p: Payload) -> Vec<CMat> {
 
 /// What a task's timing loop hands back: per-CPI phase times plus the
 /// node's fault-tolerance counters.
-#[derive(Default)]
+#[derive(Debug, Default)]
 pub struct TaskReport {
     /// Per-CPI phase timings.
     pub timings: Vec<TaskTiming>,

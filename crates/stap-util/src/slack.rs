@@ -1,0 +1,54 @@
+//! CI time-budget slack.
+//!
+//! Wall-clock gates (chaos watchdog deadlines, serve p99 budgets, the
+//! cluster run watchdog) are calibrated for an idle developer machine.
+//! Shared CI runners are slower and noisier, so the workflow sets
+//! `STAP_CI_SLACK` (a multiplier, e.g. `3`) and every deadline-shaped
+//! budget scales by it. Locally the variable is unset and everything
+//! runs at its calibrated value.
+
+/// The `STAP_CI_SLACK` multiplier: `1.0` when unset, unparsable, or
+/// non-positive (a misconfigured slack must never *tighten* a gate to
+/// zero or negative time).
+pub fn ci_slack() -> f64 {
+    match std::env::var("STAP_CI_SLACK") {
+        Ok(v) => match v.trim().parse::<f64>() {
+            Ok(s) if s.is_finite() && s > 0.0 => s,
+            _ => 1.0,
+        },
+        Err(_) => 1.0,
+    }
+}
+
+/// Scales a whole-second deadline by [`ci_slack`], rounding up so a
+/// fractional slack never truncates to a shorter deadline.
+pub fn slacked_secs(base: u64) -> u64 {
+    (base as f64 * ci_slack()).ceil() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Env-var mutation is process-global, so every case lives in one
+    // test (cargo runs tests concurrently).
+    #[test]
+    fn slack_parses_scales_and_defends() {
+        std::env::remove_var("STAP_CI_SLACK");
+        assert_eq!(ci_slack(), 1.0);
+        assert_eq!(slacked_secs(120), 120);
+
+        std::env::set_var("STAP_CI_SLACK", "3");
+        assert_eq!(ci_slack(), 3.0);
+        assert_eq!(slacked_secs(120), 360);
+
+        std::env::set_var("STAP_CI_SLACK", "2.5");
+        assert_eq!(slacked_secs(3), 8); // ceil(7.5)
+
+        for bad in ["", "junk", "0", "-4", "inf", "nan"] {
+            std::env::set_var("STAP_CI_SLACK", bad);
+            assert_eq!(ci_slack(), 1.0, "slack {bad:?} must fall back");
+        }
+        std::env::remove_var("STAP_CI_SLACK");
+    }
+}

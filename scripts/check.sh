@@ -13,7 +13,10 @@
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
-NUM_STAGES=11
+NUM_STAGES=12
+# Smoke stages honor STAP_TRANSPORT (inproc|shm|tcp, default inproc) so
+# the CI transport matrix reruns them over the wire backends, and keep
+# their JSON artifacts when the matching *_OUT env var names a path.
 stage_name() {
   case "$1" in
     1) echo "rustfmt" ;;
@@ -27,6 +30,7 @@ stage_name() {
     9) echo "serve smoke (small loadgen: SLO fields present, zero pool misses)" ;;
     10) echo "assign smoke (lattice explore: frontier sanity + paper case dominated)" ;;
     11) echo "chaos smoke (seeded campaign: recovery, quarantine, lost-CPI bound)" ;;
+    12) echo "transport parity (bit-identical detections on inproc/shm/tcp + byte reconciliation)" ;;
     *) echo "unknown" ;;
   esac
 }
@@ -47,26 +51,38 @@ run_stage() {
       ;;
     5)
       # One weight-rank stall plus one dropped data message must classify
-      # exactly [..X....ddd] — 6 ok, 3 degraded (stale weights), 1 dropped.
-      cargo run --release -q -p stap-bench --bin stapctl -- faults --expect degraded=3,dropped=1
+      # exactly [..X....ddd] — 6 ok, 3 degraded (stale weights), 1 dropped
+      # — on whichever transport STAP_TRANSPORT selects: the fault rules
+      # live above the fabric, so the classification is transport-blind.
+      # The JSON artifact is kept when FAULTS_SMOKE_OUT is set.
+      local faults_out
+      faults_out="${FAULTS_SMOKE_OUT:-$(mktemp /tmp/FAULTS_smoke.XXXXXX.json)}"
+      [ -n "${FAULTS_SMOKE_OUT:-}" ] || trap 'rm -f "$faults_out"' RETURN
+      cargo run --release -q -p stap-bench --bin stapctl -- faults \
+        --transport "${STAP_TRANSPORT:-inproc}" \
+        --expect degraded=3,dropped=1 --out "$faults_out"
       ;;
     6)
-      # Quick mode writes to a scratch path so the recorded full-mode
-      # baseline in BENCH_kernels.json is never clobbered by smoke
-      # numbers. Full runs (stapctl bench, no --quick) gate themselves
-      # against the baseline and refuse to record a >10% regression.
+      # Quick mode writes to a scratch path (or BENCH_SMOKE_OUT) so the
+      # recorded full-mode baseline in BENCH_kernels.json is never
+      # clobbered by smoke numbers. Full runs (stapctl bench, no
+      # --quick) gate themselves against the baseline and refuse to
+      # record a >10% regression.
       local smoke_out
-      smoke_out="$(mktemp /tmp/BENCH_kernels_smoke.XXXXXX.json)"
-      trap 'rm -f "$smoke_out"' RETURN
+      smoke_out="${BENCH_SMOKE_OUT:-$(mktemp /tmp/BENCH_kernels_smoke.XXXXXX.json)}"
+      [ -n "${BENCH_SMOKE_OUT:-}" ] || trap 'rm -f "$smoke_out"' RETURN
       cargo run --release -q -p stap-bench --bin stapctl -- bench --quick --out "$smoke_out"
       ;;
     7)
       # Traced run of the canonical 2-azimuth reduced config: must emit a
-      # parseable Chrome trace artifact and the reconciliation table.
+      # parseable Chrome trace artifact and the reconciliation table —
+      # over the wire when STAP_TRANSPORT says so. Kept when
+      # TRACE_SMOKE_OUT is set.
       local trace_out
-      trace_out="$(mktemp /tmp/TRACE_pipeline_smoke.XXXXXX.json)"
-      trap 'rm -f "$trace_out"' RETURN
-      cargo run --release -q -p stap-bench --bin stapctl -- trace --cpis 6 --out "$trace_out" \
+      trace_out="${TRACE_SMOKE_OUT:-$(mktemp /tmp/TRACE_pipeline_smoke.XXXXXX.json)}"
+      [ -n "${TRACE_SMOKE_OUT:-}" ] || trap 'rm -f "$trace_out"' RETURN
+      cargo run --release -q -p stap-bench --bin stapctl -- trace --cpis 6 \
+        --transport "${STAP_TRANSPORT:-inproc}" --out "$trace_out" \
         && grep -q '"traceEvents"' "$trace_out"
       ;;
     8)
@@ -143,6 +159,40 @@ assert doc["reconnect_ok"] == 1, "churned tenant never completed after reconnect
 print("chaos smoke ok: %d recoveries, %d checkpoints, %d/%d lost CPIs, %d quarantine(s)"
       % (doc["recovered"], doc["checkpoints"], doc["lost_cpis"],
          doc["lost_bound"], doc["quarantine_events"]))
+PY
+      ;;
+    12)
+      # Transport parity: the canonical reduced config must produce
+      # bit-identical detections (same FNV-1a digest over the float bit
+      # patterns) whether the ranks are threads over channels (inproc),
+      # processes over a shared ring region (shm), or processes over a
+      # loopback TCP mesh — and the TCP run's per-edge measured bytes
+      # must reconcile with the DES model within a factor of two.
+      local par_dir
+      par_dir="$(mktemp -d /tmp/stap_parity.XXXXXX)"
+      trap 'rm -rf "$par_dir"' RETURN
+      local t
+      for t in inproc shm tcp; do
+        cargo run --release -q -p stap-bench --bin stapctl -- trace \
+          --transport "$t" --json --out "$par_dir/trace_$t.json" \
+          > "$par_dir/$t.out" || return 1
+      done
+      python3 - "$par_dir" <<'PY'
+import json, sys, pathlib
+d = pathlib.Path(sys.argv[1])
+docs = {}
+for t in ("inproc", "shm", "tcp"):
+    text = (d / f"{t}.out").read_text()
+    docs[t] = json.loads(text[text.index("{"):text.rindex("}") + 1])
+digests = {t: doc["detections_digest"] for t, doc in docs.items()}
+assert len(set(digests.values())) == 1, f"transport parity broken: {digests}"
+edges = docs["tcp"]["reconciliation"]["edges"]
+rated = [e for e in edges if e["ratio"] is not None]
+assert rated, "TCP reconciliation measured no edges"
+bad = [e for e in rated if not 0.5 <= e["ratio"] <= 2.0]
+assert not bad, f"TCP per-edge byte ratio out of [0.5,2]: {bad}"
+print("transport parity ok: digest %s on all 3 transports, %d/%d edges within [0.5,2]"
+      % (digests["tcp"], len(rated), len(edges)))
 PY
       ;;
     *)

@@ -274,25 +274,62 @@ fn ci_workflow_is_structurally_valid() {
         }
     }
 
-    // Semantic anchors: the jobs and the check.sh stages they run.
-    for job in [
-        "lint:",
-        "build-test:",
-        "fault-smoke:",
-        "bench-smoke:",
-        "trace-smoke:",
-        "scalar-fallback:",
-        "serve-smoke:",
-        "assign-smoke:",
-        "chaos-smoke:",
-    ] {
+    // Semantic anchors: the fixed jobs plus the matrixed smoke job —
+    // the smoke stages live in one `smoke:` job whose matrix entries
+    // name their check.sh stages, artifact and transport.
+    for job in ["lint:", "build-test:", "scalar-fallback:", "smoke:"] {
         assert!(text.contains(job), "missing job {job}");
     }
     assert!(text.contains("jobs:"));
-    for stage in 1..=11 {
+    for key in ["strategy:", "matrix:", "include:"] {
+        assert!(text.contains(key), "smoke job must be matrixed ({key})");
+    }
+    for entry in [
+        "- name: fault-smoke",
+        "- name: bench-smoke",
+        "- name: trace-smoke",
+        "- name: serve-smoke",
+        "- name: assign-smoke",
+        "- name: chaos-smoke",
+        "- name: transport-smoke-shm",
+        "- name: transport-smoke-tcp",
+    ] {
+        assert!(text.contains(entry), "missing matrix entry {entry:?}");
+    }
+    // The transport matrix runs the wire backends.
+    assert!(text.contains("transport: shm"), "shm transport entry");
+    assert!(text.contains("transport: tcp"), "tcp transport entry");
+    // Wall-clock gates are slack-scaled on shared runners — in CI only.
+    assert!(
+        text.contains("STAP_CI_SLACK:"),
+        "workflow sets the CI slack multiplier"
+    );
+
+    // Stage coverage: every check.sh stage is run somewhere — either as
+    // a literal `--stage N` step or via a matrix entry's `stages:` list.
+    let mut covered = std::collections::BTreeSet::new();
+    for line in text.lines() {
+        let t = line.trim();
+        if let Some(rest) = t.split("scripts/check.sh --stage ").nth(1) {
+            if let Ok(n) = rest.trim().parse::<u32>() {
+                covered.insert(n);
+            }
+        }
+        if let Some(list) = t
+            .strip_prefix("stages:")
+            .map(|v| v.trim().trim_matches('"'))
+        {
+            for part in list.split_whitespace() {
+                if let Ok(n) = part.parse::<u32>() {
+                    covered.insert(n);
+                }
+            }
+        }
+    }
+    for stage in 1..=12 {
         assert!(
-            text.contains(&format!("scripts/check.sh --stage {stage}")),
-            "workflow must run check.sh stage {stage}"
+            covered.contains(&stage),
+            "workflow must run check.sh stage {stage} (covered: {covered:?})"
         );
     }
     assert!(text.contains("actions/checkout@v4"));
@@ -308,8 +345,8 @@ fn ci_workflow_is_structurally_valid() {
 fn check_script_stage_list_matches_workflow() {
     let script = repo_file("scripts/check.sh");
     assert!(
-        script.contains("NUM_STAGES=11"),
-        "check.sh declares 11 stages"
+        script.contains("NUM_STAGES=12"),
+        "check.sh declares 12 stages"
     );
     for anchor in [
         "rustfmt",
@@ -321,6 +358,8 @@ fn check_script_stage_list_matches_workflow() {
         "serve smoke",
         "assign smoke",
         "chaos smoke",
+        "transport parity",
+        "STAP_TRANSPORT",
     ] {
         assert!(script.contains(anchor), "check.sh names stage {anchor:?}");
     }
